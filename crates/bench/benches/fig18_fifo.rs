@@ -1,0 +1,291 @@
+//! Figure 18 — "FIFO pipe scalability test (simulating idle network
+//! connections)".
+//!
+//! The paper: 128 pairs of active threads exchange 32 KB messages over
+//! 4 KB-buffer FIFO pipes while up to 100,000 *idle* threads wait for
+//! epoll events on idle pipes. Both NPTL and Haskell stay flat as idle
+//! threads grow, Haskell ≈30% above NPTL, and Haskell scales to far more
+//! threads than NPTL.
+//!
+//! Two reproductions here, against the *same* in-memory pipe device:
+//!
+//! 1. **wall clock** — monadic threads (non-blocking ops + epoll waits)
+//!    vs. real `std::thread` kernel threads (blocking ops on condvars;
+//!    `std::thread` on Linux *is* NPTL) with 32 KB stacks;
+//! 2. **virtual time** — the same monadic program under the monadic and
+//!    kernel-thread cost models, deterministic and seedless.
+//!
+//! Run: `cargo bench --bench fig18_fifo` (EVETH_FULL=1 for more traffic).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use eveth_bench::tables::{banner, count, mb_cell};
+use eveth_bench::workloads::{mb_per_sec, sim_with};
+use eveth_core::io::pipe::{pipe, PipeReader, PipeWriter};
+use eveth_core::runtime::Runtime;
+use eveth_core::syscall::{sys_nbio, sys_sleep};
+use eveth_core::time::MILLIS;
+use eveth_core::{do_m, loop_m, Loop, ThreadM};
+use eveth_simos::cost::CostModel;
+
+const PAIRS: usize = 128;
+const MSG: usize = 32 * 1024;
+const PIPE_BUF: usize = 4 * 1024;
+
+/// One active pair: A sends then receives MSG bytes, B mirrors, `rounds`
+/// times — built once, used by every runtime and cost model.
+fn pair_programs(
+    wa: PipeWriter,
+    ra: PipeReader,
+    wb: PipeWriter,
+    rb: PipeReader,
+    rounds: usize,
+    tag: u8,
+    done: Arc<AtomicU64>,
+) -> (ThreadM<()>, ThreadM<()>) {
+    let a = loop_m(0usize, move |round| {
+        if round == rounds {
+            let done = Arc::clone(&done);
+            return sys_nbio(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .map(|_| Loop::Break(()));
+        }
+        let payload = Bytes::from(vec![tag; MSG]);
+        let wa = wa.clone();
+        let ra = ra.clone();
+        do_m! {
+            let sent <- wa.write_all_m(payload);
+            let _ = sent.expect("pipe write");
+            let back <- ra.read_exact_m(MSG);
+            let _ = back.expect("pipe read");
+            ThreadM::pure(Loop::Continue(round + 1))
+        }
+    });
+    let b = loop_m(0usize, move |round| {
+        if round == rounds {
+            return ThreadM::pure(Loop::Break(()));
+        }
+        let wb = wb.clone();
+        let rb = rb.clone();
+        do_m! {
+            let data <- rb.read_exact_m(MSG);
+            let data = data.expect("pipe read");
+            let sent <- wb.write_all_m(data);
+            let _ = sent.expect("pipe write");
+            ThreadM::pure(Loop::Continue(round + 1))
+        }
+    });
+    (a, b)
+}
+
+/// Parks `idle` monadic threads on reads of never-written pipes; returns
+/// the writers that keep them parked.
+fn spawn_idle_monadic(spawn: &mut dyn FnMut(ThreadM<()>), idle: usize) -> Vec<PipeWriter> {
+    let mut keep = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        let (w, r) = pipe(PIPE_BUF);
+        spawn(r.read_m(1).map(|_| ()));
+        keep.push(w);
+    }
+    keep
+}
+
+fn wall_clock_monadic(idle: usize, rounds: usize) -> f64 {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
+    let rt = Runtime::builder().workers(workers).build();
+    let _keep = spawn_idle_monadic(&mut |m| {
+        rt.spawn(m);
+    }, idle);
+
+    let done = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    for p in 0..PAIRS {
+        let (wa, rb) = pipe(PIPE_BUF);
+        let (wb, ra) = pipe(PIPE_BUF);
+        let (a, b) = pair_programs(wa, ra, wb, rb, rounds, p as u8, Arc::clone(&done));
+        rt.spawn(a);
+        rt.spawn(b);
+    }
+    let watch = Arc::clone(&done);
+    rt.block_on(loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        do_m! {
+            sys_sleep(MILLIS);
+            let d <- sys_nbio(move || watch.load(Ordering::SeqCst));
+            ThreadM::pure(if d == PAIRS as u64 { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }));
+    let bytes = (PAIRS * rounds * MSG * 2) as u64;
+    let mb_s = bytes as f64 / (1024.0 * 1024.0) / started.elapsed().as_secs_f64();
+    rt.shutdown();
+    mb_s
+}
+
+fn wall_clock_nptl(idle: usize, rounds: usize) -> Option<f64> {
+    // Idle kernel threads blocked on empty pipes, 32 KB stacks (the
+    // paper's NPTL configuration).
+    let mut idle_handles = Vec::with_capacity(idle);
+    let mut keep_writers = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        let (w, r) = pipe(PIPE_BUF);
+        let spawned = std::thread::Builder::new()
+            .stack_size(32 * 1024)
+            .spawn(move || {
+                let _ = r.read_blocking(1); // EOF on writer drop
+            });
+        match spawned {
+            Ok(h) => {
+                idle_handles.push(h);
+                keep_writers.push(w);
+            }
+            Err(_) => {
+                // Address space / thread limit reached: the paper's NPTL
+                // cap, observed live.
+                drop(keep_writers);
+                for h in idle_handles {
+                    let _ = h.join();
+                }
+                return None;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(PAIRS * 2);
+    for p in 0..PAIRS {
+        let (wa, rb) = pipe(PIPE_BUF);
+        let (wb, ra) = pipe(PIPE_BUF);
+        workers.push(
+            std::thread::Builder::new()
+                .stack_size(32 * 1024)
+                .spawn(move || {
+                    for _ in 0..rounds {
+                        wa.write_all_blocking(&vec![p as u8; MSG]).expect("write");
+                        let mut got = 0;
+                        while got < MSG {
+                            got += ra.read_blocking(MSG - got).len();
+                        }
+                    }
+                })
+                .expect("active pair thread"),
+        );
+        workers.push(
+            std::thread::Builder::new()
+                .stack_size(32 * 1024)
+                .spawn(move || {
+                    for _ in 0..rounds {
+                        let mut buf = Vec::with_capacity(MSG);
+                        while buf.len() < MSG {
+                            buf.extend_from_slice(&rb.read_blocking(MSG - buf.len()));
+                        }
+                        wb.write_all_blocking(&buf).expect("write");
+                    }
+                })
+                .expect("active pair thread"),
+        );
+    }
+    for h in workers {
+        h.join().expect("pair finished");
+    }
+    let bytes = (PAIRS * rounds * MSG * 2) as u64;
+    let mb_s = bytes as f64 / (1024.0 * 1024.0) / started.elapsed().as_secs_f64();
+
+    drop(keep_writers);
+    for h in idle_handles {
+        let _ = h.join();
+    }
+    Some(mb_s)
+}
+
+fn virtual_time(cost: CostModel, idle: usize, rounds: usize) -> f64 {
+    let sim = sim_with(cost);
+    let _keep = spawn_idle_monadic(&mut |m| {
+        sim.spawn(m);
+    }, idle);
+    let done = Arc::new(AtomicU64::new(0));
+    for p in 0..PAIRS {
+        let (wa, rb) = pipe(PIPE_BUF);
+        let (wb, ra) = pipe(PIPE_BUF);
+        let (a, b) = pair_programs(wa, ra, wb, rb, rounds, p as u8, Arc::clone(&done));
+        sim.spawn(a);
+        sim.spawn(b);
+    }
+    eveth_bench::workloads::wait_counter(&sim, done, PAIRS as u64);
+    mb_per_sec((PAIRS * rounds * MSG * 2) as u64, sim.now())
+}
+
+fn main() {
+    let full = eveth_bench::full_scale();
+    let rounds: usize = if full { 64 } else { 8 }; // per pair; 2*32 KB per round
+    let traffic_mb = PAIRS * rounds * MSG * 2 / (1024 * 1024);
+
+    banner(
+        "E3 / Figure 18",
+        "FIFO pipe throughput vs idle threads",
+        "§5.1, Figure 18: flat scalability; Haskell ≈30% above NPTL; Haskell scales far beyond NPTL",
+    );
+    println!(
+        "(128 active pairs exchanging 32 KB over {} B pipes; {} MB per cell)",
+        PIPE_BUF, traffic_mb
+    );
+
+    println!("\n-- wall clock: monadic runtime vs real kernel threads (std::thread = NPTL)\n");
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "idle threads", "NPTL MB/s", "eveth MB/s"
+    );
+    println!("{:->12}-+-{:->12}-+-{:->12}", "", "", "");
+    let idle_sweep: &[usize] = if full {
+        &[0, 100, 1_000, 10_000, 100_000]
+    } else {
+        &[0, 100, 1_000, 10_000, 50_000]
+    };
+    // Real kernel threads are expensive enough that CI-class containers
+    // kill the process (OOM / pids cgroup) well before the paper's 16k —
+    // which is exactly the scaling cliff the figure is about. Keep the
+    // NPTL column inside a safe budget by default.
+    let nptl_idle_cap: usize = if full { 16 * 1024 } else { 2_000 };
+    for &idle in idle_sweep {
+        let nptl = if idle + 2 * PAIRS <= nptl_idle_cap {
+            wall_clock_nptl(idle, rounds)
+        } else {
+            None
+        };
+        let monadic = wall_clock_monadic(idle, rounds);
+        println!(
+            "{:>12} | {} | {}",
+            count(idle as u64),
+            mb_cell(nptl),
+            mb_cell(Some(monadic))
+        );
+    }
+
+    println!("\n-- virtual time (deterministic): same program, two cost models\n");
+    println!(
+        "{:>12} | {:>12} | {:>12}",
+        "idle threads", "NPTL MB/s", "eveth MB/s"
+    );
+    println!("{:->12}-+-{:->12}-+-{:->12}", "", "", "");
+    let sim_rounds = rounds.min(8);
+    for &idle in &[0usize, 100, 1_000, 10_000] {
+        let nptl = virtual_time(CostModel::nptl(), idle, sim_rounds);
+        let monadic = virtual_time(CostModel::monadic(), idle, sim_rounds);
+        println!(
+            "{:>12} | {} | {}",
+            count(idle as u64),
+            mb_cell(Some(nptl)),
+            mb_cell(Some(monadic))
+        );
+    }
+    println!();
+    println!("expected shape: both lines flat in idle threads; eveth above NPTL");
+    println!("(the paper reports ≈30% on its Celeron; the gap here reflects the");
+    println!("same mechanism — no kernel context switch per pipe operation).");
+}

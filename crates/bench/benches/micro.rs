@@ -1,0 +1,134 @@
+//! Criterion microbenchmarks of the concurrency primitives: the costs the
+//! paper's qualitative claims rest on (cheap thread creation, cheap
+//! context switches, scheduler-extension sync, STM via `sys_nbio`,
+//! zero-overhead exceptions on the happy path).
+//!
+//! Run: `cargo bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eveth_core::local::run_local;
+use eveth_core::runtime::Runtime;
+use eveth_core::sync::{Chan, Mutex};
+use eveth_core::syscall::*;
+use eveth_core::{do_m, loop_m, Loop, ThreadM};
+use eveth_stm::{atomically_m, TVar};
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread");
+    g.throughput(Throughput::Elements(1));
+    // Cost of constructing + running a trivial monadic thread to
+    // completion on the inline executor (no OS runtime in the way).
+    g.bench_function("construct_and_run", |b| {
+        b.iter(|| run_local(ThreadM::pure(std::hint::black_box(1))).unwrap())
+    });
+    g.bench_function("fork_1000_local", |b| {
+        b.iter(|| {
+            let mut ex = eveth_core::local::LocalExecutor::new();
+            ex.spawn(eveth_core::for_each_m(0..1000u32, |_| {
+                sys_fork(ThreadM::pure(()))
+            }));
+            ex.run().completed
+        })
+    });
+    g.finish();
+}
+
+fn bench_context_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_switch");
+    // 10k yields through the inline round-robin scheduler: the per-switch
+    // cost of the trace machinery itself.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("yield_10k_local", |b| {
+        b.iter(|| {
+            run_local(loop_m(0u32, |i| {
+                if i == 10_000 {
+                    ThreadM::pure(Loop::Break(()))
+                } else {
+                    sys_yield().map(move |_| Loop::Continue(i + 1))
+                }
+            }))
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_exceptions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exceptions");
+    g.bench_function("catch_no_throw", |b| {
+        b.iter(|| {
+            run_local(sys_catch(ThreadM::pure(7), |_| ThreadM::pure(0))).unwrap()
+        })
+    });
+    g.bench_function("throw_and_catch", |b| {
+        b.iter(|| {
+            run_local(sys_catch(sys_throw::<i32>("e"), |_| ThreadM::pure(0))).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    let rt = Runtime::builder().workers(2).build();
+    g.bench_function("mutex_uncontended_1k", |b| {
+        let m = Mutex::new();
+        b.iter(|| {
+            let m = m.clone();
+            rt.block_on(eveth_core::for_each_m(0..1000u32, move |_| {
+                let m2 = m.clone();
+                do_m! { m2.lock(); m2.unlock() }
+            }))
+        })
+    });
+    g.bench_function("chan_pingpong_1k", |b| {
+        b.iter(|| {
+            let ping: Chan<u32> = Chan::new();
+            let pong: Chan<u32> = Chan::new();
+            let (ping2, pong2) = (ping.clone(), pong.clone());
+            rt.spawn(eveth_core::for_each_m(0..1000u32, move |_| {
+                let pong2 = pong2.clone();
+                ping2.read().bind(move |v| pong2.write(v))
+            }));
+            rt.block_on(eveth_core::for_each_m(0..1000u32, move |i| {
+                let ping = ping.clone();
+                let pong = pong.clone();
+                do_m! { ping.write(i); pong.read().map(|_| ()) }
+            }))
+        })
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+fn bench_stm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm");
+    let rt = Runtime::builder().workers(2).build();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("counter_increments_1k", |b| {
+        let v = TVar::new(0u64);
+        b.iter(|| {
+            let v = v.clone();
+            rt.block_on(eveth_core::for_each_m(0..1000u32, move |_| {
+                let v = v.clone();
+                atomically_m(move |t| {
+                    let x = t.read(&v)?;
+                    t.write(&v, x + 1);
+                    Ok(())
+                })
+            }))
+        })
+    });
+    g.finish();
+    rt.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn,
+    bench_context_switch,
+    bench_exceptions,
+    bench_sync,
+    bench_stm
+);
+criterion_main!(benches);

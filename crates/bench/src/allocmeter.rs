@@ -1,0 +1,61 @@
+//! A counting global allocator for the memory-consumption experiment (E1).
+//!
+//! The paper measures the live heap of ten million yield-looping threads
+//! with GHC's GC profiler; we wrap the system allocator and track live and
+//! peak bytes instead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Install with `#[global_allocator]` in a bench binary.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for static installation.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+// SAFETY: delegates every operation to `System`, only adding relaxed
+// counter updates, so all `GlobalAlloc` contract obligations are inherited.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_add(new_size, Ordering::Relaxed);
+            let live = LIVE.fetch_sub(layout.size(), Ordering::Relaxed) + new_size
+                - layout.size().min(new_size + layout.size());
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Live heap bytes right now.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live heap bytes since process start.
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}

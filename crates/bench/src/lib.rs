@@ -1,0 +1,45 @@
+//! # eveth-bench — harnesses reproducing the paper's evaluation (§5)
+//!
+//! One bench target per table/figure (see `benches/`), plus the shared
+//! workload builders and measurement plumbing they use. Run everything
+//! with `cargo bench --workspace`; each harness prints the same rows the
+//! paper reports. `EXPERIMENTS.md` at the workspace root records
+//! paper-vs-measured for every artifact.
+//!
+//! Environment knobs:
+//!
+//! * `EVETH_FULL=1` — run paper-scale workloads (512 MB disk reads, 64 GB
+//!   FIFO traffic equivalents, 128k-file corpus, 10M-thread memory test)
+//!   instead of the scaled defaults.
+
+#![warn(missing_docs)]
+
+pub mod allocmeter;
+pub mod tables;
+pub mod workloads;
+
+/// xorshift64*: the deterministic RNG used across all harnesses.
+pub fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// True when paper-scale workloads were requested.
+pub fn full_scale() -> bool {
+    std::env::var("EVETH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn xorshift_is_deterministic_and_moves() {
+        let mut a = 42;
+        let mut b = 42;
+        assert_eq!(super::xorshift(&mut a), super::xorshift(&mut b));
+        assert_ne!(a, 42);
+    }
+}

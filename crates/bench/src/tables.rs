@@ -1,0 +1,49 @@
+//! Table formatting for the figure harnesses.
+
+/// Prints a banner naming the paper artifact being reproduced.
+pub fn banner(id: &str, title: &str, paper: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper reference: {paper}");
+    println!("================================================================");
+}
+
+/// Formats an optional MB/s cell ("n/a" when a model could not run).
+pub fn mb_cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:>12.3}"),
+        None => format!("{:>12}", "n/a"),
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_groups_thousands() {
+        assert_eq!(count(5), "5");
+        assert_eq!(count(1234), "1,234");
+        assert_eq!(count(10_000_000), "10,000,000");
+    }
+
+    #[test]
+    fn mb_cell_handles_na() {
+        assert!(mb_cell(None).contains("n/a"));
+        assert!(mb_cell(Some(1.5)).contains("1.500"));
+    }
+}

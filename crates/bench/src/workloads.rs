@@ -1,0 +1,269 @@
+//! Reusable workload builders behind the figure harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eveth_core::aio::FileStore;
+use eveth_core::net::{Endpoint, HostId, NetStack};
+use eveth_core::syscall::{sys_aio_read, sys_nbio, sys_sleep};
+use eveth_core::time::{Nanos, MILLIS};
+use eveth_core::{do_m, loop_m, Loop, ThreadM};
+use eveth_http::loadgen::{client_thread, corpus_paths, LoadConfig, LoadStats};
+use eveth_http::server::{ServerConfig, WebServer};
+use eveth_simos::cost::CostModel;
+use eveth_simos::disk::{DiskGeometry, DiskSched, SimDisk};
+use eveth_simos::fs::SimFs;
+use eveth_simos::sockets::{FabricParams, SocketFabric};
+use eveth_simos::{SimClock, SimConfig, SimRuntime};
+
+/// Throughput in MB/s from bytes moved over a duration.
+pub fn mb_per_sec(bytes: u64, dur: Nanos) -> f64 {
+    if dur == 0 {
+        return 0.0;
+    }
+    bytes as f64 / (1024.0 * 1024.0) / (dur as f64 / 1e9)
+}
+
+/// Builds a `SimRuntime` with the given cost model.
+pub fn sim_with(cost: CostModel) -> SimRuntime {
+    SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 256 })
+}
+
+/// Spawns a sleep-polling waiter that completes when `counter` reaches
+/// `target`, and drives the simulation until then.
+pub fn wait_counter(sim: &SimRuntime, counter: Arc<AtomicU64>, target: u64) {
+    sim.block_on(loop_m((), move |()| {
+        let counter = Arc::clone(&counter);
+        do_m! {
+            sys_sleep(MILLIS);
+            let v <- sys_nbio(move || counter.load(Ordering::SeqCst));
+            ThreadM::pure(if v >= target { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }))
+    .expect("workload completed");
+}
+
+/// Outcome of one disk-benchmark cell.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskRunResult {
+    /// Virtual time consumed.
+    pub elapsed: Nanos,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Throughput.
+    pub mb_s: f64,
+}
+
+/// The Figure 17 workload: `threads` monadic threads each loop random
+/// 4 KB reads from a 1 GB file until `total_reads` complete; both the
+/// monadic and the kernel-thread lines run this same program under
+/// different cost models. Returns `None` when the cost model's thread cap
+/// is exceeded (the paper's "NPTL stops at 16k").
+pub fn disk_head_scheduling(
+    cost: CostModel,
+    sched: DiskSched,
+    threads: u64,
+    total_reads: u64,
+    seed: u64,
+) -> Option<DiskRunResult> {
+    const BLOCK: usize = 4096;
+    const FILE_BYTES: u64 = 1 << 30;
+
+    if let Some(cap) = cost.max_threads {
+        if threads as usize > cap {
+            return None;
+        }
+    }
+    let sim = sim_with(cost);
+    let disk = SimDisk::new(sim.clock(), DiskGeometry::eide_7200_80gb(), sched, seed);
+    let fs = SimFs::new(disk);
+    fs.add_file("/big", FILE_BYTES);
+    let file = fs.lookup("/big").expect("benchmark file");
+
+    let remaining = Arc::new(AtomicU64::new(total_reads));
+    let finished = Arc::new(AtomicU64::new(0));
+    for t in 0..threads {
+        let file = Arc::clone(&file);
+        let remaining = Arc::clone(&remaining);
+        let finished = Arc::clone(&finished);
+        let rng0 = 0x9E37_79B9u64.wrapping_mul(seed + t + 1) | 1;
+        sim.spawn(loop_m(rng0, move |mut rng| {
+            // Claim one read; retire the thread once the quota is gone.
+            let claimed = remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                .is_ok();
+            if !claimed {
+                let finished = Arc::clone(&finished);
+                return sys_nbio(move || {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                })
+                .map(|_| Loop::Break(()));
+            }
+            crate::xorshift(&mut rng);
+            let offset = (rng % (FILE_BYTES / BLOCK as u64)) * BLOCK as u64;
+            sys_aio_read(&file, offset, BLOCK).map(move |res| {
+                res.expect("simulated disk never errors");
+                Loop::Continue(rng)
+            })
+        }));
+    }
+    wait_counter(&sim, finished, threads);
+    let elapsed = sim.now();
+    let bytes = total_reads * BLOCK as u64;
+    Some(DiskRunResult {
+        elapsed,
+        bytes,
+        mb_s: mb_per_sec(bytes, elapsed),
+    })
+}
+
+/// Outcome of one web-server benchmark cell.
+#[derive(Debug, Clone)]
+pub struct WebRunResult {
+    /// Virtual time consumed.
+    pub elapsed: Nanos,
+    /// Response bytes received by all clients.
+    pub bytes: u64,
+    /// Throughput.
+    pub mb_s: f64,
+    /// Server cache hit ratio.
+    pub cache_hit_ratio: f64,
+    /// Responses completed.
+    pub responses: u64,
+}
+
+/// Parameters for [`web_server_run`].
+#[derive(Debug, Clone)]
+pub struct WebRunParams {
+    /// Cost model for the whole host (server + kernel).
+    pub cost: CostModel,
+    /// Number of 16 KB files in the corpus.
+    pub files: usize,
+    /// Server cache budget in bytes.
+    pub cache_bytes: usize,
+    /// Concurrent client connections.
+    pub connections: u64,
+    /// Requests per connection.
+    pub requests_per_conn: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The Figure 19 workload: a static web server with its own cache over the
+/// kernel-socket model, a disk-backed corpus of 16 KB files, and N
+/// keep-alive clients requesting random files. The monadic and
+/// Apache-model lines run the same program under different cost models —
+/// thread-per-connection synchronous blocking being priced by
+/// [`CostModel::apache`]/[`CostModel::nptl`].
+pub fn web_server_run(p: &WebRunParams) -> WebRunResult {
+    const FILE_BYTES: u64 = 16 * 1024;
+
+    let sim = sim_with(p.cost.clone());
+    let disk = SimDisk::new(
+        sim.clock(),
+        DiskGeometry::eide_7200_80gb(),
+        DiskSched::CLook,
+        p.seed,
+    );
+    let fs = SimFs::new(disk);
+    let paths = corpus_paths(p.files);
+    for path in &paths {
+        fs.add_file(path.clone(), FILE_BYTES);
+    }
+
+    let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+    let server = WebServer::new(
+        fabric.stack(HostId(1)),
+        fs,
+        ServerConfig {
+            port: 80,
+            cache_bytes: p.cache_bytes,
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
+
+    let stats = Arc::new(LoadStats::default());
+    let cfg = Arc::new(LoadConfig {
+        server: Endpoint::new(HostId(1), 80),
+        requests_per_conn: p.requests_per_conn,
+        paths: Arc::new(paths),
+        seed: p.seed,
+    });
+    let client_stack: Arc<dyn NetStack> = fabric.stack(HostId(2));
+    for id in 0..p.connections {
+        sim.spawn(client_thread(
+            Arc::clone(&client_stack),
+            Arc::clone(&cfg),
+            Arc::clone(&stats),
+            id,
+        ));
+    }
+
+    // Reuse the LoadStats counter as the completion signal.
+    let done = Arc::new(AtomicU64::new(0));
+    let target = p.connections;
+    {
+        let stats = Arc::clone(&stats);
+        let done = Arc::clone(&done);
+        sim.spawn(loop_m((), move |()| {
+            let stats = Arc::clone(&stats);
+            let done = Arc::clone(&done);
+            do_m! {
+                sys_sleep(MILLIS);
+                let d <- sys_nbio(move || stats.clients_done.load(Ordering::Relaxed));
+                if d >= target {
+                    sys_nbio(move || { done.store(1, Ordering::SeqCst); })
+                        .map(|_| Loop::Break(()))
+                } else {
+                    ThreadM::pure(Loop::Continue(()))
+                }
+            }
+        }));
+    }
+    wait_counter(&sim, done, 1);
+
+    let elapsed = sim.now();
+    let bytes = stats.bytes.load(Ordering::Relaxed);
+    WebRunResult {
+        elapsed,
+        bytes,
+        mb_s: mb_per_sec(bytes, elapsed),
+        cache_hit_ratio: server.cache().hit_ratio(),
+        responses: stats.responses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_workload_produces_paper_scale_throughput() {
+        let r = disk_head_scheduling(CostModel::monadic(), DiskSched::CLook, 4, 256, 3)
+            .expect("under cap");
+        assert!(r.mb_s > 0.2 && r.mb_s < 2.0, "throughput {} MB/s", r.mb_s);
+    }
+
+    #[test]
+    fn disk_workload_respects_thread_cap() {
+        let mut cost = CostModel::nptl();
+        cost.max_threads = Some(8);
+        assert!(disk_head_scheduling(cost, DiskSched::CLook, 16, 64, 3).is_none());
+    }
+
+    #[test]
+    fn web_workload_serves_everything() {
+        let r = web_server_run(&WebRunParams {
+            cost: CostModel::monadic(),
+            files: 64,
+            cache_bytes: 256 * 1024,
+            connections: 4,
+            requests_per_conn: 5,
+            seed: 9,
+        });
+        assert_eq!(r.responses, 20);
+        assert!(r.mb_s > 0.0);
+        assert!(r.cache_hit_ratio >= 0.0);
+    }
+}

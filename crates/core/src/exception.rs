@@ -1,0 +1,148 @@
+//! Exception values thrown and caught by monadic threads.
+//!
+//! The paper (§4.3) adds `sys_throw`/`sys_catch` system calls whose trace
+//! nodes are interpreted by the scheduler against a per-thread stack of
+//! exception handlers. [`Exception`] is the value that travels along that
+//! path: a human-readable message plus an optional typed payload that
+//! handlers can downcast.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// An exception raised inside a monadic thread.
+///
+/// Exceptions are cheap to clone (the payload is shared), so a handler can
+/// inspect one and rethrow it, as in the paper's `send_file` example
+/// (Figure 13).
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::Exception;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Timeout(u64);
+///
+/// let e = Exception::with_payload("request timed out", Timeout(30));
+/// assert_eq!(e.message(), "request timed out");
+/// assert_eq!(e.payload_ref::<Timeout>(), Some(&Timeout(30)));
+/// assert!(e.payload_ref::<String>().is_none());
+/// ```
+#[derive(Clone)]
+pub struct Exception {
+    message: Arc<str>,
+    payload: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl Exception {
+    /// Creates an exception carrying only a message.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let e = eveth_core::Exception::new("connection reset");
+    /// assert_eq!(e.message(), "connection reset");
+    /// ```
+    pub fn new(message: impl Into<Arc<str>>) -> Self {
+        Exception {
+            message: message.into(),
+            payload: None,
+        }
+    }
+
+    /// Creates an exception carrying a message and a typed payload.
+    pub fn with_payload<P: Any + Send + Sync>(message: impl Into<Arc<str>>, payload: P) -> Self {
+        Exception {
+            message: message.into(),
+            payload: Some(Arc::new(payload)),
+        }
+    }
+
+    /// The human-readable description given at construction.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Borrows the payload if it has type `P`.
+    pub fn payload_ref<P: Any + Send + Sync>(&self) -> Option<&P> {
+        self.payload.as_deref().and_then(|p| p.downcast_ref())
+    }
+
+    /// Returns `true` if the exception carries a payload of type `P`.
+    pub fn is<P: Any + Send + Sync>(&self) -> bool {
+        self.payload_ref::<P>().is_some()
+    }
+}
+
+impl fmt::Debug for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Exception")
+            .field("message", &self.message)
+            .field("has_payload", &self.payload.is_some())
+            .finish()
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Exception {}
+
+impl From<&str> for Exception {
+    fn from(s: &str) -> Self {
+        Exception::new(s)
+    }
+}
+
+impl From<String> for Exception {
+    fn from(s: String) -> Self {
+        Exception::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_roundtrip() {
+        let e = Exception::new("boom");
+        assert_eq!(e.message(), "boom");
+        assert_eq!(format!("{e}"), "boom");
+    }
+
+    #[test]
+    fn payload_downcast() {
+        let e = Exception::with_payload("io", 42u32);
+        assert_eq!(e.payload_ref::<u32>(), Some(&42));
+        assert!(e.payload_ref::<u64>().is_none());
+        assert!(e.is::<u32>());
+        assert!(!e.is::<i32>());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let e = Exception::with_payload("io", vec![1u8, 2, 3]);
+        let f = e.clone();
+        assert_eq!(f.payload_ref::<Vec<u8>>().unwrap(), &[1, 2, 3]);
+        assert_eq!(e.message(), f.message());
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Exception = "x".into();
+        let b: Exception = String::from("y").into();
+        assert_eq!(a.message(), "x");
+        assert_eq!(b.message(), "y");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let e = Exception::new("z");
+        assert!(format!("{e:?}").contains("z"));
+    }
+}

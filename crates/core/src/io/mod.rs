@@ -1,0 +1,15 @@
+//! In-memory pollable devices for the real runtime.
+//!
+//! * [`pipe`] — FIFO pipes with bounded buffers, usable both from monadic
+//!   threads (non-blocking ops + `sys_epoll_wait`) and from plain OS threads
+//!   (blocking ops on condition variables). The FIFO scalability benchmark
+//!   (paper Figure 18) runs both runtimes against this same device.
+//! * [`ramdisk`] — RAM-backed [`AioFile`](crate::aio::AioFile)
+//!   implementations with optional modelled latency, plus an in-memory
+//!   [`FileStore`](crate::aio::FileStore).
+
+pub mod pipe;
+pub mod ramdisk;
+
+pub use pipe::{pipe, PipeError, PipeReader, PipeWriter};
+pub use ramdisk::{MemStore, RamFile, SynthFile};

@@ -1,0 +1,66 @@
+//! # eveth-core — events *and* threads, at application level
+//!
+//! A Rust implementation of the hybrid concurrency model of Li & Zdancewic,
+//! *"Combining Events and Threads for Scalable Network Services"* (PLDI
+//! 2007): per-client code is written as cheap, monadic **threads**, while
+//! the whole application is an **event-driven** program built on
+//! asynchronous I/O — and both halves live in the same language, address
+//! space and compilation unit.
+//!
+//! The key pieces, following the paper:
+//!
+//! * [`ThreadM`] — the CPS concurrency monad (`newtype M a = M ((a ->
+//!   Trace) -> Trace)`), with [`do_m!`] standing in for Haskell's
+//!   `do`-syntax;
+//! * [`Trace`] — the lazy tree of system calls a thread performs; the event
+//!   abstraction the scheduler traverses;
+//! * [`syscall`] — the system-call vocabulary (`sys_nbio`, `sys_fork`,
+//!   `sys_epoll_wait`, `sys_aio_read`, `sys_throw`/`sys_catch`, …);
+//! * [`engine`] — the trace interpreter shared by every scheduler;
+//! * [`runtime`] — the real runtime: SMP `worker_main` pools, a
+//!   `worker_epoll` readiness loop, a `worker_aio` completion loop, a
+//!   blocking-I/O pool and a timer wheel (paper Figure 14);
+//! * [`sync`] — blocking synchronization (mutexes, MVars, channels) built
+//!   as scheduler extensions on [`syscall::sys_park`];
+//! * [`io`] — in-memory pollable devices (FIFO pipes, RAM disk);
+//! * [`net`] — the socket abstraction servers program against, so kernel
+//!   sockets and the application-level TCP stack are interchangeable.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eveth_core::{do_m, runtime::Runtime, syscall::*, ThreadM};
+//!
+//! let rt = Runtime::builder().workers(2).build();
+//! let result = rt.block_on(do_m! {
+//!     sys_fork(sys_nbio(|| println!("hello from a forked thread")));
+//!     let t <- sys_time();
+//!     ThreadM::pure(t)
+//! });
+//! assert!(result < u64::MAX);
+//! rt.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aio;
+pub mod engine;
+pub mod exception;
+pub mod io;
+pub mod net;
+pub mod local;
+pub mod ops;
+pub mod reactor;
+pub mod runtime;
+pub mod sched;
+pub mod sync;
+pub mod syscall;
+pub mod task;
+pub mod thread;
+pub mod time;
+pub mod trace;
+
+pub use exception::Exception;
+pub use thread::{for_each_m, forever_m, loop_m, map_m, while_m, Cont, Loop, ThreadM};
+pub use trace::Trace;

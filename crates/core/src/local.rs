@@ -1,0 +1,288 @@
+//! A minimal inline executor: Claessen's original "poor man's concurrency"
+//! scheduler.
+//!
+//! [`LocalExecutor`] interprets the non-I/O subset of the trace language on
+//! the calling thread with a round-robin queue — exactly the paper's
+//! Figure 11 scheduler, extended with exceptions. It exists for unit tests,
+//! doctests and pedagogy; anything touching devices (epoll, AIO, parking)
+//! needs a full runtime and is reported as an exception here.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::exception::Exception;
+use crate::task::{Task, TaskId};
+use crate::thread::ThreadM;
+use crate::trace::Trace;
+
+/// Outcome of draining a [`LocalExecutor`].
+#[derive(Debug)]
+pub struct LocalReport {
+    /// Trace nodes interpreted.
+    pub steps: u64,
+    /// Threads that ran to completion.
+    pub completed: u64,
+    /// Exceptions that escaped their threads, in occurrence order.
+    pub uncaught: Vec<(TaskId, Exception)>,
+}
+
+/// A deterministic, single-threaded, cooperative scheduler for monadic
+/// threads that perform no device I/O.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{local::LocalExecutor, syscall::*, ThreadM};
+///
+/// let mut ex = LocalExecutor::new();
+/// ex.spawn(sys_fork(sys_nbio(|| println!("child"))).then(ThreadM::pure(())));
+/// let report = ex.run();
+/// assert_eq!(report.completed, 2);
+/// ```
+pub struct LocalExecutor {
+    queue: VecDeque<Task>,
+    next_tid: u64,
+    steps: u64,
+    completed: u64,
+    uncaught: Vec<(TaskId, Exception)>,
+    clock: u64,
+}
+
+impl LocalExecutor {
+    /// Creates an empty executor.
+    pub fn new() -> Self {
+        LocalExecutor {
+            queue: VecDeque::new(),
+            next_tid: 1,
+            steps: 0,
+            completed: 0,
+            uncaught: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Enqueues a monadic program as a new thread; returns its id.
+    pub fn spawn(&mut self, m: ThreadM<()>) -> TaskId {
+        let tid = TaskId(self.next_tid);
+        self.next_tid += 1;
+        self.queue.push_back(Task::from_thread(tid, m));
+        tid
+    }
+
+    fn fresh_tid(&mut self) -> TaskId {
+        let tid = TaskId(self.next_tid);
+        self.next_tid += 1;
+        tid
+    }
+
+    /// Runs until the ready queue drains or `stop` returns `true` (checked
+    /// between scheduling turns).
+    pub fn run_until(&mut self, mut stop: impl FnMut() -> bool) -> LocalReport {
+        while let Some(mut task) = self.queue.pop_front() {
+            let mut node = task.force();
+            loop {
+                self.steps += 1;
+                self.clock += 1;
+                match node {
+                    Trace::Ret => {
+                        self.completed += 1;
+                        break;
+                    }
+                    Trace::Nbio(f) => node = f(),
+                    Trace::Fork(child, parent) => {
+                        let tid = self.fresh_tid();
+                        self.queue.push_back(Task::from_thunk(tid, child));
+                        node = parent();
+                    }
+                    Trace::Yield(k) | Trace::Sleep(_, k) | Trace::Cpu(_, k) => {
+                        // Sleeps and modelled CPU are instantaneous here; a
+                        // yield keeps round-robin fairness.
+                        task.set_next(k);
+                        self.queue.push_back(task);
+                        break;
+                    }
+                    Trace::Throw(e) => match task.shell_mut().pop_handler() {
+                        Some(h) => node = h(e),
+                        None => {
+                            self.uncaught.push((task.tid(), e));
+                            break;
+                        }
+                    },
+                    Trace::Catch { body, handler } => {
+                        task.shell_mut().push_handler(handler);
+                        node = body();
+                    }
+                    Trace::CatchPop(k) => {
+                        task.shell_mut().pop_handler();
+                        node = k();
+                    }
+                    Trace::GetTime(f) => node = f(self.clock),
+                    unsupported @ (Trace::EpollWait(_, _, _)
+                    | Trace::AioRead(_, _)
+                    | Trace::AioWrite(_, _)
+                    | Trace::Blio(_)
+                    | Trace::Park(_, _)) => {
+                        // Device I/O needs a full runtime; surface the
+                        // mistake through the thread's own handler stack.
+                        let kind = unsupported.kind();
+                        node = Trace::Throw(Exception::new(format!(
+                            "{kind} requires a full runtime (LocalExecutor is I/O-free)"
+                        )));
+                    }
+                }
+            }
+            if stop() {
+                break;
+            }
+        }
+        LocalReport {
+            steps: self.steps,
+            completed: self.completed,
+            uncaught: std::mem::take(&mut self.uncaught),
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) -> LocalReport {
+        self.run_until(|| false)
+    }
+}
+
+impl Default for LocalExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LocalExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalExecutor")
+            .field("queued", &self.queue.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+/// Runs a single monadic computation to completion on the calling thread
+/// and returns its result (or the exception that escaped it).
+///
+/// Threads forked by `m` keep running until `m` itself produces a value;
+/// they are abandoned afterwards. See [`LocalExecutor`] for full control.
+///
+/// # Errors
+///
+/// Returns the exception if `m` throws without catching, or a synthesized
+/// exception if `m` terminates via [`sys_ret`](crate::syscall::sys_ret)
+/// without producing a value.
+pub fn run_local<T: Send + 'static>(m: ThreadM<T>) -> Result<T, Exception> {
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&slot);
+    let program = ThreadM::new(move |c: crate::thread::Cont<()>| {
+        m.run_cont(Box::new(move |v| {
+            *out.lock() = Some(v);
+            Trace::Nbio(Box::new(move || c(())))
+        }))
+    });
+
+    let mut ex = LocalExecutor::new();
+    let main_tid = ex.spawn(program);
+    let done = Arc::clone(&slot);
+    let report = ex.run_until(move || done.lock().is_some());
+
+    if let Some(v) = slot.lock().take() {
+        return Ok(v);
+    }
+    for (tid, e) in report.uncaught {
+        if tid == main_tid {
+            return Err(e);
+        }
+    }
+    Err(Exception::new(
+        "main thread terminated without producing a value",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn run_local_returns_value() {
+        assert_eq!(run_local(ThreadM::pure(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn run_local_surfaces_uncaught() {
+        let err = run_local(sys_throw::<()>("kaboom")).unwrap_err();
+        assert_eq!(err.message(), "kaboom");
+    }
+
+    #[test]
+    fn run_local_sys_ret_is_error() {
+        let err = run_local(sys_ret::<u8>()).unwrap_err();
+        assert!(err.message().contains("without producing"));
+    }
+
+    #[test]
+    fn forked_threads_interleave_round_robin() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ex = LocalExecutor::new();
+        for id in 0..3 {
+            let log = Arc::clone(&log);
+            ex.spawn(crate::do_m! {
+                sys_nbio({ let log = log.clone(); move || log.lock().push((id, 'a')) });
+                sys_yield();
+                sys_nbio(move || log.lock().push((id, 'b')))
+            });
+        }
+        let r = ex.run();
+        assert_eq!(r.completed, 3);
+        let entries = log.lock().clone();
+        // All 'a' phases precede all 'b' phases under round-robin.
+        let first_b = entries.iter().position(|e| e.1 == 'b').unwrap();
+        assert!(entries[..first_b].iter().all(|e| e.1 == 'a'));
+        assert_eq!(entries.len(), 6);
+    }
+
+    #[test]
+    fn io_syscalls_become_exceptions() {
+        let err = run_local(sys_park(|_u| {})).unwrap_err();
+        assert!(err.message().contains("SYS_PARK"));
+    }
+
+    #[test]
+    fn massive_fork_fanout_completes() {
+        static N: AtomicU32 = AtomicU32::new(0);
+        fn spawn_many(n: u32) -> ThreadM<()> {
+            if n == 0 {
+                sys_nbio(|| {
+                    N.fetch_add(1, Ordering::SeqCst);
+                })
+            } else {
+                crate::do_m! {
+                    sys_fork(spawn_many(n - 1));
+                    sys_fork(spawn_many(n - 1));
+                    ThreadM::pure(())
+                }
+            }
+        }
+        let mut ex = LocalExecutor::new();
+        ex.spawn(spawn_many(10));
+        let r = ex.run();
+        assert_eq!(N.load(Ordering::SeqCst), 1024);
+        assert_eq!(r.uncaught.len(), 0);
+    }
+
+    #[test]
+    fn report_debug_nonempty() {
+        let mut ex = LocalExecutor::new();
+        ex.spawn(ThreadM::pure(()));
+        assert!(!format!("{ex:?}").is_empty());
+        let r = ex.run();
+        assert!(format!("{r:?}").contains("steps"));
+    }
+}

@@ -1,0 +1,222 @@
+//! The socket abstraction network services program against.
+//!
+//! The paper's web server switches between the standard socket library and
+//! the application-level TCP stack "by editing one line of code" (§5.2).
+//! [`NetStack`] is that line: servers and clients are written against it,
+//! and both the simulated kernel sockets (`eveth-simos`) and the
+//! application-level TCP stack (`eveth-tcp`) implement it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::thread::{loop_m, Loop, ThreadM};
+
+/// Identifies a host on a (simulated) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// A (host, port) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// The host.
+    pub host: HostId,
+    /// The port on that host.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    pub fn new(host: HostId, port: u16) -> Self {
+        Endpoint { host, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+/// Errors reported by socket operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No listener at the remote endpoint.
+    ConnectionRefused,
+    /// The connection was closed in an orderly fashion.
+    Closed,
+    /// The connection was reset by the peer.
+    Reset,
+    /// The operation timed out.
+    Timeout,
+    /// The local port is already bound.
+    AddrInUse,
+    /// The destination host cannot be reached.
+    Unreachable,
+    /// A protocol-level failure, with a description.
+    Protocol(Arc<str>),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectionRefused => f.write_str("connection refused"),
+            NetError::Closed => f.write_str("connection closed"),
+            NetError::Reset => f.write_str("connection reset"),
+            NetError::Timeout => f.write_str("operation timed out"),
+            NetError::AddrInUse => f.write_str("address in use"),
+            NetError::Unreachable => f.write_str("host unreachable"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A bidirectional byte-stream connection usable from monadic threads.
+pub trait Conn: Send + Sync {
+    /// Receives up to `max` bytes, blocking (the monadic thread) until data
+    /// is available. An empty buffer signals end-of-stream.
+    fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>>;
+
+    /// Sends a prefix of `data`, blocking until at least one byte is
+    /// accepted; returns the number of bytes taken.
+    fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>>;
+
+    /// Closes the sending direction (further `recv`s by the peer will see
+    /// end-of-stream once in-flight data drains).
+    fn close(&self) -> ThreadM<()>;
+
+    /// The remote endpoint.
+    fn peer(&self) -> Endpoint;
+
+    /// The local endpoint.
+    fn local(&self) -> Endpoint;
+}
+
+/// A passive socket accepting inbound connections.
+pub trait Listener: Send + Sync {
+    /// Waits for and returns the next inbound connection.
+    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>>;
+
+    /// The bound local endpoint.
+    fn local(&self) -> Endpoint;
+
+    /// Stops accepting; queued and future `accept`s fail with
+    /// [`NetError::Closed`].
+    fn shutdown(&self);
+}
+
+/// A per-host network stack: the "one line" a server changes to swap kernel
+/// sockets for the application-level TCP stack.
+pub trait NetStack: Send + Sync {
+    /// Binds a listener on `port`.
+    fn listen(&self, port: u16) -> ThreadM<Result<Arc<dyn Listener>, NetError>>;
+
+    /// Opens a connection to `remote`.
+    fn connect(&self, remote: Endpoint) -> ThreadM<Result<Arc<dyn Conn>, NetError>>;
+
+    /// The host this stack belongs to.
+    fn host(&self) -> HostId;
+}
+
+/// Sends all of `data`, looping over partial [`Conn::send`]s.
+pub fn send_all(conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetError>> {
+    let conn = Arc::clone(conn);
+    loop_m(data, move |remaining| {
+        if remaining.is_empty() {
+            return ThreadM::pure(Loop::Break(Ok(())));
+        }
+        let rest = remaining.clone();
+        conn.send(remaining).map(move |r| match r {
+            Ok(n) => {
+                let rest = rest.slice(n..);
+                if rest.is_empty() {
+                    Loop::Break(Ok(()))
+                } else {
+                    Loop::Continue(rest)
+                }
+            }
+            Err(e) => Loop::Break(Err(e)),
+        })
+    })
+}
+
+/// Receives exactly `n` bytes; fails with [`NetError::Closed`] if the stream
+/// ends early.
+pub fn recv_exact(conn: &Arc<dyn Conn>, n: usize) -> ThreadM<Result<Bytes, NetError>> {
+    let conn = Arc::clone(conn);
+    loop_m(Vec::with_capacity(n), move |mut acc| {
+        if acc.len() == n {
+            return ThreadM::pure(Loop::Break(Ok(Bytes::from(acc))));
+        }
+        let want = n - acc.len();
+        conn.recv(want).map(move |r| match r {
+            Ok(chunk) if chunk.is_empty() => Loop::Break(Err(NetError::Closed)),
+            Ok(chunk) => {
+                acc.extend_from_slice(&chunk);
+                if acc.len() == n {
+                    Loop::Break(Ok(Bytes::from(acc)))
+                } else {
+                    Loop::Continue(acc)
+                }
+            }
+            Err(e) => Loop::Break(Err(e)),
+        })
+    })
+}
+
+/// Receives until end-of-stream, up to `limit` bytes.
+pub fn recv_to_end(conn: &Arc<dyn Conn>, limit: usize) -> ThreadM<Result<Bytes, NetError>> {
+    let conn = Arc::clone(conn);
+    loop_m(Vec::new(), move |mut acc| {
+        if acc.len() >= limit {
+            return ThreadM::pure(Loop::Break(Ok(Bytes::from(acc))));
+        }
+        let want = (limit - acc.len()).min(64 * 1024);
+        conn.recv(want).map(move |r| match r {
+            Ok(chunk) if chunk.is_empty() => Loop::Break(Ok(Bytes::from(acc))),
+            Ok(chunk) => {
+                acc.extend_from_slice(&chunk);
+                Loop::Continue(acc)
+            }
+            Err(NetError::Closed) => Loop::Break(Ok(Bytes::from(acc))),
+            Err(e) => Loop::Break(Err(e)),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(HostId(3), 80);
+        assert_eq!(e.to_string(), "host3:80");
+    }
+
+    #[test]
+    fn net_error_display() {
+        assert_eq!(NetError::Closed.to_string(), "connection closed");
+        assert_eq!(
+            NetError::Protocol("bad segment".into()).to_string(),
+            "protocol error: bad segment"
+        );
+    }
+
+    #[test]
+    fn endpoint_ordering_is_total() {
+        let a = Endpoint::new(HostId(1), 2);
+        let b = Endpoint::new(HostId(1), 3);
+        let c = Endpoint::new(HostId(2), 0);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,241 @@
+//! Higher-level thread operations built from the primitives: fork/join,
+//! parallel map, and timeouts. Nothing here touches the scheduler — it is
+//! all library code over `sys_fork`, MVars and timers, demonstrating the
+//! paper's point that the concurrency vocabulary is extensible *inside*
+//! the application.
+
+use std::fmt;
+
+use crate::exception::Exception;
+use crate::sync::{Chan, MVar};
+use crate::syscall::{sys_fork, sys_sleep, sys_throw, sys_try};
+use crate::thread::ThreadM;
+use crate::time::Nanos;
+
+/// The result slot of a thread spawned with [`spawn_join`].
+pub struct JoinHandle<A> {
+    slot: MVar<Result<A, Exception>>,
+}
+
+impl<A: Send + 'static> fmt::Debug for JoinHandle<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinHandle(done={})", self.slot.is_full())
+    }
+}
+
+impl<A: Send + 'static> JoinHandle<A> {
+    /// Blocks (the monadic thread) until the child finishes; rethrows the
+    /// child's uncaught exception in the joiner.
+    pub fn join(self) -> ThreadM<A> {
+        self.slot.take().bind(|res| match res {
+            Ok(v) => ThreadM::pure(v),
+            Err(e) => sys_throw(e),
+        })
+    }
+
+    /// Like [`JoinHandle::join`], but yields the exception as a value.
+    pub fn join_result(self) -> ThreadM<Result<A, Exception>> {
+        self.slot.take()
+    }
+
+    /// True once the child has finished (without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.slot.is_full()
+    }
+}
+
+/// Forks `m` as a child thread and returns a handle to await its result —
+/// exceptions included, so failures cross the fork boundary instead of
+/// vanishing.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::ops::spawn_join;
+/// use eveth_core::runtime::Runtime;
+/// use eveth_core::{do_m, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let v = rt.block_on(do_m! {
+///     let handle <- spawn_join(ThreadM::pure(21));
+///     let v <- handle.join();
+///     ThreadM::pure(v * 2)
+/// });
+/// assert_eq!(v, 42);
+/// rt.shutdown();
+/// ```
+pub fn spawn_join<A: Send + 'static>(m: ThreadM<A>) -> ThreadM<JoinHandle<A>> {
+    let slot: MVar<Result<A, Exception>> = MVar::new_empty();
+    let child_slot = slot.clone();
+    sys_fork(sys_try(m).bind(move |res| child_slot.put(res)))
+        .map(move |_| JoinHandle { slot })
+}
+
+/// Runs every computation in its own thread and collects the results in
+/// order (fork–join parallelism). The first child exception is rethrown
+/// after all children finish.
+pub fn par_all<A: Send + 'static>(ms: Vec<ThreadM<A>>) -> ThreadM<Vec<A>> {
+    // Fork phase.
+    let fork_all = crate::thread::loop_m(
+        (ms, Vec::new()),
+        |(mut ms, mut handles): (Vec<ThreadM<A>>, Vec<JoinHandle<A>>)| {
+            if ms.is_empty() {
+                return ThreadM::pure(crate::Loop::Break(handles));
+            }
+            let m = ms.remove(0);
+            spawn_join(m).map(move |h| {
+                handles.push(h);
+                crate::Loop::Continue((ms, handles))
+            })
+        },
+    );
+    // Join phase, preserving order.
+    fork_all.bind(|handles| {
+        crate::thread::loop_m(
+            (handles.into_iter(), Vec::new(), None::<Exception>),
+            |(mut iter, mut out, first_err)| match iter.next() {
+                None => match first_err {
+                    None => ThreadM::pure(crate::Loop::Break(Ok(out))),
+                    Some(e) => ThreadM::pure(crate::Loop::Break(Err(e))),
+                },
+                Some(h) => h.join_result().map(move |res| {
+                    let first_err = match (res, first_err) {
+                        (Ok(v), fe) => {
+                            out.push(v);
+                            fe
+                        }
+                        (Err(e), None) => Some(e),
+                        (Err(_), fe @ Some(_)) => fe,
+                    };
+                    crate::Loop::Continue((iter, out, first_err))
+                }),
+            },
+        )
+        .bind(|res| match res {
+            Ok(v) => ThreadM::pure(v),
+            Err(e) => sys_throw(e),
+        })
+    })
+}
+
+/// Races `m` against a timer: `Some(value)` if `m` finishes first,
+/// `None` on timeout. Cooperative caveat: on timeout the loser keeps
+/// running to completion in the background (threads cannot be killed,
+/// matching the paper's cooperative model); its result is discarded.
+pub fn with_timeout<A: Send + 'static>(dur: Nanos, m: ThreadM<A>) -> ThreadM<Option<A>> {
+    let finish: Chan<Option<Result<A, Exception>>> = Chan::new();
+    let from_work = finish.clone();
+    let from_timer = finish.clone();
+    crate::do_m! {
+        sys_fork(sys_try(m).bind(move |res| from_work.write(Some(res))));
+        sys_fork(crate::do_m! {
+            sys_sleep(dur);
+            from_timer.write(None)
+        });
+        let first <- finish.read();
+        match first {
+            None => ThreadM::pure(None),
+            Some(Ok(v)) => ThreadM::pure(Some(v)),
+            Some(Err(e)) => sys_throw(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::{sys_nbio, sys_sleep};
+    use crate::time::MILLIS;
+
+    #[test]
+    fn join_returns_child_value() {
+        let rt = Runtime::builder().workers(2).build();
+        let v = rt.block_on(crate::do_m! {
+            let h <- spawn_join(crate::do_m! {
+                sys_sleep(5 * MILLIS);
+                ThreadM::pure("late value")
+            });
+            h.join()
+        });
+        assert_eq!(v, "late value");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn join_rethrows_child_exception() {
+        let rt = Runtime::builder().workers(2).build();
+        let err = rt
+            .block_on_result(crate::do_m! {
+                let h <- spawn_join(crate::syscall::sys_throw::<u8>("child died"));
+                h.join()
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "child died");
+        assert!(rt.uncaught_exceptions().is_empty(), "exception was captured, not leaked");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn par_all_preserves_order() {
+        let rt = Runtime::builder().workers(4).build();
+        let ms: Vec<ThreadM<u32>> = (0..16)
+            .map(|i| {
+                crate::do_m! {
+                    // Later items sleep less: completion order is reversed,
+                    // result order must not be.
+                    sys_sleep((16 - i) as u64 * MILLIS / 4);
+                    ThreadM::pure(i)
+                }
+            })
+            .collect();
+        let out = rt.block_on(par_all(ms));
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn par_all_surfaces_first_failure_after_all_join() {
+        let rt = Runtime::builder().workers(2).build();
+        let ms = vec![
+            ThreadM::pure(1),
+            crate::syscall::sys_throw::<i32>("boom"),
+            ThreadM::pure(3),
+        ];
+        let err = rt.block_on_result(par_all(ms)).unwrap_err();
+        assert_eq!(err.message(), "boom");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_work() {
+        let rt = Runtime::builder().workers(2).build();
+        let out = rt.block_on(with_timeout(
+            5 * MILLIS,
+            crate::do_m! {
+                sys_sleep(60_000 * MILLIS);
+                ThreadM::pure(1)
+            },
+        ));
+        assert_eq!(out, None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timeout_passes_fast_work_through() {
+        let rt = Runtime::builder().workers(2).build();
+        let out = rt.block_on(with_timeout(1_000 * MILLIS, sys_nbio(|| 9)));
+        assert_eq!(out, Some(9));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timeout_rethrows_work_exception() {
+        let rt = Runtime::builder().workers(2).build();
+        let err = rt
+            .block_on_result(with_timeout(1_000 * MILLIS, crate::syscall::sys_throw::<()>("bad")))
+            .unwrap_err();
+        assert_eq!(err.message(), "bad");
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,321 @@
+//! Event abstractions: readiness interests, pollable devices, event ports
+//! and one-shot unparkers.
+//!
+//! This module is the boundary between the thread world and the event world
+//! (the centre box of the paper's Figure 2). Devices expose *readiness*
+//! through [`Pollable::register`]; the scheduler parks a thread by storing a
+//! one-shot [`Unparker`] with the device; when the device becomes ready it
+//! routes the unparker through an [`EventPort`] — the paper's `worker_epoll`
+//! event loop (Figure 16) is one such port.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::RuntimeCtx;
+use crate::task::Task;
+
+/// The readiness condition a thread waits for — the paper's `EPOLL_READ` /
+/// `EPOLL_WRITE` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interest {
+    /// Ready to read without blocking (or end-of-stream reached).
+    Read,
+    /// Ready to write without blocking (or peer closed).
+    Write,
+}
+
+static NEXT_FD: AtomicU64 = AtomicU64::new(1);
+
+/// A handle naming a registered pollable device, as passed to
+/// [`sys_epoll_wait`](crate::syscall::sys_epoll_wait).
+///
+/// Unlike a Unix fd this handle carries its device, so no global descriptor
+/// table is needed; the numeric id exists for logging and ordering.
+#[derive(Clone)]
+pub struct Fd {
+    id: u64,
+    dev: Arc<dyn Pollable>,
+}
+
+impl Fd {
+    /// Wraps a device in a fresh descriptor.
+    pub fn new(dev: Arc<dyn Pollable>) -> Self {
+        Fd {
+            id: NEXT_FD.fetch_add(1, Ordering::Relaxed),
+            dev,
+        }
+    }
+
+    /// The numeric identifier (unique per process).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn Pollable> {
+        &self.dev
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fd({})", self.id)
+    }
+}
+
+/// A device whose readiness can be waited on, in the manner of an fd
+/// registered with epoll.
+pub trait Pollable: Send + Sync {
+    /// Registers `waiter` to be woken when `interest` becomes ready.
+    ///
+    /// Implementations must check the condition and store the waiter under
+    /// the same lock, and must wake the waiter immediately if the condition
+    /// already holds — otherwise wakeups may be lost.
+    fn register(&self, interest: Interest, waiter: Waiter);
+}
+
+/// Delivery route for readiness events: devices hand ready unparkers to a
+/// port, which forwards them to the scheduler. The real runtime's port is a
+/// queue drained by a dedicated `worker_epoll` thread (paper Figure 16); the
+/// simulator's port delivers inline at the current virtual time.
+pub trait EventPort: Send + Sync {
+    /// Forwards a woken thread towards the ready queue.
+    fn notify(&self, unparker: Unparker);
+}
+
+/// An [`EventPort`] that unparks inline, bypassing any event-loop queue.
+/// Used by the local executor, by tests, and as an ablation of the paper's
+/// queued architecture.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectPort;
+
+impl EventPort for DirectPort {
+    fn notify(&self, unparker: Unparker) {
+        unparker.unpark();
+    }
+}
+
+/// A parked thread registered with a device, plus the port that readiness
+/// events for it must travel through.
+pub struct Waiter {
+    unparker: Unparker,
+    port: Arc<dyn EventPort>,
+}
+
+impl Waiter {
+    /// Pairs a parked thread with its event delivery route.
+    pub fn new(unparker: Unparker, port: Arc<dyn EventPort>) -> Self {
+        Waiter { unparker, port }
+    }
+
+    /// Wakes the thread by routing it through the event port.
+    pub fn wake(self) {
+        self.port.notify(self.unparker);
+    }
+
+    /// True if the thread was already woken through another route.
+    pub fn is_spent(&self) -> bool {
+        self.unparker.is_spent()
+    }
+}
+
+impl fmt::Debug for Waiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Waiter")
+            .field("spent", &self.is_spent())
+            .finish()
+    }
+}
+
+/// A one-shot handle that resumes a parked monadic thread.
+///
+/// Cloning is cheap; however many clones exist, the thread is resumed at
+/// most once (later `unpark` calls return `false`). This is the primitive
+/// from which every blocking abstraction in the system is built — see
+/// [`sys_park`](crate::syscall::sys_park).
+#[derive(Clone)]
+pub struct Unparker {
+    inner: Arc<UnparkerInner>,
+}
+
+struct UnparkerInner {
+    task: Mutex<Option<Task>>,
+    ctx: Arc<dyn RuntimeCtx>,
+}
+
+impl Unparker {
+    /// Wraps a parked task. The scheduler constructs these; device code only
+    /// consumes them.
+    pub fn new(task: Task, ctx: Arc<dyn RuntimeCtx>) -> Self {
+        Unparker {
+            inner: Arc::new(UnparkerInner {
+                task: Mutex::new(Some(task)),
+                ctx,
+            }),
+        }
+    }
+
+    /// Resumes the parked thread by pushing it onto the scheduler's ready
+    /// queue. Returns `false` if the thread was already resumed.
+    pub fn unpark(&self) -> bool {
+        let task = self.inner.task.lock().take();
+        match task {
+            Some(t) => {
+                self.inner.ctx.charge(crate::engine::CostKind::Wake);
+                self.inner.ctx.push_ready(t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the thread has already been resumed.
+    pub fn is_spent(&self) -> bool {
+        self.inner.task.lock().is_none()
+    }
+}
+
+impl fmt::Debug for Unparker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Unparker")
+            .field("spent", &self.is_spent())
+            .finish()
+    }
+}
+
+/// A list of parked waiters maintained by a device, with helpers for the
+/// wake-one / wake-all patterns used by pipes, sockets and sync primitives.
+#[derive(Debug, Default)]
+pub struct WaitList {
+    waiters: Vec<Waiter>,
+}
+
+impl WaitList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        WaitList {
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Adds a waiter.
+    pub fn push(&mut self, w: Waiter) {
+        self.waiters.push(w);
+    }
+
+    /// Wakes every waiter and clears the list.
+    pub fn wake_all(&mut self) {
+        for w in self.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Wakes one waiter (skipping any already-spent entries). Returns `true`
+    /// if a live waiter was woken.
+    pub fn wake_one(&mut self) -> bool {
+        while !self.waiters.is_empty() {
+            let w = self.waiters.remove(0);
+            if !w.is_spent() {
+                w.wake();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of queued waiters (including spent ones not yet drained).
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if no waiters are queued.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testing::noop_ctx;
+    use crate::task::{Task, TaskId};
+    use crate::trace::Trace;
+
+    fn dummy_task() -> Task {
+        Task::from_thunk(TaskId(1), Box::new(|| Trace::Ret))
+    }
+
+    #[test]
+    fn unparker_is_one_shot() {
+        let ctx = noop_ctx();
+        let u = Unparker::new(dummy_task(), ctx.clone());
+        assert!(!u.is_spent());
+        assert!(u.unpark());
+        assert!(u.is_spent());
+        assert!(!u.unpark());
+        assert_eq!(ctx.ready_count(), 1);
+    }
+
+    #[test]
+    fn unparker_clones_share_the_shot() {
+        let ctx = noop_ctx();
+        let u = Unparker::new(dummy_task(), ctx.clone());
+        let v = u.clone();
+        assert!(v.unpark());
+        assert!(!u.unpark());
+        assert_eq!(ctx.ready_count(), 1);
+    }
+
+    #[test]
+    fn direct_port_unparks_inline() {
+        let ctx = noop_ctx();
+        let u = Unparker::new(dummy_task(), ctx.clone());
+        DirectPort.notify(u);
+        assert_eq!(ctx.ready_count(), 1);
+    }
+
+    #[test]
+    fn wait_list_wake_one_skips_spent() {
+        let ctx = noop_ctx();
+        let u1 = Unparker::new(dummy_task(), ctx.clone());
+        let u2 = Unparker::new(dummy_task(), ctx.clone());
+        let mut wl = WaitList::new();
+        wl.push(Waiter::new(u1.clone(), Arc::new(DirectPort)));
+        wl.push(Waiter::new(u2, Arc::new(DirectPort)));
+        u1.unpark(); // woken elsewhere; the queued waiter is now spent
+        assert!(wl.wake_one());
+        assert!(wl.is_empty());
+        assert_eq!(ctx.ready_count(), 2);
+    }
+
+    #[test]
+    fn wait_list_wake_all() {
+        let ctx = noop_ctx();
+        let mut wl = WaitList::new();
+        for _ in 0..3 {
+            wl.push(Waiter::new(
+                Unparker::new(dummy_task(), ctx.clone()),
+                Arc::new(DirectPort),
+            ));
+        }
+        assert_eq!(wl.len(), 3);
+        wl.wake_all();
+        assert_eq!(ctx.ready_count(), 3);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn fd_ids_are_unique() {
+        struct Never;
+        impl Pollable for Never {
+            fn register(&self, _: Interest, _: Waiter) {}
+        }
+        let a = Fd::new(Arc::new(Never));
+        let b = Fd::new(Arc::new(Never));
+        assert_ne!(a.id(), b.id());
+        assert!(format!("{a:?}").starts_with("Fd("));
+    }
+}

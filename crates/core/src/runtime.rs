@@ -1,0 +1,831 @@
+//! The real (wall-clock) runtime: the event-driven system of the paper's
+//! Figure 14.
+//!
+//! Several `worker_main` event loops run in separate OS threads, repeatedly
+//! fetching tasks from a shared ready queue and interpreting their traces
+//! (true SMP parallelism, §4.4). Readiness events from pollable devices are
+//! harvested by a dedicated `worker_epoll` loop (Figure 16), AIO completions
+//! by a `worker_aio` loop, blocking operations run on a blocking-I/O pool
+//! (§4.6), and timers on a timer wheel. All of it is ordinary application
+//! code — no OS thread per monadic thread anywhere.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::sched::ReadyQueue;
+
+use crate::engine::{self, CostKind, RuntimeCtx};
+use crate::exception::Exception;
+use crate::reactor::{DirectPort, EventPort, Unparker};
+use crate::syscall::sys_try;
+use crate::task::{Task, TaskId, TaskShell};
+use crate::thread::ThreadM;
+use crate::time::Nanos;
+use crate::trace::BlioJob;
+
+/// Counters describing what a runtime has done. All counters are
+/// monotonically increasing totals since runtime start.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Threads created (including forks).
+    pub spawned: AtomicU64,
+    /// Threads that ran to completion.
+    pub exited: AtomicU64,
+    /// Threads killed by uncaught exceptions.
+    pub uncaught: AtomicU64,
+    /// Non-blocking steps interpreted.
+    pub steps: AtomicU64,
+    /// Scheduling switches (yields + slice preemptions).
+    pub ctx_switches: AtomicU64,
+    /// epoll interest registrations.
+    pub epoll_registrations: AtomicU64,
+    /// Parked threads resumed.
+    pub wakes: AtomicU64,
+    /// AIO requests submitted.
+    pub aio_submitted: AtomicU64,
+    /// Jobs dispatched to the blocking-I/O pool.
+    pub blio_jobs: AtomicU64,
+    /// `sys_park` calls.
+    pub parks: AtomicU64,
+    /// Timers armed.
+    pub sleeps: AtomicU64,
+    /// Modelled CPU nanoseconds (`sys_cpu`).
+    pub cpu_charged: AtomicU64,
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Threads created (including forks).
+    pub spawned: u64,
+    /// Threads that ran to completion.
+    pub exited: u64,
+    /// Threads killed by uncaught exceptions.
+    pub uncaught: u64,
+    /// Non-blocking steps interpreted.
+    pub steps: u64,
+    /// Scheduling switches (yields + slice preemptions).
+    pub ctx_switches: u64,
+    /// epoll interest registrations.
+    pub epoll_registrations: u64,
+    /// Parked threads resumed.
+    pub wakes: u64,
+    /// AIO requests submitted.
+    pub aio_submitted: u64,
+    /// Jobs dispatched to the blocking-I/O pool.
+    pub blio_jobs: u64,
+    /// `sys_park` calls.
+    pub parks: u64,
+    /// Timers armed.
+    pub sleeps: u64,
+    /// Modelled CPU nanoseconds (`sys_cpu`).
+    pub cpu_charged: u64,
+}
+
+impl Stats {
+    /// Records one metered action.
+    pub fn charge(&self, cost: CostKind) {
+        match cost {
+            CostKind::Step => self.steps.fetch_add(1, Ordering::Relaxed),
+            CostKind::Fork => self.spawned.fetch_add(0, Ordering::Relaxed), // counted via task_spawned
+            CostKind::CtxSwitch => self.ctx_switches.fetch_add(1, Ordering::Relaxed),
+            CostKind::EpollRegister => self.epoll_registrations.fetch_add(1, Ordering::Relaxed),
+            CostKind::Wake => self.wakes.fetch_add(1, Ordering::Relaxed),
+            CostKind::AioSubmit => self.aio_submitted.fetch_add(1, Ordering::Relaxed),
+            CostKind::Blio => self.blio_jobs.fetch_add(1, Ordering::Relaxed),
+            CostKind::Park => self.parks.fetch_add(1, Ordering::Relaxed),
+            CostKind::Sleep => self.sleeps.fetch_add(1, Ordering::Relaxed),
+            CostKind::Custom(ns) => self.cpu_charged.fetch_add(ns, Ordering::Relaxed),
+        };
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            spawned: self.spawned.load(Ordering::Relaxed),
+            exited: self.exited.load(Ordering::Relaxed),
+            uncaught: self.uncaught.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            ctx_switches: self.ctx_switches.load(Ordering::Relaxed),
+            epoll_registrations: self.epoll_registrations.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            aio_submitted: self.aio_submitted.load(Ordering::Relaxed),
+            blio_jobs: self.blio_jobs.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+            cpu_charged: self.cpu_charged.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Configuration for [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of `worker_main` scheduler threads (paper §4.4).
+    pub workers: usize,
+    /// Number of blocking-I/O pool threads (paper §4.6).
+    pub blio_threads: usize,
+    /// Non-blocking steps a thread may run before being preempted
+    /// ("executed for a large number of steps before switching", §4.2).
+    pub slice: usize,
+    /// Route readiness/completion events through dedicated `worker_epoll` /
+    /// `worker_aio` loops (the paper's architecture) instead of waking
+    /// inline. Toggled by the scheduler-architecture ablation.
+    pub queued_event_loops: bool,
+    /// Per-worker ready deques with work stealing instead of the paper's
+    /// single shared queue — the improvement §4.4 proposes as future work.
+    pub work_stealing: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 2,
+            blio_threads: 2,
+            slice: 256,
+            queued_event_loops: true,
+            work_stealing: false,
+        }
+    }
+}
+
+/// Builder for [`Runtime`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeBuilder {
+    config: Config,
+}
+
+impl RuntimeBuilder {
+    /// Sets the number of `worker_main` scheduler threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n.max(1);
+        self
+    }
+
+    /// Sets the number of blocking-I/O pool threads.
+    pub fn blio_threads(mut self, n: usize) -> Self {
+        self.config.blio_threads = n.max(1);
+        self
+    }
+
+    /// Sets the preemption slice (non-blocking steps per scheduling turn).
+    pub fn slice(mut self, steps: usize) -> Self {
+        self.config.slice = steps.max(1);
+        self
+    }
+
+    /// Chooses between queued event loops (paper architecture) and inline
+    /// wakeups.
+    pub fn queued_event_loops(mut self, queued: bool) -> Self {
+        self.config.queued_event_loops = queued;
+        self
+    }
+
+    /// Enables per-worker deques with work stealing (§4.4 future work)
+    /// instead of the single shared ready queue.
+    pub fn work_stealing(mut self, enabled: bool) -> Self {
+        self.config.work_stealing = enabled;
+        self
+    }
+
+    /// Starts the runtime's worker and event-loop threads.
+    pub fn build(self) -> Runtime {
+        Runtime::with_config(self.config)
+    }
+}
+
+/// An event queue drained by a dedicated event-loop thread — the paper's
+/// `worker_epoll` (Figure 16) and AIO loops use one each.
+struct EventLoopQueue {
+    queue: Mutex<VecDeque<Unparker>>,
+    cv: Condvar,
+}
+
+impl EventLoopQueue {
+    fn new() -> Self {
+        EventLoopQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn drain_batch(&self, wait: Duration) -> Vec<Unparker> {
+        let mut q = self.queue.lock();
+        if q.is_empty() {
+            self.cv.wait_for(&mut q, wait);
+        }
+        q.drain(..).collect()
+    }
+}
+
+impl EventPort for EventLoopQueue {
+    fn notify(&self, unparker: Unparker) {
+        self.queue.lock().push_back(unparker);
+        self.cv.notify_one();
+    }
+}
+
+impl std::fmt::Debug for EventLoopQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventLoopQueue(pending={})", self.queue.lock().len())
+    }
+}
+
+struct TimerEntry {
+    deadline: Nanos,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerWheel {
+    heap: Mutex<BinaryHeap<TimerEntry>>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        TimerWheel {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn insert(&self, deadline: Nanos, task: Task) {
+        let entry = TimerEntry {
+            deadline,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            task,
+        };
+        self.heap.lock().push(entry);
+        self.cv.notify_one();
+    }
+}
+
+struct RtInner {
+    ready: ReadyQueue,
+    blio_tx: Sender<(BlioJob, TaskShell)>,
+    blio_rx: Receiver<(BlioJob, TaskShell)>,
+    epoll_queue: Arc<EventLoopQueue>,
+    aio_queue: Arc<EventLoopQueue>,
+    timer: TimerWheel,
+    next_tid: AtomicU64,
+    live: AtomicI64,
+    stats: Stats,
+    start: Instant,
+    shutdown: AtomicBool,
+    config: Config,
+    uncaught_log: Mutex<Vec<(TaskId, Exception)>>,
+}
+
+impl RuntimeCtx for RtInner {
+    fn push_ready(&self, task: Task) {
+        self.ready.push_task(task);
+    }
+    fn next_tid(&self) -> TaskId {
+        TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+    fn task_spawned(&self) {
+        self.live.fetch_add(1, Ordering::SeqCst);
+        self.stats.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    fn task_exited(&self, _tid: TaskId) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.stats.exited.fetch_add(1, Ordering::Relaxed);
+    }
+    fn uncaught_exception(&self, tid: TaskId, e: Exception) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.stats.uncaught.fetch_add(1, Ordering::Relaxed);
+        self.uncaught_log.lock().push((tid, e));
+    }
+    fn now(&self) -> Nanos {
+        self.start.elapsed().as_nanos() as Nanos
+    }
+    fn charge(&self, cost: CostKind) {
+        self.stats.charge(cost);
+    }
+    fn epoll_port(&self) -> Arc<dyn EventPort> {
+        if self.config.queued_event_loops {
+            Arc::clone(&self.epoll_queue) as Arc<dyn EventPort>
+        } else {
+            Arc::new(DirectPort)
+        }
+    }
+    fn aio_port(&self) -> Arc<dyn EventPort> {
+        if self.config.queued_event_loops {
+            Arc::clone(&self.aio_queue) as Arc<dyn EventPort>
+        } else {
+            Arc::new(DirectPort)
+        }
+    }
+    fn sleep(&self, dur: Nanos, task: Task) {
+        self.timer.insert(self.now().saturating_add(dur), task);
+    }
+    fn submit_blio(&self, job: BlioJob, shell: TaskShell) {
+        let _ = self.blio_tx.send((job, shell));
+    }
+}
+
+/// The multi-worker, wall-clock runtime (paper Figure 14).
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{runtime::Runtime, syscall::sys_nbio};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// assert_eq!(rt.block_on(sys_nbio(|| 6 * 7)), 42);
+/// rt.shutdown();
+/// ```
+pub struct Runtime {
+    inner: Arc<RtInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with default configuration.
+    pub fn new() -> Self {
+        Runtime::with_config(Config::default())
+    }
+
+    /// Returns a configuration builder.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Starts a runtime with an explicit configuration.
+    pub fn with_config(config: Config) -> Self {
+        let (ready, mut local_workers) = if config.work_stealing {
+            let (q, locals) = ReadyQueue::stealing(config.workers);
+            (q, locals.into_iter().map(Some).collect::<Vec<_>>())
+        } else {
+            (ReadyQueue::shared(), (0..config.workers).map(|_| None).collect())
+        };
+        let (blio_tx, blio_rx) = channel::unbounded();
+        let inner = Arc::new(RtInner {
+            ready,
+            blio_tx,
+            blio_rx,
+            epoll_queue: Arc::new(EventLoopQueue::new()),
+            aio_queue: Arc::new(EventLoopQueue::new()),
+            timer: TimerWheel::new(),
+            next_tid: AtomicU64::new(1),
+            live: AtomicI64::new(0),
+            stats: Stats::default(),
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+            uncaught_log: Mutex::new(Vec::new()),
+        });
+
+        let mut handles = Vec::new();
+
+        // worker_main event loops (Figure 11 / Figure 14).
+        for i in 0..config.workers {
+            let inner = Arc::clone(&inner);
+            let local = local_workers[i].take();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker_main-{i}"))
+                    .spawn(move || worker_main(inner, local))
+                    .expect("failed to spawn worker_main"),
+            );
+        }
+
+        // worker_epoll: harvests readiness events (Figure 16).
+        {
+            let inner = Arc::clone(&inner);
+            let queue = Arc::clone(&inner.epoll_queue);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("worker_epoll".into())
+                    .spawn(move || worker_event_loop(inner, queue))
+                    .expect("failed to spawn worker_epoll"),
+            );
+        }
+
+        // worker_aio: harvests AIO completions.
+        {
+            let inner = Arc::clone(&inner);
+            let queue = Arc::clone(&inner.aio_queue);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("worker_aio".into())
+                    .spawn(move || worker_event_loop(inner, queue))
+                    .expect("failed to spawn worker_aio"),
+            );
+        }
+
+        // Blocking-I/O pool (§4.6).
+        for i in 0..config.blio_threads {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("worker_blio-{i}"))
+                    .spawn(move || worker_blio(inner))
+                    .expect("failed to spawn worker_blio"),
+            );
+        }
+
+        // Timer wheel.
+        {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("worker_timer".into())
+                    .spawn(move || worker_timer(inner))
+                    .expect("failed to spawn worker_timer"),
+            );
+        }
+
+        Runtime {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Spawns a monadic thread; returns its id. The thread starts running
+    /// as soon as a worker picks it up.
+    pub fn spawn(&self, m: ThreadM<()>) -> TaskId {
+        let tid = self.inner.next_tid();
+        self.inner.task_spawned();
+        self.inner.push_ready(Task::from_thread(tid, m));
+        tid
+    }
+
+    /// Runs `m` to completion, blocking the calling OS thread until it
+    /// produces a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` throws an exception it does not catch. Use
+    /// [`Runtime::block_on_result`] to observe exceptions.
+    pub fn block_on<T: Send + 'static>(&self, m: ThreadM<T>) -> T {
+        match self.block_on_result(m) {
+            Ok(v) => v,
+            Err(e) => panic!("block_on thread failed with uncaught exception: {e}"),
+        }
+    }
+
+    /// Like [`Runtime::block_on`], but returns thrown exceptions instead of
+    /// panicking.
+    pub fn block_on_result<T: Send + 'static>(&self, m: ThreadM<T>) -> Result<T, Exception> {
+        type Slot<T> = Arc<(Mutex<Option<Result<T, Exception>>>, Condvar)>;
+        let slot: Slot<T> = Arc::new((Mutex::new(None), Condvar::new()));
+        let out = Arc::clone(&slot);
+        self.spawn(sys_try(m).bind(move |res| {
+            crate::syscall::sys_nbio(move || {
+                *out.0.lock() = Some(res);
+                out.1.notify_all();
+            })
+        }));
+        let mut guard = slot.0.lock();
+        while guard.is_none() {
+            slot.1.wait(&mut guard);
+        }
+        guard.take().expect("result present")
+    }
+
+    /// Number of live (spawned, not yet finished) monadic threads.
+    pub fn live_threads(&self) -> i64 {
+        self.inner.live.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of runtime counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Exceptions that escaped their threads so far.
+    pub fn uncaught_exceptions(&self) -> Vec<(TaskId, Exception)> {
+        self.inner.uncaught_log.lock().clone()
+    }
+
+    /// Nanoseconds since the runtime started.
+    pub fn now(&self) -> Nanos {
+        self.inner.now()
+    }
+
+    /// A [`RuntimeCtx`] handle for device drivers and schedulers that need
+    /// to resume threads directly (e.g. the TCP stack).
+    pub fn ctx(&self) -> Arc<dyn RuntimeCtx> {
+        Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>
+    }
+
+    /// Stops all worker and event-loop threads and waits for them to exit.
+    /// Parked and queued threads are discarded.
+    pub fn shutdown(self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.timer.cv.notify_all();
+        self.inner.epoll_queue.cv.notify_all();
+        self.inner.aio_queue.cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Signal loops to exit; do not join (shutdown() joins explicitly).
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.timer.cv.notify_all();
+        self.inner.epoll_queue.cv.notify_all();
+        self.inner.aio_queue.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.inner.config.workers)
+            .field("live_threads", &self.live_threads())
+            .finish()
+    }
+}
+
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+fn worker_main(inner: Arc<RtInner>, local: Option<crossbeam::deque::Worker<Task>>) {
+    if let Some(local) = local {
+        inner.ready.register_local(local);
+    }
+    let ctx: Arc<dyn RuntimeCtx> = Arc::clone(&inner) as Arc<dyn RuntimeCtx>;
+    let slice = inner.config.slice;
+    loop {
+        match inner.ready.pop(POLL_INTERVAL) {
+            Some(task) => engine::run_task(&ctx, task, slice),
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_event_loop(inner: Arc<RtInner>, queue: Arc<EventLoopQueue>) {
+    loop {
+        let batch = queue.drain_batch(POLL_INTERVAL);
+        for unparker in batch {
+            unparker.unpark();
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn worker_blio(inner: Arc<RtInner>) {
+    loop {
+        match inner.blio_rx.recv_timeout(POLL_INTERVAL) {
+            Ok((job, shell)) => {
+                // Run the blocking operation here; the continuation thunk it
+                // returns is rescheduled onto a normal worker.
+                let next = job();
+                inner.push_ready(Task::from_parts(shell, next));
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn worker_timer(inner: Arc<RtInner>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut due = Vec::new();
+        let wait;
+        {
+            let mut heap = inner.timer.heap.lock();
+            let now = inner.now();
+            while heap.peek().map_or(false, |e| e.deadline <= now) {
+                due.push(heap.pop().expect("peeked entry present"));
+            }
+            wait = heap
+                .peek()
+                .map(|e| Duration::from_nanos(e.deadline.saturating_sub(now)))
+                .unwrap_or(POLL_INTERVAL)
+                .min(POLL_INTERVAL.max(Duration::from_millis(1)) * 10);
+            if due.is_empty() {
+                inner.timer.cv.wait_for(&mut heap, wait);
+            }
+        }
+        for entry in due {
+            inner.push_ready(entry.task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::*;
+    use crate::time::MILLIS;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn block_on_returns_value() {
+        let rt = Runtime::builder().workers(2).build();
+        assert_eq!(rt.block_on(ThreadM::pure(11)), 11);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn block_on_result_propagates_exceptions() {
+        let rt = Runtime::builder().workers(1).build();
+        let err = rt.block_on_result(sys_throw::<u8>("broken")).unwrap_err();
+        assert_eq!(err.message(), "broken");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn forked_threads_run_in_parallel_workers() {
+        let rt = Runtime::builder().workers(4).build();
+        let n = Arc::new(AtomicU64::new(0));
+        let m = {
+            let n = n.clone();
+            crate::map_m(64, move |_| {
+                let n = n.clone();
+                sys_nbio(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+        };
+        // Fork 64 workers from the main thread and wait for all of them by
+        // spinning on the shared counter from the coordinating thread.
+        let counter = n.clone();
+        rt.block_on(crate::do_m! {
+            m;
+            ThreadM::pure(())
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sleep_delays_by_roughly_the_duration() {
+        let rt = Runtime::builder().workers(1).build();
+        let (t0, t1) = rt.block_on(crate::do_m! {
+            let t0 <- sys_time();
+            sys_sleep(20 * MILLIS);
+            let t1 <- sys_time();
+            ThreadM::pure((t0, t1))
+        });
+        assert!(t1 - t0 >= 15 * MILLIS, "slept only {}ns", t1 - t0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn blio_runs_off_the_workers() {
+        let rt = Runtime::builder().workers(1).blio_threads(2).build();
+        let name = rt.block_on(sys_blio(|| {
+            std::thread::current().name().unwrap_or("?").to_string()
+        }));
+        assert!(name.starts_with("worker_blio"), "ran on {name}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let rt = Runtime::builder().workers(1).build();
+        rt.block_on(crate::do_m! {
+            sys_fork(sys_yield());
+            sys_yield();
+            sys_nbio(|| ())
+        });
+        let s = rt.stats();
+        assert!(s.spawned >= 2);
+        assert!(s.ctx_switches >= 1);
+        assert!(s.steps >= 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn uncaught_exceptions_are_logged() {
+        let rt = Runtime::builder().workers(1).build();
+        rt.block_on(crate::do_m! {
+            sys_fork(sys_throw::<()>("background failure"));
+            sys_sleep(5 * MILLIS)
+        });
+        let log = rt.uncaught_exceptions();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].1.message(), "background failure");
+        assert_eq!(rt.stats().uncaught, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn work_stealing_runtime_completes_unbalanced_load() {
+        // All spawns come from one producer thread: without stealing the
+        // injector path alone must still drain; with stealing, workers
+        // balance among themselves. Either way every task must run.
+        let rt = Runtime::builder().workers(4).work_stealing(true).build();
+        let n = Arc::new(AtomicU64::new(0));
+        const TASKS: u64 = 5_000;
+        for _ in 0..TASKS {
+            let n = n.clone();
+            rt.spawn(crate::do_m! {
+                sys_yield();
+                sys_nbio(move || { n.fetch_add(1, Ordering::SeqCst); })
+            });
+        }
+        let watch = n.clone();
+        rt.block_on(crate::loop_m((), move |()| {
+            let watch = watch.clone();
+            crate::do_m! {
+                sys_sleep(MILLIS);
+                let v <- sys_nbio(move || watch.load(Ordering::SeqCst));
+                ThreadM::pure(if v == TASKS { crate::Loop::Break(()) } else { crate::Loop::Continue(()) })
+            }
+        }));
+        assert_eq!(n.load(Ordering::SeqCst), TASKS);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn work_stealing_and_shared_agree_on_results() {
+        for stealing in [false, true] {
+            let rt = Runtime::builder()
+                .workers(3)
+                .work_stealing(stealing)
+                .build();
+            let sum = rt.block_on(crate::do_m! {
+                let parts <- crate::ops::par_all((0..32u64).map(|i| ThreadM::pure(i * i)).collect());
+                ThreadM::pure(parts.iter().sum::<u64>())
+            });
+            assert_eq!(sum, (0..32u64).map(|i| i * i).sum::<u64>(), "stealing={stealing}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn ten_thousand_threads_complete() {
+        let rt = Runtime::builder().workers(4).build();
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = n.clone();
+        rt.block_on(crate::do_m! {
+            crate::for_each_m(0..10_000u32, move |_| {
+                let n = n2.clone();
+                sys_fork(crate::do_m! {
+                    sys_yield();
+                    sys_nbio(move || { n.fetch_add(1, Ordering::SeqCst); })
+                })
+            });
+            // Poll until every forked thread has bumped the counter.
+            crate::loop_m((), {
+                let n = n.clone();
+                move |()| {
+                    let n = n.clone();
+                    crate::do_m! {
+                        sys_yield();
+                        let done <- sys_nbio(move || n.load(Ordering::SeqCst) == 10_000);
+                        ThreadM::pure(if done { crate::Loop::Break(()) } else { crate::Loop::Continue(()) })
+                    }
+                }
+            })
+        });
+        rt.shutdown();
+    }
+}

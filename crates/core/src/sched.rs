@@ -1,0 +1,228 @@
+//! Ready-queue disciplines for the real runtime.
+//!
+//! The paper ships one shared ready queue between its `worker_main` loops
+//! and notes (§4.4) that "our current design can be further improved by
+//! implementing a separate task queue for each scheduler and using work
+//! stealing to balance the loads". Both designs live here:
+//!
+//! * [`ReadyQueue::Shared`] — one MPMC channel, the paper's architecture;
+//! * [`ReadyQueue::Stealing`] — a per-worker deque plus a global injector,
+//!   with Chase–Lev stealing between workers (the paper's future work).
+//!
+//! The scheduler-architecture ablation in `eveth-bench` compares them.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::deque::{Injector, Stealer, Worker};
+
+use crate::task::Task;
+
+static NEXT_QUEUE_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// The calling worker thread's local deque, if it belongs to a
+    /// stealing runtime: (queue id, worker handle).
+    static LOCAL_WORKER: RefCell<Option<(usize, Worker<Task>)>> = const { RefCell::new(None) };
+}
+
+/// How runnable tasks travel from producers (spawns, wakeups, event
+/// loops) to the `worker_main` schedulers.
+pub enum ReadyQueue {
+    /// One shared MPMC queue (paper Figure 14).
+    Shared {
+        /// Producer side.
+        tx: Sender<Task>,
+        /// Consumer side (every worker clones it).
+        rx: Receiver<Task>,
+    },
+    /// Per-worker deques + global injector with work stealing (§4.4's
+    /// suggested improvement).
+    Stealing {
+        /// This queue's identity (binds thread-local workers to it).
+        id: usize,
+        /// Overflow/injection queue for non-worker producers.
+        injector: Injector<Task>,
+        /// Steal handles onto every worker's deque.
+        stealers: Vec<Stealer<Task>>,
+    },
+}
+
+impl ReadyQueue {
+    /// Builds the paper's shared-queue discipline.
+    pub fn shared() -> Self {
+        let (tx, rx) = channel::unbounded();
+        ReadyQueue::Shared { tx, rx }
+    }
+
+    /// Builds the stealing discipline with `workers` local deques;
+    /// returns the queue and the per-worker handles (hand one to each
+    /// `worker_main` thread via [`ReadyQueue::register_local`]).
+    pub fn stealing(workers: usize) -> (Self, Vec<Worker<Task>>) {
+        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        (
+            ReadyQueue::Stealing {
+                id: NEXT_QUEUE_ID.fetch_add(1, Ordering::Relaxed),
+                injector: Injector::new(),
+                stealers,
+            },
+            locals,
+        )
+    }
+
+    /// Binds `worker` to the calling OS thread so its pushes go to the
+    /// local deque. Call once at `worker_main` startup.
+    pub fn register_local(&self, worker: Worker<Task>) {
+        if let ReadyQueue::Stealing { id, .. } = self {
+            LOCAL_WORKER.with(|slot| *slot.borrow_mut() = Some((*id, worker)));
+        }
+    }
+
+    /// Fetches the next runnable task for a worker thread, blocking up to
+    /// `timeout`. Returns `None` on timeout (caller re-checks shutdown).
+    pub fn pop(&self, timeout: Duration) -> Option<Task> {
+        match self {
+            ReadyQueue::Shared { rx, .. } => rx.recv_timeout(timeout).ok(),
+            ReadyQueue::Stealing {
+                injector, stealers, ..
+            } => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    // 1. Local deque.
+                    let local = LOCAL_WORKER.with(|slot| {
+                        slot.borrow().as_ref().and_then(|(_, w)| w.pop())
+                    });
+                    if local.is_some() {
+                        return local;
+                    }
+                    // 2. Batch-steal from the injector into the local deque.
+                    let stolen = LOCAL_WORKER.with(|slot| {
+                        let slot = slot.borrow();
+                        match slot.as_ref() {
+                            Some((_, w)) => injector.steal_batch_and_pop(w).success(),
+                            None => injector.steal().success(),
+                        }
+                    });
+                    if stolen.is_some() {
+                        return stolen;
+                    }
+                    // 3. Steal from a sibling.
+                    for s in stealers {
+                        if let Some(task) = s.steal().success() {
+                            return task.into();
+                        }
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+}
+
+impl ReadyQueue {
+    /// Enqueues a runnable task. On a stealing queue, registered worker
+    /// threads push to their own deque; everyone else (event loops,
+    /// timers, devices) goes through the injector.
+    pub fn push_task(&self, task: Task) {
+        match self {
+            ReadyQueue::Shared { tx, .. } => {
+                let _ = tx.send(task);
+            }
+            ReadyQueue::Stealing { id, injector, .. } => {
+                let mut task = Some(task);
+                LOCAL_WORKER.with(|slot| {
+                    let slot = slot.borrow();
+                    if let Some((owner, worker)) = slot.as_ref() {
+                        if owner == id {
+                            worker.push(task.take().expect("task present"));
+                        }
+                    }
+                });
+                if let Some(task) = task {
+                    injector.push(task);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadyQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadyQueue::Shared { rx, .. } => write!(f, "ReadyQueue::Shared(len={})", rx.len()),
+            ReadyQueue::Stealing { stealers, .. } => {
+                write!(f, "ReadyQueue::Stealing(workers={})", stealers.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use crate::trace::Trace;
+
+    fn task(n: u64) -> Task {
+        Task::from_thunk(TaskId(n), Box::new(|| Trace::Ret))
+    }
+
+    #[test]
+    fn shared_queue_roundtrip() {
+        let q = ReadyQueue::shared();
+        q.push_task(task(1));
+        q.push_task(task(2));
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap().tid(), TaskId(1));
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap().tid(), TaskId(2));
+        assert!(q.pop(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn stealing_queue_injector_path() {
+        let (q, _locals) = ReadyQueue::stealing(2);
+        // This thread has no registered local worker: pushes go to the
+        // injector, pops steal from it.
+        q.push_task(task(7));
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap().tid(), TaskId(7));
+    }
+
+    #[test]
+    fn stealing_queue_local_fast_path_and_theft() {
+        let (q, mut locals) = ReadyQueue::stealing(2);
+        let q = std::sync::Arc::new(q);
+        let victim_worker = locals.remove(0);
+        let q2 = std::sync::Arc::clone(&q);
+        // Victim thread registers, pushes locally, then stalls.
+        let victim = std::thread::spawn(move || {
+            q2.register_local(victim_worker);
+            for i in 0..64 {
+                q2.push_task(task(i));
+            }
+            // Consume a few from the local deque.
+            let mut got = 0;
+            while got < 8 {
+                if q2.pop(Duration::from_millis(50)).is_some() {
+                    got += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        // This (unregistered) thread steals the rest through stealers.
+        let mut stolen = 0;
+        while stolen < 56 {
+            if q.pop(Duration::from_millis(100)).is_some() {
+                stolen += 1;
+            } else {
+                break;
+            }
+        }
+        victim.join().unwrap();
+        assert_eq!(stolen, 56, "all remaining tasks must be stealable");
+    }
+}

@@ -1,0 +1,372 @@
+//! FIFO channels between monadic threads.
+//!
+//! [`Chan`] is the unbounded channel of Concurrent Haskell (the paper's task
+//! queues between event loops are exactly this shape); [`SyncChan`] adds a
+//! capacity bound with back-pressure on writers.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::reactor::Unparker;
+use crate::syscall::{sys_nbio, sys_park};
+use crate::thread::{loop_m, Loop, ThreadM};
+
+struct ChState<T> {
+    queue: VecDeque<T>,
+    takers: VecDeque<Unparker>,
+}
+
+/// An unbounded multi-producer multi-consumer FIFO channel; `read` blocks
+/// the monadic thread while empty, `write` never blocks.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{do_m, runtime::Runtime, sync::Chan, syscall::*, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let ch = Chan::new();
+/// let tx = ch.clone();
+/// let v = rt.block_on(do_m! {
+///     sys_fork(tx.write("ping"));
+///     ch.read()
+/// });
+/// assert_eq!(v, "ping");
+/// rt.shutdown();
+/// ```
+pub struct Chan<T> {
+    st: Arc<parking_lot::Mutex<ChState<T>>>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        Chan {
+            st: Arc::clone(&self.st),
+        }
+    }
+}
+
+impl<T: Send + 'static> Chan<T> {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Chan {
+            st: Arc::new(parking_lot::Mutex::new(ChState {
+                queue: VecDeque::new(),
+                takers: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Enqueues an item without blocking (callable from any context,
+    /// including device drivers and plain OS threads).
+    pub fn push_now(&self, v: T) {
+        let mut st = self.st.lock();
+        st.queue.push_back(v);
+        while let Some(u) = st.takers.pop_front() {
+            if u.unpark() {
+                break;
+            }
+        }
+    }
+
+    /// Dequeues without blocking, if an item is available.
+    pub fn try_read_now(&self) -> Option<T> {
+        self.st.lock().queue.pop_front()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.st.lock().queue.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.st.lock().queue.is_empty()
+    }
+
+    /// Monadic write: enqueue and wake one reader.
+    pub fn write(&self, v: T) -> ThreadM<()> {
+        let this = self.clone();
+        sys_nbio(move || this.push_now(v))
+    }
+
+    /// Monadic read: parks while the channel is empty.
+    pub fn read(&self) -> ThreadM<T> {
+        let this = self.clone();
+        loop_m((), move |()| {
+            let try_ch = this.clone();
+            let park_ch = this.clone();
+            sys_nbio(move || try_ch.try_read_now()).bind(move |got| match got {
+                Some(v) => ThreadM::pure(Loop::Break(v)),
+                None => sys_park(move |u| {
+                    let mut st = park_ch.st.lock();
+                    if st.queue.is_empty() {
+                        st.takers.push_back(u);
+                    } else {
+                        drop(st);
+                        u.unpark();
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+}
+
+impl<T: Send + 'static> Default for Chan<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for Chan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        write!(
+            f,
+            "Chan(len={}, takers={})",
+            st.queue.len(),
+            st.takers.len()
+        )
+    }
+}
+
+struct SyncChState<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    takers: VecDeque<Unparker>,
+    putters: VecDeque<Unparker>,
+}
+
+/// A bounded FIFO channel: `write` parks while full, providing
+/// back-pressure; `read` parks while empty.
+pub struct SyncChan<T> {
+    st: Arc<parking_lot::Mutex<SyncChState<T>>>,
+}
+
+impl<T> Clone for SyncChan<T> {
+    fn clone(&self) -> Self {
+        SyncChan {
+            st: Arc::clone(&self.st),
+        }
+    }
+}
+
+impl<T: Send + 'static> SyncChan<T> {
+    /// Creates a channel holding at most `cap` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (rendezvous channels are not supported).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "SyncChan capacity must be non-zero");
+        SyncChan {
+            st: Arc::new(parking_lot::Mutex::new(SyncChState {
+                queue: VecDeque::with_capacity(cap),
+                cap,
+                takers: VecDeque::new(),
+                putters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.st.lock().queue.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.st.lock().queue.is_empty()
+    }
+
+    /// Monadic write: parks while the channel is full.
+    pub fn write(&self, v: T) -> ThreadM<()> {
+        let st_outer = Arc::clone(&self.st);
+        loop_m(v, move |v| {
+            let try_st = Arc::clone(&st_outer);
+            let park_st = Arc::clone(&st_outer);
+            sys_nbio(move || {
+                let mut st = try_st.lock();
+                if st.queue.len() < st.cap {
+                    st.queue.push_back(v);
+                    while let Some(u) = st.takers.pop_front() {
+                        if u.unpark() {
+                            break;
+                        }
+                    }
+                    Ok(())
+                } else {
+                    Err(v)
+                }
+            })
+            .bind(move |res| match res {
+                Ok(()) => ThreadM::pure(Loop::Break(())),
+                Err(v) => sys_park(move |u| {
+                    let mut st = park_st.lock();
+                    if st.queue.len() < st.cap {
+                        drop(st);
+                        u.unpark();
+                    } else {
+                        st.putters.push_back(u);
+                    }
+                })
+                .map(move |_| Loop::Continue(v)),
+            })
+        })
+    }
+
+    /// Monadic read: parks while the channel is empty.
+    pub fn read(&self) -> ThreadM<T> {
+        let st_outer = Arc::clone(&self.st);
+        loop_m((), move |()| {
+            let try_st = Arc::clone(&st_outer);
+            let park_st = Arc::clone(&st_outer);
+            sys_nbio(move || {
+                let mut st = try_st.lock();
+                let v = st.queue.pop_front();
+                if v.is_some() {
+                    while let Some(u) = st.putters.pop_front() {
+                        if u.unpark() {
+                            break;
+                        }
+                    }
+                }
+                v
+            })
+            .bind(move |got| match got {
+                Some(v) => ThreadM::pure(Loop::Break(v)),
+                None => sys_park(move |u| {
+                    let mut st = park_st.lock();
+                    if st.queue.is_empty() {
+                        st.takers.push_back(u);
+                    } else {
+                        drop(st);
+                        u.unpark();
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+}
+
+impl<T> fmt::Debug for SyncChan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        write!(f, "SyncChan(len={}/{})", st.queue.len(), st.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::sys_fork;
+
+    #[test]
+    fn chan_fifo_order() {
+        let rt = Runtime::builder().workers(1).build();
+        let ch = Chan::new();
+        let tx = ch.clone();
+        let got = rt.block_on(crate::do_m! {
+            tx.write(1);
+            tx.write(2);
+            tx.write(3);
+            let a <- ch.read();
+            let b <- ch.read();
+            let c <- ch.read();
+            crate::ThreadM::pure(vec![a, b, c])
+        });
+        assert_eq!(got, vec![1, 2, 3]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chan_read_blocks_until_write() {
+        let rt = Runtime::builder().workers(2).build();
+        let ch: Chan<&str> = Chan::new();
+        let tx = ch.clone();
+        let got = rt.block_on(crate::do_m! {
+            sys_fork(crate::do_m! {
+                crate::syscall::sys_sleep(5 * crate::time::MILLIS);
+                tx.write("late")
+            });
+            ch.read()
+        });
+        assert_eq!(got, "late");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chan_push_now_from_os_thread() {
+        let rt = Runtime::builder().workers(1).build();
+        let ch: Chan<u8> = Chan::new();
+        let tx = ch.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.push_now(42);
+        });
+        assert_eq!(rt.block_on(ch.read()), 42);
+        h.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sync_chan_backpressure() {
+        let rt = Runtime::builder().workers(2).build();
+        let ch: SyncChan<u32> = SyncChan::new(2);
+        // Producer of 100 items through a 2-slot channel.
+        let tx = ch.clone();
+        rt.spawn(crate::for_each_m(0..100u32, move |i| tx.write(i)));
+        let sum = rt.block_on(crate::loop_m((0u32, 0u64), move |(n, sum)| {
+            if n == 100 {
+                return crate::ThreadM::pure(crate::Loop::Break(sum));
+            }
+            ch.read()
+                .map(move |v| crate::Loop::Continue((n + 1, sum + v as u64)))
+        }));
+        assert_eq!(sum, 99 * 100 / 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn mpmc_all_items_delivered_once() {
+        let rt = Runtime::builder().workers(4).build();
+        let ch: Chan<u64> = Chan::new();
+        let out: Chan<u64> = Chan::new();
+        const ITEMS: u64 = 400;
+        for p in 0..4u64 {
+            let tx = ch.clone();
+            rt.spawn(crate::for_each_m(0..ITEMS / 4, move |i| {
+                tx.write(p * (ITEMS / 4) + i)
+            }));
+        }
+        for _ in 0..4 {
+            let rx = ch.clone();
+            let out = out.clone();
+            rt.spawn(crate::forever_m(move || {
+                let out = out.clone();
+                rx.read().bind(move |v| out.write(v))
+            }));
+        }
+        let total = rt.block_on(crate::loop_m((0u64, 0u64), move |(n, sum)| {
+            if n == ITEMS {
+                return crate::ThreadM::pure(crate::Loop::Break(sum));
+            }
+            out.read()
+                .map(move |v| crate::Loop::Continue((n + 1, sum + v)))
+        }));
+        assert_eq!(total, ITEMS * (ITEMS - 1) / 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let ch: Chan<u8> = Chan::new();
+        assert!(format!("{ch:?}").contains("Chan"));
+        let sc: SyncChan<u8> = SyncChan::new(1);
+        assert!(format!("{sc:?}").contains("SyncChan"));
+    }
+}

@@ -1,0 +1,253 @@
+//! A mutex for monadic threads — the paper's `sys_mutex` extension (§4.7):
+//! "a mutex is represented as a memory reference that points to a pair
+//! `(l, q)` where `l` indicates whether the mutex is locked, and `q` is a
+//! linked list of thread traces blocking on this mutex."
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::reactor::Unparker;
+use crate::syscall::{sys_finally, sys_nbio, sys_park};
+use crate::thread::{loop_m, Loop, ThreadM};
+
+struct MxState {
+    locked: bool,
+    waiters: VecDeque<Unparker>,
+}
+
+struct MutexInner {
+    st: parking_lot::Mutex<MxState>,
+}
+
+/// A mutual-exclusion lock whose `lock` blocks the *monadic* thread, never
+/// the OS worker underneath it.
+///
+/// Lock acquisition is "barging" (an unlocker wakes one waiter, which
+/// re-competes with any newcomer); this favors throughput over strict FIFO
+/// fairness, like most production mutexes.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{do_m, runtime::Runtime, sync::Mutex, syscall::*, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let m = Mutex::new();
+/// let n = rt.block_on(do_m! {
+///     m.lock();
+///     let v <- sys_nbio(|| 5);
+///     m.unlock();
+///     ThreadM::pure(v)
+/// });
+/// assert_eq!(n, 5);
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Mutex {
+    inner: Arc<MutexInner>,
+}
+
+impl Mutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        Mutex {
+            inner: Arc::new(MutexInner {
+                st: parking_lot::Mutex::new(MxState {
+                    locked: false,
+                    waiters: VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Attempts to take the lock without blocking. Mainly for tests and
+    /// non-monadic integration.
+    pub fn try_lock_now(&self) -> bool {
+        let mut st = self.inner.st.lock();
+        if st.locked {
+            false
+        } else {
+            st.locked = true;
+            true
+        }
+    }
+
+    /// True if some thread currently holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.inner.st.lock().locked
+    }
+
+    /// Acquires the lock, parking the monadic thread while it is held
+    /// elsewhere.
+    pub fn lock(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                let mut st = try_inner.st.lock();
+                if st.locked {
+                    false
+                } else {
+                    st.locked = true;
+                    true
+                }
+            })
+            .bind(move |acquired| {
+                if acquired {
+                    ThreadM::pure(Loop::Break(()))
+                } else {
+                    sys_park(move |u| {
+                        let mut st = park_inner.st.lock();
+                        if st.locked {
+                            st.waiters.push_back(u);
+                        } else {
+                            // Unlocked between the failed try and the park:
+                            // wake immediately and re-compete.
+                            drop(st);
+                            u.unpark();
+                        }
+                    })
+                    .map(|_| Loop::Continue(()))
+                }
+            })
+        })
+    }
+
+    /// Releases the lock and wakes one waiter, if any.
+    ///
+    /// Unlocking an unlocked mutex is a no-op (matching the permissive
+    /// semantics of the paper's scheduler extension).
+    pub fn unlock(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        sys_nbio(move || {
+            let mut st = inner.st.lock();
+            st.locked = false;
+            while let Some(u) = st.waiters.pop_front() {
+                if u.unpark() {
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Runs `body` with the lock held, releasing it afterwards even if
+    /// `body` throws.
+    pub fn with<A: Send + 'static>(&self, body: ThreadM<A>) -> ThreadM<A> {
+        let unlock_handle = self.clone();
+        self.lock()
+            .bind(move |_| sys_finally(body, move || unlock_handle.unlock()))
+    }
+
+    /// Number of threads parked on this mutex.
+    pub fn waiters(&self) -> usize {
+        self.inner.st.lock().waiters.len()
+    }
+}
+
+impl Default for Mutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Mutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mutex(locked={}, waiters={})",
+            self.is_locked(),
+            self.waiters()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::{sys_throw, sys_yield};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn try_lock_now_excludes() {
+        let m = Mutex::new();
+        assert!(m.try_lock_now());
+        assert!(!m.try_lock_now());
+        assert!(m.is_locked());
+    }
+
+    #[test]
+    fn critical_section_is_exclusive_under_smp() {
+        let rt = Runtime::builder().workers(4).build();
+        let m = Mutex::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let in_section = Arc::new(AtomicU64::new(0));
+        const THREADS: u64 = 64;
+        const ROUNDS: u64 = 20;
+
+        for _ in 0..THREADS {
+            let m = m.clone();
+            let counter = counter.clone();
+            let in_section = in_section.clone();
+            rt.spawn(crate::for_each_m(0..ROUNDS, move |_| {
+                let m2 = m.clone();
+                let counter = counter.clone();
+                let in_section = in_section.clone();
+                m.with(crate::do_m! {
+                    sys_nbio({
+                        let s = in_section.clone();
+                        move || assert_eq!(s.fetch_add(1, Ordering::SeqCst), 0, "mutual exclusion violated")
+                    });
+                    sys_yield();
+                    sys_nbio(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        in_section.fetch_sub(1, Ordering::SeqCst);
+                    })
+                })
+                .map(move |_| {
+                    let _ = &m2;
+                })
+            }));
+        }
+        // Wait for all increments.
+        let c2 = counter.clone();
+        rt.block_on(crate::loop_m((), move |()| {
+            let c = c2.clone();
+            crate::do_m! {
+                sys_yield();
+                let done <- sys_nbio(move || c.load(Ordering::SeqCst) == THREADS * ROUNDS);
+                crate::ThreadM::pure(if done { crate::Loop::Break(()) } else { crate::Loop::Continue(()) })
+            }
+        }));
+        assert_eq!(counter.load(Ordering::SeqCst), THREADS * ROUNDS);
+        assert!(!m.is_locked());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn with_unlocks_on_exception() {
+        let rt = Runtime::builder().workers(1).build();
+        let m = Mutex::new();
+        let r = rt.block_on_result(m.with(sys_throw::<()>("inside")));
+        assert_eq!(r.unwrap_err().message(), "inside");
+        assert!(!m.is_locked(), "mutex must be released after a throw");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unlock_without_lock_is_noop() {
+        let rt = Runtime::builder().workers(1).build();
+        let m = Mutex::new();
+        rt.block_on(m.unlock());
+        assert!(!m.is_locked());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let m = Mutex::new();
+        assert!(format!("{m:?}").contains("locked=false"));
+    }
+}

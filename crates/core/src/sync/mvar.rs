@@ -1,0 +1,279 @@
+//! `MVar` — Concurrent Haskell's one-place synchronized buffer, implemented
+//! as a scheduler extension exactly as the paper suggests for "other
+//! synchronization primitives such as MVars" (§4.7).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::reactor::Unparker;
+use crate::syscall::{sys_nbio, sys_park};
+use crate::thread::{loop_m, Loop, ThreadM};
+
+struct MvState<T> {
+    value: Option<T>,
+    takers: VecDeque<Unparker>,
+    putters: VecDeque<Unparker>,
+}
+
+struct MvInner<T> {
+    st: parking_lot::Mutex<MvState<T>>,
+}
+
+/// A one-place buffer: `take` blocks while empty, `put` blocks while full.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{do_m, runtime::Runtime, sync::MVar, syscall::*, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let mv = MVar::new_empty();
+/// let producer = mv.clone();
+/// let got = rt.block_on(do_m! {
+///     sys_fork(producer.put(99));
+///     let v <- mv.take();
+///     ThreadM::pure(v)
+/// });
+/// assert_eq!(got, 99);
+/// rt.shutdown();
+/// ```
+pub struct MVar<T> {
+    inner: Arc<MvInner<T>>,
+}
+
+impl<T> Clone for MVar<T> {
+    fn clone(&self) -> Self {
+        MVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static> MVar<T> {
+    /// Creates an empty MVar.
+    pub fn new_empty() -> Self {
+        MVar {
+            inner: Arc::new(MvInner {
+                st: parking_lot::Mutex::new(MvState {
+                    value: None,
+                    takers: VecDeque::new(),
+                    putters: VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Creates a full MVar holding `v`.
+    pub fn new(v: T) -> Self {
+        let mv = Self::new_empty();
+        mv.inner.st.lock().value = Some(v);
+        mv
+    }
+
+    /// Non-blocking take (mainly for tests).
+    pub fn try_take(&self) -> Option<T> {
+        let mut st = self.inner.st.lock();
+        let v = st.value.take();
+        if v.is_some() {
+            wake_all(&mut st.putters);
+        }
+        v
+    }
+
+    /// Non-blocking put; returns `Err(v)` if full.
+    pub fn try_put(&self, v: T) -> Result<(), T> {
+        let mut st = self.inner.st.lock();
+        if st.value.is_some() {
+            Err(v)
+        } else {
+            st.value = Some(v);
+            wake_all(&mut st.takers);
+            Ok(())
+        }
+    }
+
+    /// True if the MVar currently holds a value.
+    pub fn is_full(&self) -> bool {
+        self.inner.st.lock().value.is_some()
+    }
+
+    /// Takes the value, parking the monadic thread while empty.
+    pub fn take(&self) -> ThreadM<T> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                let mut st = try_inner.st.lock();
+                let v = st.value.take();
+                if v.is_some() {
+                    wake_all(&mut st.putters);
+                }
+                v
+            })
+            .bind(move |got| match got {
+                Some(v) => ThreadM::pure(Loop::Break(v)),
+                None => sys_park(move |u| {
+                    let mut st = park_inner.st.lock();
+                    if st.value.is_some() {
+                        drop(st);
+                        u.unpark();
+                    } else {
+                        st.takers.push_back(u);
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+
+    /// Puts a value, parking the monadic thread while full.
+    pub fn put(&self, v: T) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        loop_m(v, move |v| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                let mut st = try_inner.st.lock();
+                if st.value.is_some() {
+                    Err(v)
+                } else {
+                    st.value = Some(v);
+                    wake_all(&mut st.takers);
+                    Ok(())
+                }
+            })
+            .bind(move |res| match res {
+                Ok(()) => ThreadM::pure(Loop::Break(())),
+                Err(v) => sys_park(move |u| {
+                    let mut st = park_inner.st.lock();
+                    if st.value.is_none() {
+                        drop(st);
+                        u.unpark();
+                    } else {
+                        st.putters.push_back(u);
+                    }
+                })
+                .map(move |_| Loop::Continue(v)),
+            })
+        })
+    }
+}
+
+impl<T: Clone + Send + 'static> MVar<T> {
+    /// Reads the value without removing it, parking while empty.
+    pub fn read(&self) -> ThreadM<T> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || try_inner.st.lock().value.clone()).bind(move |got| match got {
+                Some(v) => ThreadM::pure(Loop::Break(v)),
+                None => sys_park(move |u| {
+                    let mut st = park_inner.st.lock();
+                    if st.value.is_some() {
+                        drop(st);
+                        u.unpark();
+                    } else {
+                        st.takers.push_back(u);
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+}
+
+fn wake_all(q: &mut VecDeque<Unparker>) {
+    // Wake everyone and let them re-compete: with one-shot unparkers this is
+    // both simple and immune to lost-wakeup races.
+    for u in q.drain(..) {
+        u.unpark();
+    }
+}
+
+impl<T> fmt::Debug for MVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.st.lock();
+        write!(
+            f,
+            "MVar(full={}, takers={}, putters={})",
+            st.value.is_some(),
+            st.takers.len(),
+            st.putters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::sys_fork;
+
+    #[test]
+    fn try_take_and_put() {
+        let mv = MVar::new(1);
+        assert!(mv.is_full());
+        assert_eq!(mv.try_take(), Some(1));
+        assert_eq!(mv.try_take(), None);
+        assert!(mv.try_put(2).is_ok());
+        assert_eq!(mv.try_put(3).unwrap_err(), 3);
+    }
+
+    #[test]
+    fn take_blocks_until_put() {
+        let rt = Runtime::builder().workers(2).build();
+        let mv: MVar<u32> = MVar::new_empty();
+        let putter = mv.clone();
+        let got = rt.block_on(crate::do_m! {
+            sys_fork(crate::do_m! {
+                crate::syscall::sys_sleep(10 * crate::time::MILLIS);
+                putter.put(5)
+            });
+            mv.take()
+        });
+        assert_eq!(got, 5);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn producer_consumer_preserves_all_items() {
+        let rt = Runtime::builder().workers(4).build();
+        let mv: MVar<u64> = MVar::new_empty();
+        const N: u64 = 500;
+        let producer = mv.clone();
+        rt.spawn(crate::for_each_m(0..N, move |i| producer.put(i)));
+        let sum = rt.block_on(crate::loop_m((0u64, 0u64), move |(count, sum)| {
+            if count == N {
+                return crate::ThreadM::pure(crate::Loop::Break(sum));
+            }
+            mv.take()
+                .map(move |v| crate::Loop::Continue((count + 1, sum + v)))
+        }));
+        assert_eq!(sum, N * (N - 1) / 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn read_does_not_consume() {
+        let rt = Runtime::builder().workers(1).build();
+        let mv = MVar::new(7u8);
+        let taker = mv.clone();
+        let (a, b) = rt.block_on(crate::do_m! {
+            let a <- mv.read();
+            let b <- taker.take();
+            crate::ThreadM::pure((a, b))
+        });
+        assert_eq!((a, b), (7, 7));
+        assert!(!mv.is_full());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn debug_reports_occupancy() {
+        let mv = MVar::new(1);
+        assert!(format!("{mv:?}").contains("full=true"));
+    }
+}

@@ -1,0 +1,319 @@
+//! A readers–writer lock for monadic threads — another §4.7 scheduler
+//! extension: reader/writer queues of parked traces dispatched on release.
+//!
+//! Writer-preferring: once a writer is waiting, new readers park behind
+//! it, so writers cannot starve.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::reactor::Unparker;
+use crate::syscall::{sys_finally, sys_nbio, sys_park};
+use crate::thread::{loop_m, Loop, ThreadM};
+
+struct RwState {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+    read_waiters: VecDeque<Unparker>,
+    write_waiters: VecDeque<Unparker>,
+}
+
+struct RwInner {
+    st: parking_lot::Mutex<RwState>,
+}
+
+/// A shared/exclusive lock whose acquisition parks the monadic thread.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{do_m, runtime::Runtime, sync::RwLock, syscall::*, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let lock = RwLock::new();
+/// let r = rt.block_on(do_m! {
+///     lock.read();
+///     let v <- sys_nbio(|| 5);
+///     lock.unlock_read();
+///     ThreadM::pure(v)
+/// });
+/// assert_eq!(r, 5);
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct RwLock {
+    inner: Arc<RwInner>,
+}
+
+impl RwLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        RwLock {
+            inner: Arc::new(RwInner {
+                st: parking_lot::Mutex::new(RwState {
+                    readers: 0,
+                    writer: false,
+                    waiting_writers: 0,
+                    read_waiters: VecDeque::new(),
+                    write_waiters: VecDeque::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Current reader count (diagnostics).
+    pub fn readers(&self) -> usize {
+        self.inner.st.lock().readers
+    }
+
+    /// True while a writer holds the lock.
+    pub fn is_write_locked(&self) -> bool {
+        self.inner.st.lock().writer
+    }
+
+    /// Acquires shared access, parking while a writer holds or awaits the
+    /// lock.
+    pub fn read(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                let mut st = try_inner.st.lock();
+                if !st.writer && st.waiting_writers == 0 {
+                    st.readers += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .bind(move |got| {
+                if got {
+                    ThreadM::pure(Loop::Break(()))
+                } else {
+                    sys_park(move |u| {
+                        let mut st = park_inner.st.lock();
+                        if !st.writer && st.waiting_writers == 0 {
+                            drop(st);
+                            u.unpark();
+                        } else {
+                            st.read_waiters.push_back(u);
+                        }
+                    })
+                    .map(|_| Loop::Continue(()))
+                }
+            })
+        })
+    }
+
+    /// Releases shared access.
+    pub fn unlock_read(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        sys_nbio(move || {
+            let mut st = inner.st.lock();
+            st.readers = st.readers.saturating_sub(1);
+            if st.readers == 0 {
+                Self::wake_next(&mut st);
+            }
+        })
+    }
+
+    /// Acquires exclusive access, parking while anyone holds the lock.
+    pub fn write(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        let announce = Arc::clone(&self.inner);
+        // Register writer intent once so readers queue behind us.
+        sys_nbio(move || {
+            announce.st.lock().waiting_writers += 1;
+        })
+        .bind(move |_| {
+            loop_m((), move |()| {
+                let try_inner = Arc::clone(&inner);
+                let park_inner = Arc::clone(&inner);
+                sys_nbio(move || {
+                    let mut st = try_inner.st.lock();
+                    if !st.writer && st.readers == 0 {
+                        st.writer = true;
+                        st.waiting_writers -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .bind(move |got| {
+                    if got {
+                        ThreadM::pure(Loop::Break(()))
+                    } else {
+                        sys_park(move |u| {
+                            let mut st = park_inner.st.lock();
+                            if !st.writer && st.readers == 0 {
+                                drop(st);
+                                u.unpark();
+                            } else {
+                                st.write_waiters.push_back(u);
+                            }
+                        })
+                        .map(|_| Loop::Continue(()))
+                    }
+                })
+            })
+        })
+    }
+
+    /// Releases exclusive access.
+    pub fn unlock_write(&self) -> ThreadM<()> {
+        let inner = Arc::clone(&self.inner);
+        sys_nbio(move || {
+            let mut st = inner.st.lock();
+            st.writer = false;
+            Self::wake_next(&mut st);
+        })
+    }
+
+    fn wake_next(st: &mut RwState) {
+        // Prefer a waiting writer; otherwise release the whole read herd.
+        while let Some(u) = st.write_waiters.pop_front() {
+            if u.unpark() {
+                return;
+            }
+        }
+        for u in st.read_waiters.drain(..) {
+            u.unpark();
+        }
+    }
+
+    /// Runs `body` holding shared access, releasing afterwards even on
+    /// exceptions.
+    pub fn with_read<A: Send + 'static>(&self, body: ThreadM<A>) -> ThreadM<A> {
+        let unlock = self.clone();
+        self.read()
+            .bind(move |_| sys_finally(body, move || unlock.unlock_read()))
+    }
+
+    /// Runs `body` holding exclusive access, releasing afterwards even on
+    /// exceptions.
+    pub fn with_write<A: Send + 'static>(&self, body: ThreadM<A>) -> ThreadM<A> {
+        let unlock = self.clone();
+        self.write()
+            .bind(move |_| sys_finally(body, move || unlock.unlock_write()))
+    }
+}
+
+impl Default for RwLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for RwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.st.lock();
+        write!(
+            f,
+            "RwLock(readers={}, writer={}, waiting_writers={})",
+            st.readers, st.writer, st.waiting_writers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::{sys_sleep, sys_throw, sys_yield};
+    use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let rt = Runtime::builder().workers(4).build();
+        let lock = RwLock::new();
+        let concurrency = Arc::new(AtomicI32::new(0));
+        let max_readers = Arc::new(AtomicI32::new(0));
+        let writes = Arc::new(AtomicU64::new(0));
+        const READERS: u64 = 16;
+        const WRITERS: u64 = 4;
+        let done = Arc::new(AtomicU64::new(0));
+
+        for _ in 0..READERS {
+            let lock = lock.clone();
+            let concurrency = Arc::clone(&concurrency);
+            let max_readers = Arc::clone(&max_readers);
+            let done = Arc::clone(&done);
+            rt.spawn(crate::do_m! {
+                lock.with_read(crate::do_m! {
+                    crate::syscall::sys_nbio({
+                        let c = Arc::clone(&concurrency);
+                        let m = Arc::clone(&max_readers);
+                        move || {
+                            let v = c.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(v > 0, "writer present during read");
+                            m.fetch_max(v, Ordering::SeqCst);
+                        }
+                    });
+                    sys_yield();
+                    crate::syscall::sys_nbio(move || { concurrency.fetch_sub(1, Ordering::SeqCst); })
+                });
+                crate::syscall::sys_nbio(move || { done.fetch_add(1, Ordering::SeqCst); })
+            });
+        }
+        for _ in 0..WRITERS {
+            let lock = lock.clone();
+            let concurrency = Arc::clone(&concurrency);
+            let writes = Arc::clone(&writes);
+            let done = Arc::clone(&done);
+            rt.spawn(crate::do_m! {
+                lock.with_write(crate::do_m! {
+                    crate::syscall::sys_nbio({
+                        let c = Arc::clone(&concurrency);
+                        move || {
+                            // Exclusive: no readers, no other writers.
+                            assert_eq!(c.fetch_sub(1000, Ordering::SeqCst), 0);
+                        }
+                    });
+                    sys_yield();
+                    crate::syscall::sys_nbio(move || {
+                        concurrency.fetch_add(1000, Ordering::SeqCst);
+                        writes.fetch_add(1, Ordering::SeqCst);
+                    })
+                });
+                crate::syscall::sys_nbio(move || { done.fetch_add(1, Ordering::SeqCst); })
+            });
+        }
+        // Wait for completion.
+        let watch = Arc::clone(&done);
+        rt.block_on(crate::loop_m((), move |()| {
+            let watch = Arc::clone(&watch);
+            crate::do_m! {
+                sys_sleep(crate::time::MILLIS);
+                let d <- crate::syscall::sys_nbio(move || watch.load(Ordering::SeqCst));
+                crate::ThreadM::pure(if d == READERS + WRITERS {
+                    crate::Loop::Break(())
+                } else {
+                    crate::Loop::Continue(())
+                })
+            }
+        }));
+        assert_eq!(writes.load(Ordering::SeqCst), WRITERS);
+        assert!(!lock.is_write_locked());
+        assert_eq!(lock.readers(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn with_write_releases_on_exception() {
+        let rt = Runtime::builder().workers(1).build();
+        let lock = RwLock::new();
+        let r = rt.block_on_result(lock.with_write(sys_throw::<()>("bad")));
+        assert!(r.is_err());
+        assert!(!lock.is_write_locked());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let lock = RwLock::new();
+        assert!(format!("{lock:?}").contains("readers=0"));
+    }
+}

@@ -1,0 +1,203 @@
+//! A counting semaphore for monadic threads (scheduler extension, §4.7) —
+//! the natural tool for the paper's resource-aware-scheduling future work:
+//! bounding concurrent disk requests, connection counts, etc.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::reactor::Unparker;
+use crate::syscall::{sys_finally, sys_nbio, sys_park};
+use crate::thread::{loop_m, Loop, ThreadM};
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Unparker>,
+}
+
+/// A counting semaphore whose `acquire` parks the monadic thread.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::{do_m, runtime::Runtime, sync::Semaphore, syscall::*, ThreadM};
+///
+/// let rt = Runtime::builder().workers(2).build();
+/// let sem = Semaphore::new(2);
+/// rt.block_on(sem.with(sys_nbio(|| ())));
+/// assert_eq!(sem.permits(), 2);
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Semaphore {
+    st: Arc<parking_lot::Mutex<SemState>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            st: Arc::new(parking_lot::Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn permits(&self) -> usize {
+        self.st.lock().permits
+    }
+
+    /// Threads parked waiting for a permit.
+    pub fn waiters(&self) -> usize {
+        self.st.lock().waiters.len()
+    }
+
+    /// Takes one permit, parking while none are available.
+    pub fn acquire(&self) -> ThreadM<()> {
+        let st_outer = Arc::clone(&self.st);
+        loop_m((), move |()| {
+            let try_st = Arc::clone(&st_outer);
+            let park_st = Arc::clone(&st_outer);
+            sys_nbio(move || {
+                let mut st = try_st.lock();
+                if st.permits > 0 {
+                    st.permits -= 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .bind(move |got| {
+                if got {
+                    ThreadM::pure(Loop::Break(()))
+                } else {
+                    sys_park(move |u| {
+                        let mut st = park_st.lock();
+                        if st.permits > 0 {
+                            drop(st);
+                            u.unpark();
+                        } else {
+                            st.waiters.push_back(u);
+                        }
+                    })
+                    .map(|_| Loop::Continue(()))
+                }
+            })
+        })
+    }
+
+    /// Attempts to take one permit without parking.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.st.lock();
+        if st.permits > 0 {
+            st.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one permit, waking a waiter if any.
+    pub fn release(&self) -> ThreadM<()> {
+        let st_outer = Arc::clone(&self.st);
+        sys_nbio(move || {
+            let mut st = st_outer.lock();
+            st.permits += 1;
+            while let Some(u) = st.waiters.pop_front() {
+                if u.unpark() {
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Runs `body` holding one permit, releasing afterwards even on
+    /// exceptions.
+    pub fn with<A: Send + 'static>(&self, body: ThreadM<A>) -> ThreadM<A> {
+        let release = self.clone();
+        self.acquire()
+            .bind(move |_| sys_finally(body, move || release.release()))
+    }
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Semaphore(permits={}, waiters={})",
+            self.permits(),
+            self.waiters()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::syscall::{sys_nbio, sys_sleep, sys_throw, sys_yield};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    #[test]
+    fn bounds_concurrency_exactly() {
+        let rt = Runtime::builder().workers(4).build();
+        let sem = Semaphore::new(3);
+        let inside = Arc::new(AtomicI64::new(0));
+        let peak = Arc::new(AtomicI64::new(0));
+        let done = Arc::new(AtomicU64::new(0));
+        const N: u64 = 40;
+        for _ in 0..N {
+            let sem = sem.clone();
+            let inside = Arc::clone(&inside);
+            let peak = Arc::clone(&peak);
+            let done = Arc::clone(&done);
+            rt.spawn(crate::do_m! {
+                sem.with(crate::do_m! {
+                    sys_nbio({
+                        let i = Arc::clone(&inside);
+                        let p = Arc::clone(&peak);
+                        move || {
+                            let v = i.fetch_add(1, Ordering::SeqCst) + 1;
+                            p.fetch_max(v, Ordering::SeqCst);
+                        }
+                    });
+                    sys_yield();
+                    sys_nbio(move || { inside.fetch_sub(1, Ordering::SeqCst); })
+                });
+                sys_nbio(move || { done.fetch_add(1, Ordering::SeqCst); })
+            });
+        }
+        let watch = Arc::clone(&done);
+        rt.block_on(crate::loop_m((), move |()| {
+            let watch = Arc::clone(&watch);
+            crate::do_m! {
+                sys_sleep(crate::time::MILLIS);
+                let d <- sys_nbio(move || watch.load(Ordering::SeqCst));
+                crate::ThreadM::pure(if d == N { crate::Loop::Break(()) } else { crate::Loop::Continue(()) })
+            }
+        }));
+        assert!(peak.load(Ordering::SeqCst) <= 3, "permit bound violated");
+        assert_eq!(sem.permits(), 3, "all permits returned");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn try_acquire_counts_down() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        assert_eq!(sem.permits(), 0);
+    }
+
+    #[test]
+    fn with_releases_on_exception() {
+        let rt = Runtime::builder().workers(1).build();
+        let sem = Semaphore::new(1);
+        let r = rt.block_on_result(sem.with(sys_throw::<()>("x")));
+        assert!(r.is_err());
+        assert_eq!(sem.permits(), 1);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,171 @@
+//! Tasks: the scheduler's unit of work.
+//!
+//! A [`Task`] is a suspended monadic thread — its next trace thunk plus the
+//! per-thread state the scheduler maintains for it (its identifier and its
+//! stack of exception handlers, paper §4.3). Tasks travel through ready
+//! queues, device waiter lists and timer wheels.
+
+use std::fmt;
+
+use crate::thread::ThreadM;
+use crate::trace::{HandlerFn, Thunk};
+
+/// Identifier of a monadic thread, unique within one runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread-{}", self.0)
+    }
+}
+
+/// Scheduler-side per-thread state: the thread id and the exception-handler
+/// stack. Everything else about a thread lives in its continuation closures.
+pub struct TaskShell {
+    tid: TaskId,
+    catch: Vec<HandlerFn>,
+}
+
+impl TaskShell {
+    /// Creates a fresh shell with an empty handler stack.
+    pub fn new(tid: TaskId) -> Self {
+        TaskShell {
+            tid,
+            catch: Vec::new(),
+        }
+    }
+
+    /// The thread's identifier.
+    pub fn tid(&self) -> TaskId {
+        self.tid
+    }
+
+    /// Pushes an exception handler frame (`SYS_CATCH`).
+    pub fn push_handler(&mut self, h: HandlerFn) {
+        self.catch.push(h);
+    }
+
+    /// Pops the innermost handler frame, if any.
+    pub fn pop_handler(&mut self) -> Option<HandlerFn> {
+        self.catch.pop()
+    }
+
+    /// Number of installed handler frames.
+    pub fn handler_depth(&self) -> usize {
+        self.catch.len()
+    }
+}
+
+impl fmt::Debug for TaskShell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskShell")
+            .field("tid", &self.tid)
+            .field("handlers", &self.catch.len())
+            .finish()
+    }
+}
+
+/// A runnable (or parked) monadic thread: shell + next trace thunk.
+pub struct Task {
+    shell: TaskShell,
+    next: Thunk,
+}
+
+impl Task {
+    /// Wraps a whole monadic program as a new task.
+    pub fn from_thread(tid: TaskId, m: ThreadM<()>) -> Self {
+        Task {
+            shell: TaskShell::new(tid),
+            next: Box::new(move || m.into_trace()),
+        }
+    }
+
+    /// Builds a task from an existing shell and continuation thunk (used
+    /// when resuming a parked thread).
+    pub fn from_parts(shell: TaskShell, next: Thunk) -> Self {
+        Task { shell, next }
+    }
+
+    /// Creates a fresh task from a raw thunk.
+    pub fn from_thunk(tid: TaskId, next: Thunk) -> Self {
+        Task {
+            shell: TaskShell::new(tid),
+            next,
+        }
+    }
+
+    /// The thread's identifier.
+    pub fn tid(&self) -> TaskId {
+        self.shell.tid()
+    }
+
+    /// Splits the task into shell and continuation (used when parking).
+    pub fn into_parts(self) -> (TaskShell, Thunk) {
+        (self.shell, self.next)
+    }
+
+    /// Mutable access to the shell (handler stack) while interpreting.
+    pub fn shell_mut(&mut self) -> &mut TaskShell {
+        &mut self.shell
+    }
+
+    /// Forces the next trace node, consuming the stored thunk and replacing
+    /// it with a placeholder. Callers must either finish the task or store a
+    /// new continuation via [`Task::set_next`].
+    pub fn force(&mut self) -> crate::trace::Trace {
+        let next = std::mem::replace(&mut self.next, Box::new(|| crate::trace::Trace::Ret));
+        next()
+    }
+
+    /// Stores the continuation to run when the task is next scheduled.
+    pub fn set_next(&mut self, next: Thunk) {
+        self.next = next;
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task").field("tid", &self.tid()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn shell_handler_stack() {
+        let mut s = TaskShell::new(TaskId(1));
+        assert_eq!(s.handler_depth(), 0);
+        s.push_handler(Box::new(|_| Trace::Ret));
+        assert_eq!(s.handler_depth(), 1);
+        assert!(s.pop_handler().is_some());
+        assert!(s.pop_handler().is_none());
+    }
+
+    #[test]
+    fn task_force_and_set_next() {
+        let mut t = Task::from_thunk(TaskId(7), Box::new(|| Trace::Yield(Box::new(|| Trace::Ret))));
+        assert_eq!(t.tid(), TaskId(7));
+        match t.force() {
+            Trace::Yield(k) => {
+                t.set_next(k);
+                assert!(matches!(t.force(), Trace::Ret));
+            }
+            other => panic!("expected SYS_YIELD, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_from_thread_runs_to_ret() {
+        let mut t = Task::from_thread(TaskId(1), ThreadM::pure(()));
+        assert!(matches!(t.force(), Trace::Ret));
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "thread-3");
+    }
+}

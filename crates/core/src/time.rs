@@ -1,0 +1,48 @@
+//! Time units shared by the real and simulated runtimes.
+//!
+//! Both runtimes report time as nanoseconds since runtime start, so thread
+//! code written against [`sys_time`](crate::syscall::sys_time) behaves
+//! identically under the wall-clock runtime and the discrete-event simulator.
+
+/// A point in time, in nanoseconds since the runtime started.
+pub type Nanos = u64;
+
+/// Nanoseconds per microsecond.
+pub const MICROS: Nanos = 1_000;
+/// Nanoseconds per millisecond.
+pub const MILLIS: Nanos = 1_000_000;
+/// Nanoseconds per second.
+pub const SECS: Nanos = 1_000_000_000;
+
+/// Formats a [`Nanos`] duration with a human-friendly unit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eveth_core::time::fmt_nanos(1_500_000), "1.500ms");
+/// assert_eq!(eveth_core::time::fmt_nanos(250), "250ns");
+/// ```
+pub fn fmt_nanos(n: Nanos) -> String {
+    if n >= SECS {
+        format!("{:.3}s", n as f64 / SECS as f64)
+    } else if n >= MILLIS {
+        format!("{:.3}ms", n as f64 / MILLIS as f64)
+    } else if n >= MICROS {
+        format!("{:.3}us", n as f64 / MICROS as f64)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_all_ranges() {
+        assert_eq!(fmt_nanos(5), "5ns");
+        assert_eq!(fmt_nanos(5 * MICROS), "5.000us");
+        assert_eq!(fmt_nanos(5 * MILLIS), "5.000ms");
+        assert_eq!(fmt_nanos(2 * SECS + SECS / 2), "2.500s");
+    }
+}

@@ -1,0 +1,164 @@
+//! Run-time representation of thread execution: the *trace*.
+//!
+//! A trace (paper §3.1, Figure 5) is a tree describing the sequence of
+//! system calls made by a monadic thread. Each system call in the
+//! multithreaded programming interface corresponds to exactly one node kind.
+//! In Haskell the tree is lazy; forcing a node runs the thread up to its next
+//! system call. Here every child is a boxed [`Thunk`] — calling it performs
+//! exactly the same controlled resumption, so the scheduler can "push" thread
+//! continuations to execute by traversing the tree.
+
+use std::fmt;
+
+use crate::aio::{AioReadReq, AioResult, AioWriteReq};
+use crate::exception::Exception;
+use crate::reactor::{Fd, Interest, Unparker};
+use crate::time::Nanos;
+
+/// A suspended computation producing the next trace node when forced.
+///
+/// This plays the role of Haskell's lazy `Trace` fields: the consumer of the
+/// trace (the scheduler) controls the execution of its producer (the thread).
+pub type Thunk = Box<dyn FnOnce() -> Trace + Send>;
+
+/// An exception handler installed by `sys_catch`; produces the handler's
+/// trace when invoked with the thrown exception.
+pub type HandlerFn = Box<dyn FnOnce(Exception) -> Trace + Send>;
+
+/// Continuation of an asynchronous I/O operation, resumed with its result.
+pub type AioCont = Box<dyn FnOnce(AioResult) -> Trace + Send>;
+
+/// A blocking job for the blocking-I/O thread pool: runs the blocking
+/// operation and hands back the (cheap) continuation thunk to be scheduled
+/// on a normal worker.
+pub type BlioJob = Box<dyn FnOnce() -> Thunk + Send>;
+
+/// One node in a thread's trace; the scheduler interprets these.
+///
+/// Naming follows the paper's `SYS_*` constructors. Variants that suspend the
+/// thread carry the continuation as a [`Thunk`] (or a typed continuation for
+/// value-returning calls such as AIO).
+pub enum Trace {
+    /// `SYS_RET` — the thread terminated.
+    Ret,
+    /// `SYS_NBIO` — a non-blocking effectful operation fused with the
+    /// continuation: running the closure performs the I/O and yields the
+    /// next node (Haskell: `SYS_NBIO (IO Trace)`).
+    Nbio(Box<dyn FnOnce() -> Trace + Send>),
+    /// `SYS_FORK` — two sub-traces: the child thread and the parent's
+    /// continuation, in that order (paper Figure 5).
+    Fork(Thunk, Thunk),
+    /// `SYS_YIELD` — reschedule the thread at the back of the ready queue.
+    Yield(Thunk),
+    /// `SYS_EPOLL_WAIT` — block until `interest` is ready on `fd`.
+    EpollWait(Fd, Interest, Thunk),
+    /// `SYS_AIO_READ` — submit an asynchronous read; the continuation
+    /// receives the result (Haskell: `SYS_AIO_READ FD Integer Buffer
+    /// (Int -> Trace)`).
+    AioRead(AioReadReq, AioCont),
+    /// `SYS_AIO_WRITE` — submit an asynchronous write.
+    AioWrite(AioWriteReq, AioCont),
+    /// `SYS_BLIO` — run a blocking operation on the blocking-I/O pool
+    /// (paper §4.6), then reschedule the continuation on a worker.
+    Blio(BlioJob),
+    /// `SYS_THROW` — raise an exception to the nearest handler.
+    Throw(Exception),
+    /// `SYS_CATCH` — push an exception handler, then run the body.
+    Catch {
+        /// The protected computation.
+        body: Thunk,
+        /// Handler run if the body throws.
+        handler: HandlerFn,
+    },
+    /// Internal: the body of a `sys_catch` completed normally; pop the
+    /// handler frame and continue. (The paper folds this into its `SYS_RET`
+    /// interpretation; a distinct node keeps whole-thread exit and
+    /// catch-scope exit unambiguous.)
+    CatchPop(Thunk),
+    /// Block for a duration (backs `sys_sleep` and protocol timers).
+    Sleep(Nanos, Thunk),
+    /// Query the scheduler clock (virtual time under simulation).
+    GetTime(Box<dyn FnOnce(Nanos) -> Trace + Send>),
+    /// Consume modelled CPU time: a no-op on the real runtime, a clock
+    /// advance under simulation. Used by workload models.
+    Cpu(Nanos, Thunk),
+    /// The scheduler-extension interface: park this thread, handing a
+    /// one-shot [`Unparker`] to the registration closure. Mutexes, channels,
+    /// TCP socket waits and STM `retry` are all built from this node.
+    Park(Box<dyn FnOnce(Unparker) + Send>, Thunk),
+}
+
+impl Trace {
+    /// The paper-style name of this node kind.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eveth_core::Trace;
+    /// assert_eq!(Trace::Ret.kind(), "SYS_RET");
+    /// ```
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Trace::Ret => "SYS_RET",
+            Trace::Nbio(_) => "SYS_NBIO",
+            Trace::Fork(_, _) => "SYS_FORK",
+            Trace::Yield(_) => "SYS_YIELD",
+            Trace::EpollWait(_, _, _) => "SYS_EPOLL_WAIT",
+            Trace::AioRead(_, _) => "SYS_AIO_READ",
+            Trace::AioWrite(_, _) => "SYS_AIO_WRITE",
+            Trace::Blio(_) => "SYS_BLIO",
+            Trace::Throw(_) => "SYS_THROW",
+            Trace::Catch { .. } => "SYS_CATCH",
+            Trace::CatchPop(_) => "SYS_CATCH_POP",
+            Trace::Sleep(_, _) => "SYS_SLEEP",
+            Trace::GetTime(_) => "SYS_GETTIME",
+            Trace::Cpu(_, _) => "SYS_CPU",
+            Trace::Park(_, _) => "SYS_PARK",
+        }
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trace::EpollWait(fd, i, _) => write!(f, "SYS_EPOLL_WAIT({fd:?}, {i:?})"),
+            Trace::AioRead(req, _) => {
+                write!(f, "SYS_AIO_READ(off={}, len={})", req.offset, req.len)
+            }
+            Trace::AioWrite(req, _) => write!(
+                f,
+                "SYS_AIO_WRITE(off={}, len={})",
+                req.offset,
+                req.data.len()
+            ),
+            Trace::Throw(e) => write!(f, "SYS_THROW({e})"),
+            Trace::Sleep(d, _) => write!(f, "SYS_SLEEP({})", crate::time::fmt_nanos(*d)),
+            Trace::Cpu(d, _) => write!(f, "SYS_CPU({})", crate::time::fmt_nanos(*d)),
+            other => f.write_str(other.kind()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_paper_names() {
+        assert_eq!(Trace::Ret.kind(), "SYS_RET");
+        assert_eq!(Trace::Yield(Box::new(|| Trace::Ret)).kind(), "SYS_YIELD");
+        assert_eq!(
+            Trace::Fork(Box::new(|| Trace::Ret), Box::new(|| Trace::Ret)).kind(),
+            "SYS_FORK"
+        );
+        assert_eq!(Trace::Nbio(Box::new(|| Trace::Ret)).kind(), "SYS_NBIO");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Trace::Throw(Exception::new("x"));
+        assert!(format!("{t:?}").contains("SYS_THROW"));
+        let s = Trace::Sleep(1_000_000, Box::new(|| Trace::Ret));
+        assert!(format!("{s:?}").contains("SYS_SLEEP"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the CPS monad: observational monad laws and
+//! structural invariants over randomly generated programs.
+
+use eveth_core::local::run_local;
+use eveth_core::syscall::{sys_catch, sys_nbio, sys_throw, sys_yield};
+use eveth_core::{loop_m, Loop, ThreadM};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A small program AST we can both run monadically and interpret
+/// directly, to compare results.
+#[derive(Debug, Clone)]
+enum Prog {
+    Pure(i64),
+    AddEffect(i64, Box<Prog>),
+    Yield(Box<Prog>),
+    Throw(String),
+    Catch(Box<Prog>, Box<Prog>),
+}
+
+fn arb_prog() -> impl Strategy<Value = Prog> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Prog::Pure),
+        "[a-z]{1,8}".prop_map(Prog::Throw),
+    ];
+    leaf.prop_recursive(6, 64, 4, |inner| {
+        prop_oneof![
+            (any::<i64>(), inner.clone()).prop_map(|(n, p)| Prog::AddEffect(n, Box::new(p))),
+            inner.clone().prop_map(|p| Prog::Yield(Box::new(p))),
+            (inner.clone(), inner).prop_map(|(a, b)| Prog::Catch(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Reference semantics: (result or error message, sum of effects run).
+fn reference(p: &Prog, effects: &mut i64) -> Result<i64, String> {
+    match p {
+        Prog::Pure(v) => Ok(*v),
+        Prog::AddEffect(n, rest) => {
+            *effects = effects.wrapping_add(*n);
+            reference(rest, effects)
+        }
+        Prog::Yield(rest) => reference(rest, effects),
+        Prog::Throw(msg) => Err(msg.clone()),
+        Prog::Catch(body, handler) => match reference(body, effects) {
+            Ok(v) => Ok(v),
+            Err(_) => reference(handler, effects),
+        },
+    }
+}
+
+/// Monadic compilation of the same AST.
+fn compile(p: Prog, effects: Arc<AtomicU64>) -> ThreadM<i64> {
+    match p {
+        Prog::Pure(v) => ThreadM::pure(v),
+        Prog::AddEffect(n, rest) => {
+            let e = Arc::clone(&effects);
+            sys_nbio(move || {
+                e.fetch_add(n as u64, Ordering::SeqCst);
+            })
+            .bind(move |_| compile(*rest, effects))
+        }
+        Prog::Yield(rest) => sys_yield().bind(move |_| compile(*rest, effects)),
+        Prog::Throw(msg) => sys_throw(msg),
+        Prog::Catch(body, handler) => {
+            let h_effects = Arc::clone(&effects);
+            sys_catch(compile(*body, effects), move |_e| {
+                compile(*handler, h_effects)
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary programs produce exactly the reference result and run
+    /// exactly the reference effects, in spite of CPS, catch frames and
+    /// scheduling.
+    #[test]
+    fn programs_match_reference_semantics(p in arb_prog()) {
+        let mut ref_effects = 0i64;
+        let ref_result = reference(&p, &mut ref_effects);
+
+        let effects = Arc::new(AtomicU64::new(0));
+        let run = run_local(compile(p, Arc::clone(&effects)));
+        let got_effects = effects.load(Ordering::SeqCst) as i64;
+
+        match (ref_result, run) {
+            (Ok(expect), Ok(got)) => prop_assert_eq!(expect, got),
+            (Err(msg), Err(e)) => prop_assert_eq!(msg, e.message()),
+            (expect, got) => prop_assert!(false, "mismatch: {expect:?} vs {got:?}"),
+        }
+        prop_assert_eq!(ref_effects, got_effects, "effect counts diverge");
+    }
+
+    /// Left identity: pure(a).bind(f) ≡ f(a), observationally.
+    #[test]
+    fn law_left_identity(a in any::<i64>(), k in any::<i64>()) {
+        let f = move |x: i64| ThreadM::pure(x.wrapping_mul(k));
+        let lhs = run_local(ThreadM::pure(a).bind(f)).unwrap();
+        let rhs = run_local(f(a)).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Associativity with effectful steps interleaved.
+    #[test]
+    fn law_associativity(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let m = move || sys_nbio(move || a);
+        let f = move |x: i64| sys_nbio(move || x.wrapping_add(b));
+        let g = move |x: i64| sys_nbio(move || x.wrapping_mul(c));
+        let lhs = run_local(m().bind(f).bind(g)).unwrap();
+        let rhs = run_local(m().bind(move |x| f(x).bind(g))).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Tail-recursive loops neither overflow nor lose iterations,
+    /// whatever the iteration count.
+    #[test]
+    fn loops_count_exactly(n in 0u32..50_000) {
+        let out = run_local(loop_m(0u32, move |i| {
+            if i == n {
+                ThreadM::pure(Loop::Break(i))
+            } else {
+                sys_yield().map(move |_| Loop::Continue(i + 1))
+            }
+        })).unwrap();
+        prop_assert_eq!(out, n);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: the FIFO pipe preserves the byte stream under arbitrary
+//! interleavings of partial reads and writes — the invariant the Figure 18
+//! benchmark rests on.
+
+use bytes::Bytes;
+use eveth_core::io::pipe::{pipe, PipeError};
+use eveth_core::runtime::Runtime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model-based: a sequence of try_write/try_read ops matches a plain
+    /// VecDeque reference model byte-for-byte.
+    #[test]
+    fn nonblocking_ops_match_reference_model(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (1usize..100).prop_map(|n| (true, n)),   // write n bytes
+                (1usize..100).prop_map(|n| (false, n)),  // read up to n
+            ],
+            1..200
+        )
+    ) {
+        let (w, r) = pipe(cap);
+        let mut model: std::collections::VecDeque<u8> = Default::default();
+        let mut next_byte: u8 = 0;
+        for (is_write, n) in ops {
+            if is_write {
+                let data: Vec<u8> = (0..n).map(|i| next_byte.wrapping_add(i as u8)).collect();
+                match w.try_write(&data) {
+                    Ok(accepted) => {
+                        prop_assert!(accepted <= data.len());
+                        prop_assert_eq!(accepted, data.len().min(cap - model.len()),
+                            "must accept exactly the free space");
+                        model.extend(&data[..accepted]);
+                        next_byte = next_byte.wrapping_add(accepted as u8);
+                    }
+                    Err(PipeError::WouldBlock) => prop_assert_eq!(model.len(), cap),
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            } else {
+                match r.try_read(n) {
+                    Ok(bytes) => {
+                        prop_assert!(!bytes.is_empty(), "EOF impossible while writer lives");
+                        let expect: Vec<u8> = model.drain(..bytes.len()).collect();
+                        prop_assert_eq!(&bytes[..], &expect[..], "FIFO order violated");
+                    }
+                    Err(PipeError::WouldBlock) => prop_assert!(model.is_empty()),
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            }
+        }
+    }
+
+    /// End-to-end through the real runtime: whatever chunk sizes the
+    /// writer and reader use, the reader sees exactly the written stream.
+    #[test]
+    fn monadic_transfer_preserves_stream(
+        cap in 1usize..32,
+        len in 1usize..2048,
+        seed in any::<u64>()
+    ) {
+        let payload: Vec<u8> = (0..len).map(|i| (seed as usize + i) as u8).collect();
+        let expected = payload.clone();
+        let rt = Runtime::builder().workers(2).build();
+        let (w, r) = pipe(cap);
+        let data = Bytes::from(payload);
+        rt.spawn(eveth_core::do_m! {
+            let res <- w.write_all_m(data);
+            eveth_core::syscall::sys_nbio(move || res.expect("write side"))
+        });
+        let got = rt.block_on(eveth_core::do_m! {
+            let d <- r.read_exact_m(len);
+            eveth_core::ThreadM::pure(d.expect("read side"))
+        });
+        rt.shutdown();
+        prop_assert_eq!(&got[..], &expected[..]);
+    }
+}

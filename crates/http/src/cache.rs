@@ -1,0 +1,222 @@
+//! The server's own file cache (the paper's server "implements its own
+//! caching" to exploit AIO, §5.2): an LRU map with a byte budget.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+struct CacheInner {
+    map: HashMap<String, (Bytes, u64)>,
+    lru: BTreeMap<u64, String>,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: AtomicU64,
+    /// Lookups that missed.
+    pub misses: AtomicU64,
+    /// Entries evicted to stay under budget.
+    pub evictions: AtomicU64,
+}
+
+/// An LRU cache of file contents bounded by total bytes.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_http::cache::FileCache;
+///
+/// let cache = FileCache::new(1024);
+/// cache.insert("/a", bytes::Bytes::from(vec![0u8; 600]));
+/// cache.insert("/b", bytes::Bytes::from(vec![0u8; 600])); // evicts /a
+/// assert!(cache.get("/a").is_none());
+/// assert!(cache.get("/b").is_some());
+/// ```
+pub struct FileCache {
+    inner: Mutex<CacheInner>,
+    budget: usize,
+    stats: CacheStats,
+}
+
+impl FileCache {
+    /// A cache holding at most `budget` bytes of file data.
+    pub fn new(budget: usize) -> Self {
+        FileCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                bytes: 0,
+                stamp: 0,
+            }),
+            budget,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `path`, refreshing its recency.
+    pub fn get(&self, path: &str) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.map.get_mut(path) {
+            Some((data, last)) => {
+                let old = *last;
+                *last = stamp;
+                let data = data.clone();
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, path.to_string());
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(data)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `path`, evicting least-recently-used entries
+    /// until the budget holds. Objects larger than the whole budget are not
+    /// cached — but any stale entry under the same key is still
+    /// invalidated, so readers never see outdated content.
+    pub fn insert(&self, path: impl Into<String>, data: Bytes) {
+        let path = path.into();
+        let mut inner = self.inner.lock();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some((old_data, old_stamp)) = inner.map.remove(&path) {
+            inner.bytes -= old_data.len();
+            inner.lru.remove(&old_stamp);
+        }
+        if data.len() > self.budget {
+            return;
+        }
+        inner.bytes += data.len();
+        inner.map.insert(path.clone(), (data, stamp));
+        inner.lru.insert(stamp, path);
+        while inner.bytes > self.budget {
+            let (&victim_stamp, _) = inner.lru.iter().next().expect("over budget implies entries");
+            let victim = inner.lru.remove(&victim_stamp).expect("present");
+            let (data, _) = inner.map.remove(&victim).expect("map and lru agree");
+            inner.bytes -= data.len();
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fraction of lookups that hit, so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.stats.hits.load(Ordering::Relaxed) as f64;
+        let m = self.stats.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+impl fmt::Debug for FileCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FileCache(used={}/{}, entries={})",
+            self.used(),
+            self.budget,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = FileCache::new(100);
+        c.insert("/x", blob(10));
+        assert!(c.get("/x").is_some());
+        assert!(c.get("/y").is_none());
+        assert_eq!(c.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats().misses.load(Ordering::Relaxed), 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let c = FileCache::new(1000);
+        for i in 0..100 {
+            c.insert(format!("/f{i}"), blob(100));
+            assert!(c.used() <= 1000, "budget violated at {i}");
+        }
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = FileCache::new(300);
+        c.insert("/a", blob(100));
+        c.insert("/b", blob(100));
+        c.insert("/c", blob(100));
+        // Touch /a so /b is the LRU victim.
+        assert!(c.get("/a").is_some());
+        c.insert("/d", blob(100));
+        assert!(c.get("/b").is_none(), "/b was LRU and must be evicted");
+        assert!(c.get("/a").is_some());
+        assert!(c.get("/c").is_some());
+        assert!(c.get("/d").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leak() {
+        let c = FileCache::new(250);
+        c.insert("/a", blob(100));
+        c.insert("/a", blob(200));
+        assert_eq!(c.used(), 200);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_objects_skipped() {
+        let c = FileCache::new(50);
+        c.insert("/big", blob(100));
+        assert!(c.is_empty());
+        assert!(c.get("/big").is_none());
+    }
+}

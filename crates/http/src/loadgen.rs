@@ -1,0 +1,189 @@
+//! The multithreaded HTTP load generator (paper §5.2): each client is a
+//! monadic thread that connects once and then repeatedly requests files
+//! chosen at random, counting delivered bytes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::net::{send_all, Conn, Endpoint, NetError, NetStack};
+use eveth_core::{do_m, loop_m, Loop, ThreadM};
+
+use crate::parser::parse_response_head;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server to hammer.
+    pub server: Endpoint,
+    /// Requests each client issues before closing.
+    pub requests_per_conn: usize,
+    /// Candidate request paths.
+    pub paths: Arc<Vec<String>>,
+    /// Seed for path selection.
+    pub seed: u64,
+}
+
+/// Aggregate client-side counters.
+#[derive(Debug, Default)]
+pub struct LoadStats {
+    /// 200 responses fully received.
+    pub ok: AtomicU64,
+    /// Non-200 responses.
+    pub non_200: AtomicU64,
+    /// Transport-level failures.
+    pub errors: AtomicU64,
+    /// Total bytes received (heads + bodies).
+    pub bytes: AtomicU64,
+    /// Clients that finished their run.
+    pub clients_done: AtomicU64,
+}
+
+impl LoadStats {
+    /// Total responses observed.
+    pub fn responses(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed) + self.non_200.load(Ordering::Relaxed)
+    }
+}
+
+/// Issues one `GET path` on an open connection and reads the complete
+/// response; returns status and total response bytes.
+pub fn http_get(conn: &Arc<dyn Conn>, path: &str) -> ThreadM<Result<(u16, usize), NetError>> {
+    let request = Bytes::from(format!(
+        "GET {path} HTTP/1.1\r\nHost: bench\r\nUser-Agent: eveth-loadgen\r\n\r\n"
+    ));
+    let conn = Arc::clone(conn);
+    do_m! {
+        let sent <- send_all(&conn, request);
+        match sent {
+            Err(e) => ThreadM::pure(Err(e)),
+            Ok(()) => read_response(conn),
+        }
+    }
+}
+
+fn read_response(conn: Arc<dyn Conn>) -> ThreadM<Result<(u16, usize), NetError>> {
+    loop_m(Vec::new(), move |mut acc: Vec<u8>| {
+        match parse_response_head(&acc) {
+            Err(_) => {
+                return ThreadM::pure(Loop::Break(Err(NetError::Protocol(
+                    "unparseable response head".into(),
+                ))))
+            }
+            Ok(Some(head)) => {
+                let total = head.head_len + head.content_length;
+                if acc.len() >= total {
+                    return ThreadM::pure(Loop::Break(Ok((head.status, total))));
+                }
+            }
+            Ok(None) => {}
+        }
+        conn.recv(64 * 1024).map(move |r| match r {
+            Err(e) => Loop::Break(Err(e)),
+            Ok(chunk) if chunk.is_empty() => Loop::Break(Err(NetError::Closed)),
+            Ok(chunk) => {
+                acc.extend_from_slice(&chunk);
+                Loop::Continue(acc)
+            }
+        })
+    })
+}
+
+/// One load-generator client: connect, request random files, close.
+pub fn client_thread(
+    stack: Arc<dyn NetStack>,
+    cfg: Arc<LoadConfig>,
+    stats: Arc<LoadStats>,
+    id: u64,
+) -> ThreadM<()> {
+    let done_stats = Arc::clone(&stats);
+    let body = do_m! {
+        let connected <- stack.connect(cfg.server);
+        match connected {
+            Err(_) => {
+                let stats = Arc::clone(&stats);
+                eveth_core::syscall::sys_nbio(move || {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                })
+            }
+            Ok(conn) => {
+                let rng0 = cfg.seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+                loop_m((rng0, 0usize), move |(mut rng, i)| {
+                    if i >= cfg.requests_per_conn {
+                        return conn.close().map(|_| Loop::Break(()));
+                    }
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let path = cfg.paths[(rng as usize) % cfg.paths.len()].clone();
+                    let stats = Arc::clone(&stats);
+                    let conn2 = Arc::clone(&conn);
+                    http_get(&conn, &path).bind(move |res| match res {
+                        Ok((200, bytes)) => {
+                            stats.ok.fetch_add(1, Ordering::Relaxed);
+                            stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                            ThreadM::pure(Loop::Continue((rng, i + 1)))
+                        }
+                        Ok((_, bytes)) => {
+                            stats.non_200.fetch_add(1, Ordering::Relaxed);
+                            stats.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                            ThreadM::pure(Loop::Continue((rng, i + 1)))
+                        }
+                        Err(_) => {
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                            conn2.close().map(|_| Loop::Break(()))
+                        }
+                    })
+                })
+            }
+        }
+    };
+    body.bind(move |_| {
+        eveth_core::syscall::sys_nbio(move || {
+            done_stats.clients_done.fetch_add(1, Ordering::Relaxed);
+        })
+    })
+}
+
+/// Standard benchmark corpus paths: `/fNNNNN.html`.
+pub fn corpus_paths(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("/f{i:06}.html")).collect()
+}
+
+impl fmt::Display for LoadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ok={} non200={} errors={} bytes={}",
+            self.ok.load(Ordering::Relaxed),
+            self.non_200.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_paths_are_distinct_and_stable() {
+        let a = corpus_paths(100);
+        let b = corpus_paths(100);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert_eq!(a[7], "/f000007.html");
+    }
+
+    #[test]
+    fn load_stats_aggregate() {
+        let s = LoadStats::default();
+        s.ok.fetch_add(3, Ordering::Relaxed);
+        s.non_200.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(s.responses(), 5);
+        assert!(s.to_string().contains("ok=3"));
+    }
+}

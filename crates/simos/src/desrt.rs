@@ -1,0 +1,456 @@
+//! The simulated runtime: the core scheduler engine driven by virtual time.
+//!
+//! [`SimRuntime`] implements [`RuntimeCtx`] so the *same* monadic programs
+//! (and the same devices built on `Pollable`/`AioFile`) run unchanged under
+//! simulation. Each scheduler action advances the virtual clock by its
+//! [`CostModel`] price; when the ready queue drains, the clock jumps to the
+//! next device event. Running one workload under
+//! [`CostModel::monadic`] and again under [`CostModel::nptl`] produces the
+//! paired lines of the paper's Figures 17–19 — the Lauer–Needham duality in
+//! action: identical semantics, different cost structure.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eveth_core::engine::{self, CostKind, RuntimeCtx};
+use eveth_core::reactor::{EventPort, Unparker};
+use eveth_core::runtime::{Stats, StatsSnapshot};
+use eveth_core::task::{Task, TaskId, TaskShell};
+use eveth_core::time::Nanos;
+use eveth_core::trace::BlioJob;
+use eveth_core::{Exception, ThreadM};
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::des::SimClock;
+
+/// Configuration of a [`SimRuntime`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cost model to charge scheduler actions against.
+    pub cost: CostModel,
+    /// Non-blocking steps per scheduling turn (see the slice ablation).
+    pub slice: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cost: CostModel::monadic(),
+            slice: 256,
+        }
+    }
+}
+
+/// Error returned when a thread cannot be created under the model's limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnError {
+    /// The model's thread cap.
+    pub max_threads: usize,
+}
+
+impl fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread limit reached ({} threads: address space exhausted)",
+            self.max_threads
+        )
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+struct SimInner {
+    self_weak: std::sync::Weak<SimInner>,
+    clock: SimClock,
+    ready: Mutex<VecDeque<Task>>,
+    next_tid: AtomicU64,
+    live: AtomicI64,
+    peak_live: AtomicI64,
+    stats: Stats,
+    cost: CostModel,
+    uncaught_log: Mutex<Vec<(TaskId, Exception)>>,
+}
+
+impl SimInner {
+    fn bump_live(&self) {
+        let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_live.fetch_max(live, Ordering::SeqCst);
+    }
+}
+
+/// An [`EventPort`] that models the dispatch cost of the dedicated event
+/// loop (`worker_epoll` / `worker_aio`) and then resumes the thread.
+struct SimPort {
+    clock: SimClock,
+    dispatch_ns: Nanos,
+}
+
+impl EventPort for SimPort {
+    fn notify(&self, unparker: Unparker) {
+        self.clock.advance(self.dispatch_ns);
+        unparker.unpark();
+    }
+}
+
+impl RuntimeCtx for SimInner {
+    fn push_ready(&self, task: Task) {
+        self.ready.lock().push_back(task);
+    }
+    fn next_tid(&self) -> TaskId {
+        TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+    fn task_spawned(&self) {
+        self.bump_live();
+        self.stats.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    fn task_exited(&self, _tid: TaskId) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.stats.exited.fetch_add(1, Ordering::Relaxed);
+    }
+    fn uncaught_exception(&self, tid: TaskId, e: Exception) {
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.stats.uncaught.fetch_add(1, Ordering::Relaxed);
+        self.uncaught_log.lock().push((tid, e));
+    }
+    fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+    fn charge(&self, cost: CostKind) {
+        self.stats.charge(cost);
+        self.clock.advance(self.cost.of(cost));
+    }
+    fn epoll_port(&self) -> Arc<dyn EventPort> {
+        Arc::new(SimPort {
+            clock: self.clock.clone(),
+            dispatch_ns: self.cost.wake_ns / 2,
+        })
+    }
+    fn aio_port(&self) -> Arc<dyn EventPort> {
+        Arc::new(SimPort {
+            clock: self.clock.clone(),
+            dispatch_ns: self.cost.wake_ns / 2,
+        })
+    }
+    fn sleep(&self, dur: Nanos, task: Task) {
+        let weak = self.self_weak.clone();
+        self.clock.schedule(dur, move || {
+            if let Some(inner) = weak.upgrade() {
+                inner.ready.lock().push_back(task);
+            }
+        });
+    }
+    fn submit_blio(&self, job: BlioJob, shell: TaskShell) {
+        // The blocking pool runs the job "elsewhere"; model only the
+        // dispatch cost and deliver the continuation immediately.
+        let next = job();
+        self.ready.lock().push_back(Task::from_parts(shell, next));
+    }
+}
+
+/// Outcome summary of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the run stopped.
+    pub now: Nanos,
+    /// Scheduler statistics.
+    pub stats: StatsSnapshot,
+    /// Peak simultaneously-live threads.
+    pub peak_threads: i64,
+    /// Peak address space attributed to thread stacks under the cost model.
+    pub peak_stack_bytes: u64,
+    /// Exceptions that escaped their threads.
+    pub uncaught: Vec<(TaskId, Exception)>,
+}
+
+/// A single-CPU, virtual-time runtime for monadic threads.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::syscall::{sys_sleep, sys_time};
+/// use eveth_core::{do_m, ThreadM};
+/// use eveth_simos::desrt::SimRuntime;
+///
+/// let sim = SimRuntime::new_default();
+/// let t = sim
+///     .block_on(do_m! {
+///         sys_sleep(5_000_000);
+///         sys_time()
+///     })
+///     .unwrap();
+/// assert!(t >= 5_000_000, "virtual clock advanced by the sleep");
+/// ```
+pub struct SimRuntime {
+    inner: Arc<SimInner>,
+    config: SimConfig,
+}
+
+impl SimRuntime {
+    /// Creates a runtime with the given clock and configuration. Devices
+    /// that should share virtual time must be built from the same clock.
+    pub fn new(clock: SimClock, config: SimConfig) -> Self {
+        let inner = Arc::new_cyclic(|weak| SimInner {
+            self_weak: weak.clone(),
+            clock,
+            ready: Mutex::new(VecDeque::new()),
+            next_tid: AtomicU64::new(1),
+            live: AtomicI64::new(0),
+            peak_live: AtomicI64::new(0),
+            stats: Stats::default(),
+            cost: config.cost.clone(),
+            uncaught_log: Mutex::new(Vec::new()),
+        });
+        SimRuntime { inner, config }
+    }
+
+    /// A fresh clock + default (monadic) configuration.
+    pub fn new_default() -> Self {
+        SimRuntime::new(SimClock::new(), SimConfig::default())
+    }
+
+    /// The runtime's virtual clock (share it with devices).
+    pub fn clock(&self) -> SimClock {
+        self.inner.clock.clone()
+    }
+
+    /// The [`RuntimeCtx`] handle for drivers needing direct scheduler
+    /// access.
+    pub fn ctx(&self) -> Arc<dyn RuntimeCtx> {
+        Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>
+    }
+
+    /// Spawns a monadic thread.
+    pub fn spawn(&self, m: ThreadM<()>) -> TaskId {
+        let tid = self.inner.next_tid();
+        self.inner.task_spawned();
+        self.inner.charge(CostKind::Fork);
+        self.inner.ready.lock().push_back(Task::from_thread(tid, m));
+        tid
+    }
+
+    /// Spawns, enforcing the cost model's thread cap — how the harnesses
+    /// reproduce "NPTL only scales to 16K threads".
+    pub fn spawn_checked(&self, m: ThreadM<()>) -> Result<TaskId, SpawnError> {
+        if let Some(cap) = self.config.cost.max_threads {
+            if self.live_threads() as usize >= cap {
+                return Err(SpawnError { max_threads: cap });
+            }
+        }
+        Ok(self.spawn(m))
+    }
+
+    /// Live (spawned, unfinished) threads.
+    pub fn live_threads(&self) -> i64 {
+        self.inner.live.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.inner.clock.now()
+    }
+
+    /// Delivers device events whose time has already been reached by the
+    /// (cost-charged) CPU clock. On real hardware the device event loops
+    /// run on their own OS threads, so a busy scheduler must not starve
+    /// them; this keeps the simulation faithful to that.
+    fn fire_due_events(&self) {
+        while self
+            .inner
+            .clock
+            .next_deadline()
+            .is_some_and(|d| d <= self.inner.clock.now())
+        {
+            self.inner.clock.fire_next();
+        }
+    }
+
+    /// Runs until both the ready queue and the event heap are exhausted, or
+    /// `deadline` (virtual) passes.
+    pub fn run_until(&self, deadline: Option<Nanos>) -> SimReport {
+        loop {
+            if let Some(d) = deadline {
+                if self.inner.clock.now() >= d {
+                    break;
+                }
+            }
+            self.fire_due_events();
+            let task = self.inner.ready.lock().pop_front();
+            match task {
+                Some(task) => {
+                    let ctx: Arc<dyn RuntimeCtx> = Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>;
+                    engine::run_task(&ctx, task, self.config.slice);
+                }
+                None => {
+                    if !self.inner.clock.fire_next() {
+                        break; // quiescent: nothing runnable, no events
+                    }
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Runs to quiescence.
+    pub fn run(&self) -> SimReport {
+        self.run_until(None)
+    }
+
+    /// Runs `m` to completion (driving the whole simulation as needed) and
+    /// returns its value.
+    ///
+    /// # Errors
+    ///
+    /// The exception, if `m` throws without catching; or a synthesized
+    /// exception if the simulation goes quiescent before `m` finishes
+    /// (deadlock).
+    pub fn block_on<T: Send + 'static>(&self, m: ThreadM<T>) -> Result<T, Exception> {
+        let slot: Arc<Mutex<Option<Result<T, Exception>>>> = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        self.spawn(eveth_core::syscall::sys_try(m).bind(move |res| {
+            eveth_core::syscall::sys_nbio(move || {
+                *out.lock() = Some(res);
+            })
+        }));
+        loop {
+            if let Some(res) = slot.lock().take() {
+                return res;
+            }
+            self.fire_due_events();
+            let task = self.inner.ready.lock().pop_front();
+            match task {
+                Some(task) => {
+                    let ctx: Arc<dyn RuntimeCtx> = Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>;
+                    engine::run_task(&ctx, task, self.config.slice);
+                }
+                None => {
+                    if !self.inner.clock.fire_next() {
+                        return Err(Exception::new(
+                            "simulation went quiescent before the blocked computation finished",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A summary of the run so far.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            now: self.inner.clock.now(),
+            stats: self.inner.stats.snapshot(),
+            peak_threads: self.inner.peak_live.load(Ordering::SeqCst),
+            peak_stack_bytes: self.inner.peak_live.load(Ordering::SeqCst).max(0) as u64
+                * self.config.cost.stack_bytes,
+            uncaught: self.inner.uncaught_log.lock().clone(),
+        }
+    }
+}
+
+impl fmt::Debug for SimRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SimRuntime(model={}, now={}, live={})",
+            self.config.cost.name,
+            self.now(),
+            self.live_threads()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eveth_core::syscall::*;
+    use eveth_core::time::MILLIS;
+
+    #[test]
+    fn virtual_sleep_advances_clock_exactly() {
+        let sim = SimRuntime::new_default();
+        let t = sim
+            .block_on(eveth_core::do_m! {
+                sys_sleep(7 * MILLIS);
+                sys_time()
+            })
+            .unwrap();
+        // Sleep plus small scheduler costs.
+        assert!(t >= 7 * MILLIS && t < 8 * MILLIS, "t = {t}");
+    }
+
+    #[test]
+    fn costs_accumulate_per_model() {
+        let free = SimRuntime::new(SimClock::new(), SimConfig {
+            cost: CostModel::free(),
+            slice: 64,
+        });
+        free.block_on(eveth_core::for_each_m(0..100u32, |_| sys_yield()))
+            .unwrap();
+        assert_eq!(free.now(), 0, "free model charges nothing");
+
+        let paid = SimRuntime::new_default();
+        paid.block_on(eveth_core::for_each_m(0..100u32, |_| sys_yield()))
+            .unwrap();
+        assert!(paid.now() > 0, "monadic model charges for switches");
+    }
+
+    #[test]
+    fn nptl_charges_more_than_monadic_for_blocking() {
+        let run = |cost: CostModel| {
+            let sim = SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 256 });
+            sim.block_on(eveth_core::for_each_m(0..1000u32, |_| sys_yield()))
+                .unwrap();
+            sim.now()
+        };
+        let monadic = run(CostModel::monadic());
+        let nptl = run(CostModel::nptl());
+        assert!(
+            nptl > 3 * monadic,
+            "nptl {nptl}ns should dwarf monadic {monadic}ns"
+        );
+    }
+
+    #[test]
+    fn spawn_checked_enforces_cap() {
+        let mut cost = CostModel::nptl();
+        cost.max_threads = Some(4);
+        let sim = SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 16 });
+        for _ in 0..4 {
+            sim.spawn_checked(eveth_core::forever_m(sys_yield))
+                .expect("under cap");
+        }
+        let err = sim
+            .spawn_checked(ThreadM::pure(()))
+            .expect_err("cap reached");
+        assert_eq!(err.max_threads, 4);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let sim = SimRuntime::new_default();
+        let err = sim
+            .block_on(sys_park::<fn(eveth_core::reactor::Unparker)>(|_u| {
+                // park and never unpark
+            }))
+            .unwrap_err();
+        assert!(err.message().contains("quiescent"));
+    }
+
+    #[test]
+    fn report_tracks_peak_threads_and_stack() {
+        let sim = SimRuntime::new(SimClock::new(), SimConfig {
+            cost: CostModel::nptl(),
+            slice: 64,
+        });
+        for _ in 0..10 {
+            sim.spawn(sys_sleep(MILLIS));
+        }
+        let report = sim.run();
+        assert_eq!(report.peak_threads, 10);
+        assert_eq!(report.peak_stack_bytes, 10 * 32 * 1024);
+        assert!(report.uncaught.is_empty());
+    }
+}

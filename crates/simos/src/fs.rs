@@ -1,0 +1,256 @@
+//! A simulated file system over [`SimDisk`]: paths map to contiguous
+//! extents, reads carry real (synthesized, deterministic) bytes, and all
+//! timing comes from the disk model.
+//!
+//! Files implement [`AioFile`], so monadic threads use ordinary
+//! [`sys_aio_read`](eveth_core::syscall::sys_aio_read) against them and the
+//! benchmark harnesses can swap this store for the RAM-backed one without
+//! touching server code.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::aio::{AioCompletion, AioFile, FileStore, IoError};
+use eveth_core::io::ramdisk::SynthFile;
+use parking_lot::RwLock;
+
+use crate::disk::SimDisk;
+
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    base: u64,
+    len: u64,
+    seed: u64,
+}
+
+struct FsState {
+    files: HashMap<String, Extent>,
+    next_base: u64,
+}
+
+/// The simulated file system.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_simos::{des::SimClock, disk::*, fs::SimFs};
+/// use eveth_core::aio::FileStore;
+///
+/// let clock = SimClock::new();
+/// let disk = SimDisk::new(clock, DiskGeometry::eide_7200_80gb(), DiskSched::CLook, 1);
+/// let fs = SimFs::new(disk);
+/// fs.add_file("/data/blob", 1 << 20);
+/// assert_eq!(fs.lookup("/data/blob").unwrap().len(), 1 << 20);
+/// ```
+pub struct SimFs {
+    disk: Arc<SimDisk>,
+    state: RwLock<FsState>,
+}
+
+impl SimFs {
+    /// Creates an empty file system on `disk`.
+    pub fn new(disk: Arc<SimDisk>) -> Arc<Self> {
+        Arc::new(SimFs {
+            disk,
+            state: RwLock::new(FsState {
+                files: HashMap::new(),
+                next_base: 0,
+            }),
+        })
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    /// Creates a file of `len` bytes laid out contiguously after all
+    /// previously created files. Content is deterministic in the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk is full.
+    pub fn add_file(&self, path: impl Into<String>, len: u64) {
+        let path = path.into();
+        let mut st = self.state.write();
+        let base = st.next_base;
+        assert!(
+            base + len <= self.disk.geometry().capacity,
+            "simulated disk full"
+        );
+        st.next_base += len.max(4096); // at least one block per file
+        let seed = path_seed(&path);
+        st.files.insert(path, Extent { base, len, seed });
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.state.read().files.len()
+    }
+
+    /// Total bytes allocated.
+    pub fn allocated(&self) -> u64 {
+        self.state.read().next_base
+    }
+}
+
+fn path_seed(path: &str) -> u64 {
+    // FNV-1a, so content is a pure function of the path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl FileStore for SimFs {
+    fn lookup(&self, path: &str) -> Option<Arc<dyn AioFile>> {
+        let extent = *self.state.read().files.get(path)?;
+        Some(Arc::new(SimFsFile {
+            disk: Arc::clone(&self.disk),
+            extent,
+        }) as Arc<dyn AioFile>)
+    }
+}
+
+impl fmt::Debug for SimFs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SimFs(files={}, allocated={})",
+            self.file_count(),
+            self.allocated()
+        )
+    }
+}
+
+struct SimFsFile {
+    disk: Arc<SimDisk>,
+    extent: Extent,
+}
+
+impl AioFile for SimFsFile {
+    fn len(&self) -> u64 {
+        self.extent.len
+    }
+
+    fn submit_read(&self, offset: u64, len: usize, done: AioCompletion) {
+        if offset >= self.extent.len {
+            done.complete(Ok(Bytes::new()));
+            return;
+        }
+        let n = len.min((self.extent.len - offset) as usize);
+        let seed = self.extent.seed;
+        self.disk.submit(self.extent.base + offset, n, move || {
+            done.complete(Ok(SynthFile::bytes_at(seed, offset, n)));
+        });
+    }
+
+    fn submit_write(&self, offset: u64, data: Bytes, done: AioCompletion) {
+        if offset + data.len() as u64 > self.extent.len {
+            done.complete(Err(IoError::OutOfRange));
+            return;
+        }
+        // Timing-accurate write; contents are not persisted (the store
+        // synthesizes reads), which the disk benchmarks never observe.
+        self.disk
+            .submit(self.extent.base + offset, data.len(), move || {
+                done.complete(Ok(Bytes::new()));
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::des::SimClock;
+    use crate::desrt::{SimConfig, SimRuntime};
+    use crate::disk::{DiskGeometry, DiskSched};
+    use eveth_core::syscall::sys_aio_read;
+
+    fn fixture() -> (SimRuntime, Arc<SimFs>) {
+        let sim = SimRuntime::new(
+            SimClock::new(),
+            SimConfig {
+                cost: CostModel::monadic(),
+                slice: 256,
+            },
+        );
+        let disk = SimDisk::new(
+            sim.clock(),
+            DiskGeometry::eide_7200_80gb(),
+            DiskSched::CLook,
+            11,
+        );
+        let fs = SimFs::new(disk);
+        (sim, fs)
+    }
+
+    #[test]
+    fn read_returns_deterministic_content() {
+        let (sim, fs) = fixture();
+        fs.add_file("/a", 64 * 1024);
+        let file = fs.lookup("/a").unwrap();
+        let first = sim.block_on(sys_aio_read(&file, 4096, 512)).unwrap().unwrap();
+        let again = sim.block_on(sys_aio_read(&file, 4096, 512)).unwrap().unwrap();
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 512);
+    }
+
+    #[test]
+    fn different_paths_have_different_content() {
+        let (sim, fs) = fixture();
+        fs.add_file("/a", 4096);
+        fs.add_file("/b", 4096);
+        let fa = fs.lookup("/a").unwrap();
+        let fb = fs.lookup("/b").unwrap();
+        let a = sim.block_on(sys_aio_read(&fa, 0, 256)).unwrap().unwrap();
+        let b = sim.block_on(sys_aio_read(&fb, 0, 256)).unwrap().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reads_take_disk_time() {
+        let (sim, fs) = fixture();
+        fs.add_file("/far", 1 << 20);
+        let file = fs.lookup("/far").unwrap();
+        let t0 = sim.now();
+        sim.block_on(sys_aio_read(&file, 512 * 1024, 4096))
+            .unwrap()
+            .unwrap();
+        assert!(
+            sim.now() - t0 >= eveth_core::time::MILLIS,
+            "a random read must cost mechanical time"
+        );
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let (sim, fs) = fixture();
+        fs.add_file("/tiny", 100);
+        let file = fs.lookup("/tiny").unwrap();
+        let data = sim.block_on(sys_aio_read(&file, 96, 64)).unwrap().unwrap();
+        assert_eq!(data.len(), 4);
+        let empty = sim.block_on(sys_aio_read(&file, 100, 64)).unwrap().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let (_sim, fs) = fixture();
+        assert!(fs.lookup("/nope").is_none());
+    }
+
+    #[test]
+    fn files_are_laid_out_contiguously() {
+        let (_sim, fs) = fixture();
+        fs.add_file("/a", 16 * 1024);
+        fs.add_file("/b", 16 * 1024);
+        assert_eq!(fs.allocated(), 32 * 1024);
+        assert_eq!(fs.file_count(), 2);
+    }
+}

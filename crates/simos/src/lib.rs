@@ -1,0 +1,40 @@
+//! # eveth-simos — the simulated operating substrate
+//!
+//! Everything the paper's evaluation ran on that we cannot (or should not)
+//! require of a test machine, rebuilt as deterministic, seeded simulation:
+//!
+//! * [`des`] — the virtual clock and event heap all devices share;
+//! * [`cost`] — CPU cost models: the application-level monadic runtime vs.
+//!   Linux NPTL kernel threads vs. an Apache-style worker (how the paired
+//!   lines of Figures 17–19 are produced);
+//! * [`desrt`] — [`SimRuntime`](desrt::SimRuntime), the core scheduler
+//!   engine driven by virtual time;
+//! * [`disk`] — a seek-accurate disk with a C-LOOK elevator (Figure 17's
+//!   mechanism) modelled on the paper's 7200 RPM 80 GB EIDE drive;
+//! * [`fs`] — a file system over that disk with deterministic contents;
+//! * [`net`] — a packet network with latency, bandwidth, loss and
+//!   per-link FIFO ordering (the substrate under `eveth-tcp`);
+//! * [`sockets`] — a kernel-TCP model implementing
+//!   [`NetStack`](eveth_core::net::NetStack), the "standard socket library"
+//!   side of the paper's one-line switch.
+//!
+//! The same monadic programs run unchanged on
+//! [`Runtime`](eveth_core::runtime::Runtime) (wall clock) and
+//! [`SimRuntime`](desrt::SimRuntime) (virtual time): the bench harnesses in
+//! `eveth-bench` exploit this to rerun one workload under several cost
+//! models.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod des;
+pub mod desrt;
+pub mod disk;
+pub mod fs;
+pub mod net;
+pub mod sockets;
+
+pub use cost::CostModel;
+pub use des::SimClock;
+pub use desrt::{SimConfig, SimReport, SimRuntime};

@@ -1,0 +1,307 @@
+//! A simulated packet network: hosts, links with latency / bandwidth /
+//! loss, and type-erased datagram delivery.
+//!
+//! This is the substrate under the application-level TCP stack: the paper
+//! reads raw packets through an iptables queue; here segments travel
+//! through seeded, deterministic links that can drop, delay and reorder —
+//! which is what lets the TCP tests exercise retransmission and congestion
+//! control reproducibly.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use eveth_core::net::HostId;
+use eveth_core::time::{Nanos, SECS};
+use parking_lot::Mutex;
+
+use crate::des::SimClock;
+
+/// Transmission characteristics of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub latency: Nanos,
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Probability in [0, 1) that a packet is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// The paper's client↔server link: 100 Mbps Ethernet, ~0.1 ms one-way.
+    pub fn ethernet_100mbps() -> Self {
+        LinkParams {
+            latency: 100_000,
+            bandwidth_bps: 100_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A fast, lossless loopback-style link.
+    pub fn loopback() -> Self {
+        LinkParams {
+            latency: 10_000,
+            bandwidth_bps: 10_000_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// Same link with the given loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        self.loss = loss;
+        self
+    }
+
+    /// Same link with the given one-way latency.
+    pub fn with_latency(mut self, latency: Nanos) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Nanoseconds to serialize `bytes` onto the wire.
+    pub fn tx_time(&self, bytes: usize) -> Nanos {
+        (bytes as u64)
+            .saturating_mul(8)
+            .saturating_mul(SECS)
+            / self.bandwidth_bps
+    }
+}
+
+/// Called on the destination host for each delivered packet: source host
+/// plus the type-erased payload.
+pub type PacketHandler = Arc<dyn Fn(HostId, Box<dyn Any + Send>) + Send + Sync>;
+
+/// Delivery counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Packets handed to [`SimNet::send`].
+    pub sent: AtomicU64,
+    /// Packets delivered to a handler.
+    pub delivered: AtomicU64,
+    /// Packets dropped by loss.
+    pub dropped: AtomicU64,
+    /// Packets addressed to unregistered hosts.
+    pub unroutable: AtomicU64,
+    /// Wire bytes sent.
+    pub bytes: AtomicU64,
+}
+
+struct NetState {
+    hosts: HashMap<HostId, PacketHandler>,
+    default_link: LinkParams,
+    links: HashMap<(HostId, HostId), LinkParams>,
+    busy_until: HashMap<(HostId, HostId), Nanos>,
+    rng: u64,
+}
+
+/// The simulated network.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_core::net::HostId;
+/// use eveth_simos::{des::SimClock, net::{LinkParams, SimNet}};
+/// use std::sync::{Arc, Mutex};
+///
+/// let clock = SimClock::new();
+/// let net = SimNet::new(clock.clone(), LinkParams::loopback(), 1);
+/// let inbox = Arc::new(Mutex::new(Vec::new()));
+/// let sink = inbox.clone();
+/// net.register_host(HostId(2), Arc::new(move |src, pkt| {
+///     let msg = *pkt.downcast::<&str>().unwrap();
+///     sink.lock().unwrap().push((src, msg));
+/// }));
+/// net.send(HostId(1), HostId(2), 100, Box::new("ping"));
+/// while clock.fire_next() {}
+/// assert_eq!(*inbox.lock().unwrap(), vec![(HostId(1), "ping")]);
+/// ```
+pub struct SimNet {
+    clock: SimClock,
+    state: Mutex<NetState>,
+    stats: NetStats,
+    self_weak: Weak<SimNet>,
+}
+
+impl SimNet {
+    /// Creates a network where every host pair uses `default_link` unless
+    /// overridden. `seed` drives the deterministic loss sequence.
+    pub fn new(clock: SimClock, default_link: LinkParams, seed: u64) -> Arc<Self> {
+        Arc::new_cyclic(|weak| SimNet {
+            clock,
+            state: Mutex::new(NetState {
+                hosts: HashMap::new(),
+                default_link,
+                links: HashMap::new(),
+                busy_until: HashMap::new(),
+                rng: seed | 1,
+            }),
+            stats: NetStats::default(),
+            self_weak: weak.clone(),
+        })
+    }
+
+    /// Attaches a host; packets addressed to `id` invoke `handler` at their
+    /// arrival time.
+    pub fn register_host(&self, id: HostId, handler: PacketHandler) {
+        self.state.lock().hosts.insert(id, handler);
+    }
+
+    /// Overrides the link parameters for the directed pair `src → dst`.
+    pub fn set_link(&self, src: HostId, dst: HostId, params: LinkParams) {
+        self.state.lock().links.insert((src, dst), params);
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Sends a packet of `wire_bytes` from `src` to `dst`. The payload is
+    /// delivered (or dropped) according to the link's parameters; FIFO
+    /// ordering holds per directed link.
+    pub fn send(&self, src: HostId, dst: HostId, wire_bytes: usize, payload: Box<dyn Any + Send>) {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+
+        let arrive = {
+            let mut st = self.state.lock();
+            let params = *st.links.get(&(src, dst)).unwrap_or(&st.default_link);
+            // xorshift64 loss lottery.
+            st.rng ^= st.rng << 13;
+            st.rng ^= st.rng >> 7;
+            st.rng ^= st.rng << 17;
+            let roll = (st.rng >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < params.loss {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let now = self.clock.now();
+            let busy = st.busy_until.entry((src, dst)).or_insert(0);
+            let depart = (*busy).max(now) + params.tx_time(wire_bytes);
+            *busy = depart;
+            depart + params.latency
+        };
+
+        let weak = self.self_weak.clone();
+        self.clock.schedule_at(arrive, move || {
+            let Some(net) = weak.upgrade() else { return };
+            let handler = net.state.lock().hosts.get(&dst).cloned();
+            match handler {
+                Some(h) => {
+                    net.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    h(src, payload);
+                }
+                None => {
+                    net.stats.unroutable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SimNet(hosts={}, sent={}, dropped={})",
+            self.state.lock().hosts.len(),
+            self.stats.sent.load(Ordering::Relaxed),
+            self.stats.dropped.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_net(
+        params: LinkParams,
+        seed: u64,
+    ) -> (SimClock, Arc<SimNet>, Arc<Mutex<Vec<u32>>>) {
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), params, seed);
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        let sink = inbox.clone();
+        net.register_host(
+            HostId(9),
+            Arc::new(move |_src, pkt| {
+                sink.lock().push(*pkt.downcast::<u32>().unwrap());
+            }),
+        );
+        (clock, net, inbox)
+    }
+
+    #[test]
+    fn per_link_fifo_ordering() {
+        let (clock, net, inbox) = collect_net(LinkParams::ethernet_100mbps(), 5);
+        for i in 0..50u32 {
+            net.send(HostId(1), HostId(9), 1500, Box::new(i));
+        }
+        while clock.fire_next() {}
+        assert_eq!(*inbox.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bandwidth_serializes_packets() {
+        let (clock, net, inbox) = collect_net(LinkParams::ethernet_100mbps(), 5);
+        // 100 packets × 1500 B at 100 Mbps = 120 µs each of serialization.
+        for i in 0..100u32 {
+            net.send(HostId(1), HostId(9), 1500, Box::new(i));
+        }
+        while clock.fire_next() {}
+        assert_eq!(inbox.lock().len(), 100);
+        let expected = LinkParams::ethernet_100mbps().tx_time(1500) * 100
+            + LinkParams::ethernet_100mbps().latency;
+        assert_eq!(clock.now(), expected);
+    }
+
+    #[test]
+    fn loss_drops_deterministically() {
+        let (clock, net, inbox) = collect_net(LinkParams::loopback().with_loss(0.5), 1234);
+        for i in 0..1000u32 {
+            net.send(HostId(1), HostId(9), 100, Box::new(i));
+        }
+        while clock.fire_next() {}
+        let delivered = inbox.lock().len();
+        assert!(
+            (350..650).contains(&delivered),
+            "≈half should arrive, got {delivered}"
+        );
+        // Deterministic: same seed, same survivors.
+        let (clock2, net2, inbox2) = collect_net(LinkParams::loopback().with_loss(0.5), 1234);
+        for i in 0..1000u32 {
+            net2.send(HostId(1), HostId(9), 100, Box::new(i));
+        }
+        while clock2.fire_next() {}
+        assert_eq!(*inbox.lock(), *inbox2.lock());
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        let (clock, net, _inbox) = collect_net(LinkParams::loopback(), 5);
+        net.send(HostId(1), HostId(77), 100, Box::new(0u32));
+        while clock.fire_next() {}
+        assert_eq!(net.stats().unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn link_override_changes_latency() {
+        let (clock, net, inbox) = collect_net(LinkParams::loopback(), 5);
+        net.set_link(
+            HostId(1),
+            HostId(9),
+            LinkParams::loopback().with_latency(5_000_000),
+        );
+        net.send(HostId(1), HostId(9), 10, Box::new(1u32));
+        while clock.fire_next() {}
+        assert_eq!(inbox.lock().len(), 1);
+        assert!(clock.now() >= 5_000_000);
+    }
+}

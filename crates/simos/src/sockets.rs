@@ -1,0 +1,590 @@
+//! The "standard socket library": a kernel-TCP model over shaped in-memory
+//! streams.
+//!
+//! This is the *other half* of the paper's one-line switch (§5.2): servers
+//! written against [`NetStack`] run either on these kernel-model sockets or
+//! on the application-level TCP stack of `eveth-tcp`. The model provides
+//! reliable, ordered byte streams with connection handshake latency,
+//! per-direction bandwidth shaping, a flow-control window, and orderly
+//! close — the observable behaviour of kernel TCP on a healthy LAN — while
+//! all loss/retransmission machinery is assumed to live "in the kernel".
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
+use eveth_core::reactor::Unparker;
+use eveth_core::syscall::{sys_nbio, sys_park, sys_sleep};
+use eveth_core::time::Nanos;
+use eveth_core::{loop_m, Loop, ThreadM};
+use parking_lot::Mutex;
+
+use crate::des::SimClock;
+use crate::net::LinkParams;
+
+/// Network characteristics of the socket fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricParams {
+    /// Link model between any two hosts (latency = one-way delay).
+    pub link: LinkParams,
+    /// Per-direction flow-control window (bytes buffered + in flight).
+    pub window: usize,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams {
+            link: LinkParams::ethernet_100mbps(),
+            window: 64 * 1024,
+        }
+    }
+}
+
+struct FabricState {
+    listeners: HashMap<Endpoint, Arc<ListenerInner>>,
+}
+
+/// The shared "internet" connecting every [`SimSocketStack`] built from it.
+pub struct SocketFabric {
+    clock: SimClock,
+    params: FabricParams,
+    state: Mutex<FabricState>,
+    next_ephemeral: AtomicU32,
+}
+
+impl SocketFabric {
+    /// Creates a fabric on the given virtual clock.
+    pub fn new(clock: SimClock, params: FabricParams) -> Arc<Self> {
+        Arc::new(SocketFabric {
+            clock,
+            params,
+            state: Mutex::new(FabricState {
+                listeners: HashMap::new(),
+            }),
+            next_ephemeral: AtomicU32::new(40_000),
+        })
+    }
+
+    /// A per-host [`NetStack`] view of this fabric.
+    pub fn stack(self: &Arc<Self>, host: HostId) -> Arc<SimSocketStack> {
+        Arc::new(SimSocketStack {
+            fabric: Arc::clone(self),
+            host,
+        })
+    }
+
+    fn ephemeral_port(&self) -> u16 {
+        let p = self.next_ephemeral.fetch_add(1, Ordering::Relaxed);
+        40_000 + (p % 25_000) as u16
+    }
+}
+
+impl fmt::Debug for SocketFabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SocketFabric(listeners={})",
+            self.state.lock().listeners.len()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One shaped, reliable direction of a connection.
+// ---------------------------------------------------------------------------
+
+struct DirState {
+    readable: VecDeque<u8>,
+    in_flight: usize,
+    closed: bool,      // sender closed; EOF once drained
+    reset: bool,       // hard failure
+    busy_until: Nanos, // sender-side serialization point
+    read_waiters: VecDeque<Unparker>,
+    write_waiters: VecDeque<Unparker>,
+}
+
+struct Dir {
+    st: Mutex<DirState>,
+    clock: SimClock,
+    params: FabricParams,
+}
+
+enum TryIo<T> {
+    Done(T),
+    WouldBlock,
+}
+
+impl Dir {
+    fn new(clock: SimClock, params: FabricParams) -> Arc<Self> {
+        Arc::new(Dir {
+            st: Mutex::new(DirState {
+                readable: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+                reset: false,
+                busy_until: 0,
+                read_waiters: VecDeque::new(),
+                write_waiters: VecDeque::new(),
+            }),
+            clock,
+            params,
+        })
+    }
+
+    fn try_send(self: &Arc<Self>, data: &Bytes) -> Result<TryIo<usize>, NetError> {
+        let mut st = self.st.lock();
+        if st.reset {
+            return Err(NetError::Reset);
+        }
+        if st.closed {
+            return Err(NetError::Closed);
+        }
+        let used = st.readable.len() + st.in_flight;
+        let avail = self.params.window.saturating_sub(used);
+        if avail == 0 {
+            return Ok(TryIo::WouldBlock);
+        }
+        let n = avail.min(data.len());
+        st.in_flight += n;
+        let chunk = data.slice(..n);
+        let now = self.clock.now();
+        let depart = st.busy_until.max(now) + self.params.link.tx_time(n);
+        st.busy_until = depart;
+        let arrive = depart + self.params.link.latency;
+        drop(st);
+
+        let dir = Arc::clone(self);
+        self.clock.schedule_at(arrive, move || {
+            let mut st = dir.st.lock();
+            st.in_flight -= chunk.len();
+            st.readable.extend(chunk.iter());
+            for u in st.read_waiters.drain(..) {
+                u.unpark();
+            }
+        });
+        Ok(TryIo::Done(n))
+    }
+
+    fn try_recv(&self, max: usize) -> Result<TryIo<Bytes>, NetError> {
+        let mut st = self.st.lock();
+        if st.reset {
+            return Err(NetError::Reset);
+        }
+        if !st.readable.is_empty() {
+            let n = max.min(st.readable.len());
+            let out: Bytes = st.readable.drain(..n).collect::<Vec<u8>>().into();
+            for u in st.write_waiters.drain(..) {
+                u.unpark();
+            }
+            return Ok(TryIo::Done(out));
+        }
+        if st.closed && st.in_flight == 0 {
+            return Ok(TryIo::Done(Bytes::new())); // EOF
+        }
+        Ok(TryIo::WouldBlock)
+    }
+
+    /// Sender closes: EOF surfaces after in-flight data drains plus one
+    /// propagation delay (the FIN's flight time).
+    fn close(self: &Arc<Self>) {
+        let arrive = {
+            let st = self.st.lock();
+            st.busy_until.max(self.clock.now()) + self.params.link.latency
+        };
+        let dir = Arc::clone(self);
+        self.clock.schedule_at(arrive, move || {
+            let mut st = dir.st.lock();
+            st.closed = true;
+            for u in st.read_waiters.drain(..) {
+                u.unpark();
+            }
+            for u in st.write_waiters.drain(..) {
+                u.unpark();
+            }
+        });
+    }
+
+    fn park_reader(self: &Arc<Self>, u: Unparker) {
+        let mut st = self.st.lock();
+        let ready = !st.readable.is_empty() || (st.closed && st.in_flight == 0) || st.reset;
+        if ready {
+            drop(st);
+            u.unpark();
+        } else {
+            st.read_waiters.push_back(u);
+        }
+    }
+
+    fn park_writer(self: &Arc<Self>, u: Unparker) {
+        let mut st = self.st.lock();
+        let ready = st.readable.len() + st.in_flight < self.params.window || st.closed || st.reset;
+        if ready {
+            drop(st);
+            u.unpark();
+        } else {
+            st.write_waiters.push_back(u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections, listeners, stack.
+// ---------------------------------------------------------------------------
+
+struct SimConn {
+    local: Endpoint,
+    peer: Endpoint,
+    tx: Arc<Dir>, // local → peer
+    rx: Arc<Dir>, // peer → local
+}
+
+impl Conn for SimConn {
+    fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
+        let rx = Arc::clone(&self.rx);
+        loop_m((), move |()| {
+            let try_rx = Arc::clone(&rx);
+            let park_rx = Arc::clone(&rx);
+            sys_nbio(move || try_rx.try_recv(max)).bind(move |r| match r {
+                Ok(TryIo::Done(b)) => ThreadM::pure(Loop::Break(Ok(b))),
+                Ok(TryIo::WouldBlock) => {
+                    sys_park(move |u| park_rx.park_reader(u)).map(|_| Loop::Continue(()))
+                }
+                Err(e) => ThreadM::pure(Loop::Break(Err(e))),
+            })
+        })
+    }
+
+    fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>> {
+        let tx = Arc::clone(&self.tx);
+        if data.is_empty() {
+            return ThreadM::pure(Ok(0));
+        }
+        loop_m(data, move |data| {
+            let try_tx = Arc::clone(&tx);
+            let park_tx = Arc::clone(&tx);
+            let attempt = data.clone();
+            sys_nbio(move || try_tx.try_send(&attempt)).bind(move |r| match r {
+                Ok(TryIo::Done(n)) => ThreadM::pure(Loop::Break(Ok(n))),
+                Ok(TryIo::WouldBlock) => {
+                    sys_park(move |u| park_tx.park_writer(u)).map(move |_| Loop::Continue(data))
+                }
+                Err(e) => ThreadM::pure(Loop::Break(Err(e))),
+            })
+        })
+    }
+
+    fn close(&self) -> ThreadM<()> {
+        let tx = Arc::clone(&self.tx);
+        sys_nbio(move || tx.close())
+    }
+
+    fn peer(&self) -> Endpoint {
+        self.peer
+    }
+
+    fn local(&self) -> Endpoint {
+        self.local
+    }
+}
+
+impl fmt::Debug for SimConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimConn({} -> {})", self.local, self.peer)
+    }
+}
+
+struct ListenerInner {
+    endpoint: Endpoint,
+    backlog: Mutex<VecDeque<Arc<SimConn>>>,
+    waiters: Mutex<VecDeque<Unparker>>,
+    closed: Mutex<bool>,
+}
+
+impl ListenerInner {
+    fn push(&self, conn: Arc<SimConn>) {
+        self.backlog.lock().push_back(conn);
+        for u in self.waiters.lock().drain(..) {
+            u.unpark();
+        }
+    }
+}
+
+struct SimListener {
+    inner: Arc<ListenerInner>,
+    fabric: Arc<SocketFabric>,
+}
+
+impl Listener for SimListener {
+    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                if let Some(c) = try_inner.backlog.lock().pop_front() {
+                    return Some(Ok(c as Arc<dyn Conn>));
+                }
+                if *try_inner.closed.lock() {
+                    return Some(Err(NetError::Closed));
+                }
+                None
+            })
+            .bind(move |got| match got {
+                Some(res) => ThreadM::pure(Loop::Break(res)),
+                None => sys_park(move |u| {
+                    let backlog = park_inner.backlog.lock();
+                    if !backlog.is_empty() || *park_inner.closed.lock() {
+                        drop(backlog);
+                        u.unpark();
+                    } else {
+                        drop(backlog);
+                        park_inner.waiters.lock().push_back(u);
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+
+    fn local(&self) -> Endpoint {
+        self.inner.endpoint
+    }
+
+    fn shutdown(&self) {
+        *self.inner.closed.lock() = true;
+        for u in self.inner.waiters.lock().drain(..) {
+            u.unpark();
+        }
+        self.fabric
+            .state
+            .lock()
+            .listeners
+            .remove(&self.inner.endpoint);
+    }
+}
+
+impl fmt::Debug for SimListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimListener({})", self.inner.endpoint)
+    }
+}
+
+/// A per-host socket interface to a [`SocketFabric`] — the "standard socket
+/// library" side of the paper's one-line switch.
+pub struct SimSocketStack {
+    fabric: Arc<SocketFabric>,
+    host: HostId,
+}
+
+impl NetStack for SimSocketStack {
+    fn listen(&self, port: u16) -> ThreadM<Result<Arc<dyn Listener>, NetError>> {
+        let fabric = Arc::clone(&self.fabric);
+        let endpoint = Endpoint::new(self.host, port);
+        sys_nbio(move || {
+            let mut st = fabric.state.lock();
+            if st.listeners.contains_key(&endpoint) {
+                return Err(NetError::AddrInUse);
+            }
+            let inner = Arc::new(ListenerInner {
+                endpoint,
+                backlog: Mutex::new(VecDeque::new()),
+                waiters: Mutex::new(VecDeque::new()),
+                closed: Mutex::new(false),
+            });
+            st.listeners.insert(endpoint, Arc::clone(&inner));
+            Ok(Arc::new(SimListener {
+                inner,
+                fabric: Arc::clone(&fabric),
+            }) as Arc<dyn Listener>)
+        })
+    }
+
+    fn connect(&self, remote: Endpoint) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        let fabric = Arc::clone(&self.fabric);
+        let host = self.host;
+        // Model the three-way handshake as one round trip before data flows.
+        let rtt = 2 * fabric.params.link.latency;
+        sys_sleep(rtt).bind(move |_| {
+            sys_nbio(move || {
+                let st = fabric.state.lock();
+                let Some(listener) = st.listeners.get(&remote).cloned() else {
+                    return Err(NetError::ConnectionRefused);
+                };
+                drop(st);
+                let local = Endpoint::new(host, fabric.ephemeral_port());
+                let a2b = Dir::new(fabric.clock.clone(), fabric.params);
+                let b2a = Dir::new(fabric.clock.clone(), fabric.params);
+                let client = Arc::new(SimConn {
+                    local,
+                    peer: remote,
+                    tx: Arc::clone(&a2b),
+                    rx: Arc::clone(&b2a),
+                });
+                let server = Arc::new(SimConn {
+                    local: remote,
+                    peer: local,
+                    tx: b2a,
+                    rx: a2b,
+                });
+                listener.push(server);
+                Ok(client as Arc<dyn Conn>)
+            })
+        })
+    }
+
+    fn host(&self) -> HostId {
+        self.host
+    }
+}
+
+impl fmt::Debug for SimSocketStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimSocketStack({})", self.host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desrt::SimRuntime;
+    use eveth_core::net::{recv_exact, send_all};
+    use eveth_core::syscall::sys_fork;
+
+    fn fixture() -> (SimRuntime, Arc<SimSocketStack>, Arc<SimSocketStack>) {
+        let sim = SimRuntime::new_default();
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        (sim, fabric.stack(HostId(1)), fabric.stack(HostId(2)))
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let (sim, client, _server) = fixture();
+        let err = sim
+            .block_on(client.connect(Endpoint::new(HostId(2), 80)))
+            .unwrap()
+            .err()
+            .expect("must be refused");
+        assert_eq!(err, NetError::ConnectionRefused);
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (sim, client, server) = fixture();
+        let server_prog = eveth_core::do_m! {
+            let lst <- server.listen(7);
+            let lst = lst.unwrap();
+            let conn <- lst.accept();
+            let conn = conn.unwrap();
+            let data <- recv_exact(&conn, 5);
+            let reply <- send_all(&conn, data.unwrap());
+            let _ = reply.unwrap();
+            conn.close()
+        };
+        let got = sim
+            .block_on(eveth_core::do_m! {
+                sys_fork(server_prog);
+                let conn <- client.connect(Endpoint::new(HostId(2), 7));
+                let conn = conn.unwrap();
+                let sent <- send_all(&conn, Bytes::from_static(b"hello"));
+                let _ = sent.unwrap();
+                let back <- recv_exact(&conn, 5);
+                ThreadM::pure(back.unwrap())
+            })
+            .unwrap();
+        assert_eq!(&got[..], b"hello");
+    }
+
+    #[test]
+    fn transfers_cost_virtual_time() {
+        let (sim, client, server) = fixture();
+        let payload = Bytes::from(vec![1u8; 1_000_000]); // 1 MB at 100 Mbps ≈ 80 ms
+        let expect = payload.len();
+        let server_prog = eveth_core::do_m! {
+            let lst <- server.listen(8);
+            let conn <- lst.unwrap().accept();
+            let conn = conn.unwrap();
+            let got <- recv_exact(&conn, expect);
+            let _ = got.unwrap();
+            ThreadM::pure(())
+        };
+        sim.spawn(server_prog);
+        let t = sim
+            .block_on(eveth_core::do_m! {
+                let conn <- client.connect(Endpoint::new(HostId(2), 8));
+                let conn = conn.unwrap();
+                let sent <- send_all(&conn, payload);
+                let _ = sent.unwrap();
+                eveth_core::syscall::sys_time()
+            })
+            .unwrap();
+        // Sending alone finishes once the last chunk is accepted, but at
+        // least the serialization of (window-limited) traffic has passed.
+        assert!(t >= 50 * eveth_core::time::MILLIS, "t = {t}");
+    }
+
+    #[test]
+    fn eof_after_close_and_drain() {
+        let (sim, client, server) = fixture();
+        let server_prog = eveth_core::do_m! {
+            let lst <- server.listen(9);
+            let conn <- lst.unwrap().accept();
+            let conn = conn.unwrap();
+            let sent <- send_all(&conn, Bytes::from_static(b"bye"));
+            let _ = sent.unwrap();
+            conn.close()
+        };
+        let (data, eof) = sim
+            .block_on(eveth_core::do_m! {
+                sys_fork(server_prog);
+                let conn <- client.connect(Endpoint::new(HostId(2), 9));
+                let conn = conn.unwrap();
+                let data <- recv_exact(&conn, 3);
+                let eof <- conn.recv(16);
+                ThreadM::pure((data.unwrap(), eof.unwrap()))
+            })
+            .unwrap();
+        assert_eq!(&data[..], b"bye");
+        assert!(eof.is_empty());
+    }
+
+    #[test]
+    fn addr_in_use_detected() {
+        let (sim, _client, server) = fixture();
+        let s2 = Arc::clone(&server);
+        let err = sim
+            .block_on(eveth_core::do_m! {
+                let first <- server.listen(10);
+                let _keep = first.unwrap();
+                let second <- s2.listen(10);
+                ThreadM::pure(second.err().unwrap())
+            })
+            .unwrap();
+        assert_eq!(err, NetError::AddrInUse);
+    }
+
+    #[test]
+    fn window_backpressure_blocks_sender() {
+        let (sim, client, server) = fixture();
+        // Server accepts but never reads; client tries to push 1 MB through
+        // a 64 KB window and must park. The sim goes quiescent with the
+        // sender still blocked — which block_on reports as deadlock.
+        let server_prog = eveth_core::do_m! {
+            let lst <- server.listen(11);
+            let conn <- lst.unwrap().accept();
+            let _hold = conn.unwrap();
+            eveth_core::syscall::sys_sleep(3_600 * eveth_core::time::SECS)
+        };
+        sim.spawn(server_prog);
+        let res = sim.block_on(eveth_core::do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(2), 11));
+            let conn = conn.unwrap();
+            send_all(&conn, Bytes::from(vec![0u8; 1_000_000]))
+        });
+        // The one-hour sleep fires first; after that the sim is quiescent
+        // while the sender is still parked on the full window.
+        assert!(res.is_err(), "sender must still be blocked on the window");
+    }
+}

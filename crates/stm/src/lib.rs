@@ -1,0 +1,41 @@
+//! # eveth-stm — software transactional memory for monadic threads
+//!
+//! The paper uses GHC's STM for non-blocking synchronization: "monadic
+//! threads can simply use `sys_nbio` to submit STM computations as IO
+//! operations" (§4.7). This crate supplies the equivalent: a TL2-style STM
+//! (global version clock, per-[`TVar`] versioned locks, optimistic
+//! read/write logs) whose transactions
+//!
+//! * run from monadic threads via [`atomically_m`] — attempts execute
+//!   inside `sys_nbio`, and [`retry`](Txn::retry) parks the *monadic*
+//!   thread on the read set, exactly the scheduler-extension recipe of
+//!   §4.7;
+//! * or from plain OS threads via [`atomically_blocking`] (tests,
+//!   integration).
+//!
+//! [`Txn::or_else`] provides GHC's `orElse` composition.
+//!
+//! ```
+//! use eveth_stm::{atomically_blocking, TVar};
+//!
+//! let a = TVar::new(50i32);
+//! let b = TVar::new(50i32);
+//! // Move 10 from a to b, atomically.
+//! atomically_blocking(|t| {
+//!     let x = t.read(&a)?;
+//!     let y = t.read(&b)?;
+//!     t.write(&a, x - 10);
+//!     t.write(&b, y + 10);
+//!     Ok(())
+//! });
+//! assert_eq!((a.read_now(), b.read_now()), (40, 60));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod tvar;
+mod txn;
+
+pub use tvar::TVar;
+pub use txn::{atomically_blocking, atomically_m, StmAbort, StmResult, Txn};

@@ -1,0 +1,109 @@
+//! Property tests for STM: serializability-style invariants under random
+//! concurrent transfer schedules.
+
+use eveth_stm::{atomically_blocking, TVar};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concurrent random transfers conserve the total across accounts —
+    /// atomicity + isolation observed end to end.
+    #[test]
+    fn random_transfers_conserve_total(
+        accounts in 2usize..8,
+        transfers in proptest::collection::vec((any::<u16>(), any::<u16>(), 1i64..50), 1..120),
+        threads in 1usize..4,
+    ) {
+        let vars: Vec<TVar<i64>> = (0..accounts).map(|_| TVar::new(1_000)).collect();
+        let expected_total = accounts as i64 * 1_000;
+
+        let chunks: Vec<Vec<(u16, u16, i64)>> = transfers
+            .chunks(transfers.len().div_ceil(threads))
+            .map(|c| c.to_vec())
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            let vars = vars.clone();
+            handles.push(std::thread::spawn(move || {
+                for (f, t, amount) in chunk {
+                    let from = vars[f as usize % vars.len()].clone();
+                    let to = vars[t as usize % vars.len()].clone();
+                    if from.id() == to.id() {
+                        continue; // self-transfer is a no-op by contract
+                    }
+                    atomically_blocking(|txn| {
+                        let a = txn.read(&from)?;
+                        let b = txn.read(&to)?;
+                        txn.write(&from, a - amount);
+                        txn.write(&to, b + amount);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let total: i64 = vars.iter().map(|v| v.read_now()).sum();
+        prop_assert_eq!(total, expected_total);
+    }
+
+    /// A transaction sees a consistent snapshot: reading the same pair of
+    /// variables twice inside one transaction yields identical values even
+    /// while other threads mutate them.
+    #[test]
+    fn reads_are_snapshot_consistent(rounds in 1usize..30) {
+        let x = TVar::new(0i64);
+        let y = TVar::new(0i64);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mutator = {
+            let (x, y, stop) = (x.clone(), y.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    i += 1;
+                    atomically_blocking(|t| {
+                        t.write(&x, i);
+                        t.write(&y, -i);
+                        Ok(())
+                    });
+                }
+            })
+        };
+
+        for _ in 0..rounds {
+            let ok = atomically_blocking(|t| {
+                let a1 = t.read(&x)?;
+                let b1 = t.read(&y)?;
+                let a2 = t.read(&x)?;
+                let b2 = t.read(&y)?;
+                Ok(a1 == a2 && b1 == b2 && a1 + b1 == 0)
+            });
+            prop_assert!(ok, "torn read: snapshot isolation violated");
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        mutator.join().expect("mutator");
+    }
+
+    /// `or_else` never leaks writes from a retried first alternative.
+    #[test]
+    fn or_else_rolls_back_first_branch(initial in any::<i32>(), alt in any::<i32>()) {
+        let v = TVar::new(initial);
+        let picked = atomically_blocking(|t| {
+            t.or_else(
+                |t1| {
+                    t1.write(&v, initial.wrapping_add(1));
+                    t1.retry::<i32>()
+                },
+                |t2| {
+                    t2.write(&v, alt);
+                    Ok(alt)
+                },
+            )
+        });
+        prop_assert_eq!(picked, alt);
+        prop_assert_eq!(v.read_now(), alt);
+    }
+}

@@ -1,0 +1,589 @@
+//! The per-host TCP engine: demultiplexing, the `worker_tcp_input` and
+//! `worker_tcp_timer` event loops, and the socket interface.
+//!
+//! This is the glue the paper describes in §4.8: the generic TCP state
+//! machine ([`Tcb`]) is plugged into the event-driven system as two monadic
+//! threads — one draining the inbound packet queue, one driving timers —
+//! and a library of socket operations that park/resume application threads
+//! on TCB state changes. [`TcpHost`] implements
+//! [`NetStack`](eveth_core::net::NetStack), so a server switches from
+//! kernel sockets to this stack by changing one line.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use eveth_core::engine::{spawn_thread, RuntimeCtx};
+use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
+use eveth_core::sync::Chan;
+use eveth_core::syscall::{sys_nbio, sys_park, sys_sleep, sys_time};
+use eveth_core::time::Nanos;
+use eveth_core::{loop_m, Loop, ThreadM};
+use parking_lot::Mutex;
+
+use crate::segment::Segment;
+use crate::tcb::{State, Tcb, TcpConfig};
+use crate::transport::SegmentTransport;
+
+/// Demux key: local port + remote endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConnKey {
+    local_port: u16,
+    peer: Endpoint,
+}
+
+enum Input {
+    Seg(HostId, Segment),
+    Stop,
+}
+
+/// Counters for one TCP host.
+#[derive(Debug, Default)]
+pub struct TcpStats {
+    /// Segments handed to the transport.
+    pub segs_sent: AtomicU64,
+    /// Segments received from the transport.
+    pub segs_received: AtomicU64,
+    /// Connections actively opened.
+    pub conns_opened: AtomicU64,
+    /// Connections accepted from listeners.
+    pub conns_accepted: AtomicU64,
+    /// RSTs emitted for unmatched segments.
+    pub resets_sent: AtomicU64,
+}
+
+struct ListenerInner {
+    port: u16,
+    backlog: Mutex<VecDeque<Arc<TcpConn>>>,
+    waiters: Mutex<Vec<eveth_core::reactor::Unparker>>,
+    closed: AtomicBool,
+}
+
+impl ListenerInner {
+    fn push(&self, conn: Arc<TcpConn>) {
+        self.backlog.lock().push_back(conn);
+        for u in self.waiters.lock().drain(..) {
+            u.unpark();
+        }
+    }
+}
+
+/// One host's application-level TCP stack.
+///
+/// Create with [`TcpHost::start`]; it spawns its two event-loop threads on
+/// the supplied runtime context and serves sockets until
+/// [`TcpHost::shutdown`].
+pub struct TcpHost {
+    self_weak: Weak<TcpHost>,
+    host: HostId,
+    cfg: TcpConfig,
+    transport: Arc<dyn SegmentTransport>,
+    conns: Mutex<HashMap<ConnKey, Arc<Mutex<Tcb>>>>,
+    listeners: Mutex<HashMap<u16, Arc<ListenerInner>>>,
+    passive_parents: Mutex<HashMap<ConnKey, u16>>,
+    rx: Chan<Input>,
+    stopped: AtomicBool,
+    next_ephemeral: AtomicU32,
+    next_iss: AtomicU32,
+    stats: TcpStats,
+}
+
+impl TcpHost {
+    /// Starts a TCP host: registers nothing with the transport (callers
+    /// wire delivery to [`TcpHost::inject`]) and spawns the
+    /// `worker_tcp_input` / `worker_tcp_timer` threads on `ctx`.
+    pub fn start(
+        ctx: Arc<dyn RuntimeCtx>,
+        host: HostId,
+        transport: Arc<dyn SegmentTransport>,
+        cfg: TcpConfig,
+    ) -> Arc<Self> {
+        let this = Arc::new_cyclic(|weak| TcpHost {
+            self_weak: weak.clone(),
+            host,
+            cfg,
+            transport,
+            conns: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(HashMap::new()),
+            passive_parents: Mutex::new(HashMap::new()),
+            rx: Chan::new(),
+            stopped: AtomicBool::new(false),
+            next_ephemeral: AtomicU32::new(0),
+            next_iss: AtomicU32::new(0x1d37_5a11),
+            stats: TcpStats::default(),
+        });
+        spawn_thread(&ctx, worker_tcp_input(Arc::clone(&this)));
+        spawn_thread(&ctx, worker_tcp_timer(Arc::clone(&this)));
+        this
+    }
+
+    /// This host's network identity.
+    pub fn host_id(&self) -> HostId {
+        self.host
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &TcpStats {
+        &self.stats
+    }
+
+    /// Live connections in the demux table.
+    pub fn conn_count(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// Prints every connection's state — a debugging aid for stuck
+    /// exchanges.
+    pub fn debug_dump(&self) {
+        for (key, tcb) in self.conns.lock().iter() {
+            println!("  {} {:?} -> {:?}", self.host, key, &*tcb.lock());
+        }
+    }
+
+    /// Delivers an inbound segment (called by transports).
+    pub fn inject(&self, src: HostId, seg: Segment) {
+        if !self.stopped.load(Ordering::SeqCst) {
+            self.rx.push_now(Input::Seg(src, seg));
+        }
+    }
+
+    /// Stops both event loops; existing sockets error out over time.
+    pub fn shutdown(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.rx.push_now(Input::Stop);
+    }
+
+    fn arc(&self) -> Arc<TcpHost> {
+        self.self_weak.upgrade().expect("host alive")
+    }
+
+    fn ephemeral(&self) -> u16 {
+        40_000 + (self.next_ephemeral.fetch_add(1, Ordering::Relaxed) % 25_000) as u16
+    }
+
+    fn fresh_iss(&self) -> u32 {
+        self.next_iss
+            .fetch_add(0x0001_f3d7, Ordering::Relaxed)
+            .wrapping_mul(2_654_435_761)
+    }
+
+    fn send_segs(&self, peer_host: HostId, segs: Vec<Segment>) {
+        for seg in segs {
+            self.stats.segs_sent.fetch_add(1, Ordering::Relaxed);
+            self.transport.send(self.host, peer_host, seg);
+        }
+    }
+
+    fn process_segment(&self, src: HostId, seg: Segment, now: Nanos) {
+        self.stats.segs_received.fetch_add(1, Ordering::Relaxed);
+        let key = ConnKey {
+            local_port: seg.dst_port,
+            peer: Endpoint::new(src, seg.src_port),
+        };
+        let existing = self.conns.lock().get(&key).cloned();
+        if let Some(tcb_arc) = existing {
+            let (out, became_established) = {
+                let mut tcb = tcb_arc.lock();
+                tcb.on_segment(seg, now)
+            };
+            self.send_segs(src, out);
+            if became_established {
+                self.promote_passive(&key, &tcb_arc);
+            }
+            self.gc_if_closed(&key, &tcb_arc);
+            return;
+        }
+        // No connection: maybe a SYN for a listener.
+        if seg.flags.syn && !seg.flags.ack {
+            let listener = self.listeners.lock().get(&seg.dst_port).cloned();
+            if let Some(listener) = listener {
+                if !listener.closed.load(Ordering::SeqCst) {
+                    let local = Endpoint::new(self.host, seg.dst_port);
+                    let tcb =
+                        Tcb::new_passive(self.cfg.clone(), local, key.peer, self.fresh_iss(), &seg, now);
+                    let syn_ack = tcb.syn_ack_segment();
+                    self.conns.lock().insert(key, Arc::new(Mutex::new(tcb)));
+                    self.passive_parents.lock().insert(key, seg.dst_port);
+                    self.send_segs(src, vec![syn_ack]);
+                    return;
+                }
+            }
+        }
+        // Otherwise: refuse with RST (unless it *is* a RST).
+        if !seg.flags.rst {
+            self.stats.resets_sent.fetch_add(1, Ordering::Relaxed);
+            let rst = Segment {
+                src_port: seg.dst_port,
+                dst_port: seg.src_port,
+                seq: if seg.flags.ack { seg.ack } else { 0 },
+                ack: seg.seq_end(),
+                flags: crate::segment::Flags {
+                    rst: true,
+                    ack: true,
+                    ..Default::default()
+                },
+                wnd: 0,
+                payload: Bytes::new(),
+            };
+            self.send_segs(src, vec![rst]);
+        }
+    }
+
+    fn promote_passive(&self, key: &ConnKey, tcb_arc: &Arc<Mutex<Tcb>>) {
+        let Some(port) = self.passive_parents.lock().remove(key) else {
+            return; // active open; connector was woken by the TCB itself
+        };
+        let listener = self.listeners.lock().get(&port).cloned();
+        match listener {
+            Some(listener) if !listener.closed.load(Ordering::SeqCst) => {
+                self.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                listener.push(Arc::new(TcpConn {
+                    host: self.arc(),
+                    key: *key,
+                    tcb: Arc::clone(tcb_arc),
+                }));
+            }
+            _ => {
+                // Listener vanished: abort the orphan.
+                let rst = tcb_arc.lock().app_abort();
+                self.send_segs(key.peer.host, vec![rst]);
+                self.conns.lock().remove(key);
+            }
+        }
+    }
+
+    fn gc_if_closed(&self, key: &ConnKey, tcb_arc: &Arc<Mutex<Tcb>>) {
+        if tcb_arc.lock().state() == State::Closed {
+            self.conns.lock().remove(key);
+            self.passive_parents.lock().remove(key);
+        }
+    }
+
+    fn process_ticks(&self, now: Nanos) {
+        let conns: Vec<(ConnKey, Arc<Mutex<Tcb>>)> = self
+            .conns
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        for (key, tcb_arc) in conns {
+            let (out, peer_host) = {
+                let mut tcb = tcb_arc.lock();
+                (tcb.on_tick(now), tcb.peer().host)
+            };
+            self.send_segs(peer_host, out);
+            self.gc_if_closed(&key, &tcb_arc);
+        }
+    }
+}
+
+impl fmt::Debug for TcpHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TcpHost({}, conns={}, listeners={})",
+            self.host,
+            self.conn_count(),
+            self.listeners.lock().len()
+        )
+    }
+}
+
+fn worker_tcp_input(host: Arc<TcpHost>) -> ThreadM<()> {
+    loop_m((), move |()| {
+        let h = Arc::clone(&host);
+        host.rx.read().bind(move |input| match input {
+            Input::Stop => ThreadM::pure(Loop::Break(())),
+            Input::Seg(src, seg) => sys_time().bind(move |now| {
+                sys_nbio(move || h.process_segment(src, seg, now)).map(|_| Loop::Continue(()))
+            }),
+        })
+    })
+}
+
+fn worker_tcp_timer(host: Arc<TcpHost>) -> ThreadM<()> {
+    let tick = host.cfg.tick;
+    loop_m((), move |()| {
+        let h = Arc::clone(&host);
+        sys_sleep(tick).bind(move |_| {
+            let h2 = Arc::clone(&h);
+            sys_time().bind(move |now| {
+                sys_nbio(move || {
+                    if h2.stopped.load(Ordering::SeqCst) {
+                        return Loop::Break(());
+                    }
+                    h2.process_ticks(now);
+                    Loop::Continue(())
+                })
+            })
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Socket objects.
+// ---------------------------------------------------------------------------
+
+/// A TCP connection exposed through the generic [`Conn`] interface.
+pub struct TcpConn {
+    host: Arc<TcpHost>,
+    key: ConnKey,
+    tcb: Arc<Mutex<Tcb>>,
+}
+
+impl TcpConn {
+    /// Retransmission count (for tests and the loss benchmarks).
+    pub fn retransmits(&self) -> u64 {
+        self.tcb.lock().retransmits()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u32 {
+        self.tcb.lock().cwnd()
+    }
+}
+
+impl Conn for TcpConn {
+    fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
+        let tcb = Arc::clone(&self.tcb);
+        let host = Arc::clone(&self.host);
+        let peer = self.key.peer.host;
+        loop_m((), move |()| {
+            let try_tcb = Arc::clone(&tcb);
+            let park_tcb = Arc::clone(&tcb);
+            let h = Arc::clone(&host);
+            sys_nbio(move || {
+                let mut t = try_tcb.lock();
+                match t.app_read(max) {
+                    Err(e) => Some(Err(e)),
+                    Ok((Some(data), reopened)) => {
+                        if reopened {
+                            let ack = t.ack_segment();
+                            drop(t);
+                            h.send_segs(peer, vec![ack]);
+                        }
+                        Some(Ok(data))
+                    }
+                    Ok((None, _)) => None,
+                }
+            })
+            .bind(move |res| match res {
+                Some(r) => ThreadM::pure(Loop::Break(r)),
+                None => sys_park(move |u| park_tcb.lock().park_reader(u))
+                    .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+
+    fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>> {
+        if data.is_empty() {
+            return ThreadM::pure(Ok(0));
+        }
+        let tcb = Arc::clone(&self.tcb);
+        let host = Arc::clone(&self.host);
+        let peer = self.key.peer.host;
+        loop_m(data, move |data| {
+            let try_tcb = Arc::clone(&tcb);
+            let park_tcb = Arc::clone(&tcb);
+            let h = Arc::clone(&host);
+            let attempt = data.clone();
+            sys_time()
+                .bind(move |now| {
+                    sys_nbio(move || {
+                        let mut t = try_tcb.lock();
+                        match t.app_write(&attempt) {
+                            Err(e) => Some(Err(e)),
+                            Ok(0) => None,
+                            Ok(n) => {
+                                let out = t.output(now);
+                                drop(t);
+                                h.send_segs(peer, out);
+                                Some(Ok(n))
+                            }
+                        }
+                    })
+                })
+                .bind(move |res| match res {
+                    Some(r) => ThreadM::pure(Loop::Break(r)),
+                    None => sys_park(move |u| park_tcb.lock().park_writer(u))
+                        .map(move |_| Loop::Continue(data)),
+                })
+        })
+    }
+
+    fn close(&self) -> ThreadM<()> {
+        let tcb = Arc::clone(&self.tcb);
+        let host = Arc::clone(&self.host);
+        let peer = self.key.peer.host;
+        sys_time().bind(move |now| {
+            sys_nbio(move || {
+                let mut t = tcb.lock();
+                t.app_close();
+                let out = t.output(now);
+                drop(t);
+                host.send_segs(peer, out);
+            })
+        })
+    }
+
+    fn peer(&self) -> Endpoint {
+        self.tcb.lock().peer()
+    }
+
+    fn local(&self) -> Endpoint {
+        self.tcb.lock().local()
+    }
+}
+
+impl fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TcpConn({:?})", &*self.tcb.lock())
+    }
+}
+
+/// A listening TCP socket.
+pub struct TcpListener {
+    host: Arc<TcpHost>,
+    inner: Arc<ListenerInner>,
+}
+
+impl Listener for TcpListener {
+    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        let inner = Arc::clone(&self.inner);
+        loop_m((), move |()| {
+            let try_inner = Arc::clone(&inner);
+            let park_inner = Arc::clone(&inner);
+            sys_nbio(move || {
+                if let Some(c) = try_inner.backlog.lock().pop_front() {
+                    return Some(Ok(c as Arc<dyn Conn>));
+                }
+                if try_inner.closed.load(Ordering::SeqCst) {
+                    return Some(Err(NetError::Closed));
+                }
+                None
+            })
+            .bind(move |got| match got {
+                Some(r) => ThreadM::pure(Loop::Break(r)),
+                None => sys_park(move |u| {
+                    let backlog = park_inner.backlog.lock();
+                    if !backlog.is_empty() || park_inner.closed.load(Ordering::SeqCst) {
+                        drop(backlog);
+                        u.unpark();
+                    } else {
+                        drop(backlog);
+                        park_inner.waiters.lock().push(u);
+                    }
+                })
+                .map(|_| Loop::Continue(())),
+            })
+        })
+    }
+
+    fn local(&self) -> Endpoint {
+        Endpoint::new(self.host.host, self.inner.port)
+    }
+
+    fn shutdown(&self) {
+        self.inner.closed.store(true, Ordering::SeqCst);
+        for u in self.inner.waiters.lock().drain(..) {
+            u.unpark();
+        }
+        self.host.listeners.lock().remove(&self.inner.port);
+    }
+}
+
+impl fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TcpListener(port={})", self.inner.port)
+    }
+}
+
+impl NetStack for TcpHost {
+    fn listen(&self, port: u16) -> ThreadM<Result<Arc<dyn Listener>, NetError>> {
+        let host = self.arc();
+        sys_nbio(move || {
+            let mut listeners = host.listeners.lock();
+            if listeners.contains_key(&port) {
+                return Err(NetError::AddrInUse);
+            }
+            let inner = Arc::new(ListenerInner {
+                port,
+                backlog: Mutex::new(VecDeque::new()),
+                waiters: Mutex::new(Vec::new()),
+                closed: AtomicBool::new(false),
+            });
+            listeners.insert(port, Arc::clone(&inner));
+            drop(listeners);
+            Ok(Arc::new(TcpListener {
+                host: Arc::clone(&host),
+                inner,
+            }) as Arc<dyn Listener>)
+        })
+    }
+
+    fn connect(&self, remote: Endpoint) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        let host = self.arc();
+        sys_time().bind(move |now| {
+            // Create the TCB, fire the SYN, then park until the handshake
+            // resolves (the timer thread retries lost SYNs).
+            let setup_host = Arc::clone(&host);
+            sys_nbio(move || {
+                let local = Endpoint::new(setup_host.host, setup_host.ephemeral());
+                let key = ConnKey {
+                    local_port: local.port,
+                    peer: remote,
+                };
+                let tcb = Tcb::new_active(setup_host.cfg.clone(), local, remote, setup_host.fresh_iss(), now);
+                let syn = tcb.syn_segment();
+                let tcb_arc = Arc::new(Mutex::new(tcb));
+                setup_host.conns.lock().insert(key, Arc::clone(&tcb_arc));
+                setup_host.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                setup_host.send_segs(remote.host, vec![syn]);
+                (key, tcb_arc)
+            })
+            .bind(move |(key, tcb_arc)| {
+                let host2 = Arc::clone(&host);
+                loop_m((), move |()| {
+                    let check_tcb = Arc::clone(&tcb_arc);
+                    let park_tcb = Arc::clone(&tcb_arc);
+                    let h = Arc::clone(&host2);
+                    sys_nbio(move || {
+                        let t = check_tcb.lock();
+                        match t.state() {
+                            State::Established => Some(Ok(())),
+                            State::Closed => Some(Err(t
+                                .error()
+                                .unwrap_or(NetError::ConnectionRefused))),
+                            _ => None,
+                        }
+                    })
+                    .bind({
+                        let tcb_arc = Arc::clone(&park_tcb);
+                        move |res| match res {
+                            Some(Ok(())) => {
+                                let conn = Arc::new(TcpConn {
+                                    host: Arc::clone(&h),
+                                    key,
+                                    tcb: Arc::clone(&tcb_arc),
+                                }) as Arc<dyn Conn>;
+                                ThreadM::pure(Loop::Break(Ok(conn)))
+                            }
+                            Some(Err(e)) => {
+                                h.conns.lock().remove(&key);
+                                ThreadM::pure(Loop::Break(Err(e)))
+                            }
+                            None => sys_park(move |u| tcb_arc.lock().park_connector(u))
+                                .map(|_| Loop::Continue(())),
+                        }
+                    })
+                })
+            })
+        })
+    }
+
+    fn host(&self) -> HostId {
+        self.host
+    }
+}

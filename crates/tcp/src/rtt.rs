@@ -1,0 +1,133 @@
+//! Round-trip time estimation and retransmission timeout: Jacobson/Karels
+//! smoothing with Karn's rule and exponential backoff (RFC 6298).
+
+use eveth_core::time::{Nanos, MILLIS};
+
+/// RTT estimator state for one connection.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Nanos>,
+    rttvar: Nanos,
+    rto: Nanos,
+    min_rto: Nanos,
+    max_rto: Nanos,
+    backoff_shift: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamp.
+    pub fn new(min_rto: Nanos, max_rto: Nanos) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0,
+            rto: min_rto.max(200 * MILLIS), // conservative initial RTO
+            min_rto,
+            max_rto,
+            backoff_shift: 0,
+        }
+    }
+
+    /// Current retransmission timeout (with any backoff applied).
+    pub fn rto(&self) -> Nanos {
+        (self.rto << self.backoff_shift).clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Nanos> {
+        self.srtt
+    }
+
+    /// Feeds one RTT sample from a segment that was *not* retransmitted
+    /// (Karn's rule: callers must not sample retransmitted data).
+    pub fn sample(&mut self, rtt: Nanos) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = srtt.abs_diff(rtt);
+                // rttvar = 3/4 rttvar + 1/4 |err|; srtt = 7/8 srtt + 1/8 rtt
+                self.rttvar = (3 * self.rttvar + err) / 4;
+                self.srtt = Some((7 * srtt + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        self.rto = (srtt + 4 * self.rttvar.max(MILLIS)).clamp(self.min_rto, self.max_rto);
+        self.backoff_shift = 0;
+    }
+
+    /// Doubles the RTO after a retransmission timeout.
+    pub fn backoff(&mut self) {
+        self.backoff_shift = (self.backoff_shift + 1).min(10);
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(200 * MILLIS, 60_000 * MILLIS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        e.sample(100 * MILLIS);
+        assert_eq!(e.srtt(), Some(100 * MILLIS));
+        assert!(e.rto() >= 200 * MILLIS);
+    }
+
+    #[test]
+    fn smoothing_converges_toward_stable_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..50 {
+            e.sample(80 * MILLIS);
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((79 * MILLIS..81 * MILLIS).contains(&srtt), "srtt={srtt}");
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut stable = RttEstimator::new(1, u64::MAX);
+        let mut jittery = RttEstimator::new(1, u64::MAX);
+        for i in 0..50u64 {
+            stable.sample(100 * MILLIS);
+            jittery.sample(if i % 2 == 0 { 40 } else { 160 } * MILLIS);
+        }
+        assert!(
+            jittery.rto() > stable.rto(),
+            "jitter must widen RTO: {} vs {}",
+            jittery.rto(),
+            stable.rto()
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = RttEstimator::default();
+        e.sample(100 * MILLIS);
+        let base = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), (base * 2).min(60_000 * MILLIS));
+        e.backoff();
+        assert_eq!(e.rto(), (base * 4).min(60_000 * MILLIS));
+        e.sample(100 * MILLIS);
+        assert!(e.rto() <= base * 2, "sample clears backoff");
+    }
+
+    #[test]
+    fn rto_respects_clamp() {
+        let mut e = RttEstimator::new(300 * MILLIS, 400 * MILLIS);
+        e.sample(1 * MILLIS);
+        assert_eq!(e.rto(), 300 * MILLIS);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), 400 * MILLIS);
+    }
+}

@@ -1,0 +1,81 @@
+//! 32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a ring; all comparisons are modular with a
+//! half-ring horizon. These helpers keep the rest of the stack honest about
+//! wraparound.
+
+/// `a < b` on the sequence ring.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` on the sequence ring.
+#[inline]
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// `a > b` on the sequence ring.
+#[inline]
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// `a >= b` on the sequence ring.
+#[inline]
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    seq_le(b, a)
+}
+
+/// `low <= x < high` on the sequence ring.
+#[inline]
+pub fn seq_in(x: u32, low: u32, high: u32) -> bool {
+    seq_le(low, x) && seq_lt(x, high)
+}
+
+/// Distance from `a` forward to `b` (number of bytes in `[a, b)`).
+#[inline]
+pub fn seq_diff(b: u32, a: u32) -> u32 {
+    b.wrapping_sub(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(seq_le(2, 2));
+        assert!(seq_gt(3, 2));
+        assert!(seq_ge(3, 3));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_max = u32::MAX - 5;
+        assert!(seq_lt(near_max, 3), "wrapped value is 'after'");
+        assert!(seq_gt(3, near_max));
+        assert_eq!(seq_diff(3, near_max), 9);
+    }
+
+    #[test]
+    fn in_range_across_wrap() {
+        let low = u32::MAX - 2;
+        let high = 4u32;
+        assert!(seq_in(u32::MAX, low, high));
+        assert!(seq_in(0, low, high));
+        assert!(seq_in(3, low, high));
+        assert!(!seq_in(4, low, high));
+        assert!(!seq_in(low.wrapping_sub(1), low, high));
+    }
+
+    #[test]
+    fn half_ring_horizon() {
+        // Differences beyond 2^31 flip the comparison — the standard TCP
+        // ambiguity bound.
+        assert!(seq_lt(0, 1 << 30));
+        assert!(!seq_lt(0, (1 << 31) + 1));
+    }
+}

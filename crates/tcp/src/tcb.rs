@@ -1,0 +1,1079 @@
+//! The per-connection TCP control block and state machine.
+//!
+//! A pure(ish) transition system in the spirit of the HOL-derived stack the
+//! paper describes (§4.8): `on_segment` and `on_tick` consume events and
+//! produce reply segments; all timing comes in as arguments, so the same
+//! machine runs under real and virtual clocks and can be unit-tested by
+//! feeding it segments directly — no sockets, threads or clocks required.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use bytes::Bytes;
+use eveth_core::net::{Endpoint, NetError};
+use eveth_core::reactor::Unparker;
+use eveth_core::time::{Nanos, MILLIS};
+
+use crate::congestion::{CcAction, Reno};
+use crate::rtt::RttEstimator;
+use crate::segment::{Flags, Segment};
+use crate::seq::{seq_diff, seq_ge, seq_gt, seq_le, seq_lt};
+
+/// Tunables for one TCP stack instance.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: usize,
+    /// Send-buffer capacity (unsent + unacknowledged bytes).
+    pub send_buf: usize,
+    /// Receive window (assembled + out-of-order bytes).
+    pub recv_window: usize,
+    /// Retransmission timeout clamp, lower bound.
+    pub min_rto: Nanos,
+    /// Retransmission timeout clamp, upper bound.
+    pub max_rto: Nanos,
+    /// Period of the `worker_tcp_timer` loop.
+    pub tick: Nanos,
+    /// How long a closed connection lingers in TIME_WAIT.
+    pub time_wait: Nanos,
+    /// Initial congestion window, in MSS units.
+    pub initial_cwnd_mss: u32,
+    /// Connection attempts give up after this many SYN retransmissions.
+    pub max_syn_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            send_buf: 64 * 1024,
+            recv_window: 64 * 1024,
+            min_rto: 200 * MILLIS,
+            max_rto: 60_000 * MILLIS,
+            tick: 10 * MILLIS,
+            time_wait: 1_000 * MILLIS,
+            initial_cwnd_mss: 2,
+            max_syn_retries: 6,
+        }
+    }
+}
+
+/// TCP connection states (RFC 793 §3.2; LISTEN lives at the host level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Active open: SYN sent, awaiting SYN+ACK.
+    SynSent,
+    /// Passive open: SYN received, SYN+ACK sent, awaiting ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Our FIN acknowledged; awaiting the peer's FIN.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Simultaneous close: FIN exchanged, awaiting our FIN's ACK.
+    Closing,
+    /// Passive close finished sending; awaiting final ACK.
+    LastAck,
+    /// Lingering to absorb stray segments.
+    TimeWait,
+    /// Gone.
+    Closed,
+}
+
+/// The TCP control block: all state for one connection.
+pub struct Tcb {
+    cfg: TcpConfig,
+    local: Endpoint,
+    peer: Endpoint,
+    state: State,
+
+    // Send side.
+    iss: u32,
+    snd_una: u32,
+    snd_nxt: u32,
+    /// Highest sequence ever sent; survives go-back-N rollbacks so ACKs for
+    /// pre-rollback data are still acceptable.
+    snd_max: u32,
+    snd_wnd: u32,
+    snd_buf: VecDeque<u8>,
+    fin_queued: bool,
+    fin_seq: Option<u32>,
+    cc: Reno,
+    rtt: RttEstimator,
+    rto_deadline: Option<Nanos>,
+    rtt_sample: Option<(u32, Nanos)>,
+    syn_retries: u32,
+
+    // Receive side.
+    irs: u32,
+    rcv_nxt: u32,
+    readable: VecDeque<u8>,
+    ooo: BTreeMap<u32, Bytes>,
+    peer_fin: Option<u32>,
+    fin_received: bool,
+
+    // Lifecycle.
+    time_wait_deadline: Option<Nanos>,
+    error: Option<NetError>,
+    retransmit_count: u64,
+
+    // Parked application threads.
+    recv_waiters: Vec<Unparker>,
+    send_waiters: Vec<Unparker>,
+    conn_waiters: Vec<Unparker>,
+}
+
+impl Tcb {
+    /// Creates a TCB performing an active open. The caller must transmit
+    /// [`Tcb::syn_segment`] and arm the retransmission timer via the result
+    /// of [`Tcb::output`].
+    pub fn new_active(cfg: TcpConfig, local: Endpoint, peer: Endpoint, iss: u32, now: Nanos) -> Self {
+        let mut tcb = Self::new_raw(cfg, local, peer, iss, State::SynSent);
+        tcb.snd_nxt = iss.wrapping_add(1); // SYN occupies one position
+        tcb.snd_max = tcb.snd_nxt;
+        tcb.rto_deadline = Some(now + tcb.rtt.rto());
+        tcb
+    }
+
+    /// Creates a TCB for a passive open in response to `syn`. The caller
+    /// must transmit [`Tcb::syn_ack_segment`].
+    pub fn new_passive(
+        cfg: TcpConfig,
+        local: Endpoint,
+        peer: Endpoint,
+        iss: u32,
+        syn: &Segment,
+        now: Nanos,
+    ) -> Self {
+        let mut tcb = Self::new_raw(cfg, local, peer, iss, State::SynRcvd);
+        tcb.snd_nxt = iss.wrapping_add(1);
+        tcb.snd_max = tcb.snd_nxt;
+        tcb.irs = syn.seq;
+        tcb.rcv_nxt = syn.seq.wrapping_add(1);
+        tcb.snd_wnd = syn.wnd;
+        tcb.rto_deadline = Some(now + tcb.rtt.rto());
+        tcb
+    }
+
+    fn new_raw(cfg: TcpConfig, local: Endpoint, peer: Endpoint, iss: u32, state: State) -> Self {
+        let cc = Reno::new(cfg.mss as u32, cfg.initial_cwnd_mss);
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        Tcb {
+            cfg,
+            local,
+            peer,
+            state,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_max: iss,
+            snd_wnd: 0,
+            snd_buf: VecDeque::new(),
+            fin_queued: false,
+            fin_seq: None,
+            cc,
+            rtt,
+            rto_deadline: None,
+            rtt_sample: None,
+            syn_retries: 0,
+            irs: 0,
+            rcv_nxt: 0,
+            readable: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            peer_fin: None,
+            fin_received: false,
+            time_wait_deadline: None,
+            error: None,
+            retransmit_count: 0,
+            recv_waiters: Vec::new(),
+            send_waiters: Vec::new(),
+            conn_waiters: Vec::new(),
+        }
+    }
+
+    // -- Accessors ----------------------------------------------------------
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// The local endpoint.
+    pub fn local(&self) -> Endpoint {
+        self.local
+    }
+
+    /// The remote endpoint.
+    pub fn peer(&self) -> Endpoint {
+        self.peer
+    }
+
+    /// The fatal error that closed this connection, if any.
+    pub fn error(&self) -> Option<NetError> {
+        self.error.clone()
+    }
+
+    /// Retransmitted segments so far.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmit_count
+    }
+
+    /// Current congestion window in bytes (exposed for tests/benches).
+    pub fn cwnd(&self) -> u32 {
+        self.cc.cwnd()
+    }
+
+    /// Bytes queued in the send buffer (sent-unacked + unsent).
+    pub fn send_buffered(&self) -> usize {
+        self.snd_buf.len()
+    }
+
+    /// Bytes assembled and readable by the application.
+    pub fn recv_buffered(&self) -> usize {
+        self.readable.len()
+    }
+
+    fn in_flight(&self) -> u32 {
+        seq_diff(self.snd_nxt, self.snd_una)
+    }
+
+    fn recv_window(&self) -> u32 {
+        let used = self.readable.len() + self.ooo.values().map(|b| b.len()).sum::<usize>();
+        self.cfg.recv_window.saturating_sub(used) as u32
+    }
+
+    fn base_flags(&self) -> Flags {
+        Flags::ack()
+    }
+
+    fn make_seg(&self, seq: u32, flags: Flags, payload: Bytes) -> Segment {
+        Segment {
+            src_port: self.local.port,
+            dst_port: self.peer.port,
+            seq,
+            ack: self.rcv_nxt,
+            flags,
+            wnd: self.recv_window(),
+            payload,
+        }
+    }
+
+    /// A bare ACK advertising the current receive window — sent after an
+    /// application read reopens a closed window.
+    pub fn ack_segment(&self) -> Segment {
+        self.make_seg(self.snd_nxt, Flags::ack(), Bytes::new())
+    }
+
+    /// The initial SYN (active open).
+    pub fn syn_segment(&self) -> Segment {
+        Segment {
+            src_port: self.local.port,
+            dst_port: self.peer.port,
+            seq: self.iss,
+            ack: 0,
+            flags: Flags::syn(),
+            wnd: self.recv_window(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// The SYN+ACK (passive open).
+    pub fn syn_ack_segment(&self) -> Segment {
+        self.make_seg(self.iss, Flags::syn_ack(), Bytes::new())
+    }
+
+    // -- Wakeups -------------------------------------------------------------
+
+    fn wake(list: &mut Vec<Unparker>) {
+        for u in list.drain(..) {
+            u.unpark();
+        }
+    }
+
+    fn wake_all(&mut self) {
+        Self::wake(&mut self.recv_waiters);
+        Self::wake(&mut self.send_waiters);
+        Self::wake(&mut self.conn_waiters);
+    }
+
+    /// Parks an application reader; wakes immediately if data/EOF/error is
+    /// already available (lost-wakeup-free: callers hold the TCB lock).
+    pub fn park_reader(&mut self, u: Unparker) {
+        if self.read_ready() {
+            u.unpark();
+        } else {
+            self.recv_waiters.push(u);
+        }
+    }
+
+    /// Parks an application writer.
+    pub fn park_writer(&mut self, u: Unparker) {
+        if self.write_ready() {
+            u.unpark();
+        } else {
+            self.send_waiters.push(u);
+        }
+    }
+
+    /// Parks a thread waiting for the handshake to finish.
+    pub fn park_connector(&mut self, u: Unparker) {
+        if self.state == State::Established || self.error.is_some() || self.state == State::Closed {
+            u.unpark();
+        } else {
+            self.conn_waiters.push(u);
+        }
+    }
+
+    fn read_ready(&self) -> bool {
+        !self.readable.is_empty()
+            || self.fin_received
+            || self.error.is_some()
+            || matches!(self.state, State::Closed | State::TimeWait)
+    }
+
+    fn write_ready(&self) -> bool {
+        self.error.is_some()
+            || self.snd_buf.len() < self.cfg.send_buf
+            || !matches!(
+                self.state,
+                State::SynSent | State::SynRcvd | State::Established | State::CloseWait
+            )
+    }
+
+    // -- Application interface ------------------------------------------------
+
+    /// Queues application data for transmission; returns the bytes accepted
+    /// (0 = buffer full, caller should park).
+    ///
+    /// # Errors
+    ///
+    /// The connection's fatal error, or [`NetError::Closed`] after the
+    /// sending direction was shut down.
+    pub fn app_write(&mut self, data: &[u8]) -> Result<usize, NetError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        if self.fin_queued
+            || !matches!(
+                self.state,
+                State::SynSent | State::SynRcvd | State::Established | State::CloseWait
+            )
+        {
+            return Err(NetError::Closed);
+        }
+        let room = self.cfg.send_buf.saturating_sub(self.snd_buf.len());
+        let n = room.min(data.len());
+        self.snd_buf.extend(&data[..n]);
+        Ok(n)
+    }
+
+    /// Takes up to `max` assembled bytes. `Ok(None)` means no data yet
+    /// (park); `Ok(Some(empty))` means end-of-stream. The boolean is true
+    /// when this read reopened a zero receive window (caller should send a
+    /// window-update ACK).
+    ///
+    /// # Errors
+    ///
+    /// The connection's fatal error (reset, timeout).
+    #[allow(clippy::type_complexity)]
+    pub fn app_read(&mut self, max: usize) -> Result<(Option<Bytes>, bool), NetError> {
+        if self.readable.is_empty() {
+            if let Some(e) = &self.error {
+                return Err(e.clone());
+            }
+        }
+        if !self.readable.is_empty() {
+            let was_zero = self.recv_window() == 0;
+            let n = max.min(self.readable.len());
+            let out: Bytes = self.readable.drain(..n).collect::<Vec<u8>>().into();
+            let reopened = was_zero && self.recv_window() > 0;
+            return Ok((Some(out), reopened));
+        }
+        if self.fin_received || matches!(self.state, State::Closed | State::TimeWait) {
+            return Ok((Some(Bytes::new()), false)); // EOF
+        }
+        Ok((None, false))
+    }
+
+    /// Application close: no further writes; a FIN is emitted once queued
+    /// data drains.
+    pub fn app_close(&mut self) {
+        self.fin_queued = true;
+        Self::wake(&mut self.send_waiters);
+    }
+
+    /// Hard abort: emits a RST (returned) and kills the connection.
+    pub fn app_abort(&mut self) -> Segment {
+        let seg = self.make_seg(self.snd_nxt, Flags::rst(), Bytes::new());
+        self.error = Some(NetError::Reset);
+        self.state = State::Closed;
+        self.wake_all();
+        seg
+    }
+
+    // -- Transmission ----------------------------------------------------------
+
+    /// Emits everything the windows allow: data segments from `snd_nxt`,
+    /// plus the FIN when its turn comes. Arms/disarms the RTO.
+    pub fn output(&mut self, now: Nanos) -> Vec<Segment> {
+        let mut out = Vec::new();
+        if matches!(self.state, State::SynSent | State::SynRcvd) {
+            // Handshake segments are (re)sent by connect/accept and on_tick.
+            return out;
+        }
+        let can_send_data = matches!(self.state, State::Established | State::CloseWait);
+        if can_send_data {
+            let wnd = self.cc.cwnd().min(self.snd_wnd.max(self.cfg.mss as u32)) as usize;
+            loop {
+                let in_flight = self.in_flight() as usize;
+                let unsent_start = in_flight; // snd_buf[0] is at snd_una
+                if unsent_start >= self.snd_buf.len() {
+                    break;
+                }
+                let room = wnd.saturating_sub(in_flight);
+                let n = self
+                    .cfg
+                    .mss
+                    .min(self.snd_buf.len() - unsent_start)
+                    .min(room);
+                if n == 0 {
+                    break;
+                }
+                let chunk: Bytes = self
+                    .snd_buf
+                    .iter()
+                    .skip(unsent_start)
+                    .take(n)
+                    .copied()
+                    .collect::<Vec<u8>>()
+                    .into();
+                let mut flags = self.base_flags();
+                flags.psh = true;
+                let seg = self.make_seg(self.snd_nxt, flags, chunk);
+                self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+                if seq_gt(self.snd_nxt, self.snd_max) {
+                    self.snd_max = self.snd_nxt;
+                }
+                if self.rtt_sample.is_none() {
+                    self.rtt_sample = Some((self.snd_nxt, now));
+                }
+                out.push(seg);
+            }
+        }
+        // FIN, once all data is out.
+        let may_emit_fin = matches!(
+            self.state,
+            State::Established | State::CloseWait | State::FinWait1 | State::Closing | State::LastAck
+        );
+        if self.fin_queued
+            && self.fin_seq.is_none()
+            && may_emit_fin
+            && self.in_flight() as usize >= self.snd_buf.len()
+        {
+            let mut flags = self.base_flags();
+            flags.fin = true;
+            out.push(self.make_seg(self.snd_nxt, flags, Bytes::new()));
+            self.fin_seq = Some(self.snd_nxt);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            if seq_gt(self.snd_nxt, self.snd_max) {
+                self.snd_max = self.snd_nxt;
+            }
+            self.state = match self.state {
+                State::Established => State::FinWait1,
+                State::CloseWait => State::LastAck,
+                other => other,
+            };
+        }
+        // RTO management.
+        if self.in_flight() > 0 {
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rtt.rto());
+            }
+        } else {
+            self.rto_deadline = None;
+        }
+        out
+    }
+
+    fn retransmit_one(&mut self, now: Nanos) -> Option<Segment> {
+        self.rtt_sample = None; // Karn's rule
+        self.retransmit_count += 1;
+        match self.state {
+            State::SynSent => Some(self.syn_segment()),
+            State::SynRcvd => Some(self.syn_ack_segment()),
+            _ => {
+                let in_flight_data = (self.in_flight() as usize).min(self.snd_buf.len());
+                if in_flight_data > 0 {
+                    let n = self.cfg.mss.min(in_flight_data);
+                    let chunk: Bytes = self
+                        .snd_buf
+                        .iter()
+                        .take(n)
+                        .copied()
+                        .collect::<Vec<u8>>()
+                        .into();
+                    let mut flags = self.base_flags();
+                    flags.psh = true;
+                    Some(self.make_seg(self.snd_una, flags, chunk))
+                } else if self.fin_seq == Some(self.snd_una) {
+                    let mut flags = self.base_flags();
+                    flags.fin = true;
+                    Some(self.make_seg(self.snd_una, flags, Bytes::new()))
+                } else {
+                    let _ = now;
+                    None
+                }
+            }
+        }
+    }
+
+    // -- Timers ---------------------------------------------------------------
+
+    /// Advances timers to `now`; returns segments to (re)transmit.
+    pub fn on_tick(&mut self, now: Nanos) -> Vec<Segment> {
+        let mut out = Vec::new();
+        if let Some(d) = self.time_wait_deadline {
+            if now >= d {
+                self.state = State::Closed;
+                self.time_wait_deadline = None;
+                self.wake_all();
+            }
+        }
+        let Some(deadline) = self.rto_deadline else {
+            return out;
+        };
+        if now < deadline {
+            return out;
+        }
+        // Retransmission timeout.
+        if matches!(self.state, State::SynSent | State::SynRcvd) {
+            self.syn_retries += 1;
+            if self.syn_retries > self.cfg.max_syn_retries {
+                self.error = Some(NetError::Timeout);
+                self.state = State::Closed;
+                self.rto_deadline = None;
+                self.wake_all();
+                return out;
+            }
+        }
+        self.cc.on_timeout(self.in_flight());
+        self.rtt.backoff();
+        // Go-back-N: rewind the send frontier and let output() resend.
+        if !matches!(self.state, State::SynSent | State::SynRcvd) {
+            self.snd_nxt = self.snd_una;
+            if let Some(f) = self.fin_seq {
+                if seq_ge(f, self.snd_una) {
+                    self.fin_seq = None; // still in flight: re-emit it
+                }
+            }
+        }
+        if let Some(seg) = self.retransmit_one(now) {
+            out.push(seg);
+        }
+        out.extend(self.output(now));
+        self.rto_deadline = Some(now + self.rtt.rto());
+        out
+    }
+
+    // -- Segment arrival --------------------------------------------------------
+
+    /// Processes an arriving segment; returns replies to transmit. The
+    /// returned flag is true if the connection just became `Established`
+    /// (the host promotes it to its listener's accept queue).
+    pub fn on_segment(&mut self, seg: Segment, now: Nanos) -> (Vec<Segment>, bool) {
+        let mut became_established = false;
+        let mut out = Vec::new();
+
+        if seg.flags.rst {
+            if self.state != State::Closed {
+                // A RST for an orderly-finished connection is not an error;
+                // one answering our SYN means nobody is listening.
+                if self.state == State::SynSent {
+                    self.error = Some(NetError::ConnectionRefused);
+                } else if !matches!(self.state, State::TimeWait) {
+                    self.error = Some(NetError::Reset);
+                }
+                self.state = State::Closed;
+                self.wake_all();
+            }
+            return (out, false);
+        }
+
+        match self.state {
+            State::Closed => return (out, false),
+            State::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                    self.irs = seg.seq;
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.snd_una = seg.ack;
+                    self.snd_wnd = seg.wnd;
+                    self.state = State::Established;
+                    self.rto_deadline = None;
+                    became_established = true;
+                    Self::wake(&mut self.conn_waiters);
+                    Self::wake(&mut self.send_waiters);
+                    out.push(self.make_seg(self.snd_nxt, Flags::ack(), Bytes::new()));
+                    out.extend(self.output(now));
+                }
+                return (out, became_established);
+            }
+            State::SynRcvd => {
+                if seg.flags.syn && !seg.flags.ack {
+                    // Duplicate SYN: our SYN+ACK was lost.
+                    out.push(self.syn_ack_segment());
+                    return (out, false);
+                }
+                if seg.flags.ack && seg.ack == self.iss.wrapping_add(1) {
+                    self.snd_una = seg.ack;
+                    self.snd_wnd = seg.wnd;
+                    self.state = State::Established;
+                    self.rto_deadline = None;
+                    became_established = true;
+                    Self::wake(&mut self.conn_waiters);
+                    Self::wake(&mut self.send_waiters);
+                    // Fall through: the ACK may carry data.
+                } else {
+                    return (out, false);
+                }
+            }
+            State::TimeWait => {
+                // Re-ACK retransmitted FINs.
+                if seg.flags.fin {
+                    out.push(self.make_seg(self.snd_nxt, Flags::ack(), Bytes::new()));
+                }
+                return (out, false);
+            }
+            _ => {}
+        }
+
+        let mut need_ack = false;
+
+        // ---- ACK processing.
+        if seg.flags.ack {
+            let in_flight_before = self.in_flight();
+            if seq_gt(seg.ack, self.snd_una) && seq_le(seg.ack, self.snd_max) {
+                if seq_gt(seg.ack, self.snd_nxt) {
+                    // The ACK covers data sent before a go-back-N rollback.
+                    self.snd_nxt = seg.ack;
+                }
+                let acked = seq_diff(seg.ack, self.snd_una);
+                let fin_acked = self.fin_seq.is_some()
+                    && seg.ack == self.fin_seq.expect("checked").wrapping_add(1);
+                let data_acked = if fin_acked { acked - 1 } else { acked } as usize;
+                let drain = data_acked.min(self.snd_buf.len());
+                self.snd_buf.drain(..drain);
+                self.snd_una = seg.ack;
+                self.cc.on_new_ack(acked, self.snd_una, in_flight_before);
+                if let Some((sample_seq, sent_at)) = self.rtt_sample {
+                    if seq_ge(seg.ack, sample_seq) {
+                        self.rtt.sample(now.saturating_sub(sent_at));
+                        self.rtt_sample = None;
+                    }
+                }
+                self.rto_deadline = if self.in_flight() > 0 {
+                    Some(now + self.rtt.rto())
+                } else {
+                    None
+                };
+                Self::wake(&mut self.send_waiters);
+                if fin_acked {
+                    self.state = match self.state {
+                        State::FinWait1 => State::FinWait2,
+                        State::Closing => {
+                            self.time_wait_deadline = Some(now + self.cfg.time_wait);
+                            State::TimeWait
+                        }
+                        State::LastAck => {
+                            self.wake_all();
+                            State::Closed
+                        }
+                        other => other,
+                    };
+                }
+            } else if seg.ack == self.snd_una
+                && self.in_flight() > 0
+                && seg.payload.is_empty()
+                && !seg.flags.fin
+            {
+                if let CcAction::FastRetransmit =
+                    self.cc.on_dup_ack(self.snd_nxt, in_flight_before)
+                {
+                    if let Some(rseg) = self.retransmit_one(now) {
+                        out.push(rseg);
+                    }
+                }
+            }
+            self.snd_wnd = seg.wnd;
+        }
+
+        // ---- Payload processing.
+        if !seg.payload.is_empty() {
+            need_ack = true;
+            self.ingest_payload(seg.seq, seg.payload.clone());
+        }
+
+        // ---- FIN processing.
+        if seg.flags.fin {
+            need_ack = true;
+            let fin_pos = seg.seq.wrapping_add(seg.payload.len() as u32);
+            self.peer_fin = Some(fin_pos);
+        }
+        self.maybe_consume_fin(now);
+
+        // ---- Replies: data (carrying the ACK) or a bare ACK.
+        let data_out = self.output(now);
+        let sent_data = !data_out.is_empty();
+        out.extend(data_out);
+        if need_ack && !sent_data {
+            out.push(self.make_seg(self.snd_nxt, Flags::ack(), Bytes::new()));
+        }
+        (out, became_established)
+    }
+
+    fn ingest_payload(&mut self, seq: u32, payload: Bytes) {
+        let seg_end = seq.wrapping_add(payload.len() as u32);
+        if seq_le(seg_end, self.rcv_nxt) {
+            return; // pure duplicate
+        }
+        if seq_lt(seq, self.rcv_nxt) {
+            // Partial overlap: take the new suffix.
+            let skip = seq_diff(self.rcv_nxt, seq) as usize;
+            self.accept_in_order(payload.slice(skip..));
+            return;
+        }
+        if seq == self.rcv_nxt {
+            self.accept_in_order(payload);
+            return;
+        }
+        // Out of order: hold if it fits the window.
+        let window_end = self.rcv_nxt.wrapping_add(self.cfg.recv_window as u32);
+        if seq_lt(seq, window_end) {
+            self.ooo.entry(seq).or_insert(payload);
+        }
+    }
+
+    fn accept_in_order(&mut self, payload: Bytes) {
+        self.readable.extend(payload.iter());
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+        // Drain any now-contiguous out-of-order segments.
+        loop {
+            let Some((&seq, _)) = self.ooo.iter().next() else {
+                break;
+            };
+            if seq_gt(seq, self.rcv_nxt) {
+                break;
+            }
+            let chunk = self.ooo.remove(&seq).expect("present");
+            let end = seq.wrapping_add(chunk.len() as u32);
+            if seq_le(end, self.rcv_nxt) {
+                continue; // fully duplicate
+            }
+            let skip = seq_diff(self.rcv_nxt, seq) as usize;
+            self.readable.extend(chunk.slice(skip..).iter());
+            self.rcv_nxt = end;
+        }
+        Self::wake(&mut self.recv_waiters);
+    }
+
+    fn maybe_consume_fin(&mut self, now: Nanos) {
+        let Some(fin_pos) = self.peer_fin else { return };
+        if self.fin_received || self.rcv_nxt != fin_pos {
+            return;
+        }
+        self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+        self.fin_received = true;
+        Self::wake(&mut self.recv_waiters);
+        self.state = match self.state {
+            State::Established => State::CloseWait,
+            State::FinWait1 => State::Closing,
+            State::FinWait2 => {
+                self.time_wait_deadline = Some(now + self.cfg.time_wait);
+                State::TimeWait
+            }
+            other => other,
+        };
+    }
+}
+
+impl fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tcb[{} -> {} {:?} una={} nxt={} rcv={} buf={} readable={}]",
+            self.local,
+            self.peer,
+            self.state,
+            self.snd_una,
+            self.snd_nxt,
+            self.rcv_nxt,
+            self.snd_buf.len(),
+            self.readable.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eveth_core::net::HostId;
+
+    fn pair() -> (Tcb, Tcb) {
+        pair_with(TcpConfig::default())
+    }
+
+    fn pair_with(cfg: TcpConfig) -> (Tcb, Tcb) {
+        let a = Endpoint::new(HostId(1), 1000);
+        let b = Endpoint::new(HostId(2), 80);
+        let mut client = Tcb::new_active(cfg.clone(), a, b, 100, 0);
+        let syn = client.syn_segment();
+        let mut server = Tcb::new_passive(cfg, b, a, 5000, &syn, 0);
+        let syn_ack = server.syn_ack_segment();
+        let (acks, est_c) = client.on_segment(syn_ack, 1000);
+        assert!(est_c);
+        assert_eq!(client.state(), State::Established);
+        let mut est_s = false;
+        for seg in acks {
+            let (_replies, est) = server.on_segment(seg, 2000);
+            est_s |= est;
+        }
+        assert!(est_s);
+        assert_eq!(server.state(), State::Established);
+        (client, server)
+    }
+
+    /// Delivers all of `segs` from one side to the other, returning replies.
+    fn deliver(to: &mut Tcb, segs: Vec<Segment>, now: Nanos) -> Vec<Segment> {
+        let mut replies = Vec::new();
+        for seg in segs {
+            let (r, _) = to.on_segment(seg, now);
+            replies.extend(r);
+        }
+        replies
+    }
+
+    /// Ping-pongs segments until both sides go silent.
+    fn settle(a: &mut Tcb, b: &mut Tcb, first: Vec<Segment>, mut now: Nanos) {
+        let mut from_a = first;
+        let mut from_b = Vec::new();
+        for _ in 0..100 {
+            if from_a.is_empty() && from_b.is_empty() {
+                return;
+            }
+            now += 1000;
+            from_b = deliver(b, std::mem::take(&mut from_a), now);
+            now += 1000;
+            from_a = deliver(a, std::mem::take(&mut from_b), now);
+        }
+        panic!("segment exchange did not settle");
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both() {
+        let _ = pair();
+    }
+
+    #[test]
+    fn data_transfer_in_order() {
+        let (mut c, mut s) = pair();
+        assert_eq!(c.app_write(b"hello tcp").unwrap(), 9);
+        let segs = c.output(10_000);
+        assert_eq!(segs.len(), 1);
+        settle(&mut c, &mut s, segs, 10_000);
+        let (data, _) = s.app_read(100).unwrap();
+        assert_eq!(&data.unwrap()[..], b"hello tcp");
+    }
+
+    #[test]
+    fn large_write_fans_out_into_mss_segments() {
+        let (mut c, _s) = pair();
+        let big = vec![7u8; 10_000];
+        assert_eq!(c.app_write(&big).unwrap(), 10_000);
+        let segs = c.output(10_000);
+        // cwnd = 2 MSS initially: exactly two segments go out.
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| s.payload.len() == 1460));
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let (mut c, mut s) = pair();
+        c.app_write(b"aaaabbbb").unwrap();
+        let mut segs = {
+            // Force two small segments by draining output at mss=4.
+            let mut cfg = TcpConfig::default();
+            cfg.mss = 4;
+            // Rebuild client with small MSS for this test.
+            let _ = cfg;
+            c.output(10_000)
+        };
+        // Only one segment here (8 bytes < MSS); manually split it.
+        assert_eq!(segs.len(), 1);
+        let seg = segs.remove(0);
+        let first = Segment {
+            payload: seg.payload.slice(..4),
+            ..seg.clone()
+        };
+        let second = Segment {
+            seq: seg.seq.wrapping_add(4),
+            payload: seg.payload.slice(4..),
+            ..seg.clone()
+        };
+        // Deliver out of order.
+        deliver(&mut s, vec![second], 20_000);
+        let (none, _) = s.app_read(64).unwrap();
+        assert!(none.is_none(), "gap: nothing readable yet");
+        deliver(&mut s, vec![first], 21_000);
+        let (data, _) = s.app_read(64).unwrap();
+        assert_eq!(&data.unwrap()[..], b"aaaabbbb");
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let (mut c, mut s) = pair();
+        c.app_write(b"once").unwrap();
+        let segs = c.output(10_000);
+        let dup = segs.clone();
+        settle(&mut c, &mut s, segs, 10_000);
+        deliver(&mut s, dup, 30_000);
+        let (data, _) = s.app_read(64).unwrap();
+        assert_eq!(&data.unwrap()[..], b"once");
+        let (after, _) = s.app_read(64).unwrap();
+        assert!(after.is_none(), "duplicate must not re-deliver");
+    }
+
+    #[test]
+    fn rto_retransmits_lost_segment() {
+        let (mut c, mut s) = pair();
+        c.app_write(b"lost").unwrap();
+        let segs = c.output(10_000);
+        assert_eq!(segs.len(), 1);
+        drop(segs); // the network ate it
+        // Fire the retransmission timeout.
+        let rto_at = 10_000 + 300 * MILLIS;
+        let resent = c.on_tick(rto_at);
+        assert!(!resent.is_empty(), "RTO must retransmit");
+        assert!(c.retransmits() >= 1);
+        settle(&mut c, &mut s, resent, rto_at);
+        let (data, _) = s.app_read(64).unwrap();
+        assert_eq!(&data.unwrap()[..], b"lost");
+    }
+
+    #[test]
+    fn triple_dup_ack_fast_retransmits() {
+        // Start with a 10-MSS congestion window so six segments depart at
+        // once and the lost head produces a burst of duplicate ACKs.
+        let mut cfg = TcpConfig::default();
+        cfg.initial_cwnd_mss = 10;
+        let (mut c, mut s) = pair_with(cfg);
+        let chunk = vec![1u8; 1460];
+        for _ in 0..6 {
+            c.app_write(&chunk).unwrap();
+        }
+        let mut sent = c.output(10_000);
+        // Lose the first segment, deliver the rest: receiver dup-acks.
+        sent.remove(0);
+        let dup_acks = deliver(&mut s, sent, 20_000);
+        assert!(dup_acks.len() >= 3, "receiver should emit dup ACKs for the gap");
+        let before = c.retransmits();
+        let replies = deliver(&mut c, dup_acks, 30_000);
+        assert!(c.retransmits() > before, "third dup ACK triggers fast retransmit");
+        assert!(replies.iter().any(|sg| sg.seq == c.snd_una));
+    }
+
+    #[test]
+    fn orderly_close_reaches_closed_and_time_wait() {
+        let (mut c, mut s) = pair();
+        c.app_close();
+        let fin = c.output(10_000);
+        assert!(fin.iter().any(|sg| sg.flags.fin));
+        assert_eq!(c.state(), State::FinWait1);
+        settle(&mut c, &mut s, fin, 10_000);
+        assert_eq!(s.state(), State::CloseWait);
+        // Server reads EOF.
+        let (eof, _) = s.app_read(16).unwrap();
+        assert_eq!(eof.unwrap().len(), 0);
+        // Server closes too.
+        s.app_close();
+        let fin2 = s.output(50_000);
+        settle(&mut s, &mut c, fin2, 50_000);
+        assert_eq!(s.state(), State::Closed);
+        assert_eq!(c.state(), State::TimeWait);
+        // TIME_WAIT expires.
+        let end = 50_000 + TcpConfig::default().time_wait + MILLIS;
+        c.on_tick(end);
+        assert_eq!(c.state(), State::Closed);
+    }
+
+    #[test]
+    fn rst_wakes_and_errors() {
+        let (mut c, mut s) = pair();
+        let rst = c.app_abort();
+        deliver(&mut s, vec![rst], 10_000);
+        assert_eq!(s.state(), State::Closed);
+        assert_eq!(s.error(), Some(NetError::Reset));
+        assert_eq!(s.app_read(16).unwrap_err(), NetError::Reset);
+    }
+
+    #[test]
+    fn syn_retransmission_then_give_up() {
+        let a = Endpoint::new(HostId(1), 1000);
+        let b = Endpoint::new(HostId(9), 80); // nobody home
+        let mut cfg = TcpConfig::default();
+        cfg.max_syn_retries = 2;
+        let mut c = Tcb::new_active(cfg, a, b, 100, 0);
+        let mut now = 0;
+        let mut retries = 0;
+        for _ in 0..10 {
+            now += 10_000 * MILLIS;
+            let segs = c.on_tick(now);
+            if c.state() == State::Closed {
+                break;
+            }
+            if !segs.is_empty() {
+                retries += 1;
+            }
+        }
+        assert_eq!(c.state(), State::Closed);
+        assert_eq!(c.error(), Some(NetError::Timeout));
+        assert!(retries >= 2);
+    }
+
+    #[test]
+    fn send_buffer_backpressure() {
+        let (mut c, _s) = pair();
+        let huge = vec![0u8; 100_000];
+        let n = c.app_write(&huge).unwrap();
+        assert_eq!(n, TcpConfig::default().send_buf, "accepts only the buffer");
+        assert_eq!(c.app_write(&huge).unwrap(), 0, "then blocks");
+    }
+
+    #[test]
+    fn write_after_close_fails() {
+        let (mut c, _s) = pair();
+        c.app_close();
+        assert_eq!(c.app_write(b"x").unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn flow_control_respects_peer_window() {
+        let (mut c, _s) = pair();
+        // Peer advertises a tiny window.
+        let tiny_wnd = Segment {
+            src_port: 80,
+            dst_port: 1000,
+            seq: c.rcv_nxt,
+            ack: c.snd_una,
+            flags: Flags::ack(),
+            wnd: 1000,
+            payload: Bytes::new(),
+        };
+        c.on_segment(tiny_wnd, 5_000);
+        c.app_write(&vec![0u8; 8000]).unwrap();
+        let segs = c.output(6_000);
+        let sent: usize = segs.iter().map(|s| s.payload.len()).sum();
+        assert!(sent <= 1460.max(1000), "must respect the advertised window, sent {sent}");
+    }
+}

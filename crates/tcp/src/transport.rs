@@ -1,0 +1,140 @@
+//! Packet substrates the TCP stack runs over.
+//!
+//! The stack only needs [`SegmentTransport::send`]; delivery happens by the
+//! substrate calling [`TcpHost::inject`](crate::host::TcpHost::inject).
+//! [`LoopbackNet`] is an in-process substrate with seeded loss and
+//! duplication for deterministic protocol tests; latency/bandwidth-shaped
+//! delivery comes from wiring the stack to `eveth-simos`'s packet network
+//! (see the `eveth` facade crate).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use eveth_core::net::HostId;
+use parking_lot::Mutex;
+
+use crate::host::TcpHost;
+use crate::segment::Segment;
+
+/// Where outbound segments go. Implementations must not block.
+pub trait SegmentTransport: Send + Sync {
+    /// Ships `seg` from `src` towards `dst` (possibly dropping it).
+    fn send(&self, src: HostId, dst: HostId, seg: Segment);
+}
+
+/// Fault injection knobs for [`LoopbackNet`].
+#[derive(Debug, Clone, Copy)]
+pub struct Faults {
+    /// Probability in [0,1) of dropping any segment.
+    pub loss: f64,
+    /// Deliver every n-th surviving segment twice (duplication).
+    pub duplicate_every: Option<u64>,
+}
+
+impl Default for Faults {
+    fn default() -> Self {
+        Faults {
+            loss: 0.0,
+            duplicate_every: None,
+        }
+    }
+}
+
+struct FaultState {
+    faults: Faults,
+    rng: u64,
+    survivors: u64,
+}
+
+/// Counters for a [`LoopbackNet`].
+#[derive(Debug, Default)]
+pub struct LoopbackStats {
+    /// Segments offered.
+    pub sent: AtomicU64,
+    /// Segments dropped by injected loss.
+    pub dropped: AtomicU64,
+    /// Segments delivered twice.
+    pub duplicated: AtomicU64,
+}
+
+/// An in-process, zero-latency segment network with deterministic fault
+/// injection. Hosts are registered weakly, so the net never keeps a stack
+/// alive.
+pub struct LoopbackNet {
+    hosts: Mutex<HashMap<HostId, Weak<TcpHost>>>,
+    state: Mutex<FaultState>,
+    stats: LoopbackStats,
+}
+
+impl LoopbackNet {
+    /// A lossless loopback.
+    pub fn new() -> Arc<Self> {
+        Self::with_faults(Faults::default(), 1)
+    }
+
+    /// A loopback with the given faults; `seed` fixes the loss sequence.
+    pub fn with_faults(faults: Faults, seed: u64) -> Arc<Self> {
+        Arc::new(LoopbackNet {
+            hosts: Mutex::new(HashMap::new()),
+            state: Mutex::new(FaultState {
+                faults,
+                rng: seed | 1,
+                survivors: 0,
+            }),
+            stats: LoopbackStats::default(),
+        })
+    }
+
+    /// Attaches a TCP host so segments addressed to its id reach it.
+    pub fn register(&self, host: &Arc<TcpHost>) {
+        self.hosts
+            .lock()
+            .insert(host.host_id(), Arc::downgrade(host));
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &LoopbackStats {
+        &self.stats
+    }
+}
+
+impl SegmentTransport for LoopbackNet {
+    fn send(&self, src: HostId, dst: HostId, seg: Segment) {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        let duplicate = {
+            let mut st = self.state.lock();
+            st.rng ^= st.rng << 13;
+            st.rng ^= st.rng >> 7;
+            st.rng ^= st.rng << 17;
+            let roll = (st.rng >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < st.faults.loss {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            st.survivors += 1;
+            matches!(st.faults.duplicate_every, Some(n) if n > 0 && st.survivors % n == 0)
+        };
+        let target = self.hosts.lock().get(&dst).and_then(Weak::upgrade);
+        if let Some(host) = target {
+            if duplicate {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                host.inject(src, seg.clone());
+            }
+            host.inject(src, seg);
+        }
+    }
+}
+
+impl fmt::Debug for LoopbackNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LoopbackNet(hosts={}, sent={}, dropped={})",
+            self.hosts.lock().len(),
+            self.stats.sent.load(Ordering::Relaxed),
+            self.stats.dropped.load(Ordering::Relaxed)
+        )
+    }
+}

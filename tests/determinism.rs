@@ -1,0 +1,60 @@
+//! The simulated substrate is deterministic: identical seeds produce
+//! identical virtual timings and statistics, run after run. This is what
+//! makes the figure harnesses reproducible.
+
+use eveth::simos::cost::CostModel;
+use eveth::simos::disk::DiskSched;
+use eveth_bench::workloads::{disk_head_scheduling, web_server_run, WebRunParams};
+
+fn disk_run(seed: u64) -> (u64, f64) {
+    let r = disk_head_scheduling(CostModel::monadic(), DiskSched::CLook, 32, 1024, seed)
+        .expect("no cap");
+    (r.elapsed, r.mb_s)
+}
+
+#[test]
+fn disk_benchmark_is_bit_deterministic() {
+    let a = disk_run(7);
+    let b = disk_run(7);
+    assert_eq!(a.0, b.0, "virtual elapsed time must match exactly");
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let a = disk_run(7);
+    let b = disk_run(8);
+    assert_ne!(a.0, b.0, "seed must actually influence the workload");
+}
+
+#[test]
+fn web_benchmark_is_bit_deterministic() {
+    let params = WebRunParams {
+        cost: CostModel::monadic(),
+        files: 128,
+        cache_bytes: 256 * 1024,
+        connections: 8,
+        requests_per_conn: 4,
+        seed: 21,
+    };
+    let a = web_server_run(&params);
+    let b = web_server_run(&params);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.responses, b.responses);
+}
+
+#[test]
+fn nptl_and_monadic_models_order_as_expected() {
+    // The same workload must not be faster under kernel-thread pricing:
+    // this is the invariant behind every paired figure.
+    let monadic =
+        disk_head_scheduling(CostModel::monadic(), DiskSched::CLook, 256, 2048, 3).unwrap();
+    let nptl = disk_head_scheduling(CostModel::nptl(), DiskSched::CLook, 256, 2048, 3).unwrap();
+    assert!(
+        monadic.mb_s >= nptl.mb_s,
+        "monadic {} MB/s must be >= NPTL {} MB/s",
+        monadic.mb_s,
+        nptl.mb_s
+    );
+}

@@ -1,0 +1,159 @@
+//! The paper's Figure 13 (`send_file`) pattern: exceptions raised deep in
+//! an I/O pipeline run cleanup handlers and propagate outward — across
+//! AIO, blocking I/O, and lock boundaries.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth::core::aio::{AioCompletion, AioFile, IoError};
+use eveth::core::runtime::Runtime;
+use eveth::core::sync::Mutex;
+use eveth::core::syscall::*;
+use eveth::{do_m, ThreadM};
+
+/// A file whose reads fail after `good_reads` successes — fault injection
+/// for the copy loop.
+struct FlakyFile {
+    reads: AtomicU32,
+    good_reads: u32,
+}
+
+impl AioFile for FlakyFile {
+    fn len(&self) -> u64 {
+        1 << 20
+    }
+    fn submit_read(&self, _offset: u64, len: usize, done: AioCompletion) {
+        let n = self.reads.fetch_add(1, Ordering::SeqCst);
+        if n < self.good_reads {
+            done.complete(Ok(Bytes::from(vec![7u8; len])));
+        } else {
+            done.complete(Err(IoError::Other("injected disk failure".into())));
+        }
+    }
+    fn submit_write(&self, _offset: u64, _data: Bytes, done: AioCompletion) {
+        done.complete(Err(IoError::Unsupported));
+    }
+}
+
+/// The paper's send_file: open, copy with a handler that closes the file
+/// and rethrows (Figure 13).
+fn send_file(
+    file: Arc<dyn AioFile>,
+    sent: Arc<AtomicU32>,
+    closed: Arc<AtomicU32>,
+) -> ThreadM<()> {
+    let close_count = Arc::clone(&closed);
+    do_m! {
+        // "file_open" through the blocking-I/O pool, as the paper does.
+        let fd <- sys_blio(move || file);
+        sys_finally(
+            copy_data(fd, sent),
+            move || {
+                let c = Arc::clone(&close_count);
+                sys_nbio(move || { c.fetch_add(1, Ordering::SeqCst); })
+            },
+        )
+    }
+}
+
+fn copy_data(fd: Arc<dyn AioFile>, sent: Arc<AtomicU32>) -> ThreadM<()> {
+    eveth::loop_m(0u64, move |offset| {
+        let sent = Arc::clone(&sent);
+        sys_aio_read(&fd, offset, 4096).bind(move |res| match res {
+            Ok(data) if data.is_empty() => ThreadM::pure(eveth::Loop::Break(())),
+            Ok(data) => {
+                sent.fetch_add(data.len() as u32, Ordering::SeqCst);
+                ThreadM::pure(eveth::Loop::Continue(offset + data.len() as u64))
+            }
+            Err(e) => sys_throw(eveth::core::Exception::with_payload("read failed", e)),
+        })
+    })
+}
+
+#[test]
+fn cleanup_runs_and_exception_propagates() {
+    let rt = Runtime::builder().workers(2).build();
+    let file = Arc::new(FlakyFile {
+        reads: AtomicU32::new(0),
+        good_reads: 3,
+    });
+    let sent = Arc::new(AtomicU32::new(0));
+    let closed = Arc::new(AtomicU32::new(0));
+    let err = rt
+        .block_on_result(send_file(
+            file as Arc<dyn AioFile>,
+            Arc::clone(&sent),
+            Arc::clone(&closed),
+        ))
+        .expect_err("the injected failure must escape send_file");
+    assert_eq!(err.message(), "read failed");
+    assert_eq!(
+        err.payload_ref::<IoError>(),
+        Some(&IoError::Other("injected disk failure".into()))
+    );
+    assert_eq!(sent.load(Ordering::SeqCst), 3 * 4096, "three good reads");
+    assert_eq!(closed.load(Ordering::SeqCst), 1, "file closed exactly once");
+    rt.shutdown();
+}
+
+#[test]
+fn cleanup_runs_on_success_too() {
+    let rt = Runtime::builder().workers(1).build();
+    let file = Arc::new(FlakyFile {
+        reads: AtomicU32::new(0),
+        good_reads: u32::MAX,
+    });
+    // A short file: make reads return empty after the real length by
+    // bounding the copy to 2 reads worth via a small wrapper.
+    struct Short(Arc<FlakyFile>);
+    impl AioFile for Short {
+        fn len(&self) -> u64 {
+            8192
+        }
+        fn submit_read(&self, offset: u64, len: usize, done: AioCompletion) {
+            if offset >= 8192 {
+                done.complete(Ok(Bytes::new()));
+            } else {
+                self.0.submit_read(offset, len, done);
+            }
+        }
+        fn submit_write(&self, o: u64, d: Bytes, done: AioCompletion) {
+            self.0.submit_write(o, d, done);
+        }
+    }
+    let sent = Arc::new(AtomicU32::new(0));
+    let closed = Arc::new(AtomicU32::new(0));
+    rt.block_on(send_file(
+        Arc::new(Short(file)),
+        Arc::clone(&sent),
+        Arc::clone(&closed),
+    ));
+    assert_eq!(sent.load(Ordering::SeqCst), 8192);
+    assert_eq!(closed.load(Ordering::SeqCst), 1);
+    rt.shutdown();
+}
+
+#[test]
+fn mutex_with_releases_across_io_failure() {
+    let rt = Runtime::builder().workers(2).build();
+    let m = Mutex::new();
+    let file = Arc::new(FlakyFile {
+        reads: AtomicU32::new(0),
+        good_reads: 0,
+    });
+    let body = {
+        let file: Arc<dyn AioFile> = file;
+        do_m! {
+            let res <- sys_aio_read(&file, 0, 128);
+            match res {
+                Ok(_) => ThreadM::pure(()),
+                Err(e) => sys_throw(eveth::core::Exception::with_payload("io", e)),
+            }
+        }
+    };
+    let err = rt.block_on_result(m.with(body)).expect_err("must throw");
+    assert_eq!(err.message(), "io");
+    assert!(!m.is_locked(), "lock released by the exception path");
+    rt.shutdown();
+}

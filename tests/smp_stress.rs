@@ -1,0 +1,168 @@
+//! SMP stress: many monadic threads across several OS workers, hammering
+//! every synchronization primitive at once (paper §4.4: "multiple monadic
+//! threads make progress simultaneously").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eveth::core::runtime::Runtime;
+use eveth::core::sync::{Chan, MVar, Mutex, SyncChan};
+use eveth::core::syscall::*;
+use eveth::stm::{atomically_m, TVar};
+use eveth::{do_m, for_each_m, loop_m, Loop, ThreadM};
+
+#[test]
+fn hundred_thousand_threads_complete() {
+    let rt = Runtime::builder().workers(4).build();
+    const N: u64 = 100_000;
+    let counter = Arc::new(AtomicU64::new(0));
+    for _ in 0..N {
+        let c = Arc::clone(&counter);
+        rt.spawn(do_m! {
+            sys_yield();
+            sys_nbio(move || { c.fetch_add(1, Ordering::Relaxed); })
+        });
+    }
+    let watch = Arc::clone(&counter);
+    rt.block_on(loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        do_m! {
+            sys_sleep(eveth::core::time::MILLIS);
+            let v <- sys_nbio(move || watch.load(Ordering::Relaxed));
+            ThreadM::pure(if v == N { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }));
+    assert_eq!(counter.load(Ordering::Relaxed), N);
+    assert!(rt.stats().spawned >= N);
+    rt.shutdown();
+}
+
+#[test]
+fn mixed_primitive_stress() {
+    let rt = Runtime::builder().workers(4).build();
+    const WORKERS: u64 = 32;
+    const ROUNDS: u64 = 50;
+
+    let mutex = Mutex::new();
+    let guarded = Arc::new(AtomicU64::new(0));
+    let chan: Chan<u64> = Chan::new();
+    let bounded: SyncChan<u64> = SyncChan::new(4);
+    let mv: MVar<u64> = MVar::new_empty();
+    let tv: TVar<u64> = TVar::new(0);
+    let done = Arc::new(AtomicU64::new(0));
+
+    // Producers: push through every primitive.
+    for w in 0..WORKERS {
+        let mutex = mutex.clone();
+        let guarded = Arc::clone(&guarded);
+        let chan = chan.clone();
+        let bounded = bounded.clone();
+        let tv = tv.clone();
+        let done = Arc::clone(&done);
+        rt.spawn(do_m! {
+            for_each_m(0..ROUNDS, move |i| {
+                let mutex = mutex.clone();
+                let guarded = Arc::clone(&guarded);
+                let chan = chan.clone();
+                let bounded = bounded.clone();
+                let tv = tv.clone();
+                do_m! {
+                    mutex.with(sys_nbio(move || { guarded.fetch_add(1, Ordering::Relaxed); }));
+                    chan.write(w * ROUNDS + i);
+                    bounded.write(i);
+                    atomically_m(move |t| {
+                        let v = t.read(&tv)?;
+                        t.write(&tv, v + 1);
+                        Ok(())
+                    })
+                }
+            });
+            sys_nbio(move || { done.fetch_add(1, Ordering::Relaxed); })
+        });
+    }
+    // Consumers for the channels.
+    let chan_seen = Arc::new(AtomicU64::new(0));
+    let bounded_seen = Arc::new(AtomicU64::new(0));
+    for _ in 0..4 {
+        let chan = chan.clone();
+        let seen = Arc::clone(&chan_seen);
+        rt.spawn(eveth::forever_m(move || {
+            let seen = Arc::clone(&seen);
+            chan.read()
+                .bind(move |_| sys_nbio(move || { seen.fetch_add(1, Ordering::Relaxed); }))
+        }));
+        let bounded = bounded.clone();
+        let seen = Arc::clone(&bounded_seen);
+        rt.spawn(eveth::forever_m(move || {
+            let seen = Arc::clone(&seen);
+            bounded
+                .read()
+                .bind(move |_| sys_nbio(move || { seen.fetch_add(1, Ordering::Relaxed); }))
+        }));
+    }
+    // MVar ping to make sure it is exercised under contention too.
+    let mv2 = mv.clone();
+    rt.spawn(for_each_m(0..100u64, move |i| mv2.put(i)));
+    let mv3 = mv.clone();
+    rt.spawn(for_each_m(0..100u64, move |_| mv3.take().map(|_| ())));
+
+    // Wait for all producers and both channel counters.
+    let total = WORKERS * ROUNDS;
+    let watch = move || {
+        let done = Arc::clone(&done);
+        let chan_seen = Arc::clone(&chan_seen);
+        let bounded_seen = Arc::clone(&bounded_seen);
+        move || {
+            done.load(Ordering::Relaxed) == WORKERS
+                && chan_seen.load(Ordering::Relaxed) == total
+                && bounded_seen.load(Ordering::Relaxed) == total
+        }
+    }();
+    rt.block_on(loop_m((), move |()| {
+        let watch = watch.clone();
+        do_m! {
+            sys_sleep(eveth::core::time::MILLIS);
+            let ok <- sys_nbio(move || watch());
+            ThreadM::pure(if ok { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }));
+
+    assert_eq!(guarded.load(Ordering::Relaxed), total);
+    assert_eq!(tv.read_now(), total);
+    assert!(rt.uncaught_exceptions().is_empty());
+    rt.shutdown();
+}
+
+#[test]
+fn work_is_actually_parallel() {
+    // With 4 workers, four CPU-heavy monadic threads should overlap: the
+    // wall time must be well under 4x the single-thread time.
+    let rt = Runtime::builder().workers(4).slice(1_000_000).build();
+    let spin = || {
+        sys_nbio(|| {
+            let mut acc: u64 = 0;
+            for i in 0..20_000_000u64 {
+                acc = acc.wrapping_add(i ^ (acc << 1));
+            }
+            std::hint::black_box(acc);
+        })
+    };
+    let t0 = std::time::Instant::now();
+    rt.block_on(spin());
+    let single = t0.elapsed();
+
+    let done: Chan<()> = Chan::new();
+    let t1 = std::time::Instant::now();
+    for _ in 0..4 {
+        let done = done.clone();
+        rt.spawn(do_m! { spin(); done.write(()) });
+    }
+    rt.block_on(for_each_m(0..4u32, move |_| done.read().map(|_| ())));
+    let quad = t1.elapsed();
+
+    assert!(
+        quad < single * 3,
+        "4 threads on 4 workers took {quad:?}, single took {single:?} — no SMP overlap?"
+    );
+    rt.shutdown();
+}

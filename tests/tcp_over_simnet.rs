@@ -1,0 +1,73 @@
+//! Integration: the application-level TCP stack over the simulated packet
+//! network, across latency, bandwidth and loss regimes.
+
+use bytes::Bytes;
+use eveth::glue;
+use eveth::core::net::{recv_exact, send_all, Endpoint, HostId, NetStack};
+use eveth::core::syscall::sys_fork;
+use eveth::{do_m, ThreadM};
+use eveth::simos::net::{LinkParams, SimNet};
+use eveth::simos::SimRuntime;
+use eveth::tcp::tcb::TcpConfig;
+
+fn run_transfer(bytes: usize, loss: f64, seed: u64) -> (u64, u64) {
+    let sim = SimRuntime::new_default();
+    let net = SimNet::new(
+        sim.clock(),
+        LinkParams::ethernet_100mbps().with_loss(loss),
+        seed,
+    );
+    let a = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(1), TcpConfig::default());
+    let b = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(2), TcpConfig::default());
+
+    let payload = Bytes::from(vec![0xAB; bytes]);
+    let server = do_m! {
+        let lst <- b.listen(80);
+        let conn <- lst.unwrap().accept();
+        let conn = conn.unwrap();
+        let got <- recv_exact(&conn, bytes);
+        let echoed <- send_all(&conn, got.unwrap().slice(..128));
+        let _ = echoed.unwrap();
+        ThreadM::pure(())
+    };
+    let back = sim
+        .block_on(do_m! {
+            sys_fork(server);
+            let conn <- a.connect(Endpoint::new(HostId(2), 80));
+            let conn = conn.unwrap();
+            let sent <- send_all(&conn, payload);
+            let _ = sent.unwrap();
+            recv_exact(&conn, 128)
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(back.len(), 128);
+    assert!(back.iter().all(|&x| x == 0xAB));
+    (
+        sim.now(),
+        net.stats()
+            .dropped
+            .load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn small_transfer_lossless() {
+    let (t, dropped) = run_transfer(4 * 1024, 0.0, 1);
+    assert_eq!(dropped, 0);
+    assert!(t > 0);
+}
+
+#[test]
+fn large_transfer_lossless() {
+    let (t, _) = run_transfer(200_000, 0.0, 1);
+    // 200 KB over 100 Mbps ≥ 16 ms of serialization.
+    assert!(t >= 16_000_000, "virtual time {t}");
+}
+
+#[test]
+fn large_transfer_with_loss_retransmits() {
+    let (t, dropped) = run_transfer(200_000, 0.02, 42);
+    assert!(dropped > 0, "lossy link must drop something");
+    assert!(t >= 16_000_000);
+}
