@@ -41,7 +41,10 @@ fn slice_ablation() {
     const THREADS: u64 = 2_000;
     const STEPS: u64 = 200;
     println!("({THREADS} threads x {STEPS} non-blocking steps each)");
-    println!("{:>8} | {:>14} | {:>14}", "slice", "virtual ms", "ctx switches");
+    println!(
+        "{:>8} | {:>14} | {:>14}",
+        "slice", "virtual ms", "ctx switches"
+    );
     println!("{:->8}-+-{:->14}-+-{:->14}", "", "", "");
     for slice in [1usize, 4, 16, 64, 256, 1024] {
         let sim = SimRuntime::new(
@@ -86,11 +89,13 @@ fn elevator_ablation() {
         "Figure 17's rise exists only because of head scheduling",
     );
     const READS: u64 = 8_192;
-    println!("{:>8} | {:>12} | {:>12}", "threads", "C-LOOK MB/s", "FIFO MB/s");
+    println!(
+        "{:>8} | {:>12} | {:>12}",
+        "threads", "C-LOOK MB/s", "FIFO MB/s"
+    );
     println!("{:->8}-+-{:->12}-+-{:->12}", "", "", "");
     for threads in [1u64, 16, 256, 4_096] {
-        let clook =
-            disk_head_scheduling(CostModel::monadic(), DiskSched::CLook, threads, READS, 2);
+        let clook = disk_head_scheduling(CostModel::monadic(), DiskSched::CLook, threads, READS, 2);
         let fifo = disk_head_scheduling(CostModel::monadic(), DiskSched::Fifo, threads, READS, 2);
         println!(
             "{:>8} | {} | {}",
@@ -224,7 +229,10 @@ fn tcp_stack_ablation() {
 
     let (kernel_mb, kernel_resp) = run(false);
     let (tcp_mb, tcp_resp) = run(true);
-    println!("{:>18} | {:>12} | {:>10}", "socket stack", "MB/s", "responses");
+    println!(
+        "{:>18} | {:>12} | {:>10}",
+        "socket stack", "MB/s", "responses"
+    );
     println!("{:->18}-+-{:->12}-+-{:->10}", "", "", "");
     println!(
         "{:>18} | {} | {:>10}",

@@ -23,11 +23,7 @@ fn main() {
     let full = eveth_bench::full_scale();
     // 512 MB (paper) or 64 MB (default) of 4 KB reads per cell.
     let total_reads: u64 = if full { 131_072 } else { 16_384 };
-    let threads: &[u64] = if full {
-        &[1, 10, 100, 1_000, 4_096, 16_384, 65_536]
-    } else {
-        &[1, 10, 100, 1_000, 4_096, 16_384, 65_536]
-    };
+    let threads: &[u64] = &[1, 10, 100, 1_000, 4_096, 16_384, 65_536];
 
     banner(
         "E2 / Figure 17",

@@ -100,9 +100,12 @@ fn wall_clock_monadic(idle: usize, rounds: usize) -> f64 {
         .unwrap_or(2)
         .min(4);
     let rt = Runtime::builder().workers(workers).build();
-    let _keep = spawn_idle_monadic(&mut |m| {
-        rt.spawn(m);
-    }, idle);
+    let _keep = spawn_idle_monadic(
+        &mut |m| {
+            rt.spawn(m);
+        },
+        idle,
+    );
 
     let done = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -206,9 +209,12 @@ fn wall_clock_nptl(idle: usize, rounds: usize) -> Option<f64> {
 
 fn virtual_time(cost: CostModel, idle: usize, rounds: usize) -> f64 {
     let sim = sim_with(cost);
-    let _keep = spawn_idle_monadic(&mut |m| {
-        sim.spawn(m);
-    }, idle);
+    let _keep = spawn_idle_monadic(
+        &mut |m| {
+            sim.spawn(m);
+        },
+        idle,
+    );
     let done = Arc::new(AtomicU64::new(0));
     for p in 0..PAIRS {
         let (wa, rb) = pipe(PIPE_BUF);

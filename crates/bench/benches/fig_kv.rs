@@ -1,0 +1,220 @@
+//! KV service throughput — the repository's second workload, benched in
+//! the style of the paper's figures: the same monadic program swept across
+//! client counts, pipeline depths, shard counts, shard backends and both
+//! socket layers, under the monadic cost model.
+//!
+//! Beyond the human-readable table, results land in `BENCH_kv.json` at the
+//! workspace root (via `eveth_bench::tables::write_json_rows`) so future
+//! PRs can track the perf trajectory mechanically.
+//!
+//! Run: `cargo bench --bench fig_kv` (EVETH_FULL=1 for the larger sweep).
+
+use eveth_bench::tables::{banner, count, write_json_rows, JsonVal};
+use eveth_bench::workloads::{kv_server_run, KvRunParams, KvRunResult};
+use eveth_simos::cost::CostModel;
+
+struct Sweep {
+    clients: Vec<u64>,
+    depths: Vec<usize>,
+    shards: Vec<usize>,
+}
+
+fn base_params() -> KvRunParams {
+    KvRunParams {
+        cost: CostModel::monadic(),
+        app_tcp: false,
+        shards: 8,
+        stm: false,
+        clients: 16,
+        batches_per_conn: 16,
+        pipeline_depth: 8,
+        set_percent: 10,
+        keys: 1024,
+        value_bytes: 100,
+        seed: 42,
+    }
+}
+
+fn run(p: KvRunParams) -> KvRunResult {
+    kv_server_run(&p)
+}
+
+fn main() {
+    let full = eveth_bench::full_scale();
+    let sweep = if full {
+        Sweep {
+            clients: vec![1, 4, 16, 64, 256, 1024],
+            depths: vec![1, 2, 4, 8, 16, 32],
+            shards: vec![1, 2, 4, 8, 16, 32],
+        }
+    } else {
+        Sweep {
+            clients: vec![1, 4, 16, 64],
+            depths: vec![1, 4, 16],
+            shards: vec![1, 4, 16],
+        }
+    };
+    let mut rows: Vec<Vec<(&str, JsonVal)>> = Vec::new();
+
+    banner(
+        "KV / second workload",
+        "memcached-style KV throughput vs clients, pipeline depth, shards",
+        "the §5.2 architecture applied to a second protocol; both sides of the one-line NetStack switch",
+    );
+
+    // ---- throughput vs concurrent clients, both socket layers ------------
+    println!();
+    println!(
+        "{:>8} | {:>14} | {:>14} | {:>9}",
+        "clients", "sockets ops/s", "app-tcp ops/s", "hit rate"
+    );
+    println!("{:->8}-+-{:->14}-+-{:->14}-+-{:->9}", "", "", "", "");
+    for &clients in &sweep.clients {
+        let sock = run(KvRunParams {
+            clients,
+            ..base_params()
+        });
+        let tcp = run(KvRunParams {
+            clients,
+            app_tcp: true,
+            ..base_params()
+        });
+        println!(
+            "{:>8} | {:>14} | {:>14} | {:>8.1}%",
+            clients,
+            count(sock.ops_per_sec as u64),
+            count(tcp.ops_per_sec as u64),
+            sock.hit_ratio() * 100.0
+        );
+        for (stack, r) in [("sockets", &sock), ("app-tcp", &tcp)] {
+            rows.push(vec![
+                ("sweep", JsonVal::Str("clients".into())),
+                ("stack", JsonVal::Str(stack.into())),
+                ("clients", JsonVal::Int(clients)),
+                (
+                    "pipeline_depth",
+                    JsonVal::Int(base_params().pipeline_depth as u64),
+                ),
+                ("shards", JsonVal::Int(base_params().shards as u64)),
+                ("backend", JsonVal::Str("mutex".into())),
+                ("responses", JsonVal::Int(r.responses)),
+                ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
+                ("hit_ratio", JsonVal::Num(r.hit_ratio())),
+                ("virtual_ns", JsonVal::Int(r.elapsed)),
+            ]);
+        }
+    }
+
+    // ---- throughput vs pipeline depth ------------------------------------
+    println!();
+    println!(
+        "{:>8} | {:>14} | {:>16}",
+        "depth", "ops/s", "ns/op (virtual)"
+    );
+    println!("{:->8}-+-{:->14}-+-{:->16}", "", "", "");
+    for &depth in &sweep.depths {
+        let r = run(KvRunParams {
+            pipeline_depth: depth,
+            ..base_params()
+        });
+        println!(
+            "{:>8} | {:>14} | {:>16}",
+            depth,
+            count(r.ops_per_sec as u64),
+            count(r.elapsed / r.responses.max(1))
+        );
+        rows.push(vec![
+            ("sweep", JsonVal::Str("pipeline_depth".into())),
+            ("stack", JsonVal::Str("sockets".into())),
+            ("clients", JsonVal::Int(base_params().clients)),
+            ("pipeline_depth", JsonVal::Int(depth as u64)),
+            ("shards", JsonVal::Int(base_params().shards as u64)),
+            ("backend", JsonVal::Str("mutex".into())),
+            ("responses", JsonVal::Int(r.responses)),
+            ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
+            ("hit_ratio", JsonVal::Num(r.hit_ratio())),
+            ("virtual_ns", JsonVal::Int(r.elapsed)),
+        ]);
+    }
+
+    // ---- throughput vs shard count, both backends ------------------------
+    println!();
+    println!(
+        "{:>8} | {:>14} | {:>14}",
+        "shards", "mutex ops/s", "stm ops/s"
+    );
+    println!("{:->8}-+-{:->14}-+-{:->14}", "", "", "");
+    for &shards in &sweep.shards {
+        let mutex = run(KvRunParams {
+            shards,
+            ..base_params()
+        });
+        let stm = run(KvRunParams {
+            shards,
+            stm: true,
+            ..base_params()
+        });
+        println!(
+            "{:>8} | {:>14} | {:>14}",
+            shards,
+            count(mutex.ops_per_sec as u64),
+            count(stm.ops_per_sec as u64)
+        );
+        for (backend, r) in [("mutex", &mutex), ("stm", &stm)] {
+            rows.push(vec![
+                ("sweep", JsonVal::Str("shards".into())),
+                ("stack", JsonVal::Str("sockets".into())),
+                ("clients", JsonVal::Int(base_params().clients)),
+                (
+                    "pipeline_depth",
+                    JsonVal::Int(base_params().pipeline_depth as u64),
+                ),
+                ("shards", JsonVal::Int(shards as u64)),
+                ("backend", JsonVal::Str(backend.into())),
+                ("responses", JsonVal::Int(r.responses)),
+                ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
+                ("hit_ratio", JsonVal::Num(r.hit_ratio())),
+                ("virtual_ns", JsonVal::Int(r.elapsed)),
+            ]);
+        }
+    }
+
+    // ---- machine-readable drop -------------------------------------------
+    let out = workspace_root().join("BENCH_kv.json");
+    let meta = [
+        ("bench", JsonVal::Str("fig_kv".into())),
+        ("full_scale", JsonVal::Bool(full)),
+        ("cost_model", JsonVal::Str("monadic".into())),
+        (
+            "set_percent",
+            JsonVal::Int(base_params().set_percent as u64),
+        ),
+        ("keys", JsonVal::Int(base_params().keys as u64)),
+        (
+            "value_bytes",
+            JsonVal::Int(base_params().value_bytes as u64),
+        ),
+    ];
+    match write_json_rows(&out, &meta, &rows) {
+        Ok(()) => println!("\nwrote {} rows to {}", rows.len(), out.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", out.display()),
+    }
+    println!("expected shape: ops/s rises with pipeline depth (fewer round trips)");
+    println!("and with clients until the single simulated CPU saturates;");
+    println!("shard count matters once clients contend on hot shards.");
+}
+
+/// The workspace root: prefer CARGO env (set under `cargo bench`), falling
+/// back to the current directory.
+fn workspace_root() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/bench -> workspace root.
+        std::path::Path::new(&dir)
+            .ancestors()
+            .nth(2)
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+    } else {
+        std::path::PathBuf::from(".")
+    }
+}

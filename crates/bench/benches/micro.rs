@@ -56,14 +56,10 @@ fn bench_context_switch(c: &mut Criterion) {
 fn bench_exceptions(c: &mut Criterion) {
     let mut g = c.benchmark_group("exceptions");
     g.bench_function("catch_no_throw", |b| {
-        b.iter(|| {
-            run_local(sys_catch(ThreadM::pure(7), |_| ThreadM::pure(0))).unwrap()
-        })
+        b.iter(|| run_local(sys_catch(ThreadM::pure(7), |_| ThreadM::pure(0))).unwrap())
     });
     g.bench_function("throw_and_catch", |b| {
-        b.iter(|| {
-            run_local(sys_catch(sys_throw::<i32>("e"), |_| ThreadM::pure(0))).unwrap()
-        })
+        b.iter(|| run_local(sys_catch(sys_throw::<i32>("e"), |_| ThreadM::pure(0))).unwrap())
     });
     g.finish();
 }

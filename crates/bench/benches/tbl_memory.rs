@@ -65,7 +65,12 @@ fn main() {
     println!("{:->12}-+-{:->14}-+-{:->14}", "", "", "");
     for &n in sweep {
         let (total, per) = measure(n);
-        println!("{:>12} | {:>14} | {:>14.1}", count(n), count(total as u64), per);
+        println!(
+            "{:>12} | {:>14} | {:>14.1}",
+            count(n),
+            count(total as u64),
+            per
+        );
     }
     println!();
     println!("paper: 48 bytes/thread; ours is the same order (boxed continuation");

@@ -29,7 +29,10 @@ fn attach(net: &Arc<SimNet>, host: &Arc<TcpHost>) {
     net.register_host(
         host.host_id(),
         Arc::new(move |src, pkt| {
-            if let (Some(h), Ok(seg)) = (weak.upgrade(), pkt.downcast::<eveth_tcp::segment::Segment>()) {
+            if let (Some(h), Ok(seg)) = (
+                weak.upgrade(),
+                pkt.downcast::<eveth_tcp::segment::Segment>(),
+            ) {
                 h.inject(src, *seg);
             }
         }),

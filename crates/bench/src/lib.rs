@@ -30,7 +30,9 @@ pub fn xorshift(state: &mut u64) -> u64 {
 
 /// True when paper-scale workloads were requested.
 pub fn full_scale() -> bool {
-    std::env::var("EVETH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EVETH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

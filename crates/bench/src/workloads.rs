@@ -234,6 +234,168 @@ pub fn web_server_run(p: &WebRunParams) -> WebRunResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The KV workload (second service, `fig_kv`).
+// ---------------------------------------------------------------------------
+
+/// Parameters for [`kv_server_run`].
+#[derive(Debug, Clone)]
+pub struct KvRunParams {
+    /// Cost model for the whole host.
+    pub cost: CostModel,
+    /// Serve over the application-level TCP stack instead of the
+    /// kernel-socket model (the paper's one-line switch, swept as a bench
+    /// dimension).
+    pub app_tcp: bool,
+    /// Store shard count.
+    pub shards: usize,
+    /// Use the `TVar`/STM shard backend instead of the monadic mutex.
+    pub stm: bool,
+    /// Concurrent client connections.
+    pub clients: u64,
+    /// Pipelined batches per connection.
+    pub batches_per_conn: usize,
+    /// Commands per batch (pipeline depth).
+    pub pipeline_depth: usize,
+    /// Sets per 100 commands.
+    pub set_percent: u8,
+    /// Key-space size (zipf skew 0.99).
+    pub keys: usize,
+    /// Value payload bytes.
+    pub value_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of [`kv_server_run`].
+#[derive(Debug, Clone)]
+pub struct KvRunResult {
+    /// Virtual time consumed.
+    pub elapsed: Nanos,
+    /// Commands answered.
+    pub responses: u64,
+    /// Commands answered per virtual second.
+    pub ops_per_sec: f64,
+    /// Get hits observed by clients.
+    pub hits: u64,
+    /// Get misses observed by clients.
+    pub misses: u64,
+    /// Client-received bytes.
+    pub bytes_in: u64,
+    /// Client-sent bytes.
+    pub bytes_out: u64,
+}
+
+impl KvRunResult {
+    /// Client-observed hit ratio over gets (1.0 when there were none).
+    pub fn hit_ratio(&self) -> f64 {
+        let gets = self.hits + self.misses;
+        if gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / gets as f64
+        }
+    }
+}
+
+/// The `fig_kv` workload: the sharded KV server and N pipelining clients
+/// (zipfian keys, get/set mix) over either socket layer, under a cost
+/// model. Returns client-observed throughput.
+pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
+    use eveth_kv::loadgen::{client_thread, KvLoadConfig, KvLoadStats};
+    use eveth_kv::server::{KvConfig, KvServer};
+    use eveth_kv::store::{Backend, StoreConfig};
+
+    let sim = sim_with(p.cost.clone());
+    let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) = if p.app_tcp {
+        let net = eveth_simos::net::SimNet::new(
+            sim.clock(),
+            eveth_simos::net::LinkParams::ethernet_100mbps(),
+            p.seed,
+        );
+        (
+            eveth::glue::tcp_host_over_simnet(
+                sim.ctx(),
+                &net,
+                HostId(1),
+                eveth_tcp::tcb::TcpConfig::default(),
+            ),
+            eveth::glue::tcp_host_over_simnet(
+                sim.ctx(),
+                &net,
+                HostId(2),
+                eveth_tcp::tcb::TcpConfig::default(),
+            ),
+        )
+    } else {
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        (fabric.stack(HostId(1)), fabric.stack(HostId(2)))
+    };
+
+    let server = KvServer::new(
+        server_stack,
+        KvConfig {
+            port: 11211,
+            store: StoreConfig {
+                shards: p.shards,
+                backend: if p.stm { Backend::Stm } else { Backend::Mutex },
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
+
+    let stats = Arc::new(KvLoadStats::default());
+    let cfg = Arc::new(KvLoadConfig {
+        server: Endpoint::new(HostId(1), 11211),
+        batches_per_conn: p.batches_per_conn,
+        pipeline_depth: p.pipeline_depth,
+        keys: p.keys,
+        zipf_s: 0.99,
+        set_percent: p.set_percent,
+        value_bytes: p.value_bytes,
+        ttl_secs: 0,
+        seed: p.seed,
+    });
+    for id in 0..p.clients {
+        sim.spawn(client_thread(
+            Arc::clone(&client_stack),
+            Arc::clone(&cfg),
+            Arc::clone(&stats),
+            id,
+        ));
+    }
+
+    let clients = p.clients;
+    let watch = Arc::clone(&stats);
+    sim.block_on(loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        do_m! {
+            sys_sleep(MILLIS);
+            let done <- sys_nbio(move || watch.clients_done.get());
+            ThreadM::pure(if done == clients { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }))
+    .expect("kv load completed");
+
+    let elapsed = sim.now();
+    let responses = stats.responses();
+    KvRunResult {
+        elapsed,
+        responses,
+        ops_per_sec: if elapsed == 0 {
+            0.0
+        } else {
+            responses as f64 / (elapsed as f64 / 1e9)
+        },
+        hits: stats.hits.get(),
+        misses: stats.misses.get(),
+        bytes_in: stats.bytes_in.get(),
+        bytes_out: stats.bytes_out.get(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +412,28 @@ mod tests {
         let mut cost = CostModel::nptl();
         cost.max_threads = Some(8);
         assert!(disk_head_scheduling(cost, DiskSched::CLook, 16, 64, 3).is_none());
+    }
+
+    #[test]
+    fn kv_workload_answers_every_pipelined_command() {
+        for app_tcp in [false, true] {
+            let r = kv_server_run(&KvRunParams {
+                cost: CostModel::monadic(),
+                app_tcp,
+                shards: 4,
+                stm: false,
+                clients: 4,
+                batches_per_conn: 4,
+                pipeline_depth: 4,
+                set_percent: 30,
+                keys: 64,
+                value_bytes: 64,
+                seed: 11,
+            });
+            assert_eq!(r.responses, 4 * 4 * 4, "app_tcp={app_tcp}");
+            assert!(r.ops_per_sec > 0.0);
+            assert!(r.hit_ratio() <= 1.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! A minimal, offline-vendored subset of the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships simple lock-based stand-ins for the two crossbeam
+//! facilities it uses: the MPMC [`channel`] and the work-stealing
+//! [`deque`]. The implementations favor correctness and API fidelity over
+//! the real crate's lock-freedom; the scheduler built on top behaves
+//! identically, just with a coarser fast path.
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cv: Condvar,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] (never produced here: the queue
+    /// is unbounded and never "disconnects" while a `Sender` exists).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected (not modelled; kept for API parity).
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message and wakes one receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, blocking up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Sender(len={})", self.len())
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Receiver(len={})", self.len())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_roundtrip() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+            assert_eq!(rx2.recv_timeout(Duration::from_millis(10)), Ok(2));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+            assert_eq!(t.join().unwrap(), Ok(42));
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques: per-worker queues plus a global injector.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Nothing to steal.
+        Empty,
+        /// One stolen item.
+        Success(T),
+        /// Lost a race; caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Converts to `Option`, discarding `Empty`/`Retry`.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// A worker-owned FIFO deque; cheap pushes and pops at the front for
+    /// the owner, stealable from the back by [`Stealer`]s.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle stealing from some [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A global FIFO injection queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues onto the owner's end.
+        pub fn push(&self, value: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Dequeues from the owner's end (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// A steal handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// True when empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one item.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues an item.
+        pub fn push(&self, value: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Steals one item.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch into `worker`'s deque and pops one item for the
+        /// caller.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let first = match q.pop_front() {
+                Some(v) => v,
+                None => return Steal::Empty,
+            };
+            // Move up to half of the remainder over to the worker.
+            let batch = q.len().div_ceil(2).min(32);
+            if batch > 0 {
+                let mut w = worker.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                for _ in 0..batch {
+                    match q.pop_front() {
+                        Some(v) => w.push_back(v),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
+        }
+
+        /// True when empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Worker(len={})", self.len())
+        }
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Stealer")
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "Injector(len={})", self.len())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_fifo_and_steal() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert_eq!(s.steal().success(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal().success(), None);
+        }
+
+        #[test]
+        fn injector_batches_into_worker() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+            assert!(!w.is_empty(), "batch moved items to the worker");
+            let mut seen = vec![];
+            while let Some(v) = w.pop() {
+                seen.push(v);
+            }
+            while let Some(v) = inj.steal().success() {
+                seen.push(v);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (1..10).collect::<Vec<_>>());
+        }
+    }
+}

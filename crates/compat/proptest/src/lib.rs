@@ -1,0 +1,669 @@
+//! A minimal, offline-vendored subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace ships the part of the proptest API its test suites use:
+//! the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`/`prop_recursive`/`boxed`, range and regex-character-class
+//! strategies, tuple strategies, [`collection::vec`], [`option::of`],
+//! [`arbitrary::any`], [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs and panics; it
+//!   is not minimized.
+//! * Generation is a fixed deterministic stream seeded from the test name
+//!   (override with `PROPTEST_SEED=<u64>`), so failures reproduce exactly.
+//! * The string strategy supports the character-class pattern subset the
+//!   suites use (`[a-z0-9]{1,16}`-style), not full regex.
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG.
+
+    /// Subset of proptest's run configuration: the number of cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases generated per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from the property name (stable across runs), or from
+        /// `PROPTEST_SEED` when set.
+        pub fn from_name(name: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.parse::<u64>() {
+                    return TestRng(seed | 1);
+                }
+            }
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use crate::test_runner::TestRng;
+
+    /// Something that can generate values of a given type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { base: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into one more level. The
+        /// `desired_size`/`expected_branch_size` hints are accepted for
+        /// API parity but unused.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + Send + Sync + 'static,
+            S2: Strategy<Value = Self::Value> + Send + Sync + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + Send + Sync + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                grow: Arc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Send + Sync + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T> + Send + Sync>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        alternatives: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `alternatives` (must be non-empty).
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union { alternatives }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alternatives.len() as u128) as usize;
+            self.alternatives[i].generate(rng)
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                alternatives: self.alternatives.clone(),
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        pub(crate) base: BoxedStrategy<T>,
+        pub(crate) grow: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T> + Send + Sync>,
+        pub(crate) depth: u32,
+    }
+
+    impl<T> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let levels = rng.below(self.depth as u128 + 1) as u32;
+            let mut s = self.base.clone();
+            for _ in 0..levels {
+                s = (self.grow)(s);
+            }
+            s.generate(rng)
+        }
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                grow: Arc::clone(&self.grow),
+                depth: self.depth,
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Character-class string patterns: `"[a-z0-9]{1,16}"` generates 1–16
+    /// chars drawn from the class; without a repetition suffix, exactly one.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+            let len = lo + rng.below((hi - lo + 1) as u128) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u128) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]` or `[class]{m,n}`; returns (alphabet, min, max).
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                if a > b {
+                    return None;
+                }
+                alphabet.extend((a..=b).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let suffix = &rest[close + 1..];
+        if suffix.is_empty() {
+            return Some((alphabet, 1, 1));
+        }
+        let reps = suffix.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        (lo <= hi).then_some((alphabet, lo, hi))
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive length range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u128) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of values from an inner strategy.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` values from `inner` about three times in four,
+    /// `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body }),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest property `{}` failed at case {}/{} with inputs:{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    (($cfg:expr)) => {};
+}
+
+/// Uniform choice between strategy arms (all arms must generate the same
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..0.5).generate(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn class_patterns_generate_members() {
+        let mut rng = TestRng::from_name("classes");
+        for _ in 0..200 {
+            let s = "[a-c0-1]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc01".contains(c)));
+            let one = "[x-z]".generate(&mut rng);
+            assert_eq!(one.len(), 1);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_oneof_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strat = crate::collection::vec(
+            (prop_oneof![Just(1u8), Just(2)], crate::option::of(0u32..9)),
+            1..5,
+        );
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a == 1 || a == 2);
+                if let Some(b) = b {
+                    assert!(b < 9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // Leaf payload exists to exercise prop_map
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = any::<i64>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::from_name("trees");
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, trailing comma, attributes.
+        #[test]
+        fn macro_smoke(a in 0u32..10, b in "[a-b]{1,3}",) {
+            prop_assert!(a < 10);
+            prop_assert!(!b.is_empty());
+            prop_assert_eq!(b.len(), b.chars().count());
+        }
+    }
+}

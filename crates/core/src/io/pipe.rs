@@ -310,8 +310,9 @@ impl PipeWriter {
                         ThreadM::pure(Loop::Continue(rest))
                     }
                 }
-                Err(PipeError::WouldBlock) => sys_epoll_wait(&fd, Interest::Write)
-                    .map(move |_| Loop::Continue(remaining)),
+                Err(PipeError::WouldBlock) => {
+                    sys_epoll_wait(&fd, Interest::Write).map(move |_| Loop::Continue(remaining))
+                }
                 Err(e @ PipeError::Closed) => ThreadM::pure(Loop::Break(Err(e))),
             })
         })

@@ -43,13 +43,17 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The do_m! macro expands `let p = e;` bindings verbatim, and unit-typed
+// bindings there trip an ICE in clippy's let_unit_value lint (clippy
+// #13458-style unwrap on None); the lint is noise for this idiom anyway.
+#![allow(clippy::let_unit_value)]
 
 pub mod aio;
 pub mod engine;
 pub mod exception;
 pub mod io;
-pub mod net;
 pub mod local;
+pub mod net;
 pub mod ops;
 pub mod reactor;
 pub mod runtime;

@@ -67,8 +67,7 @@ impl<A: Send + 'static> JoinHandle<A> {
 pub fn spawn_join<A: Send + 'static>(m: ThreadM<A>) -> ThreadM<JoinHandle<A>> {
     let slot: MVar<Result<A, Exception>> = MVar::new_empty();
     let child_slot = slot.clone();
-    sys_fork(sys_try(m).bind(move |res| child_slot.put(res)))
-        .map(move |_| JoinHandle { slot })
+    sys_fork(sys_try(m).bind(move |res| child_slot.put(res))).map(move |_| JoinHandle { slot })
 }
 
 /// Runs every computation in its own thread and collects the results in
@@ -172,7 +171,10 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.message(), "child died");
-        assert!(rt.uncaught_exceptions().is_empty(), "exception was captured, not leaked");
+        assert!(
+            rt.uncaught_exceptions().is_empty(),
+            "exception was captured, not leaked"
+        );
         rt.shutdown();
     }
 
@@ -233,7 +235,10 @@ mod tests {
     fn timeout_rethrows_work_exception() {
         let rt = Runtime::builder().workers(2).build();
         let err = rt
-            .block_on_result(with_timeout(1_000 * MILLIS, crate::syscall::sys_throw::<()>("bad")))
+            .block_on_result(with_timeout(
+                1_000 * MILLIS,
+                crate::syscall::sys_throw::<()>("bad"),
+            ))
             .unwrap_err();
         assert_eq!(err.message(), "bad");
         rt.shutdown();

@@ -387,7 +387,10 @@ impl Runtime {
             let (q, locals) = ReadyQueue::stealing(config.workers);
             (q, locals.into_iter().map(Some).collect::<Vec<_>>())
         } else {
-            (ReadyQueue::shared(), (0..config.workers).map(|_| None).collect())
+            (
+                ReadyQueue::shared(),
+                (0..config.workers).map(|_| None).collect(),
+            )
         };
         let (blio_tx, blio_rx) = channel::unbounded();
         let inner = Arc::new(RtInner {
@@ -409,9 +412,9 @@ impl Runtime {
         let mut handles = Vec::new();
 
         // worker_main event loops (Figure 11 / Figure 14).
-        for i in 0..config.workers {
+        for (i, slot) in local_workers.iter_mut().enumerate() {
             let inner = Arc::clone(&inner);
-            let local = local_workers[i].take();
+            let local = slot.take();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("worker_main-{i}"))
@@ -640,7 +643,7 @@ fn worker_timer(inner: Arc<RtInner>) {
         {
             let mut heap = inner.timer.heap.lock();
             let now = inner.now();
-            while heap.peek().map_or(false, |e| e.deadline <= now) {
+            while heap.peek().is_some_and(|e| e.deadline <= now) {
                 due.push(heap.pop().expect("peeked entry present"));
             }
             wait = heap
@@ -795,7 +798,11 @@ mod tests {
                 let parts <- crate::ops::par_all((0..32u64).map(|i| ThreadM::pure(i * i)).collect());
                 ThreadM::pure(parts.iter().sum::<u64>())
             });
-            assert_eq!(sum, (0..32u64).map(|i| i * i).sum::<u64>(), "stealing={stealing}");
+            assert_eq!(
+                sum,
+                (0..32u64).map(|i| i * i).sum::<u64>(),
+                "stealing={stealing}"
+            );
             rt.shutdown();
         }
     }

@@ -92,9 +92,8 @@ impl ReadyQueue {
                 let deadline = std::time::Instant::now() + timeout;
                 loop {
                     // 1. Local deque.
-                    let local = LOCAL_WORKER.with(|slot| {
-                        slot.borrow().as_ref().and_then(|(_, w)| w.pop())
-                    });
+                    let local =
+                        LOCAL_WORKER.with(|slot| slot.borrow().as_ref().and_then(|(_, w)| w.pop()));
                     if local.is_some() {
                         return local;
                     }

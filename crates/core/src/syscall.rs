@@ -167,10 +167,8 @@ where
 {
     let cleanup = Arc::new(cleanup);
     let on_err = Arc::clone(&cleanup);
-    sys_catch(body, move |e| {
-        on_err().bind(move |_| sys_throw(e))
-    })
-    .bind(move |a| cleanup().map(move |_| a))
+    sys_catch(body, move |e| on_err().bind(move |_| sys_throw(e)))
+        .bind(move |a| cleanup().map(move |_| a))
 }
 
 /// `sys_sleep` — blocks the thread for `dur` nanoseconds (virtual time
@@ -266,7 +264,11 @@ mod tests {
     #[test]
     fn finally_runs_on_success_and_failure() {
         static RUNS: AtomicU32 = AtomicU32::new(0);
-        let cleanup = || sys_nbio(|| { RUNS.fetch_add(1, Ordering::SeqCst); });
+        let cleanup = || {
+            sys_nbio(|| {
+                RUNS.fetch_add(1, Ordering::SeqCst);
+            })
+        };
 
         run_local(sys_finally(ThreadM::pure(1), cleanup)).unwrap();
         assert_eq!(RUNS.load(Ordering::SeqCst), 1);

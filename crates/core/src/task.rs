@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn task_force_and_set_next() {
-        let mut t = Task::from_thunk(TaskId(7), Box::new(|| Trace::Yield(Box::new(|| Trace::Ret))));
+        let mut t = Task::from_thunk(
+            TaskId(7),
+            Box::new(|| Trace::Yield(Box::new(|| Trace::Ret))),
+        );
         assert_eq!(t.tid(), TaskId(7));
         match t.force() {
             Trace::Yield(k) => {

@@ -127,7 +127,11 @@ impl FileCache {
         inner.map.insert(path.clone(), (data, stamp));
         inner.lru.insert(stamp, path);
         while inner.bytes > self.budget {
-            let (&victim_stamp, _) = inner.lru.iter().next().expect("over budget implies entries");
+            let (&victim_stamp, _) = inner
+                .lru
+                .iter()
+                .next()
+                .expect("over budget implies entries");
             let victim = inner.lru.remove(&victim_stamp).expect("present");
             let (data, _) = inner.map.remove(&victim).expect("map and lru agree");
             inner.bytes -= data.len();

@@ -280,7 +280,10 @@ mod tests {
         }
         let req = got.expect("request completes on final byte");
         assert_eq!(req.version, Version::Http10);
-        assert!(req.keep_alive(), "explicit keep-alive overrides 1.0 default");
+        assert!(
+            req.keep_alive(),
+            "explicit keep-alive overrides 1.0 default"
+        );
     }
 
     #[test]
@@ -308,7 +311,7 @@ mod tests {
     fn oversized_head_rejected() {
         let mut p = RequestParser::with_limit(64);
         let mut big = b"GET / HTTP/1.1\r\n".to_vec();
-        big.extend(std::iter::repeat(b'a').take(128));
+        big.extend(std::iter::repeat_n(b'a', 128));
         assert_eq!(p.feed(&big).unwrap_err(), ParseError::TooLarge);
     }
 

@@ -73,7 +73,11 @@ pub struct WebServer {
 
 impl WebServer {
     /// Builds a server on a socket stack and a file store.
-    pub fn new(stack: Arc<dyn NetStack>, files: Arc<dyn FileStore>, cfg: ServerConfig) -> Arc<Self> {
+    pub fn new(
+        stack: Arc<dyn NetStack>,
+        files: Arc<dyn FileStore>,
+        cfg: ServerConfig,
+    ) -> Arc<Self> {
         Arc::new(WebServer {
             stack,
             files,

@@ -1,0 +1,367 @@
+//! The KV load generator: monadic client threads issuing pipelined
+//! get/set mixes over zipfian keys, modeled on `eveth_http::loadgen`.
+//!
+//! Each client connects once, then repeatedly ships a *batch* of
+//! `pipeline_depth` commands in one send and reads replies until the
+//! batch is fully answered — the access pattern memcached deployments
+//! actually see, and the knob the `fig_kv` bench sweeps.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::net::{send_all, Conn, Endpoint, NetStack};
+use eveth_core::syscall::sys_nbio;
+use eveth_core::{do_m, loop_m, Loop, ThreadM};
+
+use crate::protocol::{Reply, ReplyParser};
+use crate::stats::Counter;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct KvLoadConfig {
+    /// Server to hammer.
+    pub server: Endpoint,
+    /// Command batches each client issues before closing.
+    pub batches_per_conn: usize,
+    /// Commands per batch (pipeline depth); 1 = strict request/response.
+    pub pipeline_depth: usize,
+    /// Key-space size; keys are `k000000`…
+    pub keys: usize,
+    /// Zipf skew (`0.0` = uniform; memcached studies typically ~0.99).
+    pub zipf_s: f64,
+    /// Sets per 100 commands (the rest are gets).
+    pub set_percent: u8,
+    /// Value payload size for sets.
+    pub value_bytes: usize,
+    /// TTL passed on sets (seconds; 0 = never).
+    pub ttl_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvLoadConfig {
+    fn default() -> Self {
+        KvLoadConfig {
+            server: Endpoint::new(eveth_core::net::HostId(1), 11211),
+            batches_per_conn: 32,
+            pipeline_depth: 8,
+            keys: 1024,
+            zipf_s: 0.99,
+            set_percent: 10,
+            value_bytes: 100,
+            ttl_secs: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate client-side counters.
+#[derive(Debug, Default)]
+pub struct KvLoadStats {
+    /// `VALUE` replies received (get hits).
+    pub hits: Counter,
+    /// `get` commands answered without a value (misses).
+    pub misses: Counter,
+    /// `STORED` replies.
+    pub stored: Counter,
+    /// Error replies (`ERROR`/`CLIENT_ERROR`) observed.
+    pub errors: Counter,
+    /// Transport failures (connect/send/recv).
+    pub transport_errors: Counter,
+    /// Total bytes received.
+    pub bytes_in: Counter,
+    /// Total bytes sent.
+    pub bytes_out: Counter,
+    /// Clients that finished their run.
+    pub clients_done: Counter,
+}
+
+impl KvLoadStats {
+    /// Total commands answered (hits + misses + stored).
+    pub fn responses(&self) -> u64 {
+        self.hits.get() + self.misses.get() + self.stored.get()
+    }
+}
+
+impl fmt::Display for KvLoadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} stored={} errors={} transport_errors={} bytes_in={} bytes_out={}",
+            self.hits.get(),
+            self.misses.get(),
+            self.stored.get(),
+            self.errors.get(),
+            self.transport_errors.get(),
+            self.bytes_in.get(),
+            self.bytes_out.get()
+        )
+    }
+}
+
+/// A zipfian sampler over ranks `0..n` with exponent `s`, via a
+/// precomputed CDF (deterministic given the RNG stream).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Arc<Vec<f64>>,
+}
+
+impl Zipf {
+    /// Builds the CDF for `n` ranks with skew `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "zipf over an empty key space");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        weights[n - 1] = 1.0; // guard against FP undershoot
+        Zipf {
+            cdf: Arc::new(weights),
+        }
+    }
+
+    /// Samples a rank from a uniform `u` in `[0, 1)`.
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The canonical key for a rank.
+pub fn key_for(rank: usize) -> String {
+    format!("k{rank:06}")
+}
+
+/// xorshift64* step shared by the client threads.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds one batch of `depth` pipelined commands; returns the wire bytes
+/// and how many replies to expect (gets answer with `END`, sets with
+/// `STORED`).
+fn build_batch(cfg: &KvLoadConfig, zipf: &Zipf, rng: &mut u64) -> (Vec<u8>, usize) {
+    let mut wire = Vec::new();
+    let mut expected = 0usize;
+    for _ in 0..cfg.pipeline_depth {
+        let rank = zipf.sample(unit_f64(rng));
+        let key = key_for(rank);
+        if (xorshift(rng) % 100) < cfg.set_percent as u64 {
+            let value = vec![b'a' + (rank % 26) as u8; cfg.value_bytes];
+            wire.extend_from_slice(
+                format!("set {key} 0 {} {}\r\n", cfg.ttl_secs, value.len()).as_bytes(),
+            );
+            wire.extend_from_slice(&value);
+            wire.extend_from_slice(b"\r\n");
+        } else {
+            wire.extend_from_slice(format!("get {key}\r\n").as_bytes());
+        }
+        expected += 1;
+    }
+    (wire, expected)
+}
+
+/// One load-generator client: connect, ship batches, read replies, close.
+pub fn client_thread(
+    stack: Arc<dyn NetStack>,
+    cfg: Arc<KvLoadConfig>,
+    stats: Arc<KvLoadStats>,
+    id: u64,
+) -> ThreadM<()> {
+    let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+    let done_stats = Arc::clone(&stats);
+    let body = do_m! {
+        let connected <- stack.connect(cfg.server);
+        match connected {
+            Err(_) => {
+                let stats = Arc::clone(&stats);
+                sys_nbio(move || stats.transport_errors.incr())
+            }
+            Ok(conn) => {
+                let rng0 = (cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+                let cfg = Arc::clone(&cfg);
+                let stats = Arc::clone(&stats);
+                let zipf = zipf.clone();
+                loop_m((rng0, 0usize), move |(mut rng, batch)| {
+                    if batch >= cfg.batches_per_conn {
+                        return conn.close().map(|_| Loop::Break(()));
+                    }
+                    let (wire, expected) = build_batch(&cfg, &zipf, &mut rng);
+                    let stats2 = Arc::clone(&stats);
+                    let conn2 = Arc::clone(&conn);
+                    let n_out = wire.len() as u64;
+                    do_m! {
+                        let sent <- send_all(&conn2, Bytes::from(wire));
+                        match sent {
+                            Err(_) => {
+                                let stats = Arc::clone(&stats2);
+                                let conn = Arc::clone(&conn2);
+                                do_m! {
+                                    sys_nbio(move || stats.transport_errors.incr());
+                                    conn.close().map(|_| Loop::Break(()))
+                                }
+                            }
+                            Ok(()) => {
+                                stats2.bytes_out.add(n_out);
+                                read_replies(Arc::clone(&conn2), Arc::clone(&stats2), expected)
+                                    .map(move |ok| {
+                                        if ok {
+                                            Loop::Continue((rng, batch + 1))
+                                        } else {
+                                            Loop::Break(())
+                                        }
+                                    })
+                            }
+                        }
+                    }
+                })
+            }
+        }
+    };
+    body.bind(move |_| sys_nbio(move || done_stats.clients_done.incr()))
+}
+
+/// Folds one reply into the batch accounting. An `END` closes a get (its
+/// preceding `VALUE` lines are the hits), `STORED`/`NOT_FOUND`/numbers
+/// close their command.
+fn account(reply: Reply, stats: &KvLoadStats, answered: &mut usize, hits_in_get: &mut u64) {
+    match reply {
+        Reply::Value { .. } => *hits_in_get += 1,
+        Reply::End => {
+            stats.hits.add(*hits_in_get);
+            if *hits_in_get == 0 {
+                stats.misses.incr();
+            }
+            *hits_in_get = 0;
+            *answered += 1;
+        }
+        Reply::Stored => {
+            stats.stored.incr();
+            *answered += 1;
+        }
+        Reply::Deleted | Reply::NotFound | Reply::Number(_) => *answered += 1,
+        Reply::Error | Reply::ClientError(_) => {
+            stats.errors.incr();
+            *answered += 1;
+        }
+        Reply::Stat(..) | Reply::Version(_) => {}
+    }
+}
+
+/// Reads until `expected` commands are fully answered. Returns false on
+/// transport or protocol failure.
+fn read_replies(conn: Arc<dyn Conn>, stats: Arc<KvLoadStats>, expected: usize) -> ThreadM<bool> {
+    loop_m(
+        (ReplyParser::new(), 0usize, 0u64),
+        move |(mut parser, mut answered, mut hits_in_get)| {
+            let stats = Arc::clone(&stats);
+            let conn = Arc::clone(&conn);
+            // Drain everything already buffered before touching the socket.
+            loop {
+                match parser.feed(b"") {
+                    Err(_) => {
+                        stats.errors.incr();
+                        return ThreadM::pure(Loop::Break(false));
+                    }
+                    Ok(None) => break,
+                    Ok(Some(reply)) => account(reply, &stats, &mut answered, &mut hits_in_get),
+                }
+            }
+            if answered >= expected {
+                return ThreadM::pure(Loop::Break(true));
+            }
+            conn.recv(64 * 1024).bind(move |chunk| match chunk {
+                Err(_) => {
+                    stats.transport_errors.incr();
+                    ThreadM::pure(Loop::Break(false))
+                }
+                Ok(chunk) if chunk.is_empty() => {
+                    stats.transport_errors.incr();
+                    ThreadM::pure(Loop::Break(false))
+                }
+                Ok(chunk) => {
+                    stats.bytes_in.add(chunk.len() as u64);
+                    match parser.feed(&chunk) {
+                        Err(_) => {
+                            stats.errors.incr();
+                            ThreadM::pure(Loop::Break(false))
+                        }
+                        Ok(first) => {
+                            if let Some(reply) = first {
+                                account(reply, &stats, &mut answered, &mut hits_in_get);
+                            }
+                            ThreadM::pure(Loop::Continue((parser, answered, hits_in_get)))
+                        }
+                    }
+                }
+            })
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = 7u64;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            let r = z.sample(unit_f64(&mut rng));
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[50], "rank 0 must dominate rank 50");
+        assert!(counts[0] > 10_000 / 100, "rank 0 above uniform share");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = 3u64;
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(unit_f64(&mut rng))] += 1;
+        }
+        for &c in &counts {
+            assert!((500..2000).contains(&c), "uniform-ish share, got {c}");
+        }
+    }
+
+    #[test]
+    fn batches_mix_sets_and_gets_deterministically() {
+        let cfg = KvLoadConfig {
+            set_percent: 50,
+            pipeline_depth: 64,
+            ..Default::default()
+        };
+        let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+        let mut rng = 5u64;
+        let (wire, expected) = build_batch(&cfg, &zipf, &mut rng);
+        assert_eq!(expected, 64);
+        let text = String::from_utf8_lossy(&wire);
+        assert!(text.contains("get k"), "has gets");
+        assert!(text.contains("set k"), "has sets");
+        let mut rng2 = 5u64;
+        assert_eq!(wire, build_batch(&cfg, &zipf, &mut rng2).0, "deterministic");
+    }
+
+    #[test]
+    fn key_for_is_fixed_width() {
+        assert_eq!(key_for(7), "k000007");
+        assert_eq!(key_for(123456), "k123456");
+    }
+}

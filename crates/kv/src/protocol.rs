@@ -1,0 +1,775 @@
+//! Incremental parsing of the memcached-style text protocol.
+//!
+//! Mirrors the idiom of `eveth_http::parser`: the parser accumulates bytes
+//! fed from the socket, yields one [`Command`] as soon as it is complete,
+//! and keeps any excess bytes for the next command on the connection —
+//! which is exactly what makes pipelining free. Payload-carrying commands
+//! are materialized zero-copy: the buffered bytes for a completed command
+//! are frozen into one [`Bytes`] allocation and the key/value are O(1)
+//! slices into it.
+//!
+//! The grammar is the classic memcached text protocol subset:
+//!
+//! ```text
+//! get <key>+\r\n
+//! set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! delete <key> [noreply]\r\n
+//! incr <key> <delta> [noreply]\r\n
+//! decr <key> <delta> [noreply]\r\n
+//! stats\r\n
+//! version\r\n
+//! quit\r\n
+//! ```
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Maximum key length, per the memcached protocol.
+pub const MAX_KEY_LEN: usize = 250;
+
+/// One parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get` with one or more keys.
+    Get {
+        /// Keys to look up, in request order.
+        keys: Vec<Bytes>,
+    },
+    /// `set`: store a value unconditionally.
+    Set {
+        /// The key.
+        key: Bytes,
+        /// Opaque client flags, echoed back on `get`.
+        flags: u32,
+        /// Expiry in seconds relative to receipt; `0` = never.
+        exptime: u64,
+        /// The value payload.
+        value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `delete` a key.
+    Delete {
+        /// The key.
+        key: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `incr`: add to a decimal-numeric value.
+    Incr {
+        /// The key.
+        key: Bytes,
+        /// Amount to add.
+        delta: u64,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `decr`: subtract from a decimal-numeric value (floored at 0).
+    Decr {
+        /// The key.
+        key: Bytes,
+        /// Amount to subtract.
+        delta: u64,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `stats`: dump server counters.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit`: close the connection.
+    Quit,
+}
+
+impl Command {
+    /// True when the client asked for no reply.
+    pub fn noreply(&self) -> bool {
+        match self {
+            Command::Set { noreply, .. }
+            | Command::Delete { noreply, .. }
+            | Command::Incr { noreply, .. }
+            | Command::Decr { noreply, .. } => *noreply,
+            _ => false,
+        }
+    }
+}
+
+/// Why parsing failed; the server answers `CLIENT_ERROR` and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A line exceeded the configured limit.
+    TooLarge,
+    /// Structurally invalid input, with a short reason.
+    Malformed(&'static str),
+}
+
+impl ProtoError {
+    /// The human-readable reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ProtoError::TooLarge => "line too long",
+            ProtoError::Malformed(why) => why,
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.reason())
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Incremental command parser; one per connection.
+///
+/// # Examples
+///
+/// ```
+/// use eveth_kv::protocol::{Command, CommandParser};
+///
+/// let mut p = CommandParser::new();
+/// assert!(p.feed(b"set k 7 0 3\r\nab").unwrap().is_none());
+/// let cmd = p.feed(b"c\r\nget k\r\n").unwrap().unwrap();
+/// match cmd {
+///     Command::Set { key, flags, value, .. } => {
+///         assert_eq!(&key[..], b"k");
+///         assert_eq!(flags, 7);
+///         assert_eq!(&value[..], b"abc");
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// // The pipelined `get` is already buffered:
+/// let next = p.feed(b"").unwrap().unwrap();
+/// assert_eq!(next, Command::Get { keys: vec![bytes::Bytes::from_static(b"k")] });
+/// ```
+#[derive(Debug)]
+pub struct CommandParser {
+    buf: Vec<u8>,
+    limit: usize,
+    value_limit: usize,
+}
+
+impl CommandParser {
+    /// A parser with an 8 KB command-line limit and a 1 MiB value limit.
+    pub fn new() -> Self {
+        Self::with_limit(8 * 1024)
+    }
+
+    /// A parser with an explicit command-line limit and the default 1 MiB
+    /// value limit.
+    pub fn with_limit(limit: usize) -> Self {
+        Self::with_limits(limit, 1024 * 1024)
+    }
+
+    /// A parser with explicit command-line and value-payload limits. The
+    /// value limit is enforced on the *declared* byte count, before any
+    /// payload is buffered — a client announcing a huge `set` is rejected
+    /// immediately instead of ballooning server memory.
+    pub fn with_limits(limit: usize, value_limit: usize) -> Self {
+        CommandParser {
+            buf: Vec::new(),
+            limit,
+            value_limit,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete command.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds bytes; returns a command once one is complete. Call again
+    /// with an empty slice to drain pipelined commands already buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on oversized or malformed input; the connection
+    /// should be closed afterwards.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Option<Command>, ProtoError> {
+        self.buf.extend_from_slice(data);
+        let Some(line_end) = find_crlf(&self.buf) else {
+            if self.buf.len() > self.limit {
+                return Err(ProtoError::TooLarge);
+            }
+            return Ok(None);
+        };
+        if line_end > self.limit {
+            return Err(ProtoError::TooLarge);
+        }
+        // `set` carries a data block: wait until line + payload + CRLF are
+        // all buffered before consuming anything.
+        let head = ParsedLine::parse(&self.buf[..line_end])?;
+        let total = match head.payload_len {
+            Some(n) => {
+                if n > self.value_limit {
+                    return Err(ProtoError::Malformed("value too large"));
+                }
+                let need = line_end + 2 + n + 2;
+                if self.buf.len() < need {
+                    return Ok(None);
+                }
+                if &self.buf[line_end + 2 + n..need] != b"\r\n" {
+                    return Err(ProtoError::Malformed("data block not CRLF-terminated"));
+                }
+                need
+            }
+            None => line_end + 2,
+        };
+        // Freeze exactly the consumed bytes; keys and values are O(1)
+        // slices into this one allocation.
+        let frozen: Bytes = Bytes::from(self.buf.drain(..total).collect::<Vec<u8>>());
+        head.into_command(frozen, line_end)
+    }
+}
+
+impl Default for CommandParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Field offsets of a command line, resolved into `Bytes` slices only once
+/// the whole command is buffered.
+struct ParsedLine {
+    verb: Verb,
+    /// (start, end) offsets of each argument within the line.
+    args: Vec<(usize, usize)>,
+    noreply: bool,
+    /// `Some(n)` when a data block of `n` bytes follows the line.
+    payload_len: Option<usize>,
+}
+
+#[derive(Clone, Copy)]
+enum Verb {
+    Get,
+    Set,
+    Delete,
+    Incr,
+    Decr,
+    Stats,
+    Version,
+    Quit,
+}
+
+impl ParsedLine {
+    fn parse(line: &[u8]) -> Result<ParsedLine, ProtoError> {
+        let mut fields = split_fields(line);
+        let (vs, ve) = *fields
+            .first()
+            .ok_or(ProtoError::Malformed("empty command"))?;
+        let verb = match &line[vs..ve] {
+            b"get" | b"gets" => Verb::Get,
+            b"set" => Verb::Set,
+            b"delete" => Verb::Delete,
+            b"incr" => Verb::Incr,
+            b"decr" => Verb::Decr,
+            b"stats" => Verb::Stats,
+            b"version" => Verb::Version,
+            b"quit" => Verb::Quit,
+            _ => return Err(ProtoError::Malformed("unknown command")),
+        };
+        fields.remove(0);
+        let mut noreply = false;
+        if matches!(verb, Verb::Set | Verb::Delete | Verb::Incr | Verb::Decr) {
+            if let Some(&(s, e)) = fields.last() {
+                if &line[s..e] == b"noreply" {
+                    noreply = true;
+                    fields.pop();
+                }
+            }
+        }
+        let expect = |n: usize, what: &'static str| {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(ProtoError::Malformed(what))
+            }
+        };
+        let payload_len = match verb {
+            Verb::Get => {
+                if fields.is_empty() {
+                    return Err(ProtoError::Malformed("get needs at least one key"));
+                }
+                None
+            }
+            Verb::Set => {
+                expect(4, "set needs <key> <flags> <exptime> <bytes>")?;
+                let flags = parse_u64(&line[fields[1].0..fields[1].1])
+                    .ok_or(ProtoError::Malformed("bad flags"))?;
+                if flags > u32::MAX as u64 {
+                    return Err(ProtoError::Malformed("flags out of range"));
+                }
+                parse_u64(&line[fields[2].0..fields[2].1])
+                    .ok_or(ProtoError::Malformed("bad exptime"))?;
+                let n = parse_u64(&line[fields[3].0..fields[3].1])
+                    .ok_or(ProtoError::Malformed("bad byte count"))?
+                    as usize;
+                Some(n)
+            }
+            Verb::Delete => {
+                expect(1, "delete needs <key>")?;
+                None
+            }
+            Verb::Incr | Verb::Decr => {
+                expect(2, "incr/decr need <key> <delta>")?;
+                parse_u64(&line[fields[1].0..fields[1].1])
+                    .ok_or(ProtoError::Malformed("bad delta"))?;
+                None
+            }
+            Verb::Stats | Verb::Version | Verb::Quit => {
+                expect(0, "unexpected arguments")?;
+                None
+            }
+        };
+        for &(s, e) in key_fields(verb, &fields) {
+            validate_key(&line[s..e])?;
+        }
+        Ok(ParsedLine {
+            verb,
+            args: fields,
+            noreply,
+            payload_len,
+        })
+    }
+
+    /// Builds the final command from the frozen buffer (`line_end` is the
+    /// offset of the line's CR within it).
+    fn into_command(self, frozen: Bytes, line_end: usize) -> Result<Option<Command>, ProtoError> {
+        let arg = |i: usize| -> Bytes {
+            let (s, e) = self.args[i];
+            frozen.slice(s..e)
+        };
+        let num = |i: usize| -> u64 {
+            let (s, e) = self.args[i];
+            parse_u64(&frozen[s..e]).expect("validated by ParsedLine::parse")
+        };
+        let cmd = match self.verb {
+            Verb::Get => Command::Get {
+                keys: (0..self.args.len()).map(arg).collect(),
+            },
+            Verb::Set => {
+                let n = self.payload_len.expect("set has a payload");
+                Command::Set {
+                    key: arg(0),
+                    flags: num(1) as u32,
+                    exptime: num(2),
+                    value: frozen.slice(line_end + 2..line_end + 2 + n),
+                    noreply: self.noreply,
+                }
+            }
+            Verb::Delete => Command::Delete {
+                key: arg(0),
+                noreply: self.noreply,
+            },
+            Verb::Incr => Command::Incr {
+                key: arg(0),
+                delta: num(1),
+                noreply: self.noreply,
+            },
+            Verb::Decr => Command::Decr {
+                key: arg(0),
+                delta: num(1),
+                noreply: self.noreply,
+            },
+            Verb::Stats => Command::Stats,
+            Verb::Version => Command::Version,
+            Verb::Quit => Command::Quit,
+        };
+        Ok(Some(cmd))
+    }
+}
+
+fn key_fields(verb: Verb, fields: &[(usize, usize)]) -> &[(usize, usize)] {
+    match verb {
+        Verb::Get => fields,
+        Verb::Set | Verb::Delete | Verb::Incr | Verb::Decr => &fields[..1],
+        _ => &[],
+    }
+}
+
+fn validate_key(key: &[u8]) -> Result<(), ProtoError> {
+    if key.is_empty() {
+        return Err(ProtoError::Malformed("empty key"));
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(ProtoError::Malformed("key too long"));
+    }
+    if key.iter().any(|&b| b <= b' ' || b == 0x7F) {
+        return Err(ProtoError::Malformed(
+            "key contains whitespace or control bytes",
+        ));
+    }
+    Ok(())
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+fn split_fields(line: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < line.len() {
+        if line[i] == b' ' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < line.len() && line[i] != b' ' {
+            i += 1;
+        }
+        out.push((start, i));
+    }
+    out
+}
+
+fn parse_u64(field: &[u8]) -> Option<u64> {
+    if field.is_empty() || field.len() > 20 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in field {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(v)
+}
+
+// ---------------------------------------------------------------------------
+// Server replies.
+// ---------------------------------------------------------------------------
+
+/// A server reply, encodable to wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// One `VALUE` line + data block (part of a `get` response).
+    Value {
+        /// The key.
+        key: Bytes,
+        /// Client flags stored with the value.
+        flags: u32,
+        /// The value payload.
+        data: Bytes,
+    },
+    /// `END` terminating a `get` or `stats` response.
+    End,
+    /// `STORED`.
+    Stored,
+    /// `DELETED`.
+    Deleted,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// Numeric result of `incr`/`decr`.
+    Number(u64),
+    /// One `STAT <name> <value>` line.
+    Stat(String, String),
+    /// `VERSION <v>`.
+    Version(&'static str),
+    /// `ERROR` (unknown command).
+    Error,
+    /// `CLIENT_ERROR <msg>`.
+    ClientError(&'static str),
+}
+
+impl Reply {
+    /// Appends the wire encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Value { key, flags, data } => {
+                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(format!(" {} {}\r\n", flags, data.len()).as_bytes());
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::End => out.extend_from_slice(b"END\r\n"),
+            Reply::Stored => out.extend_from_slice(b"STORED\r\n"),
+            Reply::Deleted => out.extend_from_slice(b"DELETED\r\n"),
+            Reply::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+            Reply::Number(n) => out.extend_from_slice(format!("{n}\r\n").as_bytes()),
+            Reply::Stat(k, v) => out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes()),
+            Reply::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
+            Reply::Error => out.extend_from_slice(b"ERROR\r\n"),
+            Reply::ClientError(msg) => {
+                out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
+            }
+        }
+    }
+}
+
+/// Client-side incremental reply parser (used by the load generator).
+///
+/// Feed response bytes; it yields [`Reply`]s one at a time, reassembling
+/// `VALUE` data blocks across chunk boundaries.
+#[derive(Debug, Default)]
+pub struct ReplyParser {
+    buf: Vec<u8>,
+}
+
+impl ReplyParser {
+    /// A fresh parser.
+    pub fn new() -> Self {
+        ReplyParser::default()
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds bytes; returns the next reply when complete. Call with an
+    /// empty slice to drain further buffered replies.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on an unrecognized reply line.
+    pub fn feed(&mut self, data: &[u8]) -> Result<Option<Reply>, ProtoError> {
+        self.buf.extend_from_slice(data);
+        let Some(line_end) = find_crlf(&self.buf) else {
+            return Ok(None);
+        };
+        let reply = {
+            let line = &self.buf[..line_end];
+            if let Some(rest) = line.strip_prefix(b"VALUE ".as_slice()) {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| ProtoError::Malformed("non-UTF-8 VALUE line"))?;
+                let mut parts = text.split(' ');
+                let key = parts.next().ok_or(ProtoError::Malformed("VALUE key"))?;
+                let flags: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ProtoError::Malformed("VALUE flags"))?;
+                let len: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ProtoError::Malformed("VALUE length"))?;
+                let need = line_end + 2 + len + 2;
+                if self.buf.len() < need {
+                    return Ok(None);
+                }
+                if &self.buf[line_end + 2 + len..need] != b"\r\n" {
+                    return Err(ProtoError::Malformed("VALUE block not CRLF-terminated"));
+                }
+                let key = Bytes::from(key.as_bytes().to_vec());
+                let data = Bytes::from(self.buf[line_end + 2..line_end + 2 + len].to_vec());
+                self.buf.drain(..need);
+                return Ok(Some(Reply::Value { key, flags, data }));
+            }
+            match line {
+                b"END" => Reply::End,
+                b"STORED" => Reply::Stored,
+                b"DELETED" => Reply::Deleted,
+                b"NOT_FOUND" => Reply::NotFound,
+                b"ERROR" => Reply::Error,
+                _ => {
+                    if let Some(rest) = line.strip_prefix(b"STAT ".as_slice()) {
+                        let text = std::str::from_utf8(rest)
+                            .map_err(|_| ProtoError::Malformed("non-UTF-8 STAT line"))?;
+                        match text.split_once(' ') {
+                            Some((k, v)) => Reply::Stat(k.to_string(), v.to_string()),
+                            None => return Err(ProtoError::Malformed("STAT without value")),
+                        }
+                    } else if line.starts_with(b"VERSION ") {
+                        Reply::Version("")
+                    } else if line.starts_with(b"CLIENT_ERROR ") {
+                        Reply::ClientError("")
+                    } else if let Some(n) = parse_u64(line) {
+                        Reply::Number(n)
+                    } else {
+                        return Err(ProtoError::Malformed("unrecognized reply"));
+                    }
+                }
+            }
+        };
+        self.buf.drain(..line_end + 2);
+        Ok(Some(reply))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Command {
+        CommandParser::new().feed(raw).unwrap().unwrap()
+    }
+
+    #[test]
+    fn parses_multi_key_get() {
+        let cmd = parse_one(b"get alpha beta gamma\r\n");
+        match cmd {
+            Command::Get { keys } => {
+                let keys: Vec<_> = keys.iter().map(|k| k.to_vec()).collect();
+                assert_eq!(
+                    keys,
+                    vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_value_is_slice_of_one_buffer() {
+        let cmd = parse_one(b"set k 1 60 5\r\nhello\r\n");
+        match cmd {
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!(flags, 1);
+                assert_eq!(exptime, 60);
+                assert_eq!(&value[..], b"hello");
+                assert!(!noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_safe_values() {
+        let mut raw = b"set bin 0 0 4\r\n".to_vec();
+        raw.extend_from_slice(&[0x00, 0xFF, b'\r', b'\n']);
+        raw.extend_from_slice(b"\r\n");
+        let cmd = CommandParser::new().feed(&raw).unwrap().unwrap();
+        match cmd {
+            Command::Set { value, .. } => assert_eq!(&value[..], &[0x00, 0xFF, b'\r', b'\n']),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let raw = b"set k 0 0 3\r\nxyz\r\ndelete k noreply\r\n";
+        let mut p = CommandParser::new();
+        let mut got = Vec::new();
+        for b in raw.iter() {
+            if let Some(c) = p.feed(std::slice::from_ref(b)).unwrap() {
+                got.push(c);
+            }
+        }
+        while let Some(c) = p.feed(b"").unwrap() {
+            got.push(c);
+        }
+        assert_eq!(got.len(), 2);
+        assert!(matches!(got[0], Command::Set { .. }));
+        assert!(matches!(got[1], Command::Delete { noreply: true, .. }));
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_commands_keep_remainder() {
+        let mut p = CommandParser::new();
+        let first = p
+            .feed(b"incr n 5\r\ndecr n 2\r\nstats\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(first, Command::Incr { delta: 5, .. }));
+        assert!(matches!(
+            p.feed(b"").unwrap().unwrap(),
+            Command::Decr { delta: 2, .. }
+        ));
+        assert_eq!(p.feed(b"").unwrap().unwrap(), Command::Stats);
+        assert!(p.feed(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            &b"frobnicate\r\n"[..],
+            &b"get\r\n"[..],
+            &b"set k 0 0\r\n"[..],
+            &b"set k 0 0 abc\r\n"[..],
+            &b"set k x 0 1\r\na\r\n"[..],
+            &b"set k 0 x 1\r\na\r\n"[..],
+            &b"set k 4294967296 0 1\r\na\r\n"[..],
+            &b"incr k notanumber\r\n"[..],
+            &b"set \x01 0 0 1\r\nx\r\n"[..],
+            &b"stats extra\r\n"[..],
+        ] {
+            assert!(
+                CommandParser::new().feed(bad).is_err(),
+                "should reject {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_line_rejected() {
+        let mut p = CommandParser::with_limit(32);
+        let mut big = b"get ".to_vec();
+        big.extend(std::iter::repeat_n(b'a', 64));
+        assert_eq!(p.feed(&big).unwrap_err(), ProtoError::TooLarge);
+    }
+
+    #[test]
+    fn oversized_declared_payload_rejected_before_buffering() {
+        let mut p = CommandParser::with_limits(8 * 1024, 64);
+        // The line alone declares 65 bytes: rejected with no payload fed.
+        assert_eq!(
+            p.feed(b"set k 0 0 65\r\n").unwrap_err(),
+            ProtoError::Malformed("value too large")
+        );
+        // At the cap exactly, the set goes through.
+        let mut p = CommandParser::with_limits(8 * 1024, 64);
+        let mut raw = b"set k 0 0 64\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'v', 64));
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            p.feed(&raw).unwrap().unwrap(),
+            Command::Set { .. }
+        ));
+    }
+
+    #[test]
+    fn key_length_boundary() {
+        let ok = format!("delete {}\r\n", "k".repeat(MAX_KEY_LEN));
+        assert!(CommandParser::new().feed(ok.as_bytes()).unwrap().is_some());
+        let bad = format!("delete {}\r\n", "k".repeat(MAX_KEY_LEN + 1));
+        assert!(CommandParser::new().feed(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reply_roundtrip_through_client_parser() {
+        let replies = vec![
+            Reply::Value {
+                key: Bytes::from_static(b"k"),
+                flags: 9,
+                data: Bytes::from_static(b"\x00binary\r\ndata"),
+            },
+            Reply::End,
+            Reply::Stored,
+            Reply::Deleted,
+            Reply::NotFound,
+            Reply::Number(1234),
+            Reply::Stat("hits".into(), "42".into()),
+            Reply::Error,
+        ];
+        let mut wire = Vec::new();
+        for r in &replies {
+            r.encode_into(&mut wire);
+        }
+        let mut p = ReplyParser::new();
+        let mut got = Vec::new();
+        // Feed in awkward 3-byte chunks to exercise reassembly.
+        for chunk in wire.chunks(3) {
+            if let Some(r) = p.feed(chunk).unwrap() {
+                got.push(r);
+                while let Some(r) = p.feed(b"").unwrap() {
+                    got.push(r);
+                }
+            }
+        }
+        assert_eq!(got, replies);
+        assert_eq!(p.buffered(), 0);
+    }
+}

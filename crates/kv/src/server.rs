@@ -1,0 +1,386 @@
+//! The KV server: one monadic thread per connection over an injected
+//! [`NetStack`].
+//!
+//! Mirrors the shape of `eveth_http::server::WebServer` — the paper's
+//! architecture applied to a second protocol: per-client code is written
+//! as a straight-line monadic thread (read → parse → execute → respond,
+//! looping), the application as a whole is event-driven underneath, and
+//! the socket layer is the paper's one-line [`NetStack`] switch, so the
+//! same server runs over simulated kernel sockets or the application-level
+//! TCP stack without any code change.
+//!
+//! Pipelining falls out of the incremental parser: every complete command
+//! already buffered is executed and its replies are coalesced into a
+//! single `send`, so a client that ships N commands per round trip gets N
+//! replies per round trip.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::net::{send_all, Conn, Listener, NetStack};
+use eveth_core::syscall::{sys_catch, sys_fork, sys_throw, sys_time};
+use eveth_core::time::{Nanos, MILLIS};
+use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
+
+use crate::expiry::janitor;
+use crate::protocol::{Command, CommandParser, ProtoError, Reply};
+use crate::stats::{ServerStats, StatsSnapshot};
+use crate::store::{CounterResult, ShardedStore, StoreConfig};
+
+/// KV server tunables.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Store layout and backend.
+    pub store: StoreConfig,
+    /// Socket receive granularity.
+    pub recv_chunk: usize,
+    /// Janitor wake interval (one shard swept per wake); `0` disables the
+    /// janitor (lazy expiry still applies).
+    pub janitor_interval: Nanos,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            port: 11211,
+            store: StoreConfig::default(),
+            recv_chunk: 16 * 1024,
+            janitor_interval: 100 * MILLIS,
+        }
+    }
+}
+
+/// The KV server: all state shared by its monadic threads.
+pub struct KvServer {
+    stack: Arc<dyn NetStack>,
+    store: Arc<ShardedStore>,
+    cfg: KvConfig,
+    stats: Arc<ServerStats>,
+}
+
+impl KvServer {
+    /// Builds a server on a socket stack.
+    pub fn new(stack: Arc<dyn NetStack>, cfg: KvConfig) -> Arc<Self> {
+        Arc::new(KvServer {
+            stack,
+            store: ShardedStore::new(cfg.store.clone()),
+            cfg,
+            stats: Arc::new(ServerStats::default()),
+        })
+    }
+
+    /// Aggregate server counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The underlying store (exposed for tests and benches).
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// A point-in-time aggregate of the per-shard counters.
+    pub fn store_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::gather(self.store.shard_stats())
+    }
+
+    /// The main server thread: listen, spawn the janitor, accept, fork one
+    /// monadic thread per client session.
+    ///
+    /// Runs until the listener fails; spawn it with `Runtime::spawn` /
+    /// `SimRuntime::spawn`.
+    pub fn run(self: &Arc<Self>) -> ThreadM<()> {
+        let srv = Arc::clone(self);
+        do_m! {
+            let listener <- srv.stack.listen(srv.cfg.port);
+            let listener = match listener {
+                Ok(l) => l,
+                Err(e) => return sys_throw(Exception::with_payload("kv listen failed", e)),
+            };
+            let _ = if srv.cfg.janitor_interval > 0 {
+                // The janitor is an ordinary monadic thread on the same
+                // scheduler, woken by the timer wheel.
+                return do_m! {
+                    sys_fork(janitor(
+                        Arc::clone(&srv.store),
+                        srv.cfg.janitor_interval,
+                        Some(Arc::clone(&srv.stats.janitor_sweeps)),
+                    ));
+                    accept_loop(srv, listener)
+                };
+            };
+            accept_loop(srv, listener)
+        }
+    }
+}
+
+impl fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KvServer(port={}, store={:?})",
+            self.cfg.port, self.store
+        )
+    }
+}
+
+fn accept_loop(srv: Arc<KvServer>, listener: Arc<dyn Listener>) -> ThreadM<()> {
+    loop_m((), move |()| {
+        let srv = Arc::clone(&srv);
+        listener.accept().bind(move |accepted| match accepted {
+            Err(_) => ThreadM::pure(Loop::Break(())),
+            Ok(conn) => {
+                srv.stats.connections.incr();
+                let session = client_session(Arc::clone(&srv), Arc::clone(&conn));
+                // An exception ends the session, never the server.
+                let guarded = sys_catch(session, move |_e| {
+                    srv.stats.session_errors.incr();
+                    conn.close()
+                });
+                sys_fork(guarded).map(|_| Loop::Continue(()))
+            }
+        })
+    })
+}
+
+/// Everything one execution batch produced: coalesced reply bytes and
+/// whether the client asked to quit.
+struct BatchOutcome {
+    replies: Vec<u8>,
+    quit: bool,
+}
+
+/// One client session: receive, drain every buffered command, reply once.
+fn client_session(srv: Arc<KvServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
+    // The parser rejects a declared `set` payload over the store's cap
+    // before buffering it, so a hostile byte count cannot balloon memory.
+    let parser = CommandParser::with_limits(8 * 1024, srv.cfg.store.max_value_bytes);
+    loop_m(parser, move |parser| {
+        let srv = Arc::clone(&srv);
+        let conn = Arc::clone(&conn);
+        conn.recv(srv.cfg.recv_chunk).bind(move |chunk| {
+            let chunk = match chunk {
+                Ok(c) => c,
+                Err(_) => return ThreadM::pure(Loop::Break(())),
+            };
+            if chunk.is_empty() {
+                return conn.close().map(|_| Loop::Break(()));
+            }
+            srv.stats.bytes_in.add(chunk.len() as u64);
+            let conn2 = Arc::clone(&conn);
+            let srv2 = Arc::clone(&srv);
+            do_m! {
+                let outcome <- run_batch(Arc::clone(&srv), parser, chunk);
+                let (parser, outcome) = match outcome {
+                    Ok(v) => v,
+                    Err(flush) => {
+                        // Protocol error: flush what we have + the error
+                        // line, then close.
+                        return do_m! {
+                            send_all(&conn2, Bytes::from(flush));
+                            conn2.close();
+                            ThreadM::pure(Loop::Break(()))
+                        };
+                    }
+                };
+                let n = outcome.replies.len() as u64;
+                let sent <- if outcome.replies.is_empty() {
+                    ThreadM::pure(Ok(()))
+                } else {
+                    send_all(&conn2, Bytes::from(outcome.replies))
+                };
+                match sent {
+                    Err(_) => ThreadM::pure(Loop::Break(())),
+                    Ok(()) => {
+                        srv2.stats.bytes_out.add(n);
+                        if outcome.quit {
+                            conn2.close().map(|_| Loop::Break(()))
+                        } else {
+                            ThreadM::pure(Loop::Continue(parser))
+                        }
+                    }
+                }
+            }
+        })
+    })
+}
+
+/// Feeds `chunk`, executes every command that completes, and coalesces
+/// replies. `Err` carries bytes to flush before closing on a protocol
+/// error.
+fn run_batch(
+    srv: Arc<KvServer>,
+    mut parser: CommandParser,
+    chunk: Bytes,
+) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<u8>>> {
+    // First drain on the fed chunk, then on the remainder, monadically so
+    // each command's store access can block (shard mutex / STM retry)
+    // without holding anything else up.
+    let first = parser.feed(&chunk);
+    step_batch(
+        srv,
+        parser,
+        first,
+        BatchOutcome {
+            replies: Vec::new(),
+            quit: false,
+        },
+    )
+}
+
+fn step_batch(
+    srv: Arc<KvServer>,
+    parser: CommandParser,
+    parsed: Result<Option<Command>, ProtoError>,
+    mut acc: BatchOutcome,
+) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<u8>>> {
+    match parsed {
+        Err(e) => {
+            srv.stats.protocol_errors.incr();
+            let reply = if matches!(e, ProtoError::Malformed("unknown command")) {
+                Reply::Error
+            } else {
+                Reply::ClientError(e.reason())
+            };
+            reply.encode_into(&mut acc.replies);
+            ThreadM::pure(Err(acc.replies))
+        }
+        Ok(None) => ThreadM::pure(Ok((parser, acc))),
+        Ok(Some(cmd)) => {
+            srv.stats.commands.incr();
+            if cmd == Command::Quit {
+                acc.quit = true;
+                return ThreadM::pure(Ok((parser, acc)));
+            }
+            let suppress = cmd.noreply();
+            let srv2 = Arc::clone(&srv);
+            execute(Arc::clone(&srv), cmd).bind(move |replies| {
+                let mut parser = parser;
+                if !suppress {
+                    for r in &replies {
+                        r.encode_into(&mut acc.replies);
+                    }
+                }
+                let next = parser.feed(&[]);
+                step_batch(srv2, parser, next, acc)
+            })
+        }
+    }
+}
+
+/// Executes one command against the store.
+fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
+    match cmd {
+        Command::Get { keys } => {
+            let store = Arc::clone(&srv.store);
+            let keys = Arc::new(keys);
+            do_m! {
+                let now <- sys_time();
+                eveth_core::map_m(keys.len(), move |i| {
+                    let store = Arc::clone(&store);
+                    let key = keys[i].clone();
+                    let key2 = key.clone();
+                    store.get(key, now).map(move |found| {
+                        found.map(|e| Reply::Value {
+                            key: key2,
+                            flags: e.flags,
+                            data: e.value,
+                        })
+                    })
+                })
+                .map(|found: Vec<Option<Reply>>| {
+                    let mut replies: Vec<Reply> = found.into_iter().flatten().collect();
+                    replies.push(Reply::End);
+                    replies
+                })
+            }
+        }
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            value,
+            ..
+        } => {
+            if value.len() > srv.store.config().max_value_bytes {
+                return ThreadM::pure(vec![Reply::ClientError("value too large")]);
+            }
+            srv.store
+                .set_from_protocol(key, flags, exptime, value)
+                .map(|()| vec![Reply::Stored])
+        }
+        Command::Delete { key, .. } => {
+            let store = Arc::clone(&srv.store);
+            do_m! {
+                let now <- sys_time();
+                store.delete(key, now).map(|removed| {
+                    vec![if removed { Reply::Deleted } else { Reply::NotFound }]
+                })
+            }
+        }
+        Command::Incr { key, delta, .. } => counter_reply(srv, key, delta, false),
+        Command::Decr { key, delta, .. } => counter_reply(srv, key, delta, true),
+        Command::Stats => {
+            let snap = srv.store_snapshot();
+            let mut replies = vec![
+                Reply::Stat(
+                    "connections".into(),
+                    srv.stats.connections.get().to_string(),
+                ),
+                Reply::Stat("commands".into(), srv.stats.commands.get().to_string()),
+                Reply::Stat("bytes_in".into(), srv.stats.bytes_in.get().to_string()),
+                Reply::Stat("bytes_out".into(), srv.stats.bytes_out.get().to_string()),
+                Reply::Stat("get_hits".into(), snap.hits.to_string()),
+                Reply::Stat("get_misses".into(), snap.misses.to_string()),
+                Reply::Stat("sets".into(), snap.sets.to_string()),
+                Reply::Stat("deletes".into(), snap.deletes.to_string()),
+                Reply::Stat("expired_lazy".into(), snap.expired_lazy.to_string()),
+                Reply::Stat("expired_purged".into(), snap.expired_purged.to_string()),
+                Reply::Stat(
+                    "janitor_sweeps".into(),
+                    srv.stats.janitor_sweeps.get().to_string(),
+                ),
+                Reply::Stat("curr_items".into(), srv.store.len_now().to_string()),
+                Reply::Stat("shards".into(), srv.store.shard_count().to_string()),
+            ];
+            for (i, sh) in srv.store.shard_stats().iter().enumerate() {
+                replies.push(Reply::Stat(
+                    format!("shard{i}_hits"),
+                    sh.hits.get().to_string(),
+                ));
+                replies.push(Reply::Stat(
+                    format!("shard{i}_misses"),
+                    sh.misses.get().to_string(),
+                ));
+            }
+            replies.push(Reply::End);
+            ThreadM::pure(replies)
+        }
+        Command::Version => ThreadM::pure(vec![Reply::Version(env!("CARGO_PKG_VERSION"))]),
+        Command::Quit => ThreadM::pure(Vec::new()),
+    }
+}
+
+fn counter_reply(
+    srv: Arc<KvServer>,
+    key: Bytes,
+    delta: u64,
+    negative: bool,
+) -> ThreadM<Vec<Reply>> {
+    let store = Arc::clone(&srv.store);
+    do_m! {
+        let now <- sys_time();
+        store.counter_op(key, delta, negative, now).map(|res| {
+            vec![match res {
+                CounterResult::Ok(v) => Reply::Number(v),
+                CounterResult::NotFound => Reply::NotFound,
+                CounterResult::NotNumeric => {
+                    Reply::ClientError("cannot increment or decrement non-numeric value")
+                }
+            }]
+        })
+    }
+}

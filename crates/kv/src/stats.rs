@@ -1,0 +1,152 @@
+//! Per-shard and aggregate server counters, surfaced by the `stats`
+//! command and by the benchmarks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Counters kept independently per shard (no cross-shard contention).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// `get` lookups that found a live entry.
+    pub hits: Counter,
+    /// `get` lookups that found nothing (or an expired entry).
+    pub misses: Counter,
+    /// Successful `set`s.
+    pub sets: Counter,
+    /// Successful `delete`s.
+    pub deletes: Counter,
+    /// Successful `incr`/`decr`s.
+    pub counter_ops: Counter,
+    /// Expired entries detected lazily by reads.
+    pub expired_lazy: Counter,
+    /// Expired entries reclaimed by the janitor.
+    pub expired_purged: Counter,
+}
+
+/// Aggregate, server-wide counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Commands executed (all kinds).
+    pub commands: Counter,
+    /// Request bytes received.
+    pub bytes_in: Counter,
+    /// Response bytes written.
+    pub bytes_out: Counter,
+    /// Protocol errors answered with `CLIENT_ERROR`/`ERROR`.
+    pub protocol_errors: Counter,
+    /// Sessions terminated by an exception.
+    pub session_errors: Counter,
+    /// Janitor sweeps completed (whole-store passes; shared with the
+    /// janitor thread, which increments it).
+    pub janitor_sweeps: std::sync::Arc<Counter>,
+}
+
+/// A point-in-time aggregate view across shards, for `stats` output and
+/// benchmark tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Sum of shard hits.
+    pub hits: u64,
+    /// Sum of shard misses.
+    pub misses: u64,
+    /// Sum of shard sets.
+    pub sets: u64,
+    /// Sum of shard deletes.
+    pub deletes: u64,
+    /// Sum of shard counter ops.
+    pub counter_ops: u64,
+    /// Sum of lazily-detected expiries.
+    pub expired_lazy: u64,
+    /// Sum of janitor-reclaimed expiries.
+    pub expired_purged: u64,
+}
+
+impl StatsSnapshot {
+    /// Aggregates shard counters.
+    pub fn gather(shards: &[ShardStats]) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for sh in shards {
+            s.hits += sh.hits.get();
+            s.misses += sh.misses.get();
+            s.sets += sh.sets.get();
+            s.deletes += sh.deletes.get();
+            s.counter_ops += sh.counter_ops.get();
+            s.expired_lazy += sh.expired_lazy.get();
+            s.expired_purged += sh.expired_purged.get();
+        }
+        s
+    }
+
+    /// Hit ratio over all `get`s (1.0 when there were none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} sets={} deletes={} counter_ops={} expired={}+{}",
+            self.hits,
+            self.misses,
+            self.sets,
+            self.deletes,
+            self.counter_ops,
+            self.expired_lazy,
+            self.expired_purged
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_sums_across_shards() {
+        let shards: Vec<ShardStats> = (0..3).map(|_| ShardStats::default()).collect();
+        shards[0].hits.add(2);
+        shards[1].hits.incr();
+        shards[2].misses.incr();
+        shards[1].sets.add(7);
+        let s = StatsSnapshot::gather(&shards);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.sets, 7);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_of_idle_store_is_one() {
+        assert_eq!(StatsSnapshot::default().hit_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,578 @@
+//! The sharded in-memory store.
+//!
+//! Keys are hashed (FNV-1a) onto N independent shards so concurrent
+//! monadic threads contend only per shard, never on a global lock. Two
+//! interchangeable shard guards are provided, selected by
+//! [`StoreConfig::backend`]:
+//!
+//! * [`Backend::Mutex`] — each shard is guarded by an
+//!   [`eveth_core::sync::Mutex`], the paper's §4.7 scheduler-extension
+//!   lock: waiting blocks the *monadic* thread only, never the OS worker.
+//! * [`Backend::Stm`] — each shard lives in an [`eveth_stm::TVar`] and is
+//!   updated with `atomically_m` transactions (§4.7's STM), trading
+//!   copy-on-write costs for optimistic, lock-free readers.
+//!
+//! Both expose the same monadic operations, so the server and the
+//! property tests are backend-agnostic. Expiry is hybrid: reads treat
+//! stale entries as misses immediately (lazy), and the server runs a
+//! [`janitor`](crate::expiry::janitor) thread off the runtime timer wheel
+//! to reclaim memory for keys that are never touched again (eager).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::sync::Mutex as MonadicMutex;
+use eveth_core::time::{Nanos, SECS};
+use eveth_core::{do_m, ThreadM};
+use eveth_stm::{atomically_m, TVar};
+use parking_lot::Mutex as PlMutex;
+
+use crate::stats::ShardStats;
+
+/// Which synchronization primitive guards each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Monadic mutex per shard (paper §4.7 scheduler extension).
+    Mutex,
+    /// `TVar` per shard, updated transactionally (paper §4.7 STM).
+    Stm,
+}
+
+/// Store tunables.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Shard guard selection.
+    pub backend: Backend,
+    /// Values larger than this are rejected (`CLIENT_ERROR`).
+    pub max_value_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            backend: Backend::Mutex,
+            max_value_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One stored value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The payload.
+    pub value: Bytes,
+    /// Opaque client flags echoed on `get`.
+    pub flags: u32,
+    /// Absolute expiry deadline (runtime nanoseconds); `None` = never.
+    pub expires_at: Option<Nanos>,
+}
+
+impl Entry {
+    fn is_expired(&self, now: Nanos) -> bool {
+        self.expires_at.is_some_and(|d| d <= now)
+    }
+}
+
+/// Outcome of an `incr`/`decr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterResult {
+    /// The new value.
+    Ok(u64),
+    /// No such key (memcached does not auto-vivify counters).
+    NotFound,
+    /// The stored value is not a decimal integer.
+    NotNumeric,
+}
+
+type ShardMap = HashMap<Box<[u8]>, Entry>;
+
+/// A shard guarded by the monadic mutex. The inner `parking_lot` lock is
+/// only for `Send`/`Sync` soundness of the map itself; cross-thread
+/// mutual exclusion is provided by the monadic lock, so the inner lock is
+/// never contended.
+struct MutexShard {
+    gate: MonadicMutex,
+    map: Arc<PlMutex<ShardMap>>,
+}
+
+/// A shard held in a `TVar`. The map is wrapped in an `Arc` so a
+/// transactional read is O(1); writers clone-on-write before committing.
+struct StmShard {
+    cell: TVar<Arc<ShardMap>>,
+}
+
+enum Shards {
+    Mutex(Vec<MutexShard>),
+    Stm(Vec<StmShard>),
+}
+
+/// The sharded store shared by all server threads.
+pub struct ShardedStore {
+    shards: Shards,
+    stats: Arc<Vec<ShardStats>>,
+    cfg: StoreConfig,
+}
+
+impl ShardedStore {
+    /// Builds an empty store.
+    pub fn new(cfg: StoreConfig) -> Arc<Self> {
+        let n = cfg.shards.max(1);
+        let shards = match cfg.backend {
+            Backend::Mutex => Shards::Mutex(
+                (0..n)
+                    .map(|_| MutexShard {
+                        gate: MonadicMutex::new(),
+                        map: Arc::new(PlMutex::new(HashMap::new())),
+                    })
+                    .collect(),
+            ),
+            Backend::Stm => Shards::Stm(
+                (0..n)
+                    .map(|_| StmShard {
+                        cell: TVar::new(Arc::new(HashMap::new())),
+                    })
+                    .collect(),
+            ),
+        };
+        Arc::new(ShardedStore {
+            shards,
+            stats: Arc::new((0..n).map(|_| ShardStats::default()).collect()),
+            cfg,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Per-shard counters.
+    pub fn shard_stats(&self) -> &Arc<Vec<ShardStats>> {
+        &self.stats
+    }
+
+    /// The configuration this store was built with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// The shard index a key hashes to.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.shard_count() as u64) as usize
+    }
+
+    /// Converts a protocol `exptime` (relative seconds, 0 = never) into an
+    /// absolute deadline.
+    pub fn deadline(now: Nanos, exptime_secs: u64) -> Option<Nanos> {
+        (exptime_secs != 0).then(|| now.saturating_add(exptime_secs.saturating_mul(SECS)))
+    }
+
+    /// Looks up `key` at time `now`. Expired entries are misses.
+    pub fn get(self: &Arc<Self>, key: Bytes, now: Nanos) -> ThreadM<Option<Entry>> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let found = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    map.lock().get(key.as_ref()).cloned()
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                atomically_m(move |txn| {
+                    let map = txn.read(&cell)?;
+                    Ok(map.get(key.as_ref()).cloned())
+                })
+            }
+        };
+        found.map(move |entry| {
+            let stats = &this.stats[idx];
+            match entry {
+                Some(e) if e.is_expired(now) => {
+                    // Lazy expiry: report a miss; the janitor reclaims.
+                    stats.expired_lazy.incr();
+                    stats.misses.incr();
+                    None
+                }
+                Some(e) => {
+                    stats.hits.incr();
+                    Some(e)
+                }
+                None => {
+                    stats.misses.incr();
+                    None
+                }
+            }
+        })
+    }
+
+    /// Stores `entry` under `key`, unconditionally.
+    pub fn set(self: &Arc<Self>, key: Bytes, entry: Entry) -> ThreadM<()> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let stored = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    map.lock().insert(key.to_vec().into_boxed_slice(), entry);
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                atomically_m(move |txn| {
+                    let mut map = (*txn.read(&cell)?).clone();
+                    map.insert(key.to_vec().into_boxed_slice(), entry.clone());
+                    txn.write(&cell, Arc::new(map));
+                    Ok(())
+                })
+            }
+        };
+        stored.map(move |()| this.stats[idx].sets.incr())
+    }
+
+    /// Removes `key`; true when something (even an expired entry) was
+    /// removed.
+    pub fn delete(self: &Arc<Self>, key: Bytes, now: Nanos) -> ThreadM<bool> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let removed = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    map.lock().remove(key.as_ref())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                atomically_m(move |txn| {
+                    let map = txn.read(&cell)?;
+                    if !map.contains_key(key.as_ref()) {
+                        return Ok(None);
+                    }
+                    let mut map = (*map).clone();
+                    let old = map.remove(key.as_ref());
+                    txn.write(&cell, Arc::new(map));
+                    Ok(old)
+                })
+            }
+        };
+        removed.map(move |old| match old {
+            // Deleting an already-expired entry is a miss from the
+            // client's point of view.
+            Some(e) if e.is_expired(now) => {
+                this.stats[idx].expired_lazy.incr();
+                false
+            }
+            Some(_) => {
+                this.stats[idx].deletes.incr();
+                true
+            }
+            None => false,
+        })
+    }
+
+    /// Adds `delta` (or subtracts, saturating at zero, when `negative`) to
+    /// the decimal integer stored at `key`.
+    pub fn counter_op(
+        self: &Arc<Self>,
+        key: Bytes,
+        delta: u64,
+        negative: bool,
+        now: Nanos,
+    ) -> ThreadM<CounterResult> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let stm_key = key.clone();
+        let apply = move |map: &mut ShardMap| -> CounterResult {
+            let Some(e) = map.get_mut(key.as_ref()) else {
+                return CounterResult::NotFound;
+            };
+            if e.is_expired(now) {
+                map.remove(key.as_ref());
+                return CounterResult::NotFound;
+            }
+            let Some(cur) = std::str::from_utf8(&e.value)
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                return CounterResult::NotNumeric;
+            };
+            let next = if negative {
+                cur.saturating_sub(delta)
+            } else {
+                cur.wrapping_add(delta)
+            };
+            e.value = Bytes::from(next.to_string());
+            CounterResult::Ok(next)
+        };
+        let result = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    apply(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                atomically_m(move |txn| {
+                    // Read-only fast paths: don't copy-on-write the whole
+                    // shard when the outcome cannot be a committed write.
+                    let snapshot = txn.read(&cell)?;
+                    match snapshot.get(stm_key.as_ref()) {
+                        None => return Ok(CounterResult::NotFound),
+                        Some(e) if !e.is_expired(now) => {
+                            let numeric = std::str::from_utf8(&e.value)
+                                .ok()
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .is_some();
+                            if !numeric {
+                                return Ok(CounterResult::NotNumeric);
+                            }
+                        }
+                        // Expired: fall through to the write path so the
+                        // removal commits.
+                        Some(_) => {}
+                    }
+                    let mut map = (*snapshot).clone();
+                    let res = apply(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(res)
+                })
+            }
+        };
+        result.map(move |res| {
+            if matches!(res, CounterResult::Ok(_)) {
+                this.stats[idx].counter_ops.incr();
+            }
+            res
+        })
+    }
+
+    /// Drops every entry whose deadline is at or before `now` from shard
+    /// `idx`; returns how many were reclaimed. One shard per call so the
+    /// janitor yields between shards instead of stalling the scheduler.
+    pub fn purge_shard(self: &Arc<Self>, idx: usize, now: Nanos) -> ThreadM<usize> {
+        let this = Arc::clone(self);
+        let purge = move |map: &mut ShardMap| {
+            let before = map.len();
+            map.retain(|_, e| !e.is_expired(now));
+            before - map.len()
+        };
+        let purged = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    purge(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                atomically_m(move |txn| {
+                    let snapshot = txn.read(&cell)?;
+                    if !snapshot.values().any(|e| e.is_expired(now)) {
+                        return Ok(0); // read-only fast path
+                    }
+                    let mut map = (*snapshot).clone();
+                    let n = purge(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(n)
+                })
+            }
+        };
+        purged.map(move |n| {
+            this.stats[idx].expired_purged.add(n as u64);
+            n
+        })
+    }
+
+    /// Total live entries (includes not-yet-purged expired entries).
+    pub fn len_now(&self) -> usize {
+        match &self.shards {
+            Shards::Mutex(shards) => shards.iter().map(|s| s.map.lock().len()).sum(),
+            Shards::Stm(shards) => shards.iter().map(|s| s.cell.read_now().len()).sum(),
+        }
+    }
+
+    /// Convenience: monadic multi-step `set` from protocol fields.
+    pub fn set_from_protocol(
+        self: &Arc<Self>,
+        key: Bytes,
+        flags: u32,
+        exptime: u64,
+        value: Bytes,
+    ) -> ThreadM<()> {
+        let this = Arc::clone(self);
+        do_m! {
+            let now <- eveth_core::syscall::sys_time();
+            this.set(
+                key,
+                Entry {
+                    value,
+                    flags,
+                    expires_at: ShardedStore::deadline(now, exptime),
+                },
+            )
+        }
+    }
+}
+
+impl fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ShardedStore(backend={:?}, shards={}, entries={})",
+            self.cfg.backend,
+            self.shard_count(),
+            self.len_now()
+        )
+    }
+}
+
+/// FNV-1a, the shard hash (stable across runs for determinism).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eveth_core::runtime::Runtime;
+
+    fn store(backend: Backend) -> Arc<ShardedStore> {
+        ShardedStore::new(StoreConfig {
+            shards: 4,
+            backend,
+            ..Default::default()
+        })
+    }
+
+    fn entry(v: &str) -> Entry {
+        Entry {
+            value: Bytes::from(v.to_string()),
+            flags: 0,
+            expires_at: None,
+        }
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip_both_backends() {
+        for backend in [Backend::Mutex, Backend::Stm] {
+            let rt = Runtime::builder().workers(2).build();
+            let s = store(backend);
+            let k = Bytes::from_static(b"alpha");
+            let s2 = Arc::clone(&s);
+            let k2 = k.clone();
+            let got = rt.block_on(do_m! {
+                s2.set(k2.clone(), entry("v1"));
+                s2.get(k2, 0)
+            });
+            assert_eq!(got.unwrap().value, Bytes::from_static(b"v1"), "{backend:?}");
+
+            let s3 = Arc::clone(&s);
+            let deleted = rt.block_on(s3.delete(k.clone(), 0));
+            assert!(deleted, "{backend:?}");
+            let s4 = Arc::clone(&s);
+            assert!(rt.block_on(s4.get(k, 0)).is_none(), "{backend:?}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn expiry_is_lazy_on_get_and_eager_on_purge() {
+        for backend in [Backend::Mutex, Backend::Stm] {
+            let rt = Runtime::builder().workers(1).build();
+            let s = store(backend);
+            let k = Bytes::from_static(b"ttl");
+            let e = Entry {
+                expires_at: Some(100),
+                ..entry("soon")
+            };
+            let s2 = Arc::clone(&s);
+            let k2 = k.clone();
+            rt.block_on(s2.set(k2, e));
+            let s3 = Arc::clone(&s);
+            assert!(rt.block_on(s3.get(k.clone(), 50)).is_some(), "{backend:?}");
+            let s4 = Arc::clone(&s);
+            assert!(rt.block_on(s4.get(k.clone(), 100)).is_none(), "{backend:?}");
+            // Entry still occupies memory until purged.
+            assert_eq!(s.len_now(), 1, "{backend:?}");
+            let idx = s.shard_of(&k);
+            let s5 = Arc::clone(&s);
+            let purged = rt.block_on(s5.purge_shard(idx, 100));
+            assert_eq!(purged, 1, "{backend:?}");
+            assert_eq!(s.len_now(), 0, "{backend:?}");
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn counters_increment_decrement_and_reject_non_numeric() {
+        for backend in [Backend::Mutex, Backend::Stm] {
+            let rt = Runtime::builder().workers(1).build();
+            let s = store(backend);
+            let k = Bytes::from_static(b"n");
+            let s2 = Arc::clone(&s);
+            let k2 = k.clone();
+            rt.block_on(s2.set(k2, entry("10")));
+            let s3 = Arc::clone(&s);
+            let k3 = k.clone();
+            assert_eq!(
+                rt.block_on(s3.counter_op(k3, 5, false, 0)),
+                CounterResult::Ok(15)
+            );
+            let s4 = Arc::clone(&s);
+            let k4 = k.clone();
+            assert_eq!(
+                rt.block_on(s4.counter_op(k4, 100, true, 0)),
+                CounterResult::Ok(0),
+                "decr floors at zero"
+            );
+            let s5 = Arc::clone(&s);
+            assert_eq!(
+                rt.block_on(s5.counter_op(Bytes::from_static(b"absent"), 1, false, 0)),
+                CounterResult::NotFound
+            );
+            let s6 = Arc::clone(&s);
+            let k6 = k.clone();
+            rt.block_on(s6.set(k6, entry("pear")));
+            let s7 = Arc::clone(&s);
+            assert_eq!(
+                rt.block_on(s7.counter_op(k, 1, false, 0)),
+                CounterResult::NotNumeric
+            );
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let s = store(Backend::Mutex);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            seen.insert(s.shard_of(format!("key{i}").as_bytes()));
+        }
+        assert!(seen.len() > 1, "64 keys must hit more than one of 4 shards");
+    }
+
+    #[test]
+    fn deadline_zero_means_never() {
+        assert_eq!(ShardedStore::deadline(5, 0), None);
+        assert_eq!(ShardedStore::deadline(5, 2), Some(5 + 2 * SECS));
+    }
+}

@@ -1,0 +1,284 @@
+//! Property tests for the KV service, in the style of `prop_http.rs` /
+//! `prop_stm.rs`: protocol round trips survive arbitrary chunking, and the
+//! sharded store (both backends, with TTLs) is model-checked against a
+//! plain `HashMap` reference under a deterministic `simos` schedule.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth_core::time::SECS;
+use eveth_kv::protocol::{Command, CommandParser, Reply, ReplyParser};
+use eveth_kv::store::{Backend, CounterResult, Entry, ShardedStore, StoreConfig};
+use eveth_simos::SimRuntime;
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-e]{1,3}"
+}
+
+/// One abstract store operation with explicit virtual time.
+#[derive(Debug, Clone)]
+enum Op {
+    Set {
+        key: String,
+        value: Vec<u8>,
+        ttl_secs: u64,
+    },
+    Get {
+        key: String,
+    },
+    Delete {
+        key: String,
+    },
+    Incr {
+        key: String,
+        delta: u64,
+    },
+    Purge,
+    Advance {
+        secs: u64,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            arb_key(),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            0u64..4
+        )
+            .prop_map(|(key, value, ttl_secs)| Op::Set {
+                key,
+                value,
+                ttl_secs
+            }),
+        arb_key().prop_map(|key| Op::Get { key }),
+        arb_key().prop_map(|key| Op::Delete { key }),
+        (arb_key(), 0u64..100).prop_map(|(key, delta)| Op::Incr { key, delta }),
+        Just(Op::Purge),
+        (1u64..3).prop_map(|secs| Op::Advance { secs }),
+    ]
+}
+
+/// The reference model: a HashMap of (value, deadline) driven by the same
+/// virtual clock the simulated store sees.
+#[derive(Default)]
+struct Model {
+    map: HashMap<String, (Vec<u8>, Option<u64>)>,
+}
+
+impl Model {
+    fn expire(&mut self, key: &str, now: u64) -> bool {
+        if let Some((_, Some(d))) = self.map.get(key) {
+            if *d <= now {
+                self.map.remove(key);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary op sequences against both backends match the reference
+    /// model exactly, including TTL behaviour, when run on the simulated
+    /// runtime's deterministic schedule.
+    #[test]
+    fn store_matches_hashmap_reference(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        shards in 1usize..5,
+        stm in any::<bool>(),
+    ) {
+        let backend = if stm { Backend::Stm } else { Backend::Mutex };
+        let sim = SimRuntime::new_default();
+        let store = ShardedStore::new(StoreConfig {
+            shards,
+            backend,
+            ..Default::default()
+        });
+        let mut model = Model::default();
+
+        for op in ops {
+            let now = sim.now();
+            match op {
+                Op::Set { key, value, ttl_secs } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let entry = Entry {
+                        value: Bytes::from(value.clone()),
+                        flags: 7,
+                        expires_at: ShardedStore::deadline(now, ttl_secs),
+                    };
+                    sim.block_on(st.set(k, entry)).unwrap();
+                    model.map.insert(key, (value, ShardedStore::deadline(now, ttl_secs)));
+                }
+                Op::Get { key } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let got = sim.block_on(st.get(k, now)).unwrap();
+                    model.expire(&key, now);
+                    let want = model.map.get(&key);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(e), Some((v, _))) => {
+                            prop_assert_eq!(e.value.to_vec(), v.clone(), "value mismatch for {}", key);
+                            prop_assert_eq!(e.flags, 7);
+                        }
+                        (got, want) => {
+                            panic!("presence mismatch for {key}: store={got:?} model={want:?}");
+                        }
+                    }
+                }
+                Op::Delete { key } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let removed = sim.block_on(st.delete(k, now)).unwrap();
+                    let was_expired = model.expire(&key, now);
+                    let model_removed = model.map.remove(&key).is_some() && !was_expired;
+                    prop_assert_eq!(removed, model_removed, "delete mismatch for {}", key);
+                }
+                Op::Incr { key, delta } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let res = sim.block_on(st.counter_op(k, delta, false, now)).unwrap();
+                    model.expire(&key, now);
+                    match (res, model.map.get_mut(&key)) {
+                        (CounterResult::NotFound, None) => {}
+                        (CounterResult::Ok(v), Some((mv, _))) => {
+                            let cur: u64 = std::str::from_utf8(mv).unwrap().parse().unwrap();
+                            let next = cur.wrapping_add(delta);
+                            prop_assert_eq!(v, next, "incr result for {}", key);
+                            *mv = next.to_string().into_bytes();
+                        }
+                        (CounterResult::NotNumeric, Some((mv, _))) => {
+                            let numeric = std::str::from_utf8(mv)
+                                .ok()
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .is_some();
+                            prop_assert!(!numeric, "store said NotNumeric but model has a number");
+                        }
+                        (res, want) => {
+                            panic!("incr mismatch for {key}: store={res:?} model={want:?}");
+                        }
+                    }
+                }
+                Op::Purge => {
+                    for idx in 0..store.shard_count() {
+                        let st = Arc::clone(&store);
+                        sim.block_on(st.purge_shard(idx, now)).unwrap();
+                    }
+                    let keys: Vec<String> = model.map.keys().cloned().collect();
+                    for k in keys {
+                        model.expire(&k, now);
+                    }
+                }
+                Op::Advance { secs } => {
+                    sim.block_on(eveth_core::syscall::sys_sleep(secs * SECS)).unwrap();
+                }
+            }
+        }
+        // Final reconciliation: purge everything at one fixed `now` and
+        // expire the model at the same instant; live counts must agree.
+        let now = sim.now();
+        for idx in 0..store.shard_count() {
+            let st = Arc::clone(&store);
+            sim.block_on(st.purge_shard(idx, now)).unwrap();
+        }
+        let keys: Vec<String> = model.map.keys().cloned().collect();
+        for k in keys {
+            model.expire(&k, now);
+        }
+        prop_assert_eq!(store.len_now(), model.map.len(), "final live-entry count");
+    }
+
+    /// Any command encodes → parses back identically, no matter how the
+    /// bytes are sliced into recv-sized chunks.
+    #[test]
+    fn command_roundtrip_any_chunking(
+        key in "[a-z0-9]{1,16}",
+        value in proptest::collection::vec(any::<u8>(), 0..512),
+        flags in any::<u32>(),
+        exptime in 0u64..100_000,
+        noreply in any::<bool>(),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let mut raw = format!("set {key} {flags} {exptime} {}", value.len())
+            .into_bytes();
+        if noreply {
+            raw.extend_from_slice(b" noreply");
+        }
+        raw.extend_from_slice(b"\r\n");
+        raw.extend_from_slice(&value);
+        raw.extend_from_slice(b"\r\n");
+
+        let mut parser = CommandParser::new();
+        let mut parsed = None;
+        let mut pos = 0;
+        let mut cut_iter = cuts.into_iter();
+        while pos < raw.len() {
+            let step = cut_iter.next().unwrap_or(raw.len()).min(raw.len() - pos);
+            if let Some(c) = parser.feed(&raw[pos..pos + step]).expect("valid command") {
+                parsed = Some(c);
+            }
+            pos += step;
+        }
+        let cmd = parsed.expect("command completed");
+        prop_assert_eq!(
+            cmd,
+            Command::Set {
+                key: Bytes::from(key.into_bytes()),
+                flags,
+                exptime,
+                value: Bytes::from(value),
+                noreply,
+            }
+        );
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// Replies encode → parse back identically through the client parser
+    /// under arbitrary chunking.
+    #[test]
+    fn reply_roundtrip_any_chunking(
+        key in "[a-z]{1,8}",
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        flags in any::<u32>(),
+        n in any::<u64>(),
+        cuts in proptest::collection::vec(1usize..32, 0..12),
+    ) {
+        let replies = vec![
+            Reply::Value {
+                key: Bytes::from(key.into_bytes()),
+                flags,
+                data: Bytes::from(data),
+            },
+            Reply::End,
+            Reply::Stored,
+            Reply::Number(n),
+            Reply::NotFound,
+        ];
+        let mut wire = Vec::new();
+        for r in &replies {
+            r.encode_into(&mut wire);
+        }
+        let mut parser = ReplyParser::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cut_iter = cuts.into_iter();
+        while pos < wire.len() {
+            let step = cut_iter.next().unwrap_or(wire.len()).min(wire.len() - pos);
+            if let Some(r) = parser.feed(&wire[pos..pos + step]).expect("valid reply") {
+                got.push(r);
+                while let Some(r) = parser.feed(b"").expect("valid reply") {
+                    got.push(r);
+                }
+            }
+            pos += step;
+        }
+        prop_assert_eq!(got, replies);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+}

@@ -378,15 +378,18 @@ mod tests {
             })
             .unwrap();
         // Sleep plus small scheduler costs.
-        assert!(t >= 7 * MILLIS && t < 8 * MILLIS, "t = {t}");
+        assert!((7 * MILLIS..8 * MILLIS).contains(&t), "t = {t}");
     }
 
     #[test]
     fn costs_accumulate_per_model() {
-        let free = SimRuntime::new(SimClock::new(), SimConfig {
-            cost: CostModel::free(),
-            slice: 64,
-        });
+        let free = SimRuntime::new(
+            SimClock::new(),
+            SimConfig {
+                cost: CostModel::free(),
+                slice: 64,
+            },
+        );
         free.block_on(eveth_core::for_each_m(0..100u32, |_| sys_yield()))
             .unwrap();
         assert_eq!(free.now(), 0, "free model charges nothing");
@@ -441,10 +444,13 @@ mod tests {
 
     #[test]
     fn report_tracks_peak_threads_and_stack() {
-        let sim = SimRuntime::new(SimClock::new(), SimConfig {
-            cost: CostModel::nptl(),
-            slice: 64,
-        });
+        let sim = SimRuntime::new(
+            SimClock::new(),
+            SimConfig {
+                cost: CostModel::nptl(),
+                slice: 64,
+            },
+        );
         for _ in 0..10 {
             sim.spawn(sys_sleep(MILLIS));
         }

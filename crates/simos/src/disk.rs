@@ -45,9 +45,9 @@ impl DiskGeometry {
     pub fn eide_7200_80gb() -> Self {
         DiskGeometry {
             capacity: 80_000_000_000,
-            min_seek_ns: 1_400_000,  // 1.4 ms settle
-            seek_factor_ns: 97.0,    // full stroke ≈ 28 ms
-            rpm: 7200,               // avg rotational latency 4.17 ms
+            min_seek_ns: 1_400_000, // 1.4 ms settle
+            seek_factor_ns: 97.0,   // full stroke ≈ 28 ms
+            rpm: 7200,              // avg rotational latency 4.17 ms
             transfer_bytes_per_sec: 40_000_000,
         }
     }
@@ -235,7 +235,9 @@ impl SimDisk {
         st.head = req.pos + req.len as u64;
 
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(req.len as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(req.len as u64, Ordering::Relaxed);
         self.stats.seek_bytes.fetch_add(distance, Ordering::Relaxed);
         self.stats.busy_ns.fetch_add(service, Ordering::Relaxed);
 
@@ -266,12 +268,11 @@ impl fmt::Debug for SimDisk {
 
 /// Convenience: mean service latency observed so far.
 pub fn mean_service_ns(disk: &SimDisk) -> Nanos {
-    let n = disk.stats().requests.load(Ordering::Relaxed);
-    if n == 0 {
-        0
-    } else {
-        disk.stats().busy_ns.load(Ordering::Relaxed) / n
-    }
+    disk.stats()
+        .busy_ns
+        .load(Ordering::Relaxed)
+        .checked_div(disk.stats().requests.load(Ordering::Relaxed))
+        .unwrap_or(0)
 }
 
 /// Convenience: throughput in MB/s given bytes moved over a virtual
@@ -291,17 +292,12 @@ mod tests {
 
     fn run_random_reads(sched: DiskSched, outstanding: usize, total_reads: usize) -> Nanos {
         let clock = SimClock::new();
-        let disk = SimDisk::new(
-            clock.clone(),
-            DiskGeometry::eide_7200_80gb(),
-            sched,
-            7,
-        );
+        let disk = SimDisk::new(clock.clone(), DiskGeometry::eide_7200_80gb(), sched, 7);
         // Uniform random 4 KB reads within a 1 GB span, keeping `outstanding`
         // requests in flight (closed-loop, like one request per thread).
         let remaining = Arc::new(AtomicU64::new(total_reads as u64));
         let mut rng: u64 = 99;
-        let mut next_pos = move || {
+        let next_pos = move || {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
@@ -324,7 +320,7 @@ mod tests {
             disk.submit(pos, 4096, move || pump(&d, &r, &np));
         }
         let next_pos: Arc<Mutex<Box<dyn FnMut() -> u64 + Send>>> =
-            Arc::new(Mutex::new(Box::new(move || next_pos())));
+            Arc::new(Mutex::new(Box::new(next_pos)));
         for _ in 0..outstanding {
             pump(&disk, &remaining, &next_pos);
         }
@@ -386,7 +382,12 @@ mod tests {
     #[test]
     fn completions_preserve_every_request() {
         let clock = SimClock::new();
-        let disk = SimDisk::new(clock.clone(), DiskGeometry::eide_7200_80gb(), DiskSched::CLook, 3);
+        let disk = SimDisk::new(
+            clock.clone(),
+            DiskGeometry::eide_7200_80gb(),
+            DiskSched::CLook,
+            3,
+        );
         let done = Arc::new(AtomicU64::new(0));
         for i in 0..100u64 {
             let d = done.clone();
@@ -414,7 +415,12 @@ mod tests {
     #[test]
     fn mean_service_sane() {
         let clock = SimClock::new();
-        let disk = SimDisk::new(clock.clone(), DiskGeometry::eide_7200_80gb(), DiskSched::CLook, 3);
+        let disk = SimDisk::new(
+            clock.clone(),
+            DiskGeometry::eide_7200_80gb(),
+            DiskSched::CLook,
+            3,
+        );
         disk.submit(500_000_000, 4096, || {});
         while clock.fire_next() {}
         let mean = mean_service_ns(&disk);

@@ -195,8 +195,14 @@ mod tests {
         let (sim, fs) = fixture();
         fs.add_file("/a", 64 * 1024);
         let file = fs.lookup("/a").unwrap();
-        let first = sim.block_on(sys_aio_read(&file, 4096, 512)).unwrap().unwrap();
-        let again = sim.block_on(sys_aio_read(&file, 4096, 512)).unwrap().unwrap();
+        let first = sim
+            .block_on(sys_aio_read(&file, 4096, 512))
+            .unwrap()
+            .unwrap();
+        let again = sim
+            .block_on(sys_aio_read(&file, 4096, 512))
+            .unwrap()
+            .unwrap();
         assert_eq!(first, again);
         assert_eq!(first.len(), 512);
     }

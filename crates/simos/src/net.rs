@@ -64,10 +64,7 @@ impl LinkParams {
 
     /// Nanoseconds to serialize `bytes` onto the wire.
     pub fn tx_time(&self, bytes: usize) -> Nanos {
-        (bytes as u64)
-            .saturating_mul(8)
-            .saturating_mul(SECS)
-            / self.bandwidth_bps
+        (bytes as u64).saturating_mul(8).saturating_mul(SECS) / self.bandwidth_bps
     }
 }
 
@@ -221,10 +218,7 @@ impl fmt::Debug for SimNet {
 mod tests {
     use super::*;
 
-    fn collect_net(
-        params: LinkParams,
-        seed: u64,
-    ) -> (SimClock, Arc<SimNet>, Arc<Mutex<Vec<u32>>>) {
+    fn collect_net(params: LinkParams, seed: u64) -> (SimClock, Arc<SimNet>, Arc<Mutex<Vec<u32>>>) {
         let clock = SimClock::new();
         let net = SimNet::new(clock.clone(), params, seed);
         let inbox = Arc::new(Mutex::new(Vec::new()));

@@ -177,7 +177,10 @@ mod tests {
         let in_flight = 10 * MSS;
         assert_eq!(cc.on_dup_ack(in_flight, in_flight), CcAction::None);
         assert_eq!(cc.on_dup_ack(in_flight, in_flight), CcAction::None);
-        assert_eq!(cc.on_dup_ack(in_flight, in_flight), CcAction::FastRetransmit);
+        assert_eq!(
+            cc.on_dup_ack(in_flight, in_flight),
+            CcAction::FastRetransmit
+        );
         assert!(cc.in_recovery());
         assert_eq!(cc.ssthresh(), 5 * MSS);
         assert_eq!(cc.cwnd(), 5 * MSS + 3 * MSS);

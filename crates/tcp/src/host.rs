@@ -201,8 +201,14 @@ impl TcpHost {
             if let Some(listener) = listener {
                 if !listener.closed.load(Ordering::SeqCst) {
                     let local = Endpoint::new(self.host, seg.dst_port);
-                    let tcb =
-                        Tcb::new_passive(self.cfg.clone(), local, key.peer, self.fresh_iss(), &seg, now);
+                    let tcb = Tcb::new_passive(
+                        self.cfg.clone(),
+                        local,
+                        key.peer,
+                        self.fresh_iss(),
+                        &seg,
+                        now,
+                    );
                     let syn_ack = tcb.syn_ack_segment();
                     self.conns.lock().insert(key, Arc::new(Mutex::new(tcb)));
                     self.passive_parents.lock().insert(key, seg.dst_port);
@@ -371,8 +377,9 @@ impl Conn for TcpConn {
             })
             .bind(move |res| match res {
                 Some(r) => ThreadM::pure(Loop::Break(r)),
-                None => sys_park(move |u| park_tcb.lock().park_reader(u))
-                    .map(|_| Loop::Continue(())),
+                None => {
+                    sys_park(move |u| park_tcb.lock().park_reader(u)).map(|_| Loop::Continue(()))
+                }
             })
         })
     }
@@ -535,11 +542,20 @@ impl NetStack for TcpHost {
                     local_port: local.port,
                     peer: remote,
                 };
-                let tcb = Tcb::new_active(setup_host.cfg.clone(), local, remote, setup_host.fresh_iss(), now);
+                let tcb = Tcb::new_active(
+                    setup_host.cfg.clone(),
+                    local,
+                    remote,
+                    setup_host.fresh_iss(),
+                    now,
+                );
                 let syn = tcb.syn_segment();
                 let tcb_arc = Arc::new(Mutex::new(tcb));
                 setup_host.conns.lock().insert(key, Arc::clone(&tcb_arc));
-                setup_host.stats.conns_opened.fetch_add(1, Ordering::Relaxed);
+                setup_host
+                    .stats
+                    .conns_opened
+                    .fetch_add(1, Ordering::Relaxed);
                 setup_host.send_segs(remote.host, vec![syn]);
                 (key, tcb_arc)
             })
@@ -553,9 +569,9 @@ impl NetStack for TcpHost {
                         let t = check_tcb.lock();
                         match t.state() {
                             State::Established => Some(Ok(())),
-                            State::Closed => Some(Err(t
-                                .error()
-                                .unwrap_or(NetError::ConnectionRefused))),
+                            State::Closed => {
+                                Some(Err(t.error().unwrap_or(NetError::ConnectionRefused)))
+                            }
                             _ => None,
                         }
                     })

@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn rto_respects_clamp() {
         let mut e = RttEstimator::new(300 * MILLIS, 400 * MILLIS);
-        e.sample(1 * MILLIS);
+        e.sample(MILLIS);
         assert_eq!(e.rto(), 300 * MILLIS);
         for _ in 0..20 {
             e.backoff();

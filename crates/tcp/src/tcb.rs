@@ -130,7 +130,13 @@ impl Tcb {
     /// Creates a TCB performing an active open. The caller must transmit
     /// [`Tcb::syn_segment`] and arm the retransmission timer via the result
     /// of [`Tcb::output`].
-    pub fn new_active(cfg: TcpConfig, local: Endpoint, peer: Endpoint, iss: u32, now: Nanos) -> Self {
+    pub fn new_active(
+        cfg: TcpConfig,
+        local: Endpoint,
+        peer: Endpoint,
+        iss: u32,
+        now: Nanos,
+    ) -> Self {
         let mut tcb = Self::new_raw(cfg, local, peer, iss, State::SynSent);
         tcb.snd_nxt = iss.wrapping_add(1); // SYN occupies one position
         tcb.snd_max = tcb.snd_nxt;
@@ -466,7 +472,11 @@ impl Tcb {
         // FIN, once all data is out.
         let may_emit_fin = matches!(
             self.state,
-            State::Established | State::CloseWait | State::FinWait1 | State::Closing | State::LastAck
+            State::Established
+                | State::CloseWait
+                | State::FinWait1
+                | State::Closing
+                | State::LastAck
         );
         if self.fin_queued
             && self.fin_seq.is_none()
@@ -698,8 +708,7 @@ impl Tcb {
                 && seg.payload.is_empty()
                 && !seg.flags.fin
             {
-                if let CcAction::FastRetransmit =
-                    self.cc.on_dup_ack(self.snd_nxt, in_flight_before)
+                if let CcAction::FastRetransmit = self.cc.on_dup_ack(self.snd_nxt, in_flight_before)
                 {
                     if let Some(rseg) = self.retransmit_one(now) {
                         out.push(rseg);
@@ -759,10 +768,7 @@ impl Tcb {
         self.readable.extend(payload.iter());
         self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
         // Drain any now-contiguous out-of-order segments.
-        loop {
-            let Some((&seq, _)) = self.ooo.iter().next() else {
-                break;
-            };
+        while let Some((&seq, _)) = self.ooo.iter().next() {
             if seq_gt(seq, self.rcv_nxt) {
                 break;
             }
@@ -903,8 +909,10 @@ mod tests {
         c.app_write(b"aaaabbbb").unwrap();
         let mut segs = {
             // Force two small segments by draining output at mss=4.
-            let mut cfg = TcpConfig::default();
-            cfg.mss = 4;
+            let cfg = TcpConfig {
+                mss: 4,
+                ..Default::default()
+            };
             // Rebuild client with small MSS for this test.
             let _ = cfg;
             c.output(10_000)
@@ -951,7 +959,7 @@ mod tests {
         let segs = c.output(10_000);
         assert_eq!(segs.len(), 1);
         drop(segs); // the network ate it
-        // Fire the retransmission timeout.
+                    // Fire the retransmission timeout.
         let rto_at = 10_000 + 300 * MILLIS;
         let resent = c.on_tick(rto_at);
         assert!(!resent.is_empty(), "RTO must retransmit");
@@ -965,8 +973,10 @@ mod tests {
     fn triple_dup_ack_fast_retransmits() {
         // Start with a 10-MSS congestion window so six segments depart at
         // once and the lost head produces a burst of duplicate ACKs.
-        let mut cfg = TcpConfig::default();
-        cfg.initial_cwnd_mss = 10;
+        let cfg = TcpConfig {
+            initial_cwnd_mss: 10,
+            ..Default::default()
+        };
         let (mut c, mut s) = pair_with(cfg);
         let chunk = vec![1u8; 1460];
         for _ in 0..6 {
@@ -976,10 +986,16 @@ mod tests {
         // Lose the first segment, deliver the rest: receiver dup-acks.
         sent.remove(0);
         let dup_acks = deliver(&mut s, sent, 20_000);
-        assert!(dup_acks.len() >= 3, "receiver should emit dup ACKs for the gap");
+        assert!(
+            dup_acks.len() >= 3,
+            "receiver should emit dup ACKs for the gap"
+        );
         let before = c.retransmits();
         let replies = deliver(&mut c, dup_acks, 30_000);
-        assert!(c.retransmits() > before, "third dup ACK triggers fast retransmit");
+        assert!(
+            c.retransmits() > before,
+            "third dup ACK triggers fast retransmit"
+        );
         assert!(replies.iter().any(|sg| sg.seq == c.snd_una));
     }
 
@@ -1021,8 +1037,10 @@ mod tests {
     fn syn_retransmission_then_give_up() {
         let a = Endpoint::new(HostId(1), 1000);
         let b = Endpoint::new(HostId(9), 80); // nobody home
-        let mut cfg = TcpConfig::default();
-        cfg.max_syn_retries = 2;
+        let cfg = TcpConfig {
+            max_syn_retries: 2,
+            ..Default::default()
+        };
         let mut c = Tcb::new_active(cfg, a, b, 100, 0);
         let mut now = 0;
         let mut retries = 0;
@@ -1074,6 +1092,9 @@ mod tests {
         c.app_write(&vec![0u8; 8000]).unwrap();
         let segs = c.output(6_000);
         let sent: usize = segs.iter().map(|s| s.payload.len()).sum();
-        assert!(sent <= 1460.max(1000), "must respect the advertised window, sent {sent}");
+        assert!(
+            sent <= 1460,
+            "must respect the advertised window, sent {sent}"
+        );
     }
 }

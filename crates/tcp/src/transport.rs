@@ -114,7 +114,7 @@ impl SegmentTransport for LoopbackNet {
                 return;
             }
             st.survivors += 1;
-            matches!(st.faults.duplicate_every, Some(n) if n > 0 && st.survivors % n == 0)
+            matches!(st.faults.duplicate_every, Some(n) if n > 0 && st.survivors.is_multiple_of(n))
         };
         let target = self.hosts.lock().get(&dst).and_then(Weak::upgrade);
         if let Some(host) = target {

@@ -2,11 +2,10 @@
 //! rate or duplication pattern, the byte stream delivered equals the byte
 //! stream sent — the end-to-end invariant everything else rests on.
 
-
 use bytes::Bytes;
+use eveth_core::do_m;
 use eveth_core::net::{recv_exact, send_all, Endpoint, HostId, NetStack};
 use eveth_core::syscall::sys_fork;
-use eveth_core::do_m;
 use eveth_simos::SimRuntime;
 use eveth_tcp::host::TcpHost;
 use eveth_tcp::tcb::TcpConfig;

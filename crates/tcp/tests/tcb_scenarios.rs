@@ -133,9 +133,11 @@ fn rto_backoff_doubles_under_repeated_loss() {
 
 #[test]
 fn receiver_window_closes_and_reopens() {
-    let mut cfg = TcpConfig::default();
-    cfg.recv_window = 4096;
-    cfg.send_buf = 64 * 1024;
+    let cfg = TcpConfig {
+        recv_window: 4096,
+        send_buf: 64 * 1024,
+        ..Default::default()
+    };
     let (mut c, mut s) = pair(cfg);
     // Push far more than the window; receiver does not read.
     c.app_write(&vec![9u8; 32 * 1024]).unwrap();
@@ -187,9 +189,11 @@ fn receiver_window_closes_and_reopens() {
 
 #[test]
 fn heavy_reordering_still_delivers_in_order() {
-    let mut cfg = TcpConfig::default();
-    cfg.initial_cwnd_mss = 16;
-    cfg.mss = 1000;
+    let cfg = TcpConfig {
+        initial_cwnd_mss: 16,
+        mss: 1000,
+        ..Default::default()
+    };
     let (mut c, mut s) = pair(cfg);
     let payload: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
     c.app_write(&payload).unwrap();
@@ -254,8 +258,10 @@ fn data_after_peer_close_is_still_deliverable() {
 
 #[test]
 fn connect_to_dead_host_times_out_with_error() {
-    let mut cfg = TcpConfig::default();
-    cfg.max_syn_retries = 3;
+    let cfg = TcpConfig {
+        max_syn_retries: 3,
+        ..Default::default()
+    };
     let a = Endpoint::new(HostId(1), 1000);
     let b = Endpoint::new(HostId(9), 80);
     let mut c = Tcb::new_active(cfg, a, b, 100, 0);

@@ -75,7 +75,10 @@ fn run(sched: DiskSched, threads: u64) -> f64 {
 
 fn main() {
     println!("random 4 KB reads from a 1 GB file on a simulated 7200 RPM disk");
-    println!("{:>8} | {:>14} | {:>14}", "threads", "C-LOOK MB/s", "FIFO MB/s");
+    println!(
+        "{:>8} | {:>14} | {:>14}",
+        "threads", "C-LOOK MB/s", "FIFO MB/s"
+    );
     for threads in [1u64, 4, 16, 64, 256] {
         let clook = run(DiskSched::CLook, threads);
         let fifo = run(DiskSched::Fifo, threads);

@@ -111,8 +111,14 @@ fn main() {
         net.stats().sent.load(Ordering::Relaxed),
         retr
     );
-    assert_eq!(echoed_bytes.load(Ordering::SeqCst), (CLIENTS as u64) * (ROUNDS as u64) * MSG as u64);
-    assert!(retr > 0, "with 3% loss some segments must have been dropped");
+    assert_eq!(
+        echoed_bytes.load(Ordering::SeqCst),
+        (CLIENTS as u64) * (ROUNDS as u64) * MSG as u64
+    );
+    assert!(
+        retr > 0,
+        "with 3% loss some segments must have been dropped"
+    );
 }
 
 fn echo_session(conn: Arc<dyn eveth::core::net::Conn>) -> ThreadM<()> {

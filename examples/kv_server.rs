@@ -1,0 +1,136 @@
+//! The second workload: a sharded, memcached-style KV service over the
+//! hybrid runtime, switchable between the kernel-socket model and the
+//! application-level TCP stack by one line — the same switch as the web
+//! server, on a completely different protocol.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example kv_server             # kernel-socket model
+//! cargo run --example kv_server -- tcp      # application-level TCP stack
+//! cargo run --example kv_server -- stm      # TVar-backed shards
+//! cargo run --example kv_server -- tcp stm  # both
+//! ```
+
+use std::sync::Arc;
+
+use eveth::core::net::{Endpoint, HostId, NetStack};
+use eveth::glue;
+use eveth::kv::loadgen::{client_thread, KvLoadConfig, KvLoadStats};
+use eveth::kv::server::{KvConfig, KvServer};
+use eveth::kv::store::{Backend, StoreConfig};
+use eveth::simos::net::{LinkParams, SimNet};
+use eveth::simos::sockets::{FabricParams, SocketFabric};
+use eveth::simos::SimRuntime;
+use eveth::tcp::tcb::TcpConfig;
+
+const CLIENTS: u64 = 24;
+const BATCHES_PER_CONN: usize = 16;
+const PIPELINE_DEPTH: usize = 8;
+
+fn main() {
+    let use_app_tcp = std::env::args().any(|a| a == "tcp");
+    let use_stm = std::env::args().any(|a| a == "stm");
+
+    let sim = SimRuntime::new_default();
+
+    // ---- THE one-line switch (paper §5.2) -------------------------------
+    let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) = if use_app_tcp {
+        let net = SimNet::new(sim.clock(), LinkParams::ethernet_100mbps(), 7);
+        (
+            glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(1), TcpConfig::default()),
+            glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(2), TcpConfig::default()),
+        )
+    } else {
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        (fabric.stack(HostId(1)), fabric.stack(HostId(2)))
+    };
+    // ----------------------------------------------------------------------
+
+    let server = KvServer::new(
+        server_stack,
+        KvConfig {
+            port: 11211,
+            store: StoreConfig {
+                shards: 8,
+                backend: if use_stm {
+                    Backend::Stm
+                } else {
+                    Backend::Mutex
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
+
+    // Load: pipelined get/set mix over zipfian keys.
+    let stats = Arc::new(KvLoadStats::default());
+    let cfg = Arc::new(KvLoadConfig {
+        server: Endpoint::new(HostId(1), 11211),
+        batches_per_conn: BATCHES_PER_CONN,
+        pipeline_depth: PIPELINE_DEPTH,
+        keys: 512,
+        zipf_s: 0.99,
+        set_percent: 20,
+        value_bytes: 100,
+        ttl_secs: 0,
+        seed: 4242,
+    });
+    for id in 0..CLIENTS {
+        sim.spawn(client_thread(
+            Arc::clone(&client_stack),
+            Arc::clone(&cfg),
+            Arc::clone(&stats),
+            id,
+        ));
+    }
+
+    // Drive until every client finished (the server and its janitor run
+    // forever, so block on the clients, not on quiescence).
+    let watch = Arc::clone(&stats);
+    sim.block_on(eveth::loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        eveth::do_m! {
+            eveth::core::syscall::sys_sleep(10 * eveth::core::time::MILLIS);
+            let done <- eveth::core::syscall::sys_nbio(move || watch.clients_done.get());
+            eveth::ThreadM::pure(if done == CLIENTS {
+                eveth::Loop::Break(())
+            } else {
+                eveth::Loop::Continue(())
+            })
+        }
+    }))
+    .expect("load completed");
+
+    let secs = sim.now() as f64 / 1e9;
+    let snap = server.store_snapshot();
+    println!(
+        "stack: {} | shards: {} ({:?} backend)",
+        if use_app_tcp {
+            "application-level TCP (eveth-tcp)"
+        } else {
+            "kernel-socket model"
+        },
+        server.store().shard_count(),
+        server.store().config().backend,
+    );
+    println!(
+        "{} commands answered in {:.3}s virtual ({:.0} commands/s)",
+        stats.responses(),
+        secs,
+        stats.responses() as f64 / secs
+    );
+    println!("client view : {stats}");
+    println!("server view : {snap}");
+    println!(
+        "store       : {} live entries, hit ratio {:.0}%",
+        server.store().len_now(),
+        snap.hit_ratio() * 100.0
+    );
+    assert_eq!(
+        stats.responses(),
+        CLIENTS * (BATCHES_PER_CONN * PIPELINE_DEPTH) as u64,
+        "every pipelined command must be answered"
+    );
+}

@@ -53,7 +53,13 @@ fn main() {
             sys_nbio(|| println!("acquiring resource..."));
             sys_throw::<&str>("disk on fire")
         },
-        |e| ThreadM::pure(if e.message() == "disk on fire" { "handled" } else { "?" }),
+        |e| {
+            ThreadM::pure(if e.message() == "disk on fire" {
+                "handled"
+            } else {
+                "?"
+            })
+        },
     ));
     println!("exception outcome: {outcome}");
 

@@ -17,7 +17,8 @@ const WORKERS: u64 = 8;
 
 fn main() {
     let rt = Runtime::builder().workers(4).build();
-    let accounts: Arc<Vec<TVar<i64>>> = Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
+    let accounts: Arc<Vec<TVar<i64>>> =
+        Arc::new((0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect());
     let completed: TVar<u64> = TVar::new(0);
 
     // --- Transfer workers: move random amounts between random accounts,

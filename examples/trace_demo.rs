@@ -39,7 +39,10 @@ fn client(id: u32) -> ThreadM<()> {
 fn main() {
     println!("building the trace (nothing runs yet — construction is O(1))...");
     let root = server(3).into_trace();
-    println!("first node: {:?} (forcing it would run the thread)\n", root.kind());
+    println!(
+        "first node: {:?} (forcing it would run the thread)\n",
+        root.kind()
+    );
 
     println!("interpreting with a Figure-11 round-robin scheduler:");
     // The ready queue holds traces; the event loop forces one node at a

@@ -104,7 +104,11 @@ fn main() {
     let bytes = stats.bytes.load(Ordering::Relaxed);
     println!(
         "stack: {}",
-        if use_app_tcp { "application-level TCP (eveth-tcp)" } else { "kernel-socket model" }
+        if use_app_tcp {
+            "application-level TCP (eveth-tcp)"
+        } else {
+            "kernel-socket model"
+        }
     );
     println!(
         "served {} responses ({} not found, {} errors) in {:.2}s virtual",

@@ -16,6 +16,8 @@
 //! * [`tcp`] (`eveth-tcp`) — the application-level TCP stack (§4.8);
 //! * [`stm`] (`eveth-stm`) — software transactional memory (§4.7);
 //! * [`http`] (`eveth-http`) — the web-server case study (§5.2);
+//! * [`kv`] (`eveth-kv`) — a sharded, memcached-style key-value service,
+//!   the second workload proving the runtime generalizes beyond HTTP;
 //! * [`glue`] — adapters connecting the pieces across crates.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -25,19 +27,18 @@
 
 pub use eveth_core as core;
 pub use eveth_http as http;
+pub use eveth_kv as kv;
 pub use eveth_simos as simos;
 pub use eveth_stm as stm;
 pub use eveth_tcp as tcp;
 
 pub use eveth_core::{do_m, for_each_m, forever_m, loop_m, map_m, while_m, Loop, ThreadM};
 
-/// Cross-crate adapters.
+/// Cross-crate adapters: wiring the application-level TCP stack over the
+/// simulated packet network — segments become `SimNet` packets (with
+/// modelled wire length), and deliveries are injected back into the
+/// destination host's `worker_tcp_input` queue.
 pub mod glue {
-    //! Wiring the application-level TCP stack over the simulated packet
-    //! network: segments become `SimNet` packets (with modelled wire
-    //! length), and deliveries are injected back into the destination
-    //! host's `worker_tcp_input` queue.
-
     use std::sync::{Arc, Weak};
 
     use eveth_core::engine::RuntimeCtx;
@@ -147,7 +148,10 @@ mod tests {
         assert_eq!(back.len(), 1024);
         assert!(back.iter().all(|&x| x == 0xAB));
         assert!(
-            net.stats().dropped.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            net.stats()
+                .dropped
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0,
             "the lossy link must actually drop segments for this test to bite"
         );
         // 200 KB over 100 Mbps is ≥ 16 ms of serialization alone.

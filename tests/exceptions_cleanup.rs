@@ -38,11 +38,7 @@ impl AioFile for FlakyFile {
 
 /// The paper's send_file: open, copy with a handler that closes the file
 /// and rethrows (Figure 13).
-fn send_file(
-    file: Arc<dyn AioFile>,
-    sent: Arc<AtomicU32>,
-    closed: Arc<AtomicU32>,
-) -> ThreadM<()> {
+fn send_file(file: Arc<dyn AioFile>, sent: Arc<AtomicU32>, closed: Arc<AtomicU32>) -> ThreadM<()> {
     let close_count = Arc::clone(&closed);
     do_m! {
         // "file_open" through the blocking-I/O pool, as the paper does.

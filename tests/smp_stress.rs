@@ -88,16 +88,21 @@ fn mixed_primitive_stress() {
         let seen = Arc::clone(&chan_seen);
         rt.spawn(eveth::forever_m(move || {
             let seen = Arc::clone(&seen);
-            chan.read()
-                .bind(move |_| sys_nbio(move || { seen.fetch_add(1, Ordering::Relaxed); }))
+            chan.read().bind(move |_| {
+                sys_nbio(move || {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                })
+            })
         }));
         let bounded = bounded.clone();
         let seen = Arc::clone(&bounded_seen);
         rt.spawn(eveth::forever_m(move || {
             let seen = Arc::clone(&seen);
-            bounded
-                .read()
-                .bind(move |_| sys_nbio(move || { seen.fetch_add(1, Ordering::Relaxed); }))
+            bounded.read().bind(move |_| {
+                sys_nbio(move || {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                })
+            })
         }));
     }
     // MVar ping to make sure it is exercised under contention too.
@@ -122,7 +127,7 @@ fn mixed_primitive_stress() {
         let watch = watch.clone();
         do_m! {
             sys_sleep(eveth::core::time::MILLIS);
-            let ok <- sys_nbio(move || watch());
+            let ok <- sys_nbio(watch);
             ThreadM::pure(if ok { Loop::Break(()) } else { Loop::Continue(()) })
         }
     }));
@@ -136,7 +141,14 @@ fn mixed_primitive_stress() {
 #[test]
 fn work_is_actually_parallel() {
     // With 4 workers, four CPU-heavy monadic threads should overlap: the
-    // wall time must be well under 4x the single-thread time.
+    // wall time must be well under 4x the single-thread time. That is
+    // physically impossible without multiple CPUs, so skip (rather than
+    // spuriously fail) on single-core machines.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping: needs >= 4 CPUs, have {cores}");
+        return;
+    }
     let rt = Runtime::builder().workers(4).slice(1_000_000).build();
     let spin = || {
         sys_nbio(|| {

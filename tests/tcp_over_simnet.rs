@@ -2,13 +2,13 @@
 //! network, across latency, bandwidth and loss regimes.
 
 use bytes::Bytes;
-use eveth::glue;
 use eveth::core::net::{recv_exact, send_all, Endpoint, HostId, NetStack};
 use eveth::core::syscall::sys_fork;
-use eveth::{do_m, ThreadM};
+use eveth::glue;
 use eveth::simos::net::{LinkParams, SimNet};
 use eveth::simos::SimRuntime;
 use eveth::tcp::tcb::TcpConfig;
+use eveth::{do_m, ThreadM};
 
 fn run_transfer(bytes: usize, loss: f64, seed: u64) -> (u64, u64) {
     let sim = SimRuntime::new_default();

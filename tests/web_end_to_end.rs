@@ -20,14 +20,14 @@ use eveth::{do_m, ThreadM};
 fn store_with_files() -> Arc<MemStore> {
     let files = Arc::new(MemStore::new());
     files.insert_bytes("/index.html", b"<html>hello</html>".to_vec());
-    files.insert_bytes("/big.bin", (0..50_000u32).map(|i| i as u8).collect::<Vec<u8>>());
+    files.insert_bytes(
+        "/big.bin",
+        (0..50_000u32).map(|i| i as u8).collect::<Vec<u8>>(),
+    );
     files
 }
 
-fn stacks(
-    sim: &SimRuntime,
-    use_tcp: bool,
-) -> (Arc<dyn NetStack>, Arc<dyn NetStack>) {
+fn stacks(sim: &SimRuntime, use_tcp: bool) -> (Arc<dyn NetStack>, Arc<dyn NetStack>) {
     if use_tcp {
         let net = SimNet::new(sim.clock(), LinkParams::ethernet_100mbps(), 77);
         (
@@ -141,7 +141,11 @@ fn second_fetch_hits_the_cache() {
     })
     .expect("done");
     assert!(
-        cache.stats().hits.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        cache
+            .stats()
+            .hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
         "second fetch must be served from the cache"
     );
 }
@@ -150,10 +154,14 @@ fn second_fetch_hits_the_cache() {
 fn malformed_request_gets_400_and_close() {
     let sim = SimRuntime::new_default();
     let (server_stack, client_stack) = stacks(&sim, false);
-    let server = WebServer::new(server_stack, store_with_files(), ServerConfig {
-        port: 80,
-        ..Default::default()
-    });
+    let server = WebServer::new(
+        server_stack,
+        store_with_files(),
+        ServerConfig {
+            port: 80,
+            ..Default::default()
+        },
+    );
     sim.spawn(server.run());
     let status = sim
         .block_on(do_m! {
