@@ -52,6 +52,7 @@ fn slice_ablation() {
             SimConfig {
                 cost: CostModel::monadic(),
                 slice,
+                cpus: 1,
             },
         );
         let finished = Arc::new(AtomicU64::new(0));

@@ -1,11 +1,20 @@
 //! KV service throughput — the repository's second workload, benched in
 //! the style of the paper's figures: the same monadic program swept across
-//! client counts, pipeline depths, shard counts, shard backends and both
-//! socket layers, under the monadic cost model.
+//! client counts, pipeline depths, shard counts, shard backends, virtual
+//! CPU counts and both socket layers, under the monadic cost model.
+//!
+//! Every row now carries tail latency (p50/p95/p99 of per-command
+//! virtual-time latency, as the memcached literature reports) and the
+//! store's shard-lock wait total, and the *contention* sweep runs the
+//! zipfian workload across `cpus × shards` on a loopback-class link — the
+//! regime where the multi-CPU simulator makes sharding visible: a hot
+//! shard lock stretches virtual time for every waiter while disjoint
+//! shards overlap.
 //!
 //! Beyond the human-readable table, results land in `BENCH_kv.json` at the
 //! workspace root (via `eveth_bench::tables::write_json_rows`) so future
-//! PRs can track the perf trajectory mechanically.
+//! PRs can track the perf trajectory mechanically; CI fails if the
+//! contended 8-shard configuration stops beating 1 shard.
 //!
 //! Run: `cargo bench --bench fig_kv` (EVETH_FULL=1 for the larger sweep).
 
@@ -17,12 +26,17 @@ struct Sweep {
     clients: Vec<u64>,
     depths: Vec<usize>,
     shards: Vec<usize>,
+    contention_cpus: Vec<usize>,
+    contention_shards: Vec<usize>,
 }
 
 fn base_params() -> KvRunParams {
     KvRunParams {
         cost: CostModel::monadic(),
+        cpus: 1,
+        slice: 256,
         app_tcp: false,
+        loopback: false,
         shards: 8,
         stm: false,
         clients: 16,
@@ -35,8 +49,49 @@ fn base_params() -> KvRunParams {
     }
 }
 
+/// The contended configuration: many pipelining clients on a
+/// loopback-class link with a slice small enough that sessions preempt
+/// inside batches — CPU- and lock-bound, not RTT-bound.
+fn contention_params() -> KvRunParams {
+    KvRunParams {
+        loopback: true,
+        slice: 8,
+        clients: 64,
+        ..base_params()
+    }
+}
+
 fn run(p: KvRunParams) -> KvRunResult {
     kv_server_run(&p)
+}
+
+/// One JSON row with the full column set (identical schema across sweeps).
+fn row(
+    sweep: &str,
+    stack: &str,
+    backend: &str,
+    p: &KvRunParams,
+    r: &KvRunResult,
+) -> Vec<(&'static str, JsonVal)> {
+    vec![
+        ("sweep", JsonVal::Str(sweep.into())),
+        ("stack", JsonVal::Str(stack.into())),
+        ("clients", JsonVal::Int(p.clients)),
+        ("pipeline_depth", JsonVal::Int(p.pipeline_depth as u64)),
+        ("shards", JsonVal::Int(p.shards as u64)),
+        ("backend", JsonVal::Str(backend.into())),
+        ("cpus", JsonVal::Int(p.cpus as u64)),
+        ("slice", JsonVal::Int(p.slice as u64)),
+        ("responses", JsonVal::Int(r.responses)),
+        ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
+        ("hit_ratio", JsonVal::Num(r.hit_ratio())),
+        ("virtual_ns", JsonVal::Int(r.elapsed)),
+        ("p50_ns", JsonVal::Int(r.p50_ns)),
+        ("p95_ns", JsonVal::Int(r.p95_ns)),
+        ("p99_ns", JsonVal::Int(r.p99_ns)),
+        ("lock_wait_ns", JsonVal::Int(r.lock_wait_ns)),
+        ("cpu_utilization", JsonVal::Num(r.cpu_utilization)),
+    ]
 }
 
 fn main() {
@@ -46,19 +101,23 @@ fn main() {
             clients: vec![1, 4, 16, 64, 256, 1024],
             depths: vec![1, 2, 4, 8, 16, 32],
             shards: vec![1, 2, 4, 8, 16, 32],
+            contention_cpus: vec![1, 2, 4, 8],
+            contention_shards: vec![1, 2, 4, 8],
         }
     } else {
         Sweep {
             clients: vec![1, 4, 16, 64],
             depths: vec![1, 4, 16],
             shards: vec![1, 4, 16],
+            contention_cpus: vec![1, 4],
+            contention_shards: vec![1, 8],
         }
     };
     let mut rows: Vec<Vec<(&str, JsonVal)>> = Vec::new();
 
     banner(
         "KV / second workload",
-        "memcached-style KV throughput vs clients, pipeline depth, shards",
+        "memcached-style KV throughput vs clients, depth, shards, CPUs",
         "the §5.2 architecture applied to a second protocol; both sides of the one-line NetStack switch",
     );
 
@@ -70,15 +129,17 @@ fn main() {
     );
     println!("{:->8}-+-{:->14}-+-{:->14}-+-{:->9}", "", "", "", "");
     for &clients in &sweep.clients {
-        let sock = run(KvRunParams {
+        let p_sock = KvRunParams {
             clients,
             ..base_params()
-        });
-        let tcp = run(KvRunParams {
+        };
+        let sock = run(p_sock.clone());
+        let p_tcp = KvRunParams {
             clients,
             app_tcp: true,
             ..base_params()
-        });
+        };
+        let tcp = run(p_tcp.clone());
         println!(
             "{:>8} | {:>14} | {:>14} | {:>8.1}%",
             clients,
@@ -86,55 +147,31 @@ fn main() {
             count(tcp.ops_per_sec as u64),
             sock.hit_ratio() * 100.0
         );
-        for (stack, r) in [("sockets", &sock), ("app-tcp", &tcp)] {
-            rows.push(vec![
-                ("sweep", JsonVal::Str("clients".into())),
-                ("stack", JsonVal::Str(stack.into())),
-                ("clients", JsonVal::Int(clients)),
-                (
-                    "pipeline_depth",
-                    JsonVal::Int(base_params().pipeline_depth as u64),
-                ),
-                ("shards", JsonVal::Int(base_params().shards as u64)),
-                ("backend", JsonVal::Str("mutex".into())),
-                ("responses", JsonVal::Int(r.responses)),
-                ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
-                ("hit_ratio", JsonVal::Num(r.hit_ratio())),
-                ("virtual_ns", JsonVal::Int(r.elapsed)),
-            ]);
-        }
+        rows.push(row("clients", "sockets", "mutex", &p_sock, &sock));
+        rows.push(row("clients", "app-tcp", "mutex", &p_tcp, &tcp));
     }
 
     // ---- throughput vs pipeline depth ------------------------------------
     println!();
     println!(
-        "{:>8} | {:>14} | {:>16}",
-        "depth", "ops/s", "ns/op (virtual)"
+        "{:>8} | {:>14} | {:>12} | {:>12}",
+        "depth", "ops/s", "p50 ns", "p99 ns"
     );
-    println!("{:->8}-+-{:->14}-+-{:->16}", "", "", "");
+    println!("{:->8}-+-{:->14}-+-{:->12}-+-{:->12}", "", "", "", "");
     for &depth in &sweep.depths {
-        let r = run(KvRunParams {
+        let p = KvRunParams {
             pipeline_depth: depth,
             ..base_params()
-        });
+        };
+        let r = run(p.clone());
         println!(
-            "{:>8} | {:>14} | {:>16}",
+            "{:>8} | {:>14} | {:>12} | {:>12}",
             depth,
             count(r.ops_per_sec as u64),
-            count(r.elapsed / r.responses.max(1))
+            count(r.p50_ns),
+            count(r.p99_ns)
         );
-        rows.push(vec![
-            ("sweep", JsonVal::Str("pipeline_depth".into())),
-            ("stack", JsonVal::Str("sockets".into())),
-            ("clients", JsonVal::Int(base_params().clients)),
-            ("pipeline_depth", JsonVal::Int(depth as u64)),
-            ("shards", JsonVal::Int(base_params().shards as u64)),
-            ("backend", JsonVal::Str("mutex".into())),
-            ("responses", JsonVal::Int(r.responses)),
-            ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
-            ("hit_ratio", JsonVal::Num(r.hit_ratio())),
-            ("virtual_ns", JsonVal::Int(r.elapsed)),
-        ]);
+        rows.push(row("pipeline_depth", "sockets", "mutex", &p, &r));
     }
 
     // ---- throughput vs shard count, both backends ------------------------
@@ -145,37 +182,56 @@ fn main() {
     );
     println!("{:->8}-+-{:->14}-+-{:->14}", "", "", "");
     for &shards in &sweep.shards {
-        let mutex = run(KvRunParams {
+        let p_mutex = KvRunParams {
             shards,
             ..base_params()
-        });
-        let stm = run(KvRunParams {
+        };
+        let mutex = run(p_mutex.clone());
+        let p_stm = KvRunParams {
             shards,
             stm: true,
             ..base_params()
-        });
+        };
+        let stm = run(p_stm.clone());
         println!(
             "{:>8} | {:>14} | {:>14}",
             shards,
             count(mutex.ops_per_sec as u64),
             count(stm.ops_per_sec as u64)
         );
-        for (backend, r) in [("mutex", &mutex), ("stm", &stm)] {
-            rows.push(vec![
-                ("sweep", JsonVal::Str("shards".into())),
-                ("stack", JsonVal::Str("sockets".into())),
-                ("clients", JsonVal::Int(base_params().clients)),
-                (
-                    "pipeline_depth",
-                    JsonVal::Int(base_params().pipeline_depth as u64),
-                ),
-                ("shards", JsonVal::Int(shards as u64)),
-                ("backend", JsonVal::Str(backend.into())),
-                ("responses", JsonVal::Int(r.responses)),
-                ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
-                ("hit_ratio", JsonVal::Num(r.hit_ratio())),
-                ("virtual_ns", JsonVal::Int(r.elapsed)),
-            ]);
+        rows.push(row("shards", "sockets", "mutex", &p_mutex, &mutex));
+        rows.push(row("shards", "sockets", "stm", &p_stm, &stm));
+    }
+
+    // ---- contention: cpus × shards on the zipfian workload ---------------
+    println!();
+    println!(
+        "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>5}",
+        "cpus", "shards", "ops/s", "p50 ns", "p99 ns", "lock wait us", "util"
+    );
+    println!(
+        "{:->4}---{:->6}-+-{:->14}-+-{:->12}-+-{:->12}-+-{:->14}-+-{:->5}",
+        "", "", "", "", "", "", ""
+    );
+    for &cpus in &sweep.contention_cpus {
+        for &shards in &sweep.contention_shards {
+            let p = KvRunParams {
+                cpus,
+                shards,
+                ..contention_params()
+            };
+            let r = run(p.clone());
+            println!(
+                "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>4.0}%",
+                cpus,
+                shards,
+                count(r.ops_per_sec as u64),
+                count(r.p50_ns),
+                count(r.p99_ns),
+                count(r.lock_wait_ns / 1000),
+                r.cpu_utilization * 100.0
+            );
+            rows.push(row("contention", "sockets", "mutex", &p, &r));
         }
     }
 
@@ -197,11 +253,17 @@ fn main() {
     ];
     match write_json_rows(&out, &meta, &rows) {
         Ok(()) => println!("\nwrote {} rows to {}", rows.len(), out.display()),
-        Err(e) => eprintln!("\nfailed to write {}: {e}", out.display()),
+        Err(e) => {
+            // Exit nonzero: CI's contention gate reads this file, and a
+            // silent write failure would let it pass on stale data.
+            eprintln!("\nfailed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
     }
-    println!("expected shape: ops/s rises with pipeline depth (fewer round trips)");
-    println!("and with clients until the single simulated CPU saturates;");
-    println!("shard count matters once clients contend on hot shards.");
+    println!("expected shape: ops/s rises with pipeline depth (fewer round trips),");
+    println!("with clients until the simulated CPUs saturate, and — in the");
+    println!("contention sweep — with shard count once cpus >= 4, because the");
+    println!("single hot shard lock serializes what disjoint shards overlap.");
 }
 
 /// The workspace root: prefer CARGO env (set under `cargo bench`), falling

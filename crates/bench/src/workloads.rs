@@ -24,9 +24,19 @@ pub fn mb_per_sec(bytes: u64, dur: Nanos) -> f64 {
     bytes as f64 / (1024.0 * 1024.0) / (dur as f64 / 1e9)
 }
 
-/// Builds a `SimRuntime` with the given cost model.
+/// Builds a single-CPU `SimRuntime` with the given cost model.
 pub fn sim_with(cost: CostModel) -> SimRuntime {
-    SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 256 })
+    sim_with_cpus(cost, 1)
+}
+
+/// Builds a `SimRuntime` with the given cost model and virtual CPU count.
+pub fn sim_with_cpus(cost: CostModel, cpus: usize) -> SimRuntime {
+    sim_with_config(cost, cpus, 256)
+}
+
+/// Builds a `SimRuntime` with explicit cost model, CPU count and slice.
+pub fn sim_with_config(cost: CostModel, cpus: usize, slice: usize) -> SimRuntime {
+    SimRuntime::new(SimClock::new(), SimConfig { cost, slice, cpus })
 }
 
 /// Spawns a sleep-polling waiter that completes when `counter` reaches
@@ -243,10 +253,23 @@ pub fn web_server_run(p: &WebRunParams) -> WebRunResult {
 pub struct KvRunParams {
     /// Cost model for the whole host.
     pub cost: CostModel,
+    /// Virtual CPUs the host schedules turns on (1 = the paper's
+    /// single-processor testbed; more CPUs let disjoint shards overlap
+    /// while a hot shard lock serializes).
+    pub cpus: usize,
+    /// Non-blocking steps per scheduling turn. Large slices make each
+    /// pipelined batch effectively atomic (no lock contention can arise);
+    /// the contention sweeps use a small slice so sessions preempt inside
+    /// batches, as OS scheduling does to real memcached workers.
+    pub slice: usize,
     /// Serve over the application-level TCP stack instead of the
     /// kernel-socket model (the paper's one-line switch, swept as a bench
     /// dimension).
     pub app_tcp: bool,
+    /// Use a loopback-class link (10 µs, 10 Gbps) instead of the default
+    /// 100 Mbps / 100 µs Ethernet. The contention sweeps use this so the
+    /// run is CPU- and lock-bound rather than RTT-bound.
+    pub loopback: bool,
     /// Store shard count.
     pub shards: usize,
     /// Use the `TVar`/STM shard backend instead of the monadic mutex.
@@ -284,6 +307,20 @@ pub struct KvRunResult {
     pub bytes_in: u64,
     /// Client-sent bytes.
     pub bytes_out: u64,
+    /// Median per-command virtual-time latency (batch send → reply).
+    pub p50_ns: Nanos,
+    /// 95th-percentile per-command latency.
+    pub p95_ns: Nanos,
+    /// 99th-percentile per-command latency.
+    pub p99_ns: Nanos,
+    /// Virtual nanoseconds server threads spent waiting on the store's
+    /// shard locks — the contention signal (0 for the STM backend, whose
+    /// contention surfaces as transaction retries).
+    pub lock_wait_ns: Nanos,
+    /// Virtual CPUs the run executed on.
+    pub cpus: usize,
+    /// Mean CPU utilization over the run.
+    pub cpu_utilization: f64,
 }
 
 impl KvRunResult {
@@ -306,13 +343,14 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
     use eveth_kv::server::{KvConfig, KvServer};
     use eveth_kv::store::{Backend, StoreConfig};
 
-    let sim = sim_with(p.cost.clone());
+    let sim = sim_with_config(p.cost.clone(), p.cpus, p.slice);
+    let link = if p.loopback {
+        eveth_simos::net::LinkParams::loopback()
+    } else {
+        eveth_simos::net::LinkParams::ethernet_100mbps()
+    };
     let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) = if p.app_tcp {
-        let net = eveth_simos::net::SimNet::new(
-            sim.clock(),
-            eveth_simos::net::LinkParams::ethernet_100mbps(),
-            p.seed,
-        );
+        let net = eveth_simos::net::SimNet::new(sim.clock(), link, p.seed);
         (
             eveth::glue::tcp_host_over_simnet(
                 sim.ctx(),
@@ -328,7 +366,13 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
             ),
         )
     } else {
-        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        let fabric = SocketFabric::new(
+            sim.clock(),
+            FabricParams {
+                link,
+                ..FabricParams::default()
+            },
+        );
         (fabric.stack(HostId(1)), fabric.stack(HostId(2)))
     };
 
@@ -369,18 +413,22 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
 
     let clients = p.clients;
     let watch = Arc::clone(&stats);
+    // Poll at 50 µs so the measured makespan isn't quantized at the poll
+    // interval when the run itself is only a few milliseconds.
     sim.block_on(loop_m((), move |()| {
         let watch = Arc::clone(&watch);
         do_m! {
-            sys_sleep(MILLIS);
+            sys_sleep(50 * eveth_core::time::MICROS);
             let done <- sys_nbio(move || watch.clients_done.get());
             ThreadM::pure(if done == clients { Loop::Break(()) } else { Loop::Continue(()) })
         }
     }))
     .expect("kv load completed");
 
-    let elapsed = sim.now();
+    let report = sim.report();
+    let elapsed = report.now;
     let responses = stats.responses();
+    let pcts = stats.latency.percentiles(&[50.0, 95.0, 99.0]);
     KvRunResult {
         elapsed,
         responses,
@@ -393,6 +441,12 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
         misses: stats.misses.get(),
         bytes_in: stats.bytes_in.get(),
         bytes_out: stats.bytes_out.get(),
+        p50_ns: pcts[0],
+        p95_ns: pcts[1],
+        p99_ns: pcts[2],
+        lock_wait_ns: server.store().lock_wait_ns(),
+        cpus: report.cpus,
+        cpu_utilization: report.avg_utilization(),
     }
 }
 
@@ -419,7 +473,10 @@ mod tests {
         for app_tcp in [false, true] {
             let r = kv_server_run(&KvRunParams {
                 cost: CostModel::monadic(),
+                cpus: 1,
+                slice: 256,
                 app_tcp,
+                loopback: false,
                 shards: 4,
                 stm: false,
                 clients: 4,
@@ -433,7 +490,80 @@ mod tests {
             assert_eq!(r.responses, 4 * 4 * 4, "app_tcp={app_tcp}");
             assert!(r.ops_per_sec > 0.0);
             assert!(r.hit_ratio() <= 1.0);
+            assert!(r.p99_ns >= r.p50_ns && r.p50_ns > 0);
         }
+    }
+
+    #[test]
+    fn kv_contended_single_shard_reports_lock_wait_and_tail_latency() {
+        // The fig_kv smoke property: one shard under eight pipelining
+        // clients on four virtual CPUs (with a slice small enough that
+        // sessions preempt inside batches) must show real lock contention
+        // (nonzero wait) and a sane latency distribution.
+        let r = kv_server_run(&KvRunParams {
+            cost: CostModel::monadic(),
+            cpus: 4,
+            slice: 8,
+            app_tcp: false,
+            loopback: true,
+            shards: 1,
+            stm: false,
+            clients: 8,
+            batches_per_conn: 8,
+            pipeline_depth: 8,
+            set_percent: 10,
+            keys: 256,
+            value_bytes: 64,
+            seed: 42,
+        });
+        assert_eq!(r.responses, 8 * 8 * 8);
+        assert!(r.p50_ns > 0, "p50 recorded");
+        assert!(r.p99_ns >= r.p50_ns, "p99 {} >= p50 {}", r.p99_ns, r.p50_ns);
+        assert!(
+            r.lock_wait_ns > 0,
+            "a 1-shard/8-client run must report lock wait"
+        );
+        assert_eq!(r.cpus, 4);
+    }
+
+    #[test]
+    fn kv_sharding_beats_single_shard_on_contended_multicpu_workload() {
+        // The regression the multi-CPU model exists to catch: with 4 CPUs
+        // and a contended zipfian workload, 8 shards must strictly
+        // out-throughput 1 shard (the sweep was flat under the old
+        // single-CPU simulator).
+        let run = |shards: usize| {
+            kv_server_run(&KvRunParams {
+                cost: CostModel::monadic(),
+                cpus: 4,
+                slice: 8,
+                app_tcp: false,
+                loopback: true,
+                shards,
+                stm: false,
+                clients: 64,
+                batches_per_conn: 16,
+                pipeline_depth: 8,
+                set_percent: 10,
+                keys: 1024,
+                value_bytes: 100,
+                seed: 42,
+            })
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(
+            eight.ops_per_sec > one.ops_per_sec,
+            "8 shards ({:.0} ops/s) must beat 1 shard ({:.0} ops/s)",
+            eight.ops_per_sec,
+            one.ops_per_sec
+        );
+        assert!(
+            one.lock_wait_ns > eight.lock_wait_ns,
+            "1 shard must spend more time lock-waiting ({} vs {})",
+            one.lock_wait_ns,
+            eight.lock_wait_ns
+        );
     }
 
     #[test]

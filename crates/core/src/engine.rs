@@ -73,6 +73,12 @@ pub trait RuntimeCtx: Send + Sync {
     fn sleep(&self, dur: Nanos, task: Task);
     /// Hands a blocking job to the blocking-I/O pool (paper §4.6).
     fn submit_blio(&self, job: BlioJob, shell: TaskShell);
+    /// Notes that the current task is parking on a scheduler-extension
+    /// wait queue (`sys_park` — mutexes, channels, MVars). Paired with the
+    /// `push_ready` that eventually resumes it, this lets a runtime
+    /// account how long threads spend blocked on synchronization; the
+    /// simulator uses it for its lock-wait totals. Default: no-op.
+    fn task_parked(&self, _tid: TaskId) {}
 }
 
 /// Interprets one scheduling turn of `task`: forces trace nodes and performs
@@ -183,6 +189,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
             }
             Trace::Park(register, k) => {
                 ctx.charge(CostKind::Park);
+                ctx.task_parked(task.tid());
                 task.set_next(k);
                 let unparker = Unparker::new(task, Arc::clone(ctx));
                 register(unparker);

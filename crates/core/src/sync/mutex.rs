@@ -5,11 +5,13 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::reactor::Unparker;
-use crate::syscall::{sys_finally, sys_nbio, sys_park};
+use crate::syscall::{sys_finally, sys_nbio, sys_park, sys_time};
 use crate::thread::{loop_m, Loop, ThreadM};
+use crate::time::Nanos;
 
 struct MxState {
     locked: bool,
@@ -18,6 +20,11 @@ struct MxState {
 
 struct MutexInner {
     st: parking_lot::Mutex<MxState>,
+    /// Nanoseconds (runtime time: wall or virtual) threads spent waiting
+    /// for this mutex while it was held elsewhere.
+    contended_ns: AtomicU64,
+    /// Lock acquisitions that had to wait at least once.
+    contentions: AtomicU64,
 }
 
 /// A mutual-exclusion lock whose `lock` blocks the *monadic* thread, never
@@ -57,6 +64,8 @@ impl Mutex {
                     locked: false,
                     waiters: VecDeque::new(),
                 }),
+                contended_ns: AtomicU64::new(0),
+                contentions: AtomicU64::new(0),
             }),
         }
     }
@@ -79,12 +88,16 @@ impl Mutex {
     }
 
     /// Acquires the lock, parking the monadic thread while it is held
-    /// elsewhere.
+    /// elsewhere. Contended acquisitions measure the time from the first
+    /// failed attempt to the successful one and add it to this mutex's
+    /// wait bookkeeping ([`Mutex::contended_ns`]) — which is how the KV
+    /// store's shard locks report how much virtual time contention cost.
     pub fn lock(&self) -> ThreadM<()> {
         let inner = Arc::clone(&self.inner);
-        loop_m((), move |()| {
+        loop_m(None::<Nanos>, move |waited_since| {
             let try_inner = Arc::clone(&inner);
             let park_inner = Arc::clone(&inner);
+            let done_inner = Arc::clone(&inner);
             sys_nbio(move || {
                 let mut st = try_inner.st.lock();
                 if st.locked {
@@ -96,9 +109,17 @@ impl Mutex {
             })
             .bind(move |acquired| {
                 if acquired {
-                    ThreadM::pure(Loop::Break(()))
+                    match waited_since {
+                        None => ThreadM::pure(Loop::Break(())),
+                        Some(t0) => sys_time().map(move |t1| {
+                            done_inner
+                                .contended_ns
+                                .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                            Loop::Break(())
+                        }),
+                    }
                 } else {
-                    sys_park(move |u| {
+                    let park = sys_park(move |u| {
                         let mut st = park_inner.st.lock();
                         if st.locked {
                             st.waiters.push_back(u);
@@ -108,8 +129,14 @@ impl Mutex {
                             drop(st);
                             u.unpark();
                         }
-                    })
-                    .map(|_| Loop::Continue(()))
+                    });
+                    match waited_since {
+                        Some(t0) => park.map(move |_| Loop::Continue(Some(t0))),
+                        None => sys_time().bind(move |t0| {
+                            done_inner.contentions.fetch_add(1, Ordering::Relaxed);
+                            park.map(move |_| Loop::Continue(Some(t0)))
+                        }),
+                    }
                 }
             })
         })
@@ -143,6 +170,18 @@ impl Mutex {
     /// Number of threads parked on this mutex.
     pub fn waiters(&self) -> usize {
         self.inner.st.lock().waiters.len()
+    }
+
+    /// Total nanoseconds (runtime time: wall-clock under [`crate::runtime::Runtime`],
+    /// virtual under simulation) threads spent waiting to acquire this
+    /// mutex while it was held elsewhere.
+    pub fn contended_ns(&self) -> u64 {
+        self.inner.contended_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquisitions that had to wait at least once.
+    pub fn contentions(&self) -> u64 {
+        self.inner.contentions.load(Ordering::Relaxed)
     }
 }
 
@@ -249,5 +288,37 @@ mod tests {
     fn debug_shows_state() {
         let m = Mutex::new();
         assert!(format!("{m:?}").contains("locked=false"));
+    }
+
+    #[test]
+    fn contended_wait_is_accounted() {
+        use crate::engine::testing::noop_ctx;
+        // CountingCtx's clock ticks once per now() call, so any park →
+        // acquire span measures > 0.
+        let ctx = noop_ctx();
+        let m = Mutex::new();
+        assert!(m.try_lock_now(), "hold the lock externally");
+        let m2 = m.clone();
+        ctx.spawn(crate::do_m! { m2.lock(); m2.unlock() });
+        ctx.run_all(128);
+        assert_eq!(m.contentions(), 1, "the lock() attempt must have waited");
+        assert_eq!(m.contended_ns(), 0, "wait still in progress");
+        let m3 = m.clone();
+        ctx.spawn(m3.unlock());
+        ctx.run_all(128);
+        assert!(m.contended_ns() > 0, "completed wait recorded");
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn uncontended_lock_records_no_wait() {
+        use crate::engine::testing::noop_ctx;
+        let ctx = noop_ctx();
+        let m = Mutex::new();
+        let m2 = m.clone();
+        ctx.spawn(crate::do_m! { m2.lock(); m2.unlock() });
+        ctx.run_all(128);
+        assert_eq!(m.contentions(), 0);
+        assert_eq!(m.contended_ns(), 0);
     }
 }

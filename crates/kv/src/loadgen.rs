@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::net::{send_all, Conn, Endpoint, NetStack};
-use eveth_core::syscall::sys_nbio;
+use eveth_core::syscall::{sys_nbio, sys_time};
+use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Loop, ThreadM};
 
 use crate::protocol::{Reply, ReplyParser};
-use crate::stats::Counter;
+use crate::stats::{Counter, LatencyHistogram};
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -75,6 +76,9 @@ pub struct KvLoadStats {
     pub bytes_out: Counter,
     /// Clients that finished their run.
     pub clients_done: Counter,
+    /// Per-command virtual-time latency (batch send → reply observed),
+    /// with exact p50/p95/p99 — the tail-latency columns of `fig_kv`.
+    pub latency: LatencyHistogram,
 }
 
 impl KvLoadStats {
@@ -203,6 +207,7 @@ pub fn client_thread(
                     let conn2 = Arc::clone(&conn);
                     let n_out = wire.len() as u64;
                     do_m! {
+                        let t_send <- sys_time();
                         let sent <- send_all(&conn2, Bytes::from(wire));
                         match sent {
                             Err(_) => {
@@ -215,14 +220,19 @@ pub fn client_thread(
                             }
                             Ok(()) => {
                                 stats2.bytes_out.add(n_out);
-                                read_replies(Arc::clone(&conn2), Arc::clone(&stats2), expected)
-                                    .map(move |ok| {
-                                        if ok {
-                                            Loop::Continue((rng, batch + 1))
-                                        } else {
-                                            Loop::Break(())
-                                        }
-                                    })
+                                read_replies(
+                                    Arc::clone(&conn2),
+                                    Arc::clone(&stats2),
+                                    expected,
+                                    t_send,
+                                )
+                                .map(move |ok| {
+                                    if ok {
+                                        Loop::Continue((rng, batch + 1))
+                                    } else {
+                                        Loop::Break(())
+                                    }
+                                })
                             }
                         }
                     }
@@ -235,8 +245,17 @@ pub fn client_thread(
 
 /// Folds one reply into the batch accounting. An `END` closes a get (its
 /// preceding `VALUE` lines are the hits), `STORED`/`NOT_FOUND`/numbers
-/// close their command.
-fn account(reply: Reply, stats: &KvLoadStats, answered: &mut usize, hits_in_get: &mut u64) {
+/// close their command. Each closed command records `lat_ns` — the
+/// virtual time between the batch send and the chunk that answered it —
+/// into the latency histogram.
+fn account(
+    reply: Reply,
+    stats: &KvLoadStats,
+    answered: &mut usize,
+    hits_in_get: &mut u64,
+    lat_ns: Nanos,
+) {
+    let before = *answered;
     match reply {
         Reply::Value { .. } => *hits_in_get += 1,
         Reply::End => {
@@ -258,17 +277,28 @@ fn account(reply: Reply, stats: &KvLoadStats, answered: &mut usize, hits_in_get:
         }
         Reply::Stat(..) | Reply::Version(_) => {}
     }
+    if *answered > before {
+        stats.latency.record(lat_ns);
+    }
 }
 
-/// Reads until `expected` commands are fully answered. Returns false on
-/// transport or protocol failure.
-fn read_replies(conn: Arc<dyn Conn>, stats: Arc<KvLoadStats>, expected: usize) -> ThreadM<bool> {
+/// Reads until `expected` commands are fully answered, attributing each
+/// command a latency of (reply arrival − `sent_at`, virtual time).
+/// Returns false on transport or protocol failure.
+fn read_replies(
+    conn: Arc<dyn Conn>,
+    stats: Arc<KvLoadStats>,
+    expected: usize,
+    sent_at: Nanos,
+) -> ThreadM<bool> {
     loop_m(
-        (ReplyParser::new(), 0usize, 0u64),
-        move |(mut parser, mut answered, mut hits_in_get)| {
+        (ReplyParser::new(), 0usize, 0u64, sent_at),
+        move |(mut parser, mut answered, mut hits_in_get, arrived_at)| {
             let stats = Arc::clone(&stats);
             let conn = Arc::clone(&conn);
-            // Drain everything already buffered before touching the socket.
+            // Drain everything already buffered before touching the
+            // socket; these replies came in with the previous chunk.
+            let lat = arrived_at.saturating_sub(sent_at);
             loop {
                 match parser.feed(b"") {
                     Err(_) => {
@@ -276,7 +306,7 @@ fn read_replies(conn: Arc<dyn Conn>, stats: Arc<KvLoadStats>, expected: usize) -
                         return ThreadM::pure(Loop::Break(false));
                     }
                     Ok(None) => break,
-                    Ok(Some(reply)) => account(reply, &stats, &mut answered, &mut hits_in_get),
+                    Ok(Some(reply)) => account(reply, &stats, &mut answered, &mut hits_in_get, lat),
                 }
             }
             if answered >= expected {
@@ -291,7 +321,7 @@ fn read_replies(conn: Arc<dyn Conn>, stats: Arc<KvLoadStats>, expected: usize) -
                     stats.transport_errors.incr();
                     ThreadM::pure(Loop::Break(false))
                 }
-                Ok(chunk) => {
+                Ok(chunk) => sys_time().bind(move |now| {
                     stats.bytes_in.add(chunk.len() as u64);
                     match parser.feed(&chunk) {
                         Err(_) => {
@@ -300,12 +330,18 @@ fn read_replies(conn: Arc<dyn Conn>, stats: Arc<KvLoadStats>, expected: usize) -
                         }
                         Ok(first) => {
                             if let Some(reply) = first {
-                                account(reply, &stats, &mut answered, &mut hits_in_get);
+                                account(
+                                    reply,
+                                    &stats,
+                                    &mut answered,
+                                    &mut hits_in_get,
+                                    now.saturating_sub(sent_at),
+                                );
                             }
-                            ThreadM::pure(Loop::Continue((parser, answered, hits_in_get)))
+                            ThreadM::pure(Loop::Continue((parser, answered, hits_in_get, now)))
                         }
                     }
-                }
+                }),
             })
         },
     )

@@ -25,6 +25,84 @@ impl Counter {
     }
 }
 
+/// A latency recorder with exact nearest-rank percentiles.
+///
+/// Samples are virtual-time nanoseconds, so the workloads record at most a
+/// few hundred thousand of them per run — storing every sample exactly is
+/// cheaper and stricter than a lossy log-bucketed histogram, and keeps the
+/// percentile math deterministic (the tail-latency columns of `fig_kv`
+/// must be bit-reproducible run over run).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    samples: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (nanoseconds).
+    pub fn record(&self, ns: u64) {
+        self.samples.lock().push(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// The nearest-rank `p`th percentile (`0 < p <= 100`) over every
+    /// recorded sample: the smallest sample such that at least `p%` of
+    /// samples are `<=` it. Returns 0 when nothing was recorded.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several percentiles from a single sort — what the bench harness
+    /// uses to pull p50/p95/p99 without re-sorting the samples per call.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<u64> {
+        let mut sorted = self.samples.lock().clone();
+        if sorted.is_empty() {
+            return vec![0; ps.len()];
+        }
+        sorted.sort_unstable();
+        ps.iter()
+            .map(|p| {
+                let p = p.clamp(0.0, 100.0);
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            })
+            .collect()
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Maximum recorded latency (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.lock().iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// Counters kept independently per shard (no cross-shard contention).
 #[derive(Debug, Default)]
 pub struct ShardStats {
@@ -148,5 +226,37 @@ mod tests {
     #[test]
     fn hit_ratio_of_idle_store_is_one() {
         assert_eq!(StatsSnapshot::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_exact_nearest_rank() {
+        // 100 known samples 1..=100 ns: nearest-rank percentiles are the
+        // sample at the ceil(p * n / 100)th position.
+        let h = LatencyHistogram::new();
+        for v in (1..=100u64).rev() {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 95);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(1.0), 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn latency_percentiles_on_small_sets_and_empty() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        // n = 3: p50 → rank ceil(1.5) = 2 → 20; p95/p99 → rank 3 → 30.
+        assert_eq!(h.p50(), 20);
+        assert_eq!(h.p95(), 30);
+        assert_eq!(h.p99(), 30);
+        assert!(h.p99() >= h.p50());
     }
 }

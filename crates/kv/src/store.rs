@@ -166,6 +166,25 @@ impl ShardedStore {
         (fnv1a(key) % self.shard_count() as u64) as usize
     }
 
+    /// Total nanoseconds threads spent waiting on shard locks (summed
+    /// across shards) — the store-level contention signal `fig_kv`
+    /// reports. Always 0 for the STM backend, whose contention shows up
+    /// as transaction retries instead of lock waits.
+    pub fn lock_wait_ns(&self) -> u64 {
+        match &self.shards {
+            Shards::Mutex(shards) => shards.iter().map(|s| s.gate.contended_ns()).sum(),
+            Shards::Stm(_) => 0,
+        }
+    }
+
+    /// Shard-lock acquisitions that had to wait (0 for the STM backend).
+    pub fn lock_contentions(&self) -> u64 {
+        match &self.shards {
+            Shards::Mutex(shards) => shards.iter().map(|s| s.gate.contentions()).sum(),
+            Shards::Stm(_) => 0,
+        }
+    }
+
     /// Converts a protocol `exptime` (relative seconds, 0 = never) into an
     /// absolute deadline.
     pub fn deadline(now: Nanos, exptime_secs: u64) -> Option<Nanos> {

@@ -1,0 +1,206 @@
+//! Protocol edge cases, each asserted under BOTH socket layers — the
+//! simulated kernel-socket fabric and the application-level TCP stack over
+//! the simulated packet network:
+//!
+//! * a `set` whose declared size sits exactly at the value cap (and one
+//!   byte over it);
+//! * `noreply` split across a receive-chunk boundary;
+//! * one pipelined command straddling three separate reads;
+//! * `incr` wraparound at `u64::MAX` and `decr` flooring at zero.
+//!
+//! The wire bytes are shipped in deliberately awkward chunks with virtual
+//! sleeps between them, so the server's incremental parser actually sees
+//! the split input.
+
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use eveth_core::engine::RuntimeCtx;
+use eveth_core::net::{recv_to_end, send_all, Endpoint, HostId, NetStack};
+use eveth_core::syscall::sys_sleep;
+use eveth_core::time::MILLIS;
+use eveth_core::{do_m, for_each_m};
+use eveth_kv::server::{KvConfig, KvServer};
+use eveth_kv::store::StoreConfig;
+use eveth_simos::net::{LinkParams, SimNet};
+use eveth_simos::sockets::{FabricParams, SocketFabric};
+use eveth_simos::SimRuntime;
+use eveth_tcp::host::TcpHost;
+use eveth_tcp::segment::Segment;
+use eveth_tcp::tcb::TcpConfig;
+use eveth_tcp::transport::SegmentTransport;
+
+/// Minimal local copy of the facade's SimNet glue (the `eveth` crate is
+/// not visible from here): segments travel as SimNet packets.
+struct NetTransport {
+    net: Arc<SimNet>,
+}
+
+impl SegmentTransport for NetTransport {
+    fn send(&self, src: HostId, dst: HostId, seg: Segment) {
+        let wire = seg.wire_len();
+        self.net.send(src, dst, wire, Box::new(seg));
+    }
+}
+
+fn tcp_host(ctx: Arc<dyn RuntimeCtx>, net: &Arc<SimNet>, host: HostId) -> Arc<TcpHost> {
+    let tcp = TcpHost::start(
+        ctx,
+        host,
+        Arc::new(NetTransport {
+            net: Arc::clone(net),
+        }),
+        TcpConfig::default(),
+    );
+    let weak: Weak<TcpHost> = Arc::downgrade(&tcp);
+    net.register_host(
+        host,
+        Arc::new(move |src, pkt| {
+            if let (Some(host), Ok(seg)) = (weak.upgrade(), pkt.downcast::<Segment>()) {
+                host.inject(src, *seg);
+            }
+        }),
+    );
+    tcp
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Stack {
+    KernelSockets,
+    AppTcp,
+}
+
+const STACKS: [Stack; 2] = [Stack::KernelSockets, Stack::AppTcp];
+
+/// Starts a KV server on a fresh simulation over the given stack, ships
+/// `chunks` with 5 ms virtual gaps between them (so each arrives as its
+/// own read), and returns everything the server replied until it closed.
+fn run_session(stack: Stack, max_value_bytes: usize, chunks: &[&[u8]]) -> String {
+    let sim = SimRuntime::new_default();
+    let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) = match stack {
+        Stack::KernelSockets => {
+            let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+            (fabric.stack(HostId(1)), fabric.stack(HostId(2)))
+        }
+        Stack::AppTcp => {
+            let net = SimNet::new(sim.clock(), LinkParams::ethernet_100mbps(), 7);
+            (
+                tcp_host(sim.ctx(), &net, HostId(1)),
+                tcp_host(sim.ctx(), &net, HostId(2)),
+            )
+        }
+    };
+
+    let server = KvServer::new(
+        server_stack,
+        KvConfig {
+            port: 11211,
+            store: StoreConfig {
+                shards: 2,
+                max_value_bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
+
+    let chunks: Arc<Vec<Bytes>> =
+        Arc::new(chunks.iter().map(|c| Bytes::from(c.to_vec())).collect());
+    let reply = sim
+        .block_on(do_m! {
+            let conn <- client_stack.connect(Endpoint::new(HostId(1), 11211));
+            let conn = conn.unwrap();
+            let conn2 = Arc::clone(&conn);
+            for_each_m(0..chunks.len(), move |i| {
+                let conn = Arc::clone(&conn);
+                let chunk = chunks[i].clone();
+                do_m! {
+                    let sent <- send_all(&conn, chunk);
+                    let _ = sent.expect("send");
+                    sys_sleep(5 * MILLIS)
+                }
+            });
+            recv_to_end(&conn2, 64 * 1024)
+        })
+        .expect("session completed")
+        .expect("recv");
+    String::from_utf8(reply.to_vec()).expect("replies are ASCII")
+}
+
+#[test]
+fn declared_size_exactly_at_value_cap_is_stored() {
+    for stack in STACKS {
+        let value = vec![b'v'; 64];
+        let mut set = b"set k 0 0 64\r\n".to_vec();
+        set.extend_from_slice(&value);
+        set.extend_from_slice(b"\r\n");
+        let reply = run_session(stack, 64, &[&set, b"get k\r\nquit\r\n"]);
+        let expect = format!("STORED\r\nVALUE k 0 64\r\n{}\r\nEND\r\n", "v".repeat(64));
+        assert_eq!(reply, expect, "{stack:?}");
+    }
+}
+
+#[test]
+fn declared_size_one_over_the_cap_is_rejected_before_buffering() {
+    for stack in STACKS {
+        // The command line alone declares 65 bytes: the server answers
+        // CLIENT_ERROR and closes without ever reading the payload.
+        let reply = run_session(stack, 64, &[b"set k 0 0 65\r\n"]);
+        assert_eq!(reply, "CLIENT_ERROR value too large\r\n", "{stack:?}");
+    }
+}
+
+#[test]
+fn noreply_split_across_chunk_boundary_suppresses_the_reply() {
+    for stack in STACKS {
+        // The token "noreply" (and the payload) straddle the boundary:
+        // the only reply on the wire must be the get's.
+        let reply = run_session(
+            stack,
+            1024,
+            &[b"set k 0 0 3 norep", b"ly\r\nabc\r\n", b"get k\r\nquit\r\n"],
+        );
+        assert_eq!(reply, "VALUE k 0 3\r\nabc\r\nEND\r\n", "{stack:?}");
+    }
+}
+
+#[test]
+fn pipelined_command_straddles_three_reads() {
+    for stack in STACKS {
+        // One `set` split across three reads, with the trailing `get`
+        // itself split over the last two.
+        let reply = run_session(
+            stack,
+            1024,
+            &[b"set kk 0 0 5\r\nhe", b"llo\r\nget k", b"k\r\nquit\r\n"],
+        );
+        assert_eq!(
+            reply, "STORED\r\nVALUE kk 0 5\r\nhello\r\nEND\r\n",
+            "{stack:?}"
+        );
+    }
+}
+
+#[test]
+fn incr_wraps_at_u64_max_and_decr_floors_at_zero() {
+    for stack in STACKS {
+        let wire = b"set n 0 0 20\r\n18446744073709551615\r\nincr n 1\r\nset m 0 0 1\r\n3\r\ndecr m 5\r\nquit\r\n";
+        let reply = run_session(stack, 1024, &[wire]);
+        // memcached semantics: incr wraps modulo 2^64, decr saturates at 0.
+        assert_eq!(reply, "STORED\r\n0\r\nSTORED\r\n0\r\n", "{stack:?}");
+    }
+}
+
+#[test]
+fn wrapped_counter_remains_usable() {
+    for stack in STACKS {
+        // After wrapping to 0, further incrs count up from zero again.
+        let wire = b"set n 0 0 20\r\n18446744073709551615\r\nincr n 6\r\nget n\r\nquit\r\n";
+        let reply = run_session(stack, 1024, &[wire]);
+        assert_eq!(
+            reply, "STORED\r\n5\r\nVALUE n 0 1\r\n5\r\nEND\r\n",
+            "{stack:?}"
+        );
+    }
+}

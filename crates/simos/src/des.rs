@@ -91,6 +91,16 @@ impl SimClock {
         self.state.lock().now += dur;
     }
 
+    /// Sets the clock to an absolute time. The multi-CPU simulated runtime
+    /// uses this to switch the clock between per-CPU time contexts before
+    /// and after each scheduling turn; moving backwards is deliberate and
+    /// sound (a lagging CPU executing concurrently with a further-ahead
+    /// one), because pending events still fire strictly in timestamp
+    /// order.
+    pub fn set_now(&self, t: Nanos) {
+        self.state.lock().now = t;
+    }
+
     /// Schedules `f` to run `delay` nanoseconds from now.
     pub fn schedule(&self, delay: Nanos, f: impl FnOnce() + Send + 'static) {
         let mut st = self.state.lock();

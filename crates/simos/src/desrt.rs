@@ -8,8 +8,34 @@
 //! [`CostModel::monadic`] and again under [`CostModel::nptl`] produces the
 //! paired lines of the paper's Figures 17–19 — the Lauer–Needham duality in
 //! action: identical semantics, different cost structure.
+//!
+//! # Multi-CPU virtual time
+//!
+//! [`SimConfig::cpus`] selects how many virtual CPUs execute scheduler
+//! turns. Each CPU keeps its own clock *frontier* — the virtual time up to
+//! which it has executed — and every turn is charged to the CPU it ran on:
+//!
+//! * a turn starts at `max(cpu frontier, task ready time)` — a CPU never
+//!   runs a task before the event that made it runnable, and a task never
+//!   runs before the CPU that picks it up is free;
+//! * every [`CostModel`] charge made during the turn advances that CPU's
+//!   clock only, so turns on different CPUs overlap in virtual time;
+//! * device events fire when the *earliest* CPU frontier reaches their
+//!   deadline (the conservative discrete-event rule), and event-loop
+//!   dispatch cost is charged to the CPU that harvests the events;
+//! * time a thread spends parked on a synchronization wait queue
+//!   (`sys_park`: mutexes, channels, MVars) is accounted as *lock wait* —
+//!   a hot lock stretches every waiter's completion time while disjoint
+//!   work overlaps, which is what makes sharding visible in virtual
+//!   throughput.
+//!
+//! The simulation itself stays single-OS-threaded and fully deterministic:
+//! CPU selection is lowest-frontier with a stable index tie-break, the
+//! ready queue is FIFO, so the same seed and config produce a
+//! byte-identical [`SimReport`] for any `cpus`. With `cpus = 1` the model
+//! reduces exactly to the original single-CPU schedule.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,6 +59,11 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Non-blocking steps per scheduling turn (see the slice ablation).
     pub slice: usize,
+    /// Virtual CPUs executing scheduler turns (clamped to at least 1).
+    /// `1` reproduces the original fully-serialized schedule; higher
+    /// values let independent turns overlap in virtual time, making
+    /// contention (hot locks, too few shards) visible in the clock.
+    pub cpus: usize,
 }
 
 impl Default for SimConfig {
@@ -40,6 +71,7 @@ impl Default for SimConfig {
         SimConfig {
             cost: CostModel::monadic(),
             slice: 256,
+            cpus: 1,
         }
     }
 }
@@ -63,10 +95,70 @@ impl fmt::Display for SpawnError {
 
 impl std::error::Error for SpawnError {}
 
+/// A runnable task plus the virtual time it became runnable — a CPU may
+/// not start it earlier.
+struct ReadyEntry {
+    task: Task,
+    ready_at: Nanos,
+}
+
+/// Per-CPU clock frontiers and busy-time accounting.
+struct CpuState {
+    /// Virtual time up to which each CPU has executed.
+    frontier: Vec<Nanos>,
+    /// Virtual nanoseconds each CPU spent executing turns (and harvesting
+    /// events), as opposed to sitting idle.
+    busy: Vec<Nanos>,
+    /// Clock value at the end of the last scheduling step; any clock
+    /// advance beyond it happened outside a turn (e.g. `spawn` charging
+    /// `Fork` from the host) and is absorbed into the next turn's CPU.
+    last_synced: Nanos,
+}
+
+impl CpuState {
+    fn new(cpus: usize) -> Self {
+        CpuState {
+            frontier: vec![0; cpus],
+            busy: vec![0; cpus],
+            last_synced: 0,
+        }
+    }
+
+    /// The CPU with the lowest frontier (stable tie-break: lowest index).
+    fn min_cpu(&self) -> usize {
+        let mut best = 0;
+        for (i, &f) in self.frontier.iter().enumerate() {
+            if f < self.frontier[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn max_frontier(&self) -> Nanos {
+        self.frontier.iter().copied().max().unwrap_or(0)
+    }
+
+    fn min_frontier(&self) -> Nanos {
+        self.frontier.iter().copied().min().unwrap_or(0)
+    }
+}
+
 struct SimInner {
     self_weak: std::sync::Weak<SimInner>,
     clock: SimClock,
-    ready: Mutex<VecDeque<Task>>,
+    ready: Mutex<VecDeque<ReadyEntry>>,
+    cpus: Mutex<CpuState>,
+    /// Per-task floor on resume time: the virtual instant the task's last
+    /// turn ended. A wake event raised from a lagging CPU's clock context
+    /// (its unlock may carry an *earlier* virtual timestamp than the
+    /// waiter's own frontier) must never send the waiter's time backwards:
+    /// its next turn starts at `max(wake time, floor)`.
+    resume_floor: Mutex<HashMap<TaskId, Nanos>>,
+    /// Tasks currently parked on a sync wait queue → park time.
+    park_since: Mutex<HashMap<TaskId, Nanos>>,
+    lock_wait_ns: AtomicU64,
+    lock_waits: AtomicU64,
     next_tid: AtomicU64,
     live: AtomicI64,
     peak_live: AtomicI64,
@@ -98,7 +190,20 @@ impl EventPort for SimPort {
 
 impl RuntimeCtx for SimInner {
     fn push_ready(&self, task: Task) {
-        self.ready.lock().push_back(task);
+        let tid = task.tid();
+        // The task cannot run before both the wake that readied it and
+        // the end of its own last turn (per-task time is monotone even
+        // when the waker's CPU clock lags this task's).
+        let floor = self.resume_floor.lock().get(&tid).copied().unwrap_or(0);
+        let ready_at = self.clock.now().max(floor);
+        if let Some(parked_at) = self.park_since.lock().remove(&tid) {
+            // Measured on the task's own timeline; a wake whose event
+            // time predates the park charges zero wait.
+            self.lock_wait_ns
+                .fetch_add(ready_at.saturating_sub(parked_at), Ordering::Relaxed);
+            self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ready.lock().push_back(ReadyEntry { task, ready_at });
     }
     fn next_tid(&self) -> TaskId {
         TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
@@ -139,7 +244,7 @@ impl RuntimeCtx for SimInner {
         let weak = self.self_weak.clone();
         self.clock.schedule(dur, move || {
             if let Some(inner) = weak.upgrade() {
-                inner.ready.lock().push_back(task);
+                inner.push_ready(task);
             }
         });
     }
@@ -147,14 +252,18 @@ impl RuntimeCtx for SimInner {
         // The blocking pool runs the job "elsewhere"; model only the
         // dispatch cost and deliver the continuation immediately.
         let next = job();
-        self.ready.lock().push_back(Task::from_parts(shell, next));
+        self.push_ready(Task::from_parts(shell, next));
+    }
+    fn task_parked(&self, tid: TaskId) {
+        self.park_since.lock().insert(tid, self.clock.now());
     }
 }
 
 /// Outcome summary of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
-    /// Virtual time at which the run stopped.
+    /// Virtual time at which the run stopped (the makespan: the furthest
+    /// CPU frontier).
     pub now: Nanos,
     /// Scheduler statistics.
     pub stats: StatsSnapshot,
@@ -164,9 +273,46 @@ pub struct SimReport {
     pub peak_stack_bytes: u64,
     /// Exceptions that escaped their threads.
     pub uncaught: Vec<(TaskId, Exception)>,
+    /// Number of virtual CPUs the run executed on.
+    pub cpus: usize,
+    /// Virtual nanoseconds each CPU spent executing (turns + event
+    /// dispatch); `busy / now` is that CPU's utilization.
+    pub cpu_busy_ns: Vec<Nanos>,
+    /// Total virtual nanoseconds threads spent parked on synchronization
+    /// wait queues (`sys_park`: mutexes, channels, MVars, semaphores).
+    pub lock_wait_ns: Nanos,
+    /// Number of park→resume wait episodes behind [`SimReport::lock_wait_ns`].
+    pub lock_waits: u64,
 }
 
-/// A single-CPU, virtual-time runtime for monadic threads.
+impl SimReport {
+    /// Per-CPU utilization over the whole run (`busy / makespan`), empty
+    /// only if the run never started.
+    pub fn cpu_utilization(&self) -> Vec<f64> {
+        self.cpu_busy_ns
+            .iter()
+            .map(|&b| {
+                if self.now == 0 {
+                    0.0
+                } else {
+                    b as f64 / self.now as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Mean utilization across CPUs.
+    pub fn avg_utilization(&self) -> f64 {
+        if self.cpu_busy_ns.is_empty() {
+            return 0.0;
+        }
+        self.cpu_utilization().iter().sum::<f64>() / self.cpu_busy_ns.len() as f64
+    }
+}
+
+/// A virtual-time runtime for monadic threads, with `M` simulated CPUs
+/// (see the module docs; `cpus = 1` is the paper's single-processor
+/// testbed).
 ///
 /// # Examples
 ///
@@ -193,10 +339,16 @@ impl SimRuntime {
     /// Creates a runtime with the given clock and configuration. Devices
     /// that should share virtual time must be built from the same clock.
     pub fn new(clock: SimClock, config: SimConfig) -> Self {
+        let cpus = config.cpus.max(1);
         let inner = Arc::new_cyclic(|weak| SimInner {
             self_weak: weak.clone(),
             clock,
             ready: Mutex::new(VecDeque::new()),
+            cpus: Mutex::new(CpuState::new(cpus)),
+            resume_floor: Mutex::new(HashMap::new()),
+            park_since: Mutex::new(HashMap::new()),
+            lock_wait_ns: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
             next_tid: AtomicU64::new(1),
             live: AtomicI64::new(0),
             peak_live: AtomicI64::new(0),
@@ -207,7 +359,7 @@ impl SimRuntime {
         SimRuntime { inner, config }
     }
 
-    /// A fresh clock + default (monadic) configuration.
+    /// A fresh clock + default (monadic, single-CPU) configuration.
     pub fn new_default() -> Self {
         SimRuntime::new(SimClock::new(), SimConfig::default())
     }
@@ -228,7 +380,7 @@ impl SimRuntime {
         let tid = self.inner.next_tid();
         self.inner.task_spawned();
         self.inner.charge(CostKind::Fork);
-        self.inner.ready.lock().push_back(Task::from_thread(tid, m));
+        self.inner.push_ready(Task::from_thread(tid, m));
         tid
     }
 
@@ -248,23 +400,133 @@ impl SimRuntime {
         self.inner.live.load(Ordering::SeqCst)
     }
 
-    /// Current virtual time.
+    /// Current virtual time: the furthest CPU frontier (the makespan so
+    /// far), or the raw clock if external charges have pushed it past
+    /// every frontier.
     pub fn now(&self) -> Nanos {
-        self.inner.clock.now()
+        self.inner
+            .cpus
+            .lock()
+            .max_frontier()
+            .max(self.inner.clock.now())
     }
 
-    /// Delivers device events whose time has already been reached by the
-    /// (cost-charged) CPU clock. On real hardware the device event loops
-    /// run on their own OS threads, so a busy scheduler must not starve
-    /// them; this keeps the simulation faithful to that.
-    fn fire_due_events(&self) {
-        while self
-            .inner
+    /// Runs one scheduling step: picks the CPU with the lowest frontier,
+    /// fires device events due by that frontier (dispatch charged to that
+    /// CPU — the event loops share the CPUs, as on the paper's testbed),
+    /// then either executes one turn on it or jumps every idle CPU to the
+    /// next device event. Returns `false` when the simulation is
+    /// quiescent: nothing runnable, no pending events.
+    fn step(&self) -> bool {
+        let inner = &self.inner;
+        let mut cpus = inner.cpus.lock();
+
+        // Absorb clock time charged outside any turn (spawn's Fork from
+        // the host thread) into the CPU about to run.
+        let drift = inner.clock.now().saturating_sub(cpus.last_synced);
+        let cpu = cpus.min_cpu();
+        cpus.frontier[cpu] += drift;
+
+        // Harvest events due by this CPU's frontier; their handlers may
+        // advance the clock (event-loop dispatch) and push tasks ready.
+        inner.clock.set_now(cpus.frontier[cpu]);
+        while inner
             .clock
             .next_deadline()
-            .is_some_and(|d| d <= self.inner.clock.now())
+            .is_some_and(|d| d <= inner.clock.now())
         {
-            self.inner.clock.fire_next();
+            inner.clock.fire_next();
+        }
+        let dispatched = inner.clock.now().saturating_sub(cpus.frontier[cpu]);
+        cpus.frontier[cpu] += dispatched;
+        cpus.busy[cpu] += dispatched;
+        let frontier = cpus.frontier[cpu];
+
+        // Choose the entry that can start earliest on this CPU: the
+        // oldest already-startable one (FIFO among those), else the one
+        // with the smallest ready time. A plain FIFO pop would let a head
+        // entry re-queued far in the future warp this CPU's frontier past
+        // work that became ready long ago, serializing turns the model
+        // says overlap.
+        let picked = {
+            let q = inner.ready.lock();
+            let mut best: Option<(usize, Nanos)> = None;
+            for (i, e) in q.iter().enumerate() {
+                if e.ready_at <= frontier {
+                    best = Some((i, e.ready_at));
+                    break;
+                }
+                if best.is_none_or(|(_, b)| e.ready_at < b) {
+                    best = Some((i, e.ready_at));
+                }
+            }
+            best
+        };
+        match picked {
+            Some((index, ready_at)) => {
+                // If a device event is due before this turn could even
+                // start, service it first: it may ready an earlier task.
+                let start = frontier.max(ready_at);
+                if let Some(d) = inner.clock.next_deadline() {
+                    if d < start {
+                        inner.clock.fire_next();
+                        let now = inner.clock.now();
+                        cpus.frontier[cpu] = now;
+                        cpus.busy[cpu] += now.saturating_sub(d); // dispatch, not idle
+                        cpus.last_synced = now;
+                        return true;
+                    }
+                }
+                let ReadyEntry { task, .. } = inner
+                    .ready
+                    .lock()
+                    .remove(index)
+                    .expect("picked index is in the queue");
+                let tid = task.tid();
+                let exits_before = inner.stats.exited.load(Ordering::Relaxed)
+                    + inner.stats.uncaught.load(Ordering::Relaxed);
+                inner.clock.set_now(start);
+                drop(cpus);
+                let ctx: Arc<dyn RuntimeCtx> = Arc::clone(inner) as Arc<dyn RuntimeCtx>;
+                engine::run_task(&ctx, task, self.config.slice);
+                let end = inner.clock.now();
+                // Only this task can have exited during its own turn;
+                // record (or clear) its floor accordingly.
+                let exited = inner.stats.exited.load(Ordering::Relaxed)
+                    + inner.stats.uncaught.load(Ordering::Relaxed)
+                    > exits_before;
+                if exited {
+                    inner.resume_floor.lock().remove(&tid);
+                } else {
+                    inner.resume_floor.lock().insert(tid, end);
+                }
+                let mut cpus = inner.cpus.lock();
+                cpus.frontier[cpu] = end;
+                cpus.busy[cpu] += end.saturating_sub(start);
+                cpus.last_synced = end;
+                true
+            }
+            None => {
+                let deadline = inner.clock.next_deadline();
+                if !inner.clock.fire_next() {
+                    cpus.last_synced = inner.clock.now();
+                    return false; // quiescent
+                }
+                // Nothing was runnable, so every CPU idles forward to the
+                // event that just fired. The idle stretch up to the event
+                // is not busy time, but the handler's dispatch work past
+                // it is — charge it to the harvesting CPU, as the other
+                // event paths do.
+                let now = inner.clock.now();
+                if let Some(d) = deadline {
+                    cpus.busy[cpu] += now.saturating_sub(d.max(cpus.frontier[cpu]));
+                }
+                for f in cpus.frontier.iter_mut() {
+                    *f = (*f).max(now);
+                }
+                cpus.last_synced = now;
+                true
+            }
         }
     }
 
@@ -273,22 +535,14 @@ impl SimRuntime {
     pub fn run_until(&self, deadline: Option<Nanos>) -> SimReport {
         loop {
             if let Some(d) = deadline {
-                if self.inner.clock.now() >= d {
+                let cpus = self.inner.cpus.lock();
+                let drift = self.inner.clock.now().saturating_sub(cpus.last_synced);
+                if cpus.min_frontier() + drift >= d {
                     break;
                 }
             }
-            self.fire_due_events();
-            let task = self.inner.ready.lock().pop_front();
-            match task {
-                Some(task) => {
-                    let ctx: Arc<dyn RuntimeCtx> = Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>;
-                    engine::run_task(&ctx, task, self.config.slice);
-                }
-                None => {
-                    if !self.inner.clock.fire_next() {
-                        break; // quiescent: nothing runnable, no events
-                    }
-                }
+            if !self.step() {
+                break;
             }
         }
         self.report()
@@ -319,33 +573,34 @@ impl SimRuntime {
             if let Some(res) = slot.lock().take() {
                 return res;
             }
-            self.fire_due_events();
-            let task = self.inner.ready.lock().pop_front();
-            match task {
-                Some(task) => {
-                    let ctx: Arc<dyn RuntimeCtx> = Arc::clone(&self.inner) as Arc<dyn RuntimeCtx>;
-                    engine::run_task(&ctx, task, self.config.slice);
-                }
-                None => {
-                    if !self.inner.clock.fire_next() {
-                        return Err(Exception::new(
-                            "simulation went quiescent before the blocked computation finished",
-                        ));
-                    }
-                }
+            if !self.step() {
+                return Err(Exception::new(
+                    "simulation went quiescent before the blocked computation finished",
+                ));
             }
         }
     }
 
     /// A summary of the run so far.
     pub fn report(&self) -> SimReport {
+        let (now, busy) = {
+            let cpus = self.inner.cpus.lock();
+            (
+                cpus.max_frontier().max(self.inner.clock.now()),
+                cpus.busy.clone(),
+            )
+        };
         SimReport {
-            now: self.inner.clock.now(),
+            now,
             stats: self.inner.stats.snapshot(),
             peak_threads: self.inner.peak_live.load(Ordering::SeqCst),
             peak_stack_bytes: self.inner.peak_live.load(Ordering::SeqCst).max(0) as u64
                 * self.config.cost.stack_bytes,
             uncaught: self.inner.uncaught_log.lock().clone(),
+            cpus: busy.len(),
+            cpu_busy_ns: busy,
+            lock_wait_ns: self.inner.lock_wait_ns.load(Ordering::Relaxed),
+            lock_waits: self.inner.lock_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -354,8 +609,9 @@ impl fmt::Debug for SimRuntime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "SimRuntime(model={}, now={}, live={})",
+            "SimRuntime(model={}, cpus={}, now={}, live={})",
             self.config.cost.name,
+            self.config.cpus.max(1),
             self.now(),
             self.live_threads()
         )
@@ -367,6 +623,17 @@ mod tests {
     use super::*;
     use eveth_core::syscall::*;
     use eveth_core::time::MILLIS;
+
+    fn sim_with_cpus(cpus: usize) -> SimRuntime {
+        SimRuntime::new(
+            SimClock::new(),
+            SimConfig {
+                cost: CostModel::monadic(),
+                slice: 256,
+                cpus,
+            },
+        )
+    }
 
     #[test]
     fn virtual_sleep_advances_clock_exactly() {
@@ -388,6 +655,7 @@ mod tests {
             SimConfig {
                 cost: CostModel::free(),
                 slice: 64,
+                cpus: 1,
             },
         );
         free.block_on(eveth_core::for_each_m(0..100u32, |_| sys_yield()))
@@ -403,7 +671,14 @@ mod tests {
     #[test]
     fn nptl_charges_more_than_monadic_for_blocking() {
         let run = |cost: CostModel| {
-            let sim = SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 256 });
+            let sim = SimRuntime::new(
+                SimClock::new(),
+                SimConfig {
+                    cost,
+                    slice: 256,
+                    cpus: 1,
+                },
+            );
             sim.block_on(eveth_core::for_each_m(0..1000u32, |_| sys_yield()))
                 .unwrap();
             sim.now()
@@ -420,7 +695,14 @@ mod tests {
     fn spawn_checked_enforces_cap() {
         let mut cost = CostModel::nptl();
         cost.max_threads = Some(4);
-        let sim = SimRuntime::new(SimClock::new(), SimConfig { cost, slice: 16 });
+        let sim = SimRuntime::new(
+            SimClock::new(),
+            SimConfig {
+                cost,
+                slice: 16,
+                cpus: 1,
+            },
+        );
         for _ in 0..4 {
             sim.spawn_checked(eveth_core::forever_m(sys_yield))
                 .expect("under cap");
@@ -449,6 +731,7 @@ mod tests {
             SimConfig {
                 cost: CostModel::nptl(),
                 slice: 64,
+                cpus: 1,
             },
         );
         for _ in 0..10 {
@@ -458,5 +741,80 @@ mod tests {
         assert_eq!(report.peak_threads, 10);
         assert_eq!(report.peak_stack_bytes, 10 * 32 * 1024);
         assert!(report.uncaught.is_empty());
+    }
+
+    #[test]
+    fn independent_cpu_work_overlaps_across_cpus() {
+        // Four tasks each burning 1 ms of modelled CPU: serialized on one
+        // CPU, overlapped on four.
+        let run = |cpus: usize| {
+            let sim = sim_with_cpus(cpus);
+            for _ in 0..4 {
+                sim.spawn(sys_cpu(MILLIS));
+            }
+            sim.run().now
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one >= 4 * MILLIS, "serialized: {one}");
+        assert!(
+            four < 2 * MILLIS,
+            "4 CPUs must overlap 4 independent tasks: {four} vs {one}"
+        );
+    }
+
+    #[test]
+    fn report_carries_per_cpu_busy_time() {
+        let sim = sim_with_cpus(2);
+        for _ in 0..2 {
+            sim.spawn(sys_cpu(MILLIS));
+        }
+        let report = sim.run();
+        assert_eq!(report.cpus, 2);
+        assert_eq!(report.cpu_busy_ns.len(), 2);
+        assert!(report.cpu_busy_ns.iter().all(|&b| b >= MILLIS));
+        let util = report.avg_utilization();
+        assert!(util > 0.5 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn contended_mutex_wait_is_accounted() {
+        use eveth_core::sync::Mutex as MonadicMutex;
+        let sim = sim_with_cpus(2);
+        let m = MonadicMutex::new();
+        // Holder takes the lock, burns CPU, releases; the contender must
+        // park and its wait must land in the report.
+        let m2 = m.clone();
+        sim.spawn(eveth_core::do_m! {
+            m2.lock();
+            sys_yield();
+            sys_cpu(MILLIS);
+            m2.unlock()
+        });
+        let m3 = m.clone();
+        sim.spawn(m3.with(ThreadM::pure(())));
+        let report = sim.run();
+        assert!(report.lock_waits >= 1, "waits: {}", report.lock_waits);
+        assert!(
+            report.lock_wait_ns >= MILLIS / 2,
+            "wait ns: {}",
+            report.lock_wait_ns
+        );
+    }
+
+    #[test]
+    fn same_seedless_workload_is_deterministic_across_runs() {
+        let run = || {
+            let sim = sim_with_cpus(4);
+            for i in 0..8u64 {
+                sim.spawn(eveth_core::do_m! {
+                    sys_sleep((i % 3) * MILLIS);
+                    sys_cpu(100_000 * (i + 1));
+                    sys_yield()
+                });
+            }
+            format!("{:?}", sim.run())
+        };
+        assert_eq!(run(), run());
     }
 }

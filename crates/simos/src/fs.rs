@@ -178,6 +178,7 @@ mod tests {
             SimConfig {
                 cost: CostModel::monadic(),
                 slice: 256,
+                cpus: 1,
             },
         );
         let disk = SimDisk::new(

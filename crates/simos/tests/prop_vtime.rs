@@ -1,0 +1,278 @@
+//! Properties of multi-CPU virtual time (`SimConfig::cpus`):
+//!
+//! 1. virtual time is monotone per task, whatever CPU count it runs on;
+//! 2. `cpus = 1` reproduces the pre-change single-CPU schedule exactly
+//!    (pinned against golden numbers captured from the scheduler before
+//!    the multi-CPU refactor);
+//! 3. identical seed + config ⇒ byte-identical `SimReport`, for every
+//!    `cpus ∈ {1, 2, 4, 8}`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eveth_core::sync::Mutex;
+use eveth_core::syscall::{sys_cpu, sys_nbio, sys_sleep, sys_time, sys_yield};
+use eveth_core::time::Nanos;
+use eveth_core::{do_m, for_each_m, ThreadM};
+use eveth_simos::cost::CostModel;
+use eveth_simos::{SimClock, SimConfig, SimRuntime};
+use parking_lot::Mutex as PlMutex;
+use proptest::prelude::*;
+
+fn sim(cost: CostModel, slice: usize, cpus: usize) -> SimRuntime {
+    SimRuntime::new(SimClock::new(), SimConfig { cost, slice, cpus })
+}
+
+/// A deterministic mixed workload: `threads` tasks doing yields, sleeps,
+/// modelled CPU burns and contended mutex sections, parameterized by
+/// `seed`. Returns the run's `SimReport` debug string (the byte-exact
+/// fingerprint the determinism properties compare).
+fn mixed_workload(seed: u64, threads: u64, cpus: usize) -> String {
+    let sim = sim(CostModel::monadic(), 32, cpus);
+    let m = Mutex::new();
+    let counter = Arc::new(AtomicU64::new(0));
+    for t in 0..threads {
+        let m = m.clone();
+        let counter = Arc::clone(&counter);
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (t + 1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        let burn = 10_000 + (x % 50_000);
+        let naps = 1 + (x % 3);
+        sim.spawn(for_each_m(0..4u64, move |round| {
+            let m = m.clone();
+            let counter = Arc::clone(&counter);
+            do_m! {
+                sys_cpu(burn);
+                sys_yield();
+                m.with(do_m! {
+                    sys_nbio({ let c = Arc::clone(&counter); move || { c.fetch_add(1, Ordering::SeqCst); } });
+                    sys_yield()
+                });
+                sys_sleep((round + naps) * 100_000)
+            }
+        }));
+    }
+    let report = sim.run();
+    assert_eq!(counter.load(Ordering::SeqCst), threads * 4);
+    format!("{report:?}")
+}
+
+/// The exact workload whose virtual outcome was captured on the
+/// single-CPU scheduler before the multi-CPU refactor (see the golden
+/// constants in `cpus_1_matches_prechange_schedule`).
+fn golden_workload(sim: &SimRuntime) -> (Nanos, u64, u64, u64) {
+    let m = Mutex::new();
+    let counter = Arc::new(AtomicU64::new(0));
+    for t in 0..8u64 {
+        let m = m.clone();
+        let counter = Arc::clone(&counter);
+        sim.spawn(for_each_m(0..20u64, move |_| {
+            let m = m.clone();
+            let counter = Arc::clone(&counter);
+            do_m! {
+                m.with(do_m! {
+                    sys_nbio({ let c = Arc::clone(&counter); move || { c.fetch_add(1, Ordering::SeqCst); } });
+                    sys_yield()
+                });
+                sys_sleep((t + 1) * 100_000)
+            }
+        }));
+    }
+    let report = sim.run();
+    assert_eq!(counter.load(Ordering::SeqCst), 160);
+    (
+        report.now,
+        report.stats.ctx_switches,
+        report.stats.parks,
+        report.stats.wakes,
+    )
+}
+
+#[test]
+fn cpus_1_matches_prechange_schedule() {
+    // Golden numbers recorded by running `golden_workload` on the
+    // single-CPU scheduler at the commit before the multi-CPU refactor.
+    // `cpus = 1` must reproduce them to the nanosecond, for both cost
+    // models: the new model is a strict generalization, not a new clock.
+    let monadic = golden_workload(&sim(CostModel::monadic(), 64, 1));
+    assert_eq!(monadic, (16_034_310, 160, 16, 16), "monadic/slice=64");
+
+    let nptl = golden_workload(&sim(CostModel::nptl(), 16, 1));
+    assert_eq!(nptl, (16_267_600, 160, 14, 14), "nptl/slice=16");
+}
+
+#[test]
+fn default_config_is_single_cpu() {
+    // SimConfig::default() must stay at cpus = 1 so every existing
+    // harness keeps its pre-change timings unless it opts in.
+    assert_eq!(SimConfig::default().cpus, 1);
+    let explicit = golden_workload(&sim(CostModel::monadic(), 256, 1));
+    let sim_default = SimRuntime::new(
+        SimClock::new(),
+        SimConfig {
+            slice: 256,
+            ..SimConfig::default()
+        },
+    );
+    assert_eq!(golden_workload(&sim_default), explicit);
+}
+
+#[test]
+fn parked_task_resumes_no_earlier_than_it_parked() {
+    // Cross-CPU skew regression: W burns 10 ms on one CPU and then
+    // contends a mutex whose holder ran at microsecond-scale times on the
+    // other CPU. The unlock's wake event carries an *earlier* virtual
+    // timestamp than W's own frontier — W must still resume at or after
+    // the time it parked (per-task monotonicity), and its measured
+    // contended wait must not underflow.
+    let sim = sim(CostModel::monadic(), 64, 2);
+    let m = Mutex::new();
+    let m_holder = m.clone();
+    sim.spawn(do_m! {
+        m_holder.lock();
+        sys_yield();
+        sys_yield();
+        m_holder.unlock()
+    });
+    let m_w = m.clone();
+    let times: Arc<PlMutex<Vec<Nanos>>> = Arc::new(PlMutex::new(Vec::new()));
+    let times2 = Arc::clone(&times);
+    sim.spawn(do_m! {
+        sys_cpu(10_000_000);
+        let t0 <- sys_time();
+        m_w.with(ThreadM::pure(()));
+        let t1 <- sys_time();
+        sys_nbio(move || times2.lock().extend([t0, t1]))
+    });
+    let report = sim.run();
+    let observed = times.lock().clone();
+    assert_eq!(observed.len(), 2);
+    assert!(
+        observed[1] >= observed[0],
+        "W's clock ran backwards across the park: {} -> {}",
+        observed[0],
+        observed[1]
+    );
+    assert!(report.now >= 10_000_000, "makespan covers W's burn");
+}
+
+#[test]
+fn long_requeued_turn_does_not_starve_earlier_ready_work() {
+    // Ready-queue policy regression: a task re-queued with a far-future
+    // ready time (the end of a long turn) must not warp a free CPU's
+    // frontier past short tasks that became ready much earlier. With the
+    // earliest-startable policy, H's 5 ms of chopped bursts overlap W's
+    // 10 ms burn on the second CPU (makespan ~10 ms); a plain FIFO pop
+    // serializes them (~15 ms, no better than one CPU).
+    let run = |cpus: usize| {
+        let sim = sim(CostModel::monadic(), 4, cpus);
+        sim.spawn(do_m! {
+            sys_cpu(10_000_000);
+            sys_yield();
+            sys_nbio(|| ())
+        });
+        sim.spawn(for_each_m(0..50u64, |_| {
+            do_m! {
+                sys_cpu(100_000);
+                sys_yield()
+            }
+        }));
+        sim.run().now
+    };
+    let serial = run(1);
+    let dual = run(2);
+    assert!(serial >= 15_000_000, "one CPU serializes: {serial}");
+    assert!(
+        dual < 12_500_000,
+        "two CPUs must overlap H's bursts with W's burn: {dual} (serial {serial})"
+    );
+}
+
+#[test]
+fn makespan_never_grows_with_more_cpus_on_independent_work() {
+    // Independent (lock-free) tasks: adding CPUs can only overlap work.
+    let run = |cpus: usize| {
+        let sim = sim(CostModel::monadic(), 64, cpus);
+        for i in 0..8u64 {
+            sim.spawn(do_m! {
+                sys_cpu(500_000 + i * 10_000);
+                sys_yield();
+                sys_cpu(250_000)
+            });
+        }
+        sim.run().now
+    };
+    let t1 = run(1);
+    let t4 = run(4);
+    let t8 = run(8);
+    assert!(t4 <= t1, "4 cpus {t4} vs 1 cpu {t1}");
+    assert!(t8 <= t4, "8 cpus {t8} vs 4 cpus {t4}");
+    assert!(t8 < t1, "8 cpus must actually overlap: {t8} vs {t1}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Each task's observations of `sys_time` are non-decreasing — per-task
+    /// virtual time never runs backwards, on any CPU count, even though
+    /// different CPUs sit at different frontiers.
+    #[test]
+    fn virtual_time_is_monotone_per_task(
+        seed in 1u64..u64::MAX,
+        cpus in 1usize..9,
+        threads in 2u64..9,
+    ) {
+        let sim = sim(CostModel::monadic(), 16, cpus);
+        let logs: Arc<PlMutex<Vec<Vec<Nanos>>>> =
+            Arc::new(PlMutex::new(vec![Vec::new(); threads as usize]));
+        let gate = Mutex::new();
+        for t in 0..threads {
+            let logs = Arc::clone(&logs);
+            let gate = gate.clone();
+            let nap = 50_000 + (seed ^ t) % 200_000;
+            sim.spawn(for_each_m(0..5u64, move |_| {
+                let logs = Arc::clone(&logs);
+                let logs2 = Arc::clone(&logs);
+                let gate = gate.clone();
+                do_m! {
+                    let now <- sys_time();
+                    sys_nbio(move || logs.lock()[t as usize].push(now));
+                    sys_yield();
+                    gate.with(sys_cpu(10_000));
+                    sys_sleep(nap);
+                    let later <- sys_time();
+                    sys_nbio(move || logs2.lock()[t as usize].push(later))
+                }
+            }));
+        }
+        sim.run();
+        for (t, log) in logs.lock().iter().enumerate() {
+            prop_assert_eq!(log.len(), 10, "task {} recorded every round", t);
+            for w in log.windows(2) {
+                prop_assert!(w[0] <= w[1], "task {} time went backwards: {:?}", t, w);
+            }
+        }
+    }
+
+    /// Identical seed + config ⇒ identical `SimReport`, for every tested
+    /// CPU count. The whole simulation is single-OS-threaded with stable
+    /// tie-breaks, so this must hold bit-exactly.
+    #[test]
+    fn identical_seeds_produce_identical_reports(seed in 1u64..u64::MAX, threads in 2u64..8) {
+        for cpus in [1usize, 2, 4, 8] {
+            let a = mixed_workload(seed, threads, cpus);
+            let b = mixed_workload(seed, threads, cpus);
+            prop_assert_eq!(a, b, "cpus = {} must be deterministic", cpus);
+        }
+    }
+
+    /// Different seeds actually change the schedule (the determinism
+    /// property is not vacuous).
+    #[test]
+    fn different_seeds_change_the_schedule(seed in 1u64..(u64::MAX - 7)) {
+        let a = mixed_workload(seed, 4, 4);
+        let b = mixed_workload(seed + 7, 4, 4);
+        prop_assert_ne!(a, b);
+    }
+}
