@@ -3,9 +3,14 @@
 //! client counts, pipeline depths, shard counts, shard backends, virtual
 //! CPU counts and both socket layers, under the monadic cost model.
 //!
-//! Every row now carries tail latency (p50/p95/p99 of per-command
-//! virtual-time latency, as the memcached literature reports) and the
-//! store's shard-lock wait total, and the *contention* sweep runs the
+//! Every row carries tail latency (p50/p95/p99 of per-command
+//! virtual-time latency, as the memcached literature reports) plus the
+//! full wait taxonomy: runtime-wide I/O wait (`io_wait_ns`, readiness
+//! blocking on sockets), *pure* lock wait (`lock_wait_ns`, `sys_park`
+//! only — the two are disjoint now that the socket stacks block via
+//! `sys_epoll_wait`), the store's own shard-gate wait
+//! (`store_lock_wait_ns`) and STM transaction retries (`stm_retries`,
+//! the STM backend's contention signal). The *contention* sweep runs the
 //! zipfian workload across `cpus × shards` on a loopback-class link — the
 //! regime where the multi-CPU simulator makes sharding visible: a hot
 //! shard lock stretches virtual time for every waiter while disjoint
@@ -89,7 +94,10 @@ fn row(
         ("p50_ns", JsonVal::Int(r.p50_ns)),
         ("p95_ns", JsonVal::Int(r.p95_ns)),
         ("p99_ns", JsonVal::Int(r.p99_ns)),
+        ("io_wait_ns", JsonVal::Int(r.io_wait_ns)),
         ("lock_wait_ns", JsonVal::Int(r.lock_wait_ns)),
+        ("store_lock_wait_ns", JsonVal::Int(r.store_lock_wait_ns)),
+        ("stm_retries", JsonVal::Int(r.stm_retries)),
         ("cpu_utilization", JsonVal::Num(r.cpu_utilization)),
     ]
 }
@@ -206,12 +214,12 @@ fn main() {
     // ---- contention: cpus × shards on the zipfian workload ---------------
     println!();
     println!(
-        "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>5}",
-        "cpus", "shards", "ops/s", "p50 ns", "p99 ns", "lock wait us", "util"
+        "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>14} | {:>5}",
+        "cpus", "shards", "ops/s", "p50 ns", "p99 ns", "lock wait us", "io wait us", "util"
     );
     println!(
-        "{:->4}---{:->6}-+-{:->14}-+-{:->12}-+-{:->12}-+-{:->14}-+-{:->5}",
-        "", "", "", "", "", "", ""
+        "{:->4}---{:->6}-+-{:->14}-+-{:->12}-+-{:->12}-+-{:->14}-+-{:->14}-+-{:->5}",
+        "", "", "", "", "", "", "", ""
     );
     for &cpus in &sweep.contention_cpus {
         for &shards in &sweep.contention_shards {
@@ -222,18 +230,26 @@ fn main() {
             };
             let r = run(p.clone());
             println!(
-                "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>4.0}%",
+                "{:>4} x {:>6} | {:>14} | {:>12} | {:>12} | {:>14} | {:>14} | {:>4.0}%",
                 cpus,
                 shards,
                 count(r.ops_per_sec as u64),
                 count(r.p50_ns),
                 count(r.p99_ns),
                 count(r.lock_wait_ns / 1000),
+                count(r.io_wait_ns / 1000),
                 r.cpu_utilization * 100.0
             );
             rows.push(row("contention", "sockets", "mutex", &p, &r));
+            // The same contended cell on the STM backend: its contention
+            // surfaces as transaction retries, not lock waits.
+            let p_stm = KvRunParams { stm: true, ..p };
+            let r_stm = run(p_stm.clone());
+            rows.push(row("contention", "sockets", "stm", &p_stm, &r_stm));
         }
     }
+    println!("(each cell also ran on the STM backend; see the stm_retries");
+    println!(" column in BENCH_kv.json for its contention signal)");
 
     // ---- machine-readable drop -------------------------------------------
     let out = workspace_root().join("BENCH_kv.json");

@@ -84,16 +84,25 @@ fn main() {
         eveth_core::syscall::sys_nbio(move || println!("CLIENT DONE, got {} bytes", back.len()))
     });
 
-    // Run in 100ms virtual slices, dumping state.
+    // Run in 100ms virtual slices, dumping state. The wait columns use
+    // the runtime's split accounting: `io` is time blocked on socket
+    // readiness (`sys_epoll_wait`), `lock` is pure synchronization wait
+    // (`sys_park`) — a stall that grows `io` without moving segments
+    // points at the protocol, one that grows `lock` points at the host's
+    // internal queues.
     for slice in 1..=50u64 {
-        sim.run_until(Some(slice * 100_000_000));
+        let report = sim.run_until(Some(slice * 100_000_000));
         println!(
-            "t={:>6}ms a={:?} b={:?} sent={} dropped={}",
+            "t={:>6}ms a={:?} b={:?} sent={} dropped={} io={}us/{} lock={}us/{}",
             sim.now() / 1_000_000,
             a,
             b,
             net.stats().sent.load(Ordering::Relaxed),
             net.stats().dropped.load(Ordering::Relaxed),
+            report.io_wait_ns / 1_000,
+            report.io_waits,
+            report.lock_wait_ns / 1_000,
+            report.lock_waits,
         );
         a.debug_dump();
         b.debug_dump();

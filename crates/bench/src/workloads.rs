@@ -313,10 +313,23 @@ pub struct KvRunResult {
     pub p95_ns: Nanos,
     /// 99th-percentile per-command latency.
     pub p99_ns: Nanos,
-    /// Virtual nanoseconds server threads spent waiting on the store's
-    /// shard locks — the contention signal (0 for the STM backend, whose
-    /// contention surfaces as transaction retries).
+    /// Runtime-wide virtual nanoseconds threads spent blocked on I/O
+    /// readiness (`sys_epoll_wait`: socket reads/writes/accepts) —
+    /// `SimReport::io_wait_ns`.
+    pub io_wait_ns: Nanos,
+    /// Runtime-wide *pure* lock wait (`sys_park`: mutexes, channels,
+    /// MVars, STM `retry`) — `SimReport::lock_wait_ns`, with I/O waits
+    /// accounted separately. This is the contention signal the CI gate
+    /// compares across shard counts.
     pub lock_wait_ns: Nanos,
+    /// Virtual nanoseconds server threads spent contending specifically
+    /// on the store's shard gates (the monadic mutex's own `contended_ns`,
+    /// summed per shard; 0 for the STM backend).
+    pub store_lock_wait_ns: Nanos,
+    /// STM transaction re-executions (conflicts + retry blocks) in the
+    /// store — the STM backend's contention signal (0 under the mutex
+    /// backend).
+    pub stm_retries: u64,
     /// Virtual CPUs the run executed on.
     pub cpus: usize,
     /// Mean CPU utilization over the run.
@@ -444,7 +457,10 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
         p50_ns: pcts[0],
         p95_ns: pcts[1],
         p99_ns: pcts[2],
-        lock_wait_ns: server.store().lock_wait_ns(),
+        io_wait_ns: report.io_wait_ns,
+        lock_wait_ns: report.lock_wait_ns,
+        store_lock_wait_ns: server.store().lock_wait_ns(),
+        stm_retries: server.store().stm_retries(),
         cpus: report.cpus,
         cpu_utilization: report.avg_utilization(),
     }
@@ -523,6 +539,15 @@ mod tests {
             r.lock_wait_ns > 0,
             "a 1-shard/8-client run must report lock wait"
         );
+        assert!(
+            r.store_lock_wait_ns > 0,
+            "the contended shard gate must report its own wait"
+        );
+        assert!(
+            r.io_wait_ns > 0,
+            "a socket workload must report readiness wait"
+        );
+        assert_eq!(r.stm_retries, 0, "mutex backend never retries");
         assert_eq!(r.cpus, 4);
     }
 

@@ -47,6 +47,26 @@ pub enum CostKind {
     Custom(Nanos),
 }
 
+/// Why a thread stopped running — the wait taxonomy behind the
+/// simulator's blocked-time split.
+///
+/// Every blocking point in the system is one of these three: a readiness
+/// wait on a pollable device (`sys_epoll_wait` — sockets, pipes), a
+/// synchronization wait (`sys_park` — mutexes, channels, MVars, STM
+/// `retry`), or an armed timer (`sys_sleep`). Keeping the classes apart is
+/// what lets a report attribute latency: I/O wait is the network being
+/// slow, lock wait is the application contending with itself, timer wait
+/// is deliberate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitKind {
+    /// Blocked on device readiness (`sys_epoll_wait`).
+    Io,
+    /// Blocked on a scheduler-extension wait queue (`sys_park`).
+    Lock,
+    /// Blocked on a timer (`sys_sleep`).
+    Timer,
+}
+
 /// Services a scheduler needs from its runtime. One implementation exists
 /// per execution mode (real, simulated, kernel-thread model).
 pub trait RuntimeCtx: Send + Sync {
@@ -73,12 +93,15 @@ pub trait RuntimeCtx: Send + Sync {
     fn sleep(&self, dur: Nanos, task: Task);
     /// Hands a blocking job to the blocking-I/O pool (paper §4.6).
     fn submit_blio(&self, job: BlioJob, shell: TaskShell);
-    /// Notes that the current task is parking on a scheduler-extension
-    /// wait queue (`sys_park` — mutexes, channels, MVars). Paired with the
+    /// Notes that the current task is blocking, and why: `WaitKind::Lock`
+    /// for scheduler-extension parks (`sys_park` — mutexes, channels,
+    /// MVars, STM `retry`), `WaitKind::Io` for readiness waits
+    /// (`sys_epoll_wait`), `WaitKind::Timer` for sleeps. Paired with the
     /// `push_ready` that eventually resumes it, this lets a runtime
-    /// account how long threads spend blocked on synchronization; the
-    /// simulator uses it for its lock-wait totals. Default: no-op.
-    fn task_parked(&self, _tid: TaskId) {}
+    /// account how long threads spend blocked — and attribute the wait to
+    /// I/O, locking, or timers separately; the simulator uses it for the
+    /// `io_wait_ns`/`lock_wait_ns` split in its report. Default: no-op.
+    fn task_parked(&self, _tid: TaskId, _kind: WaitKind) {}
 }
 
 /// Interprets one scheduling turn of `task`: forces trace nodes and performs
@@ -122,6 +145,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
             }
             Trace::EpollWait(fd, interest, k) => {
                 ctx.charge(CostKind::EpollRegister);
+                ctx.task_parked(task.tid(), WaitKind::Io);
                 task.set_next(k);
                 let dev = Arc::clone(fd.device());
                 let unparker = Unparker::new(task, Arc::clone(ctx));
@@ -174,6 +198,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
             }
             Trace::Sleep(dur, k) => {
                 ctx.charge(CostKind::Sleep);
+                ctx.task_parked(task.tid(), WaitKind::Timer);
                 task.set_next(k);
                 ctx.sleep(dur, task);
                 return;
@@ -189,7 +214,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
             }
             Trace::Park(register, k) => {
                 ctx.charge(CostKind::Park);
-                ctx.task_parked(task.tid());
+                ctx.task_parked(task.tid(), WaitKind::Lock);
                 task.set_next(k);
                 let unparker = Unparker::new(task, Arc::clone(ctx));
                 register(unparker);

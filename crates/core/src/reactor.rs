@@ -237,6 +237,166 @@ impl WaitList {
     }
 }
 
+/// Readiness wait lists keyed by [`Interest`] — the per-device half of an
+/// epoll registration table.
+///
+/// A pollable device embeds one of these next to its state (under the same
+/// lock, so the check-then-park of [`Pollable::register`] is race-free),
+/// parks waiters per interest, and wakes exactly the interest class a
+/// state change affects: new bytes wake `Read` waiters, freed buffer space
+/// wakes `Write` waiters, fatal events wake both.
+#[derive(Debug, Default)]
+pub struct InterestWaiters {
+    read: WaitList,
+    write: WaitList,
+}
+
+impl InterestWaiters {
+    /// Creates an empty registration table.
+    pub fn new() -> Self {
+        InterestWaiters::default()
+    }
+
+    /// Parks `waiter` until `interest` is next signalled ready.
+    pub fn push(&mut self, interest: Interest, waiter: Waiter) {
+        self.list_mut(interest).push(waiter);
+    }
+
+    /// Wakes every waiter registered for `interest`.
+    pub fn wake(&mut self, interest: Interest) {
+        self.list_mut(interest).wake_all();
+    }
+
+    /// Wakes every waiter of both interests (close, reset, error).
+    pub fn wake_all(&mut self) {
+        self.read.wake_all();
+        self.write.wake_all();
+    }
+
+    /// Number of waiters currently registered for `interest`.
+    pub fn len(&self, interest: Interest) -> usize {
+        match interest {
+            Interest::Read => self.read.len(),
+            Interest::Write => self.write.len(),
+        }
+    }
+
+    /// True when no waiter is registered for either interest.
+    pub fn is_empty(&self) -> bool {
+        self.read.is_empty() && self.write.is_empty()
+    }
+
+    fn list_mut(&mut self, interest: Interest) -> &mut WaitList {
+        match interest {
+            Interest::Read => &mut self.read,
+            Interest::Write => &mut self.write,
+        }
+    }
+}
+
+/// A listener backlog with accept-readiness — the device behind both
+/// socket stacks' listening sockets.
+///
+/// The stack's demux path [`push`es](AcceptQueue::push) established
+/// connections, `accept` [`pop`s](AcceptQueue::pop) them, and blocked
+/// acceptors register epoll-style waiters. Every transition — push,
+/// close, register — happens under the one internal lock, so a
+/// registration can lose its wakeup neither to a concurrent push nor to
+/// a concurrent shutdown.
+pub struct AcceptQueue<T> {
+    st: Mutex<AcceptState<T>>,
+}
+
+struct AcceptState<T> {
+    backlog: std::collections::VecDeque<T>,
+    waiters: WaitList,
+    closed: bool,
+}
+
+impl<T> AcceptQueue<T> {
+    /// An empty, open backlog.
+    pub fn new() -> Self {
+        AcceptQueue {
+            st: Mutex::new(AcceptState {
+                backlog: std::collections::VecDeque::new(),
+                waiters: WaitList::new(),
+                closed: false,
+            }),
+        }
+    }
+
+    /// Enqueues a connection and wakes every accept waiter. Returns the
+    /// connection back if the queue was already shut down — the caller
+    /// decides whether to abort it or refuse the peer.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.st.lock();
+        if st.closed {
+            return Err(item);
+        }
+        st.backlog.push_back(item);
+        st.waiters.wake_all();
+        Ok(())
+    }
+
+    /// Dequeues the oldest pending connection, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.st.lock().backlog.pop_front()
+    }
+
+    /// True once [`AcceptQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.st.lock().closed
+    }
+
+    /// Shuts the backlog down and wakes every waiter (they will observe
+    /// `is_closed` and fail their accept). Still-queued connections stay
+    /// poppable.
+    pub fn close(&self) {
+        let mut st = self.st.lock();
+        st.closed = true;
+        st.waiters.wake_all();
+    }
+
+    /// Registers an accept waiter, waking it immediately if a connection
+    /// is already queued or the backlog is shut down.
+    pub fn register(&self, waiter: Waiter) {
+        let mut st = self.st.lock();
+        if !st.backlog.is_empty() || st.closed {
+            drop(st);
+            waiter.wake();
+        } else {
+            st.waiters.push(waiter);
+        }
+    }
+
+    /// Number of queued, unaccepted connections.
+    pub fn len(&self) -> usize {
+        self.st.lock().backlog.len()
+    }
+
+    /// True when no connection is queued.
+    pub fn is_empty(&self) -> bool {
+        self.st.lock().backlog.is_empty()
+    }
+}
+
+impl<T> Default for AcceptQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> fmt::Debug for AcceptQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        f.debug_struct("AcceptQueue")
+            .field("backlog", &st.backlog.len())
+            .field("waiters", &st.waiters.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +465,37 @@ mod tests {
         wl.wake_all();
         assert_eq!(ctx.ready_count(), 3);
         assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn accept_queue_wakes_on_push_and_close() {
+        let ctx = noop_ctx();
+        let q: AcceptQueue<u32> = AcceptQueue::new();
+        // A parked waiter is woken by a push...
+        let u1 = Unparker::new(dummy_task(), ctx.clone());
+        q.register(Waiter::new(u1, Arc::new(DirectPort)));
+        assert_eq!(ctx.ready_count(), 0);
+        assert!(q.push(7).is_ok());
+        assert_eq!(ctx.ready_count(), 1);
+        // ...a waiter registered while the backlog is non-empty wakes
+        // immediately...
+        let u2 = Unparker::new(dummy_task(), ctx.clone());
+        q.register(Waiter::new(u2, Arc::new(DirectPort)));
+        assert_eq!(ctx.ready_count(), 2);
+        assert_eq!(q.pop(), Some(7));
+        // ...and close wakes parked waiters, refuses new pushes, and
+        // wakes post-close registrations immediately (no lost wakeup
+        // against shutdown).
+        let u3 = Unparker::new(dummy_task(), ctx.clone());
+        q.register(Waiter::new(u3, Arc::new(DirectPort)));
+        assert_eq!(ctx.ready_count(), 2);
+        q.close();
+        assert_eq!(ctx.ready_count(), 3);
+        assert_eq!(q.push(8), Err(8));
+        let u4 = Unparker::new(dummy_task(), ctx.clone());
+        q.register(Waiter::new(u4, Arc::new(DirectPort)));
+        assert_eq!(ctx.ready_count(), 4);
+        assert!(q.is_closed());
     }
 
     #[test]

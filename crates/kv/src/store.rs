@@ -26,7 +26,7 @@ use bytes::Bytes;
 use eveth_core::sync::Mutex as MonadicMutex;
 use eveth_core::time::{Nanos, SECS};
 use eveth_core::{do_m, ThreadM};
-use eveth_stm::{atomically_m, TVar};
+use eveth_stm::{atomically_m_with_stats, StmResult, TVar, Txn, TxnStats};
 use parking_lot::Mutex as PlMutex;
 
 use crate::stats::ShardStats;
@@ -115,6 +115,9 @@ enum Shards {
 pub struct ShardedStore {
     shards: Shards,
     stats: Arc<Vec<ShardStats>>,
+    /// Transaction contention counters, shared by every STM operation on
+    /// this store (zero and idle under the mutex backend).
+    stm_stats: Arc<TxnStats>,
     cfg: StoreConfig,
 }
 
@@ -142,6 +145,7 @@ impl ShardedStore {
         Arc::new(ShardedStore {
             shards,
             stats: Arc::new((0..n).map(|_| ShardStats::default()).collect()),
+            stm_stats: TxnStats::new(),
             cfg,
         })
     }
@@ -166,6 +170,17 @@ impl ShardedStore {
         (fnv1a(key) % self.shard_count() as u64) as usize
     }
 
+    /// Runs a store transaction with this store's shared contention
+    /// counters attached — every STM arm goes through here so
+    /// [`ShardedStore::stm_retries`] sees all of them.
+    fn stm_atomically<A, F>(&self, body: F) -> ThreadM<A>
+    where
+        A: Send + 'static,
+        F: Fn(&mut Txn) -> StmResult<A> + Send + Sync + 'static,
+    {
+        atomically_m_with_stats(body, Arc::clone(&self.stm_stats))
+    }
+
     /// Total nanoseconds threads spent waiting on shard locks (summed
     /// across shards) — the store-level contention signal `fig_kv`
     /// reports. Always 0 for the STM backend, whose contention shows up
@@ -183,6 +198,19 @@ impl ShardedStore {
             Shards::Mutex(shards) => shards.iter().map(|s| s.gate.contentions()).sum(),
             Shards::Stm(_) => 0,
         }
+    }
+
+    /// Transaction attempts re-executed because of contention (conflict
+    /// invalidations + `retry` blocks) — the STM backend's analogue of
+    /// [`ShardedStore::lock_contentions`], surfaced as the `stm_retries`
+    /// column of `fig_kv`. Always 0 for the mutex backend.
+    pub fn stm_retries(&self) -> u64 {
+        self.stm_stats.retries()
+    }
+
+    /// The shared transaction counters behind [`ShardedStore::stm_retries`].
+    pub fn stm_stats(&self) -> &Arc<TxnStats> {
+        &self.stm_stats
     }
 
     /// Converts a protocol `exptime` (relative seconds, 0 = never) into an
@@ -205,7 +233,7 @@ impl ShardedStore {
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
-                atomically_m(move |txn| {
+                self.stm_atomically(move |txn| {
                     let map = txn.read(&cell)?;
                     Ok(map.get(key.as_ref()).cloned())
                 })
@@ -246,7 +274,7 @@ impl ShardedStore {
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
-                atomically_m(move |txn| {
+                self.stm_atomically(move |txn| {
                     let mut map = (*txn.read(&cell)?).clone();
                     map.insert(key.to_vec().into_boxed_slice(), entry.clone());
                     txn.write(&cell, Arc::new(map));
@@ -272,7 +300,7 @@ impl ShardedStore {
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
-                atomically_m(move |txn| {
+                self.stm_atomically(move |txn| {
                     let map = txn.read(&cell)?;
                     if !map.contains_key(key.as_ref()) {
                         return Ok(None);
@@ -343,9 +371,10 @@ impl ShardedStore {
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
-                atomically_m(move |txn| {
-                    // Read-only fast paths: don't copy-on-write the whole
-                    // shard when the outcome cannot be a committed write.
+                self.stm_atomically(move |txn| {
+                    // Read-only fast paths: don't copy-on-write the
+                    // whole shard when the outcome cannot be a
+                    // committed write.
                     let snapshot = txn.read(&cell)?;
                     match snapshot.get(stm_key.as_ref()) {
                         None => return Ok(CounterResult::NotFound),
@@ -358,8 +387,8 @@ impl ShardedStore {
                                 return Ok(CounterResult::NotNumeric);
                             }
                         }
-                        // Expired: fall through to the write path so the
-                        // removal commits.
+                        // Expired: fall through to the write path so
+                        // the removal commits.
                         Some(_) => {}
                     }
                     let mut map = (*snapshot).clone();
@@ -397,7 +426,7 @@ impl ShardedStore {
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
-                atomically_m(move |txn| {
+                self.stm_atomically(move |txn| {
                     let snapshot = txn.read(&cell)?;
                     if !snapshot.values().any(|e| e.is_expired(now)) {
                         return Ok(0); // read-only fast path

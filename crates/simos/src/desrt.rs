@@ -23,11 +23,16 @@
 //! * device events fire when the *earliest* CPU frontier reaches their
 //!   deadline (the conservative discrete-event rule), and event-loop
 //!   dispatch cost is charged to the CPU that harvests the events;
-//! * time a thread spends parked on a synchronization wait queue
-//!   (`sys_park`: mutexes, channels, MVars) is accounted as *lock wait* —
-//!   a hot lock stretches every waiter's completion time while disjoint
-//!   work overlaps, which is what makes sharding visible in virtual
-//!   throughput.
+//! * time a thread spends blocked is classified by [`WaitKind`] at the
+//!   `task_parked` boundary and split in the report: readiness waits
+//!   (`sys_epoll_wait`: sockets, pipes) land in *I/O wait*
+//!   ([`SimReport::io_wait_ns`]), synchronization waits (`sys_park`:
+//!   mutexes, channels, MVars, STM `retry`) in *lock wait*
+//!   ([`SimReport::lock_wait_ns`]), and sleeps in *timer wait* — a hot
+//!   lock stretches every waiter's completion time while disjoint work
+//!   overlaps, which is what makes sharding visible in virtual
+//!   throughput, and the I/O split keeps slow links from masquerading as
+//!   contention.
 //!
 //! The simulation itself stays single-OS-threaded and fully deterministic:
 //! CPU selection is lowest-frontier with a stable index tie-break, the
@@ -35,12 +40,12 @@
 //! byte-identical [`SimReport`] for any `cpus`. With `cpus = 1` the model
 //! reduces exactly to the original single-CPU schedule.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use eveth_core::engine::{self, CostKind, RuntimeCtx};
+use eveth_core::engine::{self, CostKind, RuntimeCtx, WaitKind};
 use eveth_core::reactor::{EventPort, Unparker};
 use eveth_core::runtime::{Stats, StatsSnapshot};
 use eveth_core::task::{Task, TaskId, TaskShell};
@@ -100,6 +105,72 @@ impl std::error::Error for SpawnError {}
 struct ReadyEntry {
     task: Task,
     ready_at: Nanos,
+    seq: u64,
+}
+
+/// The ready queue: FIFO order (a seq-keyed map) plus a `(ready_at, seq)`
+/// index, so both pick cases are cheap:
+///
+/// * *something is startable* — the FIFO walk stops at the first entry
+///   whose `ready_at` has passed (usually the head);
+/// * *nothing is startable* — the old code scanned the whole queue for
+///   the minimum ready time (the common case in contended sweeps, where
+///   the min-frontier CPU lags every entry); the index answers it in
+///   O(log n).
+///
+/// The pick is *exactly* the old linear scan's choice (pinned by the
+/// `pick_matches_linear_scan` proptest), so schedules — and the
+/// determinism goldens — are unchanged.
+struct ReadyQueue {
+    fifo: BTreeMap<u64, ReadyEntry>,
+    by_ready: BTreeSet<(Nanos, u64)>,
+    next_seq: u64,
+}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        ReadyQueue {
+            fifo: BTreeMap::new(),
+            by_ready: BTreeSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, task: Task, ready_at: Nanos) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_ready.insert((ready_at, seq));
+        self.fifo.insert(
+            seq,
+            ReadyEntry {
+                task,
+                ready_at,
+                seq,
+            },
+        );
+    }
+
+    /// The entry a CPU sitting at `frontier` should run next: the oldest
+    /// already-startable entry (FIFO among those), else the one with the
+    /// smallest `(ready_at, seq)`. Returns `(seq, ready_at)` without
+    /// removing — the caller may decide to service a device event first.
+    fn pick(&self, frontier: Nanos) -> Option<(u64, Nanos)> {
+        let &(min_ready, min_seq) = self.by_ready.first()?;
+        if min_ready > frontier {
+            // Nothing startable: earliest (ready_at, seq) via the index.
+            return Some((min_seq, min_ready));
+        }
+        self.fifo
+            .values()
+            .find(|e| e.ready_at <= frontier)
+            .map(|e| (e.seq, e.ready_at))
+    }
+
+    fn take(&mut self, seq: u64) -> Option<Task> {
+        let e = self.fifo.remove(&seq)?;
+        self.by_ready.remove(&(e.ready_at, e.seq));
+        Some(e.task)
+    }
 }
 
 /// Per-CPU clock frontiers and busy-time accounting.
@@ -147,7 +218,7 @@ impl CpuState {
 struct SimInner {
     self_weak: std::sync::Weak<SimInner>,
     clock: SimClock,
-    ready: Mutex<VecDeque<ReadyEntry>>,
+    ready: Mutex<ReadyQueue>,
     cpus: Mutex<CpuState>,
     /// Per-task floor on resume time: the virtual instant the task's last
     /// turn ended. A wake event raised from a lagging CPU's clock context
@@ -155,10 +226,21 @@ struct SimInner {
     /// waiter's own frontier) must never send the waiter's time backwards:
     /// its next turn starts at `max(wake time, floor)`.
     resume_floor: Mutex<HashMap<TaskId, Nanos>>,
-    /// Tasks currently parked on a sync wait queue → park time.
-    park_since: Mutex<HashMap<TaskId, Nanos>>,
+    /// Tasks currently blocked → (block time, wait class).
+    park_since: Mutex<HashMap<TaskId, (Nanos, WaitKind)>>,
+    io_wait_ns: AtomicU64,
+    io_waits: AtomicU64,
     lock_wait_ns: AtomicU64,
     lock_waits: AtomicU64,
+    timer_wait_ns: AtomicU64,
+    timer_waits: AtomicU64,
+    /// Aggregate of every non-timer blocked episode, accumulated
+    /// independently of the per-kind split so the
+    /// `io_wait_ns + lock_wait_ns == park_wait_ns` invariant is a real
+    /// cross-check (a future wait kind that falls through the match would
+    /// break the sum, not silently vanish).
+    park_wait_ns: AtomicU64,
+    park_waits: AtomicU64,
     next_tid: AtomicU64,
     live: AtomicI64,
     peak_live: AtomicI64,
@@ -196,14 +278,23 @@ impl RuntimeCtx for SimInner {
         // when the waker's CPU clock lags this task's).
         let floor = self.resume_floor.lock().get(&tid).copied().unwrap_or(0);
         let ready_at = self.clock.now().max(floor);
-        if let Some(parked_at) = self.park_since.lock().remove(&tid) {
+        if let Some((parked_at, kind)) = self.park_since.lock().remove(&tid) {
             // Measured on the task's own timeline; a wake whose event
             // time predates the park charges zero wait.
-            self.lock_wait_ns
-                .fetch_add(ready_at.saturating_sub(parked_at), Ordering::Relaxed);
-            self.lock_waits.fetch_add(1, Ordering::Relaxed);
+            let wait = ready_at.saturating_sub(parked_at);
+            let (ns, count) = match kind {
+                WaitKind::Io => (&self.io_wait_ns, &self.io_waits),
+                WaitKind::Lock => (&self.lock_wait_ns, &self.lock_waits),
+                WaitKind::Timer => (&self.timer_wait_ns, &self.timer_waits),
+            };
+            ns.fetch_add(wait, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+            if kind != WaitKind::Timer {
+                self.park_wait_ns.fetch_add(wait, Ordering::Relaxed);
+                self.park_waits.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        self.ready.lock().push_back(ReadyEntry { task, ready_at });
+        self.ready.lock().push(task, ready_at);
     }
     fn next_tid(&self) -> TaskId {
         TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
@@ -254,8 +345,8 @@ impl RuntimeCtx for SimInner {
         let next = job();
         self.push_ready(Task::from_parts(shell, next));
     }
-    fn task_parked(&self, tid: TaskId) {
-        self.park_since.lock().insert(tid, self.clock.now());
+    fn task_parked(&self, tid: TaskId, kind: WaitKind) {
+        self.park_since.lock().insert(tid, (self.clock.now(), kind));
     }
 }
 
@@ -278,11 +369,30 @@ pub struct SimReport {
     /// Virtual nanoseconds each CPU spent executing (turns + event
     /// dispatch); `busy / now` is that CPU's utilization.
     pub cpu_busy_ns: Vec<Nanos>,
+    /// Total virtual nanoseconds threads spent blocked on device readiness
+    /// (`sys_epoll_wait`: socket reads/writes/accepts/connects, pipes).
+    pub io_wait_ns: Nanos,
+    /// Number of readiness-wait episodes behind [`SimReport::io_wait_ns`].
+    pub io_waits: u64,
     /// Total virtual nanoseconds threads spent parked on synchronization
-    /// wait queues (`sys_park`: mutexes, channels, MVars, semaphores).
+    /// wait queues (`sys_park`: mutexes, channels, MVars, semaphores, STM
+    /// `retry`) — *pure* lock wait, with I/O readiness accounted
+    /// separately in [`SimReport::io_wait_ns`].
     pub lock_wait_ns: Nanos,
     /// Number of park→resume wait episodes behind [`SimReport::lock_wait_ns`].
     pub lock_waits: u64,
+    /// Total virtual nanoseconds threads spent blocked on timers
+    /// (`sys_sleep`).
+    pub timer_wait_ns: Nanos,
+    /// Number of sleep episodes behind [`SimReport::timer_wait_ns`].
+    pub timer_waits: u64,
+    /// Total blocked time across *all* park-class waits (I/O + lock,
+    /// timers excluded), accumulated independently of the split — the
+    /// invariant `io_wait_ns + lock_wait_ns == park_wait_ns` holds by
+    /// construction and is pinned by `tests/wait_split.rs`.
+    pub park_wait_ns: Nanos,
+    /// Number of episodes behind [`SimReport::park_wait_ns`].
+    pub park_waits: u64,
 }
 
 impl SimReport {
@@ -343,12 +453,18 @@ impl SimRuntime {
         let inner = Arc::new_cyclic(|weak| SimInner {
             self_weak: weak.clone(),
             clock,
-            ready: Mutex::new(VecDeque::new()),
+            ready: Mutex::new(ReadyQueue::new()),
             cpus: Mutex::new(CpuState::new(cpus)),
             resume_floor: Mutex::new(HashMap::new()),
             park_since: Mutex::new(HashMap::new()),
+            io_wait_ns: AtomicU64::new(0),
+            io_waits: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
             lock_waits: AtomicU64::new(0),
+            timer_wait_ns: AtomicU64::new(0),
+            timer_waits: AtomicU64::new(0),
+            park_wait_ns: AtomicU64::new(0),
+            park_waits: AtomicU64::new(0),
             next_tid: AtomicU64::new(1),
             live: AtomicI64::new(0),
             peak_live: AtomicI64::new(0),
@@ -444,26 +560,14 @@ impl SimRuntime {
 
         // Choose the entry that can start earliest on this CPU: the
         // oldest already-startable one (FIFO among those), else the one
-        // with the smallest ready time. A plain FIFO pop would let a head
+        // with the smallest ready time — via the (ready_at, seq) index
+        // (see [`ReadyQueue::pick`]). A plain FIFO pop would let a head
         // entry re-queued far in the future warp this CPU's frontier past
         // work that became ready long ago, serializing turns the model
         // says overlap.
-        let picked = {
-            let q = inner.ready.lock();
-            let mut best: Option<(usize, Nanos)> = None;
-            for (i, e) in q.iter().enumerate() {
-                if e.ready_at <= frontier {
-                    best = Some((i, e.ready_at));
-                    break;
-                }
-                if best.is_none_or(|(_, b)| e.ready_at < b) {
-                    best = Some((i, e.ready_at));
-                }
-            }
-            best
-        };
+        let picked = inner.ready.lock().pick(frontier);
         match picked {
-            Some((index, ready_at)) => {
+            Some((seq, ready_at)) => {
                 // If a device event is due before this turn could even
                 // start, service it first: it may ready an earlier task.
                 let start = frontier.max(ready_at);
@@ -477,11 +581,11 @@ impl SimRuntime {
                         return true;
                     }
                 }
-                let ReadyEntry { task, .. } = inner
+                let task = inner
                     .ready
                     .lock()
-                    .remove(index)
-                    .expect("picked index is in the queue");
+                    .take(seq)
+                    .expect("picked seq is in the queue");
                 let tid = task.tid();
                 let exits_before = inner.stats.exited.load(Ordering::Relaxed)
                     + inner.stats.uncaught.load(Ordering::Relaxed);
@@ -599,8 +703,14 @@ impl SimRuntime {
             uncaught: self.inner.uncaught_log.lock().clone(),
             cpus: busy.len(),
             cpu_busy_ns: busy,
+            io_wait_ns: self.inner.io_wait_ns.load(Ordering::Relaxed),
+            io_waits: self.inner.io_waits.load(Ordering::Relaxed),
             lock_wait_ns: self.inner.lock_wait_ns.load(Ordering::Relaxed),
             lock_waits: self.inner.lock_waits.load(Ordering::Relaxed),
+            timer_wait_ns: self.inner.timer_wait_ns.load(Ordering::Relaxed),
+            timer_waits: self.inner.timer_waits.load(Ordering::Relaxed),
+            park_wait_ns: self.inner.park_wait_ns.load(Ordering::Relaxed),
+            park_waits: self.inner.park_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -800,6 +910,70 @@ mod tests {
             "wait ns: {}",
             report.lock_wait_ns
         );
+    }
+
+    /// The old earliest-startable pick, verbatim: first FIFO entry whose
+    /// ready time has passed, else the first entry achieving the minimum
+    /// ready time. The proptest below pins [`ReadyQueue::pick`] to it.
+    fn linear_pick(model: &[(u64, Nanos)], frontier: Nanos) -> Option<u64> {
+        let mut best: Option<(usize, Nanos)> = None;
+        for (i, &(_, ready_at)) in model.iter().enumerate() {
+            if ready_at <= frontier {
+                best = Some((i, ready_at));
+                break;
+            }
+            if best.is_none_or(|(_, b)| ready_at < b) {
+                best = Some((i, ready_at));
+            }
+        }
+        best.map(|(i, _)| model[i].0)
+    }
+
+    fn dummy_task(seq: u64) -> Task {
+        Task::from_thunk(TaskId(seq + 1), Box::new(|| eveth_core::Trace::Ret))
+    }
+
+    use proptest::prelude::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// [`ReadyQueue::pick`] (the `(ready_at, seq)` index) chooses the
+        /// exact entry the old linear scan chose, across random
+        /// interleavings of pushes and picks — the index is a speedup,
+        /// never a schedule change.
+        #[test]
+        fn ready_queue_pick_matches_linear_scan(
+            ops in proptest::collection::vec((0u8..3u8, 0u64..400u64), 1..150)
+        ) {
+            let mut q = ReadyQueue::new();
+            // FIFO-ordered mirror of the queue: (seq, ready_at).
+            let mut model: Vec<(u64, Nanos)> = Vec::new();
+            let mut next = 0u64;
+            for (kind, v) in ops {
+                if kind == 0 {
+                    q.push(dummy_task(next), v);
+                    model.push((next, v));
+                    next += 1;
+                } else {
+                    // Two pick kinds so frontiers both above and below
+                    // the queued ready times get exercised.
+                    let frontier = if kind == 1 { v } else { v / 8 };
+                    let got = q.pick(frontier).map(|(seq, _)| seq);
+                    prop_assert_eq!(got, linear_pick(&model, frontier));
+                    if let Some(seq) = got {
+                        prop_assert!(q.take(seq).is_some());
+                        model.retain(|&(s, _)| s != seq);
+                    }
+                }
+            }
+            // Drain what's left: equivalence must hold to the end.
+            while let Some((seq, _)) = q.pick(0) {
+                prop_assert_eq!(Some(seq), linear_pick(&model, 0));
+                q.take(seq);
+                model.retain(|&(s, _)| s != seq);
+            }
+            prop_assert!(model.is_empty());
+        }
     }
 
     #[test]

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
-use eveth_core::reactor::Unparker;
-use eveth_core::syscall::{sys_nbio, sys_park, sys_sleep};
+use eveth_core::reactor::{AcceptQueue, Fd, Interest, InterestWaiters, Pollable, Waiter};
+use eveth_core::syscall::{sys_epoll_wait, sys_nbio, sys_sleep};
 use eveth_core::time::Nanos;
 use eveth_core::{loop_m, Loop, ThreadM};
 use parking_lot::Mutex;
@@ -102,8 +102,10 @@ struct DirState {
     closed: bool,      // sender closed; EOF once drained
     reset: bool,       // hard failure
     busy_until: Nanos, // sender-side serialization point
-    read_waiters: VecDeque<Unparker>,
-    write_waiters: VecDeque<Unparker>,
+    /// Readiness registrations: `Read` waiters are the receiving side
+    /// blocked for data/EOF, `Write` waiters the sending side blocked on
+    /// window space.
+    waiters: InterestWaiters,
 }
 
 struct Dir {
@@ -126,8 +128,7 @@ impl Dir {
                 closed: false,
                 reset: false,
                 busy_until: 0,
-                read_waiters: VecDeque::new(),
-                write_waiters: VecDeque::new(),
+                waiters: InterestWaiters::new(),
             }),
             clock,
             params,
@@ -161,9 +162,7 @@ impl Dir {
             let mut st = dir.st.lock();
             st.in_flight -= chunk.len();
             st.readable.extend(chunk.iter());
-            for u in st.read_waiters.drain(..) {
-                u.unpark();
-            }
+            st.waiters.wake(Interest::Read);
         });
         Ok(TryIo::Done(n))
     }
@@ -176,9 +175,7 @@ impl Dir {
         if !st.readable.is_empty() {
             let n = max.min(st.readable.len());
             let out: Bytes = st.readable.drain(..n).collect::<Vec<u8>>().into();
-            for u in st.write_waiters.drain(..) {
-                u.unpark();
-            }
+            st.waiters.wake(Interest::Write);
             return Ok(TryIo::Done(out));
         }
         if st.closed && st.in_flight == 0 {
@@ -198,34 +195,48 @@ impl Dir {
         self.clock.schedule_at(arrive, move || {
             let mut st = dir.st.lock();
             st.closed = true;
-            for u in st.read_waiters.drain(..) {
-                u.unpark();
-            }
-            for u in st.write_waiters.drain(..) {
-                u.unpark();
-            }
+            st.waiters.wake_all();
         });
     }
 
-    fn park_reader(self: &Arc<Self>, u: Unparker) {
-        let mut st = self.st.lock();
-        let ready = !st.readable.is_empty() || (st.closed && st.in_flight == 0) || st.reset;
-        if ready {
-            drop(st);
-            u.unpark();
-        } else {
-            st.read_waiters.push_back(u);
+    /// The readiness condition for `interest` on this direction.
+    fn is_ready(st: &DirState, interest: Interest, window: usize) -> bool {
+        match interest {
+            Interest::Read => {
+                !st.readable.is_empty() || (st.closed && st.in_flight == 0) || st.reset
+            }
+            Interest::Write => st.readable.len() + st.in_flight < window || st.closed || st.reset,
         }
     }
 
-    fn park_writer(self: &Arc<Self>, u: Unparker) {
+    /// Registers a readiness waiter, waking it immediately if `interest`
+    /// already holds (checked and parked under the direction lock, so no
+    /// wakeup can be lost).
+    fn register(self: &Arc<Self>, interest: Interest, waiter: Waiter) {
         let mut st = self.st.lock();
-        let ready = st.readable.len() + st.in_flight < self.params.window || st.closed || st.reset;
-        if ready {
+        if Self::is_ready(&st, interest, self.params.window) {
             drop(st);
-            u.unpark();
+            waiter.wake();
         } else {
-            st.write_waiters.push_back(u);
+            st.waiters.push(interest, waiter);
+        }
+    }
+}
+
+/// The pollable device behind a [`SimConn`]'s descriptor: `Read` readiness
+/// comes from the inbound direction, `Write` readiness from the outbound
+/// one — one epoll-style registration point per connection, as the
+/// paper's `sock_recv`/`sock_send` wrappers assume (Figure 10/15).
+struct ConnReady {
+    tx: Arc<Dir>,
+    rx: Arc<Dir>,
+}
+
+impl Pollable for ConnReady {
+    fn register(&self, interest: Interest, waiter: Waiter) {
+        match interest {
+            Interest::Read => self.rx.register(interest, waiter),
+            Interest::Write => self.tx.register(interest, waiter),
         }
     }
 }
@@ -239,18 +250,39 @@ struct SimConn {
     peer: Endpoint,
     tx: Arc<Dir>, // local → peer
     rx: Arc<Dir>, // peer → local
+    /// Readiness descriptor over both directions; every blocking socket
+    /// operation is a non-blocking attempt + `sys_epoll_wait` on this fd
+    /// (the paper's Figure 10 wrapper pattern).
+    fd: Fd,
+}
+
+impl SimConn {
+    fn new(local: Endpoint, peer: Endpoint, tx: Arc<Dir>, rx: Arc<Dir>) -> Arc<Self> {
+        let fd = Fd::new(Arc::new(ConnReady {
+            tx: Arc::clone(&tx),
+            rx: Arc::clone(&rx),
+        }));
+        Arc::new(SimConn {
+            local,
+            peer,
+            tx,
+            rx,
+            fd,
+        })
+    }
 }
 
 impl Conn for SimConn {
     fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
         let rx = Arc::clone(&self.rx);
+        let fd = self.fd.clone();
         loop_m((), move |()| {
             let try_rx = Arc::clone(&rx);
-            let park_rx = Arc::clone(&rx);
+            let fd = fd.clone();
             sys_nbio(move || try_rx.try_recv(max)).bind(move |r| match r {
                 Ok(TryIo::Done(b)) => ThreadM::pure(Loop::Break(Ok(b))),
                 Ok(TryIo::WouldBlock) => {
-                    sys_park(move |u| park_rx.park_reader(u)).map(|_| Loop::Continue(()))
+                    sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(()))
                 }
                 Err(e) => ThreadM::pure(Loop::Break(Err(e))),
             })
@@ -259,17 +291,18 @@ impl Conn for SimConn {
 
     fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>> {
         let tx = Arc::clone(&self.tx);
+        let fd = self.fd.clone();
         if data.is_empty() {
             return ThreadM::pure(Ok(0));
         }
         loop_m(data, move |data| {
             let try_tx = Arc::clone(&tx);
-            let park_tx = Arc::clone(&tx);
+            let fd = fd.clone();
             let attempt = data.clone();
             sys_nbio(move || try_tx.try_send(&attempt)).bind(move |r| match r {
                 Ok(TryIo::Done(n)) => ThreadM::pure(Loop::Break(Ok(n))),
                 Ok(TryIo::WouldBlock) => {
-                    sys_park(move |u| park_tx.park_writer(u)).map(move |_| Loop::Continue(data))
+                    sys_epoll_wait(&fd, Interest::Write).map(move |_| Loop::Continue(data))
                 }
                 Err(e) => ThreadM::pure(Loop::Break(Err(e))),
             })
@@ -298,53 +331,45 @@ impl fmt::Debug for SimConn {
 
 struct ListenerInner {
     endpoint: Endpoint,
-    backlog: Mutex<VecDeque<Arc<SimConn>>>,
-    waiters: Mutex<VecDeque<Unparker>>,
-    closed: Mutex<bool>,
+    queue: AcceptQueue<Arc<SimConn>>,
 }
 
-impl ListenerInner {
-    fn push(&self, conn: Arc<SimConn>) {
-        self.backlog.lock().push_back(conn);
-        for u in self.waiters.lock().drain(..) {
-            u.unpark();
-        }
+/// A listening socket is read-ready when its backlog holds a connection
+/// (or it was shut down) — accept blocks via the same `sys_epoll_wait`
+/// primitive as data transfer, per the paper's `sock_accept` (Figure 10).
+/// [`AcceptQueue`] synchronizes push/close/register on one lock, so no
+/// wakeup is lost to a concurrent connect *or* shutdown.
+impl Pollable for ListenerInner {
+    fn register(&self, _interest: Interest, waiter: Waiter) {
+        self.queue.register(waiter);
     }
 }
 
 struct SimListener {
     inner: Arc<ListenerInner>,
     fabric: Arc<SocketFabric>,
+    fd: Fd,
 }
 
 impl Listener for SimListener {
     fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
         let inner = Arc::clone(&self.inner);
+        let fd = self.fd.clone();
         loop_m((), move |()| {
             let try_inner = Arc::clone(&inner);
-            let park_inner = Arc::clone(&inner);
+            let fd = fd.clone();
             sys_nbio(move || {
-                if let Some(c) = try_inner.backlog.lock().pop_front() {
+                if let Some(c) = try_inner.queue.pop() {
                     return Some(Ok(c as Arc<dyn Conn>));
                 }
-                if *try_inner.closed.lock() {
+                if try_inner.queue.is_closed() {
                     return Some(Err(NetError::Closed));
                 }
                 None
             })
             .bind(move |got| match got {
                 Some(res) => ThreadM::pure(Loop::Break(res)),
-                None => sys_park(move |u| {
-                    let backlog = park_inner.backlog.lock();
-                    if !backlog.is_empty() || *park_inner.closed.lock() {
-                        drop(backlog);
-                        u.unpark();
-                    } else {
-                        drop(backlog);
-                        park_inner.waiters.lock().push_back(u);
-                    }
-                })
-                .map(|_| Loop::Continue(())),
+                None => sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(())),
             })
         })
     }
@@ -354,10 +379,7 @@ impl Listener for SimListener {
     }
 
     fn shutdown(&self) {
-        *self.inner.closed.lock() = true;
-        for u in self.inner.waiters.lock().drain(..) {
-            u.unpark();
-        }
+        self.inner.queue.close();
         self.fabric
             .state
             .lock()
@@ -390,14 +412,14 @@ impl NetStack for SimSocketStack {
             }
             let inner = Arc::new(ListenerInner {
                 endpoint,
-                backlog: Mutex::new(VecDeque::new()),
-                waiters: Mutex::new(VecDeque::new()),
-                closed: Mutex::new(false),
+                queue: AcceptQueue::new(),
             });
             st.listeners.insert(endpoint, Arc::clone(&inner));
+            let fd = Fd::new(Arc::clone(&inner) as Arc<dyn Pollable>);
             Ok(Arc::new(SimListener {
                 inner,
                 fabric: Arc::clone(&fabric),
+                fd,
             }) as Arc<dyn Listener>)
         })
     }
@@ -417,19 +439,12 @@ impl NetStack for SimSocketStack {
                 let local = Endpoint::new(host, fabric.ephemeral_port());
                 let a2b = Dir::new(fabric.clock.clone(), fabric.params);
                 let b2a = Dir::new(fabric.clock.clone(), fabric.params);
-                let client = Arc::new(SimConn {
-                    local,
-                    peer: remote,
-                    tx: Arc::clone(&a2b),
-                    rx: Arc::clone(&b2a),
-                });
-                let server = Arc::new(SimConn {
-                    local: remote,
-                    peer: local,
-                    tx: b2a,
-                    rx: a2b,
-                });
-                listener.push(server);
+                let client = SimConn::new(local, remote, Arc::clone(&a2b), Arc::clone(&b2a));
+                let server = SimConn::new(remote, local, b2a, a2b);
+                if listener.queue.push(server).is_err() {
+                    // Shut down between the lookup and the push.
+                    return Err(NetError::ConnectionRefused);
+                }
                 Ok(client as Arc<dyn Conn>)
             })
         })

@@ -38,4 +38,6 @@ mod tvar;
 mod txn;
 
 pub use tvar::TVar;
-pub use txn::{atomically_blocking, atomically_m, StmAbort, StmResult, Txn};
+pub use txn::{
+    atomically_blocking, atomically_m, atomically_m_with_stats, StmAbort, StmResult, Txn, TxnStats,
+};

@@ -2,7 +2,7 @@
 //! `retry` and `or_else`.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eveth_core::syscall::{sys_nbio, sys_park, sys_yield};
@@ -194,6 +194,38 @@ where
     }
 }
 
+/// Contention counters for a family of transactions.
+///
+/// STM contention never parks a thread on a lock — it shows up as
+/// *re-executions* — so it is invisible to lock-wait accounting. Handing
+/// the same `TxnStats` to every [`atomically_m_with_stats`] call over a
+/// shared datum (as the KV store's STM backend does per store) makes that
+/// contention observable: `conflicts + retry_waits` is the number of
+/// wasted attempts.
+#[derive(Debug, Default)]
+pub struct TxnStats {
+    /// Attempts invalidated by a concurrent commit (re-run immediately).
+    pub conflicts: AtomicU64,
+    /// Attempts that blocked on [`Txn::retry`] (re-run after a commit to
+    /// the read set).
+    pub retry_waits: AtomicU64,
+    /// Attempts that committed.
+    pub commits: AtomicU64,
+}
+
+impl TxnStats {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TxnStats::default())
+    }
+
+    /// Total re-executed attempts (conflicts + retry blocks) — the STM
+    /// analogue of lock contentions.
+    pub fn retries(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed) + self.retry_waits.load(Ordering::Relaxed)
+    }
+}
+
 /// Runs `body` transactionally from a *monadic thread*: attempts execute
 /// via `sys_nbio` (they never block the scheduler, per the paper's §4.7),
 /// `Conflict` re-runs after a yield, and `Retry` parks the thread on every
@@ -221,10 +253,41 @@ where
     A: Send + 'static,
     F: Fn(&mut Txn) -> StmResult<A> + Send + Sync + 'static,
 {
+    atomically_impl(body, None)
+}
+
+/// [`atomically_m`] with contention accounting: every attempt outcome is
+/// counted into `stats`, which callers typically share across all
+/// transactions touching one datum (see [`TxnStats`]).
+pub fn atomically_m_with_stats<A, F>(body: F, stats: Arc<TxnStats>) -> ThreadM<A>
+where
+    A: Send + 'static,
+    F: Fn(&mut Txn) -> StmResult<A> + Send + Sync + 'static,
+{
+    atomically_impl(body, Some(stats))
+}
+
+fn atomically_impl<A, F>(body: F, stats: Option<Arc<TxnStats>>) -> ThreadM<A>
+where
+    A: Send + 'static,
+    F: Fn(&mut Txn) -> StmResult<A> + Send + Sync + 'static,
+{
     let body = Arc::new(body);
     loop_m((), move |()| {
         let b = Arc::clone(&body);
-        sys_nbio(move || attempt(b.as_ref())).bind(move |res| match res {
+        let stats = stats.clone();
+        sys_nbio(move || {
+            let res = attempt(b.as_ref());
+            if let Some(stats) = &stats {
+                match &res {
+                    Ok(_) => stats.commits.fetch_add(1, Ordering::Relaxed),
+                    Err((StmAbort::Conflict, _)) => stats.conflicts.fetch_add(1, Ordering::Relaxed),
+                    Err((StmAbort::Retry, _)) => stats.retry_waits.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            res
+        })
+        .bind(move |res| match res {
             Ok(v) => ThreadM::pure(Loop::Break(v)),
             Err((StmAbort::Conflict, _)) => sys_yield().map(|_| Loop::Continue(())),
             Err((StmAbort::Retry, reads)) => {
@@ -378,6 +441,38 @@ mod tests {
             })
         });
         assert_eq!(got, "msg");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn txn_stats_count_commits_and_retry_blocks() {
+        use eveth_core::runtime::Runtime;
+        use eveth_core::syscall::{sys_fork, sys_sleep};
+        let rt = Runtime::builder().workers(2).build();
+        let stats = TxnStats::new();
+        let slot: TVar<Option<u32>> = TVar::new(None);
+        let producer_var = slot.clone();
+        let consumer_stats = Arc::clone(&stats);
+        let got = rt.block_on(eveth_core::do_m! {
+            sys_fork(eveth_core::do_m! {
+                sys_sleep(10 * eveth_core::time::MILLIS);
+                atomically_m(move |t| { t.write(&producer_var, Some(5)); Ok(()) })
+            });
+            atomically_m_with_stats(
+                move |t| match t.read(&slot)? {
+                    Some(v) => Ok(v),
+                    None => t.retry(),
+                },
+                consumer_stats,
+            )
+        });
+        assert_eq!(got, 5);
+        assert_eq!(stats.commits.load(Ordering::Relaxed), 1);
+        assert!(
+            stats.retry_waits.load(Ordering::Relaxed) >= 1,
+            "the consumer must have blocked at least once"
+        );
+        assert_eq!(stats.retries(), stats.retry_waits.load(Ordering::Relaxed));
         rt.shutdown();
     }
 

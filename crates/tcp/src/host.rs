@@ -9,7 +9,7 @@
 //! [`NetStack`](eveth_core::net::NetStack), so a server switches from
 //! kernel sockets to this stack by changing one line.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -17,8 +17,9 @@ use std::sync::{Arc, Weak};
 use bytes::Bytes;
 use eveth_core::engine::{spawn_thread, RuntimeCtx};
 use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
+use eveth_core::reactor::{AcceptQueue, Fd, Interest, Pollable, Waiter};
 use eveth_core::sync::Chan;
-use eveth_core::syscall::{sys_nbio, sys_park, sys_sleep, sys_time};
+use eveth_core::syscall::{sys_epoll_wait, sys_nbio, sys_sleep, sys_time};
 use eveth_core::time::Nanos;
 use eveth_core::{loop_m, Loop, ThreadM};
 use parking_lot::Mutex;
@@ -56,17 +57,16 @@ pub struct TcpStats {
 
 struct ListenerInner {
     port: u16,
-    backlog: Mutex<VecDeque<Arc<TcpConn>>>,
-    waiters: Mutex<Vec<eveth_core::reactor::Unparker>>,
-    closed: AtomicBool,
+    queue: AcceptQueue<Arc<TcpConn>>,
 }
 
-impl ListenerInner {
-    fn push(&self, conn: Arc<TcpConn>) {
-        self.backlog.lock().push_back(conn);
-        for u in self.waiters.lock().drain(..) {
-            u.unpark();
-        }
+/// Accept-readiness: the listening socket reads ready when the backlog
+/// holds an established connection or the listener was shut down
+/// ([`AcceptQueue`] synchronizes push/close/register on one lock, so no
+/// wakeup is lost to a concurrent promotion *or* shutdown).
+impl Pollable for ListenerInner {
+    fn register(&self, _interest: Interest, waiter: Waiter) {
+        self.queue.register(waiter);
     }
 }
 
@@ -199,7 +199,7 @@ impl TcpHost {
         if seg.flags.syn && !seg.flags.ack {
             let listener = self.listeners.lock().get(&seg.dst_port).cloned();
             if let Some(listener) = listener {
-                if !listener.closed.load(Ordering::SeqCst) {
+                if !listener.queue.is_closed() {
                     let local = Endpoint::new(self.host, seg.dst_port);
                     let tcb = Tcb::new_passive(
                         self.cfg.clone(),
@@ -242,21 +242,20 @@ impl TcpHost {
             return; // active open; connector was woken by the TCB itself
         };
         let listener = self.listeners.lock().get(&port).cloned();
-        match listener {
-            Some(listener) if !listener.closed.load(Ordering::SeqCst) => {
-                self.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
-                listener.push(Arc::new(TcpConn {
-                    host: self.arc(),
-                    key: *key,
-                    tcb: Arc::clone(tcb_arc),
-                }));
-            }
-            _ => {
-                // Listener vanished: abort the orphan.
-                let rst = tcb_arc.lock().app_abort();
-                self.send_segs(key.peer.host, vec![rst]);
-                self.conns.lock().remove(key);
-            }
+        let pushed = match listener {
+            Some(listener) => listener
+                .queue
+                .push(TcpConn::attach(self.arc(), *key, Arc::clone(tcb_arc)))
+                .is_ok(),
+            None => false,
+        };
+        if pushed {
+            self.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Listener vanished or shut down: abort the orphan.
+            let rst = tcb_arc.lock().app_abort();
+            self.send_segs(key.peer.host, vec![rst]);
+            self.conns.lock().remove(key);
         }
     }
 
@@ -332,14 +331,55 @@ fn worker_tcp_timer(host: Arc<TcpHost>) -> ThreadM<()> {
 // Socket objects.
 // ---------------------------------------------------------------------------
 
+/// The pollable device behind a [`TcpConn`]'s descriptor: readiness is
+/// answered by the TCB itself, under its own lock (so the check-then-park
+/// of `register` cannot lose a wakeup to a concurrent segment arrival).
+struct TcbSock {
+    tcb: Arc<Mutex<Tcb>>,
+}
+
+impl Pollable for TcbSock {
+    fn register(&self, interest: Interest, waiter: Waiter) {
+        let mut t = self.tcb.lock();
+        match interest {
+            Interest::Read => t.register_reader(waiter),
+            Interest::Write => t.register_writer(waiter),
+        }
+    }
+}
+
+/// The pollable device behind an in-flight active open: per the
+/// non-blocking `connect` convention the socket becomes writable when the
+/// handshake resolves, so the connector waits on `Write` readiness of
+/// this gate rather than parking.
+struct ConnectGate {
+    tcb: Arc<Mutex<Tcb>>,
+}
+
+impl Pollable for ConnectGate {
+    fn register(&self, _interest: Interest, waiter: Waiter) {
+        self.tcb.lock().register_connector(waiter);
+    }
+}
+
 /// A TCP connection exposed through the generic [`Conn`] interface.
 pub struct TcpConn {
     host: Arc<TcpHost>,
     key: ConnKey,
     tcb: Arc<Mutex<Tcb>>,
+    /// Readiness descriptor over the TCB; every blocking socket operation
+    /// is a non-blocking attempt + `sys_epoll_wait` on this fd.
+    fd: Fd,
 }
 
 impl TcpConn {
+    fn attach(host: Arc<TcpHost>, key: ConnKey, tcb: Arc<Mutex<Tcb>>) -> Arc<Self> {
+        let fd = Fd::new(Arc::new(TcbSock {
+            tcb: Arc::clone(&tcb),
+        }));
+        Arc::new(TcpConn { host, key, tcb, fd })
+    }
+
     /// Retransmission count (for tests and the loss benchmarks).
     pub fn retransmits(&self) -> u64 {
         self.tcb.lock().retransmits()
@@ -355,10 +395,11 @@ impl Conn for TcpConn {
     fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
         let tcb = Arc::clone(&self.tcb);
         let host = Arc::clone(&self.host);
+        let fd = self.fd.clone();
         let peer = self.key.peer.host;
         loop_m((), move |()| {
             let try_tcb = Arc::clone(&tcb);
-            let park_tcb = Arc::clone(&tcb);
+            let fd = fd.clone();
             let h = Arc::clone(&host);
             sys_nbio(move || {
                 let mut t = try_tcb.lock();
@@ -377,9 +418,7 @@ impl Conn for TcpConn {
             })
             .bind(move |res| match res {
                 Some(r) => ThreadM::pure(Loop::Break(r)),
-                None => {
-                    sys_park(move |u| park_tcb.lock().park_reader(u)).map(|_| Loop::Continue(()))
-                }
+                None => sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(())),
             })
         })
     }
@@ -390,10 +429,11 @@ impl Conn for TcpConn {
         }
         let tcb = Arc::clone(&self.tcb);
         let host = Arc::clone(&self.host);
+        let fd = self.fd.clone();
         let peer = self.key.peer.host;
         loop_m(data, move |data| {
             let try_tcb = Arc::clone(&tcb);
-            let park_tcb = Arc::clone(&tcb);
+            let fd = fd.clone();
             let h = Arc::clone(&host);
             let attempt = data.clone();
             sys_time()
@@ -414,8 +454,7 @@ impl Conn for TcpConn {
                 })
                 .bind(move |res| match res {
                     Some(r) => ThreadM::pure(Loop::Break(r)),
-                    None => sys_park(move |u| park_tcb.lock().park_writer(u))
-                        .map(move |_| Loop::Continue(data)),
+                    None => sys_epoll_wait(&fd, Interest::Write).map(move |_| Loop::Continue(data)),
                 })
         })
     }
@@ -454,36 +493,28 @@ impl fmt::Debug for TcpConn {
 pub struct TcpListener {
     host: Arc<TcpHost>,
     inner: Arc<ListenerInner>,
+    fd: Fd,
 }
 
 impl Listener for TcpListener {
     fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
         let inner = Arc::clone(&self.inner);
+        let fd = self.fd.clone();
         loop_m((), move |()| {
             let try_inner = Arc::clone(&inner);
-            let park_inner = Arc::clone(&inner);
+            let fd = fd.clone();
             sys_nbio(move || {
-                if let Some(c) = try_inner.backlog.lock().pop_front() {
+                if let Some(c) = try_inner.queue.pop() {
                     return Some(Ok(c as Arc<dyn Conn>));
                 }
-                if try_inner.closed.load(Ordering::SeqCst) {
+                if try_inner.queue.is_closed() {
                     return Some(Err(NetError::Closed));
                 }
                 None
             })
             .bind(move |got| match got {
                 Some(r) => ThreadM::pure(Loop::Break(r)),
-                None => sys_park(move |u| {
-                    let backlog = park_inner.backlog.lock();
-                    if !backlog.is_empty() || park_inner.closed.load(Ordering::SeqCst) {
-                        drop(backlog);
-                        u.unpark();
-                    } else {
-                        drop(backlog);
-                        park_inner.waiters.lock().push(u);
-                    }
-                })
-                .map(|_| Loop::Continue(())),
+                None => sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(())),
             })
         })
     }
@@ -493,10 +524,7 @@ impl Listener for TcpListener {
     }
 
     fn shutdown(&self) {
-        self.inner.closed.store(true, Ordering::SeqCst);
-        for u in self.inner.waiters.lock().drain(..) {
-            u.unpark();
-        }
+        self.inner.queue.close();
         self.host.listeners.lock().remove(&self.inner.port);
     }
 }
@@ -517,15 +545,15 @@ impl NetStack for TcpHost {
             }
             let inner = Arc::new(ListenerInner {
                 port,
-                backlog: Mutex::new(VecDeque::new()),
-                waiters: Mutex::new(Vec::new()),
-                closed: AtomicBool::new(false),
+                queue: AcceptQueue::new(),
             });
             listeners.insert(port, Arc::clone(&inner));
             drop(listeners);
+            let fd = Fd::new(Arc::clone(&inner) as Arc<dyn Pollable>);
             Ok(Arc::new(TcpListener {
                 host: Arc::clone(&host),
                 inner,
+                fd,
             }) as Arc<dyn Listener>)
         })
     }
@@ -561,9 +589,15 @@ impl NetStack for TcpHost {
             })
             .bind(move |(key, tcb_arc)| {
                 let host2 = Arc::clone(&host);
+                // The handshake wait is Write readiness on the connect
+                // gate (non-blocking `connect` convention).
+                let gate = Fd::new(Arc::new(ConnectGate {
+                    tcb: Arc::clone(&tcb_arc),
+                }));
                 loop_m((), move |()| {
                     let check_tcb = Arc::clone(&tcb_arc);
-                    let park_tcb = Arc::clone(&tcb_arc);
+                    let conn_tcb = Arc::clone(&tcb_arc);
+                    let gate = gate.clone();
                     let h = Arc::clone(&host2);
                     sys_nbio(move || {
                         let t = check_tcb.lock();
@@ -575,24 +609,16 @@ impl NetStack for TcpHost {
                             _ => None,
                         }
                     })
-                    .bind({
-                        let tcb_arc = Arc::clone(&park_tcb);
-                        move |res| match res {
-                            Some(Ok(())) => {
-                                let conn = Arc::new(TcpConn {
-                                    host: Arc::clone(&h),
-                                    key,
-                                    tcb: Arc::clone(&tcb_arc),
-                                }) as Arc<dyn Conn>;
-                                ThreadM::pure(Loop::Break(Ok(conn)))
-                            }
-                            Some(Err(e)) => {
-                                h.conns.lock().remove(&key);
-                                ThreadM::pure(Loop::Break(Err(e)))
-                            }
-                            None => sys_park(move |u| tcb_arc.lock().park_connector(u))
-                                .map(|_| Loop::Continue(())),
+                    .bind(move |res| match res {
+                        Some(Ok(())) => {
+                            let conn = TcpConn::attach(Arc::clone(&h), key, conn_tcb);
+                            ThreadM::pure(Loop::Break(Ok(conn as Arc<dyn Conn>)))
                         }
+                        Some(Err(e)) => {
+                            h.conns.lock().remove(&key);
+                            ThreadM::pure(Loop::Break(Err(e)))
+                        }
+                        None => sys_epoll_wait(&gate, Interest::Write).map(|_| Loop::Continue(())),
                     })
                 })
             })

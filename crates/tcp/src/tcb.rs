@@ -11,7 +11,7 @@ use std::fmt;
 
 use bytes::Bytes;
 use eveth_core::net::{Endpoint, NetError};
-use eveth_core::reactor::Unparker;
+use eveth_core::reactor::Waiter;
 use eveth_core::time::{Nanos, MILLIS};
 
 use crate::congestion::{CcAction, Reno};
@@ -120,10 +120,12 @@ pub struct Tcb {
     error: Option<NetError>,
     retransmit_count: u64,
 
-    // Parked application threads.
-    recv_waiters: Vec<Unparker>,
-    send_waiters: Vec<Unparker>,
-    conn_waiters: Vec<Unparker>,
+    // Readiness registrations from blocked application threads
+    // (`sys_epoll_wait` waiters, routed through the runtime's event port
+    // on wake).
+    recv_waiters: Vec<Waiter>,
+    send_waiters: Vec<Waiter>,
+    conn_waiters: Vec<Waiter>,
 }
 
 impl Tcb {
@@ -293,9 +295,9 @@ impl Tcb {
 
     // -- Wakeups -------------------------------------------------------------
 
-    fn wake(list: &mut Vec<Unparker>) {
-        for u in list.drain(..) {
-            u.unpark();
+    fn wake(list: &mut Vec<Waiter>) {
+        for w in list.drain(..) {
+            w.wake();
         }
     }
 
@@ -305,31 +307,34 @@ impl Tcb {
         Self::wake(&mut self.conn_waiters);
     }
 
-    /// Parks an application reader; wakes immediately if data/EOF/error is
-    /// already available (lost-wakeup-free: callers hold the TCB lock).
-    pub fn park_reader(&mut self, u: Unparker) {
+    /// Registers a read-readiness waiter; wakes immediately if
+    /// data/EOF/error is already available (lost-wakeup-free: callers hold
+    /// the TCB lock).
+    pub fn register_reader(&mut self, w: Waiter) {
         if self.read_ready() {
-            u.unpark();
+            w.wake();
         } else {
-            self.recv_waiters.push(u);
+            self.recv_waiters.push(w);
         }
     }
 
-    /// Parks an application writer.
-    pub fn park_writer(&mut self, u: Unparker) {
+    /// Registers a write-readiness waiter.
+    pub fn register_writer(&mut self, w: Waiter) {
         if self.write_ready() {
-            u.unpark();
+            w.wake();
         } else {
-            self.send_waiters.push(u);
+            self.send_waiters.push(w);
         }
     }
 
-    /// Parks a thread waiting for the handshake to finish.
-    pub fn park_connector(&mut self, u: Unparker) {
+    /// Registers a waiter for handshake completion — the non-blocking
+    /// `connect` convention: the socket signals writable once the
+    /// three-way handshake resolves (either way).
+    pub fn register_connector(&mut self, w: Waiter) {
         if self.state == State::Established || self.error.is_some() || self.state == State::Closed {
-            u.unpark();
+            w.wake();
         } else {
-            self.conn_waiters.push(u);
+            self.conn_waiters.push(w);
         }
     }
 
