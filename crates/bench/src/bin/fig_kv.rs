@@ -1,0 +1,6 @@
+//! Binary form of the KV sweep: `cargo run --release -p eveth-bench --bin
+//! fig_kv` regenerates `BENCH_kv.json` exactly as the bench target does.
+
+fn main() {
+    eveth_bench::figkv::run();
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod allocmeter;
+pub mod figkv;
 pub mod tables;
 pub mod workloads;
 

@@ -9,8 +9,15 @@
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
-//! * **No shrinking** — a failing case reports its inputs and panics; it
-//!   is not minimized.
+//! * **Greedy value shrinking** — a failing case is minimized by
+//!   repeatedly trying strategy-proposed smaller candidates
+//!   ([`Strategy::shrink`](strategy::Strategy::shrink), driven by
+//!   [`minimize`]) and keeping whichever still fails, within a fixed
+//!   candidate budget. Ranges shrink toward their start, collections
+//!   toward their minimum length (then element-wise), strings toward
+//!   shorter all-minimal-character forms, options toward `None`;
+//!   `prop_map`/`prop_oneof!`/recursive strategies do not shrink (no
+//!   inverse is available), unlike real proptest's value trees.
 //! * Generation is a fixed deterministic stream seeded from the test name
 //!   (override with `PROPTEST_SEED=<u64>`), so failures reproduce exactly.
 //! * The string strategy supports the character-class pattern subset the
@@ -100,6 +107,16 @@ pub mod strategy {
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Proposes strictly "smaller" candidates derived from `value`,
+        /// each still satisfying this strategy's constraints (range
+        /// bounds, length bounds, character classes). The failure
+        /// minimizer ([`minimize`](crate::minimize)) greedily walks these;
+        /// strategies with no meaningful notion of smaller (mapped,
+        /// one-of, recursive) return nothing, which is the default.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -160,6 +177,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             self.inner.generate(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.inner.shrink(value)
         }
     }
 
@@ -264,6 +284,23 @@ pub mod strategy {
                     let width = (self.end as i128 - self.start as i128) as u128;
                     (self.start as i128 + rng.below(width) as i128) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    // Toward the range start: the start itself, the
+                    // midpoint, and one step down — the classic bisecting
+                    // ladder, deduplicated.
+                    let mut out = Vec::new();
+                    if *v != self.start {
+                        let mid = (self.start as i128
+                            + (*v as i128 - self.start as i128) / 2) as $t;
+                        let dec = *v - 1;
+                        for c in [self.start, mid, dec] {
+                            if c != *v && !out.contains(&c) {
+                                out.push(c);
+                            }
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -288,6 +325,35 @@ pub mod strategy {
             (0..len)
                 .map(|_| alphabet[rng.below(alphabet.len() as u128) as usize])
                 .collect()
+        }
+        fn shrink(&self, v: &String) -> Vec<String> {
+            let Some((alphabet, lo, _hi)) = parse_class_pattern(self) else {
+                return Vec::new();
+            };
+            let chars: Vec<char> = v.chars().collect();
+            let mut out = Vec::new();
+            // Shorter first (down to the pattern minimum)...
+            if chars.len() > lo {
+                out.push(chars[..lo].iter().collect());
+                let half = chars.len() / 2;
+                if half > lo {
+                    out.push(chars[..half].iter().collect());
+                }
+                out.push(chars[..chars.len() - 1].iter().collect());
+            }
+            // ...then each non-minimal character lowered to the class
+            // minimum, one position at a time.
+            let min = alphabet[0];
+            for (i, &c) in chars.iter().enumerate() {
+                if c != min {
+                    let mut lowered = chars.clone();
+                    lowered[i] = min;
+                    out.push(lowered.into_iter().collect());
+                }
+            }
+            out.retain(|c: &String| c != v);
+            out.dedup();
+            out
         }
     }
 
@@ -331,15 +397,55 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($name,)+) = self;
                     ($($name.generate(rng),)+)
                 }
+                #[allow(non_snake_case)]
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others held fixed.
+                    let mut out = Vec::new();
+                    tuple_shrink_slots!(self value out ($($name)+));
+                    out
+                }
             }
         };
+    }
+
+    /// Expands, per tuple slot, "for each candidate of that slot's
+    /// strategy, emit the tuple with only that slot replaced".
+    macro_rules! tuple_shrink_slots {
+        ($self:ident $value:ident $out:ident ($($name:ident)+)) => {
+            tuple_shrink_slots!(@walk $self $value $out () ($($name)+));
+        };
+        (@walk $self:ident $value:ident $out:ident ($($before:ident)*) ($cur:ident $($after:ident)*)) => {
+            {
+                let __cands = {
+                    #[allow(unused_variables, non_snake_case)]
+                    let ($($before,)* __slot_strategy, $($after,)*) = $self;
+                    #[allow(unused_variables, non_snake_case)]
+                    let ($($before,)* __slot_value, $($after,)*) = &*$value;
+                    __slot_strategy.shrink(__slot_value)
+                };
+                #[allow(unused_variables, non_snake_case)]
+                let ($($before,)* __slot_value, $($after,)*) = &*$value;
+                for __cand in __cands {
+                    $out.push((
+                        $(::std::clone::Clone::clone($before),)*
+                        __cand,
+                        $(::std::clone::Clone::clone($after),)*
+                    ));
+                }
+            }
+            tuple_shrink_slots!(@walk $self $value $out ($($before)* $cur) ($($after)*));
+        };
+        (@walk $self:ident $value:ident $out:ident ($($before:ident)*) ()) => {};
     }
 
     tuple_strategy!(A);
@@ -395,11 +501,38 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u128) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let lo = self.size.lo;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Length first: minimum, half, one-shorter...
+            if v.len() > lo {
+                out.push(v[..lo].to_vec());
+                let half = v.len() / 2;
+                if half > lo {
+                    out.push(v[..half].to_vec());
+                }
+                out.push(v[..v.len() - 1].to_vec());
+                out.dedup_by_key(|c| c.len());
+            }
+            // ...then element-wise: every candidate of every position
+            // (the minimizer's budget bounds the walk).
+            for (i, elem) in v.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut next = v.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -431,6 +564,14 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+        fn shrink(&self, v: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match v {
+                None => Vec::new(),
+                Some(inner) => std::iter::once(None)
+                    .chain(self.inner.shrink(inner).into_iter().map(Some))
+                    .collect(),
+            }
+        }
     }
 }
 
@@ -445,6 +586,12 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Generates an unconstrained value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Proposes smaller values (for failure minimization); default
+        /// none.
+        fn shrink_value(&self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! int_arbitrary {
@@ -452,6 +599,21 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink_value(&self) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        // One step toward zero (overflow-safe at MIN for
+                        // the signed types).
+                        #[allow(unused_comparisons)]
+                        let step = if *self > 0 { *self - 1 } else { *self + 1 };
+                        for c in [0 as $t, *self / 2, step] {
+                            if c != *self && !out.contains(&c) {
+                                out.push(c);
+                            }
+                        }
+                    }
+                    out
                 }
             }
         )*};
@@ -462,6 +624,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -485,6 +654,9 @@ pub mod arbitrary {
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_value()
+        }
     }
 }
 
@@ -495,6 +667,50 @@ pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Pins an un-annotated closure's parameter to `S::Value` (macro
+/// plumbing: the `proptest!` expansion cannot name the tuple type its
+/// strategies generate, so it routes closures through this identity
+/// function to fix their argument type).
+#[doc(hidden)]
+pub fn with_value_fn<S, R, F>(_strategy: &S, f: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> R,
+{
+    f
+}
+
+/// Greedily minimizes a failing input: repeatedly asks `strategy` for
+/// smaller candidates ([`Strategy::shrink`](strategy::Strategy::shrink))
+/// and keeps the first one on which `fails` still returns `true`, until no
+/// candidate fails or the evaluation budget (512 candidate runs) is
+/// spent. The result is a local minimum — every one-step-smaller variant
+/// of it passes.
+pub fn minimize<S, F>(strategy: &S, mut current: S::Value, fails: F) -> S::Value
+where
+    S: strategy::Strategy + ?Sized,
+    F: Fn(&S::Value) -> bool,
+{
+    let mut budget: usize = 512;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
 }
 
 /// Defines property tests: each `fn name(arg in strategy, …) { body }`
@@ -524,25 +740,49 @@ macro_rules! __proptest_items {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
             let __strategies = ($($strat,)+);
             let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-            for __case in 0..__config.cases {
-                let ($($arg,)+) =
-                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
-                let __inputs = format!(
-                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
-                    $(&$arg),+
-                );
-                let __outcome = ::std::panic::catch_unwind(
+            // Runs the property on (a clone of) a candidate tuple; true =
+            // the body panicked. Used both for detection and, silently,
+            // by the shrinking loop.
+            let __fails = $crate::with_value_fn(&__strategies, |__vals| -> bool {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                ::std::panic::catch_unwind(
                     ::std::panic::AssertUnwindSafe(move || { $body }),
-                );
-                if let Err(panic) = __outcome {
+                )
+                .is_err()
+            });
+            let __show = $crate::with_value_fn(&__strategies, |__vals| {
+                let ($(ref $arg,)+) = *__vals;
+                format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $($arg),+
+                )
+            });
+            for __case in 0..__config.cases {
+                let __vals =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                if __fails(&__vals) {
+                    let __original = __show(&__vals);
+                    // Minimize with panic output suppressed (each shrink
+                    // candidate that still fails would otherwise print a
+                    // full panic report).
+                    let __hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                    let __min = $crate::minimize(&__strategies, __vals, &__fails);
+                    ::std::panic::set_hook(__hook);
                     eprintln!(
-                        "proptest property `{}` failed at case {}/{} with inputs:{}",
+                        "proptest property `{}` failed at case {}/{} with inputs:{}\n\
+                         minimized to:{}",
                         stringify!($name),
                         __case + 1,
                         __config.cases,
-                        __inputs
+                        __original,
+                        __show(&__min),
                     );
-                    ::std::panic::resume_unwind(panic);
+                    // Re-run the minimized case outside catch_unwind so
+                    // the test fails with its (smallest) panic.
+                    let ($($arg,)+) = __min;
+                    { $body }
+                    ::std::panic!("minimized case no longer fails (flaky property)");
                 }
             }
         }
@@ -632,7 +872,9 @@ mod tests {
 
     #[test]
     fn recursion_terminates() {
-        #[derive(Debug)]
+        // Clone: tuple strategies require clonable values (the shrinker
+        // rebuilds tuples component-wise).
+        #[derive(Debug, Clone)]
         #[allow(dead_code)] // Leaf payload exists to exercise prop_map
         enum Tree {
             Leaf(i64),
@@ -653,6 +895,74 @@ mod tests {
         for _ in 0..100 {
             assert!(depth(&strat.generate(&mut rng)) <= 4);
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        // Property: "fails" whenever v >= 37. The minimum failing value in
+        // 5..100 is exactly 37, and the greedy minimizer must find it.
+        let strat = 5u64..100;
+        let min = crate::minimize(&strat, 93, |v| *v >= 37);
+        assert_eq!(min, 37);
+        // Candidates never leave the range and never repeat the value.
+        for v in [6u64, 50, 99] {
+            for c in strat.shrink(&v) {
+                assert!((5..100).contains(&c) && c != v, "bad candidate {c}");
+            }
+        }
+        assert!(strat.shrink(&5).is_empty(), "the start cannot shrink");
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        // Property: fails while some element is >= 50. Minimal failing
+        // input under our shrinks: exactly one element, exactly 50.
+        let strat = crate::collection::vec(0u32..100, 0..20);
+        let start = vec![73u32, 12, 88, 3, 51];
+        let min = crate::minimize(&strat, start, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(min, vec![50]);
+    }
+
+    #[test]
+    fn string_shrinks_to_minimal_failing_form() {
+        // Property: fails while the string has >= 3 chars. Minimal form:
+        // three minimum-class characters.
+        let strat = "[a-z]{1,8}";
+        let min = crate::minimize(&strat, "qwxyzt".to_string(), |s| s.len() >= 3);
+        assert_eq!(min, "aaa");
+        // Shrinking respects the pattern's minimum length.
+        let strat1 = "[a-e]{2,4}";
+        for c in crate::strategy::Strategy::shrink(&strat1, &"dcb".to_string()) {
+            assert!(c.len() >= 2, "candidate {c:?} under the pattern minimum");
+            assert!(c.chars().all(|ch| ('a'..='e').contains(&ch)));
+        }
+    }
+
+    #[test]
+    fn tuples_and_options_shrink_componentwise() {
+        let strat = (0u32..100, crate::option::of(0u32..100));
+        // Fails while the sum of present numbers is >= 10. Slot order
+        // drives the greedy walk: the first component bottoms out at 0,
+        // then the option carries the remaining minimum — a local minimum
+        // with sum exactly 10.
+        let min = crate::minimize(&strat, (60, Some(40)), |(a, b)| a + b.unwrap_or(0) >= 10);
+        assert_eq!(min, (0, Some(10)));
+        let bools = crate::arbitrary::any::<bool>();
+        assert_eq!(
+            crate::strategy::Strategy::shrink(&bools, &true),
+            vec![false]
+        );
+        assert!(crate::strategy::Strategy::shrink(&bools, &false).is_empty());
+    }
+
+    #[test]
+    fn minimize_is_a_noop_without_failing_candidates() {
+        // A predicate only the original satisfies: nothing shrinks.
+        let strat = 0u64..100;
+        assert_eq!(crate::minimize(&strat, 77, |v| *v == 77), 77);
+        // And unshrinkable strategies (prop_map) stay untouched.
+        let mapped = crate::strategy::Strategy::prop_map(0u32..10, |v| v * 2);
+        assert!(crate::strategy::Strategy::shrink(&mapped, &6).is_empty());
     }
 
     proptest! {

@@ -67,6 +67,43 @@ pub enum WaitKind {
     Timer,
 }
 
+/// Cancellation handle for a timer armed with [`RuntimeCtx::timer_wake`].
+///
+/// Dropping the handle without calling [`cancel`](TimerHandle::cancel)
+/// leaves the timer armed; firing a timer whose waiter was already woken
+/// through another route is a no-op, so a leaked handle is safe — but the
+/// event layer cancels losing timeout branches eagerly so abandoned
+/// deadlines cannot keep a simulation's event heap alive (and its virtual
+/// clock running) after the race is decided.
+pub struct TimerHandle(Option<Box<dyn FnOnce() + Send>>);
+
+impl TimerHandle {
+    /// Wraps a runtime-specific cancellation action.
+    pub fn new(cancel: impl FnOnce() + Send + 'static) -> Self {
+        TimerHandle(Some(Box::new(cancel)))
+    }
+
+    /// A handle whose cancellation does nothing — for runtimes that
+    /// discard expired registrations lazily (spent-waiter skip at expiry).
+    pub fn noop() -> Self {
+        TimerHandle(None)
+    }
+
+    /// Disarms the timer (best effort: the runtime may already have fired
+    /// it, in which case the wake was delivered or fell on a spent waiter).
+    pub fn cancel(mut self) {
+        if let Some(f) = self.0.take() {
+            f();
+        }
+    }
+}
+
+impl std::fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TimerHandle(cancellable={})", self.0.is_some())
+    }
+}
+
 /// Services a scheduler needs from its runtime. One implementation exists
 /// per execution mode (real, simulated, kernel-thread model).
 pub trait RuntimeCtx: Send + Sync {
@@ -102,6 +139,25 @@ pub trait RuntimeCtx: Send + Sync {
     /// I/O, locking, or timers separately; the simulator uses it for the
     /// `io_wait_ns`/`lock_wait_ns` split in its report. Default: no-op.
     fn task_parked(&self, _tid: TaskId, _kind: WaitKind) {}
+    /// Re-attributes the in-flight blocked episode of `tid` to `kind`.
+    ///
+    /// A multi-branch park (`event::choose`) blocks through one `sys_park`
+    /// and is provisionally charged as [`WaitKind::Lock`]; when a branch
+    /// wins the race it calls this (via
+    /// [`Unparker::reclassify`](crate::reactor::Unparker::reclassify))
+    /// just before the wake, so the episode lands in the winner's wait
+    /// class — a timeout win is timer wait, a readiness win is I/O wait.
+    /// Called only while `tid` is still parked. Default: no-op.
+    fn task_wait_reclass(&self, _tid: TaskId, _kind: WaitKind) {}
+    /// Arms a one-shot timer that wakes `waiter` after `dur` — the
+    /// unparker-based sibling of [`RuntimeCtx::sleep`], used by the event
+    /// layer's `timeout_evt` so a deadline can *race* other wait sources
+    /// instead of committing the whole thread to a sleep. Firing a spent
+    /// waiter must be a no-op. The returned handle should cancel eagerly
+    /// where the runtime's timer store supports it (the simulator must,
+    /// so abandoned timeouts do not extend virtual time); a runtime that
+    /// skips spent waiters at expiry may return [`TimerHandle::noop`].
+    fn timer_wake(&self, dur: Nanos, waiter: Waiter) -> TimerHandle;
 }
 
 /// Interprets one scheduling turn of `task`: forces trace nodes and performs
@@ -357,6 +413,11 @@ pub mod testing {
         fn sleep(&self, _dur: Nanos, task: Task) {
             // Timers fire immediately in the test context.
             self.ready.lock().push_back(task);
+        }
+        fn timer_wake(&self, _dur: Nanos, waiter: Waiter) -> TimerHandle {
+            // Like `sleep`, timers fire immediately in the test context.
+            waiter.wake();
+            TimerHandle::noop()
         }
         fn submit_blio(&self, job: BlioJob, shell: TaskShell) {
             let next = job();

@@ -1,0 +1,715 @@
+//! First-class composable events: a Concurrent-ML-style `Event` layer over
+//! the park protocol.
+//!
+//! The paper's thesis is that threads and events are two views of one
+//! abstraction — but a *blocking call* commits a thread to exactly one wait
+//! at a time, so "receive OR time out OR shut down" cannot be written
+//! without helper threads. CML's answer (Reppy; Chaudhuri, *Event
+//! Synchronization by Lightweight Message Passing*) is to reify the
+//! blocking operation as a value:
+//!
+//! * an [`Event<A>`] *describes* a synchronization producing an `A`;
+//! * [`choose`] composes alternatives, [`wrap`] maps the result,
+//!   [`guard`] defers construction until synchronization time;
+//! * [`sync`] converts the description back into the thread view:
+//!   `sync(e) : ThreadM<A>` blocks until one alternative commits.
+//!
+//! The equation `blocking_op() == sync(blocking_op_evt())` is how the
+//! retrofitted primitives ([`Chan`](crate::sync::Chan),
+//! [`SyncChan`](crate::sync::SyncChan), [`MVar`](crate::sync::MVar)) define
+//! their blocking methods.
+//!
+//! # Lowering onto `sys_park`
+//!
+//! Synchronization runs entirely as library code on the scheduler-extension
+//! interface ([`sys_park`](crate::syscall::sys_park)), exactly as the paper
+//! claims new primitives should (§4.7). `sync` repeatedly:
+//!
+//! 1. **polls** every branch in declaration order — the first ready branch
+//!    commits (the stable tie-break that makes `choose` deterministic
+//!    under the simulator);
+//! 2. if none is ready, **parks once**, handing each branch a clone of the
+//!    thread's one-shot [`Unparker`] — the shared commit token. Branches
+//!    register with their devices (wait queue, timer wheel, readiness
+//!    table); whichever fires first wins the token, the rest find it
+//!    spent;
+//! 3. on wake, polls again and **cancels the losing registrations** — a
+//!    queued waiter is withdrawn from its [`WaitQ`], an armed timer is
+//!    disarmed (eagerly under simulation, so an abandoned timeout cannot
+//!    extend virtual time), and a consumed wakeup that ended up committing
+//!    elsewhere is passed on to the device's next waiter (the baton in
+//!    [`Registration::new`]), so no wakeup is ever lost.
+//!
+//! The park is provisionally charged as [`WaitKind::Lock`]; the winning
+//! branch reclassifies the episode ([`Unparker::reclassify`]) so blocked
+//! time lands in the taxonomy class of what actually ended the wait:
+//! a [`timeout_evt`] win is timer wait, a [`readiness_evt`] win is I/O
+//! wait, a channel win is lock wait.
+//!
+//! # Affine events
+//!
+//! An `Event<A>` is an affine value: it is consumed by [`sync`] (results
+//! may be moved out of closures at commit time). A *reusable* event is a
+//! function producing events — which is also what gives [`guard`] its
+//! meaning: the guard thunk runs anew at each synchronization.
+//!
+//! # Example
+//!
+//! ```
+//! use eveth_core::event::{choose, sync, timeout_evt};
+//! use eveth_core::sync::Chan;
+//! use eveth_core::time::MILLIS;
+//!
+//! let ch: Chan<u32> = Chan::new();
+//! // Receive, but give up after 5 ms:
+//! let recv_or_timeout = choose(vec![
+//!     ch.read_evt().wrap(Some),
+//!     timeout_evt(5 * MILLIS).wrap(|()| None),
+//! ]);
+//! let m = sync(recv_or_timeout); // : ThreadM<Option<u32>>
+//! # let _ = m;
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex as PlMutex;
+
+use crate::engine::WaitKind;
+use crate::reactor::{DirectPort, EventPort, Fd, Interest, Unparker, WaitQ, Waiter};
+use crate::syscall::{sys_nbio, sys_park, sys_time};
+use crate::thread::{loop_m, Loop, ThreadM};
+use crate::time::Nanos;
+
+// ---------------------------------------------------------------------------
+// Branches: the primitive alternatives an event flattens into.
+// ---------------------------------------------------------------------------
+
+/// One primitive alternative of an event: how to try committing without
+/// blocking, how to register for a wakeup, and which wait class a win
+/// should be attributed to.
+///
+/// Primitive authors construct branches with [`Branch::new`]; combinators
+/// ([`choose`], [`wrap`], [`guard`]) only rearrange and map them.
+pub struct Branch<A> {
+    kind: WaitKind,
+    poll: Box<dyn FnMut(Nanos) -> Option<A> + Send>,
+    register: Box<dyn FnMut(&Unparker) -> Registration + Send>,
+}
+
+impl<A: Send + 'static> Branch<A> {
+    /// Builds a branch from its three ingredients.
+    ///
+    /// * `poll(now)` — attempt to commit atomically (take the item, observe
+    ///   the deadline, …); called with the current time, in branch order,
+    ///   possibly many times across park rounds.
+    /// * `register(unparker)` — store a waiter keyed to the shared commit
+    ///   token with the branch's device, *checking the condition under the
+    ///   device lock* and waking immediately if it already holds (the
+    ///   standard lost-wakeup discipline); returns the registration's
+    ///   cancellation recipe. Use [`branch_waiter`] to build the waiter so
+    ///   a win reclassifies the park to `kind`.
+    /// * `kind` — the wait-taxonomy class charged when this branch ends a
+    ///   blocked episode.
+    pub fn new(
+        kind: WaitKind,
+        poll: impl FnMut(Nanos) -> Option<A> + Send + 'static,
+        register: impl FnMut(&Unparker) -> Registration + Send + 'static,
+    ) -> Self {
+        Branch {
+            kind,
+            poll: Box::new(poll),
+            register: Box::new(register),
+        }
+    }
+
+    fn map<B: Send + 'static>(self, f: Arc<dyn Fn(A) -> B + Send + Sync>) -> Branch<B> {
+        let mut poll = self.poll;
+        Branch {
+            kind: self.kind,
+            poll: Box::new(move |now| poll(now).map(|a| f(a))),
+            register: self.register,
+        }
+    }
+}
+
+impl<A> fmt::Debug for Branch<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Branch(kind={:?})", self.kind)
+    }
+}
+
+/// How to undo one branch's park-round registration.
+///
+/// Constructed by the branch's `register` closure; consumed by `sync` once
+/// the round is decided.
+pub struct Registration {
+    take: Option<Box<dyn FnOnce() -> bool + Send>>,
+    baton: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl Registration {
+    /// A registration with nothing to undo — for devices that prune spent
+    /// waiters themselves (readiness tables, wake-all queues) or branches
+    /// that woke the waiter immediately.
+    pub fn none() -> Self {
+        Registration {
+            take: None,
+            baton: None,
+        }
+    }
+
+    /// A registration undone by `take` (return `true` if the entry was
+    /// still queued), with no wakeup to pass on — for timers and wake-all
+    /// devices.
+    pub fn with_take(take: impl FnOnce() -> bool + Send + 'static) -> Self {
+        Registration {
+            take: Some(Box::new(take)),
+            baton: None,
+        }
+    }
+
+    /// A registration undone by `take`, with a *baton*: if the entry was
+    /// already consumed (the device woke us) but the synchronization
+    /// committed a different branch, `baton` runs so the device can hand
+    /// the wakeup to its next waiter — the pass-the-baton discipline that
+    /// keeps wake-one devices (channels) lossless under `choose`. The
+    /// baton should re-check the device condition and wake one waiter if
+    /// it still holds.
+    pub fn new(
+        take: impl FnOnce() -> bool + Send + 'static,
+        baton: impl FnOnce() + Send + 'static,
+    ) -> Self {
+        Registration {
+            take: Some(Box::new(take)),
+            baton: Some(Box::new(baton)),
+        }
+    }
+
+    fn cancel(self, lost: bool) {
+        let was_queued = match self.take {
+            Some(take) => take(),
+            None => true,
+        };
+        if lost && !was_queued {
+            if let Some(baton) = self.baton {
+                baton();
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Registration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Registration(take={}, baton={})",
+            self.take.is_some(),
+            self.baton.is_some()
+        )
+    }
+}
+
+/// The port a branch's waiter wakes through: records the winning branch's
+/// readiness (for `readiness_evt`'s commit latch), reclassifies the park
+/// episode to the branch's wait class, then forwards to the real delivery
+/// route.
+struct BranchPort {
+    kind: WaitKind,
+    fired: Option<Arc<AtomicBool>>,
+    inner: Arc<dyn EventPort>,
+}
+
+impl EventPort for BranchPort {
+    fn notify(&self, unparker: Unparker) {
+        if let Some(fired) = &self.fired {
+            fired.store(true, Ordering::SeqCst);
+        }
+        unparker.reclassify(self.kind);
+        self.inner.notify(unparker);
+    }
+}
+
+/// Builds the waiter a branch hands to its device: a clone of the shared
+/// commit token that, when woken, re-attributes the blocked episode to
+/// `kind` and then unparks directly. Primitive authors use this inside
+/// `register` closures.
+pub fn branch_waiter(unparker: &Unparker, kind: WaitKind) -> Waiter {
+    Waiter::new(
+        unparker.clone(),
+        Arc::new(BranchPort {
+            kind,
+            fired: None,
+            inner: Arc::new(DirectPort),
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Events and combinators.
+// ---------------------------------------------------------------------------
+
+type BuildFn<A> = Box<dyn FnOnce(Nanos, &mut Vec<Branch<A>>) + Send>;
+
+/// A first-class synchronization producing an `A` when [`sync`]ed.
+///
+/// See the [module docs](self) for the combinator algebra and the lowering
+/// onto the park protocol.
+pub struct Event<A> {
+    build: BuildFn<A>,
+}
+
+impl<A: Send + 'static> Event<A> {
+    /// Builds an event from a branch-collection function, called at
+    /// synchronization time with the sync's start time. This is the
+    /// primitive-author interface; [`Event::from_branch`] covers the
+    /// single-branch case.
+    pub fn from_fn(build: impl FnOnce(Nanos, &mut Vec<Branch<A>>) + Send + 'static) -> Self {
+        Event {
+            build: Box::new(build),
+        }
+    }
+
+    /// An event with exactly one primitive branch.
+    pub fn from_branch(branch: Branch<A>) -> Self {
+        Event::from_fn(move |_t0, out| out.push(branch))
+    }
+
+    /// Post-composition: an event that commits when `self` commits and
+    /// yields `f` of the result (CML's `wrap`). Also available as the free
+    /// function [`wrap`].
+    pub fn wrap<B: Send + 'static>(self, f: impl Fn(A) -> B + Send + Sync + 'static) -> Event<B> {
+        let f: Arc<dyn Fn(A) -> B + Send + Sync> = Arc::new(f);
+        Event::from_fn(move |t0, out| {
+            let mut inner = Vec::new();
+            (self.build)(t0, &mut inner);
+            out.extend(inner.into_iter().map(|b| b.map(Arc::clone(&f))));
+        })
+    }
+
+    /// Binary choice: `self` or `other`, whichever is ready first
+    /// (`self` wins ties). Equivalent to `choose(vec![self, other])`.
+    pub fn or(self, other: Event<A>) -> Event<A> {
+        choose(vec![self, other])
+    }
+}
+
+impl<A> fmt::Debug for Event<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Event(..)")
+    }
+}
+
+/// An event that is always ready, committing immediately with `v` — CML's
+/// `alwaysEvt`. Useful as a default arm of a [`choose`].
+pub fn always<A: Send + 'static>(v: A) -> Event<A> {
+    let mut slot = Some(v);
+    Event::from_fn(move |_t0, out| {
+        out.push(Branch::new(
+            WaitKind::Lock,
+            move |_now| slot.take(),
+            |_u| Registration::none(),
+        ));
+    })
+}
+
+/// An event that never becomes ready — CML's `neverEvt`, the identity of
+/// [`choose`]. Synchronizing on it alone blocks forever (the simulator
+/// reports the deadlock).
+pub fn never<A: Send + 'static>() -> Event<A> {
+    Event::from_fn(|_t0, _out| {})
+}
+
+/// External choice over `events` (CML's `choose`): commits exactly one
+/// alternative. When several are ready at the same instant, the earliest
+/// in the list wins — a stable tie-break, so the resolution is
+/// deterministic under the simulator. Nested `choose`s flatten.
+pub fn choose<A: Send + 'static>(events: Vec<Event<A>>) -> Event<A> {
+    Event::from_fn(move |t0, out| {
+        for ev in events {
+            (ev.build)(t0, out);
+        }
+    })
+}
+
+/// Maps an event's result through `f` — the free-function spelling of
+/// [`Event::wrap`].
+pub fn wrap<A: Send + 'static, B: Send + 'static>(
+    ev: Event<A>,
+    f: impl Fn(A) -> B + Send + Sync + 'static,
+) -> Event<B> {
+    ev.wrap(f)
+}
+
+/// Defers event construction to synchronization time (CML's `guard`): the
+/// thunk runs anew every time an event built from it is synchronized, so
+/// it can allocate fresh state, read the current configuration, or send a
+/// request whose reply the returned event awaits.
+pub fn guard<A: Send + 'static>(f: impl FnOnce() -> Event<A> + Send + 'static) -> Event<A> {
+    Event::from_fn(move |t0, out| (f().build)(t0, out))
+}
+
+/// An event that becomes ready `dur` nanoseconds after the synchronization
+/// starts (virtual time under simulation). The deadline is armed on the
+/// runtime's timer wheel only while the thread is actually parked, and a
+/// losing timeout is disarmed eagerly — no abandoned deadline lingers to
+/// stretch a simulation's virtual makespan. A win is charged as
+/// [`WaitKind::Timer`].
+pub fn timeout_evt(dur: Nanos) -> Event<()> {
+    Event::from_fn(move |t0, out| {
+        let deadline = t0.saturating_add(dur);
+        out.push(Branch::new(
+            WaitKind::Timer,
+            move |now| (now >= deadline).then_some(()),
+            move |u| {
+                let ctx = u.runtime_ctx();
+                let remaining = deadline.saturating_sub(ctx.now());
+                let waiter = branch_waiter(u, WaitKind::Timer);
+                let timer = ctx.timer_wake(remaining, waiter);
+                Registration::with_take(move || {
+                    timer.cancel();
+                    true
+                })
+            },
+        ));
+    })
+}
+
+/// An event that becomes ready when `interest` is (or becomes) ready on
+/// `fd` — the event-valued form of
+/// [`sys_epoll_wait`](crate::syscall::sys_epoll_wait), so socket and pipe
+/// readiness can race channels, timers and shutdown signals in one
+/// [`choose`]. A win is charged as [`WaitKind::Io`]. Readiness is a
+/// level-style hint: after committing, perform the actual non-blocking
+/// I/O (which may still report would-block if another consumer drained
+/// the device first).
+pub fn readiness_evt(fd: &Fd, interest: Interest) -> Event<()> {
+    let fd = fd.clone();
+    Event::from_fn(move |_t0, out| {
+        // Readiness has no synchronous probe; the latch turns the device's
+        // wake (including the immediate wake `Pollable::register` performs
+        // when the condition already holds) into a pollable commit.
+        let fired = Arc::new(AtomicBool::new(false));
+        let poll_fired = Arc::clone(&fired);
+        out.push(Branch::new(
+            WaitKind::Io,
+            move |_now| poll_fired.load(Ordering::SeqCst).then_some(()),
+            move |u| {
+                let waiter = Waiter::new(
+                    u.clone(),
+                    Arc::new(BranchPort {
+                        kind: WaitKind::Io,
+                        fired: Some(Arc::clone(&fired)),
+                        inner: u.runtime_ctx().epoll_port(),
+                    }),
+                );
+                fd.device().register(interest, waiter);
+                // `Pollable` has no deregistration; readiness devices wake
+                // whole interest classes and prune spent entries on the
+                // next registration, so losers neither leak nor consume a
+                // wakeup budget.
+                Registration::none()
+            },
+        ));
+    })
+}
+
+/// Synchronizes on an event, converting the event view back into the
+/// thread view: blocks the monadic thread until one alternative commits
+/// and yields its (wrapped) result.
+///
+/// This is the only place events touch the scheduler, and it does so
+/// purely through [`sys_park`](crate::syscall::sys_park) +
+/// [`sys_time`](crate::syscall::sys_time) — the generalized
+/// multi-registration park described in the [module docs](self).
+pub fn sync<A: Send + 'static>(ev: Event<A>) -> ThreadM<A> {
+    sys_time().bind(move |t0| {
+        sys_nbio(move || {
+            // Force guards and collect the flat branch list: one list per
+            // synchronization, so guard thunks run anew each time.
+            let mut branches = Vec::new();
+            (ev.build)(t0, &mut branches);
+            Arc::new(PlMutex::new(branches))
+        })
+        .bind(|branches| {
+            type Regs = Arc<PlMutex<Vec<Registration>>>;
+            loop_m(None::<Regs>, move |prior: Option<Regs>| {
+                let poll_branches = Arc::clone(&branches);
+                let park_branches = Arc::clone(&branches);
+                sys_time().bind(move |now| {
+                    sys_nbio(move || {
+                        // Deterministic tie-break: first ready branch in
+                        // declaration order commits.
+                        let won = {
+                            let mut bs = poll_branches.lock();
+                            let mut won = None;
+                            for (i, b) in bs.iter_mut().enumerate() {
+                                if let Some(v) = (b.poll)(now) {
+                                    won = Some((i, v));
+                                    break;
+                                }
+                            }
+                            won
+                        };
+                        // Retire the previous park round. Losing branches
+                        // withdraw their waiters/timers; a consumed wakeup
+                        // that committed elsewhere is batoned onward. The
+                        // winner's consumed wakeup is simply its own.
+                        if let Some(regs) = prior {
+                            let winner = won.as_ref().map(|(i, _)| *i);
+                            for (i, reg) in regs.lock().drain(..).enumerate() {
+                                reg.cancel(Some(i) != winner);
+                            }
+                        }
+                        won
+                    })
+                    .bind(move |won| match won {
+                        Some((_, v)) => ThreadM::pure(Loop::Break(v)),
+                        None => {
+                            // Nothing ready: park once, registering every
+                            // branch with a clone of the one-shot token.
+                            // A registration may wake immediately (its
+                            // condition held at registration time); later
+                            // branches can then skip registering — the
+                            // next poll decides the winner either way.
+                            let regs: Regs = Arc::new(PlMutex::new(Vec::new()));
+                            let filled = Arc::clone(&regs);
+                            sys_park(move |u| {
+                                let mut bs = park_branches.lock();
+                                let mut rs = filled.lock();
+                                for b in bs.iter_mut() {
+                                    rs.push((b.register)(&u));
+                                    if u.is_spent() {
+                                        break;
+                                    }
+                                }
+                            })
+                            .map(move |_| Loop::Continue(Some(regs)))
+                        }
+                    })
+                })
+            })
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Signal: a one-shot broadcast (shutdown flags).
+// ---------------------------------------------------------------------------
+
+struct SigState {
+    fired: bool,
+    waiters: WaitQ,
+}
+
+/// A one-shot broadcast flag with an event view — the "graceful shutdown"
+/// primitive: any number of threads [`choose`] over
+/// [`wait_evt`](Signal::wait_evt) alongside their normal work, and one
+/// [`fire`](Signal::fire) releases them all. Once fired, the event is
+/// ready forever.
+#[derive(Clone)]
+pub struct Signal {
+    st: Arc<PlMutex<SigState>>,
+}
+
+impl Signal {
+    /// A new, unfired signal.
+    pub fn new() -> Self {
+        Signal {
+            st: Arc::new(PlMutex::new(SigState {
+                fired: false,
+                waiters: WaitQ::new(),
+            })),
+        }
+    }
+
+    /// Fires the signal, waking every waiter (idempotent; callable from
+    /// any context, including plain OS threads).
+    pub fn fire(&self) {
+        let mut st = self.st.lock();
+        st.fired = true;
+        st.waiters.wake_all();
+    }
+
+    /// True once [`Signal::fire`] has run.
+    pub fn is_fired(&self) -> bool {
+        self.st.lock().fired
+    }
+
+    /// An event ready once the signal has fired. A win is charged as
+    /// [`WaitKind::Lock`] (it is a synchronization wait).
+    pub fn wait_evt(&self) -> Event<()> {
+        let st = Arc::clone(&self.st);
+        Event::from_fn(move |_t0, out| {
+            let poll_st = Arc::clone(&st);
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| poll_st.lock().fired.then_some(()),
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut s = st.lock();
+                    if s.fired {
+                        drop(s);
+                        waiter.wake();
+                        return Registration::none();
+                    }
+                    let slot = s.waiters.push(waiter);
+                    // fire() wakes *all* waiters — no budget to baton.
+                    Registration::with_take(move || slot.take().is_some())
+                },
+            ));
+        })
+    }
+
+    /// Blocks until the signal fires: `sync(self.wait_evt())`.
+    pub fn wait(&self) -> ThreadM<()> {
+        sync(self.wait_evt())
+    }
+
+    /// Live registrations currently parked on this signal (for tests
+    /// asserting loser cancellation leaves nothing behind).
+    pub fn waiter_count(&self) -> usize {
+        self.st.lock().waiters.len()
+    }
+}
+
+impl Default for Signal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        write!(
+            f,
+            "Signal(fired={}, waiters={})",
+            st.fired,
+            st.waiters.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::sync::Chan;
+    use crate::syscall::sys_fork;
+    use crate::time::MILLIS;
+
+    #[test]
+    fn always_commits_immediately() {
+        let rt = Runtime::builder().workers(1).build();
+        assert_eq!(rt.block_on(sync(always(42))), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wrap_maps_the_result() {
+        let rt = Runtime::builder().workers(1).build();
+        let v = rt.block_on(sync(always(6).wrap(|x| x * 7)));
+        assert_eq!(v, 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn choose_prefers_the_first_ready_branch() {
+        let rt = Runtime::builder().workers(1).build();
+        let v = rt.block_on(sync(choose(vec![always("a"), always("b")])));
+        assert_eq!(v, "a");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn choose_with_never_is_identity() {
+        let rt = Runtime::builder().workers(1).build();
+        let v = rt.block_on(sync(never::<u8>().or(always(9))));
+        assert_eq!(v, 9);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timeout_vs_channel_channel_wins_when_written() {
+        let rt = Runtime::builder().workers(2).build();
+        let ch: Chan<&str> = Chan::new();
+        let tx = ch.clone();
+        let v = rt.block_on(crate::do_m! {
+            sys_fork(tx.write("fast"));
+            sync(choose(vec![
+                ch.read_evt().wrap(Some),
+                timeout_evt(200 * MILLIS).wrap(|()| None),
+            ]))
+        });
+        assert_eq!(v, Some("fast"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timeout_wins_on_a_silent_channel() {
+        let rt = Runtime::builder().workers(2).build();
+        let ch: Chan<u8> = Chan::new();
+        let v = rt.block_on(sync(choose(vec![
+            ch.read_evt().wrap(Some),
+            timeout_evt(MILLIS).wrap(|()| None),
+        ])));
+        assert_eq!(v, None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn guard_runs_at_sync_time_not_construction() {
+        use std::sync::atomic::AtomicU32;
+        let runs = Arc::new(AtomicU32::new(0));
+        let make = {
+            let runs = Arc::clone(&runs);
+            move || {
+                let runs = Arc::clone(&runs);
+                guard(move || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    always(1u8)
+                })
+            }
+        };
+        let ev = make();
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "guard is lazy");
+        let rt = Runtime::builder().workers(1).build();
+        rt.block_on(sync(ev));
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        rt.block_on(sync(make()));
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "re-evaluated per sync");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn signal_broadcasts_to_all_waiters() {
+        let rt = Runtime::builder().workers(2).build();
+        let sig = Signal::new();
+        let done: Chan<u8> = Chan::new();
+        for i in 0..3u8 {
+            let sig = sig.clone();
+            let done = done.clone();
+            rt.spawn(crate::do_m! {
+                sig.wait();
+                done.write(i)
+            });
+        }
+        let sig2 = sig.clone();
+        let got = rt.block_on(crate::do_m! {
+            crate::syscall::sys_sleep(MILLIS);
+            crate::syscall::sys_nbio(move || sig2.fire());
+            let a <- done.read();
+            let b <- done.read();
+            let c <- done.read();
+            ThreadM::pure((a, b, c))
+        });
+        let mut all = [got.0, got.1, got.2];
+        all.sort_unstable();
+        assert_eq!(all, [0, 1, 2]);
+        assert!(sig.is_fired());
+        assert_eq!(sig.waiter_count(), 0);
+        rt.shutdown();
+    }
+}

@@ -22,6 +22,9 @@
 //!   blocking-I/O pool and a timer wheel (paper Figure 14);
 //! * [`sync`] — blocking synchronization (mutexes, MVars, channels) built
 //!   as scheduler extensions on [`syscall::sys_park`];
+//! * [`event`] — first-class composable events (CML-style
+//!   `Event`/`choose`/`wrap`/`guard`/`sync`), lowering multi-way waits
+//!   ("receive OR time out OR shut down") onto one generalized park;
 //! * [`io`] — in-memory pollable devices (FIFO pipes, RAM disk);
 //! * [`net`] — the socket abstraction servers program against, so kernel
 //!   sockets and the application-level TCP stack are interchangeable.
@@ -50,6 +53,7 @@
 
 pub mod aio;
 pub mod engine;
+pub mod event;
 pub mod exception;
 pub mod io;
 pub mod local;

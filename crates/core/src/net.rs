@@ -11,7 +11,10 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use crate::event::{choose, never, readiness_evt, sync, timeout_evt, Signal};
+use crate::reactor::Interest;
 use crate::thread::{loop_m, Loop, ThreadM};
+use crate::time::Nanos;
 
 /// Identifies a host on a (simulated) network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -86,6 +89,19 @@ pub trait Conn: Send + Sync {
     /// is available. An empty buffer signals end-of-stream.
     fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>>;
 
+    /// The connection's readiness descriptor, if the transport exposes
+    /// one. With it, a server races I/O against timers and shutdown
+    /// signals in a single
+    /// [`choose`](crate::event::choose):
+    /// `readiness_evt(&fd, Interest::Read)` commits when `recv` would not
+    /// block (data, EOF or error), after which `recv` completes promptly.
+    /// Both bundled socket stacks return `Some`; `None` disables
+    /// event-composed waiting (callers fall back to plain blocking
+    /// `recv`).
+    fn readiness_fd(&self) -> Option<crate::reactor::Fd> {
+        None
+    }
+
     /// Sends a prefix of `data`, blocking until at least one byte is
     /// accepted; returns the number of bytes taken.
     fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>>;
@@ -125,6 +141,65 @@ pub trait NetStack: Send + Sync {
 
     /// The host this stack belongs to.
     fn host(&self) -> HostId;
+}
+
+/// What ended a server session's composed wait: bytes (or stream
+/// end/error), the idle deadline, or the shutdown broadcast.
+#[derive(Debug)]
+pub enum SessionInput {
+    /// `recv` completed — a chunk, end-of-stream (empty), or a transport
+    /// error.
+    Data(Result<Bytes, NetError>),
+    /// The connection stayed silent for the whole idle window.
+    IdleTimeout,
+    /// The server-wide shutdown signal fired.
+    Shutdown,
+}
+
+/// A server session's single wait point, shared by every bundled service:
+/// one [`choose`](crate::event::choose) over socket readiness, an
+/// optional idle deadline (`idle_timeout`, `0` disables it) and a
+/// shutdown broadcast — "receive OR time out OR shut down" as one
+/// composed event, no helper threads.
+///
+/// Branch order is the deterministic tie-break and doubles as policy: at
+/// equal virtual time, pending bytes beat shutdown beat the idle
+/// deadline, so a shutting-down server still drains input that has
+/// already arrived. Transports without a readiness descriptor
+/// ([`Conn::readiness_fd`] returning `None`) fall back to plain blocking
+/// `recv` — no idle reaping, and shutdown is only observed between
+/// receives.
+pub fn session_input(
+    conn: &Arc<dyn Conn>,
+    recv_chunk: usize,
+    idle_timeout: Nanos,
+    shutdown: &Signal,
+) -> ThreadM<SessionInput> {
+    let Some(fd) = conn.readiness_fd() else {
+        return conn.recv(recv_chunk).map(SessionInput::Data);
+    };
+    #[derive(Clone, Copy)]
+    enum Wake {
+        Ready,
+        Idle,
+        Shutdown,
+    }
+    let idle = if idle_timeout > 0 {
+        timeout_evt(idle_timeout)
+    } else {
+        never()
+    };
+    let conn = Arc::clone(conn);
+    sync(choose(vec![
+        readiness_evt(&fd, Interest::Read).wrap(|()| Wake::Ready),
+        shutdown.wait_evt().wrap(|()| Wake::Shutdown),
+        idle.wrap(|()| Wake::Idle),
+    ]))
+    .bind(move |wake| match wake {
+        Wake::Ready => conn.recv(recv_chunk).map(SessionInput::Data),
+        Wake::Idle => ThreadM::pure(SessionInput::IdleTimeout),
+        Wake::Shutdown => ThreadM::pure(SessionInput::Shutdown),
+    })
 }
 
 /// Sends all of `data`, looping over partial [`Conn::send`]s.

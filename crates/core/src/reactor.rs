@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::engine::RuntimeCtx;
+use crate::engine::{RuntimeCtx, WaitKind};
 use crate::task::Task;
 
 /// The readiness condition a thread waits for — the paper's `EPOLL_READ` /
@@ -176,6 +176,31 @@ impl Unparker {
     pub fn is_spent(&self) -> bool {
         self.inner.task.lock().is_none()
     }
+
+    /// The runtime context the parked thread belongs to. The event layer
+    /// uses this to reach runtime services (timers, event ports, the
+    /// clock) from inside a `sys_park` registration closure, which
+    /// otherwise only sees the unparker.
+    pub fn runtime_ctx(&self) -> Arc<dyn RuntimeCtx> {
+        Arc::clone(&self.inner.ctx)
+    }
+
+    /// Reclassifies the in-flight wait episode of the still-parked thread
+    /// (see [`RuntimeCtx::task_wait_reclass`]). A `choose` park is charged
+    /// as [`WaitKind::Lock`] when it blocks; the branch that ends up waking
+    /// the thread calls this so the episode is attributed to the *winning*
+    /// wait source (I/O readiness, lock, or timer). Returns `false` — and
+    /// does nothing — if the thread was already resumed.
+    pub fn reclassify(&self, kind: WaitKind) -> bool {
+        let guard = self.inner.task.lock();
+        match guard.as_ref() {
+            Some(task) => {
+                self.inner.ctx.task_wait_reclass(task.tid(), kind);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl fmt::Debug for Unparker {
@@ -201,8 +226,12 @@ impl WaitList {
         }
     }
 
-    /// Adds a waiter.
+    /// Adds a waiter. Entries whose threads were already woken through
+    /// another route (e.g. the losing branches of a `choose`) are pruned
+    /// first, so abandoned registrations cannot accumulate in a device
+    /// that keeps receiving traffic.
     pub fn push(&mut self, w: Waiter) {
+        self.waiters.retain(|w| !w.is_spent());
         self.waiters.push(w);
     }
 
@@ -226,14 +255,124 @@ impl WaitList {
         false
     }
 
-    /// Number of queued waiters (including spent ones not yet drained).
+    /// Number of *live* queued waiters (spent entries not yet drained are
+    /// not counted — they will never be woken).
     pub fn len(&self) -> usize {
-        self.waiters.len()
+        self.waiters.iter().filter(|w| !w.is_spent()).count()
     }
 
-    /// True if no waiters are queued.
+    /// True if no live waiter is queued.
     pub fn is_empty(&self) -> bool {
-        self.waiters.is_empty()
+        self.len() == 0
+    }
+}
+
+/// A single cancellable registration in a [`WaitQ`].
+///
+/// The slot is shared between the queue (which consumes the waiter to wake
+/// it) and the registering side (which may [`take`](WaitSlot::take) it back
+/// when a `choose` commits a different branch). Whichever side gets there
+/// first wins; the other observes an empty slot.
+pub struct WaitSlot {
+    cell: Arc<Mutex<Option<Waiter>>>,
+}
+
+impl WaitSlot {
+    /// Removes the registration if it is still queued, returning the
+    /// waiter. `None` means the queue already consumed it — the caller's
+    /// wakeup was (or is being) delivered, and a `choose` loser must pass
+    /// that wakeup on to the device's next waiter.
+    pub fn take(&self) -> Option<Waiter> {
+        self.cell.lock().take()
+    }
+}
+
+impl fmt::Debug for WaitSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitSlot")
+            .field("queued", &self.cell.lock().is_some())
+            .finish()
+    }
+}
+
+/// A FIFO of parked waiters with *cancellable* entries — the wait queue
+/// behind the event-native synchronization primitives (`Chan`, `SyncChan`,
+/// `MVar`).
+///
+/// Unlike [`WaitList`], every `push` hands back a [`WaitSlot`] through
+/// which the registration can be withdrawn, which is what lets a losing
+/// `choose` branch deregister instead of leaving a dead entry behind.
+/// Cancelled and spent entries are skipped by the wake paths and pruned on
+/// the next `push`; [`WaitQ::len`] counts only live registrations.
+#[derive(Default)]
+pub struct WaitQ {
+    entries: std::collections::VecDeque<Arc<Mutex<Option<Waiter>>>>,
+}
+
+impl WaitQ {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WaitQ::default()
+    }
+
+    /// Appends a waiter; the returned slot cancels the registration.
+    /// Dead entries (cancelled, or spent through another wake route) are
+    /// pruned first.
+    pub fn push(&mut self, w: Waiter) -> WaitSlot {
+        self.entries.retain(|e| {
+            let cell = e.lock();
+            matches!(&*cell, Some(w) if !w.is_spent())
+        });
+        let cell = Arc::new(Mutex::new(Some(w)));
+        self.entries.push_back(Arc::clone(&cell));
+        WaitSlot { cell }
+    }
+
+    /// Wakes the oldest live waiter; cancelled and spent entries are
+    /// dropped along the way. Returns `true` if a live waiter was woken.
+    pub fn wake_one(&mut self) -> bool {
+        while let Some(entry) = self.entries.pop_front() {
+            let w = entry.lock().take();
+            match w {
+                Some(w) if !w.is_spent() => {
+                    w.wake();
+                    return true;
+                }
+                _ => {} // cancelled or already woken elsewhere: skip
+            }
+        }
+        false
+    }
+
+    /// Wakes every queued waiter and clears the queue.
+    pub fn wake_all(&mut self) {
+        while let Some(entry) = self.entries.pop_front() {
+            if let Some(w) = entry.lock().take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// Number of live (neither cancelled nor spent) registrations.
+    pub fn len(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                let cell = e.lock();
+                matches!(&*cell, Some(w) if !w.is_spent())
+            })
+            .count()
+    }
+
+    /// True when no live registration is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for WaitQ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WaitQ(live={})", self.len())
     }
 }
 

@@ -22,7 +22,7 @@ use crate::sched::ReadyQueue;
 
 use crate::engine::{self, CostKind, RuntimeCtx};
 use crate::exception::Exception;
-use crate::reactor::{DirectPort, EventPort, Unparker};
+use crate::reactor::{DirectPort, EventPort, Unparker, Waiter};
 use crate::syscall::sys_try;
 use crate::task::{Task, TaskId, TaskShell};
 use crate::thread::ThreadM;
@@ -237,10 +237,21 @@ impl std::fmt::Debug for EventLoopQueue {
     }
 }
 
+/// What an expired timer resumes: a whole parked task (`sys_sleep`) or a
+/// racing waiter (`timer_wake`, the event layer's timeout branches).
+enum TimerDue {
+    /// Requeue the task (a committed `sys_sleep`).
+    Task(Task),
+    /// Wake the waiter unless cancelled or already woken elsewhere; the
+    /// cancel flag lets a losing timeout branch disarm without heap
+    /// surgery (the entry is skipped at expiry).
+    Waiter(Waiter, Arc<AtomicBool>),
+}
+
 struct TimerEntry {
     deadline: Nanos,
     seq: u64,
-    task: Task,
+    due: TimerDue,
 }
 
 impl PartialEq for TimerEntry {
@@ -279,11 +290,11 @@ impl TimerWheel {
         }
     }
 
-    fn insert(&self, deadline: Nanos, task: Task) {
+    fn insert(&self, deadline: Nanos, due: TimerDue) {
         let entry = TimerEntry {
             deadline,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            task,
+            due,
         };
         self.heap.lock().push(entry);
         self.cv.notify_one();
@@ -347,7 +358,18 @@ impl RuntimeCtx for RtInner {
         }
     }
     fn sleep(&self, dur: Nanos, task: Task) {
-        self.timer.insert(self.now().saturating_add(dur), task);
+        self.timer
+            .insert(self.now().saturating_add(dur), TimerDue::Task(task));
+    }
+    fn timer_wake(&self, dur: Nanos, waiter: Waiter) -> engine::TimerHandle {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.timer.insert(
+            self.now().saturating_add(dur),
+            TimerDue::Waiter(waiter, Arc::clone(&cancelled)),
+        );
+        // Lazy cancellation: the entry stays heaped until its deadline and
+        // is skipped at expiry — cheap, and wall-clock time flows anyway.
+        engine::TimerHandle::new(move || cancelled.store(true, Ordering::SeqCst))
     }
     fn submit_blio(&self, job: BlioJob, shell: TaskShell) {
         let _ = self.blio_tx.send((job, shell));
@@ -656,7 +678,14 @@ fn worker_timer(inner: Arc<RtInner>) {
             }
         }
         for entry in due {
-            inner.push_ready(entry.task);
+            match entry.due {
+                TimerDue::Task(task) => inner.push_ready(task),
+                TimerDue::Waiter(w, cancelled) => {
+                    if !cancelled.load(Ordering::SeqCst) && !w.is_spent() {
+                        w.wake();
+                    }
+                }
+            }
         }
     }
 }

@@ -3,18 +3,29 @@
 //! [`Chan`] is the unbounded channel of Concurrent Haskell (the paper's task
 //! queues between event loops are exactly this shape); [`SyncChan`] adds a
 //! capacity bound with back-pressure on writers.
+//!
+//! Both are *event-native*: the primitive operations are events
+//! ([`Chan::read_evt`], [`SyncChan::write_evt`], …) that compose under
+//! [`choose`](crate::event::choose), and the blocking methods are defined
+//! as `sync(..._evt())` — the thread view and the event view of the same
+//! synchronization. Waiter queues are cancellable ([`WaitQ`]), so a losing
+//! `choose` branch withdraws its registration instead of leaving a dead
+//! entry, and a wakeup consumed by a thread that committed elsewhere is
+//! passed on to the next waiter (the baton of
+//! [`Registration::new`](crate::event::Registration::new)).
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::reactor::Unparker;
-use crate::syscall::{sys_nbio, sys_park};
-use crate::thread::{loop_m, Loop, ThreadM};
+use crate::engine::WaitKind;
+use crate::event::{branch_waiter, sync, Branch, Event, Registration};
+use crate::reactor::WaitQ;
+use crate::thread::ThreadM;
 
 struct ChState<T> {
     queue: VecDeque<T>,
-    takers: VecDeque<Unparker>,
+    takers: WaitQ,
 }
 
 /// An unbounded multi-producer multi-consumer FIFO channel; `read` blocks
@@ -53,7 +64,7 @@ impl<T: Send + 'static> Chan<T> {
         Chan {
             st: Arc::new(parking_lot::Mutex::new(ChState {
                 queue: VecDeque::new(),
-                takers: VecDeque::new(),
+                takers: WaitQ::new(),
             })),
         }
     }
@@ -63,11 +74,7 @@ impl<T: Send + 'static> Chan<T> {
     pub fn push_now(&self, v: T) {
         let mut st = self.st.lock();
         st.queue.push_back(v);
-        while let Some(u) = st.takers.pop_front() {
-            if u.unpark() {
-                break;
-            }
-        }
+        st.takers.wake_one();
     }
 
     /// Dequeues without blocking, if an item is available.
@@ -85,32 +92,73 @@ impl<T: Send + 'static> Chan<T> {
         self.st.lock().queue.is_empty()
     }
 
-    /// Monadic write: enqueue and wake one reader.
-    pub fn write(&self, v: T) -> ThreadM<()> {
-        let this = self.clone();
-        sys_nbio(move || this.push_now(v))
+    /// Live read registrations currently parked on this channel (for tests
+    /// asserting that losing `choose` branches deregister).
+    pub fn taker_count(&self) -> usize {
+        self.st.lock().takers.len()
     }
 
-    /// Monadic read: parks while the channel is empty.
-    pub fn read(&self) -> ThreadM<T> {
-        let this = self.clone();
-        loop_m((), move |()| {
-            let try_ch = this.clone();
-            let park_ch = this.clone();
-            sys_nbio(move || try_ch.try_read_now()).bind(move |got| match got {
-                Some(v) => ThreadM::pure(Loop::Break(v)),
-                None => sys_park(move |u| {
-                    let mut st = park_ch.st.lock();
-                    if st.queue.is_empty() {
-                        st.takers.push_back(u);
-                    } else {
+    /// The receive event: ready when an item can be dequeued; commits by
+    /// dequeuing it.
+    pub fn read_evt(&self) -> Event<T> {
+        let poll_st = Arc::clone(&self.st);
+        let reg_st = Arc::clone(&self.st);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| poll_st.lock().queue.pop_front(),
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_st.lock();
+                    if !st.queue.is_empty() {
                         drop(st);
-                        u.unpark();
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(|_| Loop::Continue(())),
-            })
+                    let slot = st.takers.push(waiter);
+                    drop(st);
+                    let baton_st = Arc::clone(&reg_st);
+                    Registration::new(
+                        move || slot.take().is_some(),
+                        move || {
+                            // Our wake was consumed but we committed another
+                            // branch: hand it to the next reader if an item
+                            // is still there.
+                            let mut st = baton_st.lock();
+                            if !st.queue.is_empty() {
+                                st.takers.wake_one();
+                            }
+                        },
+                    )
+                },
+            ));
         })
+    }
+
+    /// The send event: always ready (the channel is unbounded); commits by
+    /// enqueuing `v` and waking one reader.
+    pub fn write_evt(&self, v: T) -> Event<()> {
+        let this = self.clone();
+        let mut slot = Some(v);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| slot.take().map(|v| this.push_now(v)),
+                |_u| Registration::none(),
+            ));
+        })
+    }
+
+    /// Monadic read: parks while the channel is empty —
+    /// `sync(self.read_evt())`.
+    pub fn read(&self) -> ThreadM<T> {
+        sync(self.read_evt())
+    }
+
+    /// Monadic write: enqueue and wake one reader —
+    /// `sync(self.write_evt(v))`.
+    pub fn write(&self, v: T) -> ThreadM<()> {
+        sync(self.write_evt(v))
     }
 }
 
@@ -135,8 +183,8 @@ impl<T> fmt::Debug for Chan<T> {
 struct SyncChState<T> {
     queue: VecDeque<T>,
     cap: usize,
-    takers: VecDeque<Unparker>,
-    putters: VecDeque<Unparker>,
+    takers: WaitQ,
+    putters: WaitQ,
 }
 
 /// A bounded FIFO channel: `write` parks while full, providing
@@ -165,8 +213,8 @@ impl<T: Send + 'static> SyncChan<T> {
             st: Arc::new(parking_lot::Mutex::new(SyncChState {
                 queue: VecDeque::with_capacity(cap),
                 cap,
-                takers: VecDeque::new(),
-                putters: VecDeque::new(),
+                takers: WaitQ::new(),
+                putters: WaitQ::new(),
             })),
         }
     }
@@ -181,74 +229,109 @@ impl<T: Send + 'static> SyncChan<T> {
         self.st.lock().queue.is_empty()
     }
 
-    /// Monadic write: parks while the channel is full.
-    pub fn write(&self, v: T) -> ThreadM<()> {
-        let st_outer = Arc::clone(&self.st);
-        loop_m(v, move |v| {
-            let try_st = Arc::clone(&st_outer);
-            let park_st = Arc::clone(&st_outer);
-            sys_nbio(move || {
-                let mut st = try_st.lock();
-                if st.queue.len() < st.cap {
-                    st.queue.push_back(v);
-                    while let Some(u) = st.takers.pop_front() {
-                        if u.unpark() {
-                            break;
+    /// Live read/write registrations parked on this channel, as
+    /// `(takers, putters)` (for tests asserting loser cancellation).
+    pub fn waiter_counts(&self) -> (usize, usize) {
+        let st = self.st.lock();
+        (st.takers.len(), st.putters.len())
+    }
+
+    /// The send event: ready while the channel has a free slot; commits by
+    /// enqueuing `v` and waking one reader.
+    pub fn write_evt(&self, v: T) -> Event<()> {
+        let poll_st = Arc::clone(&self.st);
+        let reg_st = Arc::clone(&self.st);
+        let mut slot = Some(v);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| {
+                    let mut st = poll_st.lock();
+                    if st.queue.len() < st.cap {
+                        if let Some(v) = slot.take() {
+                            st.queue.push_back(v);
+                            st.takers.wake_one();
+                            return Some(());
                         }
                     }
-                    Ok(())
-                } else {
-                    Err(v)
-                }
-            })
-            .bind(move |res| match res {
-                Ok(()) => ThreadM::pure(Loop::Break(())),
-                Err(v) => sys_park(move |u| {
-                    let mut st = park_st.lock();
+                    None
+                },
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_st.lock();
                     if st.queue.len() < st.cap {
                         drop(st);
-                        u.unpark();
-                    } else {
-                        st.putters.push_back(u);
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(move |_| Loop::Continue(v)),
-            })
+                    let slot_reg = st.putters.push(waiter);
+                    drop(st);
+                    let baton_st = Arc::clone(&reg_st);
+                    Registration::new(
+                        move || slot_reg.take().is_some(),
+                        move || {
+                            let mut st = baton_st.lock();
+                            if st.queue.len() < st.cap {
+                                st.putters.wake_one();
+                            }
+                        },
+                    )
+                },
+            ));
         })
     }
 
-    /// Monadic read: parks while the channel is empty.
-    pub fn read(&self) -> ThreadM<T> {
-        let st_outer = Arc::clone(&self.st);
-        loop_m((), move |()| {
-            let try_st = Arc::clone(&st_outer);
-            let park_st = Arc::clone(&st_outer);
-            sys_nbio(move || {
-                let mut st = try_st.lock();
-                let v = st.queue.pop_front();
-                if v.is_some() {
-                    while let Some(u) = st.putters.pop_front() {
-                        if u.unpark() {
-                            break;
-                        }
+    /// The receive event: ready when an item can be dequeued; commits by
+    /// dequeuing it and waking one writer.
+    pub fn read_evt(&self) -> Event<T> {
+        let poll_st = Arc::clone(&self.st);
+        let reg_st = Arc::clone(&self.st);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| {
+                    let mut st = poll_st.lock();
+                    let v = st.queue.pop_front();
+                    if v.is_some() {
+                        st.putters.wake_one();
                     }
-                }
-                v
-            })
-            .bind(move |got| match got {
-                Some(v) => ThreadM::pure(Loop::Break(v)),
-                None => sys_park(move |u| {
-                    let mut st = park_st.lock();
-                    if st.queue.is_empty() {
-                        st.takers.push_back(u);
-                    } else {
+                    v
+                },
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_st.lock();
+                    if !st.queue.is_empty() {
                         drop(st);
-                        u.unpark();
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(|_| Loop::Continue(())),
-            })
+                    let slot = st.takers.push(waiter);
+                    drop(st);
+                    let baton_st = Arc::clone(&reg_st);
+                    Registration::new(
+                        move || slot.take().is_some(),
+                        move || {
+                            let mut st = baton_st.lock();
+                            if !st.queue.is_empty() {
+                                st.takers.wake_one();
+                            }
+                        },
+                    )
+                },
+            ));
         })
+    }
+
+    /// Monadic write: parks while the channel is full —
+    /// `sync(self.write_evt(v))`.
+    pub fn write(&self, v: T) -> ThreadM<()> {
+        sync(self.write_evt(v))
+    }
+
+    /// Monadic read: parks while the channel is empty —
+    /// `sync(self.read_evt())`.
+    pub fn read(&self) -> ThreadM<T> {
+        sync(self.read_evt())
     }
 }
 

@@ -1,19 +1,26 @@
 //! `MVar` — Concurrent Haskell's one-place synchronized buffer, implemented
 //! as a scheduler extension exactly as the paper suggests for "other
 //! synchronization primitives such as MVars" (§4.7).
+//!
+//! Event-native: [`MVar::take_evt`] / [`MVar::put_evt`] /
+//! [`MVar::read_evt`] compose under [`choose`](crate::event::choose), and
+//! the blocking methods are `sync(..._evt())`. State changes wake *all*
+//! waiters of the affected class (wake-all is immune to lost wakeups with
+//! one-shot unparkers), so losing `choose` branches need no baton — their
+//! cancelled registrations are simply withdrawn.
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::reactor::Unparker;
-use crate::syscall::{sys_nbio, sys_park};
-use crate::thread::{loop_m, Loop, ThreadM};
+use crate::engine::WaitKind;
+use crate::event::{branch_waiter, sync, Branch, Event, Registration};
+use crate::reactor::WaitQ;
+use crate::thread::ThreadM;
 
 struct MvState<T> {
     value: Option<T>,
-    takers: VecDeque<Unparker>,
-    putters: VecDeque<Unparker>,
+    takers: WaitQ,
+    putters: WaitQ,
 }
 
 struct MvInner<T> {
@@ -57,8 +64,8 @@ impl<T: Send + 'static> MVar<T> {
             inner: Arc::new(MvInner {
                 st: parking_lot::Mutex::new(MvState {
                     value: None,
-                    takers: VecDeque::new(),
-                    putters: VecDeque::new(),
+                    takers: WaitQ::new(),
+                    putters: WaitQ::new(),
                 }),
             }),
         }
@@ -76,7 +83,7 @@ impl<T: Send + 'static> MVar<T> {
         let mut st = self.inner.st.lock();
         let v = st.value.take();
         if v.is_some() {
-            wake_all(&mut st.putters);
+            st.putters.wake_all();
         }
         v
     }
@@ -88,7 +95,7 @@ impl<T: Send + 'static> MVar<T> {
             Err(v)
         } else {
             st.value = Some(v);
-            wake_all(&mut st.takers);
+            st.takers.wake_all();
             Ok(())
         }
     }
@@ -98,98 +105,123 @@ impl<T: Send + 'static> MVar<T> {
         self.inner.st.lock().value.is_some()
     }
 
-    /// Takes the value, parking the monadic thread while empty.
-    pub fn take(&self) -> ThreadM<T> {
-        let inner = Arc::clone(&self.inner);
-        loop_m((), move |()| {
-            let try_inner = Arc::clone(&inner);
-            let park_inner = Arc::clone(&inner);
-            sys_nbio(move || {
-                let mut st = try_inner.st.lock();
-                let v = st.value.take();
-                if v.is_some() {
-                    wake_all(&mut st.putters);
-                }
-                v
-            })
-            .bind(move |got| match got {
-                Some(v) => ThreadM::pure(Loop::Break(v)),
-                None => sys_park(move |u| {
-                    let mut st = park_inner.st.lock();
+    /// Live registrations parked on this MVar, as `(takers, putters)` (for
+    /// tests asserting loser cancellation leaves nothing behind).
+    pub fn waiter_counts(&self) -> (usize, usize) {
+        let st = self.inner.st.lock();
+        (st.takers.len(), st.putters.len())
+    }
+
+    /// The take event: ready while the MVar is full; commits by emptying
+    /// it and waking every blocked putter.
+    pub fn take_evt(&self) -> Event<T> {
+        let poll_inner = Arc::clone(&self.inner);
+        let reg_inner = Arc::clone(&self.inner);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| {
+                    let mut st = poll_inner.st.lock();
+                    let v = st.value.take();
+                    if v.is_some() {
+                        st.putters.wake_all();
+                    }
+                    v
+                },
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_inner.st.lock();
                     if st.value.is_some() {
                         drop(st);
-                        u.unpark();
-                    } else {
-                        st.takers.push_back(u);
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(|_| Loop::Continue(())),
-            })
+                    let slot = st.takers.push(waiter);
+                    // Puts wake *all* takers: a consumed wake costs the
+                    // device nothing, so plain withdrawal suffices.
+                    Registration::with_take(move || slot.take().is_some())
+                },
+            ));
         })
     }
 
-    /// Puts a value, parking the monadic thread while full.
-    pub fn put(&self, v: T) -> ThreadM<()> {
-        let inner = Arc::clone(&self.inner);
-        loop_m(v, move |v| {
-            let try_inner = Arc::clone(&inner);
-            let park_inner = Arc::clone(&inner);
-            sys_nbio(move || {
-                let mut st = try_inner.st.lock();
-                if st.value.is_some() {
-                    Err(v)
-                } else {
-                    st.value = Some(v);
-                    wake_all(&mut st.takers);
-                    Ok(())
-                }
-            })
-            .bind(move |res| match res {
-                Ok(()) => ThreadM::pure(Loop::Break(())),
-                Err(v) => sys_park(move |u| {
-                    let mut st = park_inner.st.lock();
+    /// The put event: ready while the MVar is empty; commits by filling it
+    /// with `v` and waking every blocked taker.
+    pub fn put_evt(&self, v: T) -> Event<()> {
+        let poll_inner = Arc::clone(&self.inner);
+        let reg_inner = Arc::clone(&self.inner);
+        let mut slot = Some(v);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| {
+                    let mut st = poll_inner.st.lock();
+                    if st.value.is_none() {
+                        if let Some(v) = slot.take() {
+                            st.value = Some(v);
+                            st.takers.wake_all();
+                            return Some(());
+                        }
+                    }
+                    None
+                },
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_inner.st.lock();
                     if st.value.is_none() {
                         drop(st);
-                        u.unpark();
-                    } else {
-                        st.putters.push_back(u);
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(move |_| Loop::Continue(v)),
-            })
+                    let slot_reg = st.putters.push(waiter);
+                    Registration::with_take(move || slot_reg.take().is_some())
+                },
+            ));
         })
+    }
+
+    /// Takes the value, parking the monadic thread while empty —
+    /// `sync(self.take_evt())`.
+    pub fn take(&self) -> ThreadM<T> {
+        sync(self.take_evt())
+    }
+
+    /// Puts a value, parking the monadic thread while full —
+    /// `sync(self.put_evt(v))`.
+    pub fn put(&self, v: T) -> ThreadM<()> {
+        sync(self.put_evt(v))
     }
 }
 
 impl<T: Clone + Send + 'static> MVar<T> {
-    /// Reads the value without removing it, parking while empty.
-    pub fn read(&self) -> ThreadM<T> {
-        let inner = Arc::clone(&self.inner);
-        loop_m((), move |()| {
-            let try_inner = Arc::clone(&inner);
-            let park_inner = Arc::clone(&inner);
-            sys_nbio(move || try_inner.st.lock().value.clone()).bind(move |got| match got {
-                Some(v) => ThreadM::pure(Loop::Break(v)),
-                None => sys_park(move |u| {
-                    let mut st = park_inner.st.lock();
+    /// The read event: ready while the MVar is full; commits by cloning
+    /// the value without removing it.
+    pub fn read_evt(&self) -> Event<T> {
+        let poll_inner = Arc::clone(&self.inner);
+        let reg_inner = Arc::clone(&self.inner);
+        Event::from_fn(move |_t0, out| {
+            out.push(Branch::new(
+                WaitKind::Lock,
+                move |_now| poll_inner.st.lock().value.clone(),
+                move |u| {
+                    let waiter = branch_waiter(u, WaitKind::Lock);
+                    let mut st = reg_inner.st.lock();
                     if st.value.is_some() {
                         drop(st);
-                        u.unpark();
-                    } else {
-                        st.takers.push_back(u);
+                        waiter.wake();
+                        return Registration::none();
                     }
-                })
-                .map(|_| Loop::Continue(())),
-            })
+                    let slot = st.takers.push(waiter);
+                    Registration::with_take(move || slot.take().is_some())
+                },
+            ));
         })
     }
-}
 
-fn wake_all(q: &mut VecDeque<Unparker>) {
-    // Wake everyone and let them re-compete: with one-shot unparkers this is
-    // both simple and immune to lost-wakeup races.
-    for u in q.drain(..) {
-        u.unpark();
+    /// Reads the value without removing it, parking while empty —
+    /// `sync(self.read_evt())`.
+    pub fn read(&self) -> ThreadM<T> {
+        sync(self.read_evt())
     }
 }
 

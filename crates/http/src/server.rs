@@ -15,8 +15,10 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::aio::{AioFile, FileStore};
-use eveth_core::net::{send_all, Conn, Listener, NetStack};
+use eveth_core::event::Signal;
+use eveth_core::net::{send_all, session_input, Conn, Listener, NetStack, SessionInput};
 use eveth_core::syscall::{sys_aio_read, sys_blio, sys_catch, sys_fork, sys_nbio, sys_throw};
+use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
 
 use crate::cache::FileCache;
@@ -34,6 +36,10 @@ pub struct ServerConfig {
     pub read_chunk: usize,
     /// Socket receive granularity.
     pub recv_chunk: usize,
+    /// Reap a keep-alive connection that stays silent this long between
+    /// requests (virtual nanoseconds); `0` disables idle reaping.
+    /// Implemented as a `timeout_evt` branch of the per-session `choose`.
+    pub idle_timeout: Nanos,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +49,7 @@ impl Default for ServerConfig {
             cache_bytes: 100 * 1024 * 1024,
             read_chunk: 64 * 1024,
             recv_chunk: 4 * 1024,
+            idle_timeout: 0,
         }
     }
 }
@@ -60,6 +67,8 @@ pub struct ServerStats {
     pub not_found: AtomicU64,
     /// Sessions terminated by an exception.
     pub errors: AtomicU64,
+    /// Keep-alive connections reaped by the per-session idle deadline.
+    pub idle_reaped: AtomicU64,
 }
 
 /// The web server: all state shared by its monadic threads.
@@ -69,6 +78,7 @@ pub struct WebServer {
     cache: Arc<FileCache>,
     cfg: ServerConfig,
     stats: Arc<ServerStats>,
+    shutdown: Signal,
 }
 
 impl WebServer {
@@ -84,7 +94,20 @@ impl WebServer {
             cache: Arc::new(FileCache::new(cfg.cache_bytes)),
             cfg,
             stats: Arc::new(ServerStats::default()),
+            shutdown: Signal::new(),
         })
+    }
+
+    /// Initiates graceful shutdown (callable from any context): the
+    /// listener stops accepting, and every keep-alive session's `choose`
+    /// sees the broadcast on its next wait and closes the connection.
+    pub fn shutdown(&self) {
+        self.shutdown.fire();
+    }
+
+    /// The shutdown broadcast (for composing with other events).
+    pub fn shutdown_signal(&self) -> &Signal {
+        &self.shutdown
     }
 
     /// Counters.
@@ -110,6 +133,14 @@ impl WebServer {
                 Ok(l) => l,
                 Err(e) => return sys_throw(Exception::with_payload("listen failed", e)),
             };
+            let sig = srv.shutdown.clone();
+            let gate = Arc::clone(&listener);
+            // Shutdown supervisor: syncs on the broadcast, then closes the
+            // listener so the accept loop drains out.
+            sys_fork(do_m! {
+                sig.wait();
+                sys_nbio(move || gate.shutdown())
+            });
             accept_loop(srv, listener)
         }
     }
@@ -150,6 +181,9 @@ fn accept_loop(srv: Arc<WebServer>, listener: Arc<dyn Listener>) -> ThreadM<()> 
 }
 
 /// One keep-alive client session: parse requests, serve them, loop.
+///
+/// The wait point is [`session_input`] — one `choose` over socket
+/// readiness, the idle-connection deadline and the shutdown broadcast.
 fn client_session(srv: Arc<WebServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
     loop_m(RequestParser::new(), move |mut parser| {
         let srv = Arc::clone(&srv);
@@ -166,10 +200,23 @@ fn client_session(srv: Arc<WebServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
             Ok(Some(req)) => return serve_one(srv, conn, parser, req),
             Ok(None) => {}
         }
-        conn.recv(srv.cfg.recv_chunk).bind(move |chunk| {
-            let chunk = match chunk {
-                Ok(c) => c,
-                Err(_) => return ThreadM::pure(Loop::Break(())),
+        session_input(
+            &conn,
+            srv.cfg.recv_chunk,
+            srv.cfg.idle_timeout,
+            &srv.shutdown,
+        )
+        .bind(move |input| {
+            let chunk = match input {
+                SessionInput::Data(Ok(c)) => c,
+                SessionInput::Data(Err(_)) => return ThreadM::pure(Loop::Break(())),
+                SessionInput::IdleTimeout => {
+                    srv.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    return conn.close().map(|_| Loop::Break(()));
+                }
+                SessionInput::Shutdown => {
+                    return conn.close().map(|_| Loop::Break(()));
+                }
             };
             if chunk.is_empty() {
                 // Client closed.

@@ -70,6 +70,7 @@ mod tests {
                         value: Bytes::from_static(b"v"),
                         flags: 0,
                         expires_at: Some(MILLIS),
+                        version: 0,
                     },
                 )
             }))

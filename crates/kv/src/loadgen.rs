@@ -257,7 +257,7 @@ fn account(
 ) {
     let before = *answered;
     match reply {
-        Reply::Value { .. } => *hits_in_get += 1,
+        Reply::Value { .. } | Reply::ValueCas { .. } => *hits_in_get += 1,
         Reply::End => {
             stats.hits.add(*hits_in_get);
             if *hits_in_get == 0 {
@@ -270,7 +270,9 @@ fn account(
             stats.stored.incr();
             *answered += 1;
         }
-        Reply::Deleted | Reply::NotFound | Reply::Number(_) => *answered += 1,
+        Reply::Deleted | Reply::NotFound | Reply::NotStored | Reply::Exists | Reply::Number(_) => {
+            *answered += 1
+        }
         Reply::Error | Reply::ClientError(_) => {
             stats.errors.incr();
             *answered += 1;

@@ -12,7 +12,11 @@
 //!
 //! ```text
 //! get <key>+\r\n
+//! gets <key>+\r\n
 //! set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! add <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! replace <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! cas <key> <flags> <exptime> <bytes> <cas unique> [noreply]\r\n<data>\r\n
 //! delete <key> [noreply]\r\n
 //! incr <key> <delta> [noreply]\r\n
 //! decr <key> <delta> [noreply]\r\n
@@ -20,6 +24,9 @@
 //! version\r\n
 //! quit\r\n
 //! ```
+//!
+//! `gets` is `get` plus the per-entry version stamp (`cas unique`) in each
+//! `VALUE` line; `cas` stores only if the stamp is unchanged.
 
 use std::fmt;
 
@@ -36,6 +43,12 @@ pub enum Command {
         /// Keys to look up, in request order.
         keys: Vec<Bytes>,
     },
+    /// `gets`: like `get`, but each `VALUE` line carries the entry's
+    /// version stamp (`cas unique`) for a later `cas`.
+    Gets {
+        /// Keys to look up, in request order.
+        keys: Vec<Bytes>,
+    },
     /// `set`: store a value unconditionally.
     Set {
         /// The key.
@@ -46,6 +59,48 @@ pub enum Command {
         exptime: u64,
         /// The value payload.
         value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `add`: store only if the key is absent (or expired).
+    Add {
+        /// The key.
+        key: Bytes,
+        /// Opaque client flags, echoed back on `get`.
+        flags: u32,
+        /// Expiry in seconds relative to receipt; `0` = never.
+        exptime: u64,
+        /// The value payload.
+        value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `replace`: store only if a live entry already exists.
+    Replace {
+        /// The key.
+        key: Bytes,
+        /// Opaque client flags, echoed back on `get`.
+        flags: u32,
+        /// Expiry in seconds relative to receipt; `0` = never.
+        exptime: u64,
+        /// The value payload.
+        value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `cas`: store only if the entry's version stamp is unchanged since
+    /// the client's `gets`.
+    Cas {
+        /// The key.
+        key: Bytes,
+        /// Opaque client flags, echoed back on `get`.
+        flags: u32,
+        /// Expiry in seconds relative to receipt; `0` = never.
+        exptime: u64,
+        /// The value payload.
+        value: Bytes,
+        /// The version stamp the client observed via `gets`.
+        cas_unique: u64,
         /// Suppress the reply.
         noreply: bool,
     },
@@ -87,6 +142,9 @@ impl Command {
     pub fn noreply(&self) -> bool {
         match self {
             Command::Set { noreply, .. }
+            | Command::Add { noreply, .. }
+            | Command::Replace { noreply, .. }
+            | Command::Cas { noreply, .. }
             | Command::Delete { noreply, .. }
             | Command::Incr { noreply, .. }
             | Command::Decr { noreply, .. } => *noreply,
@@ -241,16 +299,27 @@ struct ParsedLine {
     payload_len: Option<usize>,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum Verb {
     Get,
+    Gets,
     Set,
+    Add,
+    Replace,
+    Cas,
     Delete,
     Incr,
     Decr,
     Stats,
     Version,
     Quit,
+}
+
+impl Verb {
+    /// Verbs carrying a `<flags> <exptime> <bytes>` header + data block.
+    fn is_storage(self) -> bool {
+        matches!(self, Verb::Set | Verb::Add | Verb::Replace | Verb::Cas)
+    }
 }
 
 impl ParsedLine {
@@ -260,8 +329,12 @@ impl ParsedLine {
             .first()
             .ok_or(ProtoError::Malformed("empty command"))?;
         let verb = match &line[vs..ve] {
-            b"get" | b"gets" => Verb::Get,
+            b"get" => Verb::Get,
+            b"gets" => Verb::Gets,
             b"set" => Verb::Set,
+            b"add" => Verb::Add,
+            b"replace" => Verb::Replace,
+            b"cas" => Verb::Cas,
             b"delete" => Verb::Delete,
             b"incr" => Verb::Incr,
             b"decr" => Verb::Decr,
@@ -272,7 +345,7 @@ impl ParsedLine {
         };
         fields.remove(0);
         let mut noreply = false;
-        if matches!(verb, Verb::Set | Verb::Delete | Verb::Incr | Verb::Decr) {
+        if verb.is_storage() || matches!(verb, Verb::Delete | Verb::Incr | Verb::Decr) {
             if let Some(&(s, e)) = fields.last() {
                 if &line[s..e] == b"noreply" {
                     noreply = true;
@@ -288,14 +361,20 @@ impl ParsedLine {
             }
         };
         let payload_len = match verb {
-            Verb::Get => {
+            Verb::Get | Verb::Gets => {
                 if fields.is_empty() {
                     return Err(ProtoError::Malformed("get needs at least one key"));
                 }
                 None
             }
-            Verb::Set => {
-                expect(4, "set needs <key> <flags> <exptime> <bytes>")?;
+            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas => {
+                if verb == Verb::Cas {
+                    expect(5, "cas needs <key> <flags> <exptime> <bytes> <cas unique>")?;
+                    parse_u64(&line[fields[4].0..fields[4].1])
+                        .ok_or(ProtoError::Malformed("bad cas unique"))?;
+                } else {
+                    expect(4, "set needs <key> <flags> <exptime> <bytes>")?;
+                }
                 let flags = parse_u64(&line[fields[1].0..fields[1].1])
                     .ok_or(ProtoError::Malformed("bad flags"))?;
                 if flags > u32::MAX as u64 {
@@ -349,14 +428,46 @@ impl ParsedLine {
             Verb::Get => Command::Get {
                 keys: (0..self.args.len()).map(arg).collect(),
             },
-            Verb::Set => {
-                let n = self.payload_len.expect("set has a payload");
-                Command::Set {
-                    key: arg(0),
-                    flags: num(1) as u32,
-                    exptime: num(2),
-                    value: frozen.slice(line_end + 2..line_end + 2 + n),
-                    noreply: self.noreply,
+            Verb::Gets => Command::Gets {
+                keys: (0..self.args.len()).map(arg).collect(),
+            },
+            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas => {
+                let n = self.payload_len.expect("storage verbs have a payload");
+                let key = arg(0);
+                let flags = num(1) as u32;
+                let exptime = num(2);
+                let value = frozen.slice(line_end + 2..line_end + 2 + n);
+                let noreply = self.noreply;
+                match self.verb {
+                    Verb::Set => Command::Set {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        noreply,
+                    },
+                    Verb::Add => Command::Add {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        noreply,
+                    },
+                    Verb::Replace => Command::Replace {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        noreply,
+                    },
+                    _ => Command::Cas {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        cas_unique: num(4),
+                        noreply,
+                    },
                 }
             }
             Verb::Delete => Command::Delete {
@@ -383,8 +494,14 @@ impl ParsedLine {
 
 fn key_fields(verb: Verb, fields: &[(usize, usize)]) -> &[(usize, usize)] {
     match verb {
-        Verb::Get => fields,
-        Verb::Set | Verb::Delete | Verb::Incr | Verb::Decr => &fields[..1],
+        Verb::Get | Verb::Gets => fields,
+        Verb::Set
+        | Verb::Add
+        | Verb::Replace
+        | Verb::Cas
+        | Verb::Delete
+        | Verb::Incr
+        | Verb::Decr => &fields[..1],
         _ => &[],
     }
 }
@@ -455,10 +572,26 @@ pub enum Reply {
         /// The value payload.
         data: Bytes,
     },
+    /// One `VALUE` line with a trailing `cas unique` (part of a `gets`
+    /// response).
+    ValueCas {
+        /// The key.
+        key: Bytes,
+        /// Client flags stored with the value.
+        flags: u32,
+        /// The value payload.
+        data: Bytes,
+        /// The entry's version stamp.
+        cas: u64,
+    },
     /// `END` terminating a `get` or `stats` response.
     End,
     /// `STORED`.
     Stored,
+    /// `NOT_STORED` (failed `add`/`replace` precondition).
+    NotStored,
+    /// `EXISTS` (a `cas` found the entry modified).
+    Exists,
     /// `DELETED`.
     Deleted,
     /// `NOT_FOUND`.
@@ -486,8 +619,22 @@ impl Reply {
                 out.extend_from_slice(data);
                 out.extend_from_slice(b"\r\n");
             }
+            Reply::ValueCas {
+                key,
+                flags,
+                data,
+                cas,
+            } => {
+                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(format!(" {} {} {}\r\n", flags, data.len(), cas).as_bytes());
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
             Reply::End => out.extend_from_slice(b"END\r\n"),
             Reply::Stored => out.extend_from_slice(b"STORED\r\n"),
+            Reply::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
+            Reply::Exists => out.extend_from_slice(b"EXISTS\r\n"),
             Reply::Deleted => out.extend_from_slice(b"DELETED\r\n"),
             Reply::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
             Reply::Number(n) => out.extend_from_slice(format!("{n}\r\n").as_bytes()),
@@ -547,6 +694,14 @@ impl ReplyParser {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or(ProtoError::Malformed("VALUE length"))?;
+                // A fourth field is the `cas unique` of a `gets` response.
+                let cas: Option<u64> = match parts.next() {
+                    Some(s) => Some(
+                        s.parse()
+                            .map_err(|_| ProtoError::Malformed("VALUE cas unique"))?,
+                    ),
+                    None => None,
+                };
                 let need = line_end + 2 + len + 2;
                 if self.buf.len() < need {
                     return Ok(None);
@@ -557,11 +712,21 @@ impl ReplyParser {
                 let key = Bytes::from(key.as_bytes().to_vec());
                 let data = Bytes::from(self.buf[line_end + 2..line_end + 2 + len].to_vec());
                 self.buf.drain(..need);
-                return Ok(Some(Reply::Value { key, flags, data }));
+                return Ok(Some(match cas {
+                    Some(cas) => Reply::ValueCas {
+                        key,
+                        flags,
+                        data,
+                        cas,
+                    },
+                    None => Reply::Value { key, flags, data },
+                }));
             }
             match line {
                 b"END" => Reply::End,
                 b"STORED" => Reply::Stored,
+                b"NOT_STORED" => Reply::NotStored,
+                b"EXISTS" => Reply::Exists,
                 b"DELETED" => Reply::Deleted,
                 b"NOT_FOUND" => Reply::NotFound,
                 b"ERROR" => Reply::Error,
@@ -682,10 +847,94 @@ mod tests {
     }
 
     #[test]
+    fn parses_add_replace_cas_gets() {
+        match parse_one(b"add k 3 60 2\r\nab\r\n") {
+            Command::Add {
+                key, flags, value, ..
+            } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!(flags, 3);
+                assert_eq!(&value[..], b"ab");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"replace k 0 0 1 noreply\r\nx\r\n") {
+            Command::Replace { noreply, .. } => assert!(noreply),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"cas k 1 0 3 99\r\nxyz\r\n") {
+            Command::Cas {
+                key,
+                cas_unique,
+                value,
+                noreply,
+                ..
+            } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!(cas_unique, 99);
+                assert_eq!(&value[..], b"xyz");
+                assert!(!noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"cas k 1 0 0 7 noreply\r\n\r\n") {
+            Command::Cas {
+                cas_unique,
+                noreply,
+                ..
+            } => {
+                assert_eq!(cas_unique, 7);
+                assert!(noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"gets a b\r\n") {
+            Command::Gets { keys } => assert_eq!(keys.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_cas_reply_roundtrips_with_stamp() {
+        let replies = vec![
+            Reply::ValueCas {
+                key: Bytes::from_static(b"k"),
+                flags: 2,
+                data: Bytes::from_static(b"payload"),
+                cas: 12345,
+            },
+            Reply::End,
+            Reply::NotStored,
+            Reply::Exists,
+        ];
+        let mut wire = Vec::new();
+        for r in &replies {
+            r.encode_into(&mut wire);
+        }
+        assert!(wire.starts_with(b"VALUE k 2 7 12345\r\n"));
+        let mut p = ReplyParser::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(4) {
+            if let Some(r) = p.feed(chunk).unwrap() {
+                got.push(r);
+                while let Some(r) = p.feed(b"").unwrap() {
+                    got.push(r);
+                }
+            }
+        }
+        assert_eq!(got, replies);
+    }
+
+    #[test]
     fn rejects_malformed() {
         for bad in [
             &b"frobnicate\r\n"[..],
             &b"get\r\n"[..],
+            &b"gets\r\n"[..],
+            &b"add k 0 0\r\n"[..],
+            &b"replace k 0 0\r\n"[..],
+            &b"cas k 0 0 1\r\nx\r\n"[..],
+            &b"cas k 0 0 1 notanumber\r\nx\r\n"[..],
             &b"set k 0 0\r\n"[..],
             &b"set k 0 0 abc\r\n"[..],
             &b"set k x 0 1\r\na\r\n"[..],

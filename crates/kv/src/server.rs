@@ -18,15 +18,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eveth_core::net::{send_all, Conn, Listener, NetStack};
-use eveth_core::syscall::{sys_catch, sys_fork, sys_throw, sys_time};
+use eveth_core::event::Signal;
+use eveth_core::net::{send_all, session_input, Conn, Listener, NetStack, SessionInput};
+use eveth_core::syscall::{sys_catch, sys_fork, sys_nbio, sys_throw, sys_time};
 use eveth_core::time::{Nanos, MILLIS};
 use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
 
 use crate::expiry::janitor;
 use crate::protocol::{Command, CommandParser, ProtoError, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
-use crate::store::{CounterResult, ShardedStore, StoreConfig};
+use crate::store::{CasOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
 
 /// KV server tunables.
 #[derive(Debug, Clone)]
@@ -40,6 +41,11 @@ pub struct KvConfig {
     /// Janitor wake interval (one shard swept per wake); `0` disables the
     /// janitor (lazy expiry still applies).
     pub janitor_interval: Nanos,
+    /// Reap a connection that stays silent this long between requests
+    /// (virtual nanoseconds); `0` disables idle reaping. Implemented as a
+    /// `timeout_evt` branch of the per-session `choose` — no helper
+    /// thread, no polling.
+    pub idle_timeout: Nanos,
 }
 
 impl Default for KvConfig {
@@ -49,6 +55,7 @@ impl Default for KvConfig {
             store: StoreConfig::default(),
             recv_chunk: 16 * 1024,
             janitor_interval: 100 * MILLIS,
+            idle_timeout: 0,
         }
     }
 }
@@ -59,6 +66,7 @@ pub struct KvServer {
     store: Arc<ShardedStore>,
     cfg: KvConfig,
     stats: Arc<ServerStats>,
+    shutdown: Signal,
 }
 
 impl KvServer {
@@ -69,7 +77,20 @@ impl KvServer {
             store: ShardedStore::new(cfg.store.clone()),
             cfg,
             stats: Arc::new(ServerStats::default()),
+            shutdown: Signal::new(),
         })
+    }
+
+    /// Initiates graceful shutdown (callable from any context): the
+    /// listener stops accepting and every session's `choose` sees the
+    /// broadcast on its next wait, closing the connection.
+    pub fn shutdown(&self) {
+        self.shutdown.fire();
+    }
+
+    /// The shutdown broadcast (for composing with other events).
+    pub fn shutdown_signal(&self) -> &Signal {
+        &self.shutdown
     }
 
     /// Aggregate server counters.
@@ -100,6 +121,16 @@ impl KvServer {
                 Ok(l) => l,
                 Err(e) => return sys_throw(Exception::with_payload("kv listen failed", e)),
             };
+            let sig = srv.shutdown.clone();
+            let gate = Arc::clone(&listener);
+            // Shutdown supervisor: an ordinary monadic thread syncs on the
+            // broadcast, then closes the listener so the accept loop
+            // drains out; sessions observe the same broadcast in their own
+            // `choose` and close themselves.
+            sys_fork(do_m! {
+                sig.wait();
+                sys_nbio(move || gate.shutdown())
+            });
             let _ = if srv.cfg.janitor_interval > 0 {
                 // The janitor is an ordinary monadic thread on the same
                 // scheduler, woken by the timer wheel.
@@ -154,6 +185,9 @@ struct BatchOutcome {
 }
 
 /// One client session: receive, drain every buffered command, reply once.
+///
+/// The wait point is [`session_input`] — one `choose` over socket
+/// readiness, the idle-connection deadline and the shutdown broadcast.
 fn client_session(srv: Arc<KvServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
     // The parser rejects a declared `set` payload over the store's cap
     // before buffering it, so a hostile byte count cannot balloon memory.
@@ -161,10 +195,25 @@ fn client_session(srv: Arc<KvServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
     loop_m(parser, move |parser| {
         let srv = Arc::clone(&srv);
         let conn = Arc::clone(&conn);
-        conn.recv(srv.cfg.recv_chunk).bind(move |chunk| {
-            let chunk = match chunk {
-                Ok(c) => c,
-                Err(_) => return ThreadM::pure(Loop::Break(())),
+        session_input(
+            &conn,
+            srv.cfg.recv_chunk,
+            srv.cfg.idle_timeout,
+            &srv.shutdown,
+        )
+        .bind(move |input| {
+            let chunk = match input {
+                SessionInput::Data(Ok(c)) => c,
+                SessionInput::Data(Err(_)) => return ThreadM::pure(Loop::Break(())),
+                SessionInput::IdleTimeout => {
+                    // The stalled connection is reaped; live sessions are
+                    // untouched (each races its own deadline).
+                    srv.stats.idle_reaped.incr();
+                    return conn.close().map(|_| Loop::Break(()));
+                }
+                SessionInput::Shutdown => {
+                    return conn.close().map(|_| Loop::Break(()));
+                }
             };
             if chunk.is_empty() {
                 return conn.close().map(|_| Loop::Break(()));
@@ -271,33 +320,59 @@ fn step_batch(
     }
 }
 
-/// Executes one command against the store.
-fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
-    match cmd {
-        Command::Get { keys } => {
-            let store = Arc::clone(&srv.store);
-            let keys = Arc::new(keys);
-            do_m! {
-                let now <- sys_time();
-                eveth_core::map_m(keys.len(), move |i| {
-                    let store = Arc::clone(&store);
-                    let key = keys[i].clone();
-                    let key2 = key.clone();
-                    store.get(key, now).map(move |found| {
-                        found.map(|e| Reply::Value {
+/// Multi-key lookup shared by `get` (plain `VALUE` lines) and `gets`
+/// (`VALUE` lines carrying the cas-unique version stamp).
+fn lookup_reply(srv: Arc<KvServer>, keys: Vec<Bytes>, with_cas: bool) -> ThreadM<Vec<Reply>> {
+    let store = Arc::clone(&srv.store);
+    let keys = Arc::new(keys);
+    do_m! {
+        let now <- sys_time();
+        eveth_core::map_m(keys.len(), move |i| {
+            let store = Arc::clone(&store);
+            let key = keys[i].clone();
+            let key2 = key.clone();
+            store.get(key, now).map(move |found| {
+                found.map(|e| {
+                    if with_cas {
+                        Reply::ValueCas {
                             key: key2,
                             flags: e.flags,
                             data: e.value,
-                        })
-                    })
+                            cas: e.version,
+                        }
+                    } else {
+                        Reply::Value {
+                            key: key2,
+                            flags: e.flags,
+                            data: e.value,
+                        }
+                    }
                 })
-                .map(|found: Vec<Option<Reply>>| {
-                    let mut replies: Vec<Reply> = found.into_iter().flatten().collect();
-                    replies.push(Reply::End);
-                    replies
-                })
-            }
-        }
+            })
+        })
+        .map(|found: Vec<Option<Reply>>| {
+            let mut replies: Vec<Reply> = found.into_iter().flatten().collect();
+            replies.push(Reply::End);
+            replies
+        })
+    }
+}
+
+/// Builds the store entry for a storage command's fields at time `now`.
+fn proto_entry(now: Nanos, flags: u32, exptime: u64, value: Bytes) -> Entry {
+    Entry {
+        value,
+        flags,
+        expires_at: ShardedStore::deadline(now, exptime),
+        version: 0, // stamped by the store
+    }
+}
+
+/// Executes one command against the store.
+fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
+    match cmd {
+        Command::Get { keys } => lookup_reply(srv, keys, false),
+        Command::Gets { keys } => lookup_reply(srv, keys, true),
         Command::Set {
             key,
             flags,
@@ -311,6 +386,45 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
             srv.store
                 .set_from_protocol(key, flags, exptime, value)
                 .map(|()| vec![Reply::Stored])
+        }
+        Command::Add {
+            key,
+            flags,
+            exptime,
+            value,
+            ..
+        } => guarded_store_reply(srv, key, flags, exptime, value, false),
+        Command::Replace {
+            key,
+            flags,
+            exptime,
+            value,
+            ..
+        } => guarded_store_reply(srv, key, flags, exptime, value, true),
+        Command::Cas {
+            key,
+            flags,
+            exptime,
+            value,
+            cas_unique,
+            ..
+        } => {
+            if value.len() > srv.store.config().max_value_bytes {
+                return ThreadM::pure(vec![Reply::ClientError("value too large")]);
+            }
+            let store = Arc::clone(&srv.store);
+            do_m! {
+                let now <- sys_time();
+                store
+                    .cas(key, proto_entry(now, flags, exptime, value), cas_unique, now)
+                    .map(|outcome| {
+                        vec![match outcome {
+                            CasOutcome::Stored => Reply::Stored,
+                            CasOutcome::Exists => Reply::Exists,
+                            CasOutcome::NotFound => Reply::NotFound,
+                        }]
+                    })
+            }
         }
         Command::Delete { key, .. } => {
             let store = Arc::clone(&srv.store);
@@ -337,11 +451,18 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
                 Reply::Stat("get_misses".into(), snap.misses.to_string()),
                 Reply::Stat("sets".into(), snap.sets.to_string()),
                 Reply::Stat("deletes".into(), snap.deletes.to_string()),
+                Reply::Stat("cas_hits".into(), snap.cas_hits.to_string()),
+                Reply::Stat("cas_badval".into(), snap.cas_badval.to_string()),
+                Reply::Stat("cas_misses".into(), snap.cas_misses.to_string()),
                 Reply::Stat("expired_lazy".into(), snap.expired_lazy.to_string()),
                 Reply::Stat("expired_purged".into(), snap.expired_purged.to_string()),
                 Reply::Stat(
                     "janitor_sweeps".into(),
                     srv.stats.janitor_sweeps.get().to_string(),
+                ),
+                Reply::Stat(
+                    "idle_reaped".into(),
+                    srv.stats.idle_reaped.get().to_string(),
                 ),
                 Reply::Stat("curr_items".into(), srv.store.len_now().to_string()),
                 Reply::Stat("shards".into(), srv.store.shard_count().to_string()),
@@ -361,6 +482,31 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
         }
         Command::Version => ThreadM::pure(vec![Reply::Version(env!("CARGO_PKG_VERSION"))]),
         Command::Quit => ThreadM::pure(Vec::new()),
+    }
+}
+
+/// `add` / `replace`: the occupancy-guarded stores.
+fn guarded_store_reply(
+    srv: Arc<KvServer>,
+    key: Bytes,
+    flags: u32,
+    exptime: u64,
+    value: Bytes,
+    want_occupied: bool,
+) -> ThreadM<Vec<Reply>> {
+    if value.len() > srv.store.config().max_value_bytes {
+        return ThreadM::pure(vec![Reply::ClientError("value too large")]);
+    }
+    let store = Arc::clone(&srv.store);
+    do_m! {
+        let now <- sys_time();
+        let entry = proto_entry(now, flags, exptime, value);
+        let stored <- if want_occupied {
+            store.replace(key, entry, now)
+        } else {
+            store.add(key, entry, now)
+        };
+        ThreadM::pure(vec![if stored { Reply::Stored } else { Reply::NotStored }])
     }
 }
 

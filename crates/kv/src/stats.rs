@@ -116,6 +116,12 @@ pub struct ShardStats {
     pub deletes: Counter,
     /// Successful `incr`/`decr`s.
     pub counter_ops: Counter,
+    /// `cas` operations that stored (stamp matched).
+    pub cas_hits: Counter,
+    /// `cas` operations rejected because the entry changed (`EXISTS`).
+    pub cas_badval: Counter,
+    /// `cas` operations on a missing/expired key (`NOT_FOUND`).
+    pub cas_misses: Counter,
     /// Expired entries detected lazily by reads.
     pub expired_lazy: Counter,
     /// Expired entries reclaimed by the janitor.
@@ -137,6 +143,9 @@ pub struct ServerStats {
     pub protocol_errors: Counter,
     /// Sessions terminated by an exception.
     pub session_errors: Counter,
+    /// Connections reaped by the per-session idle deadline (the
+    /// `timeout_evt` branch of the session's `choose` won).
+    pub idle_reaped: Counter,
     /// Janitor sweeps completed (whole-store passes; shared with the
     /// janitor thread, which increments it).
     pub janitor_sweeps: std::sync::Arc<Counter>,
@@ -156,6 +165,12 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     /// Sum of shard counter ops.
     pub counter_ops: u64,
+    /// Sum of stored `cas` ops.
+    pub cas_hits: u64,
+    /// Sum of `cas` ops rejected with `EXISTS`.
+    pub cas_badval: u64,
+    /// Sum of `cas` ops on missing keys.
+    pub cas_misses: u64,
     /// Sum of lazily-detected expiries.
     pub expired_lazy: u64,
     /// Sum of janitor-reclaimed expiries.
@@ -172,6 +187,9 @@ impl StatsSnapshot {
             s.sets += sh.sets.get();
             s.deletes += sh.deletes.get();
             s.counter_ops += sh.counter_ops.get();
+            s.cas_hits += sh.cas_hits.get();
+            s.cas_badval += sh.cas_badval.get();
+            s.cas_misses += sh.cas_misses.get();
             s.expired_lazy += sh.expired_lazy.get();
             s.expired_purged += sh.expired_purged.get();
         }

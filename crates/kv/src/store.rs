@@ -70,12 +70,28 @@ pub struct Entry {
     pub flags: u32,
     /// Absolute expiry deadline (runtime nanoseconds); `None` = never.
     pub expires_at: Option<Nanos>,
+    /// Per-entry version stamp — the `cas unique` of the memcached
+    /// protocol, returned by `gets` and checked by `cas`. The store
+    /// assigns a fresh stamp on every successful write (set/add/replace/
+    /// cas/incr/decr); caller-provided values are overwritten.
+    pub version: u64,
 }
 
 impl Entry {
     fn is_expired(&self, now: Nanos) -> bool {
         self.expires_at.is_some_and(|d| d <= now)
     }
+}
+
+/// Outcome of a `cas` (compare-and-swap on the version stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The stamp matched; the new value was stored.
+    Stored,
+    /// The entry exists but was modified since the client's `gets`.
+    Exists,
+    /// No live entry under the key.
+    NotFound,
 }
 
 /// Outcome of an `incr`/`decr`.
@@ -118,6 +134,11 @@ pub struct ShardedStore {
     /// Transaction contention counters, shared by every STM operation on
     /// this store (zero and idle under the mutex backend).
     stm_stats: Arc<TxnStats>,
+    /// The version-stamp allocator behind [`Entry::version`]: one stamp is
+    /// drawn per mutating operation (applied only if the write commits, so
+    /// failed `add`s leave gaps — `cas unique` values are opaque). Under
+    /// the serialized simulator the sequence is deterministic.
+    next_version: std::sync::atomic::AtomicU64,
     cfg: StoreConfig,
 }
 
@@ -146,8 +167,15 @@ impl ShardedStore {
             shards,
             stats: Arc::new((0..n).map(|_| ShardStats::default()).collect()),
             stm_stats: TxnStats::new(),
+            next_version: std::sync::atomic::AtomicU64::new(1),
             cfg,
         })
+    }
+
+    /// Draws the next version stamp (one per mutating operation).
+    fn stamp(&self) -> u64 {
+        self.next_version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of shards.
@@ -260,10 +288,13 @@ impl ShardedStore {
         })
     }
 
-    /// Stores `entry` under `key`, unconditionally.
+    /// Stores `entry` under `key`, unconditionally (stamping a fresh
+    /// version).
     pub fn set(self: &Arc<Self>, key: Bytes, entry: Entry) -> ThreadM<()> {
         let this = Arc::clone(self);
         let idx = self.shard_of(&key);
+        let mut entry = entry;
+        entry.version = self.stamp();
         let stored = match &self.shards {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
@@ -327,6 +358,146 @@ impl ShardedStore {
         })
     }
 
+    /// Stores `entry` only if no live (unexpired) entry exists under
+    /// `key` — the `add` command. Returns `true` if stored.
+    pub fn add(self: &Arc<Self>, key: Bytes, entry: Entry, now: Nanos) -> ThreadM<bool> {
+        self.guarded_insert(key, entry, now, false)
+    }
+
+    /// Stores `entry` only if a live (unexpired) entry already exists
+    /// under `key` — the `replace` command. Returns `true` if stored.
+    pub fn replace(self: &Arc<Self>, key: Bytes, entry: Entry, now: Nanos) -> ThreadM<bool> {
+        self.guarded_insert(key, entry, now, true)
+    }
+
+    /// `add` / `replace` share one occupancy-guarded insert; `want_occupied`
+    /// selects which side of the guard stores.
+    fn guarded_insert(
+        self: &Arc<Self>,
+        key: Bytes,
+        entry: Entry,
+        now: Nanos,
+        want_occupied: bool,
+    ) -> ThreadM<bool> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let mut entry = entry;
+        entry.version = self.stamp();
+        let stm_key = key.clone();
+        let apply = move |map: &mut ShardMap| -> bool {
+            let occupied = map.get(key.as_ref()).is_some_and(|e| !e.is_expired(now));
+            if occupied != want_occupied {
+                return false;
+            }
+            map.insert(key.to_vec().into_boxed_slice(), entry.clone());
+            true
+        };
+        let stored = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    apply(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                self.stm_atomically(move |txn| {
+                    let snapshot = txn.read(&cell)?;
+                    let occupied = snapshot
+                        .get(stm_key.as_ref())
+                        .is_some_and(|e| !e.is_expired(now));
+                    if occupied != want_occupied {
+                        return Ok(false); // read-only fast path: no COW
+                    }
+                    let mut map = (*snapshot).clone();
+                    let stored = apply(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(stored)
+                })
+            }
+        };
+        stored.map(move |stored| {
+            if stored {
+                this.stats[idx].sets.incr();
+            }
+            stored
+        })
+    }
+
+    /// Compare-and-swap: stores `entry` only if the live entry under `key`
+    /// still carries version stamp `expected` (obtained via `gets`).
+    pub fn cas(
+        self: &Arc<Self>,
+        key: Bytes,
+        entry: Entry,
+        expected: u64,
+        now: Nanos,
+    ) -> ThreadM<CasOutcome> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let mut entry = entry;
+        entry.version = self.stamp();
+        let stm_key = key.clone();
+        let probe = move |map: &ShardMap| -> CasOutcome {
+            match map.get(stm_key.as_ref()) {
+                None => CasOutcome::NotFound,
+                Some(e) if e.is_expired(now) => CasOutcome::NotFound,
+                Some(e) if e.version != expected => CasOutcome::Exists,
+                Some(_) => CasOutcome::Stored,
+            }
+        };
+        // The probe captures only cheaply-clonable state, so the STM arm
+        // can run it against the snapshot *before* paying the
+        // copy-on-write.
+        let stm_probe = probe.clone();
+        let apply = move |map: &mut ShardMap| -> CasOutcome {
+            let outcome = probe(map);
+            if outcome == CasOutcome::Stored {
+                map.insert(key.to_vec().into_boxed_slice(), entry.clone());
+            }
+            outcome
+        };
+        let result = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    apply(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                self.stm_atomically(move |txn| {
+                    let snapshot = txn.read(&cell)?;
+                    // Read-only fast paths: only a matching stamp commits
+                    // a write (and pays the copy-on-write); a stale or
+                    // missing stamp is answered from the snapshot alone.
+                    let outcome = stm_probe(&snapshot);
+                    if outcome != CasOutcome::Stored {
+                        return Ok(outcome);
+                    }
+                    let mut map = (*snapshot).clone();
+                    let outcome = apply(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(outcome)
+                })
+            }
+        };
+        result.map(move |outcome| {
+            let st = &this.stats[idx];
+            match outcome {
+                CasOutcome::Stored => {
+                    st.cas_hits.incr();
+                    st.sets.incr();
+                }
+                CasOutcome::Exists => st.cas_badval.incr(),
+                CasOutcome::NotFound => st.cas_misses.incr(),
+            }
+            outcome
+        })
+    }
+
     /// Adds `delta` (or subtracts, saturating at zero, when `negative`) to
     /// the decimal integer stored at `key`.
     pub fn counter_op(
@@ -338,6 +509,7 @@ impl ShardedStore {
     ) -> ThreadM<CounterResult> {
         let this = Arc::clone(self);
         let idx = self.shard_of(&key);
+        let version = self.stamp();
         let stm_key = key.clone();
         let apply = move |map: &mut ShardMap| -> CounterResult {
             let Some(e) = map.get_mut(key.as_ref()) else {
@@ -359,6 +531,7 @@ impl ShardedStore {
                 cur.wrapping_add(delta)
             };
             e.value = Bytes::from(next.to_string());
+            e.version = version;
             CounterResult::Ok(next)
         };
         let result = match &self.shards {
@@ -469,6 +642,7 @@ impl ShardedStore {
                     value,
                     flags,
                     expires_at: ShardedStore::deadline(now, exptime),
+                    version: 0,
                 },
             )
         }
@@ -515,6 +689,7 @@ mod tests {
             value: Bytes::from(v.to_string()),
             flags: 0,
             expires_at: None,
+            version: 0,
         }
     }
 
@@ -603,6 +778,94 @@ mod tests {
             assert_eq!(
                 rt.block_on(s7.counter_op(k, 1, false, 0)),
                 CounterResult::NotNumeric
+            );
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn add_replace_respect_occupancy_both_backends() {
+        for backend in [Backend::Mutex, Backend::Stm] {
+            let rt = Runtime::builder().workers(1).build();
+            let s = store(backend);
+            let k = Bytes::from_static(b"g");
+            // replace on a missing key fails; add succeeds.
+            let s1 = Arc::clone(&s);
+            assert!(
+                !rt.block_on(s1.replace(k.clone(), entry("r"), 0)),
+                "{backend:?}"
+            );
+            let s2 = Arc::clone(&s);
+            assert!(rt.block_on(s2.add(k.clone(), entry("a"), 0)), "{backend:?}");
+            // add on a live key fails; replace succeeds.
+            let s3 = Arc::clone(&s);
+            assert!(
+                !rt.block_on(s3.add(k.clone(), entry("a2"), 0)),
+                "{backend:?}"
+            );
+            let s4 = Arc::clone(&s);
+            assert!(
+                rt.block_on(s4.replace(k.clone(), entry("r2"), 0)),
+                "{backend:?}"
+            );
+            let s5 = Arc::clone(&s);
+            let got = rt.block_on(s5.get(k.clone(), 0)).unwrap();
+            assert_eq!(got.value, Bytes::from_static(b"r2"), "{backend:?}");
+            // An expired entry counts as absent: add over it succeeds.
+            let s6 = Arc::clone(&s);
+            let e = Entry {
+                expires_at: Some(10),
+                ..entry("ttl")
+            };
+            rt.block_on(s6.set(k.clone(), e));
+            let s7 = Arc::clone(&s);
+            assert!(
+                rt.block_on(s7.add(k.clone(), entry("fresh"), 10)),
+                "{backend:?}"
+            );
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn cas_stores_only_on_matching_stamp() {
+        for backend in [Backend::Mutex, Backend::Stm] {
+            let rt = Runtime::builder().workers(1).build();
+            let s = store(backend);
+            let k = Bytes::from_static(b"c");
+            let s1 = Arc::clone(&s);
+            assert_eq!(
+                rt.block_on(s1.cas(k.clone(), entry("x"), 1, 0)),
+                CasOutcome::NotFound,
+                "{backend:?}"
+            );
+            let s2 = Arc::clone(&s);
+            rt.block_on(s2.set(k.clone(), entry("v1")));
+            let s3 = Arc::clone(&s);
+            let stamp = rt.block_on(s3.get(k.clone(), 0)).unwrap().version;
+            // Matching stamp stores and re-stamps...
+            let s4 = Arc::clone(&s);
+            assert_eq!(
+                rt.block_on(s4.cas(k.clone(), entry("v2"), stamp, 0)),
+                CasOutcome::Stored,
+                "{backend:?}"
+            );
+            // ...so the old stamp is now stale.
+            let s5 = Arc::clone(&s);
+            assert_eq!(
+                rt.block_on(s5.cas(k.clone(), entry("v3"), stamp, 0)),
+                CasOutcome::Exists,
+                "{backend:?}"
+            );
+            let s6 = Arc::clone(&s);
+            let e = rt.block_on(s6.get(k.clone(), 0)).unwrap();
+            assert_eq!(e.value, Bytes::from_static(b"v2"), "{backend:?}");
+            assert_ne!(e.version, stamp, "{backend:?}: version must advance");
+            let snap = crate::stats::StatsSnapshot::gather(s.shard_stats());
+            assert_eq!(
+                (snap.cas_hits, snap.cas_badval, snap.cas_misses),
+                (1, 1, 1),
+                "{backend:?}"
             );
             rt.shutdown();
         }

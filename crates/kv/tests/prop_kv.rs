@@ -9,7 +9,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use eveth_core::time::SECS;
 use eveth_kv::protocol::{Command, CommandParser, Reply, ReplyParser};
-use eveth_kv::store::{Backend, CounterResult, Entry, ShardedStore, StoreConfig};
+use eveth_kv::store::{Backend, CasOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
 use eveth_simos::SimRuntime;
 use proptest::prelude::*;
 
@@ -25,7 +25,27 @@ enum Op {
         value: Vec<u8>,
         ttl_secs: u64,
     },
+    Add {
+        key: String,
+        value: Vec<u8>,
+        ttl_secs: u64,
+    },
+    Replace {
+        key: String,
+        value: Vec<u8>,
+        ttl_secs: u64,
+    },
+    /// `gets`-then-`cas`: uses the key's current stamp when `stale` is
+    /// false (must store), a mismatching one when true (must reject).
+    Cas {
+        key: String,
+        value: Vec<u8>,
+        stale: bool,
+    },
     Get {
+        key: String,
+    },
+    Gets {
         key: String,
     },
     Delete {
@@ -42,18 +62,30 @@ enum Op {
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
+    let val = || proptest::collection::vec(any::<u8>(), 0..32);
     prop_oneof![
-        (
-            arb_key(),
-            proptest::collection::vec(any::<u8>(), 0..32),
-            0u64..4
-        )
-            .prop_map(|(key, value, ttl_secs)| Op::Set {
-                key,
-                value,
-                ttl_secs
-            }),
+        (arb_key(), val(), 0u64..4).prop_map(|(key, value, ttl_secs)| Op::Set {
+            key,
+            value,
+            ttl_secs
+        }),
+        (arb_key(), val(), 0u64..4).prop_map(|(key, value, ttl_secs)| Op::Add {
+            key,
+            value,
+            ttl_secs
+        }),
+        (arb_key(), val(), 0u64..4).prop_map(|(key, value, ttl_secs)| Op::Replace {
+            key,
+            value,
+            ttl_secs
+        }),
+        (arb_key(), val(), any::<bool>()).prop_map(|(key, value, stale)| Op::Cas {
+            key,
+            value,
+            stale
+        }),
         arb_key().prop_map(|key| Op::Get { key }),
+        arb_key().prop_map(|key| Op::Gets { key }),
         arb_key().prop_map(|key| Op::Delete { key }),
         (arb_key(), 0u64..100).prop_map(|(key, delta)| Op::Incr { key, delta }),
         Just(Op::Purge),
@@ -61,16 +93,44 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// The reference model: a HashMap of (value, deadline) driven by the same
-/// virtual clock the simulated store sees.
-#[derive(Default)]
+/// A modelled live entry: value, deadline, version stamp.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: Vec<u8>,
+    deadline: Option<u64>,
+    version: u64,
+}
+
+/// The reference model, driven by the same virtual clock the simulated
+/// store sees. It mirrors the store's stamping rule exactly: one version
+/// is drawn per mutating operation call (set/add/replace/cas/incr),
+/// applied only when the write commits.
 struct Model {
-    map: HashMap<String, (Vec<u8>, Option<u64>)>,
+    map: HashMap<String, Slot>,
+    next_version: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model {
+            map: HashMap::new(),
+            next_version: 1,
+        }
+    }
 }
 
 impl Model {
+    fn stamp(&mut self) -> u64 {
+        let v = self.next_version;
+        self.next_version += 1;
+        v
+    }
+
     fn expire(&mut self, key: &str, now: u64) -> bool {
-        if let Some((_, Some(d))) = self.map.get(key) {
+        if let Some(Slot {
+            deadline: Some(d), ..
+        }) = self.map.get(key)
+        {
             if *d <= now {
                 self.map.remove(key);
                 return true;
@@ -111,11 +171,95 @@ proptest! {
                         value: Bytes::from(value.clone()),
                         flags: 7,
                         expires_at: ShardedStore::deadline(now, ttl_secs),
+                        version: 0,
                     };
                     sim.block_on(st.set(k, entry)).unwrap();
-                    model.map.insert(key, (value, ShardedStore::deadline(now, ttl_secs)));
+                    let version = model.stamp();
+                    model.map.insert(key, Slot {
+                        value,
+                        deadline: ShardedStore::deadline(now, ttl_secs),
+                        version,
+                    });
                 }
-                Op::Get { key } => {
+                Op::Add { key, value, ttl_secs } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let entry = Entry {
+                        value: Bytes::from(value.clone()),
+                        flags: 7,
+                        expires_at: ShardedStore::deadline(now, ttl_secs),
+                        version: 0,
+                    };
+                    let stored = sim.block_on(st.add(k, entry, now)).unwrap();
+                    let version = model.stamp();
+                    model.expire(&key, now);
+                    let absent = !model.map.contains_key(&key);
+                    prop_assert_eq!(stored, absent, "add mismatch for {}", key);
+                    if absent {
+                        model.map.insert(key, Slot {
+                            value,
+                            deadline: ShardedStore::deadline(now, ttl_secs),
+                            version,
+                        });
+                    }
+                }
+                Op::Replace { key, value, ttl_secs } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let entry = Entry {
+                        value: Bytes::from(value.clone()),
+                        flags: 7,
+                        expires_at: ShardedStore::deadline(now, ttl_secs),
+                        version: 0,
+                    };
+                    let stored = sim.block_on(st.replace(k, entry, now)).unwrap();
+                    let version = model.stamp();
+                    model.expire(&key, now);
+                    let present = model.map.contains_key(&key);
+                    prop_assert_eq!(stored, present, "replace mismatch for {}", key);
+                    if present {
+                        model.map.insert(key, Slot {
+                            value,
+                            deadline: ShardedStore::deadline(now, ttl_secs),
+                            version,
+                        });
+                    }
+                }
+                Op::Cas { key, value, stale } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    // The stamp a well-behaved client would have seen via
+                    // `gets` (bogus 0 when the key is dead — then NotFound
+                    // is the only correct answer); +1 models a concurrent
+                    // writer having intervened.
+                    let live_version = {
+                        let peek = model.map.get(&key).filter(|s| {
+                            s.deadline.is_none_or(|d| d > now)
+                        });
+                        peek.map(|s| s.version).unwrap_or(0)
+                    };
+                    let expected = if stale { live_version.wrapping_add(1) } else { live_version };
+                    let entry = Entry {
+                        value: Bytes::from(value.clone()),
+                        flags: 7,
+                        expires_at: None,
+                        version: 0,
+                    };
+                    let outcome = sim.block_on(st.cas(k, entry, expected, now)).unwrap();
+                    let version = model.stamp();
+                    model.expire(&key, now);
+                    match model.map.get_mut(&key) {
+                        None => prop_assert_eq!(outcome, CasOutcome::NotFound, "cas on dead {}", key),
+                        Some(slot) if slot.version == expected => {
+                            prop_assert_eq!(outcome, CasOutcome::Stored, "cas match for {}", key);
+                            *slot = Slot { value, deadline: None, version };
+                        }
+                        Some(_) => {
+                            prop_assert_eq!(outcome, CasOutcome::Exists, "stale cas for {}", key);
+                        }
+                    }
+                }
+                Op::Get { key } | Op::Gets { key } => {
                     let st = Arc::clone(&store);
                     let k = Bytes::from(key.clone().into_bytes());
                     let got = sim.block_on(st.get(k, now)).unwrap();
@@ -123,9 +267,10 @@ proptest! {
                     let want = model.map.get(&key);
                     match (got, want) {
                         (None, None) => {}
-                        (Some(e), Some((v, _))) => {
-                            prop_assert_eq!(e.value.to_vec(), v.clone(), "value mismatch for {}", key);
+                        (Some(e), Some(slot)) => {
+                            prop_assert_eq!(e.value.to_vec(), slot.value.clone(), "value mismatch for {}", key);
                             prop_assert_eq!(e.flags, 7);
+                            prop_assert_eq!(e.version, slot.version, "version stamp mismatch for {}", key);
                         }
                         (got, want) => {
                             panic!("presence mismatch for {key}: store={got:?} model={want:?}");
@@ -144,17 +289,19 @@ proptest! {
                     let st = Arc::clone(&store);
                     let k = Bytes::from(key.clone().into_bytes());
                     let res = sim.block_on(st.counter_op(k, delta, false, now)).unwrap();
+                    let version = model.stamp();
                     model.expire(&key, now);
                     match (res, model.map.get_mut(&key)) {
                         (CounterResult::NotFound, None) => {}
-                        (CounterResult::Ok(v), Some((mv, _))) => {
-                            let cur: u64 = std::str::from_utf8(mv).unwrap().parse().unwrap();
+                        (CounterResult::Ok(v), Some(slot)) => {
+                            let cur: u64 = std::str::from_utf8(&slot.value).unwrap().parse().unwrap();
                             let next = cur.wrapping_add(delta);
                             prop_assert_eq!(v, next, "incr result for {}", key);
-                            *mv = next.to_string().into_bytes();
+                            slot.value = next.to_string().into_bytes();
+                            slot.version = version;
                         }
-                        (CounterResult::NotNumeric, Some((mv, _))) => {
-                            let numeric = std::str::from_utf8(mv)
+                        (CounterResult::NotNumeric, Some(slot)) => {
+                            let numeric = std::str::from_utf8(&slot.value)
                                 .ok()
                                 .and_then(|s| s.parse::<u64>().ok())
                                 .is_some();

@@ -9,6 +9,7 @@
 
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use eveth_core::time::Nanos;
@@ -20,6 +21,45 @@ struct EventEntry {
     at: Nanos,
     seq: u64,
     run: EventFn,
+    /// Set when the scheduler of this event withdrew it (a losing
+    /// `timeout_evt` branch). Cancelled entries are dropped by the pop
+    /// paths without firing and — crucially — without dragging the clock
+    /// forward to their deadline, so an abandoned timeout cannot extend a
+    /// run's virtual makespan.
+    cancelled: Option<Arc<AtomicBool>>,
+}
+
+impl EventEntry {
+    fn is_cancelled(&self) -> bool {
+        self.cancelled
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+}
+
+/// Cancellation handle for [`SimClock::schedule_cancellable`].
+#[derive(Clone)]
+pub struct SimTimer {
+    flag: Arc<AtomicBool>,
+}
+
+impl SimTimer {
+    /// Withdraws the event: it will be dropped, unfired, when the heap
+    /// reaches it (idempotent; a no-op if it already fired).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`SimTimer::cancel`] has run.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for SimTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTimer(cancelled={})", self.is_cancelled())
+    }
 }
 
 impl PartialEq for EventEntry {
@@ -105,13 +145,7 @@ impl SimClock {
     pub fn schedule(&self, delay: Nanos, f: impl FnOnce() + Send + 'static) {
         let mut st = self.state.lock();
         let at = st.now.saturating_add(delay);
-        let seq = st.seq;
-        st.seq += 1;
-        st.heap.push(EventEntry {
-            at,
-            seq,
-            run: Box::new(f),
-        });
+        Self::push(&mut st, at, Box::new(f), None);
     }
 
     /// Schedules `f` at an absolute virtual time (clamped to `now` if it is
@@ -119,20 +153,52 @@ impl SimClock {
     pub fn schedule_at(&self, at: Nanos, f: impl FnOnce() + Send + 'static) {
         let mut st = self.state.lock();
         let at = at.max(st.now);
+        Self::push(&mut st, at, Box::new(f), None);
+    }
+
+    /// Schedules `f` to run `delay` nanoseconds from now, returning a
+    /// handle that can withdraw the event before it fires — the timer form
+    /// `timeout_evt` needs: a losing timeout branch is cancelled *eagerly*
+    /// so its deadline neither fires nor keeps the simulation running.
+    pub fn schedule_cancellable(
+        &self,
+        delay: Nanos,
+        f: impl FnOnce() + Send + 'static,
+    ) -> SimTimer {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut st = self.state.lock();
+        let at = st.now.saturating_add(delay);
+        Self::push(&mut st, at, Box::new(f), Some(Arc::clone(&flag)));
+        SimTimer { flag }
+    }
+
+    fn push(st: &mut ClockState, at: Nanos, run: EventFn, cancelled: Option<Arc<AtomicBool>>) {
         let seq = st.seq;
         st.seq += 1;
         st.heap.push(EventEntry {
             at,
             seq,
-            run: Box::new(f),
+            run,
+            cancelled,
         });
     }
 
-    /// Pops and runs the next event, advancing the clock to (at least) its
-    /// timestamp. Returns `false` if no events are pending.
+    /// Drops cancelled entries sitting at the head of the heap so `peek`
+    /// describes the next event that will actually fire.
+    fn prune_cancelled(st: &mut ClockState) {
+        while st.heap.peek().is_some_and(|e| e.is_cancelled()) {
+            st.heap.pop();
+        }
+    }
+
+    /// Pops and runs the next live event, advancing the clock to (at
+    /// least) its timestamp; cancelled entries are discarded without
+    /// firing or advancing time. Returns `false` if no live event is
+    /// pending.
     pub fn fire_next(&self) -> bool {
         let ev = {
             let mut st = self.state.lock();
+            Self::prune_cancelled(&mut st);
             match st.heap.pop() {
                 Some(ev) => {
                     // A busy CPU may already be past the event's time; the
@@ -147,14 +213,21 @@ impl SimClock {
         true
     }
 
-    /// Timestamp of the earliest pending event.
+    /// Timestamp of the earliest pending live event.
     pub fn next_deadline(&self) -> Option<Nanos> {
-        self.state.lock().heap.peek().map(|e| e.at)
+        let mut st = self.state.lock();
+        Self::prune_cancelled(&mut st);
+        st.heap.peek().map(|e| e.at)
     }
 
-    /// Number of pending events.
+    /// Number of pending live events.
     pub fn pending(&self) -> usize {
-        self.state.lock().heap.len()
+        self.state
+            .lock()
+            .heap
+            .iter()
+            .filter(|e| !e.is_cancelled())
+            .count()
     }
 }
 
@@ -228,6 +301,46 @@ mod tests {
         while clock.fire_next() {}
         assert_eq!(done.load(Ordering::SeqCst), 1);
         assert_eq!(clock.now(), 20);
+    }
+
+    #[test]
+    fn cancelled_events_neither_fire_nor_advance_time() {
+        let clock = SimClock::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        let t = clock.schedule_cancellable(5_000, move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        let f2 = fired.clone();
+        clock.schedule(100, move || {
+            f2.fetch_add(10, Ordering::SeqCst);
+        });
+        t.cancel();
+        // The live event at t=100 is now the next deadline; the cancelled
+        // one at t=5000 is invisible.
+        assert_eq!(clock.pending(), 1);
+        assert!(clock.fire_next());
+        assert_eq!(clock.now(), 100);
+        assert_eq!(fired.load(Ordering::SeqCst), 10);
+        // Nothing left: the cancelled entry is dropped, not fired, and the
+        // clock never reaches 5000.
+        assert!(!clock.fire_next());
+        assert_eq!(clock.next_deadline(), None);
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let clock = SimClock::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        let t = clock.schedule_cancellable(10, move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(clock.fire_next());
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        t.cancel(); // already fired: harmless
+        assert!(t.is_cancelled());
     }
 
     #[test]

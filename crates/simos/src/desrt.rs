@@ -348,6 +348,22 @@ impl RuntimeCtx for SimInner {
     fn task_parked(&self, tid: TaskId, kind: WaitKind) {
         self.park_since.lock().insert(tid, (self.clock.now(), kind));
     }
+    fn task_wait_reclass(&self, tid: TaskId, kind: WaitKind) {
+        // The winning branch of a multi-registration park re-attributes
+        // the episode before the wake lands; `push_ready` then accounts
+        // it under the final kind (and keeps timer wins out of the
+        // io + lock == park invariant, like any sleep).
+        if let Some(entry) = self.park_since.lock().get_mut(&tid) {
+            entry.1 = kind;
+        }
+    }
+    fn timer_wake(&self, dur: Nanos, waiter: eveth_core::reactor::Waiter) -> engine::TimerHandle {
+        // Eager cancellation matters here: a lingering losing timeout
+        // would keep the event heap non-empty and stretch the virtual
+        // makespan to its deadline.
+        let timer = self.clock.schedule_cancellable(dur, move || waiter.wake());
+        engine::TimerHandle::new(move || timer.cancel())
+    }
 }
 
 /// Outcome summary of a simulation run.

@@ -273,6 +273,10 @@ impl SimConn {
 }
 
 impl Conn for SimConn {
+    fn readiness_fd(&self) -> Option<Fd> {
+        Some(self.fd.clone())
+    }
+
     fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
         let rx = Arc::clone(&self.rx);
         let fd = self.fd.clone();

@@ -392,6 +392,10 @@ impl TcpConn {
 }
 
 impl Conn for TcpConn {
+    fn readiness_fd(&self) -> Option<Fd> {
+        Some(self.fd.clone())
+    }
+
     fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
         let tcb = Arc::clone(&self.tcb);
         let host = Arc::clone(&self.host);

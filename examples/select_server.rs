@@ -1,0 +1,137 @@
+//! Event-driven code as a thread: a chat/fan-in server written as ONE
+//! monadic thread `choose`-ing over many inputs.
+//!
+//! The paper's thesis is that threads and events are two views of the same
+//! abstraction. The blocking API alone cannot express "wait for any of N
+//! clients OR the next ticker beat OR shutdown" without N helper threads;
+//! first-class events can — `choose` composes the alternatives and `sync`
+//! turns the composition back into a thread-view blocking call:
+//!
+//! ```text
+//! loop {
+//!     match sync(choose([client₀.read_evt(), …, clientₙ.read_evt(),
+//!                        timeout_evt(tick), shutdown.wait_evt()])) { … }
+//! }
+//! ```
+//!
+//! Branch order is the deterministic tie-break, and it doubles as policy:
+//! client channels are listed before the shutdown broadcast, so the server
+//! *drains* every queued message before honouring shutdown — graceful by
+//! construction. Run under the simulator, the whole transcript (virtual
+//! timestamps included) is byte-identical on every run.
+//!
+//! Run with: `cargo run --example select_server`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eveth::core::event::{choose, sync, timeout_evt, Event, Signal};
+use eveth::core::sync::Chan;
+use eveth::core::syscall::{sys_nbio, sys_sleep, sys_time};
+use eveth::core::time::MILLIS;
+use eveth::simos::SimRuntime;
+use eveth::{do_m, loop_m, Loop, ThreadM};
+
+const CLIENTS: usize = 4;
+const MSGS_PER_CLIENT: u64 = 3;
+const TICK: u64 = 5 * MILLIS;
+
+/// What one round of the server's single `choose` produced.
+enum Wake {
+    /// A message from client `i`.
+    Msg(usize, String),
+    /// The ticker beat (no client spoke for a whole tick).
+    Tick,
+    /// The shutdown broadcast (and every channel already drained).
+    Shutdown,
+}
+
+/// The fan-in server: one thread, any number of inputs.
+fn server(inboxes: Vec<Chan<String>>, shutdown: Signal, delivered: Arc<AtomicU64>) -> ThreadM<()> {
+    loop_m(0u64, move |ticks| {
+        // Rebuild the event each round (events are affine values): all
+        // client inboxes, then the ticker, then shutdown — listed in
+        // priority order.
+        let mut arms: Vec<Event<Wake>> = inboxes
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| ch.read_evt().wrap(move |msg| Wake::Msg(i, msg)))
+            .collect();
+        arms.push(timeout_evt(TICK).wrap(|()| Wake::Tick));
+        arms.push(shutdown.wait_evt().wrap(|()| Wake::Shutdown));
+        let delivered = Arc::clone(&delivered);
+        do_m! {
+            let wake <- sync(choose(arms));
+            let now <- sys_time();
+            let t_ms = now / MILLIS;
+            match wake {
+                Wake::Msg(i, msg) => {
+                    delivered.fetch_add(1, Ordering::SeqCst);
+                    sys_nbio(move || println!("[{t_ms:>3}ms] client {i}: {msg}"))
+                        .map(move |_| Loop::Continue(ticks))
+                }
+                Wake::Tick => sys_nbio(move || println!("[{t_ms:>3}ms] -- tick --"))
+                    .map(move |_| Loop::Continue(ticks + 1)),
+                Wake::Shutdown => sys_nbio(move || {
+                    println!("[{t_ms:>3}ms] shutdown: all inboxes drained, {ticks} idle ticks")
+                })
+                .map(|_| Loop::Break(())),
+            }
+        }
+    })
+}
+
+/// Client `i`: speaks `MSGS_PER_CLIENT` times on its own cadence, then
+/// reports done.
+fn client(i: usize, inbox: Chan<String>, done: Chan<()>) -> ThreadM<()> {
+    let pace = (3 + 2 * i as u64) * MILLIS;
+    do_m! {
+        eveth::for_each_m(0..MSGS_PER_CLIENT, move |n| {
+            let inbox = inbox.clone();
+            do_m! {
+                sys_sleep(pace);
+                inbox.write(format!("message {n}"))
+            }
+        });
+        done.write(())
+    }
+}
+
+fn main() {
+    let sim = SimRuntime::new_default();
+    let inboxes: Vec<Chan<String>> = (0..CLIENTS).map(|_| Chan::new()).collect();
+    let shutdown = Signal::new();
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    sim.spawn(server(
+        inboxes.clone(),
+        shutdown.clone(),
+        Arc::clone(&delivered),
+    ));
+    let done: Chan<()> = Chan::new();
+    for (i, inbox) in inboxes.iter().enumerate() {
+        sim.spawn(client(i, inbox.clone(), done.clone()));
+    }
+
+    // Controller: once every client reports done, fire the broadcast.
+    let sig = shutdown.clone();
+    sim.block_on(do_m! {
+        eveth::for_each_m(0..CLIENTS, move |_| done.read().map(|_| ()));
+        sys_nbio(move || sig.fire())
+    })
+    .expect("controller finished");
+    // Drive the server to its graceful exit.
+    sim.run();
+
+    let total = delivered.load(Ordering::SeqCst);
+    println!(
+        "---\n{total} messages fanned into one thread over {CLIENTS} channels \
+         (virtual makespan {:.1}ms)",
+        sim.now() as f64 / MILLIS as f64
+    );
+    assert_eq!(
+        total,
+        CLIENTS as u64 * MSGS_PER_CLIENT,
+        "every message must be delivered before shutdown wins the choose"
+    );
+}
