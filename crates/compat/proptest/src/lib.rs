@@ -463,7 +463,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Inclusive-exclusive length range for [`vec`].
+    /// Inclusive-exclusive length range for [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

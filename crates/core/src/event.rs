@@ -22,7 +22,7 @@
 //! # Lowering onto `sys_park`
 //!
 //! Synchronization runs entirely as library code on the scheduler-extension
-//! interface ([`sys_park`](crate::syscall::sys_park)), exactly as the paper
+//! interface ([`sys_park`]), exactly as the paper
 //! claims new primitives should (§4.7). `sync` repeatedly:
 //!
 //! 1. **polls** every branch in declaration order — the first ready branch
@@ -96,6 +96,11 @@ pub struct Branch<A> {
     kind: WaitKind,
     poll: Box<dyn FnMut(Nanos) -> Option<A> + Send>,
     register: Box<dyn FnMut(&Unparker) -> Registration + Send>,
+    /// Commit observer: runs exactly once, when the synchronization
+    /// commits a *different* branch. This is the hook [`with_nack`]
+    /// builds negative acknowledgements from; plain branches carry
+    /// `None`.
+    abandon: Option<Box<dyn FnOnce() + Send>>,
 }
 
 impl<A: Send + 'static> Branch<A> {
@@ -121,6 +126,7 @@ impl<A: Send + 'static> Branch<A> {
             kind,
             poll: Box::new(poll),
             register: Box::new(register),
+            abandon: None,
         }
     }
 
@@ -130,6 +136,7 @@ impl<A: Send + 'static> Branch<A> {
             kind: self.kind,
             poll: Box::new(move |now| poll(now).map(|a| f(a))),
             register: self.register,
+            abandon: self.abandon,
         }
     }
 }
@@ -350,6 +357,99 @@ pub fn guard<A: Send + 'static>(f: impl FnOnce() -> Event<A> + Send + 'static) -
     Event::from_fn(move |t0, out| (f().build)(t0, out))
 }
 
+/// CML's negative acknowledgements: like [`guard`], but the thunk also
+/// receives a *nack event* that fires if — and only if — the
+/// synchronization commits a **different** alternative of the enclosing
+/// [`choose`].
+///
+/// This is the cancellation primitive of request/reply protocols: the
+/// guard sends a request carrying the nack event alongside the
+/// reply-channel; if the client's `choose` commits elsewhere (a timeout,
+/// a shutdown broadcast, a faster replica), the server syncs on the nack
+/// and abandons the work instead of replying into the void.
+///
+/// Fires at commit time even when the winner was ready on the very first
+/// poll (no park round), and never fires when one of the wrapped event's
+/// own alternatives is the one that commits. The nack is a
+/// [`Signal`]-backed event, so any number of threads may wait on it and
+/// it stays fired forever once abandoned.
+///
+/// # Example
+///
+/// ```
+/// use eveth_core::event::{choose, sync, timeout_evt, with_nack};
+/// use eveth_core::sync::Chan;
+/// use eveth_core::time::MILLIS;
+///
+/// let reply: Chan<u32> = Chan::new();
+/// let ev = choose(vec![
+///     with_nack({
+///         let reply = reply.clone();
+///         move |nack| {
+///             // (send the request + nack to a server here)
+///             let _cancelled = nack; // server syncs on this
+///             reply.read_evt().wrap(Some)
+///         }
+///     }),
+///     timeout_evt(5 * MILLIS).wrap(|()| None),
+/// ]);
+/// let m = sync(ev); // : ThreadM<Option<u32>> — timeout ⇒ nack fires
+/// # let _ = m;
+/// ```
+pub fn with_nack<A: Send + 'static>(
+    f: impl FnOnce(Event<()>) -> Event<A> + Send + 'static,
+) -> Event<A> {
+    Event::from_fn(move |t0, out| {
+        let nack = Signal::new();
+        let inner = f(nack.wait_evt());
+        let mut group = Vec::new();
+        (inner.build)(t0, &mut group);
+        if group.is_empty() {
+            // The wrapped event is `never`: it cannot win, so any commit
+            // abandons it. A never-ready sentinel branch carries the hook.
+            out.push(Branch {
+                kind: WaitKind::Lock,
+                poll: Box::new(|_now| None),
+                register: Box::new(|_u| Registration::none()),
+                abandon: Some(Box::new(move || nack.fire())),
+            });
+            return;
+        }
+        // One nack per with_nack, shared by every alternative the wrapped
+        // event flattens into: it fires only if NONE of them committed.
+        // `sync` polls in declaration order and the first `Some` commits,
+        // so a poll yielding a value marks the whole group as the winner
+        // before the abandon hooks of its sibling branches run.
+        let committed = Arc::new(AtomicBool::new(false));
+        for b in group {
+            let sig = nack.clone();
+            let won = Arc::clone(&committed);
+            let flag = Arc::clone(&committed);
+            let mut poll = b.poll;
+            let nested = b.abandon; // a with_nack nested inside this one
+            out.push(Branch {
+                kind: b.kind,
+                poll: Box::new(move |now| {
+                    let r = poll(now);
+                    if r.is_some() {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    r
+                }),
+                register: b.register,
+                abandon: Some(Box::new(move || {
+                    if let Some(hook) = nested {
+                        hook();
+                    }
+                    if !won.load(Ordering::SeqCst) {
+                        sig.fire();
+                    }
+                })),
+            });
+        }
+    })
+}
+
 /// An event that becomes ready `dur` nanoseconds after the synchronization
 /// starts (virtual time under simulation). The deadline is armed on the
 /// runtime's timer wheel only while the thread is actually parked, and a
@@ -420,8 +520,8 @@ pub fn readiness_evt(fd: &Fd, interest: Interest) -> Event<()> {
 /// and yields its (wrapped) result.
 ///
 /// This is the only place events touch the scheduler, and it does so
-/// purely through [`sys_park`](crate::syscall::sys_park) +
-/// [`sys_time`](crate::syscall::sys_time) — the generalized
+/// purely through [`sys_park`] +
+/// [`sys_time`] — the generalized
 /// multi-registration park described in the [module docs](self).
 pub fn sync<A: Send + 'static>(ev: Event<A>) -> ThreadM<A> {
     sys_time().bind(move |t0| {
@@ -448,6 +548,22 @@ pub fn sync<A: Send + 'static>(ev: Event<A>) -> ThreadM<A> {
                                 if let Some(v) = (b.poll)(now) {
                                     won = Some((i, v));
                                     break;
+                                }
+                            }
+                            // Commit decided: tell every abandoned branch
+                            // so — the hook behind `with_nack`'s negative
+                            // acknowledgement. Runs whether or not a park
+                            // round ever happened (a first-poll win still
+                            // abandons the other branches). Done in this
+                            // lock scope so the common no-hook sync pays
+                            // no second acquisition.
+                            if let Some((wi, _)) = &won {
+                                for (i, b) in bs.iter_mut().enumerate() {
+                                    if i != *wi {
+                                        if let Some(hook) = b.abandon.take() {
+                                            hook();
+                                        }
+                                    }
                                 }
                             }
                             won
@@ -680,6 +796,46 @@ mod tests {
         assert_eq!(runs.load(Ordering::SeqCst), 1);
         rt.block_on(sync(make()));
         assert_eq!(runs.load(Ordering::SeqCst), 2, "re-evaluated per sync");
+        rt.shutdown();
+    }
+
+    /// Runs one `choose([with_nack(...), timeout])` sync and reports
+    /// (winner, nack_fired): the guard parks the nack event in a side slot
+    /// and the test probes it afterwards by racing it against a short
+    /// timeout.
+    fn nack_probe(rt: &Runtime, prefill: Option<u8>) -> (Option<u8>, bool) {
+        let ch: Chan<u8> = Chan::new();
+        if let Some(v) = prefill {
+            ch.push_now(v);
+        }
+        let parked: Arc<PlMutex<Option<Event<()>>>> = Arc::new(PlMutex::new(None));
+        let slot = Arc::clone(&parked);
+        let v = rt.block_on(sync(choose(vec![
+            with_nack(move |nack| {
+                *slot.lock() = Some(nack);
+                ch.read_evt().wrap(Some)
+            }),
+            timeout_evt(MILLIS).wrap(|()| None),
+        ])));
+        let nack = parked.lock().take().expect("guard ran at sync time");
+        let fired = rt.block_on(sync(choose(vec![
+            nack.wrap(|()| true),
+            timeout_evt(MILLIS).wrap(|()| false),
+        ])));
+        (v, fired)
+    }
+
+    #[test]
+    fn with_nack_fires_only_on_abandonment() {
+        let rt = Runtime::builder().workers(2).build();
+        // Losing to the timeout fires the nack...
+        let (v, fired) = nack_probe(&rt, None);
+        assert_eq!(v, None);
+        assert!(fired, "abandoned with_nack must fire its nack");
+        // ...and winning does not.
+        let (v, fired) = nack_probe(&rt, Some(7));
+        assert_eq!(v, Some(7));
+        assert!(!fired, "a committed with_nack must not be nacked");
         rt.shutdown();
     }
 

@@ -1,6 +1,6 @@
 //! In-memory pollable devices for the real runtime.
 //!
-//! * [`pipe`] — FIFO pipes with bounded buffers, usable both from monadic
+//! * [`pipe`](mod@pipe) — FIFO pipes with bounded buffers, usable both from monadic
 //!   threads (non-blocking ops + `sys_epoll_wait`) and from plain OS threads
 //!   (blocking ops on condition variables). The FIFO scalability benchmark
 //!   (paper Figure 18) runs both runtimes against this same device.

@@ -27,7 +27,10 @@
 //!   ("receive OR time out OR shut down") onto one generalized park;
 //! * [`io`] — in-memory pollable devices (FIFO pipes, RAM disk);
 //! * [`net`] — the socket abstraction servers program against, so kernel
-//!   sockets and the application-level TCP stack are interchangeable.
+//!   sockets and the application-level TCP stack are interchangeable;
+//! * [`service`] — the event-native service framework: a [`service::Service`]
+//!   trait plus a generic [`service::Server`] owning accept fan-out, the
+//!   per-session readiness/idle/shutdown `choose`, and graceful drain.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub mod ops;
 pub mod reactor;
 pub mod runtime;
 pub mod sched;
+pub mod service;
 pub mod sync;
 pub mod syscall;
 pub mod task;

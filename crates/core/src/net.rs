@@ -11,8 +11,14 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::event::{choose, never, readiness_evt, sync, timeout_evt, Signal};
-use crate::reactor::Interest;
+use crate::engine::WaitKind;
+use crate::event::{
+    branch_waiter, choose, never, readiness_evt, sync, timeout_evt, Branch, Event, Registration,
+    Signal,
+};
+use crate::reactor::{AcceptQueue, Interest};
+use crate::sync::Chan;
+use crate::syscall::{sys_fork, sys_time};
 use crate::thread::{loop_m, Loop, ThreadM};
 use crate::time::Nanos;
 
@@ -92,7 +98,7 @@ pub trait Conn: Send + Sync {
     /// The connection's readiness descriptor, if the transport exposes
     /// one. With it, a server races I/O against timers and shutdown
     /// signals in a single
-    /// [`choose`](crate::event::choose):
+    /// [`choose`]:
     /// `readiness_evt(&fd, Interest::Read)` commits when `recv` would not
     /// block (data, EOF or error), after which `recv` completes promptly.
     /// Both bundled socket stacks return `Some`; `None` disables
@@ -105,6 +111,20 @@ pub trait Conn: Send + Sync {
     /// Sends a prefix of `data`, blocking until at least one byte is
     /// accepted; returns the number of bytes taken.
     fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>>;
+
+    /// The send-side event: ready when `send` would accept at least one
+    /// byte without blocking (window space, peer close, or error), so a
+    /// write can race timers and shutdown broadcasts in one
+    /// [`choose`] instead of committing to a
+    /// blocking `send` against a zero-window peer — see
+    /// [`send_all_within`]. Derived from [`Conn::readiness_fd`]; `None`
+    /// on transports without a readiness descriptor. Like
+    /// [`readiness_evt`], a commit is a level-style hint: perform the
+    /// actual `send` afterwards.
+    fn send_evt(&self) -> Option<Event<()>> {
+        self.readiness_fd()
+            .map(|fd| readiness_evt(&fd, Interest::Write))
+    }
 
     /// Closes the sending direction (further `recv`s by the peer will see
     /// end-of-stream once in-flight data drains).
@@ -119,8 +139,23 @@ pub trait Conn: Send + Sync {
 
 /// A passive socket accepting inbound connections.
 pub trait Listener: Send + Sync {
-    /// Waits for and returns the next inbound connection.
-    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>>;
+    /// The accept event: commits by dequeuing the next inbound connection
+    /// from the backlog (or with [`NetError::Closed`] once the listener is
+    /// shut down). Because accepting is an event, an acceptor thread
+    /// composes it with a shutdown broadcast — or anything else — in one
+    /// [`choose`], with no listener-closing
+    /// supervisor thread. A win is charged as I/O wait.
+    ///
+    /// Implementations over a reactor [`AcceptQueue`] can delegate to
+    /// [`queue_accept_evt`].
+    fn accept_evt(&self) -> Event<Result<Arc<dyn Conn>, NetError>>;
+
+    /// Waits for and returns the next inbound connection — the thread
+    /// view of [`Listener::accept_evt`]: literally
+    /// `sync(self.accept_evt())`.
+    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        sync(self.accept_evt())
+    }
 
     /// The bound local endpoint.
     fn local(&self) -> Endpoint;
@@ -128,6 +163,44 @@ pub trait Listener: Send + Sync {
     /// Stops accepting; queued and future `accept`s fail with
     /// [`NetError::Closed`].
     fn shutdown(&self);
+}
+
+/// Builds a [`Listener::accept_evt`] implementation over a reactor
+/// [`AcceptQueue`]: the event polls the backlog (pop wins; a closed,
+/// drained backlog commits [`NetError::Closed`]) and parks accept waiters
+/// with the queue otherwise. Both bundled socket stacks' listeners are
+/// this event with `convert` casting their concrete connection type to
+/// `Arc<dyn Conn>`.
+pub fn queue_accept_evt<T, A>(
+    queue: Arc<AcceptQueue<T>>,
+    convert: impl Fn(T) -> A + Send + Sync + 'static,
+) -> Event<Result<A, NetError>>
+where
+    T: Send + 'static,
+    A: Send + 'static,
+{
+    Event::from_fn(move |_t0, out| {
+        let poll_q = Arc::clone(&queue);
+        out.push(Branch::new(
+            WaitKind::Io,
+            move |_now| {
+                // Still-queued connections stay acceptable after close,
+                // matching the blocking accept loops this replaces.
+                if let Some(c) = poll_q.pop() {
+                    return Some(Ok(convert(c)));
+                }
+                poll_q.is_closed().then_some(Err(NetError::Closed))
+            },
+            move |u| {
+                queue.register(branch_waiter(u, WaitKind::Io));
+                // Backlog pushes wake *all* registered acceptors and the
+                // wait list prunes spent entries, so losing branches
+                // neither leak waiters nor consume a wakeup budget — no
+                // baton needed.
+                Registration::none()
+            },
+        ));
+    })
 }
 
 /// A per-host network stack: the "one line" a server changes to swap kernel
@@ -157,7 +230,7 @@ pub enum SessionInput {
 }
 
 /// A server session's single wait point, shared by every bundled service:
-/// one [`choose`](crate::event::choose) over socket readiness, an
+/// one [`choose`] over socket readiness, an
 /// optional idle deadline (`idle_timeout`, `0` disables it) and a
 /// shutdown broadcast — "receive OR time out OR shut down" as one
 /// composed event, no helper threads.
@@ -165,10 +238,24 @@ pub enum SessionInput {
 /// Branch order is the deterministic tie-break and doubles as policy: at
 /// equal virtual time, pending bytes beat shutdown beat the idle
 /// deadline, so a shutting-down server still drains input that has
-/// already arrived. Transports without a readiness descriptor
-/// ([`Conn::readiness_fd`] returning `None`) fall back to plain blocking
-/// `recv` — no idle reaping, and shutdown is only observed between
-/// receives.
+/// already arrived.
+///
+/// # Transports without a readiness descriptor
+///
+/// When [`Conn::readiness_fd`] is `None` the receive itself cannot join
+/// the `choose`. The fallback is explicit rather than silent:
+///
+/// * with `idle_timeout == 0`, the call degrades to a plain blocking
+///   `recv` — no idle reaping, and shutdown is observed only between
+///   receives;
+/// * with `idle_timeout > 0`, the blocking `recv` is pumped through a
+///   one-shot helper thread and its completion channel races a
+///   *timer-only* `choose` (idle deadline + shutdown broadcast), so both
+///   deadlines are still honored exactly. If the deadline or the
+///   broadcast wins, the in-flight `recv` is abandoned and its eventual
+///   result discarded — sound only because callers end the session on
+///   those outcomes (both bundled servers close the connection), which is
+///   why the pump exists per *call*, not per connection.
 pub fn session_input(
     conn: &Arc<dyn Conn>,
     recv_chunk: usize,
@@ -176,7 +263,20 @@ pub fn session_input(
     shutdown: &Signal,
 ) -> ThreadM<SessionInput> {
     let Some(fd) = conn.readiness_fd() else {
-        return conn.recv(recv_chunk).map(SessionInput::Data);
+        if idle_timeout == 0 {
+            return conn.recv(recv_chunk).map(SessionInput::Data);
+        }
+        let pump: Chan<Result<Bytes, NetError>> = Chan::new();
+        let tx = pump.clone();
+        let recv = Arc::clone(conn);
+        let shutdown = shutdown.clone();
+        return sys_fork(recv.recv(recv_chunk).bind(move |r| tx.write(r))).bind(move |_| {
+            sync(choose(vec![
+                pump.read_evt().wrap(SessionInput::Data),
+                shutdown.wait_evt().wrap(|()| SessionInput::Shutdown),
+                timeout_evt(idle_timeout).wrap(|()| SessionInput::IdleTimeout),
+            ]))
+        });
     };
     #[derive(Clone, Copy)]
     enum Wake {
@@ -220,6 +320,88 @@ pub fn send_all(conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetErro
                 }
             }
             Err(e) => Loop::Break(Err(e)),
+        })
+    })
+}
+
+/// What ended a [`send_all_within`] composed write: completion (or a
+/// transport error), the deadline, or the shutdown broadcast.
+#[derive(Debug)]
+pub enum SendInput {
+    /// The transfer finished: every byte was accepted, or the transport
+    /// failed.
+    Done(Result<(), NetError>),
+    /// The deadline passed with bytes still unsent (a zero-window or
+    /// pathologically slow peer).
+    Timeout,
+    /// The shutdown broadcast fired with bytes still unsent.
+    Shutdown,
+}
+
+/// Sends all of `data` like [`send_all`], but as a composed event wait:
+/// each round is one [`choose`] over write
+/// readiness ([`Conn::send_evt`]), an overall deadline (`timeout`
+/// nanoseconds from the start; `0` disables it) and a shutdown
+/// broadcast — so a server never commits to a blocking `send` against a
+/// zero-window peer that will stall shutdown forever.
+///
+/// Branch order mirrors [`session_input`]: at equal virtual time,
+/// writability beats shutdown beats the deadline, so already-possible
+/// progress is made even while shutting down. Transports without a
+/// readiness descriptor fall back — explicitly — to the plain blocking
+/// [`send_all`], where neither the deadline nor the broadcast can
+/// interrupt a stalled write.
+pub fn send_all_within(
+    conn: &Arc<dyn Conn>,
+    data: Bytes,
+    timeout: Nanos,
+    shutdown: &Signal,
+) -> ThreadM<SendInput> {
+    let Some(fd) = conn.readiness_fd() else {
+        return send_all(conn, data).map(SendInput::Done);
+    };
+    enum Wake {
+        Writable,
+        Timeout,
+        Shutdown,
+    }
+    let conn = Arc::clone(conn);
+    let shutdown = shutdown.clone();
+    sys_time().bind(move |t0| {
+        let deadline = (timeout > 0).then(|| t0.saturating_add(timeout));
+        loop_m(data, move |remaining| {
+            if remaining.is_empty() {
+                return ThreadM::pure(Loop::Break(SendInput::Done(Ok(()))));
+            }
+            let conn = Arc::clone(&conn);
+            let fd = fd.clone();
+            let shutdown = shutdown.clone();
+            sys_time().bind(move |now| {
+                let deadline_evt = match deadline {
+                    Some(d) => timeout_evt(d.saturating_sub(now)),
+                    None => never(),
+                };
+                sync(choose(vec![
+                    readiness_evt(&fd, Interest::Write).wrap(|()| Wake::Writable),
+                    shutdown.wait_evt().wrap(|()| Wake::Shutdown),
+                    deadline_evt.wrap(|()| Wake::Timeout),
+                ]))
+                .bind(move |wake| match wake {
+                    Wake::Timeout => ThreadM::pure(Loop::Break(SendInput::Timeout)),
+                    Wake::Shutdown => ThreadM::pure(Loop::Break(SendInput::Shutdown)),
+                    Wake::Writable => conn.send(remaining.clone()).map(move |r| match r {
+                        Ok(n) => {
+                            let rest = remaining.slice(n..);
+                            if rest.is_empty() {
+                                Loop::Break(SendInput::Done(Ok(())))
+                            } else {
+                                Loop::Continue(rest)
+                            }
+                        }
+                        Err(e) => Loop::Break(SendInput::Done(Err(e))),
+                    }),
+                })
+            })
         })
     })
 }

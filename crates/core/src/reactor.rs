@@ -513,6 +513,13 @@ impl<T> AcceptQueue<T> {
         self.st.lock().backlog.len()
     }
 
+    /// Live accept waiters currently registered (for tests asserting that
+    /// losing `choose` branches leave no residue behind — entries whose
+    /// threads committed elsewhere are spent and not counted).
+    pub fn waiter_count(&self) -> usize {
+        self.st.lock().waiters.len()
+    }
+
     /// True when no connection is queued.
     pub fn is_empty(&self) -> bool {
         self.st.lock().backlog.is_empty()

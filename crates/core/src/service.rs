@@ -1,0 +1,450 @@
+//! The event-native service framework: a [`Service`] trait plus a generic
+//! [`Server<S>`] that owns every piece of connection lifecycle the event
+//! layer already knows how to express.
+//!
+//! The paper's central claim is that one set of application-level
+//! concurrency primitives can express a whole network service — yet each
+//! service used to hand-roll the same ~100 lines of plumbing: an accept
+//! loop, a per-session wait, an idle-timeout/shutdown `choose`, and a
+//! listener-closing supervisor thread. Concurrent ML's lesson (Reppy;
+//! Chaudhuri) is that synchronization *protocols* — accept, serve, drain —
+//! belong in first-class events owned by the framework, not in per-server
+//! boilerplate. So:
+//!
+//! * the **acceptor** is one `choose` over
+//!   [`Listener::accept_evt`] and the
+//!   shutdown broadcast — no supervisor thread closes the listener; the
+//!   losing branch simply is the shutdown;
+//! * each **session** waits on
+//!   [`session_input`] — one `choose` over
+//!   socket readiness, the idle deadline and the same broadcast;
+//! * the server tracks connection counts and exposes a **graceful drain**
+//!   signal that fires once shutdown has been requested and the last
+//!   session has ended.
+//!
+//! A service supplies only what is actually service-specific: per-session
+//! state (typically a protocol parser), a chunk handler that parses /
+//! executes / replies, and optional hooks for session-end bookkeeping and
+//! exception recovery. Both bundled services (`eveth-kv`'s `KvServer`,
+//! `eveth-http`'s `WebServer`) are thin [`Service`] implementations over
+//! this module.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bytes::Bytes;
+//! use eveth_core::net::{send_all, Conn};
+//! use eveth_core::service::{Server, ServerConfig, Service, Step};
+//! use eveth_core::ThreadM;
+//!
+//! /// An echo service: per-session state is nothing, every chunk is sent
+//! /// straight back.
+//! struct Echo;
+//!
+//! impl Service for Echo {
+//!     type Session = ();
+//!     fn open(&self, _conn: &Arc<dyn Conn>) {}
+//!     fn on_chunk(
+//!         &self,
+//!         conn: Arc<dyn Conn>,
+//!         _session: (),
+//!         chunk: Bytes,
+//!     ) -> ThreadM<Step<()>> {
+//!         send_all(&conn, chunk).map(|sent| match sent {
+//!             Ok(()) => Step::Continue(()),
+//!             Err(_) => Step::Close,
+//!         })
+//!     }
+//! }
+//! # let _ = |stack: Arc<dyn eveth_core::net::NetStack>| {
+//! let server = Server::new(stack, Echo, ServerConfig { port: 7, ..Default::default() });
+//! let run = server.run(); // spawn on a runtime
+//! # let _ = run; };
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::do_m;
+use crate::event::{choose, sync, Signal};
+use crate::exception::Exception;
+use crate::net::{session_input, Conn, Listener, NetError, NetStack, SessionInput};
+use crate::syscall::{sys_catch, sys_fork, sys_nbio, sys_throw};
+use crate::thread::{loop_m, Loop, ThreadM};
+use crate::time::Nanos;
+
+/// What a [`Service::on_chunk`] handler decides about the session.
+#[derive(Debug)]
+pub enum Step<S> {
+    /// Keep the session alive with this state for the next chunk.
+    Continue(S),
+    /// End the session; the server closes the connection.
+    Close,
+}
+
+/// Why a session ended — handed to [`Service::on_end`] so services keep
+/// their own counters without owning the loop.
+#[derive(Debug)]
+pub enum SessionEnd {
+    /// The peer closed the stream (recv returned end-of-stream).
+    PeerClosed,
+    /// The transport failed mid-session.
+    TransportError(NetError),
+    /// The idle deadline won the session's `choose`.
+    Idle,
+    /// The server-wide shutdown broadcast won the session's `choose`.
+    Shutdown,
+    /// The service returned [`Step::Close`] (protocol quit, non-keep-alive
+    /// response, protocol error already answered, …).
+    ServiceClosed,
+}
+
+/// A network service, expressed as pure protocol logic over the framework's
+/// lifecycle: the server owns listening, accepting, the per-session
+/// readiness/idle/shutdown `choose`, connection tracking and draining; the
+/// service owns parsing and replying.
+pub trait Service: Send + Sync + 'static {
+    /// Per-connection state, created by [`Service::open`] — typically an
+    /// incremental protocol parser.
+    type Session: Send + 'static;
+
+    /// Called once per accepted connection; returns the fresh session
+    /// state. A good place to bump service-level connection counters.
+    fn open(&self, conn: &Arc<dyn Conn>) -> Self::Session;
+
+    /// Handles one received chunk: parse, execute every complete request
+    /// already buffered (pipelining), send replies, and decide whether the
+    /// session continues. Runs as straight-line monadic code on the
+    /// session's thread.
+    fn on_chunk(
+        &self,
+        conn: Arc<dyn Conn>,
+        session: Self::Session,
+        chunk: Bytes,
+    ) -> ThreadM<Step<Self::Session>>;
+
+    /// Observation hook: the session ended for `end`. Non-monadic —
+    /// bookkeeping only (the server already closes the connection where
+    /// appropriate). The framework's own [`ServerStats`] is the
+    /// authoritative lifecycle count; services use this hook to *mirror*
+    /// events into their protocol-level statistics (e.g. a public
+    /// `idle_reaped` counter kept for API compatibility) — both are driven
+    /// from the same call site, so they cannot drift.
+    fn on_end(&self, end: &SessionEnd) {
+        let _ = end;
+    }
+
+    /// Recovery hook: the session thread threw. The default closes the
+    /// connection; services may first attempt a protocol-level error
+    /// reply (the web server sends a 500). The server counts the error
+    /// either way.
+    fn on_exception(&self, conn: Arc<dyn Conn>, error: &Exception) -> ThreadM<()> {
+        let _ = error;
+        conn.close()
+    }
+}
+
+/// Lifecycle tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Socket receive granularity.
+    pub recv_chunk: usize,
+    /// Reap a connection that stays silent this long between chunks
+    /// (virtual nanoseconds); `0` disables idle reaping. A `timeout_evt`
+    /// branch of the per-session `choose` — no helper thread, no polling.
+    pub idle_timeout: Nanos,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 8080,
+            recv_chunk: 16 * 1024,
+            idle_timeout: 0,
+        }
+    }
+}
+
+/// Lifecycle counters every [`Server`] keeps, independent of the service's
+/// own protocol statistics.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Sessions currently running.
+    pub active: AtomicU64,
+    /// Sessions reaped by the idle deadline.
+    pub idle_reaped: AtomicU64,
+    /// Sessions terminated by an exception.
+    pub session_errors: AtomicU64,
+}
+
+/// The generic server: listening, accept fan-out, per-session waits,
+/// connection tracking and graceful drain for any [`Service`].
+pub struct Server<S: Service> {
+    stack: Arc<dyn NetStack>,
+    service: Arc<S>,
+    cfg: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Signal,
+    drained: Signal,
+    /// True once the acceptor has exited. Gates the drain barrier: while
+    /// the acceptor runs, a connection may have been dequeued by
+    /// `accept_evt` but not yet counted in `stats.active`, so `active ==
+    /// 0` alone must not fire `drained`.
+    acceptor_done: std::sync::atomic::AtomicBool,
+}
+
+impl<S: Service> Server<S> {
+    /// Builds a server hosting `service` on a socket stack.
+    pub fn new(stack: Arc<dyn NetStack>, service: S, cfg: ServerConfig) -> Arc<Self> {
+        Arc::new(Server {
+            stack,
+            service: Arc::new(service),
+            cfg,
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Signal::new(),
+            drained: Signal::new(),
+            acceptor_done: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The hosted service (for its protocol-level statistics and state).
+    pub fn service(&self) -> &Arc<S> {
+        &self.service
+    }
+
+    /// Lifecycle counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The configuration this server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Sessions currently running.
+    pub fn active(&self) -> u64 {
+        self.stats.active.load(Ordering::SeqCst)
+    }
+
+    /// Initiates graceful shutdown (callable from any context): the
+    /// acceptor's `choose` sees the broadcast and closes the listener —
+    /// there is no supervisor thread — and every session's `choose` sees
+    /// the same broadcast on its next wait and closes its connection.
+    /// [`Server::drained_signal`] fires once the last session ends.
+    pub fn shutdown(&self) {
+        self.shutdown.fire();
+        // The acceptor may already be gone (listener failed or closed
+        // externally): the barrier fires here rather than hanging every
+        // drain waiter.
+        self.maybe_drained();
+    }
+
+    /// The shutdown broadcast (for composing with other events).
+    pub fn shutdown_signal(&self) -> &Signal {
+        &self.shutdown
+    }
+
+    /// Fires once shutdown has been requested, the acceptor has exited
+    /// *and* every session has ended — the graceful-drain barrier.
+    /// `sync(drained_signal().wait_evt())` after [`Server::shutdown`] to
+    /// wait for quiescence. The barrier assumes [`Server::run`] was
+    /// spawned: on a server that never ran (or whose `listen` failed by
+    /// exception) there is no acceptor to exit and the signal never
+    /// fires.
+    pub fn drained_signal(&self) -> &Signal {
+        &self.drained
+    }
+
+    /// The main server thread: listen, then run the acceptor `choose`
+    /// until shutdown or listener failure, forking one monadic thread per
+    /// accepted connection.
+    ///
+    /// Runs until the listener closes; spawn it with `Runtime::spawn` /
+    /// `SimRuntime::spawn`.
+    pub fn run(self: &Arc<Self>) -> ThreadM<()> {
+        let srv = Arc::clone(self);
+        do_m! {
+            let listener <- srv.stack.listen(srv.cfg.port);
+            let listener = match listener {
+                Ok(l) => l,
+                Err(e) => {
+                    // The server is dead on arrival: broadcast shutdown so
+                    // anything tied to this server's lifecycle (service
+                    // helper threads, drain waiters) is released rather
+                    // than leaked, then surface the failure.
+                    srv.shutdown.fire();
+                    srv.acceptor_exited();
+                    return sys_throw(Exception::with_payload("listen failed", e));
+                }
+            };
+            accept_loop(srv, listener)
+        }
+    }
+
+    /// One session finished: release its slot and re-check the drain
+    /// barrier.
+    fn session_ended(&self) {
+        self.stats.active.fetch_sub(1, Ordering::SeqCst);
+        self.maybe_drained();
+    }
+
+    /// The acceptor exited (shutdown branch won, or the listener failed):
+    /// no further connection can be dequeued, so the drain barrier is
+    /// armed.
+    fn acceptor_exited(&self) {
+        self.acceptor_done
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.maybe_drained();
+    }
+
+    /// Fires the drain barrier iff shutdown was requested, the acceptor
+    /// can no longer introduce sessions, and none is running. Called from
+    /// every transition that can complete the condition (shutdown
+    /// request, acceptor exit, session end); `Signal::fire` is
+    /// idempotent, so concurrent callers are harmless.
+    fn maybe_drained(&self) {
+        if self.shutdown.is_fired()
+            && self.acceptor_done.load(std::sync::atomic::Ordering::SeqCst)
+            && self.stats.active.load(Ordering::SeqCst) == 0
+        {
+            self.drained.fire();
+        }
+    }
+}
+
+impl<S: Service> fmt::Debug for Server<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Server(port={}, active={}, shutdown={})",
+            self.cfg.port,
+            self.active(),
+            self.shutdown.is_fired()
+        )
+    }
+}
+
+/// What woke the acceptor's `choose`.
+enum AcceptWake {
+    Inbound(Result<Arc<dyn Conn>, NetError>),
+    Shutdown,
+}
+
+/// The acceptor: one `choose` over the shutdown broadcast and the backlog
+/// event. Branch order is policy — shutdown beats a pending accept, so
+/// intake stops at the shutdown instant even under a sustained connect
+/// stream (with accept polled first, a never-empty backlog would starve
+/// the shutdown branch and the server would keep admitting sessions
+/// forever). Connections still queued in the backlog are dropped by
+/// `listener.shutdown()`, exactly as the old supervisor thread dropped
+/// them.
+fn accept_loop<S: Service>(srv: Arc<Server<S>>, listener: Arc<dyn Listener>) -> ThreadM<()> {
+    loop_m((), move |()| {
+        let srv = Arc::clone(&srv);
+        let listener = Arc::clone(&listener);
+        sync(choose(vec![
+            srv.shutdown.wait_evt().wrap(|()| AcceptWake::Shutdown),
+            listener.accept_evt().wrap(AcceptWake::Inbound),
+        ]))
+        .bind(move |wake| match wake {
+            AcceptWake::Shutdown => {
+                listener.shutdown();
+                srv.acceptor_exited();
+                ThreadM::pure(Loop::Break(()))
+            }
+            AcceptWake::Inbound(Err(_)) => {
+                // Listener failed or was closed externally.
+                srv.acceptor_exited();
+                ThreadM::pure(Loop::Break(()))
+            }
+            AcceptWake::Inbound(Ok(conn)) => {
+                srv.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                srv.stats.active.fetch_add(1, Ordering::SeqCst);
+                let body = session(Arc::clone(&srv), Arc::clone(&conn));
+                // An exception ends the session, never the server; the
+                // service may answer with a protocol-level error first.
+                let catcher = Arc::clone(&srv);
+                let guarded = sys_catch(body, move |e| {
+                    catcher.stats.session_errors.fetch_add(1, Ordering::SeqCst);
+                    catcher.service.on_exception(conn, &e)
+                });
+                // The slot is released on every exit — including an
+                // exception thrown by `on_exception` itself, which is
+                // re-thrown afterwards so it still surfaces as an
+                // uncaught-exception report rather than silently
+                // vanishing (or leaking `active` and wedging the drain
+                // barrier).
+                let tracker = Arc::clone(&srv);
+                let escape_tracker = Arc::clone(&srv);
+                let tracked = sys_catch(
+                    guarded.bind(move |_| sys_nbio(move || tracker.session_ended())),
+                    move |e| {
+                        escape_tracker.session_ended();
+                        sys_throw(e)
+                    },
+                );
+                sys_fork(tracked).map(|_| Loop::Continue(()))
+            }
+        })
+    })
+}
+
+/// One session: wait on the composed input, hand data chunks to the
+/// service, end on peer close / transport error / idle reap / shutdown /
+/// service decision.
+fn session<S: Service>(srv: Arc<Server<S>>, conn: Arc<dyn Conn>) -> ThreadM<()> {
+    let state = srv.service.open(&conn);
+    loop_m(state, move |state| {
+        let srv = Arc::clone(&srv);
+        let conn = Arc::clone(&conn);
+        session_input(
+            &conn,
+            srv.cfg.recv_chunk,
+            srv.cfg.idle_timeout,
+            &srv.shutdown,
+        )
+        .bind(move |input| match input {
+            SessionInput::Data(Ok(chunk)) if chunk.is_empty() => {
+                srv.service.on_end(&SessionEnd::PeerClosed);
+                conn.close().map(|_| Loop::Break(()))
+            }
+            SessionInput::Data(Ok(chunk)) => {
+                let srv2 = Arc::clone(&srv);
+                let conn2 = Arc::clone(&conn);
+                srv.service
+                    .on_chunk(Arc::clone(&conn), state, chunk)
+                    .bind(move |step| match step {
+                        Step::Continue(next) => ThreadM::pure(Loop::Continue(next)),
+                        Step::Close => {
+                            srv2.service.on_end(&SessionEnd::ServiceClosed);
+                            conn2.close().map(|_| Loop::Break(()))
+                        }
+                    })
+            }
+            SessionInput::Data(Err(e)) => {
+                srv.service.on_end(&SessionEnd::TransportError(e));
+                ThreadM::pure(Loop::Break(()))
+            }
+            SessionInput::IdleTimeout => {
+                // The stalled connection is reaped; live sessions are
+                // untouched (each races its own deadline).
+                srv.stats.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                srv.service.on_end(&SessionEnd::Idle);
+                conn.close().map(|_| Loop::Break(()))
+            }
+            SessionInput::Shutdown => {
+                srv.service.on_end(&SessionEnd::Shutdown);
+                conn.close().map(|_| Loop::Break(()))
+            }
+        })
+    })
+}

@@ -3,7 +3,8 @@
 //! A static-content web server written with monadic threads over the
 //! hybrid runtime: HTTP parsing ([`parser`]), response construction
 //! ([`response`]), the server's own AIO-backed LRU file cache ([`cache`]),
-//! the server itself ([`server`]) and a multithreaded load generator
+//! the server itself ([`server`] — a thin `Service` on the generic
+//! event-native `Server<S>` of `eveth_core::service`) and a load generator
 //! ([`loadgen`]).
 //!
 //! The socket layer is injected through

@@ -1,13 +1,20 @@
-//! The static-content web server — the paper's case study (§5.2).
+//! The static-content web server — the paper's case study (§5.2) — as a
+//! thin [`Service`] implementation over the generic event-native
+//! [`Server`] of `eveth_core::service`.
 //!
 //! Per-client code is an ordinary monadic thread (parse → cache/AIO →
 //! respond, in a keep-alive loop); the application as a whole is the
-//! event-driven system underneath. I/O failures are handled with
-//! `sys_catch`, file opens go through the blocking-I/O pool (`sys_blio`),
-//! file reads use AIO, and the server maintains its own LRU byte cache
-//! because the paper's server "implements its own caching" to exploit
-//! Linux AIO. The socket stack is injected ([`NetStack`]), so switching to
-//! the application-level TCP stack is the paper's one-line change.
+//! event-driven system underneath. The framework owns the lifecycle
+//! (listening, the accept/shutdown `choose`, the per-session
+//! readiness/idle/shutdown `choose`, graceful drain); this module owns
+//! the HTTP-specific half: the request parser as per-session state,
+//! cache/AIO response assembly, and the 500-on-exception recovery. I/O
+//! failures are handled with `sys_catch`, file opens go through the
+//! blocking-I/O pool (`sys_blio`), file reads use AIO, and the server
+//! maintains its own LRU byte cache because the paper's server
+//! "implements its own caching" to exploit Linux AIO. The socket stack is
+//! injected ([`NetStack`]), so switching to the application-level TCP
+//! stack is the paper's one-line change.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,8 +23,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use eveth_core::aio::{AioFile, FileStore};
 use eveth_core::event::Signal;
-use eveth_core::net::{send_all, session_input, Conn, Listener, NetStack, SessionInput};
-use eveth_core::syscall::{sys_aio_read, sys_blio, sys_catch, sys_fork, sys_nbio, sys_throw};
+use eveth_core::net::{send_all, Conn, NetStack};
+use eveth_core::service::{Server, ServerConfig as LifecycleConfig, Service, SessionEnd, Step};
+use eveth_core::syscall::{sys_aio_read, sys_blio, sys_nbio, sys_throw};
 use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
 
@@ -71,14 +79,82 @@ pub struct ServerStats {
     pub idle_reaped: AtomicU64,
 }
 
-/// The web server: all state shared by its monadic threads.
-pub struct WebServer {
-    stack: Arc<dyn NetStack>,
+/// The HTTP-specific state shared by every session thread (file store,
+/// cache, counters, configuration), split out of [`WebServer`] so the
+/// [`Service`] implementation and the response-assembly free functions
+/// can hold it without the server wrapper.
+struct WebShared {
     files: Arc<dyn FileStore>,
     cache: Arc<FileCache>,
     cfg: ServerConfig,
     stats: Arc<ServerStats>,
-    shutdown: Signal,
+}
+
+/// The HTTP [`Service`]: per-session state is the incremental
+/// [`RequestParser`]; each chunk is fed to it and every complete
+/// pipelined request is served (cache → blocking open → AIO reads)
+/// before the session waits again. Lifecycle — accepting, idle reaping,
+/// shutdown, draining — is the framework's ([`Server`]).
+pub struct WebService {
+    shared: Arc<WebShared>,
+}
+
+impl Service for WebService {
+    type Session = RequestParser;
+
+    fn open(&self, _conn: &Arc<dyn Conn>) -> RequestParser {
+        self.shared
+            .stats
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        RequestParser::new()
+    }
+
+    fn on_chunk(
+        &self,
+        conn: Arc<dyn Conn>,
+        mut parser: RequestParser,
+        chunk: Bytes,
+    ) -> ThreadM<Step<RequestParser>> {
+        match parser.feed(&chunk) {
+            Err(_) => bad_request(conn),
+            Ok(None) => ThreadM::pure(Step::Continue(parser)),
+            Ok(Some(req)) => serve_requests(Arc::clone(&self.shared), conn, parser, req),
+        }
+    }
+
+    fn on_end(&self, end: &SessionEnd) {
+        if matches!(end, SessionEnd::Idle) {
+            self.shared
+                .stats
+                .idle_reaped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Exceptions end the session but never the server: the handler
+    /// attempts a 500 and closes (paper §5.2: "I/O errors are handled
+    /// gracefully using exceptions").
+    fn on_exception(&self, conn: Arc<dyn Conn>, _error: &Exception) -> ThreadM<()> {
+        self.shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        do_m! {
+            conn.send(Response::internal_error().into_bytes());
+            conn.close()
+        }
+    }
+}
+
+impl fmt::Debug for WebService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WebService(cache={:?})", self.shared.cache)
+    }
+}
+
+/// The web server: [`WebService`] hosted on the generic event-native
+/// [`Server`].
+pub struct WebServer {
+    server: Arc<Server<WebService>>,
+    shared: Arc<WebShared>,
 }
 
 impl WebServer {
@@ -88,61 +164,68 @@ impl WebServer {
         files: Arc<dyn FileStore>,
         cfg: ServerConfig,
     ) -> Arc<Self> {
-        Arc::new(WebServer {
-            stack,
+        let shared = Arc::new(WebShared {
             files,
             cache: Arc::new(FileCache::new(cfg.cache_bytes)),
-            cfg,
             stats: Arc::new(ServerStats::default()),
-            shutdown: Signal::new(),
-        })
+            cfg: cfg.clone(),
+        });
+        let server = Server::new(
+            stack,
+            WebService {
+                shared: Arc::clone(&shared),
+            },
+            LifecycleConfig {
+                port: cfg.port,
+                recv_chunk: cfg.recv_chunk,
+                idle_timeout: cfg.idle_timeout,
+            },
+        );
+        Arc::new(WebServer { server, shared })
     }
 
     /// Initiates graceful shutdown (callable from any context): the
-    /// listener stops accepting, and every keep-alive session's `choose`
-    /// sees the broadcast on its next wait and closes the connection.
+    /// acceptor's `choose` closes the listener — no supervisor thread —
+    /// and every keep-alive session's `choose` sees the broadcast on its
+    /// next wait and closes the connection.
     pub fn shutdown(&self) {
-        self.shutdown.fire();
+        self.server.shutdown();
     }
 
     /// The shutdown broadcast (for composing with other events).
     pub fn shutdown_signal(&self) -> &Signal {
-        &self.shutdown
+        self.server.shutdown_signal()
+    }
+
+    /// Fires once shutdown has been requested and the last session ended
+    /// (the framework's graceful-drain barrier).
+    pub fn drained_signal(&self) -> &Signal {
+        self.server.drained_signal()
+    }
+
+    /// The generic server hosting this service (lifecycle counters,
+    /// active-session count).
+    pub fn server(&self) -> &Arc<Server<WebService>> {
+        &self.server
     }
 
     /// Counters.
     pub fn stats(&self) -> &Arc<ServerStats> {
-        &self.stats
+        &self.shared.stats
     }
 
     /// The file cache (exposed for the cache-size ablation).
     pub fn cache(&self) -> &Arc<FileCache> {
-        &self.cache
+        &self.shared.cache
     }
 
-    /// The main server thread: listen, accept, fork one monadic thread per
-    /// client session.
+    /// The main server thread: the framework server (listen + accept
+    /// fan-out + session lifecycle).
     ///
-    /// Runs until the listener fails; spawn it with `Runtime::spawn` /
+    /// Runs until the listener closes; spawn it with `Runtime::spawn` /
     /// `SimRuntime::spawn`.
     pub fn run(self: &Arc<Self>) -> ThreadM<()> {
-        let srv = Arc::clone(self);
-        do_m! {
-            let listener <- srv.stack.listen(srv.cfg.port);
-            let listener = match listener {
-                Ok(l) => l,
-                Err(e) => return sys_throw(Exception::with_payload("listen failed", e)),
-            };
-            let sig = srv.shutdown.clone();
-            let gate = Arc::clone(&listener);
-            // Shutdown supervisor: syncs on the broadcast, then closes the
-            // listener so the accept loop drains out.
-            sys_fork(do_m! {
-                sig.wait();
-                sys_nbio(move || gate.shutdown())
-            });
-            accept_loop(srv, listener)
-        }
+        self.server.run()
     }
 }
 
@@ -151,102 +234,48 @@ impl fmt::Debug for WebServer {
         write!(
             f,
             "WebServer(port={}, cache={:?})",
-            self.cfg.port, self.cache
+            self.shared.cfg.port, self.shared.cache
         )
     }
 }
 
-fn accept_loop(srv: Arc<WebServer>, listener: Arc<dyn Listener>) -> ThreadM<()> {
-    loop_m((), move |()| {
-        let srv = Arc::clone(&srv);
-        listener.accept().bind(move |accepted| match accepted {
-            Err(_) => ThreadM::pure(Loop::Break(())),
-            Ok(conn) => {
-                srv.stats.connections.fetch_add(1, Ordering::Relaxed);
-                let session = client_session(Arc::clone(&srv), Arc::clone(&conn));
-                // Exceptions end the session but never the server: the
-                // handler logs, attempts a 500, and closes (paper §5.2:
-                // "I/O errors are handled gracefully using exceptions").
-                let guarded = sys_catch(session, move |_e| {
-                    srv.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    do_m! {
-                        conn.send(Response::internal_error().into_bytes());
-                        conn.close()
-                    }
-                });
-                sys_fork(guarded).map(|_| Loop::Continue(()))
-            }
-        })
-    })
+/// Answers a malformed request with 400 and ends the session (the server
+/// closes the connection).
+fn bad_request(conn: Arc<dyn Conn>) -> ThreadM<Step<RequestParser>> {
+    send_all(&conn, Response::bad_request().into_bytes()).map(|_| Step::Close)
 }
 
-/// One keep-alive client session: parse requests, serve them, loop.
-///
-/// The wait point is [`session_input`] — one `choose` over socket
-/// readiness, the idle-connection deadline and the shutdown broadcast.
-fn client_session(srv: Arc<WebServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
-    loop_m(RequestParser::new(), move |mut parser| {
-        let srv = Arc::clone(&srv);
-        let conn = Arc::clone(&conn);
-        // A previously received chunk may already hold the next request.
-        match parser.feed(&[]) {
-            Err(_) => {
-                return do_m! {
-                    send_all(&conn, Response::bad_request().into_bytes());
-                    conn.close();
-                    ThreadM::pure(Loop::Break(()))
-                }
-            }
-            Ok(Some(req)) => return serve_one(srv, conn, parser, req),
-            Ok(None) => {}
-        }
-        session_input(
-            &conn,
-            srv.cfg.recv_chunk,
-            srv.cfg.idle_timeout,
-            &srv.shutdown,
-        )
-        .bind(move |input| {
-            let chunk = match input {
-                SessionInput::Data(Ok(c)) => c,
-                SessionInput::Data(Err(_)) => return ThreadM::pure(Loop::Break(())),
-                SessionInput::IdleTimeout => {
-                    srv.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
-                    return conn.close().map(|_| Loop::Break(()));
-                }
-                SessionInput::Shutdown => {
-                    return conn.close().map(|_| Loop::Break(()));
-                }
-            };
-            if chunk.is_empty() {
-                // Client closed.
-                return conn.close().map(|_| Loop::Break(()));
-            }
-            match parser.feed(&chunk) {
-                Err(_) => do_m! {
-                    send_all(&conn, Response::bad_request().into_bytes());
-                    conn.close();
-                    ThreadM::pure(Loop::Break(()))
-                },
-                Ok(None) => ThreadM::pure(Loop::Continue(parser)),
-                Ok(Some(req)) => serve_one(srv, conn, parser, req),
-            }
-        })
-    })
-}
-
-/// Serves one request and decides whether the session continues.
-fn serve_one(
-    srv: Arc<WebServer>,
+/// Serves `req` and then every further complete request already buffered
+/// in `parser` (pipelining), before handing the session back to the
+/// framework's wait.
+fn serve_requests(
+    shared: Arc<WebShared>,
     conn: Arc<dyn Conn>,
-    parser: RequestParser,
+    mut parser: RequestParser,
     req: Request,
-) -> ThreadM<Loop<RequestParser, ()>> {
+) -> ThreadM<Step<RequestParser>> {
+    let shared2 = Arc::clone(&shared);
+    let conn2 = Arc::clone(&conn);
+    serve_one(shared, Arc::clone(&conn), req).bind(move |keep_alive| {
+        if !keep_alive {
+            return ThreadM::pure(Step::Close);
+        }
+        match parser.feed(&[]) {
+            Err(_) => bad_request(conn2),
+            Ok(None) => ThreadM::pure(Step::Continue(parser)),
+            Ok(Some(next)) => serve_requests(shared2, conn2, parser, next),
+        }
+    })
+}
+
+/// Serves one request; returns whether the session continues (response
+/// sent successfully on a keep-alive connection).
+fn serve_one(shared: Arc<WebShared>, conn: Arc<dyn Conn>, req: Request) -> ThreadM<bool> {
     let keep_alive = req.keep_alive();
     let head_only = req.method == Method::Head;
-    let srv2 = Arc::clone(&srv);
+    let shared2 = Arc::clone(&shared);
     do_m! {
-        let mut response <- build_response(Arc::clone(&srv), req);
+        let mut response <- build_response(shared, req);
         let _ = if head_only {
             response = Response::new(response.status(), Bytes::new());
         };
@@ -254,25 +283,17 @@ fn serve_one(
         let body = response.into_bytes();
         let n = body.len() as u64;
         let sent <- send_all(&conn, body);
-        let srv = srv2;
         sys_nbio(move || {
-            srv.stats.requests.fetch_add(1, Ordering::Relaxed);
-            srv.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
-            sent.is_ok()
-        })
-        .bind(move |ok| {
-            if ok && keep_alive {
-                ThreadM::pure(Loop::Continue(parser))
-            } else {
-                conn.close().map(|_| Loop::Break(()))
-            }
+            shared2.stats.requests.fetch_add(1, Ordering::Relaxed);
+            shared2.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);
+            sent.is_ok() && keep_alive
         })
     }
 }
 
 /// Computes the response for a request: cache, then blocking open, then
 /// AIO reads (each failure path is an exception or an error status).
-fn build_response(srv: Arc<WebServer>, req: Request) -> ThreadM<Response> {
+fn build_response(srv: Arc<WebShared>, req: Request) -> ThreadM<Response> {
     if !matches!(req.method, Method::Get | Method::Head) {
         return ThreadM::pure(Response::bad_request());
     }

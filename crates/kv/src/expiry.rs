@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 
-use eveth_core::syscall::{sys_sleep, sys_time};
+use eveth_core::event::{choose, sync, timeout_evt, Signal};
+use eveth_core::syscall::sys_time;
 use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Loop, ThreadM};
 
@@ -21,17 +22,39 @@ use crate::store::ShardedStore;
 /// Runs forever: every `interval` nanoseconds, purge the next shard
 /// (round-robin). Spawn with `Runtime::spawn` / `SimRuntime::spawn`;
 /// `sweeps` (when provided) counts completed whole-store passes.
+///
+/// [`janitor_until`] is the stoppable form; this one never returns.
 pub fn janitor(
     store: Arc<ShardedStore>,
     interval: Nanos,
     sweeps: Option<Arc<Counter>>,
 ) -> ThreadM<()> {
+    janitor_until(store, interval, sweeps, Signal::new())
+}
+
+/// Like [`janitor`], but each wake is a `choose` between the sweep timer
+/// and `stop` — the thread exits as soon as the signal fires, so a
+/// drained server does not leave an immortal timer-wheel client behind.
+/// The server wires its shutdown broadcast in here.
+pub fn janitor_until(
+    store: Arc<ShardedStore>,
+    interval: Nanos,
+    sweeps: Option<Arc<Counter>>,
+    stop: Signal,
+) -> ThreadM<()> {
     let shards = store.shard_count();
     loop_m(0usize, move |idx| {
         let store = Arc::clone(&store);
         let sweeps = sweeps.clone();
+        let stop = stop.clone();
         do_m! {
-            sys_sleep(interval);
+            let stopped <- sync(choose(vec![
+                stop.wait_evt().wrap(|()| true),
+                timeout_evt(interval).wrap(|()| false),
+            ]));
+            let _ = if stopped {
+                return ThreadM::pure(Loop::Break(()));
+            };
             let now <- sys_time();
             store.purge_shard(idx, now);
             let _ = if idx + 1 == shards {

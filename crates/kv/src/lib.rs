@@ -19,7 +19,8 @@
 //! * [`expiry`] — TTL reclamation: lazy on reads, plus a janitor thread
 //!   woken by the runtime timer wheel;
 //! * [`stats`] — per-shard and aggregate counters (the `stats` command);
-//! * [`server`] — the server itself: accept loop, one monadic thread per
+//! * [`server`] — the server itself: a thin `Service` on the generic
+//!   event-native `Server<S>` of `eveth_core::service`, one monadic thread per
 //!   connection, pipelined execution with coalesced replies;
 //! * [`loadgen`] — monadic client threads issuing pipelined get/set mixes
 //!   over zipfian keys.

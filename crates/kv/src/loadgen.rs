@@ -270,9 +270,12 @@ fn account(
             stats.stored.incr();
             *answered += 1;
         }
-        Reply::Deleted | Reply::NotFound | Reply::NotStored | Reply::Exists | Reply::Number(_) => {
-            *answered += 1
-        }
+        Reply::Deleted
+        | Reply::Touched
+        | Reply::NotFound
+        | Reply::NotStored
+        | Reply::Exists
+        | Reply::Number(_) => *answered += 1,
         Reply::Error | Reply::ClientError(_) => {
             stats.errors.incr();
             *answered += 1;

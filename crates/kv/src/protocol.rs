@@ -17,6 +17,9 @@
 //! add <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
 //! replace <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
 //! cas <key> <flags> <exptime> <bytes> <cas unique> [noreply]\r\n<data>\r\n
+//! append <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! prepend <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! touch <key> <exptime> [noreply]\r\n
 //! delete <key> [noreply]\r\n
 //! incr <key> <delta> [noreply]\r\n
 //! decr <key> <delta> [noreply]\r\n
@@ -104,6 +107,46 @@ pub enum Command {
         /// Suppress the reply.
         noreply: bool,
     },
+    /// `append`: concatenate onto the tail of an existing live value
+    /// (`NOT_STORED` on a miss). Per memcached, the `flags`/`exptime`
+    /// fields are required on the wire but ignored — the stored entry
+    /// keeps its own.
+    Append {
+        /// The key.
+        key: Bytes,
+        /// Wire-required, ignored (the entry keeps its flags).
+        flags: u32,
+        /// Wire-required, ignored (the entry keeps its deadline).
+        exptime: u64,
+        /// Bytes concatenated after the existing value.
+        value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `prepend`: concatenate onto the head of an existing live value
+    /// (`NOT_STORED` on a miss); `flags`/`exptime` ignored like `append`.
+    Prepend {
+        /// The key.
+        key: Bytes,
+        /// Wire-required, ignored (the entry keeps its flags).
+        flags: u32,
+        /// Wire-required, ignored (the entry keeps its deadline).
+        exptime: u64,
+        /// Bytes concatenated before the existing value.
+        value: Bytes,
+        /// Suppress the reply.
+        noreply: bool,
+    },
+    /// `touch`: update a live entry's expiry without sending or returning
+    /// its value (`TOUCHED` / `NOT_FOUND`).
+    Touch {
+        /// The key.
+        key: Bytes,
+        /// New expiry in seconds relative to receipt; `0` = never.
+        exptime: u64,
+        /// Suppress the reply.
+        noreply: bool,
+    },
     /// `delete` a key.
     Delete {
         /// The key.
@@ -145,6 +188,9 @@ impl Command {
             | Command::Add { noreply, .. }
             | Command::Replace { noreply, .. }
             | Command::Cas { noreply, .. }
+            | Command::Append { noreply, .. }
+            | Command::Prepend { noreply, .. }
+            | Command::Touch { noreply, .. }
             | Command::Delete { noreply, .. }
             | Command::Incr { noreply, .. }
             | Command::Decr { noreply, .. } => *noreply,
@@ -307,6 +353,9 @@ enum Verb {
     Add,
     Replace,
     Cas,
+    Append,
+    Prepend,
+    Touch,
     Delete,
     Incr,
     Decr,
@@ -318,7 +367,10 @@ enum Verb {
 impl Verb {
     /// Verbs carrying a `<flags> <exptime> <bytes>` header + data block.
     fn is_storage(self) -> bool {
-        matches!(self, Verb::Set | Verb::Add | Verb::Replace | Verb::Cas)
+        matches!(
+            self,
+            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas | Verb::Append | Verb::Prepend
+        )
     }
 }
 
@@ -335,6 +387,9 @@ impl ParsedLine {
             b"add" => Verb::Add,
             b"replace" => Verb::Replace,
             b"cas" => Verb::Cas,
+            b"append" => Verb::Append,
+            b"prepend" => Verb::Prepend,
+            b"touch" => Verb::Touch,
             b"delete" => Verb::Delete,
             b"incr" => Verb::Incr,
             b"decr" => Verb::Decr,
@@ -345,7 +400,8 @@ impl ParsedLine {
         };
         fields.remove(0);
         let mut noreply = false;
-        if verb.is_storage() || matches!(verb, Verb::Delete | Verb::Incr | Verb::Decr) {
+        if verb.is_storage() || matches!(verb, Verb::Touch | Verb::Delete | Verb::Incr | Verb::Decr)
+        {
             if let Some(&(s, e)) = fields.last() {
                 if &line[s..e] == b"noreply" {
                     noreply = true;
@@ -367,7 +423,7 @@ impl ParsedLine {
                 }
                 None
             }
-            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas => {
+            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas | Verb::Append | Verb::Prepend => {
                 if verb == Verb::Cas {
                     expect(5, "cas needs <key> <flags> <exptime> <bytes> <cas unique>")?;
                     parse_u64(&line[fields[4].0..fields[4].1])
@@ -386,6 +442,12 @@ impl ParsedLine {
                     .ok_or(ProtoError::Malformed("bad byte count"))?
                     as usize;
                 Some(n)
+            }
+            Verb::Touch => {
+                expect(2, "touch needs <key> <exptime>")?;
+                parse_u64(&line[fields[1].0..fields[1].1])
+                    .ok_or(ProtoError::Malformed("bad exptime"))?;
+                None
             }
             Verb::Delete => {
                 expect(1, "delete needs <key>")?;
@@ -431,7 +493,7 @@ impl ParsedLine {
             Verb::Gets => Command::Gets {
                 keys: (0..self.args.len()).map(arg).collect(),
             },
-            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas => {
+            Verb::Set | Verb::Add | Verb::Replace | Verb::Cas | Verb::Append | Verb::Prepend => {
                 let n = self.payload_len.expect("storage verbs have a payload");
                 let key = arg(0);
                 let flags = num(1) as u32;
@@ -460,6 +522,20 @@ impl ParsedLine {
                         value,
                         noreply,
                     },
+                    Verb::Append => Command::Append {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        noreply,
+                    },
+                    Verb::Prepend => Command::Prepend {
+                        key,
+                        flags,
+                        exptime,
+                        value,
+                        noreply,
+                    },
                     _ => Command::Cas {
                         key,
                         flags,
@@ -470,6 +546,11 @@ impl ParsedLine {
                     },
                 }
             }
+            Verb::Touch => Command::Touch {
+                key: arg(0),
+                exptime: num(1),
+                noreply: self.noreply,
+            },
             Verb::Delete => Command::Delete {
                 key: arg(0),
                 noreply: self.noreply,
@@ -499,6 +580,9 @@ fn key_fields(verb: Verb, fields: &[(usize, usize)]) -> &[(usize, usize)] {
         | Verb::Add
         | Verb::Replace
         | Verb::Cas
+        | Verb::Append
+        | Verb::Prepend
+        | Verb::Touch
         | Verb::Delete
         | Verb::Incr
         | Verb::Decr => &fields[..1],
@@ -592,6 +676,8 @@ pub enum Reply {
     NotStored,
     /// `EXISTS` (a `cas` found the entry modified).
     Exists,
+    /// `TOUCHED` (a `touch` found and re-deadlined a live entry).
+    Touched,
     /// `DELETED`.
     Deleted,
     /// `NOT_FOUND`.
@@ -635,6 +721,7 @@ impl Reply {
             Reply::Stored => out.extend_from_slice(b"STORED\r\n"),
             Reply::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
             Reply::Exists => out.extend_from_slice(b"EXISTS\r\n"),
+            Reply::Touched => out.extend_from_slice(b"TOUCHED\r\n"),
             Reply::Deleted => out.extend_from_slice(b"DELETED\r\n"),
             Reply::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
             Reply::Number(n) => out.extend_from_slice(format!("{n}\r\n").as_bytes()),
@@ -727,6 +814,7 @@ impl ReplyParser {
                 b"STORED" => Reply::Stored,
                 b"NOT_STORED" => Reply::NotStored,
                 b"EXISTS" => Reply::Exists,
+                b"TOUCHED" => Reply::Touched,
                 b"DELETED" => Reply::Deleted,
                 b"NOT_FOUND" => Reply::NotFound,
                 b"ERROR" => Reply::Error,
@@ -892,6 +980,70 @@ mod tests {
             Command::Gets { keys } => assert_eq!(keys.len(), 2),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_append_prepend_touch() {
+        match parse_one(b"append k 9 60 3\r\nxyz\r\n") {
+            Command::Append {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!((flags, exptime), (9, 60));
+                assert_eq!(&value[..], b"xyz");
+                assert!(!noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"prepend k 0 0 2 noreply\r\nab\r\n") {
+            Command::Prepend { value, noreply, .. } => {
+                assert_eq!(&value[..], b"ab");
+                assert!(noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"touch k 120\r\n") {
+            Command::Touch {
+                key,
+                exptime,
+                noreply,
+            } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!(exptime, 120);
+                assert!(!noreply);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_one(b"touch k 0 noreply\r\n") {
+            Command::Touch { noreply, .. } => assert!(noreply),
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in [
+            &b"append k 0 0\r\n"[..],
+            &b"prepend k 0 0 x\r\na\r\n"[..],
+            &b"touch k\r\n"[..],
+            &b"touch k notanumber\r\n"[..],
+            &b"touch k 0 extra stuff\r\n"[..],
+        ] {
+            assert!(
+                CommandParser::new().feed(bad).is_err(),
+                "should reject {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn touched_reply_roundtrips() {
+        let mut wire = Vec::new();
+        Reply::Touched.encode_into(&mut wire);
+        assert_eq!(&wire[..], b"TOUCHED\r\n");
+        let got = ReplyParser::new().feed(&wire).unwrap().unwrap();
+        assert_eq!(got, Reply::Touched);
     }
 
     #[test]

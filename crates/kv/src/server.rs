@@ -1,13 +1,16 @@
-//! The KV server: one monadic thread per connection over an injected
-//! [`NetStack`].
+//! The KV server: a thin [`Service`] implementation over the generic
+//! event-native [`Server`] of `eveth_core::service`.
 //!
 //! Mirrors the shape of `eveth_http::server::WebServer` — the paper's
-//! architecture applied to a second protocol: per-client code is written
-//! as a straight-line monadic thread (read → parse → execute → respond,
-//! looping), the application as a whole is event-driven underneath, and
-//! the socket layer is the paper's one-line [`NetStack`] switch, so the
-//! same server runs over simulated kernel sockets or the application-level
-//! TCP stack without any code change.
+//! architecture applied to a second protocol. The framework owns the
+//! lifecycle (listening, the accept/shutdown `choose`, the per-session
+//! readiness/idle/shutdown `choose`, connection tracking and graceful
+//! drain); this module owns only what is KV-specific: the incremental
+//! command parser as per-session state, batch execution against the
+//! sharded store, and the janitor thread. The socket layer is the paper's
+//! one-line [`NetStack`] switch, so the same server runs over simulated
+//! kernel sockets or the application-level TCP stack without any code
+//! change.
 //!
 //! Pipelining falls out of the incremental parser: every complete command
 //! already buffered is executed and its replies are coalesced into a
@@ -19,15 +22,16 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::event::Signal;
-use eveth_core::net::{send_all, session_input, Conn, Listener, NetStack, SessionInput};
-use eveth_core::syscall::{sys_catch, sys_fork, sys_nbio, sys_throw, sys_time};
+use eveth_core::net::{send_all, Conn, NetStack};
+use eveth_core::service::{Server, ServerConfig, Service, SessionEnd, Step};
+use eveth_core::syscall::{sys_fork, sys_time};
 use eveth_core::time::{Nanos, MILLIS};
-use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
+use eveth_core::{do_m, Exception, ThreadM};
 
-use crate::expiry::janitor;
+use crate::expiry::janitor_until;
 use crate::protocol::{Command, CommandParser, ProtoError, Reply};
 use crate::stats::{ServerStats, StatsSnapshot};
-use crate::store::{CasOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
+use crate::store::{CasOutcome, ConcatOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
 
 /// KV server tunables.
 #[derive(Debug, Clone)]
@@ -60,90 +64,196 @@ impl Default for KvConfig {
     }
 }
 
-/// The KV server: all state shared by its monadic threads.
-pub struct KvServer {
-    stack: Arc<dyn NetStack>,
+/// The KV-specific state shared by every session thread (the store, the
+/// protocol counters, the configuration). Split out of [`KvServer`] so the
+/// [`Service`] implementation and the batch-execution free functions can
+/// hold it without the server wrapper.
+struct KvShared {
     store: Arc<ShardedStore>,
     cfg: KvConfig,
     stats: Arc<ServerStats>,
-    shutdown: Signal,
+}
+
+impl KvShared {
+    fn store_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::gather(self.store.shard_stats())
+    }
+}
+
+/// The memcached-protocol [`Service`]: per-session state is the
+/// incremental [`CommandParser`]; each chunk is parsed, executed as a
+/// batch against the sharded store, and answered with one coalesced send.
+/// Everything else — accepting, idle reaping, shutdown, draining — is the
+/// framework's ([`Server`]).
+pub struct KvService {
+    shared: Arc<KvShared>,
+}
+
+impl Service for KvService {
+    type Session = CommandParser;
+
+    fn open(&self, _conn: &Arc<dyn Conn>) -> CommandParser {
+        self.shared.stats.connections.incr();
+        // The parser rejects a declared `set` payload over the store's cap
+        // before buffering it, so a hostile byte count cannot balloon
+        // memory.
+        CommandParser::with_limits(8 * 1024, self.shared.cfg.store.max_value_bytes)
+    }
+
+    fn on_chunk(
+        &self,
+        conn: Arc<dyn Conn>,
+        parser: CommandParser,
+        chunk: Bytes,
+    ) -> ThreadM<Step<CommandParser>> {
+        let shared = Arc::clone(&self.shared);
+        shared.stats.bytes_in.add(chunk.len() as u64);
+        let out_stats = Arc::clone(&shared.stats);
+        do_m! {
+            let outcome <- run_batch(shared, parser, chunk);
+            let (parser, outcome) = match outcome {
+                Ok(v) => v,
+                Err(flush) => {
+                    // Protocol error: flush what we have + the error line,
+                    // then end the session (the server closes the conn).
+                    return send_all(&conn, Bytes::from(flush)).map(|_| Step::Close);
+                }
+            };
+            let n = outcome.replies.len() as u64;
+            let sent <- if outcome.replies.is_empty() {
+                ThreadM::pure(Ok(()))
+            } else {
+                send_all(&conn, Bytes::from(outcome.replies))
+            };
+            match sent {
+                Err(_) => ThreadM::pure(Step::Close),
+                Ok(()) => {
+                    out_stats.bytes_out.add(n);
+                    if outcome.quit {
+                        ThreadM::pure(Step::Close)
+                    } else {
+                        ThreadM::pure(Step::Continue(parser))
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_end(&self, end: &SessionEnd) {
+        if matches!(end, SessionEnd::Idle) {
+            // The stalled connection was reaped; live sessions are
+            // untouched (each races its own deadline).
+            self.shared.stats.idle_reaped.incr();
+        }
+    }
+
+    fn on_exception(&self, conn: Arc<dyn Conn>, _error: &Exception) -> ThreadM<()> {
+        self.shared.stats.session_errors.incr();
+        conn.close()
+    }
+}
+
+impl fmt::Debug for KvService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KvService(store={:?})", self.shared.store)
+    }
+}
+
+/// The KV server: [`KvService`] hosted on the generic event-native
+/// [`Server`], plus the janitor thread.
+pub struct KvServer {
+    server: Arc<Server<KvService>>,
+    shared: Arc<KvShared>,
 }
 
 impl KvServer {
     /// Builds a server on a socket stack.
     pub fn new(stack: Arc<dyn NetStack>, cfg: KvConfig) -> Arc<Self> {
-        Arc::new(KvServer {
-            stack,
+        let shared = Arc::new(KvShared {
             store: ShardedStore::new(cfg.store.clone()),
-            cfg,
             stats: Arc::new(ServerStats::default()),
-            shutdown: Signal::new(),
-        })
+            cfg: cfg.clone(),
+        });
+        let server = Server::new(
+            stack,
+            KvService {
+                shared: Arc::clone(&shared),
+            },
+            ServerConfig {
+                port: cfg.port,
+                recv_chunk: cfg.recv_chunk,
+                idle_timeout: cfg.idle_timeout,
+            },
+        );
+        Arc::new(KvServer { server, shared })
     }
 
     /// Initiates graceful shutdown (callable from any context): the
-    /// listener stops accepting and every session's `choose` sees the
-    /// broadcast on its next wait, closing the connection.
+    /// acceptor's `choose` closes the listener — no supervisor thread —
+    /// and every session's `choose` sees the broadcast on its next wait,
+    /// closing the connection.
     pub fn shutdown(&self) {
-        self.shutdown.fire();
+        self.server.shutdown();
     }
 
     /// The shutdown broadcast (for composing with other events).
     pub fn shutdown_signal(&self) -> &Signal {
-        &self.shutdown
+        self.server.shutdown_signal()
+    }
+
+    /// Fires once shutdown has been requested and the last session ended
+    /// (the framework's graceful-drain barrier).
+    pub fn drained_signal(&self) -> &Signal {
+        self.server.drained_signal()
+    }
+
+    /// The generic server hosting this service (lifecycle counters,
+    /// active-session count).
+    pub fn server(&self) -> &Arc<Server<KvService>> {
+        &self.server
     }
 
     /// Aggregate server counters.
     pub fn stats(&self) -> &Arc<ServerStats> {
-        &self.stats
+        &self.shared.stats
     }
 
     /// The underlying store (exposed for tests and benches).
     pub fn store(&self) -> &Arc<ShardedStore> {
-        &self.store
+        &self.shared.store
     }
 
     /// A point-in-time aggregate of the per-shard counters.
     pub fn store_snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot::gather(self.store.shard_stats())
+        self.shared.store_snapshot()
     }
 
-    /// The main server thread: listen, spawn the janitor, accept, fork one
-    /// monadic thread per client session.
+    /// The main server thread: spawn the janitor, then run the framework
+    /// server (listen + accept fan-out + session lifecycle).
     ///
-    /// Runs until the listener fails; spawn it with `Runtime::spawn` /
+    /// Runs until the listener closes; spawn it with `Runtime::spawn` /
     /// `SimRuntime::spawn`.
     pub fn run(self: &Arc<Self>) -> ThreadM<()> {
-        let srv = Arc::clone(self);
-        do_m! {
-            let listener <- srv.stack.listen(srv.cfg.port);
-            let listener = match listener {
-                Ok(l) => l,
-                Err(e) => return sys_throw(Exception::with_payload("kv listen failed", e)),
-            };
-            let sig = srv.shutdown.clone();
-            let gate = Arc::clone(&listener);
-            // Shutdown supervisor: an ordinary monadic thread syncs on the
-            // broadcast, then closes the listener so the accept loop
-            // drains out; sessions observe the same broadcast in their own
-            // `choose` and close themselves.
-            sys_fork(do_m! {
-                sig.wait();
-                sys_nbio(move || gate.shutdown())
-            });
-            let _ = if srv.cfg.janitor_interval > 0 {
-                // The janitor is an ordinary monadic thread on the same
-                // scheduler, woken by the timer wheel.
-                return do_m! {
-                    sys_fork(janitor(
-                        Arc::clone(&srv.store),
-                        srv.cfg.janitor_interval,
-                        Some(Arc::clone(&srv.stats.janitor_sweeps)),
-                    ));
-                    accept_loop(srv, listener)
-                };
-            };
-            accept_loop(srv, listener)
+        if self.shared.cfg.janitor_interval > 0 {
+            // The janitor is an ordinary monadic thread on the same
+            // scheduler, woken by the timer wheel. It watches the
+            // server's shutdown broadcast, so it also exits if `listen`
+            // fails (the framework fires the broadcast on that path) or
+            // after a graceful drain — no immortal timer client is left
+            // behind.
+            let sweep = janitor_until(
+                Arc::clone(&self.shared.store),
+                self.shared.cfg.janitor_interval,
+                Some(Arc::clone(&self.shared.stats.janitor_sweeps)),
+                self.server.shutdown_signal().clone(),
+            );
+            let server = Arc::clone(&self.server);
+            do_m! {
+                sys_fork(sweep);
+                server.run()
+            }
+        } else {
+            self.server.run()
         }
     }
 }
@@ -153,28 +263,9 @@ impl fmt::Debug for KvServer {
         write!(
             f,
             "KvServer(port={}, store={:?})",
-            self.cfg.port, self.store
+            self.shared.cfg.port, self.shared.store
         )
     }
-}
-
-fn accept_loop(srv: Arc<KvServer>, listener: Arc<dyn Listener>) -> ThreadM<()> {
-    loop_m((), move |()| {
-        let srv = Arc::clone(&srv);
-        listener.accept().bind(move |accepted| match accepted {
-            Err(_) => ThreadM::pure(Loop::Break(())),
-            Ok(conn) => {
-                srv.stats.connections.incr();
-                let session = client_session(Arc::clone(&srv), Arc::clone(&conn));
-                // An exception ends the session, never the server.
-                let guarded = sys_catch(session, move |_e| {
-                    srv.stats.session_errors.incr();
-                    conn.close()
-                });
-                sys_fork(guarded).map(|_| Loop::Continue(()))
-            }
-        })
-    })
 }
 
 /// Everything one execution batch produced: coalesced reply bytes and
@@ -184,84 +275,11 @@ struct BatchOutcome {
     quit: bool,
 }
 
-/// One client session: receive, drain every buffered command, reply once.
-///
-/// The wait point is [`session_input`] — one `choose` over socket
-/// readiness, the idle-connection deadline and the shutdown broadcast.
-fn client_session(srv: Arc<KvServer>, conn: Arc<dyn Conn>) -> ThreadM<()> {
-    // The parser rejects a declared `set` payload over the store's cap
-    // before buffering it, so a hostile byte count cannot balloon memory.
-    let parser = CommandParser::with_limits(8 * 1024, srv.cfg.store.max_value_bytes);
-    loop_m(parser, move |parser| {
-        let srv = Arc::clone(&srv);
-        let conn = Arc::clone(&conn);
-        session_input(
-            &conn,
-            srv.cfg.recv_chunk,
-            srv.cfg.idle_timeout,
-            &srv.shutdown,
-        )
-        .bind(move |input| {
-            let chunk = match input {
-                SessionInput::Data(Ok(c)) => c,
-                SessionInput::Data(Err(_)) => return ThreadM::pure(Loop::Break(())),
-                SessionInput::IdleTimeout => {
-                    // The stalled connection is reaped; live sessions are
-                    // untouched (each races its own deadline).
-                    srv.stats.idle_reaped.incr();
-                    return conn.close().map(|_| Loop::Break(()));
-                }
-                SessionInput::Shutdown => {
-                    return conn.close().map(|_| Loop::Break(()));
-                }
-            };
-            if chunk.is_empty() {
-                return conn.close().map(|_| Loop::Break(()));
-            }
-            srv.stats.bytes_in.add(chunk.len() as u64);
-            let conn2 = Arc::clone(&conn);
-            let srv2 = Arc::clone(&srv);
-            do_m! {
-                let outcome <- run_batch(Arc::clone(&srv), parser, chunk);
-                let (parser, outcome) = match outcome {
-                    Ok(v) => v,
-                    Err(flush) => {
-                        // Protocol error: flush what we have + the error
-                        // line, then close.
-                        return do_m! {
-                            send_all(&conn2, Bytes::from(flush));
-                            conn2.close();
-                            ThreadM::pure(Loop::Break(()))
-                        };
-                    }
-                };
-                let n = outcome.replies.len() as u64;
-                let sent <- if outcome.replies.is_empty() {
-                    ThreadM::pure(Ok(()))
-                } else {
-                    send_all(&conn2, Bytes::from(outcome.replies))
-                };
-                match sent {
-                    Err(_) => ThreadM::pure(Loop::Break(())),
-                    Ok(()) => {
-                        srv2.stats.bytes_out.add(n);
-                        if outcome.quit {
-                            conn2.close().map(|_| Loop::Break(()))
-                        } else {
-                            ThreadM::pure(Loop::Continue(parser))
-                        }
-                    }
-                }
-            }
-        })
-    })
-}
-
 /// Feeds `chunk`, executes every command that completes, and coalesces
 /// replies. `Err` carries bytes to flush before closing on a protocol
 /// error.
 fn run_batch(
-    srv: Arc<KvServer>,
+    srv: Arc<KvShared>,
     mut parser: CommandParser,
     chunk: Bytes,
 ) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<u8>>> {
@@ -281,7 +299,7 @@ fn run_batch(
 }
 
 fn step_batch(
-    srv: Arc<KvServer>,
+    srv: Arc<KvShared>,
     parser: CommandParser,
     parsed: Result<Option<Command>, ProtoError>,
     mut acc: BatchOutcome,
@@ -322,7 +340,7 @@ fn step_batch(
 
 /// Multi-key lookup shared by `get` (plain `VALUE` lines) and `gets`
 /// (`VALUE` lines carrying the cas-unique version stamp).
-fn lookup_reply(srv: Arc<KvServer>, keys: Vec<Bytes>, with_cas: bool) -> ThreadM<Vec<Reply>> {
+fn lookup_reply(srv: Arc<KvShared>, keys: Vec<Bytes>, with_cas: bool) -> ThreadM<Vec<Reply>> {
     let store = Arc::clone(&srv.store);
     let keys = Arc::new(keys);
     do_m! {
@@ -369,7 +387,7 @@ fn proto_entry(now: Nanos, flags: u32, exptime: u64, value: Bytes) -> Entry {
 }
 
 /// Executes one command against the store.
-fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
+fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
     match cmd {
         Command::Get { keys } => lookup_reply(srv, keys, false),
         Command::Gets { keys } => lookup_reply(srv, keys, true),
@@ -426,6 +444,19 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
                     })
             }
         }
+        Command::Append { key, value, .. } => concat_reply(srv, key, value, false),
+        Command::Prepend { key, value, .. } => concat_reply(srv, key, value, true),
+        Command::Touch { key, exptime, .. } => {
+            let store = Arc::clone(&srv.store);
+            do_m! {
+                let now <- sys_time();
+                store
+                    .touch(key, ShardedStore::deadline(now, exptime), now)
+                    .map(|touched| {
+                        vec![if touched { Reply::Touched } else { Reply::NotFound }]
+                    })
+            }
+        }
         Command::Delete { key, .. } => {
             let store = Arc::clone(&srv.store);
             do_m! {
@@ -451,6 +482,9 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
                 Reply::Stat("get_misses".into(), snap.misses.to_string()),
                 Reply::Stat("sets".into(), snap.sets.to_string()),
                 Reply::Stat("deletes".into(), snap.deletes.to_string()),
+                Reply::Stat("appends".into(), snap.appends.to_string()),
+                Reply::Stat("prepends".into(), snap.prepends.to_string()),
+                Reply::Stat("touches".into(), snap.touches.to_string()),
                 Reply::Stat("cas_hits".into(), snap.cas_hits.to_string()),
                 Reply::Stat("cas_badval".into(), snap.cas_badval.to_string()),
                 Reply::Stat("cas_misses".into(), snap.cas_misses.to_string()),
@@ -487,7 +521,7 @@ fn execute(srv: Arc<KvServer>, cmd: Command) -> ThreadM<Vec<Reply>> {
 
 /// `add` / `replace`: the occupancy-guarded stores.
 fn guarded_store_reply(
-    srv: Arc<KvServer>,
+    srv: Arc<KvShared>,
     key: Bytes,
     flags: u32,
     exptime: u64,
@@ -510,8 +544,31 @@ fn guarded_store_reply(
     }
 }
 
+/// `append` / `prepend`: concatenation onto an existing live value.
+fn concat_reply(
+    srv: Arc<KvShared>,
+    key: Bytes,
+    value: Bytes,
+    prepend: bool,
+) -> ThreadM<Vec<Reply>> {
+    if value.len() > srv.store.config().max_value_bytes {
+        return ThreadM::pure(vec![Reply::ClientError("value too large")]);
+    }
+    let store = Arc::clone(&srv.store);
+    do_m! {
+        let now <- sys_time();
+        store.concat(key, value, prepend, now).map(|outcome| {
+            vec![match outcome {
+                ConcatOutcome::Stored => Reply::Stored,
+                ConcatOutcome::Missing => Reply::NotStored,
+                ConcatOutcome::TooLarge => Reply::ClientError("value too large"),
+            }]
+        })
+    }
+}
+
 fn counter_reply(
-    srv: Arc<KvServer>,
+    srv: Arc<KvShared>,
     key: Bytes,
     delta: u64,
     negative: bool,

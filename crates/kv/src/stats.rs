@@ -116,6 +116,12 @@ pub struct ShardStats {
     pub deletes: Counter,
     /// Successful `incr`/`decr`s.
     pub counter_ops: Counter,
+    /// `append`s that concatenated onto a live entry.
+    pub appends: Counter,
+    /// `prepend`s that concatenated onto a live entry.
+    pub prepends: Counter,
+    /// `touch`es that re-deadlined a live entry.
+    pub touches: Counter,
     /// `cas` operations that stored (stamp matched).
     pub cas_hits: Counter,
     /// `cas` operations rejected because the entry changed (`EXISTS`).
@@ -165,6 +171,12 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     /// Sum of shard counter ops.
     pub counter_ops: u64,
+    /// Sum of shard appends.
+    pub appends: u64,
+    /// Sum of shard prepends.
+    pub prepends: u64,
+    /// Sum of shard touches.
+    pub touches: u64,
     /// Sum of stored `cas` ops.
     pub cas_hits: u64,
     /// Sum of `cas` ops rejected with `EXISTS`.
@@ -187,6 +199,9 @@ impl StatsSnapshot {
             s.sets += sh.sets.get();
             s.deletes += sh.deletes.get();
             s.counter_ops += sh.counter_ops.get();
+            s.appends += sh.appends.get();
+            s.prepends += sh.prepends.get();
+            s.touches += sh.touches.get();
             s.cas_hits += sh.cas_hits.get();
             s.cas_badval += sh.cas_badval.get();
             s.cas_misses += sh.cas_misses.get();

@@ -94,6 +94,19 @@ pub enum CasOutcome {
     NotFound,
 }
 
+/// Outcome of an `append`/`prepend` (concatenation onto an existing
+/// value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcatOutcome {
+    /// A live entry existed; the bytes were concatenated and the entry
+    /// re-stamped.
+    Stored,
+    /// No live entry under the key (memcached answers `NOT_STORED`).
+    Missing,
+    /// The combined value would exceed [`StoreConfig::max_value_bytes`].
+    TooLarge,
+}
+
 /// Outcome of an `incr`/`decr`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterResult {
@@ -495,6 +508,145 @@ impl ShardedStore {
                 CasOutcome::NotFound => st.cas_misses.incr(),
             }
             outcome
+        })
+    }
+
+    /// Concatenates `data` onto the live entry at `key` — after it when
+    /// `prepend` is false (`append`), before it otherwise. Per memcached,
+    /// a miss (or expired entry) stores nothing and the surviving entry
+    /// keeps its flags and deadline; the value is re-stamped on success.
+    /// The combined length is capped at
+    /// [`StoreConfig::max_value_bytes`].
+    pub fn concat(
+        self: &Arc<Self>,
+        key: Bytes,
+        data: Bytes,
+        prepend: bool,
+        now: Nanos,
+    ) -> ThreadM<ConcatOutcome> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let version = self.stamp();
+        let cap = self.cfg.max_value_bytes;
+        let stm_key = key.clone();
+        let stm_data = data.clone();
+        let probe = move |map: &ShardMap| -> ConcatOutcome {
+            match map.get(stm_key.as_ref()) {
+                None => ConcatOutcome::Missing,
+                Some(e) if e.is_expired(now) => ConcatOutcome::Missing,
+                Some(e) if e.value.len() + stm_data.len() > cap => ConcatOutcome::TooLarge,
+                Some(_) => ConcatOutcome::Stored,
+            }
+        };
+        let stm_probe = probe.clone();
+        let apply = move |map: &mut ShardMap| -> ConcatOutcome {
+            let outcome = probe(map);
+            if outcome == ConcatOutcome::Stored {
+                let e = map.get_mut(key.as_ref()).expect("probed live");
+                let mut joined = Vec::with_capacity(e.value.len() + data.len());
+                if prepend {
+                    joined.extend_from_slice(&data);
+                    joined.extend_from_slice(&e.value);
+                } else {
+                    joined.extend_from_slice(&e.value);
+                    joined.extend_from_slice(&data);
+                }
+                e.value = Bytes::from(joined);
+                e.version = version;
+            }
+            outcome
+        };
+        let result = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    apply(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                self.stm_atomically(move |txn| {
+                    let snapshot = txn.read(&cell)?;
+                    // Read-only fast paths: only a live, in-cap entry pays
+                    // the copy-on-write.
+                    let outcome = stm_probe(&snapshot);
+                    if outcome != ConcatOutcome::Stored {
+                        return Ok(outcome);
+                    }
+                    let mut map = (*snapshot).clone();
+                    let outcome = apply(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(outcome)
+                })
+            }
+        };
+        result.map(move |outcome| {
+            if outcome == ConcatOutcome::Stored {
+                if prepend {
+                    this.stats[idx].prepends.incr();
+                } else {
+                    this.stats[idx].appends.incr();
+                }
+            }
+            outcome
+        })
+    }
+
+    /// Re-deadlines the live entry at `key` to `expires_at` without
+    /// touching its value or flags — the `touch` command. The entry is
+    /// re-stamped (one version per mutating op, the store-wide rule).
+    /// Returns `true` when a live entry was touched.
+    pub fn touch(
+        self: &Arc<Self>,
+        key: Bytes,
+        expires_at: Option<Nanos>,
+        now: Nanos,
+    ) -> ThreadM<bool> {
+        let this = Arc::clone(self);
+        let idx = self.shard_of(&key);
+        let version = self.stamp();
+        let stm_key = key.clone();
+        let apply = move |map: &mut ShardMap| -> bool {
+            match map.get_mut(key.as_ref()) {
+                Some(e) if !e.is_expired(now) => {
+                    e.expires_at = expires_at;
+                    e.version = version;
+                    true
+                }
+                _ => false,
+            }
+        };
+        let touched = match &self.shards {
+            Shards::Mutex(shards) => {
+                let shard = &shards[idx];
+                let map = Arc::clone(&shard.map);
+                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                    apply(&mut map.lock())
+                }))
+            }
+            Shards::Stm(shards) => {
+                let cell = shards[idx].cell.clone();
+                self.stm_atomically(move |txn| {
+                    let snapshot = txn.read(&cell)?;
+                    let live = snapshot
+                        .get(stm_key.as_ref())
+                        .is_some_and(|e| !e.is_expired(now));
+                    if !live {
+                        return Ok(false); // read-only fast path: no COW
+                    }
+                    let mut map = (*snapshot).clone();
+                    let touched = apply(&mut map);
+                    txn.write(&cell, Arc::new(map));
+                    Ok(touched)
+                })
+            }
+        };
+        touched.map(move |touched| {
+            if touched {
+                this.stats[idx].touches.incr();
+            }
+            touched
         })
     }
 

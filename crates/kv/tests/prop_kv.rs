@@ -9,7 +9,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use eveth_core::time::SECS;
 use eveth_kv::protocol::{Command, CommandParser, Reply, ReplyParser};
-use eveth_kv::store::{Backend, CasOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
+use eveth_kv::store::{
+    Backend, CasOutcome, ConcatOutcome, CounterResult, Entry, ShardedStore, StoreConfig,
+};
 use eveth_simos::SimRuntime;
 use proptest::prelude::*;
 
@@ -41,6 +43,18 @@ enum Op {
         key: String,
         value: Vec<u8>,
         stale: bool,
+    },
+    Append {
+        key: String,
+        value: Vec<u8>,
+    },
+    Prepend {
+        key: String,
+        value: Vec<u8>,
+    },
+    Touch {
+        key: String,
+        ttl_secs: u64,
     },
     Get {
         key: String,
@@ -84,6 +98,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
             value,
             stale
         }),
+        (arb_key(), val()).prop_map(|(key, value)| Op::Append { key, value }),
+        (arb_key(), val()).prop_map(|(key, value)| Op::Prepend { key, value }),
+        (arb_key(), 0u64..4).prop_map(|(key, ttl_secs)| Op::Touch { key, ttl_secs }),
         arb_key().prop_map(|key| Op::Get { key }),
         arb_key().prop_map(|key| Op::Gets { key }),
         arb_key().prop_map(|key| Op::Delete { key }),
@@ -256,6 +273,59 @@ proptest! {
                         }
                         Some(_) => {
                             prop_assert_eq!(outcome, CasOutcome::Exists, "stale cas for {}", key);
+                        }
+                    }
+                }
+                op @ (Op::Append { .. } | Op::Prepend { .. }) => {
+                    let (key, value, is_prepend) = match op {
+                        Op::Append { key, value } => (key, value, false),
+                        Op::Prepend { key, value } => (key, value, true),
+                        _ => unreachable!(),
+                    };
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let outcome = sim
+                        .block_on(st.concat(k, Bytes::from(value.clone()), is_prepend, now))
+                        .unwrap();
+                    let version = model.stamp();
+                    model.expire(&key, now);
+                    match model.map.get_mut(&key) {
+                        None => prop_assert_eq!(
+                            outcome,
+                            ConcatOutcome::Missing,
+                            "concat on dead {}",
+                            key
+                        ),
+                        Some(slot) => {
+                            // Test values are ≤ 32 bytes against a 1 MiB
+                            // cap, so TooLarge is unreachable here.
+                            prop_assert_eq!(outcome, ConcatOutcome::Stored, "concat {}", key);
+                            if is_prepend {
+                                let mut joined = value;
+                                joined.extend_from_slice(&slot.value);
+                                slot.value = joined;
+                            } else {
+                                slot.value.extend_from_slice(&value);
+                            }
+                            // Concatenation keeps flags and deadline but
+                            // re-stamps the entry.
+                            slot.version = version;
+                        }
+                    }
+                }
+                Op::Touch { key, ttl_secs } => {
+                    let st = Arc::clone(&store);
+                    let k = Bytes::from(key.clone().into_bytes());
+                    let deadline = ShardedStore::deadline(now, ttl_secs);
+                    let touched = sim.block_on(st.touch(k, deadline, now)).unwrap();
+                    let version = model.stamp();
+                    model.expire(&key, now);
+                    match model.map.get_mut(&key) {
+                        None => prop_assert!(!touched, "touch on dead {}", key),
+                        Some(slot) => {
+                            prop_assert!(touched, "touch on live {}", key);
+                            slot.deadline = deadline;
+                            slot.version = version;
                         }
                     }
                 }

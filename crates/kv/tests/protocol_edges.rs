@@ -204,3 +204,52 @@ fn wrapped_counter_remains_usable() {
         );
     }
 }
+
+#[test]
+fn append_prepend_touch_over_the_wire() {
+    for stack in STACKS {
+        let reply = run_session(
+            stack,
+            1024,
+            &[
+                b"set k 5 0 3\r\nmid\r\n",
+                b"append k 0 0 4\r\n-end\r\n",
+                b"prepend k 9 0 4\r\npre-\r\n",
+                b"append missing 0 0 1\r\nx\r\n",
+                b"touch k 120\r\n",
+                b"touch missing 5\r\n",
+                b"get k\r\nquit\r\n",
+            ],
+        );
+        // Concatenation preserves the entry's own flags (5) even though
+        // the append/prepend lines carried 0 and 9.
+        assert_eq!(
+            reply,
+            "STORED\r\nSTORED\r\nSTORED\r\nNOT_STORED\r\nTOUCHED\r\nNOT_FOUND\r\n\
+             VALUE k 5 11\r\npre-mid-end\r\nEND\r\n",
+            "{stack:?}"
+        );
+    }
+}
+
+#[test]
+fn append_over_the_value_cap_is_rejected_without_storing() {
+    for stack in STACKS {
+        let reply = run_session(
+            stack,
+            8,
+            &[
+                b"set k 0 0 6\r\nsixsix\r\n",
+                b"append k 0 0 4\r\nmore\r\n", // 6 + 4 > 8: rejected
+                b"append k 0 0 2\r\nok\r\n",   // 6 + 2 == 8: at the cap
+                b"get k\r\nquit\r\n",
+            ],
+        );
+        assert_eq!(
+            reply,
+            "STORED\r\nCLIENT_ERROR value too large\r\nSTORED\r\n\
+             VALUE k 0 8\r\nsixsixok\r\nEND\r\n",
+            "{stack:?}"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! * [`cost`] — CPU cost models: the application-level monadic runtime vs.
 //!   Linux NPTL kernel threads vs. an Apache-style worker (how the paired
 //!   lines of Figures 17–19 are produced);
-//! * [`desrt`] — [`SimRuntime`](desrt::SimRuntime), the core scheduler
+//! * [`desrt`] — [`SimRuntime`], the core scheduler
 //!   engine driven by virtual time;
 //! * [`disk`] — a seek-accurate disk with a C-LOOK elevator (Figure 17's
 //!   mechanism) modelled on the paper's 7200 RPM 80 GB EIDE drive;
@@ -20,7 +20,7 @@
 //!
 //! The same monadic programs run unchanged on
 //! [`Runtime`](eveth_core::runtime::Runtime) (wall clock) and
-//! [`SimRuntime`](desrt::SimRuntime) (virtual time): the bench harnesses in
+//! [`SimRuntime`] (virtual time): the bench harnesses in
 //! `eveth-bench` exploit this to rerun one workload under several cost
 //! models.
 

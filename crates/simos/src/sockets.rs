@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
+use eveth_core::net::{queue_accept_evt, Conn, Endpoint, HostId, Listener, NetError, NetStack};
 use eveth_core::reactor::{AcceptQueue, Fd, Interest, InterestWaiters, Pollable, Waiter};
 use eveth_core::syscall::{sys_epoll_wait, sys_nbio, sys_sleep};
 use eveth_core::time::Nanos;
@@ -335,47 +335,24 @@ impl fmt::Debug for SimConn {
 
 struct ListenerInner {
     endpoint: Endpoint,
-    queue: AcceptQueue<Arc<SimConn>>,
-}
-
-/// A listening socket is read-ready when its backlog holds a connection
-/// (or it was shut down) — accept blocks via the same `sys_epoll_wait`
-/// primitive as data transfer, per the paper's `sock_accept` (Figure 10).
-/// [`AcceptQueue`] synchronizes push/close/register on one lock, so no
-/// wakeup is lost to a concurrent connect *or* shutdown.
-impl Pollable for ListenerInner {
-    fn register(&self, _interest: Interest, waiter: Waiter) {
-        self.queue.register(waiter);
-    }
+    queue: Arc<AcceptQueue<Arc<SimConn>>>,
 }
 
 struct SimListener {
     inner: Arc<ListenerInner>,
     fabric: Arc<SocketFabric>,
-    fd: Fd,
 }
 
+/// A listening socket's accept is the composable backlog event
+/// ([`queue_accept_evt`]): ready when the backlog holds a connection or
+/// the listener was shut down, so an acceptor `choose`s accept against a
+/// shutdown broadcast with no supervisor thread. [`AcceptQueue`]
+/// synchronizes push/close/register on one lock, so no wakeup is lost to
+/// a concurrent connect *or* shutdown; the blocking `accept` is the
+/// trait-provided `sync(accept_evt())`.
 impl Listener for SimListener {
-    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
-        let inner = Arc::clone(&self.inner);
-        let fd = self.fd.clone();
-        loop_m((), move |()| {
-            let try_inner = Arc::clone(&inner);
-            let fd = fd.clone();
-            sys_nbio(move || {
-                if let Some(c) = try_inner.queue.pop() {
-                    return Some(Ok(c as Arc<dyn Conn>));
-                }
-                if try_inner.queue.is_closed() {
-                    return Some(Err(NetError::Closed));
-                }
-                None
-            })
-            .bind(move |got| match got {
-                Some(res) => ThreadM::pure(Loop::Break(res)),
-                None => sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(())),
-            })
-        })
+    fn accept_evt(&self) -> eveth_core::event::Event<Result<Arc<dyn Conn>, NetError>> {
+        queue_accept_evt(Arc::clone(&self.inner.queue), |c| c as Arc<dyn Conn>)
     }
 
     fn local(&self) -> Endpoint {
@@ -416,14 +393,12 @@ impl NetStack for SimSocketStack {
             }
             let inner = Arc::new(ListenerInner {
                 endpoint,
-                queue: AcceptQueue::new(),
+                queue: Arc::new(AcceptQueue::new()),
             });
             st.listeners.insert(endpoint, Arc::clone(&inner));
-            let fd = Fd::new(Arc::clone(&inner) as Arc<dyn Pollable>);
             Ok(Arc::new(SimListener {
                 inner,
                 fabric: Arc::clone(&fabric),
-                fd,
             }) as Arc<dyn Listener>)
         })
     }

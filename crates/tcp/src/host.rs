@@ -6,7 +6,7 @@
 //! threads — one draining the inbound packet queue, one driving timers —
 //! and a library of socket operations that park/resume application threads
 //! on TCB state changes. [`TcpHost`] implements
-//! [`NetStack`](eveth_core::net::NetStack), so a server switches from
+//! [`NetStack`] — so a server switches from
 //! kernel sockets to this stack by changing one line.
 
 use std::collections::HashMap;
@@ -16,7 +16,7 @@ use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
 use eveth_core::engine::{spawn_thread, RuntimeCtx};
-use eveth_core::net::{Conn, Endpoint, HostId, Listener, NetError, NetStack};
+use eveth_core::net::{queue_accept_evt, Conn, Endpoint, HostId, Listener, NetError, NetStack};
 use eveth_core::reactor::{AcceptQueue, Fd, Interest, Pollable, Waiter};
 use eveth_core::sync::Chan;
 use eveth_core::syscall::{sys_epoll_wait, sys_nbio, sys_sleep, sys_time};
@@ -57,17 +57,7 @@ pub struct TcpStats {
 
 struct ListenerInner {
     port: u16,
-    queue: AcceptQueue<Arc<TcpConn>>,
-}
-
-/// Accept-readiness: the listening socket reads ready when the backlog
-/// holds an established connection or the listener was shut down
-/// ([`AcceptQueue`] synchronizes push/close/register on one lock, so no
-/// wakeup is lost to a concurrent promotion *or* shutdown).
-impl Pollable for ListenerInner {
-    fn register(&self, _interest: Interest, waiter: Waiter) {
-        self.queue.register(waiter);
-    }
+    queue: Arc<AcceptQueue<Arc<TcpConn>>>,
 }
 
 /// One host's application-level TCP stack.
@@ -497,30 +487,16 @@ impl fmt::Debug for TcpConn {
 pub struct TcpListener {
     host: Arc<TcpHost>,
     inner: Arc<ListenerInner>,
-    fd: Fd,
 }
 
+/// Accept is the composable backlog event ([`queue_accept_evt`]): ready
+/// when the backlog holds an established connection or the listener was
+/// shut down ([`AcceptQueue`] synchronizes push/close/register on one
+/// lock, so no wakeup is lost to a concurrent promotion *or* shutdown).
+/// The blocking `accept` is the trait-provided `sync(accept_evt())`.
 impl Listener for TcpListener {
-    fn accept(&self) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
-        let inner = Arc::clone(&self.inner);
-        let fd = self.fd.clone();
-        loop_m((), move |()| {
-            let try_inner = Arc::clone(&inner);
-            let fd = fd.clone();
-            sys_nbio(move || {
-                if let Some(c) = try_inner.queue.pop() {
-                    return Some(Ok(c as Arc<dyn Conn>));
-                }
-                if try_inner.queue.is_closed() {
-                    return Some(Err(NetError::Closed));
-                }
-                None
-            })
-            .bind(move |got| match got {
-                Some(r) => ThreadM::pure(Loop::Break(r)),
-                None => sys_epoll_wait(&fd, Interest::Read).map(|_| Loop::Continue(())),
-            })
-        })
+    fn accept_evt(&self) -> eveth_core::event::Event<Result<Arc<dyn Conn>, NetError>> {
+        queue_accept_evt(Arc::clone(&self.inner.queue), |c| c as Arc<dyn Conn>)
     }
 
     fn local(&self) -> Endpoint {
@@ -549,15 +525,13 @@ impl NetStack for TcpHost {
             }
             let inner = Arc::new(ListenerInner {
                 port,
-                queue: AcceptQueue::new(),
+                queue: Arc::new(AcceptQueue::new()),
             });
             listeners.insert(port, Arc::clone(&inner));
             drop(listeners);
-            let fd = Fd::new(Arc::clone(&inner) as Arc<dyn Pollable>);
             Ok(Arc::new(TcpListener {
                 host: Arc::clone(&host),
                 inner,
-                fd,
             }) as Arc<dyn Listener>)
         })
     }

@@ -1,18 +1,23 @@
 //! A concurrent echo server over the application-level TCP stack, on the
-//! deterministic simulated network.
+//! deterministic simulated network — written as a [`Service`] on the
+//! event-native service framework.
 //!
 //! Run with: `cargo run --example echo_server`
 //!
-//! One monadic thread per client; the TCP stack's `worker_tcp_input` and
-//! `worker_tcp_timer` event loops run beside them in the same runtime —
-//! the whole "operating system" is application code (paper §6.3). The link
-//! drops 3% of segments to show retransmission at work.
+//! The framework's generic `Server<S>` owns the whole lifecycle (listen,
+//! the accept/shutdown `choose`, one monadic thread per client, graceful
+//! drain); the service below is just "send every chunk back". The TCP
+//! stack's `worker_tcp_input` and `worker_tcp_timer` event loops run
+//! beside the sessions in the same runtime — the whole "operating system"
+//! is application code (paper §6.3). The link drops 3% of segments to
+//! show retransmission at work.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eveth::core::net::{recv_exact, send_all, Endpoint, HostId, NetStack};
+use eveth::core::net::{recv_exact, send_all, Conn, Endpoint, HostId, NetStack};
+use eveth::core::service::{Server, ServerConfig, Service, Step};
 use eveth::core::syscall::*;
 use eveth::glue;
 use eveth::simos::net::{LinkParams, SimNet};
@@ -24,6 +29,25 @@ const CLIENTS: u32 = 16;
 const ROUNDS: usize = 8;
 const MSG: usize = 2_000;
 
+/// The whole echo protocol: stateless sessions, every chunk sent back.
+struct EchoService {
+    echoed_chunks: AtomicU64,
+}
+
+impl Service for EchoService {
+    type Session = ();
+
+    fn open(&self, _conn: &Arc<dyn Conn>) {}
+
+    fn on_chunk(&self, conn: Arc<dyn Conn>, _session: (), chunk: Bytes) -> ThreadM<Step<()>> {
+        self.echoed_chunks.fetch_add(1, Ordering::Relaxed);
+        send_all(&conn, chunk).map(|sent| match sent {
+            Ok(()) => Step::Continue(()),
+            Err(_) => Step::Close,
+        })
+    }
+}
+
 fn main() {
     let sim = SimRuntime::new_default();
     let net = SimNet::new(
@@ -34,20 +58,18 @@ fn main() {
     let server_host = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(1), TcpConfig::default());
     let client_host = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(2), TcpConfig::default());
 
-    // --- Server: accept loop forking an echo thread per connection.
-    let srv = Arc::clone(&server_host);
-    sim.spawn(do_m! {
-        let lst <- srv.listen(7);
-        let lst = lst.expect("bind echo port");
-        eveth::forever_m(move || {
-            let lst = Arc::clone(&lst);
-            do_m! {
-                let conn <- lst.accept();
-                let conn = conn.expect("accept");
-                sys_fork(echo_session(conn))
-            }
-        })
-    });
+    // --- Server: the framework owns accept fan-out and session lifecycle.
+    let server = Server::new(
+        server_host as Arc<dyn NetStack>,
+        EchoService {
+            echoed_chunks: AtomicU64::new(0),
+        },
+        ServerConfig {
+            port: 7,
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
 
     // --- Clients: each sends MSG bytes ROUNDS times and checks the echo.
     let done = Arc::new(AtomicU64::new(0));
@@ -84,20 +106,26 @@ fn main() {
         });
     }
 
-    // Drive the simulation until every client finished.
+    // Drive the simulation until every client finished, then shut the
+    // server down gracefully and wait on the framework's drain barrier.
     let watch = Arc::clone(&done);
-    sim.block_on(loop_m((), move |()| {
-        let watch = Arc::clone(&watch);
-        do_m! {
-            sys_sleep(10 * eveth::core::time::MILLIS);
-            let finished <- sys_nbio(move || watch.load(Ordering::SeqCst));
-            ThreadM::pure(if finished == CLIENTS as u64 {
-                Loop::Break(())
-            } else {
-                Loop::Continue(())
-            })
-        }
-    }))
+    let srv = Arc::clone(&server);
+    sim.block_on(do_m! {
+        loop_m((), move |()| {
+            let watch = Arc::clone(&watch);
+            do_m! {
+                sys_sleep(10 * eveth::core::time::MILLIS);
+                let finished <- sys_nbio(move || watch.load(Ordering::SeqCst));
+                ThreadM::pure(if finished == CLIENTS as u64 {
+                    Loop::Break(())
+                } else {
+                    Loop::Continue(())
+                })
+            }
+        });
+        let _ = srv.shutdown();
+        eveth::core::event::sync(srv.drained_signal().wait_evt())
+    })
     .expect("simulation completed");
 
     let retr: u64 = net.stats().dropped.load(Ordering::Relaxed);
@@ -111,6 +139,12 @@ fn main() {
         net.stats().sent.load(Ordering::Relaxed),
         retr
     );
+    println!(
+        "server: {} connections accepted, {} chunks echoed, drained with {} sessions left",
+        server.stats().accepted.load(Ordering::SeqCst),
+        server.service().echoed_chunks.load(Ordering::Relaxed),
+        server.active()
+    );
     assert_eq!(
         echoed_bytes.load(Ordering::SeqCst),
         (CLIENTS as u64) * (ROUNDS as u64) * MSG as u64
@@ -119,18 +153,5 @@ fn main() {
         retr > 0,
         "with 3% loss some segments must have been dropped"
     );
-}
-
-fn echo_session(conn: Arc<dyn eveth::core::net::Conn>) -> ThreadM<()> {
-    loop_m((), move |()| {
-        let conn2 = Arc::clone(&conn);
-        conn.recv(64 * 1024).bind(move |data| match data {
-            Ok(data) if data.is_empty() => conn2.close().map(|_| Loop::Break(())),
-            Ok(data) => send_all(&conn2, data).map(|res| match res {
-                Ok(()) => Loop::Continue(()),
-                Err(_) => Loop::Break(()),
-            }),
-            Err(_) => ThreadM::pure(Loop::Break(())),
-        })
-    })
+    assert_eq!(server.active(), 0, "graceful drain left no session behind");
 }

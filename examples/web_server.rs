@@ -1,6 +1,10 @@
 //! The paper's case study (§5.2): a static web server with its own AIO
 //! cache, switchable between the kernel-socket model and the
-//! application-level TCP stack by one line.
+//! application-level TCP stack by one line. `WebServer` is a thin
+//! `Service` implementation hosted on the generic `Server<S>` of
+//! `eveth_core::service`, so this demo also exercises the event-native
+//! framework end to end (accept fan-out, per-session `choose`, graceful
+//! drain).
 //!
 //! Run with:
 //! ```text
@@ -99,6 +103,14 @@ fn main() {
         }
     }))
     .expect("load completed");
+
+    // Graceful drain through the framework: close the listener via the
+    // acceptor's choose, let every keep-alive session observe the
+    // broadcast, and wait on the drain barrier.
+    server.shutdown();
+    sim.block_on(eveth::core::event::sync(server.drained_signal().wait_evt()))
+        .expect("drain barrier");
+    assert_eq!(server.server().active(), 0, "drained");
 
     let secs = sim.now() as f64 / 1e9;
     let bytes = stats.bytes.load(Ordering::Relaxed);
