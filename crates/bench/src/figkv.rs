@@ -29,7 +29,7 @@
 //! Run: `cargo bench --bench fig_kv` (EVETH_FULL=1 for the larger sweep).
 
 use crate::tables::{banner, count, write_json_rows, JsonVal};
-use crate::workloads::{kv_server_run, KvRunParams, KvRunResult};
+use crate::workloads::{kv_server_run, kv_trace_run, KvRunParams, KvRunResult};
 use eveth_simos::cost::CostModel;
 
 struct Sweep {
@@ -287,6 +287,64 @@ pub fn run() {
     println!("with clients until the simulated CPUs saturate, and — in the");
     println!("contention sweep — with shard count once cpus >= 4, because the");
     println!("single hot shard lock serializes what disjoint shards overlap.");
+
+    maybe_export_trace();
+}
+
+/// The deterministic trace cell behind `EVETH_TRACE_OUT`: small enough to
+/// run in seconds, contended enough that the flight recorder sees every
+/// event class (I/O parks, shard-lock parks, timer sleeps, session spans).
+/// Kept fixed so CI can assert the export is byte-identical across runs.
+fn trace_cell() -> KvRunParams {
+    KvRunParams {
+        cost: CostModel::monadic(),
+        cpus: 4,
+        slice: 8,
+        app_tcp: false,
+        loopback: true,
+        shards: 1,
+        stm: false,
+        clients: 32,
+        batches_per_conn: 4,
+        pipeline_depth: 8,
+        set_percent: 30,
+        keys: 64,
+        value_bytes: 100,
+        seed: 11,
+    }
+}
+
+/// When `EVETH_TRACE_OUT` names a path, rerun one fixed KV cell with the
+/// telemetry fabric attached and drop the Chrome trace JSON there, plus
+/// the debug service's `/metrics` body at `<path>.metrics.txt`. Both
+/// artifacts are functions of (params, seed) only — virtual time stamps,
+/// deterministic scheduling — so reruns produce identical bytes.
+fn maybe_export_trace() {
+    let Ok(out) = std::env::var("EVETH_TRACE_OUT") else {
+        return;
+    };
+    if out.is_empty() {
+        return;
+    }
+    let art = kv_trace_run(&trace_cell());
+    let trace_path = std::path::PathBuf::from(&out);
+    let metrics_path = std::path::PathBuf::from(format!("{out}.metrics.txt"));
+    for (path, body) in [
+        (&trace_path, art.chrome_json.as_str()),
+        (&metrics_path, art.metrics_body.as_str()),
+    ] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "\ntrace export: {} ({} events recorded, {} dropped) + {}",
+        trace_path.display(),
+        art.telemetry.recorder().recorded(),
+        art.telemetry.recorder().dropped(),
+        metrics_path.display()
+    );
 }
 
 /// The workspace root: prefer CARGO env (set under `cargo bench`), falling

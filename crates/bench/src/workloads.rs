@@ -466,6 +466,196 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
     }
 }
 
+/// Artifacts of [`kv_trace_run`]: the Chrome-trace export, the debug
+/// service's `/metrics` and `/threads` bodies fetched over real (virtual)
+/// connections, and the final report + telemetry hub for reconciliation.
+pub struct KvTraceArtifacts {
+    /// `TraceExport::to_chrome_json` over the whole run — Perfetto/
+    /// `chrome://tracing` loadable, byte-identical across reruns at the
+    /// same seed and configuration.
+    pub chrome_json: String,
+    /// Body of `GET /metrics` served by the mounted [`DebugService`](eveth_core::telemetry::DebugService)
+    /// (text exposition format).
+    pub metrics_body: String,
+    /// Body of `GET /threads` (the live span table).
+    pub threads_body: String,
+    /// The runtime's own report, for reconciling against span sums.
+    pub report: eveth_simos::SimReport,
+    /// The telemetry hub the run recorded into.
+    pub telemetry: Arc<eveth_core::telemetry::Telemetry>,
+}
+
+impl std::fmt::Debug for KvTraceArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KvTraceArtifacts(chrome_json={}B, metrics={}B)",
+            self.chrome_json.len(),
+            self.metrics_body.len()
+        )
+    }
+}
+
+/// One `GET` against the debug service: connect, send the request line,
+/// read to EOF (the service closes after one response), return the body.
+fn debug_get(stack: &Arc<dyn NetStack>, ep: Endpoint, target: &str) -> ThreadM<Vec<u8>> {
+    use eveth_core::net::send_all;
+    let stack = Arc::clone(stack);
+    let req = bytes::Bytes::from(format!("GET {target} HTTP/1.0\r\n\r\n"));
+    do_m! {
+        let conn <- stack.connect(ep);
+        let conn = conn.expect("debug service reachable");
+        let sent <- send_all(&conn, req);
+        let _ = sent.expect("request sent");
+        loop_m((Vec::new(), conn), move |(mut acc, conn)| {
+            conn.recv(16 * 1024).map(move |res| match res {
+                Ok(chunk) if chunk.is_empty() => Loop::Break(acc),
+                Ok(chunk) => {
+                    acc.extend_from_slice(&chunk);
+                    Loop::Continue((acc, conn))
+                }
+                Err(_) => Loop::Break(acc),
+            })
+        })
+    }
+}
+
+/// Strips the HTTP/1.0 head off a debug-service response.
+fn http_body(raw: &[u8]) -> String {
+    let text = String::from_utf8_lossy(raw);
+    match text.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => text.into_owned(),
+    }
+}
+
+/// The observability variant of [`kv_server_run`]: the same KV cell with a
+/// telemetry hub attached to the runtime and both servers, a
+/// [`DebugService`](eveth_core::telemetry::DebugService) mounted beside
+/// the KV server on the same host, and a real client fetch of `/metrics`
+/// and `/threads` at the end of the load. Returns the exported artifacts
+/// instead of throughput numbers. Always uses the kernel-socket fabric
+/// (`app_tcp` is ignored): the cell exists to exercise the telemetry
+/// path, not the socket-layer sweep.
+pub fn kv_trace_run(p: &KvRunParams) -> KvTraceArtifacts {
+    use eveth_core::service::{Server, ServerConfig as DebugServerConfig};
+    use eveth_core::telemetry::{DebugService, Telemetry, TraceExport};
+    use eveth_kv::loadgen::{client_thread, KvLoadConfig, KvLoadStats};
+    use eveth_kv::server::{KvConfig, KvServer};
+    use eveth_kv::store::{Backend, StoreConfig};
+
+    const DEBUG_PORT: u16 = 11280;
+
+    let sim = sim_with_config(p.cost.clone(), p.cpus, p.slice);
+    let telemetry = Telemetry::new();
+    assert!(sim.set_telemetry(Arc::clone(&telemetry)));
+
+    let link = if p.loopback {
+        eveth_simos::net::LinkParams::loopback()
+    } else {
+        eveth_simos::net::LinkParams::ethernet_100mbps()
+    };
+    let fabric = SocketFabric::new(
+        sim.clock(),
+        FabricParams {
+            link,
+            ..FabricParams::default()
+        },
+    );
+    let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) =
+        (fabric.stack(HostId(1)), fabric.stack(HostId(2)));
+
+    let server = KvServer::new(
+        Arc::clone(&server_stack),
+        KvConfig {
+            port: 11211,
+            store: StoreConfig {
+                shards: p.shards,
+                backend: if p.stm { Backend::Stm } else { Backend::Mutex },
+                ..Default::default()
+            },
+            // Exercise the bounded-send reply path (the deadline is far
+            // above any virtual transfer time, so the count stays 0 — but
+            // the metric is live and the `send_all_within` race runs).
+            send_timeout: 50 * MILLIS,
+            ..Default::default()
+        },
+    );
+    server.attach_telemetry(&telemetry);
+    sim.spawn(server.run());
+
+    let debug = Server::new(
+        Arc::clone(&server_stack),
+        DebugService::new(&telemetry),
+        DebugServerConfig {
+            port: DEBUG_PORT,
+            ..Default::default()
+        },
+    );
+    debug.attach_telemetry(&telemetry, "debug");
+    sim.spawn(debug.run());
+
+    let stats = Arc::new(KvLoadStats::default());
+    let cfg = Arc::new(KvLoadConfig {
+        server: Endpoint::new(HostId(1), 11211),
+        batches_per_conn: p.batches_per_conn,
+        pipeline_depth: p.pipeline_depth,
+        keys: p.keys,
+        zipf_s: 0.99,
+        set_percent: p.set_percent,
+        value_bytes: p.value_bytes,
+        ttl_secs: 0,
+        seed: p.seed,
+    });
+    for id in 0..p.clients {
+        sim.spawn(client_thread(
+            Arc::clone(&client_stack),
+            Arc::clone(&cfg),
+            Arc::clone(&stats),
+            id,
+        ));
+    }
+
+    let clients = p.clients;
+    let watch = Arc::clone(&stats);
+    sim.block_on(loop_m((), move |()| {
+        let watch = Arc::clone(&watch);
+        do_m! {
+            sys_sleep(50 * eveth_core::time::MICROS);
+            let done <- sys_nbio(move || watch.clients_done.get());
+            ThreadM::pure(if done == clients { Loop::Break(()) } else { Loop::Continue(()) })
+        }
+    }))
+    .expect("kv load completed");
+
+    // Live introspection over the wire: the debug service answers on its
+    // own port while the KV server is still mounted beside it.
+    let metrics_raw = sim
+        .block_on(debug_get(
+            &client_stack,
+            Endpoint::new(HostId(1), DEBUG_PORT),
+            "/metrics",
+        ))
+        .expect("metrics fetched");
+    let threads_raw = sim
+        .block_on(debug_get(
+            &client_stack,
+            Endpoint::new(HostId(1), DEBUG_PORT),
+            "/threads",
+        ))
+        .expect("threads fetched");
+
+    let report = sim.report();
+    let chrome_json = TraceExport::from_telemetry(&telemetry).to_chrome_json();
+    KvTraceArtifacts {
+        chrome_json,
+        metrics_body: http_body(&metrics_raw),
+        threads_body: http_body(&threads_raw),
+        report,
+        telemetry,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,8 +111,10 @@ pub trait RuntimeCtx: Send + Sync {
     fn push_ready(&self, task: Task);
     /// Allocates a fresh thread id.
     fn next_tid(&self) -> TaskId;
-    /// Records that a new thread exists (for liveness accounting).
-    fn task_spawned(&self);
+    /// Records that a new thread `tid` exists (for liveness accounting and
+    /// telemetry spans). `parent` is the forking thread when the spawn
+    /// came from `SYS_FORK`, `None` for runtime-level spawns.
+    fn task_spawned(&self, tid: TaskId, parent: Option<TaskId>);
     /// Records that a thread terminated normally.
     fn task_exited(&self, tid: TaskId);
     /// Records that a thread died with an uncaught exception.
@@ -149,6 +151,10 @@ pub trait RuntimeCtx: Send + Sync {
     /// class — a timeout win is timer wait, a readiness win is I/O wait.
     /// Called only while `tid` is still parked. Default: no-op.
     fn task_wait_reclass(&self, _tid: TaskId, _kind: WaitKind) {}
+    /// The thread named its telemetry span (`SYS_ANNOTATE`). Runtimes
+    /// with an attached telemetry hub forward the name; the default
+    /// drops it.
+    fn task_annotate(&self, _tid: TaskId, _name: Arc<str>) {}
     /// Arms a one-shot timer that wakes `waiter` after `dur` — the
     /// unparker-based sibling of [`RuntimeCtx::sleep`], used by the event
     /// layer's `timeout_evt` so a deadline can *race* other wait sources
@@ -188,7 +194,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
             Trace::Fork(child, parent) => {
                 ctx.charge(CostKind::Fork);
                 let tid = ctx.next_tid();
-                ctx.task_spawned();
+                ctx.task_spawned(tid, Some(task.tid()));
                 ctx.push_ready(Task::from_thunk(tid, child));
                 node = parent();
                 steps += 1;
@@ -276,6 +282,15 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
                 register(unparker);
                 return;
             }
+            Trace::Annotate(name, k) => {
+                // Deliberately uncharged: naming a span must never move
+                // the virtual clock (the recorder stays off the report
+                // path). Still a step for slice accounting, so annotation
+                // loops cannot wedge a scheduler turn.
+                ctx.task_annotate(task.tid(), name);
+                node = k();
+                steps += 1;
+            }
         }
     }
 }
@@ -285,7 +300,7 @@ pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
 /// threads without holding a full runtime handle.
 pub fn spawn_thread(ctx: &Arc<dyn RuntimeCtx>, m: crate::ThreadM<()>) -> TaskId {
     let tid = ctx.next_tid();
-    ctx.task_spawned();
+    ctx.task_spawned(tid, None);
     ctx.push_ready(Task::from_thread(tid, m));
     tid
 }
@@ -359,7 +374,7 @@ pub mod testing {
         /// Spawns a monadic program as a task on the ready list.
         pub fn spawn(self: &Arc<Self>, m: crate::ThreadM<()>) -> TaskId {
             let tid = self.next_tid();
-            self.task_spawned();
+            self.task_spawned(tid, None);
             self.ready.lock().push_back(Task::from_thread(tid, m));
             tid
         }
@@ -387,7 +402,7 @@ pub mod testing {
         fn next_tid(&self) -> TaskId {
             TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
         }
-        fn task_spawned(&self) {
+        fn task_spawned(&self, _tid: TaskId, _parent: Option<TaskId>) {
             self.live.fetch_add(1, Ordering::SeqCst);
         }
         fn task_exited(&self, tid: TaskId) {

@@ -30,7 +30,11 @@
 //!   sockets and the application-level TCP stack are interchangeable;
 //! * [`service`] — the event-native service framework: a [`service::Service`]
 //!   trait plus a generic [`service::Server`] owning accept fan-out, the
-//!   per-session readiness/idle/shutdown `choose`, and graceful drain.
+//!   per-session readiness/idle/shutdown `choose`, and graceful drain;
+//! * [`telemetry`] — the observability fabric: per-thread spans, a
+//!   flight-recorder event ring with Chrome-trace export, a metrics
+//!   registry and a live [`telemetry::DebugService`] introspection
+//!   endpoint.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +73,7 @@ pub mod service;
 pub mod sync;
 pub mod syscall;
 pub mod task;
+pub mod telemetry;
 pub mod thread;
 pub mod time;
 pub mod trace;

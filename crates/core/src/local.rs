@@ -119,6 +119,8 @@ impl LocalExecutor {
                         node = k();
                     }
                     Trace::GetTime(f) => node = f(self.clock),
+                    // Span names need a telemetry hub; none exists here.
+                    Trace::Annotate(_, k) => node = k(),
                     unsupported @ (Trace::EpollWait(_, _, _)
                     | Trace::AioRead(_, _)
                     | Trace::AioWrite(_, _)

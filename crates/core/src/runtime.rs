@@ -20,7 +20,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::sched::ReadyQueue;
 
-use crate::engine::{self, CostKind, RuntimeCtx};
+use crate::engine::{self, CostKind, RuntimeCtx, WaitKind};
 use crate::exception::Exception;
 use crate::reactor::{DirectPort, EventPort, Unparker, Waiter};
 use crate::syscall::sys_try;
@@ -315,27 +315,63 @@ struct RtInner {
     shutdown: AtomicBool,
     config: Config,
     uncaught_log: Mutex<Vec<(TaskId, Exception)>>,
+    /// Attached telemetry hub, if any (first attach wins). Read on every
+    /// scheduler hook, so it is a set-once cell rather than a lock.
+    telemetry: std::sync::OnceLock<Arc<crate::telemetry::Telemetry>>,
+}
+
+impl RtInner {
+    fn tel(&self) -> Option<&Arc<crate::telemetry::Telemetry>> {
+        self.telemetry.get()
+    }
 }
 
 impl RuntimeCtx for RtInner {
     fn push_ready(&self, task: Task) {
+        if let Some(tel) = self.tel() {
+            tel.on_wake(self.now(), task.tid().0);
+        }
         self.ready.push_task(task);
     }
     fn next_tid(&self) -> TaskId {
         TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
     }
-    fn task_spawned(&self) {
+    fn task_spawned(&self, tid: TaskId, parent: Option<TaskId>) {
         self.live.fetch_add(1, Ordering::SeqCst);
         self.stats.spawned.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = self.tel() {
+            tel.on_spawn(self.now(), tid.0, parent.map(|p| p.0));
+        }
     }
-    fn task_exited(&self, _tid: TaskId) {
+    fn task_exited(&self, tid: TaskId) {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.stats.exited.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = self.tel() {
+            tel.on_exit(self.now(), tid.0, false);
+        }
     }
     fn uncaught_exception(&self, tid: TaskId, e: Exception) {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.stats.uncaught.fetch_add(1, Ordering::Relaxed);
         self.uncaught_log.lock().push((tid, e));
+        if let Some(tel) = self.tel() {
+            tel.on_exit(self.now(), tid.0, true);
+        }
+    }
+    fn task_parked(&self, tid: TaskId, kind: WaitKind) {
+        if let Some(tel) = self.tel() {
+            tel.on_park(self.now(), tid.0, kind);
+        }
+    }
+    fn task_wait_reclass(&self, tid: TaskId, kind: WaitKind) {
+        if let Some(tel) = self.tel() {
+            tel.on_reclass(self.now(), tid.0, kind);
+        }
+    }
+    fn task_annotate(&self, tid: TaskId, name: Arc<str>) {
+        if let Some(tel) = self.tel() {
+            tel.on_annotate(self.now(), tid.0, name);
+        }
     }
     fn now(&self) -> Nanos {
         self.start.elapsed().as_nanos() as Nanos
@@ -429,6 +465,7 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             config: config.clone(),
             uncaught_log: Mutex::new(Vec::new()),
+            telemetry: std::sync::OnceLock::new(),
         });
 
         let mut handles = Vec::new();
@@ -501,9 +538,22 @@ impl Runtime {
     /// as soon as a worker picks it up.
     pub fn spawn(&self, m: ThreadM<()>) -> TaskId {
         let tid = self.inner.next_tid();
-        self.inner.task_spawned();
+        self.inner.task_spawned(tid, None);
         self.inner.push_ready(Task::from_thread(tid, m));
         tid
+    }
+
+    /// Attaches a telemetry hub: scheduler hooks (spawn / park / wake /
+    /// annotate / exit) are forwarded to it from now on, stamped with
+    /// wall-clock nanoseconds since runtime start. First attach wins;
+    /// later calls return `false` and change nothing.
+    pub fn set_telemetry(&self, telemetry: Arc<crate::telemetry::Telemetry>) -> bool {
+        self.inner.telemetry.set(telemetry).is_ok()
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<Arc<crate::telemetry::Telemetry>> {
+        self.inner.telemetry.get().cloned()
     }
 
     /// Runs `m` to completion, blocking the calling OS thread until it

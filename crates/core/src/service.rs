@@ -64,16 +64,18 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 use crate::do_m;
 use crate::event::{choose, sync, Signal};
 use crate::exception::Exception;
 use crate::net::{session_input, Conn, Listener, NetError, NetStack, SessionInput};
-use crate::syscall::{sys_catch, sys_fork, sys_nbio, sys_throw};
+use crate::syscall::{span, sys_catch, sys_fork, sys_nbio, sys_throw};
+use crate::telemetry::metrics::{Counter, Gauge};
+use crate::telemetry::Telemetry;
 use crate::thread::{loop_m, Loop, ThreadM};
 use crate::time::Nanos;
 
@@ -146,6 +148,16 @@ pub trait Service: Send + Sync + 'static {
         let _ = error;
         conn.close()
     }
+
+    /// Wiring hook, called once from [`Server::new`]: hands the service
+    /// the lifecycle pieces it may want to keep for its reply paths — the
+    /// shutdown broadcast (so a bounded send can abandon a stalled peer on
+    /// drain), the configuration (notably [`ServerConfig::send_timeout`])
+    /// and the server's stats (notably [`ServerStats::send_timeouts`]).
+    /// The default keeps nothing.
+    fn attach_lifecycle(&self, shutdown: &Signal, cfg: &ServerConfig, stats: &Arc<ServerStats>) {
+        let _ = (shutdown, cfg, stats);
+    }
 }
 
 /// Lifecycle tunables of a [`Server`].
@@ -159,6 +171,12 @@ pub struct ServerConfig {
     /// (virtual nanoseconds); `0` disables idle reaping. A `timeout_evt`
     /// branch of the per-session `choose` — no helper thread, no polling.
     pub idle_timeout: Nanos,
+    /// Abandon a reply send that cannot complete within this long
+    /// (virtual nanoseconds); `0` keeps plain unbounded sends. Services
+    /// honour it through [`send_all_within`](crate::net::send_all_within)
+    /// on their reply paths and count occurrences in
+    /// [`ServerStats::send_timeouts`].
+    pub send_timeout: Nanos,
 }
 
 impl Default for ServerConfig {
@@ -167,22 +185,38 @@ impl Default for ServerConfig {
             port: 8080,
             recv_chunk: 16 * 1024,
             idle_timeout: 0,
+            send_timeout: 0,
         }
     }
 }
 
 /// Lifecycle counters every [`Server`] keeps, independent of the service's
 /// own protocol statistics.
+///
+/// The handles are [`telemetry`](crate::telemetry) metrics, so
+/// [`Server::attach_telemetry`] can register the *same* cells into a
+/// [`Registry`](crate::telemetry::metrics::Registry) — the `/metrics`
+/// exposition and these fields cannot drift.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted.
-    pub accepted: AtomicU64,
+    pub accepted: Counter,
     /// Sessions currently running.
-    pub active: AtomicU64,
+    pub active: Gauge,
     /// Sessions reaped by the idle deadline.
-    pub idle_reaped: AtomicU64,
+    pub idle_reaped: Counter,
     /// Sessions terminated by an exception.
-    pub session_errors: AtomicU64,
+    pub session_errors: Counter,
+    /// Reply sends abandoned by [`ServerConfig::send_timeout`].
+    pub send_timeouts: Counter,
+    /// Total nanoseconds session threads spent parked on I/O, rolled up
+    /// from span wait attribution at session exit. Stays `0` until
+    /// [`Server::attach_telemetry`] — the per-span data comes from the
+    /// runtime's park/wake hooks.
+    pub session_io_wait_ns: Counter,
+    /// Total nanoseconds session threads spent parked on locks, rolled up
+    /// like [`ServerStats::session_io_wait_ns`].
+    pub session_lock_wait_ns: Counter,
 }
 
 /// The generic server: listening, accept fan-out, per-session waits,
@@ -199,12 +233,20 @@ pub struct Server<S: Service> {
     /// `accept_evt` but not yet counted in `stats.active`, so `active ==
     /// 0` alone must not fire `drained`.
     acceptor_done: std::sync::atomic::AtomicBool,
+    /// Attached telemetry hub plus the span label sessions are annotated
+    /// with; `None` until [`Server::attach_telemetry`].
+    telemetry: Mutex<Option<(Arc<Telemetry>, Arc<str>)>>,
+    /// Serializes drain-barrier checks. The lifecycle counters are plain
+    /// Relaxed metrics cells; every transition updates *then* takes this
+    /// lock to re-check, so the last transition's checker observes all
+    /// earlier updates through the lock's ordering.
+    drain_check: Mutex<()>,
 }
 
 impl<S: Service> Server<S> {
     /// Builds a server hosting `service` on a socket stack.
     pub fn new(stack: Arc<dyn NetStack>, service: S, cfg: ServerConfig) -> Arc<Self> {
-        Arc::new(Server {
+        let srv = Arc::new(Server {
             stack,
             service: Arc::new(service),
             cfg,
@@ -212,7 +254,67 @@ impl<S: Service> Server<S> {
             shutdown: Signal::new(),
             drained: Signal::new(),
             acceptor_done: std::sync::atomic::AtomicBool::new(false),
-        })
+            telemetry: Mutex::new(None),
+            drain_check: Mutex::new(()),
+        });
+        srv.service
+            .attach_lifecycle(&srv.shutdown, &srv.cfg, &srv.stats);
+        srv
+    }
+
+    /// Attaches a telemetry hub: the server's lifecycle counters are
+    /// registered into the hub's [`Registry`](crate::telemetry::metrics::Registry)
+    /// as `eveth_server_*{service="<label>"}`, every subsequent session
+    /// thread is annotated with the span name `label`, and session span
+    /// waits are rolled up into [`ServerStats::session_io_wait_ns`] /
+    /// [`ServerStats::session_lock_wait_ns`] at session exit.
+    ///
+    /// Attach *before* spawning [`Server::run`] so no session escapes the
+    /// annotation. Idempotent-ish: a second call re-registers under the
+    /// new label; sessions use the latest label.
+    pub fn attach_telemetry(&self, telemetry: &Arc<Telemetry>, service_label: &str) {
+        let reg = telemetry.registry();
+        let labels: &[(&str, &str)] = &[("service", service_label)];
+        reg.register_counter("eveth_server_accepted_total", labels, &self.stats.accepted);
+        reg.register_gauge("eveth_server_active_sessions", labels, &self.stats.active);
+        reg.register_counter(
+            "eveth_server_idle_reaped_total",
+            labels,
+            &self.stats.idle_reaped,
+        );
+        reg.register_counter(
+            "eveth_server_session_errors_total",
+            labels,
+            &self.stats.session_errors,
+        );
+        reg.register_counter(
+            "eveth_server_send_timeouts_total",
+            labels,
+            &self.stats.send_timeouts,
+        );
+        reg.register_counter(
+            "eveth_server_session_io_wait_ns_total",
+            labels,
+            &self.stats.session_io_wait_ns,
+        );
+        reg.register_counter(
+            "eveth_server_session_lock_wait_ns_total",
+            labels,
+            &self.stats.session_lock_wait_ns,
+        );
+        let io_roll = self.stats.session_io_wait_ns.clone();
+        let lock_roll = self.stats.session_lock_wait_ns.clone();
+        telemetry.on_span_exit(service_label, move |span| {
+            io_roll.add(span.io_wait_ns);
+            lock_roll.add(span.lock_wait_ns);
+        });
+        *self.telemetry.lock() = Some((Arc::clone(telemetry), Arc::from(service_label)));
+    }
+
+    /// The telemetry hub attached via [`Server::attach_telemetry`], if
+    /// any.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.lock().as_ref().map(|(t, _)| Arc::clone(t))
     }
 
     /// The hosted service (for its protocol-level statistics and state).
@@ -232,7 +334,7 @@ impl<S: Service> Server<S> {
 
     /// Sessions currently running.
     pub fn active(&self) -> u64 {
-        self.stats.active.load(Ordering::SeqCst)
+        self.stats.active.get().max(0) as u64
     }
 
     /// Initiates graceful shutdown (callable from any context): the
@@ -293,7 +395,7 @@ impl<S: Service> Server<S> {
     /// One session finished: release its slot and re-check the drain
     /// barrier.
     fn session_ended(&self) {
-        self.stats.active.fetch_sub(1, Ordering::SeqCst);
+        self.stats.active.decr();
         self.maybe_drained();
     }
 
@@ -310,11 +412,16 @@ impl<S: Service> Server<S> {
     /// can no longer introduce sessions, and none is running. Called from
     /// every transition that can complete the condition (shutdown
     /// request, acceptor exit, session end); `Signal::fire` is
-    /// idempotent, so concurrent callers are harmless.
+    /// idempotent, so concurrent callers are harmless. The `drain_check`
+    /// lock orders each update (sequenced before its own check) with the
+    /// other transitions' checks — without it, Relaxed counter cells would
+    /// permit both of two racing finishers to read the other's stale
+    /// state and neither to fire.
     fn maybe_drained(&self) {
+        let _serialize = self.drain_check.lock();
         if self.shutdown.is_fired()
             && self.acceptor_done.load(std::sync::atomic::Ordering::SeqCst)
-            && self.stats.active.load(Ordering::SeqCst) == 0
+            && self.stats.active.get() == 0
         {
             self.drained.fire();
         }
@@ -367,14 +474,20 @@ fn accept_loop<S: Service>(srv: Arc<Server<S>>, listener: Arc<dyn Listener>) -> 
                 ThreadM::pure(Loop::Break(()))
             }
             AcceptWake::Inbound(Ok(conn)) => {
-                srv.stats.accepted.fetch_add(1, Ordering::SeqCst);
-                srv.stats.active.fetch_add(1, Ordering::SeqCst);
+                srv.stats.accepted.incr();
+                srv.stats.active.incr();
                 let body = session(Arc::clone(&srv), Arc::clone(&conn));
+                // Name the session's span after the service so telemetry
+                // can attribute its waits (and roll them up at exit).
+                let body = match srv.telemetry.lock().as_ref() {
+                    Some((_, label)) => span(Arc::clone(label), body),
+                    None => body,
+                };
                 // An exception ends the session, never the server; the
                 // service may answer with a protocol-level error first.
                 let catcher = Arc::clone(&srv);
                 let guarded = sys_catch(body, move |e| {
-                    catcher.stats.session_errors.fetch_add(1, Ordering::SeqCst);
+                    catcher.stats.session_errors.incr();
                     catcher.service.on_exception(conn, &e)
                 });
                 // The slot is released on every exit — including an
@@ -437,7 +550,7 @@ fn session<S: Service>(srv: Arc<Server<S>>, conn: Arc<dyn Conn>) -> ThreadM<()> 
             SessionInput::IdleTimeout => {
                 // The stalled connection is reaped; live sessions are
                 // untouched (each races its own deadline).
-                srv.stats.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                srv.stats.idle_reaped.incr();
                 srv.service.on_end(&SessionEnd::Idle);
                 conn.close().map(|_| Loop::Break(()))
             }

@@ -204,6 +204,26 @@ where
     ThreadM::new(move |c| Trace::Park(Box::new(register), Box::new(move || c(()))))
 }
 
+/// `sys_annotate` — names the current thread's telemetry span.
+///
+/// A pure metadata operation: the scheduler forwards the name to the
+/// attached [`Telemetry`](crate::telemetry::Telemetry) hub (a no-op when
+/// none is attached) and charges nothing, so annotating is free to leave
+/// in production code. Spans keep their latest name; the flight recorder
+/// logs every annotation.
+pub fn sys_annotate(name: impl Into<Arc<str>>) -> ThreadM<()> {
+    let name = name.into();
+    ThreadM::new(move |c| Trace::Annotate(name, Box::new(move || c(()))))
+}
+
+/// Runs `m` with the current thread's span named `name` — sugar for
+/// `sys_annotate(name)` followed by `m`. The name applies to the *whole*
+/// thread from this point (spans are per-thread, not scoped), so put the
+/// `span` at the top of the thread's program.
+pub fn span<A: Send + 'static>(name: impl Into<Arc<str>>, m: ThreadM<A>) -> ThreadM<A> {
+    sys_annotate(name).bind(move |_| m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

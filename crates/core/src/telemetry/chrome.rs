@@ -1,0 +1,249 @@
+//! Chrome trace-event export: renders a flight-recorder snapshot as the
+//! JSON that `chrome://tracing` and Perfetto load directly.
+//!
+//! The format (the Trace Event Format's JSON-object flavor) is a
+//! `{"traceEvents": [...]}` wrapper over flat event objects:
+//!
+//! * one `"M"` (metadata) event per span names its row;
+//! * every completed blocked episode becomes an `"X"` (complete) event —
+//!   `ts` is when the thread parked, `dur` how long it stayed blocked,
+//!   the name its wait class (`io_wait` / `lock_wait` / `timer_wait`) —
+//!   so waits render as colored slices on the thread's row;
+//! * spawns, annotations and exits become `"i"` (instant) marks.
+//!
+//! Timestamps are microseconds; virtual nanoseconds are rendered with
+//! three decimal places by integer arithmetic (`{µs}.{ns%1000:03}`), never
+//! through floating point, so the same events always serialize to the
+//! same bytes — the property the CI byte-identity gate pins.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::engine::WaitKind;
+use crate::time::Nanos;
+
+use super::recorder::{EventKind, TraceEvent};
+use super::Telemetry;
+
+/// A snapshot of trace events plus span names, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct TraceExport {
+    events: Vec<TraceEvent>,
+    names: BTreeMap<u64, Arc<str>>,
+}
+
+/// Renders nanoseconds as fractional microseconds, digit-deterministic.
+fn micros(ns: Nanos) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escapes a string for a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn wait_name(kind: WaitKind) -> &'static str {
+    match kind {
+        WaitKind::Io => "io_wait",
+        WaitKind::Lock => "lock_wait",
+        WaitKind::Timer => "timer_wait",
+    }
+}
+
+impl TraceExport {
+    /// Wraps an event snapshot plus a `tid → name` table.
+    pub fn new(events: Vec<TraceEvent>, names: BTreeMap<u64, Arc<str>>) -> Self {
+        TraceExport { events, names }
+    }
+
+    /// Snapshots `telemetry`'s recorder and span names.
+    pub fn from_telemetry(telemetry: &Telemetry) -> Self {
+        Self::from_telemetry_last(telemetry, usize::MAX)
+    }
+
+    /// Like [`TraceExport::from_telemetry`], keeping only the newest
+    /// `last` events (the `/trace?last=N` path).
+    pub fn from_telemetry_last(telemetry: &Telemetry, last: usize) -> Self {
+        let events = telemetry.recorder().last(last);
+        let names = telemetry
+            .spans()
+            .into_iter()
+            .filter_map(|s| s.name.map(|n| (s.tid, n)))
+            .collect();
+        TraceExport { events, names }
+    }
+
+    /// The events in this export (oldest first).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serializes to Chrome trace-event JSON. Deterministic: the same
+    /// events and names produce the same bytes.
+    pub fn to_chrome_json(&self) -> String {
+        let mut rows: Vec<String> = Vec::new();
+        // Row names first: explicit span names, then thread-N for any
+        // remaining tid that has events.
+        let mut named: BTreeMap<u64, String> = self
+            .names
+            .iter()
+            .map(|(&tid, n)| (tid, n.to_string()))
+            .collect();
+        for ev in &self.events {
+            named
+                .entry(ev.tid)
+                .or_insert_with(|| format!("thread-{}", ev.tid));
+        }
+        for (tid, name) in &named {
+            rows.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for ev in &self.events {
+            let tid = ev.tid;
+            match &ev.kind {
+                EventKind::Spawn { parent } => {
+                    let parent = parent
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "null".into());
+                    rows.push(format!(
+                        "{{\"name\":\"spawn\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                         \"s\":\"t\",\"args\":{{\"parent\":{parent}}}}}",
+                        micros(ev.at)
+                    ));
+                }
+                EventKind::Annotate { name } => {
+                    rows.push(format!(
+                        "{{\"name\":\"annotate\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                         \"s\":\"t\",\"args\":{{\"name\":\"{}\"}}}}",
+                        micros(ev.at),
+                        escape(name)
+                    ));
+                }
+                EventKind::Wake { kind, wait_ns } => {
+                    rows.push(format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\
+                         \"tid\":{tid}}}",
+                        wait_name(*kind),
+                        micros(ev.at.saturating_sub(*wait_ns)),
+                        micros(*wait_ns)
+                    ));
+                }
+                EventKind::Exit { uncaught } => {
+                    rows.push(format!(
+                        "{{\"name\":\"exit\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                         \"s\":\"t\",\"args\":{{\"uncaught\":{uncaught}}}}}",
+                        micros(ev.at)
+                    ));
+                }
+                // Parks and reclasses are subsumed by the `X` slice the
+                // eventual wake emits; exporting them too would double-draw
+                // every wait.
+                EventKind::Park { .. } | EventKind::Reclass { .. } => {}
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_export() -> TraceExport {
+        let events = vec![
+            TraceEvent {
+                at: 0,
+                seq: 0,
+                tid: 1,
+                kind: EventKind::Spawn { parent: None },
+            },
+            TraceEvent {
+                at: 1_500,
+                seq: 1,
+                tid: 1,
+                kind: EventKind::Annotate {
+                    name: Arc::from("session"),
+                },
+            },
+            TraceEvent {
+                at: 2_000,
+                seq: 2,
+                tid: 1,
+                kind: EventKind::Park { kind: WaitKind::Io },
+            },
+            TraceEvent {
+                at: 9_250,
+                seq: 3,
+                tid: 1,
+                kind: EventKind::Wake {
+                    kind: WaitKind::Io,
+                    wait_ns: 7_250,
+                },
+            },
+            TraceEvent {
+                at: 10_000,
+                seq: 4,
+                tid: 1,
+                kind: EventKind::Exit { uncaught: false },
+            },
+        ];
+        let mut names = BTreeMap::new();
+        names.insert(1, Arc::from("session"));
+        TraceExport::new(events, names)
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        let a = sample_export().to_chrome_json();
+        let b = sample_export().to_chrome_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wait_episodes_render_as_complete_slices() {
+        let json = sample_export().to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"io_wait\",\"ph\":\"X\",\"ts\":2.000,\"dur\":7.250,\"pid\":0,\"tid\":1}"
+        ));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"session\""));
+        // Parks are not exported as standalone rows.
+        assert!(!json.contains("\"park\""));
+    }
+
+    #[test]
+    fn micros_is_integer_formatted() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

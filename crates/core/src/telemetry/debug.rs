@@ -1,0 +1,162 @@
+//! The live introspection service: a [`Service`] exposing the telemetry
+//! hub over HTTP, mountable beside any server (its own port, same
+//! `NetStack`, same runtime).
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the registry's text exposition format;
+//! * `GET /threads` — the live span table (state, current wait kind,
+//!   time-in-state, per-kind wait sums);
+//! * `GET /trace` — the flight-recorder snapshot as Chrome trace-event
+//!   JSON (load it in Perfetto); `GET /trace?last=N` keeps the newest `N`
+//!   events.
+//!
+//! Dogfoods the service framework: the whole endpoint is protocol logic
+//! over [`Server`](crate::service::Server)'s lifecycle, ~100 lines.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::net::{send_all, Conn};
+use crate::service::{Service, Step};
+use crate::syscall::sys_time;
+use crate::thread::ThreadM;
+
+use super::chrome::TraceExport;
+use super::Telemetry;
+
+/// The introspection service. Mount with
+/// `Server::new(stack, DebugService::new(&telemetry), cfg)`.
+#[derive(Debug)]
+pub struct DebugService {
+    telemetry: Arc<Telemetry>,
+}
+
+impl DebugService {
+    /// A service over `telemetry`.
+    pub fn new(telemetry: &Arc<Telemetry>) -> Self {
+        DebugService {
+            telemetry: Arc::clone(telemetry),
+        }
+    }
+
+    /// Routes one request path (everything after `GET `, before the HTTP
+    /// version) to `(status, content_type, body)`.
+    fn route(&self, target: &str, now: crate::time::Nanos) -> (&'static str, &'static str, String) {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                self.telemetry.registry().expose(),
+            ),
+            "/threads" => ("200 OK", "text/plain", self.telemetry.threads_text(now)),
+            "/trace" => {
+                let last = query
+                    .split('&')
+                    .find_map(|kv| kv.strip_prefix("last="))
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(usize::MAX);
+                (
+                    "200 OK",
+                    "application/json",
+                    TraceExport::from_telemetry_last(&self.telemetry, last).to_chrome_json(),
+                )
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                format!("no such route: {path}\ntry /metrics /threads /trace?last=N\n"),
+            ),
+        }
+    }
+
+    /// Builds the full HTTP/1.0 response for one request line.
+    fn respond(&self, request_line: &str, now: crate::time::Nanos) -> Bytes {
+        let target = request_line
+            .strip_prefix("GET ")
+            .map(|rest| rest.split_whitespace().next().unwrap_or("/"))
+            .unwrap_or("");
+        let (status, ctype, body) = if target.is_empty() {
+            (
+                "400 Bad Request",
+                "text/plain",
+                "only GET is supported\n".to_string(),
+            )
+        } else {
+            self.route(target, now)
+        };
+        Bytes::from(format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ))
+    }
+}
+
+impl Service for DebugService {
+    /// Bytes received so far, until the first line is complete.
+    type Session = Vec<u8>;
+
+    fn open(&self, _conn: &Arc<dyn Conn>) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn on_chunk(
+        &self,
+        conn: Arc<dyn Conn>,
+        mut session: Vec<u8>,
+        chunk: Bytes,
+    ) -> ThreadM<Step<Vec<u8>>> {
+        session.extend_from_slice(&chunk);
+        let Some(eol) = session.iter().position(|&b| b == b'\n') else {
+            return ThreadM::pure(Step::Continue(session));
+        };
+        let line = String::from_utf8_lossy(&session[..eol])
+            .trim_end()
+            .to_string();
+        let telemetry = Arc::clone(&self.telemetry);
+        let this = DebugService { telemetry };
+        sys_time().bind(move |now| {
+            let response = this.respond(&line, now);
+            send_all(&conn, response).map(|_| Step::Close)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_answer() {
+        let tel = Telemetry::new();
+        tel.on_spawn(0, 1, None);
+        let svc = DebugService::new(&tel);
+        let (status, _, body) = svc.route("/metrics", 0);
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("eveth_runtime_threads_spawned 1"));
+        let (_, _, body) = svc.route("/threads", 10);
+        assert!(body.contains("tid=1"));
+        let (_, ctype, body) = svc.route("/trace?last=5", 10);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("traceEvents"));
+        let (status, _, _) = svc.route("/nope", 0);
+        assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn respond_builds_http_response() {
+        let tel = Telemetry::new();
+        let svc = DebugService::new(&tel);
+        let resp = svc.respond("GET /metrics HTTP/1.0", 0);
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("Content-Length:"));
+        let bad = svc.respond("POST /metrics HTTP/1.0", 0);
+        assert!(String::from_utf8_lossy(&bad).starts_with("HTTP/1.0 400"));
+    }
+}

@@ -1,0 +1,459 @@
+//! The runtime telemetry fabric: per-thread spans, a flight recorder, a
+//! metrics registry and a live introspection service.
+//!
+//! The paper's scheduler sees every thread as a trace tree (§3.1) — every
+//! park, every syscall, every wait passes through its hands. This module
+//! turns that visibility into an always-on observability layer, in the
+//! shape of timely-dataflow's logging fabric: cheap typed event streams
+//! the runtime emits and tooling consumes.
+//!
+//! * every monadic thread gets a **span**: id, parent (from `sys_fork`),
+//!   an optional name set by the thread itself
+//!   ([`sys_annotate`](crate::syscall::sys_annotate)), its live state and
+//!   its accumulated per-kind wait time;
+//! * lifecycle and wait events (spawn / park / reclass / wake / exit) are
+//!   appended to a bounded [`FlightRecorder`] ring, snapshottable at any
+//!   instant and exportable as a Chrome trace-event JSON
+//!   ([`TraceExport::to_chrome_json`]) that loads in Perfetto /
+//!   `chrome://tracing`;
+//! * a [`metrics::Registry`] gives counters, gauges and histograms one
+//!   source of truth with a text exposition format;
+//! * [`DebugService`] serves `GET /metrics`, `GET /threads` and
+//!   `GET /trace?last=N` over any `NetStack`, mountable beside any server.
+//!
+//! A [`Telemetry`] handle is attached to a runtime
+//! (`SimRuntime::set_telemetry`, `Runtime::set_telemetry`); the runtime
+//! then forwards its scheduler hooks here. Under the simulator every hook
+//! receives the *same* virtual timestamps the `SimReport` accounting uses,
+//! so per-span wait sums reconcile exactly with the report — and because
+//! none of these paths charge the cost model, attaching telemetry never
+//! perturbs virtual time (`SimReport`s stay byte-identical with the
+//! recorder on or off).
+
+pub mod chrome;
+pub mod debug;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::TraceExport;
+pub use debug::DebugService;
+pub use recorder::{EventKind, FlightRecorder, TraceEvent};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::WaitKind;
+use crate::time::Nanos;
+use metrics::{Counter, Registry};
+
+/// A span's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanState {
+    /// Runnable or running.
+    Runnable,
+    /// Blocked since `since` for `kind`.
+    Parked {
+        /// Why it is blocked.
+        kind: WaitKind,
+        /// When it blocked.
+        since: Nanos,
+    },
+    /// Terminated at `at`.
+    Exited {
+        /// When it terminated.
+        at: Nanos,
+        /// True if it died with an uncaught exception.
+        uncaught: bool,
+    },
+}
+
+/// Everything the runtime knows about one monadic thread's lifetime.
+#[derive(Debug, Clone)]
+pub struct SpanInfo {
+    /// The thread id.
+    pub tid: u64,
+    /// The forking thread (`None` for runtime-level spawns).
+    pub parent: Option<u64>,
+    /// The name the thread gave itself via `sys_annotate`, if any.
+    pub name: Option<Arc<str>>,
+    /// Current scheduling state.
+    pub state: SpanState,
+    /// When the current state was entered.
+    pub state_since: Nanos,
+    /// When the thread was spawned.
+    pub spawned_at: Nanos,
+    /// Accumulated readiness (`sys_epoll_wait`) wait.
+    pub io_wait_ns: Nanos,
+    /// Accumulated synchronization (`sys_park`) wait.
+    pub lock_wait_ns: Nanos,
+    /// Accumulated timer (`sys_sleep`) wait.
+    pub timer_wait_ns: Nanos,
+    /// Blocked episodes completed.
+    pub wakes: u64,
+}
+
+impl SpanInfo {
+    fn new(tid: u64, parent: Option<u64>, at: Nanos) -> Self {
+        SpanInfo {
+            tid,
+            parent,
+            name: None,
+            state: SpanState::Runnable,
+            state_since: at,
+            spawned_at: at,
+            io_wait_ns: 0,
+            lock_wait_ns: 0,
+            timer_wait_ns: 0,
+            wakes: 0,
+        }
+    }
+
+    /// One-word state label for tables.
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            SpanState::Runnable => "runnable",
+            SpanState::Parked {
+                kind: WaitKind::Io, ..
+            } => "parked:io",
+            SpanState::Parked {
+                kind: WaitKind::Lock,
+                ..
+            } => "parked:lock",
+            SpanState::Parked {
+                kind: WaitKind::Timer,
+                ..
+            } => "parked:timer",
+            SpanState::Exited {
+                uncaught: false, ..
+            } => "exited",
+            SpanState::Exited { uncaught: true, .. } => "exited:uncaught",
+        }
+    }
+}
+
+type ExitSub = (Arc<str>, Box<dyn Fn(&SpanInfo) + Send + Sync>);
+
+/// The telemetry hub a runtime forwards its scheduler hooks to.
+///
+/// Owns the span table, the flight recorder and the metrics registry.
+/// Every hook takes the event time explicitly — the runtime passes the
+/// same clock values its own accounting uses, which is what makes span
+/// wait sums reconcile exactly with `SimReport` under simulation.
+pub struct Telemetry {
+    spans: Mutex<BTreeMap<u64, SpanInfo>>,
+    recorder: FlightRecorder,
+    registry: Arc<Registry>,
+    io_wait_ns: Counter,
+    lock_wait_ns: Counter,
+    timer_wait_ns: Counter,
+    spawned: Counter,
+    exited: Counter,
+    uncaught: Counter,
+    wakes: Counter,
+    exit_subs: Mutex<Vec<ExitSub>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Telemetry(spans={}, events={}, dropped={})",
+            self.spans.lock().len(),
+            self.recorder.recorded(),
+            self.recorder.dropped()
+        )
+    }
+}
+
+impl Telemetry {
+    /// A hub with the default flight-recorder size (4 shards × 4096
+    /// events).
+    pub fn new() -> Arc<Self> {
+        Self::with_recorder(4, 4096)
+    }
+
+    /// A hub with an explicit recorder geometry (see
+    /// [`FlightRecorder::new`]).
+    pub fn with_recorder(shards: usize, capacity_per_shard: usize) -> Arc<Self> {
+        let registry = Registry::new();
+        let t = Arc::new(Telemetry {
+            spans: Mutex::new(BTreeMap::new()),
+            recorder: FlightRecorder::new(shards, capacity_per_shard),
+            io_wait_ns: registry.counter("eveth_runtime_io_wait_ns", &[]),
+            lock_wait_ns: registry.counter("eveth_runtime_lock_wait_ns", &[]),
+            timer_wait_ns: registry.counter("eveth_runtime_timer_wait_ns", &[]),
+            spawned: registry.counter("eveth_runtime_threads_spawned", &[]),
+            exited: registry.counter("eveth_runtime_threads_exited", &[]),
+            uncaught: registry.counter("eveth_runtime_threads_uncaught", &[]),
+            wakes: registry.counter("eveth_runtime_wakes", &[]),
+            registry,
+            exit_subs: Mutex::new(Vec::new()),
+        });
+        let w = Arc::downgrade(&t);
+        t.registry
+            .register_counter_fn("eveth_trace_events_recorded", &[], move || {
+                w.upgrade().map_or(0, |t| t.recorder.recorded())
+            });
+        let w = Arc::downgrade(&t);
+        t.registry
+            .register_counter_fn("eveth_trace_events_dropped", &[], move || {
+                w.upgrade().map_or(0, |t| t.recorder.dropped())
+            });
+        t
+    }
+
+    /// The metrics registry (share it with services and the debug
+    /// endpoint).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Snapshot of every span (live and exited), ordered by thread id.
+    pub fn spans(&self) -> Vec<SpanInfo> {
+        self.spans.lock().values().cloned().collect()
+    }
+
+    /// Snapshot of one span.
+    pub fn span(&self, tid: u64) -> Option<SpanInfo> {
+        self.spans.lock().get(&tid).cloned()
+    }
+
+    /// Accumulated `(io, lock, timer)` wait across all spans — equals the
+    /// `SimReport` wait split when attached to a `SimRuntime`.
+    pub fn wait_totals(&self) -> (Nanos, Nanos, Nanos) {
+        (
+            self.io_wait_ns.get(),
+            self.lock_wait_ns.get(),
+            self.timer_wait_ns.get(),
+        )
+    }
+
+    /// Subscribes to exits of spans named `name`: `f` runs with the final
+    /// span (waits fully accumulated) whenever such a thread terminates.
+    /// The hook a server uses to roll session span waits up into its
+    /// per-service counters.
+    pub fn on_span_exit(
+        &self,
+        name: impl Into<Arc<str>>,
+        f: impl Fn(&SpanInfo) + Send + Sync + 'static,
+    ) {
+        self.exit_subs.lock().push((name.into(), Box::new(f)));
+    }
+
+    // ---- runtime hooks ---------------------------------------------------
+
+    /// A thread was created.
+    pub fn on_spawn(&self, now: Nanos, tid: u64, parent: Option<u64>) {
+        self.spawned.incr();
+        self.spans
+            .lock()
+            .insert(tid, SpanInfo::new(tid, parent, now));
+        self.recorder.record(now, tid, EventKind::Spawn { parent });
+    }
+
+    /// A thread named itself.
+    pub fn on_annotate(&self, now: Nanos, tid: u64, name: Arc<str>) {
+        if let Some(span) = self.spans.lock().get_mut(&tid) {
+            span.name = Some(Arc::clone(&name));
+        }
+        self.recorder.record(now, tid, EventKind::Annotate { name });
+    }
+
+    /// A thread blocked.
+    pub fn on_park(&self, now: Nanos, tid: u64, kind: WaitKind) {
+        if let Some(span) = self.spans.lock().get_mut(&tid) {
+            span.state = SpanState::Parked { kind, since: now };
+            span.state_since = now;
+        }
+        self.recorder.record(now, tid, EventKind::Park { kind });
+    }
+
+    /// A racing wait branch re-attributed the in-flight blocked episode.
+    pub fn on_reclass(&self, now: Nanos, tid: u64, kind: WaitKind) {
+        if let Some(span) = self.spans.lock().get_mut(&tid) {
+            if let SpanState::Parked { kind: k, .. } = &mut span.state {
+                *k = kind;
+            }
+        }
+        self.recorder.record(now, tid, EventKind::Reclass { kind });
+    }
+
+    /// A blocked thread became runnable at `now` (the same instant the
+    /// runtime's own wait accounting uses). No-op unless the span is
+    /// parked.
+    pub fn on_wake(&self, now: Nanos, tid: u64) {
+        let woke = {
+            let mut spans = self.spans.lock();
+            match spans.get_mut(&tid) {
+                Some(span) => {
+                    if let SpanState::Parked { kind, since } = span.state {
+                        let wait = now.saturating_sub(since);
+                        match kind {
+                            WaitKind::Io => span.io_wait_ns += wait,
+                            WaitKind::Lock => span.lock_wait_ns += wait,
+                            WaitKind::Timer => span.timer_wait_ns += wait,
+                        }
+                        span.wakes += 1;
+                        span.state = SpanState::Runnable;
+                        span.state_since = now;
+                        Some((kind, wait))
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some((kind, wait)) = woke {
+            match kind {
+                WaitKind::Io => self.io_wait_ns.add(wait),
+                WaitKind::Lock => self.lock_wait_ns.add(wait),
+                WaitKind::Timer => self.timer_wait_ns.add(wait),
+            }
+            self.wakes.incr();
+            self.recorder.record(
+                now,
+                tid,
+                EventKind::Wake {
+                    kind,
+                    wait_ns: wait,
+                },
+            );
+        }
+    }
+
+    /// A thread terminated. Exit subscriptions matching the span's name
+    /// run with the final span; the span stays in the table (state
+    /// `Exited`) so `/threads` and tree queries keep seeing it.
+    pub fn on_exit(&self, now: Nanos, tid: u64, uncaught: bool) {
+        self.exited.incr();
+        if uncaught {
+            self.uncaught.incr();
+        }
+        let finished = {
+            let mut spans = self.spans.lock();
+            match spans.get_mut(&tid) {
+                Some(span) => {
+                    span.state = SpanState::Exited { at: now, uncaught };
+                    span.state_since = now;
+                    Some(span.clone())
+                }
+                None => None,
+            }
+        };
+        if let Some(span) = finished {
+            if let Some(name) = &span.name {
+                for (sub_name, f) in self.exit_subs.lock().iter() {
+                    if sub_name == name {
+                        f(&span);
+                    }
+                }
+            }
+        }
+        self.recorder.record(now, tid, EventKind::Exit { uncaught });
+    }
+
+    // ---- renderings ------------------------------------------------------
+
+    /// The live span table as text — one line per span, ordered by thread
+    /// id (the `/threads` payload).
+    pub fn threads_text(&self, now: Nanos) -> String {
+        let mut out = String::new();
+        for span in self.spans.lock().values() {
+            let name = span.name.as_deref().unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "tid={} name={} state={} in_state_ns={} io_wait_ns={} lock_wait_ns={} \
+                 timer_wait_ns={} wakes={} parent={}",
+                span.tid,
+                name,
+                span.state_label(),
+                now.saturating_sub(span.state_since),
+                span.io_wait_ns,
+                span.lock_wait_ns,
+                span.timer_wait_ns,
+                span.wakes,
+                span.parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_attributes_wait_to_the_parked_kind() {
+        let t = Telemetry::new();
+        t.on_spawn(0, 1, None);
+        t.on_park(10, 1, WaitKind::Io);
+        t.on_wake(25, 1);
+        t.on_park(30, 1, WaitKind::Lock);
+        t.on_reclass(31, 1, WaitKind::Timer);
+        t.on_wake(40, 1);
+        let span = t.span(1).unwrap();
+        assert_eq!(span.io_wait_ns, 15);
+        // Reclass moves the whole episode (from the original park instant)
+        // onto the new kind — exactly the runtime's accounting.
+        assert_eq!(span.timer_wait_ns, 10, "reclass moved the episode");
+        assert_eq!(span.lock_wait_ns, 0);
+        assert_eq!(span.wakes, 2);
+        assert_eq!(t.wait_totals(), (15, 0, 10));
+    }
+
+    #[test]
+    fn wake_without_park_is_a_noop() {
+        let t = Telemetry::new();
+        t.on_spawn(0, 1, None);
+        t.on_wake(5, 1);
+        let span = t.span(1).unwrap();
+        assert_eq!(span.wakes, 0);
+        assert_eq!(t.wait_totals(), (0, 0, 0));
+    }
+
+    #[test]
+    fn exit_subscriptions_fire_for_matching_names() {
+        let t = Telemetry::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        t.on_span_exit("session", move |span| {
+            sink.lock().push((span.tid, span.io_wait_ns));
+        });
+        t.on_spawn(0, 1, None);
+        t.on_annotate(1, 1, Arc::from("session"));
+        t.on_park(2, 1, WaitKind::Io);
+        t.on_wake(10, 1);
+        t.on_exit(11, 1, false);
+        // A differently-named span does not fire the subscription.
+        t.on_spawn(0, 2, None);
+        t.on_annotate(1, 2, Arc::from("other"));
+        t.on_exit(2, 2, false);
+        assert_eq!(seen.lock().clone(), vec![(1, 8)]);
+        assert_eq!(t.span(1).unwrap().state_label(), "exited");
+    }
+
+    #[test]
+    fn threads_text_lists_every_span() {
+        let t = Telemetry::new();
+        t.on_spawn(0, 1, None);
+        t.on_spawn(5, 2, Some(1));
+        t.on_annotate(6, 2, Arc::from("worker"));
+        t.on_park(7, 2, WaitKind::Lock);
+        let text = t.threads_text(20);
+        assert!(text.contains("tid=1 name=- state=runnable in_state_ns=20"));
+        assert!(text.contains("tid=2 name=worker state=parked:lock in_state_ns=13"));
+        assert!(text.contains("parent=1"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The flight recorder: a bounded ring of recent runtime events.
+//!
+//! The recorder keeps the *newest* `capacity` events per shard and counts
+//! what it overwrote, timely-dataflow-logging style: always on, fixed
+//! memory, snapshottable at any instant. Claiming a slot is one
+//! `fetch_add` on the shard head (wait-free); publication into the claimed
+//! slot takes that slot's own mutex, which is uncontended unless two
+//! writers lap each other on the same slot — the honest cost of keeping
+//! snapshots tear-free without a garbage-collected scheme.
+//!
+//! Shard choice hashes the thread id, so under the (single-OS-threaded)
+//! simulator the event order is a pure function of the schedule and
+//! snapshots are byte-deterministic; under the real SMP runtime shards
+//! keep writers from serializing on one head.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::WaitKind;
+use crate::time::Nanos;
+
+/// What happened to a thread — one record in the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The thread was created (`parent` is the forking thread, `None` for
+    /// runtime-level spawns).
+    Spawn {
+        /// The forking thread, if the spawn came from `sys_fork`.
+        parent: Option<u64>,
+    },
+    /// The thread named itself via `sys_annotate`.
+    Annotate {
+        /// The span name.
+        name: Arc<str>,
+    },
+    /// The thread blocked.
+    Park {
+        /// Why it blocked.
+        kind: WaitKind,
+    },
+    /// A racing wait branch re-attributed the in-flight blocked episode.
+    Reclass {
+        /// The winning wait class.
+        kind: WaitKind,
+    },
+    /// The thread became runnable again after a blocked episode.
+    Wake {
+        /// The wait class the episode was finally attributed to.
+        kind: WaitKind,
+        /// How long it was blocked.
+        wait_ns: Nanos,
+    },
+    /// The thread terminated.
+    Exit {
+        /// True if it died with an uncaught exception.
+        uncaught: bool,
+    },
+}
+
+/// One timestamped, sequence-numbered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (virtual nanoseconds under simulation).
+    pub at: Nanos,
+    /// Global record order (total across shards).
+    pub seq: u64,
+    /// The thread it happened to.
+    pub tid: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+struct Shard {
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+    claimed: AtomicU64,
+}
+
+/// A bounded, sharded ring of the newest runtime events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Shard>,
+    capacity_per_shard: usize,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Shard(cap={}, claimed={})",
+            self.slots.len(),
+            self.claimed.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with `shards` rings of `capacity_per_shard` slots each
+    /// (both clamped to at least 1).
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        let cap = capacity_per_shard.max(1);
+        FlightRecorder {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+                    claimed: AtomicU64::new(0),
+                })
+                .collect(),
+            capacity_per_shard: cap,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Total slots across shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_shard * self.shards.len()
+    }
+
+    /// Appends one event, overwriting the shard's oldest if full.
+    pub fn record(&self, at: Nanos, tid: u64, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[(tid as usize) % self.shards.len()];
+        let slot = shard.claimed.fetch_add(1, Ordering::Relaxed) as usize;
+        *shard.slots[slot % self.capacity_per_shard].lock() =
+            Some(TraceEvent { at, seq, tid, kind });
+    }
+
+    /// Events recorded so far (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwrite so far.
+    pub fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.claimed
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(self.capacity_per_shard as u64)
+            })
+            .sum()
+    }
+
+    /// The surviving events, oldest first (sorted by `(at, seq)` — a total
+    /// order, since `seq` is globally unique).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                if let Some(ev) = slot.lock().clone() {
+                    out.push(ev);
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.at, e.seq));
+        out
+    }
+
+    /// The newest `n` surviving events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<TraceEvent> {
+        let mut all = self.snapshot();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let rec = FlightRecorder::new(1, 8);
+        for i in 0..20u64 {
+            rec.record(i, 1, EventKind::Exit { uncaught: false });
+        }
+        assert_eq!(rec.recorded(), 20);
+        assert_eq!(rec.dropped(), 12);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 8);
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>(), "newest 8 survive");
+    }
+
+    #[test]
+    fn snapshot_is_time_ordered_across_shards() {
+        let rec = FlightRecorder::new(4, 4);
+        // tids land in different shards; interleave timestamps.
+        for (at, tid) in [(5u64, 0u64), (1, 1), (3, 2), (2, 3), (4, 0)] {
+            rec.record(at, tid, EventKind::Spawn { parent: None });
+        }
+        let ats: Vec<u64> = rec.snapshot().iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![1, 2, 3, 4, 5]);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn last_n_trims_from_the_front() {
+        let rec = FlightRecorder::new(2, 8);
+        for i in 0..6u64 {
+            rec.record(i, i, EventKind::Park { kind: WaitKind::Io });
+        }
+        let last = rec.last(2);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].at, 4);
+        assert_eq!(last[1].at, 5);
+        assert!(rec.last(100).len() == 6);
+    }
+}

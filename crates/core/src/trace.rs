@@ -86,6 +86,11 @@ pub enum Trace {
     /// one-shot [`Unparker`] to the registration closure. Mutexes, channels,
     /// TCP socket waits and STM `retry` are all built from this node.
     Park(Box<dyn FnOnce(Unparker) + Send>, Thunk),
+    /// Name the current thread's telemetry span (`sys_annotate`). A pure
+    /// metadata node: the scheduler forwards the name to its telemetry
+    /// hook and continues — no cost is charged, so annotating threads
+    /// never perturbs virtual time.
+    Annotate(std::sync::Arc<str>, Thunk),
 }
 
 impl Trace {
@@ -114,6 +119,7 @@ impl Trace {
             Trace::GetTime(_) => "SYS_GETTIME",
             Trace::Cpu(_, _) => "SYS_CPU",
             Trace::Park(_, _) => "SYS_PARK",
+            Trace::Annotate(_, _) => "SYS_ANNOTATE",
         }
     }
 }
@@ -134,6 +140,7 @@ impl fmt::Debug for Trace {
             Trace::Throw(e) => write!(f, "SYS_THROW({e})"),
             Trace::Sleep(d, _) => write!(f, "SYS_SLEEP({})", crate::time::fmt_nanos(*d)),
             Trace::Cpu(d, _) => write!(f, "SYS_CPU({})", crate::time::fmt_nanos(*d)),
+            Trace::Annotate(name, _) => write!(f, "SYS_ANNOTATE({name})"),
             other => f.write_str(other.kind()),
         }
     }

@@ -23,9 +23,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use eveth_core::aio::{AioFile, FileStore};
 use eveth_core::event::Signal;
-use eveth_core::net::{send_all, Conn, NetStack};
-use eveth_core::service::{Server, ServerConfig as LifecycleConfig, Service, SessionEnd, Step};
+use eveth_core::net::{send_all, send_all_within, Conn, NetError, NetStack, SendInput};
+use eveth_core::service::{
+    Server, ServerConfig as LifecycleConfig, ServerStats as FrameworkStats, Service, SessionEnd,
+    Step,
+};
 use eveth_core::syscall::{sys_aio_read, sys_blio, sys_nbio, sys_throw};
+use eveth_core::telemetry::Telemetry;
 use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Exception, Loop, ThreadM};
 
@@ -48,6 +52,12 @@ pub struct ServerConfig {
     /// requests (virtual nanoseconds); `0` disables idle reaping.
     /// Implemented as a `timeout_evt` branch of the per-session `choose`.
     pub idle_timeout: Nanos,
+    /// Abandon a response send that cannot complete within this long
+    /// (virtual nanoseconds); `0` keeps plain unbounded sends. Bounded
+    /// sends race the transfer against the deadline and the shutdown
+    /// broadcast (`send_all_within`); occurrences are counted in the
+    /// framework's `send_timeouts` and the session closes.
+    pub send_timeout: Nanos,
 }
 
 impl Default for ServerConfig {
@@ -58,8 +68,17 @@ impl Default for ServerConfig {
             read_chunk: 64 * 1024,
             recv_chunk: 4 * 1024,
             idle_timeout: 0,
+            send_timeout: 0,
         }
     }
+}
+
+/// Lifecycle pieces the framework hands down once via
+/// [`Service::attach_lifecycle`], kept for the response send paths.
+struct Lifecycle {
+    shutdown: Signal,
+    send_timeout: Nanos,
+    framework: Arc<FrameworkStats>,
 }
 
 /// Aggregate server counters.
@@ -88,6 +107,32 @@ struct WebShared {
     cache: Arc<FileCache>,
     cfg: ServerConfig,
     stats: Arc<ServerStats>,
+    lifecycle: std::sync::OnceLock<Lifecycle>,
+}
+
+impl WebShared {
+    /// Sends response bytes, bounded by [`ServerConfig::send_timeout`]
+    /// when one is configured: a transfer that cannot complete in time (a
+    /// zero-window peer) or that straddles shutdown is abandoned and
+    /// surfaced as a transport error so the session closes, instead of
+    /// wedging its thread on an unbounded send.
+    fn send_response(&self, conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetError>> {
+        match self.lifecycle.get() {
+            Some(lc) if lc.send_timeout > 0 => {
+                let framework = Arc::clone(&lc.framework);
+                send_all_within(conn, data, lc.send_timeout, &lc.shutdown).map(move |out| match out
+                {
+                    SendInput::Done(r) => r,
+                    SendInput::Timeout => {
+                        framework.send_timeouts.incr();
+                        Err(NetError::Timeout)
+                    }
+                    SendInput::Shutdown => Err(NetError::Closed),
+                })
+            }
+            _ => send_all(conn, data),
+        }
+    }
 }
 
 /// The HTTP [`Service`]: per-session state is the incremental
@@ -117,7 +162,7 @@ impl Service for WebService {
         chunk: Bytes,
     ) -> ThreadM<Step<RequestParser>> {
         match parser.feed(&chunk) {
-            Err(_) => bad_request(conn),
+            Err(_) => bad_request(Arc::clone(&self.shared), conn),
             Ok(None) => ThreadM::pure(Step::Continue(parser)),
             Ok(Some(req)) => serve_requests(Arc::clone(&self.shared), conn, parser, req),
         }
@@ -141,6 +186,19 @@ impl Service for WebService {
             conn.send(Response::internal_error().into_bytes());
             conn.close()
         }
+    }
+
+    fn attach_lifecycle(
+        &self,
+        shutdown: &Signal,
+        cfg: &LifecycleConfig,
+        stats: &Arc<FrameworkStats>,
+    ) {
+        let _ = self.shared.lifecycle.set(Lifecycle {
+            shutdown: shutdown.clone(),
+            send_timeout: cfg.send_timeout,
+            framework: Arc::clone(stats),
+        });
     }
 }
 
@@ -169,6 +227,7 @@ impl WebServer {
             cache: Arc::new(FileCache::new(cfg.cache_bytes)),
             stats: Arc::new(ServerStats::default()),
             cfg: cfg.clone(),
+            lifecycle: std::sync::OnceLock::new(),
         });
         let server = Server::new(
             stack,
@@ -179,9 +238,45 @@ impl WebServer {
                 port: cfg.port,
                 recv_chunk: cfg.recv_chunk,
                 idle_timeout: cfg.idle_timeout,
+                send_timeout: cfg.send_timeout,
             },
         );
         Arc::new(WebServer { server, shared })
+    }
+
+    /// Attaches a telemetry hub: session threads are annotated with the
+    /// span name `"http"` (so their I/O and lock waits roll up into the
+    /// framework's `session_*_wait_ns` counters at exit), the framework's
+    /// lifecycle counters register as `eveth_server_*{service="http"}`,
+    /// and the HTTP protocol counters register as `eveth_http_*`. Call
+    /// before spawning [`WebServer::run`].
+    pub fn attach_telemetry(&self, telemetry: &Arc<Telemetry>) {
+        self.server.attach_telemetry(telemetry, "http");
+        let reg = telemetry.registry();
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_connections_total", &[], move || {
+            s.connections.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_requests_total", &[], move || {
+            s.requests.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_bytes_sent_total", &[], move || {
+            s.bytes_sent.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_not_found_total", &[], move || {
+            s.not_found.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_errors_total", &[], move || {
+            s.errors.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(&self.shared.stats);
+        reg.register_counter_fn("eveth_http_idle_reaped_total", &[], move || {
+            s.idle_reaped.load(Ordering::Relaxed)
+        });
     }
 
     /// Initiates graceful shutdown (callable from any context): the
@@ -241,8 +336,10 @@ impl fmt::Debug for WebServer {
 
 /// Answers a malformed request with 400 and ends the session (the server
 /// closes the connection).
-fn bad_request(conn: Arc<dyn Conn>) -> ThreadM<Step<RequestParser>> {
-    send_all(&conn, Response::bad_request().into_bytes()).map(|_| Step::Close)
+fn bad_request(shared: Arc<WebShared>, conn: Arc<dyn Conn>) -> ThreadM<Step<RequestParser>> {
+    shared
+        .send_response(&conn, Response::bad_request().into_bytes())
+        .map(|_| Step::Close)
 }
 
 /// Serves `req` and then every further complete request already buffered
@@ -261,7 +358,7 @@ fn serve_requests(
             return ThreadM::pure(Step::Close);
         }
         match parser.feed(&[]) {
-            Err(_) => bad_request(conn2),
+            Err(_) => bad_request(shared2, conn2),
             Ok(None) => ThreadM::pure(Step::Continue(parser)),
             Ok(Some(next)) => serve_requests(shared2, conn2, parser, next),
         }
@@ -274,6 +371,7 @@ fn serve_one(shared: Arc<WebShared>, conn: Arc<dyn Conn>, req: Request) -> Threa
     let keep_alive = req.keep_alive();
     let head_only = req.method == Method::Head;
     let shared2 = Arc::clone(&shared);
+    let replier = Arc::clone(&shared);
     do_m! {
         let mut response <- build_response(shared, req);
         let _ = if head_only {
@@ -282,7 +380,7 @@ fn serve_one(shared: Arc<WebShared>, conn: Arc<dyn Conn>, req: Request) -> Threa
         let response = response.keep_alive(keep_alive);
         let body = response.into_bytes();
         let n = body.len() as u64;
-        let sent <- send_all(&conn, body);
+        let sent <- replier.send_response(&conn, body);
         sys_nbio(move || {
             shared2.stats.requests.fetch_add(1, Ordering::Relaxed);
             shared2.stats.bytes_sent.fetch_add(n, Ordering::Relaxed);

@@ -22,9 +22,12 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::event::Signal;
-use eveth_core::net::{send_all, Conn, NetStack};
-use eveth_core::service::{Server, ServerConfig, Service, SessionEnd, Step};
+use eveth_core::net::{send_all, send_all_within, Conn, NetError, NetStack, SendInput};
+use eveth_core::service::{
+    Server, ServerConfig, ServerStats as FrameworkStats, Service, SessionEnd, Step,
+};
 use eveth_core::syscall::{sys_fork, sys_time};
+use eveth_core::telemetry::Telemetry;
 use eveth_core::time::{Nanos, MILLIS};
 use eveth_core::{do_m, Exception, ThreadM};
 
@@ -50,6 +53,12 @@ pub struct KvConfig {
     /// `timeout_evt` branch of the per-session `choose` — no helper
     /// thread, no polling.
     pub idle_timeout: Nanos,
+    /// Abandon a reply send that cannot complete within this long
+    /// (virtual nanoseconds); `0` keeps plain unbounded sends. Bounded
+    /// sends go through `send_all_within`, racing the transfer against
+    /// the deadline and the shutdown broadcast; occurrences are counted
+    /// in the framework's `send_timeouts` and the session closes.
+    pub send_timeout: Nanos,
 }
 
 impl Default for KvConfig {
@@ -60,8 +69,19 @@ impl Default for KvConfig {
             recv_chunk: 16 * 1024,
             janitor_interval: 100 * MILLIS,
             idle_timeout: 0,
+            send_timeout: 0,
         }
     }
+}
+
+/// Lifecycle pieces the framework hands down once via
+/// [`Service::attach_lifecycle`], kept for the reply paths: a bounded
+/// send needs the shutdown broadcast to race against, and counts its
+/// timeouts into the framework's stats.
+struct Lifecycle {
+    shutdown: Signal,
+    send_timeout: Nanos,
+    framework: Arc<FrameworkStats>,
 }
 
 /// The KV-specific state shared by every session thread (the store, the
@@ -72,11 +92,35 @@ struct KvShared {
     store: Arc<ShardedStore>,
     cfg: KvConfig,
     stats: Arc<ServerStats>,
+    lifecycle: std::sync::OnceLock<Lifecycle>,
 }
 
 impl KvShared {
     fn store_snapshot(&self) -> StatsSnapshot {
         StatsSnapshot::gather(self.store.shard_stats())
+    }
+
+    /// Sends reply bytes, bounded by [`KvConfig::send_timeout`] when one
+    /// is configured: a transfer that cannot complete in time (a
+    /// zero-window peer) or that straddles shutdown is abandoned and
+    /// surfaced as a transport error — the session closes instead of
+    /// wedging its thread on an unbounded send.
+    fn send_reply(&self, conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetError>> {
+        match self.lifecycle.get() {
+            Some(lc) if lc.send_timeout > 0 => {
+                let framework = Arc::clone(&lc.framework);
+                send_all_within(conn, data, lc.send_timeout, &lc.shutdown).map(move |out| match out
+                {
+                    SendInput::Done(r) => r,
+                    SendInput::Timeout => {
+                        framework.send_timeouts.incr();
+                        Err(NetError::Timeout)
+                    }
+                    SendInput::Shutdown => Err(NetError::Closed),
+                })
+            }
+            _ => send_all(conn, data),
+        }
     }
 }
 
@@ -109,6 +153,7 @@ impl Service for KvService {
         let shared = Arc::clone(&self.shared);
         shared.stats.bytes_in.add(chunk.len() as u64);
         let out_stats = Arc::clone(&shared.stats);
+        let replier = Arc::clone(&self.shared);
         do_m! {
             let outcome <- run_batch(shared, parser, chunk);
             let (parser, outcome) = match outcome {
@@ -116,14 +161,14 @@ impl Service for KvService {
                 Err(flush) => {
                     // Protocol error: flush what we have + the error line,
                     // then end the session (the server closes the conn).
-                    return send_all(&conn, Bytes::from(flush)).map(|_| Step::Close);
+                    return replier.send_reply(&conn, Bytes::from(flush)).map(|_| Step::Close);
                 }
             };
             let n = outcome.replies.len() as u64;
             let sent <- if outcome.replies.is_empty() {
                 ThreadM::pure(Ok(()))
             } else {
-                send_all(&conn, Bytes::from(outcome.replies))
+                replier.send_reply(&conn, Bytes::from(outcome.replies))
             };
             match sent {
                 Err(_) => ThreadM::pure(Step::Close),
@@ -151,6 +196,14 @@ impl Service for KvService {
         self.shared.stats.session_errors.incr();
         conn.close()
     }
+
+    fn attach_lifecycle(&self, shutdown: &Signal, cfg: &ServerConfig, stats: &Arc<FrameworkStats>) {
+        let _ = self.shared.lifecycle.set(Lifecycle {
+            shutdown: shutdown.clone(),
+            send_timeout: cfg.send_timeout,
+            framework: Arc::clone(stats),
+        });
+    }
 }
 
 impl fmt::Debug for KvService {
@@ -173,6 +226,7 @@ impl KvServer {
             store: ShardedStore::new(cfg.store.clone()),
             stats: Arc::new(ServerStats::default()),
             cfg: cfg.clone(),
+            lifecycle: std::sync::OnceLock::new(),
         });
         let server = Server::new(
             stack,
@@ -183,9 +237,51 @@ impl KvServer {
                 port: cfg.port,
                 recv_chunk: cfg.recv_chunk,
                 idle_timeout: cfg.idle_timeout,
+                send_timeout: cfg.send_timeout,
             },
         );
         Arc::new(KvServer { server, shared })
+    }
+
+    /// Attaches a telemetry hub: session threads are annotated with the
+    /// span name `"kv"` (so their I/O and lock waits roll up into the
+    /// framework's `session_*_wait_ns` counters at exit), the framework's
+    /// lifecycle counters register as `eveth_server_*{service="kv"}`, and
+    /// the KV protocol, per-shard and store contention counters register
+    /// as `eveth_kv_*` / `eveth_stm_*`. Call before spawning
+    /// [`KvServer::run`].
+    pub fn attach_telemetry(&self, telemetry: &Arc<Telemetry>) {
+        self.server.attach_telemetry(telemetry, "kv");
+        let reg = telemetry.registry();
+        let s = &self.shared.stats;
+        reg.register_counter("eveth_kv_connections_total", &[], &s.connections);
+        reg.register_counter("eveth_kv_commands_total", &[], &s.commands);
+        reg.register_counter("eveth_kv_bytes_in_total", &[], &s.bytes_in);
+        reg.register_counter("eveth_kv_bytes_out_total", &[], &s.bytes_out);
+        reg.register_counter("eveth_kv_protocol_errors_total", &[], &s.protocol_errors);
+        reg.register_counter("eveth_kv_janitor_sweeps_total", &[], &s.janitor_sweeps);
+        for (i, sh) in self.shared.store.shard_stats().iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+            reg.register_counter("eveth_kv_shard_hits_total", labels, &sh.hits);
+            reg.register_counter("eveth_kv_shard_misses_total", labels, &sh.misses);
+            reg.register_counter("eveth_kv_shard_sets_total", labels, &sh.sets);
+        }
+        // Foreign counters (the store's lock gates, the STM transaction
+        // stats) are polled at exposition time rather than rewritten onto
+        // registry handles.
+        let store = Arc::clone(&self.shared.store);
+        reg.register_counter_fn("eveth_kv_store_lock_wait_ns_total", &[], move || {
+            store.lock_wait_ns()
+        });
+        let store = Arc::clone(&self.shared.store);
+        reg.register_counter_fn("eveth_kv_store_lock_contentions_total", &[], move || {
+            store.lock_contentions()
+        });
+        self.shared
+            .store
+            .stm_stats()
+            .register_into(reg, &[("store", "kv")]);
     }
 
     /// Initiates graceful shutdown (callable from any context): the
@@ -500,7 +596,26 @@ fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
                 ),
                 Reply::Stat("curr_items".into(), srv.store.len_now().to_string()),
                 Reply::Stat("shards".into(), srv.store.shard_count().to_string()),
+                Reply::Stat("lock_wait_ns".into(), srv.store.lock_wait_ns().to_string()),
+                Reply::Stat("stm_retries".into(), srv.store.stm_retries().to_string()),
             ];
+            // Wait attribution rolled up from session spans by the
+            // framework (zero until a telemetry hub is attached — the
+            // per-span data comes from the runtime's park/wake hooks).
+            if let Some(lc) = srv.lifecycle.get() {
+                replies.push(Reply::Stat(
+                    "session_io_wait_ns".into(),
+                    lc.framework.session_io_wait_ns.get().to_string(),
+                ));
+                replies.push(Reply::Stat(
+                    "session_lock_wait_ns".into(),
+                    lc.framework.session_lock_wait_ns.get().to_string(),
+                ));
+                replies.push(Reply::Stat(
+                    "send_timeouts".into(),
+                    lc.framework.send_timeouts.get().to_string(),
+                ));
+            }
             for (i, sh) in srv.store.shard_stats().iter().enumerate() {
                 replies.push(Reply::Stat(
                     format!("shard{i}_hits"),

@@ -1,107 +1,16 @@
 //! Per-shard and aggregate server counters, surfaced by the `stats`
 //! command and by the benchmarks.
+//!
+//! The counter and latency-recorder types live in
+//! `eveth_core::telemetry::metrics` since the telemetry fabric landed —
+//! the same handles a [`Registry`](eveth_core::telemetry::metrics::Registry)
+//! exposes over `/metrics` — and are re-exported here so every existing
+//! `crate::stats::Counter` user (shards, the janitor, the load
+//! generator) keeps compiling unchanged.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A relaxed atomic counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Adds one.
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A latency recorder with exact nearest-rank percentiles.
-///
-/// Samples are virtual-time nanoseconds, so the workloads record at most a
-/// few hundred thousand of them per run — storing every sample exactly is
-/// cheaper and stricter than a lossy log-bucketed histogram, and keeps the
-/// percentile math deterministic (the tail-latency columns of `fig_kv`
-/// must be bit-reproducible run over run).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    samples: parking_lot::Mutex<Vec<u64>>,
-}
-
-impl LatencyHistogram {
-    /// A fresh, empty recorder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample (nanoseconds).
-    pub fn record(&self, ns: u64) {
-        self.samples.lock().push(ns);
-    }
-
-    /// Number of recorded samples.
-    pub fn len(&self) -> usize {
-        self.samples.lock().len()
-    }
-
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.lock().is_empty()
-    }
-
-    /// The nearest-rank `p`th percentile (`0 < p <= 100`) over every
-    /// recorded sample: the smallest sample such that at least `p%` of
-    /// samples are `<=` it. Returns 0 when nothing was recorded.
-    pub fn percentile(&self, p: f64) -> u64 {
-        self.percentiles(&[p])[0]
-    }
-
-    /// Several percentiles from a single sort — what the bench harness
-    /// uses to pull p50/p95/p99 without re-sorting the samples per call.
-    pub fn percentiles(&self, ps: &[f64]) -> Vec<u64> {
-        let mut sorted = self.samples.lock().clone();
-        if sorted.is_empty() {
-            return vec![0; ps.len()];
-        }
-        sorted.sort_unstable();
-        ps.iter()
-            .map(|p| {
-                let p = p.clamp(0.0, 100.0);
-                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-                sorted[rank.clamp(1, sorted.len()) - 1]
-            })
-            .collect()
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> u64 {
-        self.percentile(50.0)
-    }
-
-    /// 95th percentile.
-    pub fn p95(&self) -> u64 {
-        self.percentile(95.0)
-    }
-
-    /// 99th percentile.
-    pub fn p99(&self) -> u64 {
-        self.percentile(99.0)
-    }
-
-    /// Maximum recorded latency (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.samples.lock().iter().copied().max().unwrap_or(0)
-    }
-}
+pub use eveth_core::telemetry::metrics::{Counter, LatencyHistogram};
 
 /// Counters kept independently per shard (no cross-shard contention).
 #[derive(Debug, Default)]

@@ -247,12 +247,22 @@ struct SimInner {
     stats: Stats,
     cost: CostModel,
     uncaught_log: Mutex<Vec<(TaskId, Exception)>>,
+    /// Attached telemetry hub, if any (first attach wins). Every hook
+    /// passes it the *same* virtual timestamps the wait accounting above
+    /// uses, so span wait sums reconcile exactly with the report; no hook
+    /// charges the cost model, so attaching telemetry never changes
+    /// virtual time.
+    telemetry: std::sync::OnceLock<Arc<eveth_core::telemetry::Telemetry>>,
 }
 
 impl SimInner {
     fn bump_live(&self) {
         let live = self.live.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_live.fetch_max(live, Ordering::SeqCst);
+    }
+
+    fn tel(&self) -> Option<&Arc<eveth_core::telemetry::Telemetry>> {
+        self.telemetry.get()
     }
 }
 
@@ -293,24 +303,38 @@ impl RuntimeCtx for SimInner {
                 self.park_wait_ns.fetch_add(wait, Ordering::Relaxed);
                 self.park_waits.fetch_add(1, Ordering::Relaxed);
             }
+            // Same `ready_at` as the accounting above, so the span's wait
+            // sum matches the report's to the nanosecond.
+            if let Some(tel) = self.tel() {
+                tel.on_wake(ready_at, tid.0);
+            }
         }
         self.ready.lock().push(task, ready_at);
     }
     fn next_tid(&self) -> TaskId {
         TaskId(self.next_tid.fetch_add(1, Ordering::Relaxed))
     }
-    fn task_spawned(&self) {
+    fn task_spawned(&self, tid: TaskId, parent: Option<TaskId>) {
         self.bump_live();
         self.stats.spawned.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = self.tel() {
+            tel.on_spawn(self.clock.now(), tid.0, parent.map(|p| p.0));
+        }
     }
-    fn task_exited(&self, _tid: TaskId) {
+    fn task_exited(&self, tid: TaskId) {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.stats.exited.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = self.tel() {
+            tel.on_exit(self.clock.now(), tid.0, false);
+        }
     }
     fn uncaught_exception(&self, tid: TaskId, e: Exception) {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.stats.uncaught.fetch_add(1, Ordering::Relaxed);
         self.uncaught_log.lock().push((tid, e));
+        if let Some(tel) = self.tel() {
+            tel.on_exit(self.clock.now(), tid.0, true);
+        }
     }
     fn now(&self) -> Nanos {
         self.clock.now()
@@ -346,7 +370,11 @@ impl RuntimeCtx for SimInner {
         self.push_ready(Task::from_parts(shell, next));
     }
     fn task_parked(&self, tid: TaskId, kind: WaitKind) {
-        self.park_since.lock().insert(tid, (self.clock.now(), kind));
+        let now = self.clock.now();
+        self.park_since.lock().insert(tid, (now, kind));
+        if let Some(tel) = self.tel() {
+            tel.on_park(now, tid.0, kind);
+        }
     }
     fn task_wait_reclass(&self, tid: TaskId, kind: WaitKind) {
         // The winning branch of a multi-registration park re-attributes
@@ -355,6 +383,14 @@ impl RuntimeCtx for SimInner {
         // io + lock == park invariant, like any sleep).
         if let Some(entry) = self.park_since.lock().get_mut(&tid) {
             entry.1 = kind;
+        }
+        if let Some(tel) = self.tel() {
+            tel.on_reclass(self.clock.now(), tid.0, kind);
+        }
+    }
+    fn task_annotate(&self, tid: TaskId, name: Arc<str>) {
+        if let Some(tel) = self.tel() {
+            tel.on_annotate(self.clock.now(), tid.0, name);
         }
     }
     fn timer_wake(&self, dur: Nanos, waiter: eveth_core::reactor::Waiter) -> engine::TimerHandle {
@@ -487,6 +523,7 @@ impl SimRuntime {
             stats: Stats::default(),
             cost: config.cost.clone(),
             uncaught_log: Mutex::new(Vec::new()),
+            telemetry: std::sync::OnceLock::new(),
         });
         SimRuntime { inner, config }
     }
@@ -510,10 +547,26 @@ impl SimRuntime {
     /// Spawns a monadic thread.
     pub fn spawn(&self, m: ThreadM<()>) -> TaskId {
         let tid = self.inner.next_tid();
-        self.inner.task_spawned();
+        self.inner.task_spawned(tid, None);
         self.inner.charge(CostKind::Fork);
         self.inner.push_ready(Task::from_thread(tid, m));
         tid
+    }
+
+    /// Attaches a telemetry hub: every scheduler hook (spawn / annotate /
+    /// park / reclass / wake / exit) is forwarded to it from now on,
+    /// stamped with *virtual* time — the exact clock values the report's
+    /// own wait accounting uses, so per-span wait sums reconcile with
+    /// [`SimReport`] to the nanosecond. Telemetry charges nothing, so
+    /// attaching it never changes virtual time or the report. First
+    /// attach wins; later calls return `false` and change nothing.
+    pub fn set_telemetry(&self, telemetry: Arc<eveth_core::telemetry::Telemetry>) -> bool {
+        self.inner.telemetry.set(telemetry).is_ok()
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<Arc<eveth_core::telemetry::Telemetry>> {
+        self.inner.telemetry.get().cloned()
     }
 
     /// Spawns, enforcing the cost model's thread cap — how the harnesses

@@ -224,6 +224,32 @@ impl TxnStats {
     pub fn retries(&self) -> u64 {
         self.conflicts.load(Ordering::Relaxed) + self.retry_waits.load(Ordering::Relaxed)
     }
+
+    /// Registers these counters into a telemetry registry as
+    /// `eveth_stm_{conflicts,retry_waits,commits,retries}_total{labels}`,
+    /// polled at exposition time. This is how STM contention — invisible
+    /// to lock-wait accounting because it re-executes instead of parking —
+    /// reaches `/metrics` without this type changing shape.
+    pub fn register_into(
+        self: &Arc<Self>,
+        registry: &eveth_core::telemetry::metrics::Registry,
+        labels: &[(&str, &str)],
+    ) {
+        let s = Arc::clone(self);
+        registry.register_counter_fn("eveth_stm_conflicts_total", labels, move || {
+            s.conflicts.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(self);
+        registry.register_counter_fn("eveth_stm_retry_waits_total", labels, move || {
+            s.retry_waits.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(self);
+        registry.register_counter_fn("eveth_stm_commits_total", labels, move || {
+            s.commits.load(Ordering::Relaxed)
+        });
+        let s = Arc::clone(self);
+        registry.register_counter_fn("eveth_stm_retries_total", labels, move || s.retries());
+    }
 }
 
 /// Runs `body` transactionally from a *monadic thread*: attempts execute

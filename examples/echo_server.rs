@@ -141,7 +141,7 @@ fn main() {
     );
     println!(
         "server: {} connections accepted, {} chunks echoed, drained with {} sessions left",
-        server.stats().accepted.load(Ordering::SeqCst),
+        server.stats().accepted.get(),
         server.service().echoed_chunks.load(Ordering::Relaxed),
         server.active()
     );

@@ -3,6 +3,11 @@
 //! application-level TCP stack by one line — the same switch as the web
 //! server, on a completely different protocol.
 //!
+//! A [`DebugService`] is mounted beside the KV server (same host, port
+//! 11280) with the telemetry fabric attached: after the load drains, the
+//! example fetches `GET /metrics` over a real (virtual) connection and
+//! prints the server-side counters next to the client's view.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example kv_server             # kernel-socket model
@@ -13,7 +18,9 @@
 
 use std::sync::Arc;
 
-use eveth::core::net::{Endpoint, HostId, NetStack};
+use eveth::core::net::{send_all, Endpoint, HostId, NetStack};
+use eveth::core::service::{Server, ServerConfig as DebugConfig};
+use eveth::core::telemetry::{DebugService, Telemetry};
 use eveth::glue;
 use eveth::kv::loadgen::{client_thread, KvLoadConfig, KvLoadStats};
 use eveth::kv::server::{KvConfig, KvServer};
@@ -26,12 +33,43 @@ use eveth::tcp::tcb::TcpConfig;
 const CLIENTS: u64 = 24;
 const BATCHES_PER_CONN: usize = 16;
 const PIPELINE_DEPTH: usize = 8;
+const DEBUG_PORT: u16 = 11280;
+
+/// One `GET` against the debug service: connect, send the request line,
+/// read to EOF (it closes after one response), return the body.
+fn debug_get(stack: &Arc<dyn NetStack>, ep: Endpoint, target: &str) -> eveth::ThreadM<String> {
+    let stack = Arc::clone(stack);
+    let req = bytes::Bytes::from(format!("GET {target} HTTP/1.0\r\n\r\n"));
+    eveth::do_m! {
+        let conn <- stack.connect(ep);
+        let conn = conn.expect("debug service reachable");
+        let sent <- send_all(&conn, req);
+        let _ = sent.expect("request sent");
+        let raw <- eveth::loop_m((Vec::new(), conn), move |(mut acc, conn)| {
+            conn.recv(16 * 1024).map(move |res| match res {
+                Ok(chunk) if chunk.is_empty() => eveth::Loop::Break(acc),
+                Ok(chunk) => {
+                    acc.extend_from_slice(&chunk);
+                    eveth::Loop::Continue((acc, conn))
+                }
+                Err(_) => eveth::Loop::Break(acc),
+            })
+        });
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        eveth::ThreadM::pure(match text.split_once("\r\n\r\n") {
+            Some((_, body)) => body.to_string(),
+            None => text,
+        })
+    }
+}
 
 fn main() {
     let use_app_tcp = std::env::args().any(|a| a == "tcp");
     let use_stm = std::env::args().any(|a| a == "stm");
 
     let sim = SimRuntime::new_default();
+    let telemetry = Telemetry::new();
+    assert!(sim.set_telemetry(Arc::clone(&telemetry)));
 
     // ---- THE one-line switch (paper §5.2) -------------------------------
     let (server_stack, client_stack): (Arc<dyn NetStack>, Arc<dyn NetStack>) = if use_app_tcp {
@@ -47,7 +85,7 @@ fn main() {
     // ----------------------------------------------------------------------
 
     let server = KvServer::new(
-        server_stack,
+        Arc::clone(&server_stack),
         KvConfig {
             port: 11211,
             store: StoreConfig {
@@ -62,7 +100,20 @@ fn main() {
             ..Default::default()
         },
     );
+    server.attach_telemetry(&telemetry);
     sim.spawn(server.run());
+
+    // Live introspection beside the KV server: same host, own port.
+    let debug = Server::new(
+        Arc::clone(&server_stack),
+        DebugService::new(&telemetry),
+        DebugConfig {
+            port: DEBUG_PORT,
+            ..Default::default()
+        },
+    );
+    debug.attach_telemetry(&telemetry, "debug");
+    sim.spawn(debug.run());
 
     // Load: pipelined get/set mix over zipfian keys.
     let stats = Arc::new(KvLoadStats::default());
@@ -103,6 +154,16 @@ fn main() {
     }))
     .expect("load completed");
 
+    // Introspect over the wire while everything is still mounted: the
+    // debug service renders the same registry the servers write into.
+    let metrics = sim
+        .block_on(debug_get(
+            &client_stack,
+            Endpoint::new(HostId(1), DEBUG_PORT),
+            "/metrics",
+        ))
+        .expect("metrics fetched");
+
     let secs = sim.now() as f64 / 1e9;
     let snap = server.store_snapshot();
     println!(
@@ -133,4 +194,14 @@ fn main() {
         CLIENTS * (BATCHES_PER_CONN * PIPELINE_DEPTH) as u64,
         "every pipelined command must be answered"
     );
+
+    println!("\nGET /metrics (debug service, port {DEBUG_PORT}) — server-side lines:");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("eveth_kv_commands")
+            || l.starts_with("eveth_server_")
+            || l.starts_with("eveth_runtime_io_wait")
+    }) {
+        println!("  {line}");
+    }
+    println!("  (also try /threads for the live span table, /trace for Perfetto)");
 }

@@ -6,6 +6,11 @@
 //! framework end to end (accept fan-out, per-session `choose`, graceful
 //! drain).
 //!
+//! The telemetry fabric rides along: a [`DebugService`] on port 9990
+//! serves `GET /metrics`, `/threads` and `/trace` beside the web server,
+//! and the example fetches the live span table over a real (virtual)
+//! connection before draining.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example web_server            # kernel-socket model
@@ -15,8 +20,10 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use eveth::core::net::{Endpoint, HostId, NetStack};
+use eveth::core::net::{send_all, Endpoint, HostId, NetStack};
+use eveth::core::service::{Server, ServerConfig as DebugConfig};
 use eveth::core::syscall::*;
+use eveth::core::telemetry::{DebugService, Telemetry};
 use eveth::glue;
 use eveth::http::loadgen::{client_thread, corpus_paths, LoadConfig, LoadStats};
 use eveth::http::server::{ServerConfig, WebServer};
@@ -32,11 +39,41 @@ const FILES: usize = 512;
 const FILE_BYTES: u64 = 16 * 1024;
 const CONNECTIONS: u64 = 32;
 const REQUESTS_PER_CONN: usize = 12;
+const DEBUG_PORT: u16 = 9990;
+
+/// One `GET` against the debug service (it closes after one response).
+fn debug_get(stack: &Arc<dyn NetStack>, ep: Endpoint, target: &str) -> ThreadM<String> {
+    let stack = Arc::clone(stack);
+    let req = bytes::Bytes::from(format!("GET {target} HTTP/1.0\r\n\r\n"));
+    do_m! {
+        let conn <- stack.connect(ep);
+        let conn = conn.expect("debug service reachable");
+        let sent <- send_all(&conn, req);
+        let _ = sent.expect("request sent");
+        let raw <- loop_m((Vec::new(), conn), move |(mut acc, conn)| {
+            conn.recv(16 * 1024).map(move |res| match res {
+                Ok(chunk) if chunk.is_empty() => Loop::Break(acc),
+                Ok(chunk) => {
+                    acc.extend_from_slice(&chunk);
+                    Loop::Continue((acc, conn))
+                }
+                Err(_) => Loop::Break(acc),
+            })
+        });
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        ThreadM::pure(match text.split_once("\r\n\r\n") {
+            Some((_, body)) => body.to_string(),
+            None => text,
+        })
+    }
+}
 
 fn main() {
     let use_app_tcp = std::env::args().any(|a| a == "tcp");
 
     let sim = SimRuntime::new_default();
+    let telemetry = Telemetry::new();
+    assert!(sim.set_telemetry(Arc::clone(&telemetry)));
 
     // A simulated 7200 RPM disk with C-LOOK head scheduling and a corpus
     // of 16 KB files, exactly the shape of the paper's workload.
@@ -65,7 +102,7 @@ fn main() {
     // ----------------------------------------------------------------------
 
     let server = WebServer::new(
-        server_stack,
+        Arc::clone(&server_stack),
         fs,
         ServerConfig {
             port: 80,
@@ -73,7 +110,20 @@ fn main() {
             ..Default::default()
         },
     );
+    server.attach_telemetry(&telemetry);
     sim.spawn(server.run());
+
+    // Live introspection beside the web server: same host, own port.
+    let debug = Server::new(
+        Arc::clone(&server_stack),
+        DebugService::new(&telemetry),
+        DebugConfig {
+            port: DEBUG_PORT,
+            ..Default::default()
+        },
+    );
+    debug.attach_telemetry(&telemetry, "debug");
+    sim.spawn(debug.run());
 
     // Load generator: CONNECTIONS keep-alive clients on the other host.
     let stats = Arc::new(LoadStats::default());
@@ -103,6 +153,23 @@ fn main() {
         }
     }))
     .expect("load completed");
+
+    // Peek at the live span table and metrics over the wire while the
+    // web server is still up — the debug service shares its runtime.
+    let threads = sim
+        .block_on(debug_get(
+            &client_stack,
+            Endpoint::new(HostId(1), DEBUG_PORT),
+            "/threads",
+        ))
+        .expect("threads fetched");
+    let metrics = sim
+        .block_on(debug_get(
+            &client_stack,
+            Endpoint::new(HostId(1), DEBUG_PORT),
+            "/metrics",
+        ))
+        .expect("metrics fetched");
 
     // Graceful drain through the framework: close the listener via the
     // acceptor's choose, let every keep-alive session observe the
@@ -138,5 +205,17 @@ fn main() {
     assert_eq!(
         stats.ok.load(Ordering::Relaxed),
         CONNECTIONS * REQUESTS_PER_CONN as u64
+    );
+
+    println!("\nGET /metrics (debug service, port {DEBUG_PORT}) — http lines:");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("eveth_http_") || l.starts_with("eveth_server_session_"))
+    {
+        println!("  {line}");
+    }
+    println!(
+        "GET /threads: {} live spans at fetch time (also /trace for Perfetto)",
+        threads.lines().filter(|l| l.contains("tid=")).count()
     );
 }

@@ -115,7 +115,7 @@ fn generic_server_hosts_a_custom_service_and_drains_gracefully() {
     // Let the drain observer run to completion.
     sim.run();
     assert_eq!(server.service().chunks.load(Ordering::Relaxed), 1);
-    assert_eq!(server.stats().accepted.load(Ordering::SeqCst), 1);
+    assert_eq!(server.stats().accepted.get(), 1);
     assert_eq!(server.active(), 0);
     assert!(server.drained_signal().is_fired(), "drain barrier fired");
     assert_ne!(
