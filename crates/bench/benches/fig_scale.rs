@@ -1,0 +1,16 @@
+//! Bench-target shim: the sweep lives in `eveth_bench::figscale` so the
+//! `fig_scale` *binary* regenerates the identical `BENCH_scale.json`.
+//! The counting allocator backs the resident scenario's bytes-per-
+//! connection column.
+//!
+//! Run: `cargo bench --bench fig_scale` (EVETH_FULL=1 for the
+//! million-connection cell).
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    eveth_bench::figscale::run();
+}

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 /// Install with `#[global_allocator]` in a bench binary.
 #[derive(Debug, Default)]
@@ -27,6 +28,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
@@ -41,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             LIVE.fetch_add(new_size, Ordering::Relaxed);
             let live = LIVE.fetch_sub(layout.size(), Ordering::Relaxed) + new_size
                 - layout.size().min(new_size + layout.size());
@@ -55,7 +58,23 @@ pub fn live_bytes() -> usize {
     LIVE.load(Ordering::Relaxed)
 }
 
-/// Peak live heap bytes since process start.
+/// Peak live heap bytes since process start (or the last
+/// [`reset_peak`]).
 pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
+}
+
+/// Allocator calls (`alloc` + `realloc`) since process start. Divided by
+/// the connection count of a scale cell this is the allocations-per-
+/// connection figure — the metric that catches per-registration heap
+/// cells creeping back into the hot path.
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Rebases the peak to the current live figure, so a per-cell
+/// measurement window starts from "now" instead of inheriting an earlier
+/// cell's high-water mark.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }

@@ -1,0 +1,13 @@
+//! Binary form of the scale sweep: `cargo run --release -p eveth-bench
+//! --bin fig_scale` regenerates `BENCH_scale.json` exactly as the bench
+//! target does. The counting allocator is installed here so the resident
+//! scenario's bytes-per-connection column is live.
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    eveth_bench::figscale::run();
+}

@@ -16,6 +16,7 @@
 
 pub mod allocmeter;
 pub mod figkv;
+pub mod figscale;
 pub mod tables;
 pub mod workloads;
 

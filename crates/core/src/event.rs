@@ -688,6 +688,14 @@ impl Signal {
     pub fn waiter_count(&self) -> usize {
         self.st.lock().waiters.len()
     }
+
+    /// Registrations physically held, spent or live — cancelled entries
+    /// are removed from the arena immediately, so churn against a
+    /// never-firing signal (every session racing a shutdown broadcast it
+    /// does not win) must keep this bounded by the concurrent peak.
+    pub fn physical_waiter_count(&self) -> usize {
+        self.st.lock().waiters.physical_len()
+    }
 }
 
 impl Default for Signal {

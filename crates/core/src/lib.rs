@@ -70,12 +70,14 @@ pub mod reactor;
 pub mod runtime;
 pub mod sched;
 pub mod service;
+pub mod slab;
 pub mod sync;
 pub mod syscall;
 pub mod task;
 pub mod telemetry;
 pub mod thread;
 pub mod time;
+pub mod timer;
 pub mod trace;
 
 pub use exception::Exception;

@@ -128,6 +128,13 @@ pub trait Conn: Send + Sync {
 
     /// Closes the sending direction (further `recv`s by the peer will see
     /// end-of-stream once in-flight data drains).
+    ///
+    /// Transports without a readiness descriptor should also complete any
+    /// *pending local* `recv` with [`NetError::Closed`] once the
+    /// connection is fully closed: the fd-less receive pump of
+    /// [`SessionIo`] sits in a blocking `recv`, and close waking it is
+    /// what lets the pump observe its stop signal and exit instead of
+    /// blocking forever on a connection nobody will write to again.
     fn close(&self) -> ThreadM<()>;
 
     /// The remote endpoint.
@@ -253,9 +260,12 @@ pub enum SessionInput {
 ///   *timer-only* `choose` (idle deadline + shutdown broadcast), so both
 ///   deadlines are still honored exactly. If the deadline or the
 ///   broadcast wins, the in-flight `recv` is abandoned and its eventual
-///   result discarded — sound only because callers end the session on
-///   those outcomes (both bundled servers close the connection), which is
-///   why the pump exists per *call*, not per connection.
+///   result discarded. Because the helper is forked per *call*, a session
+///   that ends on one of those outcomes strands it, blocked in `recv`
+///   forever — one leaked thread per reaped connection. Servers therefore
+///   use [`SessionIo`], which keeps a single cancellable pump for the
+///   whole session; this free function remains for one-shot waits where
+///   the session owns the connection's full lifetime.
 pub fn session_input(
     conn: &Arc<dyn Conn>,
     recv_chunk: usize,
@@ -299,6 +309,173 @@ pub fn session_input(
         Wake::Ready => conn.recv(recv_chunk).map(SessionInput::Data),
         Wake::Idle => ThreadM::pure(SessionInput::IdleTimeout),
         Wake::Shutdown => ThreadM::pure(SessionInput::Shutdown),
+    })
+}
+
+/// A session's input endpoint: [`session_input`] composed once per
+/// *session* instead of once per call.
+///
+/// For fd-backed transports (and fd-less ones with no idle deadline) this
+/// is exactly the free function — nothing is forked, so nothing can leak.
+/// The difference is the fd-less fallback with an idle deadline: the free
+/// function forks a fresh receive helper on every call and strands it
+/// when the deadline or the shutdown broadcast wins, leaking one
+/// permanently-blocked thread per idle-reaped connection. `SessionIo`
+/// forks **one** pump, lazily on the first wait, reuses its completion
+/// channel across every subsequent [`input`](SessionIo::input), and tells
+/// it to stop via [`finish`](SessionIo::finish) (also fired on drop, so
+/// an exception that unwinds the session loop still releases the pump).
+///
+/// The pump can only exit from a blocking `recv` when that `recv`
+/// completes, which is why [`Conn::close`] on fd-less transports must
+/// complete pending receives with [`NetError::Closed`]: session end fires
+/// the stop signal, closes the connection, the pending `recv` returns,
+/// and the pump sees the signal and exits.
+pub struct SessionIo {
+    conn: Arc<dyn Conn>,
+    recv_chunk: usize,
+    idle_timeout: Nanos,
+    shutdown: Signal,
+    /// The pump's completion channel, created (and the pump forked) by
+    /// the first fd-less wait. Only the single session thread locks it.
+    pump: parking_lot::Mutex<Option<Chan<Result<Bytes, NetError>>>>,
+    /// Fired when the session ends; the pump re-checks it after every
+    /// delivery and exits instead of issuing another `recv`.
+    stop: Signal,
+}
+
+impl SessionIo {
+    /// A session-lifetime input endpoint over `conn`. Parameters mirror
+    /// [`session_input`]; `idle_timeout == 0` disables idle reaping.
+    pub fn new(
+        conn: Arc<dyn Conn>,
+        recv_chunk: usize,
+        idle_timeout: Nanos,
+        shutdown: Signal,
+    ) -> Arc<Self> {
+        Arc::new(SessionIo {
+            conn,
+            recv_chunk,
+            idle_timeout,
+            shutdown,
+            pump: parking_lot::Mutex::new(None),
+            stop: Signal::new(),
+        })
+    }
+
+    /// One composed wait: "receive OR time out OR shut down", exactly as
+    /// [`session_input`], but any helper thread it needs is per-session.
+    pub fn input(self: &Arc<Self>) -> ThreadM<SessionInput> {
+        if self.idle_timeout == 0 || self.conn.readiness_fd().is_some() {
+            return session_input(
+                &self.conn,
+                self.recv_chunk,
+                self.idle_timeout,
+                &self.shutdown,
+            );
+        }
+        // Fd-less with an idle deadline: race the session-lifetime pump's
+        // completion channel against the timer-only choose. The channel
+        // persists across calls, so a chunk the pump delivers while a
+        // previous wait committed elsewhere is picked up by the next wait
+        // rather than lost.
+        let (rx, start) = {
+            let mut pump = self.pump.lock();
+            match &*pump {
+                Some(c) => (c.clone(), None),
+                None => {
+                    let c: Chan<Result<Bytes, NetError>> = Chan::new();
+                    *pump = Some(c.clone());
+                    let body = pump_loop(
+                        Arc::clone(&self.conn),
+                        self.recv_chunk,
+                        self.stop.clone(),
+                        c.clone(),
+                    );
+                    (c, Some(body))
+                }
+            }
+        };
+        let shutdown = self.shutdown.clone();
+        let idle_timeout = self.idle_timeout;
+        let wait = sync(choose(vec![
+            rx.read_evt().wrap(SessionInput::Data),
+            shutdown.wait_evt().wrap(|()| SessionInput::Shutdown),
+            timeout_evt(idle_timeout).wrap(|()| SessionInput::IdleTimeout),
+        ]));
+        match start {
+            Some(body) => sys_fork(body).bind(move |_| wait),
+            None => wait,
+        }
+    }
+
+    /// Signals the pump (if one was forked) to exit. Idempotent; call on
+    /// every session-end path *before* closing the connection, so the
+    /// close-completed `recv` is the pump's last.
+    pub fn finish(&self) {
+        self.stop.fire();
+    }
+
+    /// True once a pump has been forked for this session (at most one,
+    /// ever — the regression surface of the per-call leak).
+    pub fn pump_forked(&self) -> bool {
+        self.pump.lock().is_some()
+    }
+}
+
+impl Drop for SessionIo {
+    fn drop(&mut self) {
+        // Backstop for sessions abandoned without reaching a clean end
+        // path (an exception unwound the loop): still release the pump.
+        self.stop.fire();
+    }
+}
+
+impl fmt::Debug for SessionIo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SessionIo(idle={}, pump_forked={}, finished={})",
+            self.idle_timeout,
+            self.pump_forked(),
+            self.stop.is_fired()
+        )
+    }
+}
+
+/// The session-lifetime receive pump: blocking `recv`s forwarded into the
+/// completion channel until end-of-stream, a transport error, or the
+/// session's stop signal.
+fn pump_loop(
+    conn: Arc<dyn Conn>,
+    recv_chunk: usize,
+    stop: Signal,
+    tx: Chan<Result<Bytes, NetError>>,
+) -> ThreadM<()> {
+    loop_m((), move |()| {
+        if stop.is_fired() {
+            return ThreadM::pure(Loop::Break(()));
+        }
+        let tx = tx.clone();
+        let stop = stop.clone();
+        conn.recv(recv_chunk).bind(move |r| {
+            // EOF and errors are terminal for the connection, so they are
+            // terminal for the pump too — no further recv can succeed.
+            let terminal = match &r {
+                Ok(chunk) => chunk.is_empty(),
+                Err(_) => true,
+            };
+            // The channel is unbounded, so this never blocks: the only
+            // place the pump parks is the recv above, which Conn::close
+            // completes.
+            tx.write(r).map(move |()| {
+                if terminal || stop.is_fired() {
+                    Loop::Break(())
+                } else {
+                    Loop::Continue(())
+                }
+            })
+        })
     })
 }
 

@@ -211,28 +211,43 @@ impl fmt::Debug for Unparker {
     }
 }
 
+/// Physical size below which [`WaitList`] and [`WaitQ`] never bother
+/// compacting — pruning a handful of entries buys nothing.
+const PRUNE_FLOOR: usize = 16;
+
 /// A list of parked waiters maintained by a device, with helpers for the
 /// wake-one / wake-all patterns used by pipes, sockets and sync primitives.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WaitList {
-    waiters: Vec<Waiter>,
+    waiters: std::collections::VecDeque<Waiter>,
+    /// Physical size at which the next `push` compacts. Doubling it after
+    /// each sweep makes pruning amortized O(1) per push while bounding the
+    /// physical list at ~2× the live count — the old prune-on-every-push
+    /// was O(n) per registration, which a connect/disconnect storm turned
+    /// into quadratic work on hot devices.
+    prune_at: usize,
 }
 
 impl WaitList {
     /// Creates an empty list.
     pub fn new() -> Self {
         WaitList {
-            waiters: Vec::new(),
+            waiters: std::collections::VecDeque::new(),
+            prune_at: PRUNE_FLOOR,
         }
     }
 
     /// Adds a waiter. Entries whose threads were already woken through
-    /// another route (e.g. the losing branches of a `choose`) are pruned
-    /// first, so abandoned registrations cannot accumulate in a device
-    /// that keeps receiving traffic.
+    /// another route (e.g. the losing branches of a `choose`) are swept
+    /// out whenever the list reaches its high-water mark, so abandoned
+    /// registrations cannot accumulate in a device that keeps receiving
+    /// traffic, and steady-state churn stays O(1) per push.
     pub fn push(&mut self, w: Waiter) {
-        self.waiters.retain(|w| !w.is_spent());
-        self.waiters.push(w);
+        if self.waiters.len() >= self.prune_at {
+            self.waiters.retain(|w| !w.is_spent());
+            self.prune_at = (self.waiters.len() * 2 + 2).max(PRUNE_FLOOR);
+        }
+        self.waiters.push_back(w);
     }
 
     /// Wakes every waiter and clears the list.
@@ -240,13 +255,13 @@ impl WaitList {
         for w in self.waiters.drain(..) {
             w.wake();
         }
+        self.prune_at = PRUNE_FLOOR;
     }
 
     /// Wakes one waiter (skipping any already-spent entries). Returns `true`
     /// if a live waiter was woken.
     pub fn wake_one(&mut self) -> bool {
-        while !self.waiters.is_empty() {
-            let w = self.waiters.remove(0);
+        while let Some(w) = self.waiters.pop_front() {
             if !w.is_spent() {
                 w.wake();
                 return true;
@@ -255,15 +270,28 @@ impl WaitList {
         false
     }
 
-    /// Number of *live* queued waiters (spent entries not yet drained are
+    /// Number of *live* queued waiters (spent entries not yet swept are
     /// not counted — they will never be woken).
     pub fn len(&self) -> usize {
         self.waiters.iter().filter(|w| !w.is_spent()).count()
     }
 
+    /// Entries physically held, live or spent — bounded at ~2× the live
+    /// count plus a small floor. For tests asserting churn leaves no
+    /// residue.
+    pub fn physical_len(&self) -> usize {
+        self.waiters.len()
+    }
+
     /// True if no live waiter is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Default for WaitList {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -274,7 +302,8 @@ impl WaitList {
 /// when a `choose` commits a different branch). Whichever side gets there
 /// first wins; the other observes an empty slot.
 pub struct WaitSlot {
-    cell: Arc<Mutex<Option<Waiter>>>,
+    inner: Arc<Mutex<WaitQInner>>,
+    key: crate::slab::SlabKey,
 }
 
 impl WaitSlot {
@@ -282,59 +311,90 @@ impl WaitSlot {
     /// waiter. `None` means the queue already consumed it — the caller's
     /// wakeup was (or is being) delivered, and a `choose` loser must pass
     /// that wakeup on to the device's next waiter.
+    ///
+    /// Cancellation is *physical*: the arena slot is freed immediately,
+    /// so a storm of registered-then-withdrawn waiters (every losing
+    /// `choose` branch in a connect/disconnect churn) leaves nothing
+    /// behind for a later wake path to skip over.
     pub fn take(&self) -> Option<Waiter> {
-        self.cell.lock().take()
+        self.inner.lock().slab.remove(self.key)
     }
 }
 
 impl fmt::Debug for WaitSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WaitSlot")
-            .field("queued", &self.cell.lock().is_some())
+            .field("queued", &self.inner.lock().slab.contains(self.key))
             .finish()
+    }
+}
+
+struct WaitQInner {
+    /// The waiters themselves, arena-allocated so registration churn
+    /// recycles slots instead of allocating one heap cell per park.
+    slab: crate::slab::Slab<Waiter>,
+    /// FIFO of keys; a key whose entry was cancelled is a tombstone the
+    /// wake paths skip (and amortized sweeps drop).
+    order: std::collections::VecDeque<crate::slab::SlabKey>,
+}
+
+impl WaitQInner {
+    /// Drops order-queue tombstones once they outnumber live entries —
+    /// amortized O(1) per operation, physical order length ≤ ~2× live.
+    fn maybe_sweep(&mut self) {
+        if self.order.len() > (self.slab.len() * 2).max(PRUNE_FLOOR) {
+            let WaitQInner { slab, order } = self;
+            order.retain(|k| slab.contains(*k));
+        }
     }
 }
 
 /// A FIFO of parked waiters with *cancellable* entries — the wait queue
 /// behind the event-native synchronization primitives (`Chan`, `SyncChan`,
-/// `MVar`).
+/// `MVar`) and the [`Signal`](crate::event::Signal) broadcast.
 ///
 /// Unlike [`WaitList`], every `push` hands back a [`WaitSlot`] through
 /// which the registration can be withdrawn, which is what lets a losing
 /// `choose` branch deregister instead of leaving a dead entry behind.
-/// Cancelled and spent entries are skipped by the wake paths and pruned on
-/// the next `push`; [`WaitQ::len`] counts only live registrations.
-#[derive(Default)]
+/// Entries live in a [`Slab`](crate::slab::Slab): cancellation removes
+/// them physically and the slot is recycled by the next registration, so
+/// steady-state churn neither allocates nor accumulates residue;
+/// [`WaitQ::len`] counts only live registrations.
 pub struct WaitQ {
-    entries: std::collections::VecDeque<Arc<Mutex<Option<Waiter>>>>,
+    inner: Arc<Mutex<WaitQInner>>,
 }
 
 impl WaitQ {
     /// An empty queue.
     pub fn new() -> Self {
-        WaitQ::default()
+        WaitQ {
+            inner: Arc::new(Mutex::new(WaitQInner {
+                slab: crate::slab::Slab::new(),
+                order: std::collections::VecDeque::new(),
+            })),
+        }
     }
 
     /// Appends a waiter; the returned slot cancels the registration.
-    /// Dead entries (cancelled, or spent through another wake route) are
-    /// pruned first.
     pub fn push(&mut self, w: Waiter) -> WaitSlot {
-        self.entries.retain(|e| {
-            let cell = e.lock();
-            matches!(&*cell, Some(w) if !w.is_spent())
-        });
-        let cell = Arc::new(Mutex::new(Some(w)));
-        self.entries.push_back(Arc::clone(&cell));
-        WaitSlot { cell }
+        let mut q = self.inner.lock();
+        let key = q.slab.insert(w);
+        q.order.push_back(key);
+        q.maybe_sweep();
+        WaitSlot {
+            inner: Arc::clone(&self.inner),
+            key,
+        }
     }
 
-    /// Wakes the oldest live waiter; cancelled and spent entries are
+    /// Wakes the oldest live waiter; tombstones and spent entries are
     /// dropped along the way. Returns `true` if a live waiter was woken.
     pub fn wake_one(&mut self) -> bool {
-        while let Some(entry) = self.entries.pop_front() {
-            let w = entry.lock().take();
-            match w {
+        let mut q = self.inner.lock();
+        while let Some(key) = q.order.pop_front() {
+            match q.slab.remove(key) {
                 Some(w) if !w.is_spent() => {
+                    drop(q);
                     w.wake();
                     return true;
                 }
@@ -346,27 +406,45 @@ impl WaitQ {
 
     /// Wakes every queued waiter and clears the queue.
     pub fn wake_all(&mut self) {
-        while let Some(entry) = self.entries.pop_front() {
-            if let Some(w) = entry.lock().take() {
-                w.wake();
+        let mut q = self.inner.lock();
+        let mut woken = Vec::new();
+        while let Some(key) = q.order.pop_front() {
+            if let Some(w) = q.slab.remove(key) {
+                woken.push(w);
             }
+        }
+        drop(q);
+        for w in woken {
+            w.wake();
         }
     }
 
     /// Number of live (neither cancelled nor spent) registrations.
     pub fn len(&self) -> usize {
-        self.entries
+        self.inner
+            .lock()
+            .slab
             .iter()
-            .filter(|e| {
-                let cell = e.lock();
-                matches!(&*cell, Some(w) if !w.is_spent())
-            })
+            .filter(|w| !w.is_spent())
             .count()
+    }
+
+    /// Entries physically held in the arena, live or spent. Cancelled
+    /// registrations are gone from here the moment [`WaitSlot::take`]
+    /// runs — the residue metric for churn tests.
+    pub fn physical_len(&self) -> usize {
+        self.inner.lock().slab.len()
     }
 
     /// True when no live registration is queued.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Default for WaitQ {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -418,6 +496,11 @@ impl InterestWaiters {
             Interest::Read => self.read.len(),
             Interest::Write => self.write.len(),
         }
+    }
+
+    /// Entries physically held across both interests, spent or live.
+    pub fn physical_len(&self) -> usize {
+        self.read.physical_len() + self.write.physical_len()
     }
 
     /// True when no waiter is registered for either interest.
@@ -518,6 +601,12 @@ impl<T> AcceptQueue<T> {
     /// threads committed elsewhere are spent and not counted).
     pub fn waiter_count(&self) -> usize {
         self.st.lock().waiters.len()
+    }
+
+    /// Accept-waiter entries physically held, spent or live — the residue
+    /// metric a connect/disconnect storm must leave bounded.
+    pub fn physical_waiters(&self) -> usize {
+        self.st.lock().waiters.physical_len()
     }
 
     /// True when no connection is queued.
@@ -642,6 +731,101 @@ mod tests {
         q.register(Waiter::new(u4, Arc::new(DirectPort)));
         assert_eq!(ctx.ready_count(), 4);
         assert!(q.is_closed());
+    }
+
+    #[test]
+    fn wait_list_spent_churn_leaves_bounded_residue() {
+        // A device that keeps being registered against by threads that are
+        // woken through other routes (losing choose branches): the
+        // watermark sweep must keep the physical list near zero live
+        // entries, not let 10k spent registrations pile up.
+        let ctx = noop_ctx();
+        let mut wl = WaitList::new();
+        for _ in 0..10_000 {
+            let u = Unparker::new(dummy_task(), ctx.clone());
+            wl.push(Waiter::new(u.clone(), Arc::new(DirectPort)));
+            u.unpark(); // spent immediately: committed elsewhere
+            assert!(wl.physical_len() <= 2 * PRUNE_FLOOR);
+        }
+        assert_eq!(wl.len(), 0);
+        assert!(wl.physical_len() <= 2 * PRUNE_FLOOR);
+    }
+
+    #[test]
+    fn wait_q_cancellation_removes_entries_physically() {
+        let ctx = noop_ctx();
+        let mut q = WaitQ::new();
+        // 10k register/cancel cycles: cancellation frees the arena slot at
+        // once, so nothing accumulates and nothing remains to wake.
+        for _ in 0..10_000 {
+            let slot = q.push(Waiter::new(
+                Unparker::new(dummy_task(), ctx.clone()),
+                Arc::new(DirectPort),
+            ));
+            assert!(slot.take().is_some());
+            assert_eq!(q.physical_len(), 0);
+        }
+        assert!(!q.wake_one(), "no residue to wake");
+        assert_eq!(ctx.ready_count(), 0);
+
+        // A batch armed together then cancelled together — the shape of a
+        // disconnect storm against a shutdown Signal.
+        let slots: Vec<_> = (0..10_000)
+            .map(|_| {
+                q.push(Waiter::new(
+                    Unparker::new(dummy_task(), ctx.clone()),
+                    Arc::new(DirectPort),
+                ))
+            })
+            .collect();
+        assert_eq!(q.len(), 10_000);
+        for s in &slots {
+            assert!(s.take().is_some());
+        }
+        assert_eq!(q.physical_len(), 0, "mass cancel leaves zero entries");
+        assert_eq!(q.len(), 0);
+        // Order tombstones are swept by subsequent traffic, and a live
+        // push/wake still works.
+        let _slot = q.push(Waiter::new(
+            Unparker::new(dummy_task(), ctx.clone()),
+            Arc::new(DirectPort),
+        ));
+        assert!(q.wake_one());
+        assert_eq!(ctx.ready_count(), 1);
+    }
+
+    #[test]
+    fn wait_q_double_take_is_stale() {
+        let ctx = noop_ctx();
+        let mut q = WaitQ::new();
+        let slot = q.push(Waiter::new(
+            Unparker::new(dummy_task(), ctx.clone()),
+            Arc::new(DirectPort),
+        ));
+        assert!(slot.take().is_some());
+        assert!(slot.take().is_none(), "second take sees a stale key");
+        // The freed slot is recycled; the old key must not touch the new
+        // tenant.
+        let slot2 = q.push(Waiter::new(
+            Unparker::new(dummy_task(), ctx.clone()),
+            Arc::new(DirectPort),
+        ));
+        assert!(slot.take().is_none());
+        assert_eq!(q.physical_len(), 1);
+        assert!(slot2.take().is_some());
+    }
+
+    #[test]
+    fn accept_queue_spent_churn_leaves_bounded_residue() {
+        let ctx = noop_ctx();
+        let q: AcceptQueue<u32> = AcceptQueue::new();
+        for _ in 0..10_000 {
+            let u = Unparker::new(dummy_task(), ctx.clone());
+            q.register(Waiter::new(u.clone(), Arc::new(DirectPort)));
+            u.unpark();
+        }
+        assert_eq!(q.waiter_count(), 0);
+        assert!(q.physical_waiters() <= 2 * PRUNE_FLOOR);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! (§4.6), and timers on a timer wheel. All of it is ordinary application
 //! code — no OS thread per monadic thread anywhere.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -27,6 +27,7 @@ use crate::syscall::sys_try;
 use crate::task::{Task, TaskId, TaskShell};
 use crate::thread::ThreadM;
 use crate::time::Nanos;
+use crate::timer::{TimerKey, TimerWheel};
 use crate::trace::BlioJob;
 
 /// Counters describing what a runtime has done. All counters are
@@ -242,62 +243,39 @@ impl std::fmt::Debug for EventLoopQueue {
 enum TimerDue {
     /// Requeue the task (a committed `sys_sleep`).
     Task(Task),
-    /// Wake the waiter unless cancelled or already woken elsewhere; the
-    /// cancel flag lets a losing timeout branch disarm without heap
-    /// surgery (the entry is skipped at expiry).
-    Waiter(Waiter, Arc<AtomicBool>),
+    /// Wake the waiter unless already woken elsewhere. Losing timeout
+    /// branches no longer carry a lazy-cancel flag: they disarm through
+    /// [`RtTimer::cancel`], which removes the entry physically.
+    Waiter(Waiter),
 }
 
-struct TimerEntry {
-    deadline: Nanos,
-    seq: u64,
-    due: TimerDue,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
-        other
-            .deadline
-            .cmp(&self.deadline)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-struct TimerWheel {
-    heap: Mutex<BinaryHeap<TimerEntry>>,
+/// The armed-deadline store shared between arming threads and the
+/// `worker_timer` loop: a hierarchical [`TimerWheel`] under the timer
+/// thread's mutex/condvar. Cancellation is physical and O(1), so
+/// armed-then-cancelled idle deadlines — one per completed or reaped
+/// connection under churn — have zero residence time instead of
+/// lingering in a heap until their far-future deadline.
+struct RtTimer {
+    wheel: Mutex<TimerWheel<TimerDue>>,
     cv: Condvar,
-    seq: AtomicU64,
 }
 
-impl TimerWheel {
+impl RtTimer {
     fn new() -> Self {
-        TimerWheel {
-            heap: Mutex::new(BinaryHeap::new()),
+        RtTimer {
+            wheel: Mutex::new(TimerWheel::new()),
             cv: Condvar::new(),
-            seq: AtomicU64::new(0),
         }
     }
 
-    fn insert(&self, deadline: Nanos, due: TimerDue) {
-        let entry = TimerEntry {
-            deadline,
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-            due,
-        };
-        self.heap.lock().push(entry);
+    fn insert(&self, deadline: Nanos, due: TimerDue) -> TimerKey {
+        let key = self.wheel.lock().insert(deadline, due);
         self.cv.notify_one();
+        key
+    }
+
+    fn cancel(&self, key: TimerKey) {
+        self.wheel.lock().cancel(key);
     }
 }
 
@@ -307,7 +285,7 @@ struct RtInner {
     blio_rx: Receiver<(BlioJob, TaskShell)>,
     epoll_queue: Arc<EventLoopQueue>,
     aio_queue: Arc<EventLoopQueue>,
-    timer: TimerWheel,
+    timer: Arc<RtTimer>,
     next_tid: AtomicU64,
     live: AtomicI64,
     stats: Stats,
@@ -398,14 +376,14 @@ impl RuntimeCtx for RtInner {
             .insert(self.now().saturating_add(dur), TimerDue::Task(task));
     }
     fn timer_wake(&self, dur: Nanos, waiter: Waiter) -> engine::TimerHandle {
-        let cancelled = Arc::new(AtomicBool::new(false));
-        self.timer.insert(
-            self.now().saturating_add(dur),
-            TimerDue::Waiter(waiter, Arc::clone(&cancelled)),
-        );
-        // Lazy cancellation: the entry stays heaped until its deadline and
-        // is skipped at expiry — cheap, and wall-clock time flows anyway.
-        engine::TimerHandle::new(move || cancelled.store(true, Ordering::SeqCst))
+        let key = self
+            .timer
+            .insert(self.now().saturating_add(dur), TimerDue::Waiter(waiter));
+        // Physical cancellation: a losing timeout branch removes its wheel
+        // entry immediately instead of leaving a flagged corpse behind
+        // until the deadline.
+        let timer = Arc::clone(&self.timer);
+        engine::TimerHandle::new(move || timer.cancel(key))
     }
     fn submit_blio(&self, job: BlioJob, shell: TaskShell) {
         let _ = self.blio_tx.send((job, shell));
@@ -457,7 +435,7 @@ impl Runtime {
             blio_rx,
             epoll_queue: Arc::new(EventLoopQueue::new()),
             aio_queue: Arc::new(EventLoopQueue::new()),
-            timer: TimerWheel::new(),
+            timer: Arc::new(RtTimer::new()),
             next_tid: AtomicU64::new(1),
             live: AtomicI64::new(0),
             stats: Stats::default(),
@@ -609,6 +587,14 @@ impl Runtime {
         self.inner.now()
     }
 
+    /// Armed timer entries physically resident in the wheel. Cancelled
+    /// entries are removed eagerly, so after a mass arm-and-cancel this
+    /// returns to zero (regression guard for the old lazy-cancel leak,
+    /// where entries lingered until their deadline).
+    pub fn timer_entries(&self) -> usize {
+        self.inner.timer.wheel.lock().len()
+    }
+
     /// A [`RuntimeCtx`] handle for device drivers and schedulers that need
     /// to resume threads directly (e.g. the TCP stack).
     pub fn ctx(&self) -> Arc<dyn RuntimeCtx> {
@@ -710,28 +696,25 @@ fn worker_timer(inner: Arc<RtInner>) {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let mut due = Vec::new();
-        let wait;
+        let due;
         {
-            let mut heap = inner.timer.heap.lock();
+            let mut wheel = inner.timer.wheel.lock();
             let now = inner.now();
-            while heap.peek().is_some_and(|e| e.deadline <= now) {
-                due.push(heap.pop().expect("peeked entry present"));
-            }
-            wait = heap
-                .peek()
-                .map(|e| Duration::from_nanos(e.deadline.saturating_sub(now)))
-                .unwrap_or(POLL_INTERVAL)
-                .min(POLL_INTERVAL.max(Duration::from_millis(1)) * 10);
+            due = wheel.expire(now);
             if due.is_empty() {
-                inner.timer.cv.wait_for(&mut heap, wait);
+                let wait = wheel
+                    .next_deadline_hint()
+                    .map(|d| Duration::from_nanos(d.saturating_sub(now)))
+                    .unwrap_or(POLL_INTERVAL)
+                    .min(POLL_INTERVAL.max(Duration::from_millis(1)) * 10);
+                inner.timer.cv.wait_for(&mut wheel, wait);
             }
         }
-        for entry in due {
-            match entry.due {
+        for (_, _, entry) in due {
+            match entry {
                 TimerDue::Task(task) => inner.push_ready(task),
-                TimerDue::Waiter(w, cancelled) => {
-                    if !cancelled.load(Ordering::SeqCst) && !w.is_spent() {
+                TimerDue::Waiter(w) => {
+                    if !w.is_spent() {
                         w.wake();
                     }
                 }
@@ -884,6 +867,36 @@ mod tests {
             );
             rt.shutdown();
         }
+    }
+
+    #[test]
+    fn cancelled_timers_leave_no_residue_in_the_wheel() {
+        use crate::reactor::{DirectPort, Unparker, Waiter};
+        use crate::time::SECS;
+        use crate::trace::Trace;
+        let rt = Runtime::builder().workers(1).build();
+        let ctx = rt.ctx();
+        // Arm 100k far-future idle deadlines — one per simulated
+        // connection — then cancel them all, as a churn storm does.
+        let handles: Vec<_> = (0..100_000u64)
+            .map(|i| {
+                let u = Unparker::new(
+                    Task::from_thunk(TaskId(1_000_000 + i), Box::new(|| Trace::Ret)),
+                    Arc::clone(&ctx),
+                );
+                ctx.timer_wake(3600 * SECS, Waiter::new(u, Arc::new(DirectPort)))
+            })
+            .collect();
+        assert_eq!(rt.timer_entries(), 100_000);
+        for h in handles {
+            h.cancel();
+        }
+        assert_eq!(
+            rt.timer_entries(),
+            0,
+            "cancellation must remove wheel entries physically"
+        );
+        rt.shutdown();
     }
 
     #[test]

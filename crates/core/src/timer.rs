@@ -1,0 +1,455 @@
+//! A hierarchical timer wheel with O(1) arm and **physical** cancel.
+//!
+//! The real runtime used to keep armed deadlines in a `BinaryHeap` with
+//! lazy cancellation: a losing `timeout_evt` branch only flagged its
+//! entry, which stayed resident until its (possibly far-future) deadline.
+//! Under a million-connection churn workload every reaped or completed
+//! session leaves one armed-then-cancelled idle deadline behind, so the
+//! heap grew without bound — O(armed-deadlines) memory and log-time
+//! operations over mostly-dead entries.
+//!
+//! This wheel is the classic hashed hierarchical design (Varghese &
+//! Lauck): [`LEVELS`] levels of [`SLOTS`] slots, each level-0 tick
+//! [`TICK_NS`] wide and each higher level covering [`SLOTS`]× the span
+//! below it; deadlines beyond the top level wait in an overflow bucket
+//! and cascade in as the wheel turns. Entries live in a generation-keyed
+//! [`Slab`], and every entry records its (bucket, position), so
+//! [`TimerWheel::cancel`] is an O(1) `swap_remove` that frees the slot
+//! immediately — cancelled entries have zero residence time, and the
+//! slab's free list means steady-state churn allocates nothing.
+
+use crate::slab::{Slab, SlabKey};
+use crate::time::Nanos;
+
+/// Level-0 tick width: 2^20 ns ≈ 1.05 ms.
+pub const TICK_NS: Nanos = 1 << TICK_SHIFT;
+const TICK_SHIFT: u32 = 20;
+/// log2(slots per level).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; spans ~4.8 hours before the overflow bucket.
+pub const LEVELS: usize = 4;
+const OVERFLOW: usize = LEVELS * SLOTS;
+
+/// Handle to one armed entry, for [`TimerWheel::cancel`]. Generation-keyed:
+/// a handle outliving its entry (already fired or cancelled) is inert.
+pub type TimerKey = SlabKey;
+
+struct Entry<T> {
+    deadline: Nanos,
+    /// Arm-order tiebreak: simultaneous deadlines fire in arm order.
+    seq: u64,
+    due: T,
+    /// Current (bucket, position) — kept exact so cancel can
+    /// `swap_remove` without scanning.
+    bucket: u32,
+    pos: u32,
+}
+
+/// The wheel. Not internally synchronized: the runtime wraps it in the
+/// timer thread's mutex, the same way the old heap was.
+pub struct TimerWheel<T> {
+    entries: Slab<Entry<T>>,
+    /// `LEVELS × SLOTS` slot vectors plus the overflow bucket, flattened.
+    buckets: Vec<Vec<TimerKey>>,
+    /// Entries resident per level (`counts[LEVELS]` = overflow), so
+    /// [`TimerWheel::expire`] can jump empty stretches of ticks instead
+    /// of visiting each one.
+    counts: [usize; LEVELS + 1],
+    /// The level-0 tick the wheel has turned to.
+    cur: u64,
+    seq: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            entries: Slab::new(),
+            buckets: (0..=OVERFLOW).map(|_| Vec::new()).collect(),
+            counts: [0; LEVELS + 1],
+            cur: 0,
+            seq: 0,
+        }
+    }
+
+    /// Armed entries currently resident (live only — cancelled entries are
+    /// removed physically, so this is also the physical size).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Slab slots ever allocated (live + reusable) — the physical arena
+    /// footprint, for tests asserting churn does not grow it.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Which bucket a deadline tick belongs in, given the current tick.
+    fn bucket_for(cur: u64, tick: u64) -> usize {
+        let delta = tick.saturating_sub(cur);
+        for level in 0..LEVELS {
+            if delta < 1u64 << (SLOT_BITS * (level as u32 + 1)) {
+                let slot = (tick >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                return level * SLOTS + slot;
+            }
+        }
+        OVERFLOW
+    }
+
+    /// Links an existing slab entry into the bucket its deadline belongs
+    /// in (used by both arming and cascading).
+    fn link(&mut self, key: TimerKey) {
+        let entry = self.entries.get(key).expect("linking a live key");
+        let tick = (entry.deadline >> TICK_SHIFT).max(self.cur);
+        let bucket = Self::bucket_for(self.cur, tick);
+        let pos = self.buckets[bucket].len() as u32;
+        let entry = self.entries.get_mut(key).expect("linking a live key");
+        entry.bucket = bucket as u32;
+        entry.pos = pos;
+        self.buckets[bucket].push(key);
+        self.counts[bucket / SLOTS] += 1;
+    }
+
+    /// Removes the key at `bucket[pos]` by swap-remove, backpatching the
+    /// moved entry's recorded position.
+    fn unlink(&mut self, bucket: usize, pos: usize) {
+        self.buckets[bucket].swap_remove(pos);
+        self.counts[bucket / SLOTS] -= 1;
+        if let Some(&moved) = self.buckets[bucket].get(pos) {
+            self.entries.get_mut(moved).expect("bucket key live").pos = pos as u32;
+        }
+    }
+
+    /// Arms an entry. O(1); allocation-free once the slab has warmed up.
+    pub fn insert(&mut self, deadline: Nanos, due: T) -> TimerKey {
+        let seq = self.seq;
+        self.seq += 1;
+        let key = self.entries.insert(Entry {
+            deadline,
+            seq,
+            due,
+            bucket: 0,
+            pos: 0,
+        });
+        self.link(key);
+        key
+    }
+
+    /// Disarms an entry, physically removing it. O(1). Returns the
+    /// payload, or `None` if the key is stale (already fired or
+    /// cancelled).
+    pub fn cancel(&mut self, key: TimerKey) -> Option<T> {
+        let entry = self.entries.remove(key)?;
+        self.unlink(entry.bucket as usize, entry.pos as usize);
+        Some(entry.due)
+    }
+
+    /// Turns the wheel up to `now`, returning every due entry sorted by
+    /// (deadline, arm order).
+    pub fn expire(&mut self, now: Nanos) -> Vec<(Nanos, u64, T)> {
+        let target = now >> TICK_SHIFT;
+        let mut due = Vec::new();
+        loop {
+            let slot = (self.cur as usize) & (SLOTS - 1);
+            self.drain_due(slot, now, &mut due);
+            if self.cur >= target {
+                break;
+            }
+            // Advance: tick-by-tick while level 0 is occupied, otherwise
+            // jump straight to the next cascade boundary of the lowest
+            // occupied level (nothing can fire in between).
+            let lowest = self.counts.iter().position(|&c| c > 0);
+            self.cur = match lowest {
+                Some(0) => self.cur + 1,
+                Some(level) => {
+                    let span = 1u64 << (SLOT_BITS * level as u32);
+                    (self.cur | (span - 1)).saturating_add(1).min(target)
+                }
+                None => target,
+            };
+            self.cascade();
+        }
+        due.sort_by_key(|e| (e.0, e.1));
+        due
+    }
+
+    /// Collects entries in level-0 slot `slot` whose deadline has passed.
+    /// (Only the slot for the current tick can hold not-yet-due entries —
+    /// sub-tick remainders — which stay put.)
+    fn drain_due(&mut self, slot: usize, now: Nanos, due: &mut Vec<(Nanos, u64, T)>) {
+        let mut pos = 0;
+        while pos < self.buckets[slot].len() {
+            let key = self.buckets[slot][pos];
+            let deadline = self.entries.get(key).expect("bucket key live").deadline;
+            if deadline <= now {
+                let entry = self.entries.remove(key).expect("checked live");
+                self.unlink(slot, pos);
+                due.push((entry.deadline, entry.seq, entry.due));
+            } else {
+                pos += 1;
+            }
+        }
+    }
+
+    /// Re-buckets higher-level slots whose window the wheel just entered.
+    fn cascade(&mut self) {
+        for level in 1..=LEVELS {
+            if self.cur & ((1 << (SLOT_BITS * level as u32)) - 1) != 0 {
+                return;
+            }
+            let bucket = if level < LEVELS {
+                let slot = (self.cur >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+                level * SLOTS + slot
+            } else {
+                OVERFLOW
+            };
+            let keys = std::mem::take(&mut self.buckets[bucket]);
+            self.counts[bucket / SLOTS] -= keys.len();
+            for key in keys {
+                self.link(key);
+            }
+        }
+    }
+
+    /// A lower bound on the next live deadline (`None` when empty): exact
+    /// for the imminent slot and the overflow bucket, next-visit floor for
+    /// everything else. Safe to sleep until — the wheel never owes a
+    /// wakeup before it.
+    pub fn next_deadline_hint(&self) -> Option<Nanos> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let cur_slot = (self.cur as usize) & (SLOTS - 1);
+        let mut best: Option<Nanos> = None;
+        let fold = |d: Nanos, best: &mut Option<Nanos>| {
+            *best = Some(best.map_or(d, |b: Nanos| b.min(d)));
+        };
+        // Exact scan where a floor would be uselessly loose: the slot the
+        // wheel is sitting on (sub-tick remainders) and the far overflow.
+        for &key in self.buckets[cur_slot].iter().chain(&self.buckets[OVERFLOW]) {
+            fold(
+                self.entries.get(key).expect("bucket key live").deadline,
+                &mut best,
+            );
+        }
+        for level in 0..LEVELS {
+            if self.counts[level] == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            for slot in 0..SLOTS {
+                let bucket = level * SLOTS + slot;
+                if bucket == cur_slot || self.buckets[bucket].is_empty() {
+                    continue;
+                }
+                // This bucket's entries cannot fire before the wheel next
+                // visits it: the earliest tick > cur that is aligned to
+                // the level's span and indexes this slot.
+                let span = 1u64 << shift;
+                let super_span = 1u64 << (shift + SLOT_BITS);
+                let base = self.cur & !(super_span - 1);
+                let mut t = base + (slot as u64) * span;
+                if t <= self.cur {
+                    t += super_span;
+                }
+                fold(t << TICK_SHIFT, &mut best);
+            }
+        }
+        best
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TimerWheel(armed={}, tick={}, capacity={})",
+            self.len(),
+            self.cur,
+            self.capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MILLIS, SECS};
+
+    #[test]
+    fn entries_fire_in_deadline_then_arm_order() {
+        let mut w = TimerWheel::new();
+        w.insert(5 * MILLIS, "b1");
+        w.insert(2 * MILLIS, "a");
+        w.insert(5 * MILLIS, "b2");
+        w.insert(9 * MILLIS, "c");
+        let due: Vec<_> = w.expire(10 * MILLIS).into_iter().map(|e| e.2).collect();
+        assert_eq!(due, vec!["a", "b1", "b2", "c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn not_yet_due_entries_stay_armed() {
+        let mut w = TimerWheel::new();
+        w.insert(3 * MILLIS, "early");
+        w.insert(40 * MILLIS, "late");
+        let due = w.expire(10 * MILLIS);
+        assert_eq!(due.len(), 1);
+        assert_eq!(w.len(), 1);
+        let due = w.expire(50 * MILLIS);
+        assert_eq!(due[0].2, "late");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sub_tick_deadlines_do_not_fire_early() {
+        let mut w = TimerWheel::new();
+        // Same tick, later nanosecond.
+        w.insert(TICK_NS + 1000, "x");
+        assert!(w.expire(TICK_NS + 999).is_empty());
+        // The hint now points at the exact deadline, not the tick floor.
+        assert_eq!(w.next_deadline_hint(), Some(TICK_NS + 1000));
+        assert_eq!(w.expire(TICK_NS + 1000).len(), 1);
+    }
+
+    #[test]
+    fn cancel_physically_removes() {
+        let mut w = TimerWheel::new();
+        let keys: Vec<_> = (0..100_000u64)
+            .map(|i| w.insert(10 * SECS + i * 1000, i))
+            .collect();
+        assert_eq!(w.len(), 100_000);
+        for k in keys {
+            assert!(w.cancel(k).is_some());
+        }
+        assert_eq!(w.len(), 0, "cancelled entries have zero residence time");
+        assert!(w.expire(20 * SECS).is_empty());
+        // Stale keys are inert.
+        let k = w.insert(SECS, 7);
+        assert!(w.cancel(k).is_some());
+        assert!(w.cancel(k).is_none());
+    }
+
+    #[test]
+    fn arm_cancel_churn_does_not_grow_the_arena() {
+        let mut w = TimerWheel::new();
+        let warm: Vec<_> = (0..256u64).map(|i| w.insert(SECS, i)).collect();
+        for k in warm {
+            w.cancel(k);
+        }
+        let cap = w.capacity();
+        for round in 0..1000u64 {
+            let keys: Vec<_> = (0..256u64).map(|i| w.insert(SECS + round, i)).collect();
+            for k in keys {
+                w.cancel(k);
+            }
+        }
+        assert_eq!(w.capacity(), cap, "churn must reuse slab slots");
+    }
+
+    #[test]
+    fn long_deadlines_cascade_through_levels_and_overflow() {
+        let mut w = TimerWheel::new();
+        // One deadline per level plus one beyond the ~4.8h horizon.
+        let spans = [
+            10 * MILLIS,        // level 0
+            200 * MILLIS,       // level 1
+            10 * SECS,          // level 2
+            1000 * SECS,        // level 3
+            6 * 60 * 60 * SECS, // overflow
+        ];
+        for (i, &d) in spans.iter().enumerate() {
+            w.insert(d, i);
+        }
+        let mut fired = Vec::new();
+        let mut now = 0;
+        while !w.is_empty() {
+            now = w.next_deadline_hint().expect("armed").max(now + TICK_NS);
+            for (_, _, v) in w.expire(now) {
+                fired.push(v);
+            }
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancel_mid_slot_backpatches_neighbors() {
+        let mut w = TimerWheel::new();
+        // All in one slot (same tick), then cancel from the middle.
+        let ks: Vec<_> = (0..10u64).map(|i| w.insert(5 * MILLIS, i)).collect();
+        w.cancel(ks[3]);
+        w.cancel(ks[7]);
+        let due: Vec<_> = w.expire(SECS).into_iter().map(|e| e.2).collect();
+        assert_eq!(due, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn hint_is_a_valid_sleep_bound() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.next_deadline_hint(), None);
+        w.insert(3 * SECS, "far");
+        let hint = w.next_deadline_hint().expect("armed");
+        assert!(hint <= 3 * SECS, "never later than the real deadline");
+        assert!(
+            hint >= 3 * SECS - TICK_NS * SLOTS as u64,
+            "reasonably tight: {hint}"
+        );
+        assert!(
+            w.expire(hint.saturating_sub(1)).is_empty(),
+            "sleeping to the hint misses nothing"
+        );
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_arm_fire_cancel_keeps_counts_consistent() {
+        let mut w = TimerWheel::new();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let step = |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        };
+        let mut live: Vec<TimerKey> = Vec::new();
+        let mut now = 0u64;
+        let mut fired = 0usize;
+        let mut cancelled = 0usize;
+        let mut armed = 0usize;
+        for _ in 0..5_000 {
+            match step(&mut rng) % 3 {
+                0 => {
+                    let dur = step(&mut rng) % (5 * SECS);
+                    live.push(w.insert(now + dur, ()));
+                    armed += 1;
+                }
+                1 if !live.is_empty() => {
+                    let i = (step(&mut rng) as usize) % live.len();
+                    if w.cancel(live.swap_remove(i)).is_some() {
+                        cancelled += 1;
+                    }
+                }
+                _ => {
+                    now += step(&mut rng) % (500 * MILLIS);
+                    fired += w.expire(now).len();
+                }
+            }
+        }
+        fired += w.expire(now + 10 * SECS).len();
+        assert!(w.is_empty());
+        assert_eq!(fired + cancelled, armed);
+    }
+}

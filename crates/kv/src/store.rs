@@ -233,6 +233,18 @@ impl ShardedStore {
         }
     }
 
+    /// Per-shard lock-wait nanoseconds, indexed by shard (all zeros for
+    /// the STM backend). [`ShardedStore::lock_wait_ns`] is this summed;
+    /// the per-shard view is what shows a thundering herd for what it is —
+    /// the wait concentrated on the hot key's shard rather than smeared
+    /// across the store.
+    pub fn shard_lock_waits(&self) -> Vec<u64> {
+        match &self.shards {
+            Shards::Mutex(shards) => shards.iter().map(|s| s.gate.contended_ns()).collect(),
+            Shards::Stm(shards) => vec![0; shards.len()],
+        }
+    }
+
     /// Shard-lock acquisitions that had to wait (0 for the STM backend).
     pub fn lock_contentions(&self) -> u64 {
         match &self.shards {

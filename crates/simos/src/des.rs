@@ -37,20 +37,41 @@ impl EventEntry {
     }
 }
 
+/// Cancelled entries tolerated in the heap before a cancellation triggers
+/// compaction (and then only once they also outnumber live entries). Keeps
+/// the heap's physical size at O(live + 64) under arm-and-cancel churn
+/// instead of O(armed-ever).
+const COMPACT_MIN: usize = 64;
+
 /// Cancellation handle for [`SimClock::schedule_cancellable`].
 #[derive(Clone)]
 pub struct SimTimer {
     flag: Arc<AtomicBool>,
+    state: std::sync::Weak<Mutex<ClockState>>,
 }
 
 impl SimTimer {
-    /// Withdraws the event: it will be dropped, unfired, when the heap
-    /// reaches it (idempotent; a no-op if it already fired).
+    /// Withdraws the event: it will never fire (idempotent; a no-op if it
+    /// already fired). The entry is dropped eagerly: pop paths discard it,
+    /// and once cancelled entries outnumber live ones the heap is
+    /// compacted, so a churn storm's abandoned timeouts cannot accumulate.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::SeqCst);
+        let Some(state) = self.state.upgrade() else {
+            self.flag.store(true, Ordering::SeqCst);
+            return;
+        };
+        let mut st = state.lock();
+        if self.flag.swap(true, Ordering::SeqCst) {
+            return; // already cancelled, or already fired
+        }
+        st.cancelled += 1;
+        if st.cancelled > COMPACT_MIN && st.cancelled * 2 > st.heap.len() {
+            st.heap.retain(|e| !e.is_cancelled());
+            st.cancelled = 0;
+        }
     }
 
-    /// True once [`SimTimer::cancel`] has run.
+    /// True once the timer is disarmed — cancelled, or already fired.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
     }
@@ -84,6 +105,9 @@ struct ClockState {
     now: Nanos,
     seq: u64,
     heap: BinaryHeap<EventEntry>,
+    /// Cancelled entries still resident in `heap`, kept exact under the
+    /// state lock so cancellation knows when compaction is worthwhile.
+    cancelled: usize,
 }
 
 /// A shared virtual clock with an event queue.
@@ -116,6 +140,7 @@ impl SimClock {
                 now: 0,
                 seq: 0,
                 heap: BinaryHeap::new(),
+                cancelled: 0,
             })),
         }
     }
@@ -169,7 +194,10 @@ impl SimClock {
         let mut st = self.state.lock();
         let at = st.now.saturating_add(delay);
         Self::push(&mut st, at, Box::new(f), Some(Arc::clone(&flag)));
-        SimTimer { flag }
+        SimTimer {
+            flag,
+            state: Arc::downgrade(&self.state),
+        }
     }
 
     fn push(st: &mut ClockState, at: Nanos, run: EventFn, cancelled: Option<Arc<AtomicBool>>) {
@@ -188,6 +216,7 @@ impl SimClock {
     fn prune_cancelled(st: &mut ClockState) {
         while st.heap.peek().is_some_and(|e| e.is_cancelled()) {
             st.heap.pop();
+            st.cancelled = st.cancelled.saturating_sub(1);
         }
     }
 
@@ -204,6 +233,12 @@ impl SimClock {
                     // A busy CPU may already be past the event's time; the
                     // event is then processed late, never early.
                     st.now = st.now.max(ev.at);
+                    // Mark the firing entry's flag spent (under the lock),
+                    // so a late cancel from a losing branch is not counted
+                    // against the heap's cancelled-residue budget.
+                    if let Some(flag) = &ev.cancelled {
+                        flag.store(true, Ordering::SeqCst);
+                    }
                     ev
                 }
                 None => return false,
@@ -228,6 +263,15 @@ impl SimClock {
             .iter()
             .filter(|e| !e.is_cancelled())
             .count()
+    }
+
+    /// Total heap entries including cancelled residue awaiting compaction.
+    /// Bounded at roughly `max(64, live)` by the threshold-triggered
+    /// compaction in [`SimTimer::cancel`] — the regression guard for the
+    /// old behavior, where every armed-then-cancelled deadline stayed
+    /// resident until the clock reached it.
+    pub fn physical_pending(&self) -> usize {
+        self.state.lock().heap.len()
     }
 }
 
@@ -341,6 +385,26 @@ mod tests {
         assert_eq!(fired.load(Ordering::SeqCst), 1);
         t.cancel(); // already fired: harmless
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_the_heap() {
+        let clock = SimClock::new();
+        let timers: Vec<_> = (0..100_000u64)
+            .map(|i| clock.schedule_cancellable(1_000_000 + i, || {}))
+            .collect();
+        assert_eq!(clock.physical_pending(), 100_000);
+        for t in timers {
+            t.cancel();
+        }
+        assert!(
+            clock.physical_pending() <= 2 * 64,
+            "cancelled residue must be compacted away, found {}",
+            clock.physical_pending()
+        );
+        assert_eq!(clock.pending(), 0);
+        assert!(!clock.fire_next());
+        assert_eq!(clock.now(), 0, "cancelled deadlines never advance time");
     }
 
     #[test]

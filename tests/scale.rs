@@ -1,0 +1,142 @@
+//! The C1M scale scenarios behind `fig_scale` (`eveth_bench::figscale`),
+//! asserted at test scale:
+//!
+//! * determinism — a churn cell produces identical results across reruns
+//!   at every CPU count (the property that makes `BENCH_scale.json`
+//!   byte-identical across processes, which CI diffs);
+//! * thundering herd — with every client on one key, the store's lock
+//!   wait concentrates on the single hot shard;
+//! * slowloris — the idle deadline reaps exactly the slow readers, never
+//!   live traffic;
+//! * churn hygiene — after a connect/disconnect storm the shutdown
+//!   broadcast holds zero physical waiter registrations beyond the
+//!   acceptor's and no monadic thread outlives the drain (the
+//!   leak/accumulation regression class this PR fixes).
+
+use eveth_bench::workloads::{
+    churn_run, kv_server_run, resident_run, slowloris_run, ChurnParams, KvRunParams,
+    ResidentParams, ScaleRunResult, SlowlorisParams,
+};
+use eveth_core::time::MILLIS;
+use eveth_simos::cost::CostModel;
+
+/// Everything in a [`ScaleRunResult`] that must be a pure function of
+/// (params, seed): the memory columns are excluded because in-process
+/// reruns share one allocator whose live/peak state is path-dependent
+/// (fresh-process reruns of the binary ARE byte-identical, and CI
+/// verifies that with `cmp`).
+fn fingerprint(r: &ScaleRunResult) -> (u64, u64, u64, u64, u64, u64, u64, usize, i64) {
+    (
+        r.elapsed,
+        r.ops,
+        r.p50_ns,
+        r.p99_ns,
+        r.io_wait_ns,
+        r.lock_wait_ns,
+        r.accepted,
+        r.shutdown_physical_waiters,
+        r.live_threads_after,
+    )
+}
+
+#[test]
+fn churn_cell_is_deterministic_across_reruns_at_every_cpu_count() {
+    for cpus in [1, 4] {
+        let p = ChurnParams {
+            cpus,
+            connections: 1_000,
+            concurrent: 64,
+            payload: 64,
+        };
+        let a = churn_run(&p);
+        let b = churn_run(&p);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "churn cell must be deterministic at cpus={cpus}"
+        );
+        assert_eq!(a.ops, 1_000);
+    }
+}
+
+#[test]
+fn resident_cell_is_deterministic_across_reruns() {
+    let p = ResidentParams {
+        cpus: 4,
+        connections: 256,
+        payload: 64,
+    };
+    let a = resident_run(&p);
+    let b = resident_run(&p);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.shutdown_physical_waiters, 256, "all sessions live");
+    assert_eq!(a.live_threads_after, 0);
+}
+
+#[test]
+fn thundering_herd_concentrates_lock_wait_on_the_hot_shard() {
+    // The fig_scale herd cell at test scale: one key, eight shards —
+    // every client hammers the same gate while seven shards idle.
+    let r = kv_server_run(&KvRunParams {
+        cost: CostModel::monadic(),
+        cpus: 4,
+        slice: 8,
+        app_tcp: false,
+        loopback: true,
+        shards: 8,
+        stm: false,
+        clients: 32,
+        batches_per_conn: 8,
+        pipeline_depth: 8,
+        set_percent: 10,
+        keys: 1,
+        value_bytes: 100,
+        seed: 42,
+    });
+    assert_eq!(r.responses, 32 * 8 * 8);
+    assert!(
+        r.store_lock_wait_ns > 0,
+        "a single-key herd over 32 clients must contend"
+    );
+    assert!(
+        r.hot_shard_lock_wait_ns * 10 >= r.store_lock_wait_ns * 9,
+        "hot shard must hold >= 90% of store lock wait ({} of {})",
+        r.hot_shard_lock_wait_ns,
+        r.store_lock_wait_ns
+    );
+}
+
+#[test]
+fn slowloris_readers_are_reaped_exactly_and_leave_nothing_behind() {
+    let r = slowloris_run(&SlowlorisParams {
+        cpus: 4,
+        slow: 48,
+        busy: 16,
+        cycles: 16,
+        payload: 64,
+        idle_timeout: 10 * MILLIS,
+    });
+    assert_eq!(r.idle_reaped, 48, "exactly the slow readers are reaped");
+    assert_eq!(r.ops, 16 * 16, "live traffic is untouched");
+    assert_eq!(r.accepted, 48 + 16);
+    assert_eq!(r.shutdown_physical_waiters, 0);
+    assert_eq!(r.live_threads_after, 0);
+}
+
+#[test]
+fn churn_storm_leaves_no_waiter_residue_or_leaked_threads() {
+    let r = churn_run(&ChurnParams {
+        cpus: 4,
+        connections: 10_000,
+        concurrent: 256,
+        payload: 64,
+    });
+    assert_eq!(r.ops, 10_000);
+    assert_eq!(r.accepted, 10_000);
+    assert_eq!(
+        r.shutdown_physical_waiters, 0,
+        "10k ended sessions must all have withdrawn from the shutdown broadcast"
+    );
+    assert_eq!(r.live_threads_after, 0, "no thread outlives the drain");
+    assert_eq!(r.idle_reaped, 0, "no idle deadline configured");
+}

@@ -22,10 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use eveth::core::event::{choose, never, sync, timeout_evt, Signal};
+use eveth::core::event::{choose, never, sync, timeout_evt, Event, Signal};
 use eveth::core::net::{
     queue_accept_evt, recv_exact, send_all, send_all_within, session_input, Conn, Endpoint, HostId,
-    NetError, NetStack, SendInput, SessionInput,
+    Listener, NetError, NetStack, SendInput, SessionInput,
 };
 use eveth::core::reactor::AcceptQueue;
 use eveth::core::service::{Server, ServerConfig, Service, Step};
@@ -368,6 +368,134 @@ fn fdless_conn_still_honors_idle_timeout_via_timer_only_choose() {
         matches!(input, SessionInput::Shutdown),
         "broadcast beats a distant idle deadline: {input:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Per-session pump hygiene on fd-less transports.
+// ---------------------------------------------------------------------------
+
+/// An fd-less transport whose `recv` parks until the connection is
+/// closed, then completes with `Err(Closed)` — the contract
+/// [`Conn::close`] documents for transports without a readiness
+/// descriptor, and the hook that lets a session's receive pump exit.
+struct StallConn {
+    closed: Signal,
+}
+
+impl Conn for StallConn {
+    fn recv(&self, _max: usize) -> ThreadM<Result<Bytes, NetError>> {
+        sync(self.closed.wait_evt().wrap(|()| Err(NetError::Closed)))
+    }
+
+    fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>> {
+        ThreadM::pure(Ok(data.len()))
+    }
+
+    fn close(&self) -> ThreadM<()> {
+        let closed = self.closed.clone();
+        sys_nbio(move || closed.fire())
+    }
+
+    fn peer(&self) -> Endpoint {
+        Endpoint::new(HostId(99), 2)
+    }
+
+    fn local(&self) -> Endpoint {
+        Endpoint::new(HostId(98), 2)
+    }
+}
+
+/// A listener/stack pair over a bare [`AcceptQueue`], so a `Server<S>` can
+/// be fed hand-built fd-less connections.
+struct StubListener {
+    q: Arc<AcceptQueue<Arc<dyn Conn>>>,
+}
+
+impl Listener for StubListener {
+    fn accept_evt(&self) -> Event<Result<Arc<dyn Conn>, NetError>> {
+        queue_accept_evt(Arc::clone(&self.q), |c| c)
+    }
+
+    fn local(&self) -> Endpoint {
+        Endpoint::new(HostId(98), 2)
+    }
+
+    fn shutdown(&self) {
+        self.q.close();
+    }
+}
+
+struct StubStack {
+    q: Arc<AcceptQueue<Arc<dyn Conn>>>,
+}
+
+impl NetStack for StubStack {
+    fn listen(&self, _port: u16) -> ThreadM<Result<Arc<dyn Listener>, NetError>> {
+        let lst: Arc<dyn Listener> = Arc::new(StubListener {
+            q: Arc::clone(&self.q),
+        });
+        ThreadM::pure(Ok(lst))
+    }
+
+    fn connect(&self, _remote: Endpoint) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        ThreadM::pure(Err(NetError::Unreachable))
+    }
+
+    fn host(&self) -> HostId {
+        HostId(98)
+    }
+}
+
+/// Idle-reaping N stalled fd-less sessions must not strand their receive
+/// helpers: the per-session pump observes close + stop and exits. Before
+/// `SessionIo` the fallback forked a helper per *wait*, so this scenario
+/// leaked one permanently-blocked thread (and its span) per reaped
+/// connection — `live_threads()` would read `1 + STALLED` here.
+#[test]
+fn idle_reaped_fdless_sessions_leave_no_orphan_pump_threads() {
+    const STALLED: usize = 32;
+    const IDLE: Nanos = 5 * MILLIS;
+    let sim = SimRuntime::new_default();
+    let q: Arc<AcceptQueue<Arc<dyn Conn>>> = Arc::new(AcceptQueue::new());
+    let server = Server::new(
+        Arc::new(StubStack { q: Arc::clone(&q) }) as Arc<dyn NetStack>,
+        Echo {
+            chunks: AtomicU64::new(0),
+        },
+        ServerConfig {
+            idle_timeout: IDLE,
+            ..Default::default()
+        },
+    );
+    sim.spawn(server.run());
+    {
+        let q = Arc::clone(&q);
+        sim.spawn(sys_nbio(move || {
+            for _ in 0..STALLED {
+                let conn: Arc<dyn Conn> = Arc::new(StallConn {
+                    closed: Signal::new(),
+                });
+                assert!(q.push(conn).is_ok());
+            }
+        }));
+    }
+    sim.run();
+    assert_eq!(
+        server.stats().idle_reaped.get(),
+        STALLED as u64,
+        "every stalled session was idle-reaped"
+    );
+    assert_eq!(server.active(), 0);
+    assert_eq!(
+        sim.live_threads(),
+        1,
+        "only the acceptor remains parked: no orphaned receive pumps"
+    );
+
+    server.shutdown();
+    sim.run();
+    assert!(server.drained_signal().is_fired());
+    assert_eq!(sim.live_threads(), 0, "acceptor exits on shutdown");
 }
 
 // ---------------------------------------------------------------------------
