@@ -1,7 +1,14 @@
 //! Bench-target shim: the sweep lives in `eveth_bench::figkv` so the
-//! `fig_kv` *binary* regenerates the identical `BENCH_kv.json`.
+//! `fig_kv` *binary* regenerates the identical `BENCH_kv.json`. The
+//! counting allocator is installed in both entrypoints so the
+//! `allocs_per_op` column is live — and identical — either way.
 //!
 //! Run: `cargo bench --bench fig_kv` (EVETH_FULL=1 for the larger sweep).
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() {
     eveth_bench::figkv::run();

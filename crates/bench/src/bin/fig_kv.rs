@@ -1,5 +1,12 @@
 //! Binary form of the KV sweep: `cargo run --release -p eveth-bench --bin
 //! fig_kv` regenerates `BENCH_kv.json` exactly as the bench target does.
+//! The counting allocator is installed here so the `allocs_per_op` column
+//! is live (it reads as 0 without it).
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn main() {
     eveth_bench::figkv::run();

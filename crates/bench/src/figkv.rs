@@ -55,6 +55,7 @@ fn base_params() -> KvRunParams {
         set_percent: 10,
         keys: 1024,
         value_bytes: 100,
+        preload: false,
         seed: 42,
     }
 }
@@ -92,6 +93,7 @@ fn row(
         ("backend", JsonVal::Str(backend.into())),
         ("cpus", JsonVal::Int(p.cpus as u64)),
         ("slice", JsonVal::Int(p.slice as u64)),
+        ("value_bytes", JsonVal::Int(p.value_bytes as u64)),
         ("responses", JsonVal::Int(r.responses)),
         ("ops_per_sec", JsonVal::Num(r.ops_per_sec)),
         ("hit_ratio", JsonVal::Num(r.hit_ratio())),
@@ -104,6 +106,8 @@ fn row(
         ("store_lock_wait_ns", JsonVal::Int(r.store_lock_wait_ns)),
         ("stm_retries", JsonVal::Int(r.stm_retries)),
         ("cpu_utilization", JsonVal::Num(r.cpu_utilization)),
+        ("allocs_per_op", JsonVal::Num(r.allocs_per_op)),
+        ("copies_per_op", JsonVal::Num(r.copies_per_op)),
     ]
 }
 
@@ -258,6 +262,38 @@ pub fn run() {
     println!("(each cell also ran on the STM backend; see the stm_retries");
     println!(" column in BENCH_kv.json for its contention signal)");
 
+    // ---- get-heavy: the zero-copy showcase cell --------------------------
+    // A preloaded key space and a 100% get mix, so every reply carries a
+    // stored value. With the buffer fabric, that value travels
+    // store → socket as a refcounted slice: `copies_per_op` counts only
+    // the reply headers and must stay below `value_bytes` (CI gates it).
+    println!();
+    println!(
+        "{:>10} | {:>14} | {:>9} | {:>14} | {:>14}",
+        "get-heavy", "ops/s", "hit rate", "allocs/op", "copies/op"
+    );
+    println!(
+        "{:->10}-+-{:->14}-+-{:->9}-+-{:->14}-+-{:->14}",
+        "", "", "", "", ""
+    );
+    let p_get = KvRunParams {
+        cpus: 4,
+        shards: 8,
+        set_percent: 0,
+        preload: true,
+        ..contention_params()
+    };
+    let r_get = run_cell(p_get.clone());
+    println!(
+        "{:>10} | {:>14} | {:>8.1}% | {:>14.2} | {:>14.2}",
+        "sockets",
+        count(r_get.ops_per_sec as u64),
+        r_get.hit_ratio() * 100.0,
+        r_get.allocs_per_op,
+        r_get.copies_per_op
+    );
+    rows.push(row("get_heavy", "sockets", "mutex", &p_get, &r_get));
+
     // ---- machine-readable drop -------------------------------------------
     let out = workspace_root().join("BENCH_kv.json");
     let meta = [
@@ -310,6 +346,7 @@ fn trace_cell() -> KvRunParams {
         set_percent: 30,
         keys: 64,
         value_bytes: 100,
+        preload: false,
         seed: 11,
     }
 }

@@ -62,6 +62,7 @@ fn herd_params() -> KvRunParams {
         set_percent: 10,
         keys: 1,
         value_bytes: 100,
+        preload: false,
         seed: 42,
     }
 }

@@ -289,6 +289,10 @@ pub struct KvRunParams {
     pub keys: usize,
     /// Value payload bytes.
     pub value_bytes: usize,
+    /// Fill the whole key space with one deterministic pipelined client
+    /// before the measured load starts (outside the counter window), so a
+    /// get-heavy mix actually hits and its replies carry value bytes.
+    pub preload: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -341,6 +345,17 @@ pub struct KvRunResult {
     pub cpus: usize,
     /// Mean CPU utilization over the run.
     pub cpu_utilization: f64,
+    /// Heap allocations per answered command over the measured load
+    /// window (`allocmeter` delta / responses; 0 outside the bench bins,
+    /// where the counting allocator isn't installed). Preload traffic is
+    /// excluded.
+    pub allocs_per_op: f64,
+    /// Buffer-fabric payload bytes copied per answered command
+    /// (`bytes::bytes_copied_total` delta / responses). Counts every
+    /// byte the `bytes` crate physically copies into a buffer — reply
+    /// headers land here, while a stored value that travels
+    /// store → socket as a refcounted slice contributes nothing.
+    pub copies_per_op: f64,
 }
 
 impl KvRunResult {
@@ -422,6 +437,39 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
         ttl_secs: 0,
         seed: p.seed,
     });
+
+    if p.preload {
+        // Fill the key space before the counter window opens, so the
+        // measured phase is pure load and a get-heavy mix always hits.
+        let pre_stats = Arc::new(KvLoadStats::default());
+        sim.spawn(eveth_kv::loadgen::preload_thread(
+            Arc::clone(&client_stack),
+            Arc::clone(&cfg),
+            Arc::clone(&pre_stats),
+        ));
+        let preloader = Arc::clone(&pre_stats);
+        sim.block_on(loop_m((), move |()| {
+            let watch = Arc::clone(&preloader);
+            do_m! {
+                sys_sleep(50 * eveth_core::time::MICROS);
+                let done <- sys_nbio(move || watch.clients_done.get());
+                ThreadM::pure(if done == 1 { Loop::Break(()) } else { Loop::Continue(()) })
+            }
+        }))
+        .expect("kv preload completed");
+        assert_eq!(
+            pre_stats.stored.get(),
+            p.keys as u64,
+            "preload stored every key"
+        );
+    }
+
+    // Per-op allocation/copy accounting covers exactly the measured load
+    // phase (client spawn → last client done); preload and setup stay
+    // outside the window.
+    let base_allocs = crate::allocmeter::alloc_count();
+    let base_copies = bytes::bytes_copied_total();
+
     for id in 0..p.clients {
         sim.spawn(client_thread(
             Arc::clone(&client_stack),
@@ -448,6 +496,15 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
     let report = sim.report();
     let elapsed = report.now;
     let responses = stats.responses();
+    let run_allocs = crate::allocmeter::alloc_count().saturating_sub(base_allocs) as u64;
+    let run_copies = bytes::bytes_copied_total().saturating_sub(base_copies);
+    let per_op = |total: u64| {
+        if responses == 0 {
+            0.0
+        } else {
+            total as f64 / responses as f64
+        }
+    };
     let pcts = stats.latency.percentiles(&[50.0, 95.0, 99.0]);
     KvRunResult {
         elapsed,
@@ -476,6 +533,8 @@ pub fn kv_server_run(p: &KvRunParams) -> KvRunResult {
         stm_retries: server.store().stm_retries(),
         cpus: report.cpus,
         cpu_utilization: report.avg_utilization(),
+        allocs_per_op: per_op(run_allocs),
+        copies_per_op: per_op(run_copies),
     }
 }
 
@@ -1129,6 +1188,7 @@ mod tests {
                 set_percent: 30,
                 keys: 64,
                 value_bytes: 64,
+                preload: false,
                 seed: 11,
             });
             assert_eq!(r.responses, 4 * 4 * 4, "app_tcp={app_tcp}");
@@ -1158,6 +1218,7 @@ mod tests {
             set_percent: 10,
             keys: 256,
             value_bytes: 64,
+            preload: false,
             seed: 42,
         });
         assert_eq!(r.responses, 8 * 8 * 8);
@@ -1200,6 +1261,7 @@ mod tests {
                 set_percent: 10,
                 keys: 1024,
                 value_bytes: 100,
+                preload: false,
                 seed: 42,
             })
         };

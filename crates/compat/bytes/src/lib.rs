@@ -1,51 +1,141 @@
-//! A minimal, offline-vendored subset of the `bytes` crate.
+//! A minimal, offline-vendored subset of the `bytes` crate, extended with
+//! the workspace's zero-copy buffer fabric.
 //!
 //! The build environment has no network access to crates.io, so this
 //! workspace ships the small part of the `bytes` API it actually uses:
-//! [`Bytes`], a cheaply cloneable, sliceable, immutable byte buffer.
-//! Semantics match the real crate for the covered surface; swap the path
-//! dependency for the registry crate when a registry is available.
+//! [`Bytes`], a cheaply cloneable, sliceable, immutable byte buffer, and
+//! [`BytesMut`], its mutable staging counterpart. Semantics match the real
+//! crate for the covered surface; swap the path dependency for the
+//! registry crate when a registry is available.
+//!
+//! On top of that API subset sits the slab-buffer layer (modeled on
+//! timely-dataflow's `bytes` crate: shared ownership of slab regions with
+//! O(1) splitting):
+//!
+//! * [`BufferPool`] hands out [`BytesMut`] staging buffers backed by
+//!   recycled slab regions. [`BytesMut::freeze`] turns the staged bytes
+//!   into refcounted [`Bytes`] windows of that one region — [`Bytes::slice`]
+//!   and [`Bytes::split_to`] are O(1) — and when the last window drops,
+//!   the slab's storage returns to the pool instead of the allocator.
+//! * [`Bytes::from_static`] aliases its `'static` input directly: reply
+//!   constants like `STORED\r\n` cost neither an allocation nor a copy.
+//! * The crate counts its own work: [`bytes_copied_total`] is every
+//!   payload byte physically copied *into* a buffer by this crate, and
+//!   [`buffers_allocated_total`] every fresh backing allocation it makes
+//!   (pool hits count zero of each). Benchmarks report these as
+//!   `copies_per_op` / feed `allocs_per_op`, which is how the zero-copy
+//!   reply path stays regression-proof.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::mem;
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+// ---------------------------------------------------------------------------
+// Instrumentation: what this crate copies and allocates.
+// ---------------------------------------------------------------------------
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+static BUFFERS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static SLABS_CARVED: AtomicU64 = AtomicU64::new(0);
+
+/// Total payload bytes physically copied *into* buffers by this crate
+/// since process start: [`Bytes::copy_from_slice`], writes into a
+/// [`BytesMut`] ([`extend_from_slice`](BytesMut::extend_from_slice) and
+/// friends), and the bytes moved when a `BytesMut` outgrows its backing
+/// region. O(1) window operations (`clone`, `slice`, `split_to`,
+/// `freeze`) and ownership transfers (`From<Vec<u8>>`) count nothing.
+pub fn bytes_copied_total() -> u64 {
+    BYTES_COPIED.load(Ordering::Relaxed)
+}
+
+/// Total fresh backing allocations this crate has made since process
+/// start: copied-in buffers, non-empty `BytesMut` capacity requests, and
+/// pool misses that carve a new slab. Pool hits and `'static` aliases
+/// count nothing.
+pub fn buffers_allocated_total() -> u64 {
+    BUFFERS_ALLOCATED.load(Ordering::Relaxed)
+}
+
+/// Total slab regions ever carved by [`BufferPool`]s (pool misses), for
+/// the `eveth_buf_slabs_total` metric. A steady state that keeps hitting
+/// the pool holds this flat.
+pub fn slabs_carved_total() -> u64 {
+    SLABS_CARVED.load(Ordering::Relaxed)
+}
+
+fn note_copy(n: usize) {
+    if n > 0 {
+        BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+    }
+}
+
+fn note_alloc() {
+    BUFFERS_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes: immutable refcounted windows.
+// ---------------------------------------------------------------------------
+
+/// The three places a [`Bytes`] window can point.
+#[derive(Clone)]
+enum Repr {
+    /// Aliases a `'static` slice directly — zero allocation, zero copy.
+    Static(&'static [u8]),
+    /// A refcounted private allocation (`From<Vec<u8>>` and friends).
+    Shared(Arc<[u8]>),
+    /// A refcounted window of a (possibly pooled) slab region; the last
+    /// window to drop returns the region to its pool.
+    Slab(Arc<Slab>),
+}
 
 /// A cheaply cloneable, immutable slice of contiguous memory.
 ///
-/// Internally an `Arc<[u8]>` plus a `(start, end)` window; `clone` and
-/// [`Bytes::slice`] are O(1) and never copy the payload.
-#[derive(Clone, Default)]
+/// Internally a refcounted region plus a `(start, end)` window; `clone`,
+/// [`Bytes::slice`] and [`Bytes::split_to`] are O(1) and never copy the
+/// payload. Regions come in three flavors — aliased `'static` data, a
+/// private allocation, or a [`BufferPool`] slab (see the crate docs).
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    repr: Repr,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// Creates an empty `Bytes`.
+    /// Creates an empty `Bytes` without allocating.
     pub fn new() -> Self {
-        Bytes::from_vec(Vec::new())
+        Bytes::from_static(b"")
     }
 
-    /// Creates a `Bytes` from a static slice without copying at use sites
-    /// that already have `'static` data. (This shim copies once into an
-    /// `Arc`; the real crate aliases the static directly.)
+    /// Creates a `Bytes` aliasing a static slice directly — no allocation,
+    /// no copy, like the real crate.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from_vec(data.to_vec())
+        Bytes {
+            repr: Repr::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
-    /// Copies `data` into a new buffer.
+    /// Copies `data` into a new buffer (one counted allocation + copy).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from_vec(data.to_vec())
+        note_alloc();
+        note_copy(data.len());
+        Bytes::from_vec_uncounted(data.to_vec())
     }
 
-    fn from_vec(v: Vec<u8>) -> Self {
+    /// Takes ownership of `v` without a counted copy (the caller already
+    /// owns the bytes; `Arc<[u8]>::from` may still move them once).
+    fn from_vec_uncounted(v: Vec<u8>) -> Self {
         let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
         let end = data.len();
         Bytes {
-            data,
+            repr: Repr::Shared(data),
             start: 0,
             end,
         }
@@ -61,7 +151,7 @@ impl Bytes {
         self.start == self.end
     }
 
-    /// Returns a sub-view; O(1), shares the underlying allocation.
+    /// Returns a sub-view; O(1), shares the underlying region.
     ///
     /// # Panics
     ///
@@ -83,26 +173,64 @@ impl Bytes {
             "range out of bounds: {begin}..{stop} of {len}"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            repr: self.repr.clone(),
             start: self.start + begin,
             end: self.start + stop,
         }
     }
 
-    /// Splits off and returns the first `at` bytes, leaving the rest.
+    /// Splits off and returns the first `at` bytes, leaving the rest;
+    /// O(1), both halves share the region.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         let head = self.slice(..at);
         *self = self.slice(at..);
         head
     }
 
-    /// Copies the view into a fresh `Vec<u8>`.
+    /// Copies the view into a fresh `Vec<u8>` (an explicit copy-out,
+    /// deliberately not counted as a buffer-fabric copy).
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
 
+    /// Returns a view with no excess backing storage: when this window
+    /// covers only part of its region, the bytes are copied out into a
+    /// right-sized private allocation (counted) so long-lived holders —
+    /// store entries, caches — don't pin a whole slab or recv chunk.
+    /// Full-region windows (and `'static` aliases) are returned as O(1)
+    /// clones.
+    pub fn compact(&self) -> Bytes {
+        let region_len = match &self.repr {
+            Repr::Static(_) => return self.clone(),
+            Repr::Shared(a) => a.len(),
+            Repr::Slab(s) => s.storage.len(),
+        };
+        if self.start == 0 && self.end == region_len {
+            if let Repr::Slab(s) = &self.repr {
+                // A full-region window of a pooled slab still pins the
+                // slab; detach only when the region is pool-backed.
+                if s.pool.strong_count() > 0 {
+                    return Bytes::copy_from_slice(self.as_slice());
+                }
+            }
+            return self.clone();
+        }
+        Bytes::copy_from_slice(self.as_slice())
+    }
+
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        let region: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+            Repr::Slab(s) => &s.storage,
+        };
+        &region[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
@@ -127,13 +255,13 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes::from_vec(v)
+        Bytes::from_vec_uncounted(v)
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
-        Bytes::from_vec(s.into_bytes())
+        Bytes::from_vec_uncounted(s.into_bytes())
     }
 }
 
@@ -149,9 +277,15 @@ impl From<&'static str> for Bytes {
     }
 }
 
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
 impl FromIterator<u8> for Bytes {
     fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
-        Bytes::from_vec(iter.into_iter().collect())
+        Bytes::from_vec_uncounted(iter.into_iter().collect())
     }
 }
 
@@ -236,6 +370,336 @@ impl<'a> IntoIterator for &'a Bytes {
     }
 }
 
+// ---------------------------------------------------------------------------
+// BytesMut: the mutable staging buffer.
+// ---------------------------------------------------------------------------
+
+/// A unique, growable byte buffer that [`freeze`](BytesMut::freeze)s into
+/// refcounted [`Bytes`] windows of its single backing region.
+///
+/// Obtain one from a [`BufferPool`] to stage bytes in a recycled slab
+/// (the hot-path form), or stand-alone via [`BytesMut::new`] /
+/// [`BytesMut::with_capacity`]. Writes are counted in
+/// [`bytes_copied_total`]; fresh backing allocations (including growth
+/// past the current capacity) in [`buffers_allocated_total`].
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// The pool the backing region returns to after the last frozen
+    /// window drops; dead for stand-alone buffers.
+    pool: Weak<PoolInner>,
+}
+
+impl BytesMut {
+    /// An empty, unpooled buffer; allocates nothing until written to.
+    pub fn new() -> Self {
+        BytesMut {
+            buf: Vec::new(),
+            pool: Weak::new(),
+        }
+    }
+
+    /// An unpooled buffer with `cap` bytes of backing capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap > 0 {
+            note_alloc();
+        }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            pool: Weak::new(),
+        }
+    }
+
+    /// Staged length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Backing capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Discards the staged bytes, keeping the backing region.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Ensures room for `additional` more bytes, counting a growth (one
+    /// allocation, plus the move of the already-staged bytes) when the
+    /// current region is too small.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.buf.capacity() - self.buf.len() < additional {
+            note_alloc();
+            note_copy(self.buf.len());
+            self.buf.reserve(additional);
+        }
+    }
+
+    /// Appends `src`, counting the copy.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.reserve(src.len());
+        note_copy(src.len());
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Appends `src` (`bytes` crate spelling of
+    /// [`extend_from_slice`](BytesMut::extend_from_slice)).
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.reserve(1);
+        note_copy(1);
+        self.buf.push(b);
+    }
+
+    /// Appends `n` copies of `byte` (a counted write, like any other);
+    /// the fill loadgen uses to stage synthetic values without a
+    /// temporary `Vec`.
+    pub fn put_repeat(&mut self, byte: u8, n: usize) {
+        self.reserve(n);
+        note_copy(n);
+        let len = self.buf.len();
+        self.buf.resize(len + n, byte);
+    }
+
+    /// Drops all staged bytes and returns the backing region to its pool
+    /// (when pooled) without waiting for frozen windows — the explicit
+    /// counterpart of the refcount-drop path, for buffers that staged
+    /// nothing worth freezing.
+    pub fn recycle(self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.recycle(self.buf);
+        }
+    }
+
+    /// Splits off and returns the first `at` staged bytes as a new
+    /// unpooled buffer, leaving the rest in place. Unlike
+    /// [`Bytes::split_to`] this moves payload (both counted), because the
+    /// two halves must stay independently mutable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.buf.len(),
+            "split_to out of bounds: {at} of {}",
+            self.buf.len()
+        );
+        note_alloc();
+        note_copy(at);
+        let head: Vec<u8> = self.buf.drain(..at).collect();
+        BytesMut {
+            buf: head,
+            pool: Weak::new(),
+        }
+    }
+
+    /// Converts the staged bytes into an immutable refcounted [`Bytes`]
+    /// window — O(1), no copy. Windows derived from it (`clone`, `slice`,
+    /// `split_to`) share the one region; when the last drops, a pooled
+    /// region returns to its [`BufferPool`].
+    pub fn freeze(self) -> Bytes {
+        let end = self.buf.len();
+        let slab = Arc::new(Slab {
+            storage: self.buf,
+            pool: self.pool,
+        });
+        Bytes {
+            repr: Repr::Slab(slab),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// `write!`-style formatting appends into the buffer (used for reply
+/// headers); the formatted bytes are counted like any other write.
+impl fmt::Write for BytesMut {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BytesMut(len={}, cap={}, pooled={})",
+            self.buf.len(),
+            self.buf.capacity(),
+            self.pool.strong_count() > 0
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool: recycled slab regions.
+// ---------------------------------------------------------------------------
+
+/// One backing region shared by every [`Bytes`] window frozen from it.
+/// Dropping the last window returns the storage to the pool (if any) —
+/// the refcount *is* the recycling trigger.
+struct Slab {
+    storage: Vec<u8>,
+    pool: Weak<PoolInner>,
+}
+
+impl Drop for Slab {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.recycle(mem::take(&mut self.storage));
+        }
+    }
+}
+
+struct PoolInner {
+    slab_size: usize,
+    max_free: usize,
+    free: Mutex<Vec<Vec<u8>>>,
+    carved: AtomicU64,
+    recycled: AtomicU64,
+}
+
+impl PoolInner {
+    fn recycle(&self, mut storage: Vec<u8>) {
+        // A buffer that shrank below slab size (shouldn't happen) or a
+        // full free list goes back to the allocator instead.
+        if storage.capacity() < self.slab_size {
+            return;
+        }
+        let mut free = self.free.lock().expect("buffer pool poisoned");
+        if free.len() < self.max_free {
+            storage.clear();
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            free.push(storage);
+        }
+    }
+}
+
+/// A recycling arena of fixed-size slab regions backing [`BytesMut`]
+/// staging buffers.
+///
+/// [`acquire`](BufferPool::acquire) pops a free region (or carves a new
+/// one on a miss — the only allocation in steady state is *none*); the
+/// region flows `BytesMut` → [`freeze`](BytesMut::freeze) → refcounted
+/// [`Bytes`] windows → last drop → back to the free list. Cloning the
+/// pool handle is O(1) and shares the free list.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// A pool of `slab_size`-byte regions retaining at most `max_free`
+    /// free ones.
+    pub fn new(slab_size: usize, max_free: usize) -> Self {
+        assert!(slab_size > 0, "slab_size must be positive");
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                slab_size,
+                max_free,
+                free: Mutex::new(Vec::new()),
+                carved: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The process-wide default pool (16 KiB slabs, 256 retained) used by
+    /// the bundled services' reply paths.
+    pub fn global() -> &'static BufferPool {
+        static GLOBAL: OnceLock<BufferPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| BufferPool::new(16 * 1024, 256))
+    }
+
+    /// Pops a recycled region, or carves a fresh slab on a miss (counted
+    /// in [`buffers_allocated_total`] and [`slabs_carved_total`]).
+    pub fn acquire(&self) -> BytesMut {
+        let recycled = self.inner.free.lock().expect("buffer pool poisoned").pop();
+        let buf = match recycled {
+            Some(v) => v,
+            None => {
+                note_alloc();
+                self.inner.carved.fetch_add(1, Ordering::Relaxed);
+                SLABS_CARVED.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(self.inner.slab_size)
+            }
+        };
+        BytesMut {
+            buf,
+            pool: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// The configured region size in bytes.
+    pub fn slab_size(&self) -> usize {
+        self.inner.slab_size
+    }
+
+    /// Free regions currently parked in the pool (the occupancy gauge).
+    pub fn free_slabs(&self) -> usize {
+        self.inner.free.lock().expect("buffer pool poisoned").len()
+    }
+
+    /// Regions this pool has carved fresh (misses) over its lifetime.
+    pub fn slabs_carved(&self) -> u64 {
+        self.inner.carved.load(Ordering::Relaxed)
+    }
+
+    /// Times a region came back via the refcount-drop path.
+    pub fn slabs_recycled(&self) -> u64 {
+        self.inner.recycled.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BufferPool(slab_size={}, free={}, carved={}, recycled={})",
+            self.slab_size(),
+            self.free_slabs(),
+            self.slabs_carved(),
+            self.slabs_recycled()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +732,170 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_slice_panics() {
         Bytes::from(vec![1]).slice(..5);
+    }
+
+    #[test]
+    fn from_static_aliases_without_copying() {
+        static DATA: &[u8] = b"STORED\r\n";
+        let b = Bytes::from_static(DATA);
+        // Zero-copy means pointer identity with the static itself.
+        assert!(std::ptr::eq(b.as_slice().as_ptr(), DATA.as_ptr()));
+        let tail = b.slice(6..);
+        assert!(std::ptr::eq(tail.as_slice().as_ptr(), DATA[6..].as_ptr()));
+        assert_eq!(&tail[..], b"\r\n");
+    }
+
+    #[test]
+    fn bytes_mut_stages_and_freezes_in_place() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"hello ");
+        m.put_slice(b"world");
+        m.put_u8(b'!');
+        assert_eq!(&m[..], b"hello world!");
+        let region_ptr = m.as_ref().as_ptr();
+        let frozen = m.freeze();
+        // freeze is a window over the same region, not a copy.
+        assert!(std::ptr::eq(frozen.as_slice().as_ptr(), region_ptr));
+        let mut rest = frozen.clone();
+        let head = rest.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&rest[..], b"world!");
+    }
+
+    #[test]
+    fn bytes_mut_split_to_keeps_both_halves() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        let mut head = m.split_to(2);
+        head.extend_from_slice(b"!");
+        assert_eq!(&head[..], b"ab!");
+        assert_eq!(&m[..], b"cdef");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bytes_mut_split_to_out_of_bounds_panics() {
+        BytesMut::new().split_to(1);
+    }
+
+    #[test]
+    fn pool_recycles_when_last_window_drops() {
+        let pool = BufferPool::new(64, 8);
+        let mut m = pool.acquire();
+        assert_eq!(pool.slabs_carved(), 1);
+        m.extend_from_slice(b"abcdefgh");
+        let frozen = m.freeze();
+        let window = frozen.slice(2..5);
+        drop(frozen);
+        // A window still aliases the region: not recycled yet.
+        assert_eq!(pool.free_slabs(), 0);
+        assert_eq!(&window[..], b"cde");
+        drop(window);
+        assert_eq!(pool.free_slabs(), 1);
+        assert_eq!(pool.slabs_recycled(), 1);
+        // The next acquire is a hit, not a carve.
+        let m2 = pool.acquire();
+        assert_eq!(pool.slabs_carved(), 1);
+        assert_eq!(pool.free_slabs(), 0);
+        assert!(m2.is_empty());
+        assert!(m2.capacity() >= 64);
+    }
+
+    #[test]
+    fn pool_caps_retained_regions() {
+        let pool = BufferPool::new(16, 1);
+        let a = pool.acquire().freeze();
+        let b = pool.acquire().freeze();
+        assert_eq!(pool.slabs_carved(), 2);
+        drop(a);
+        drop(b);
+        // Only one region is retained; the other went to the allocator.
+        assert_eq!(pool.free_slabs(), 1);
+    }
+
+    #[test]
+    fn unpooled_freeze_still_shares_one_region() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"xyz");
+        let f = m.freeze();
+        let c = f.clone();
+        assert!(std::ptr::eq(f.as_slice().as_ptr(), c.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn counters_track_copies_and_allocations() {
+        // Deltas only (other tests in this binary run concurrently).
+        let copied0 = bytes_copied_total();
+        let alloc0 = buffers_allocated_total();
+        let mut m = BytesMut::with_capacity(32);
+        m.extend_from_slice(&[7u8; 20]);
+        let _ = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert!(bytes_copied_total() >= copied0 + 23);
+        assert!(buffers_allocated_total() >= alloc0 + 2);
+        // Static aliasing and freezing add nothing.
+        let copied1 = bytes_copied_total();
+        let s = Bytes::from_static(b"END\r\n");
+        let f = m.freeze();
+        assert_eq!(s.len() + f.len(), 25);
+        assert_eq!(bytes_copied_total(), copied1);
+    }
+
+    #[test]
+    fn put_repeat_fills_and_counts() {
+        let copied0 = bytes_copied_total();
+        let mut m = BytesMut::with_capacity(16);
+        m.put_repeat(b'a', 10);
+        assert_eq!(&m[..], b"aaaaaaaaaa");
+        assert!(bytes_copied_total() >= copied0 + 10);
+    }
+
+    #[test]
+    fn compact_releases_pooled_slab() {
+        let pool = BufferPool::new(64, 8);
+        let mut m = pool.acquire();
+        m.extend_from_slice(b"header VALUE payload");
+        let frozen = m.freeze();
+        let window = frozen.slice(13..20);
+        let compacted = window.compact();
+        assert_eq!(&compacted[..], b"payload");
+        drop(frozen);
+        drop(window);
+        // The compacted copy must not pin the slab.
+        assert_eq!(pool.free_slabs(), 1);
+        assert_eq!(&compacted[..], b"payload");
+    }
+
+    #[test]
+    fn compact_of_static_and_private_is_free() {
+        let copied0 = bytes_copied_total();
+        let s = Bytes::from_static(b"END\r\n");
+        let c = s.compact();
+        assert!(std::ptr::eq(c.as_slice().as_ptr(), s.as_slice().as_ptr()));
+        let v = Bytes::from(vec![1, 2, 3]);
+        let cv = v.compact();
+        assert!(std::ptr::eq(cv.as_slice().as_ptr(), v.as_slice().as_ptr()));
+        assert_eq!(bytes_copied_total(), copied0);
+        // A partial window of a private region still copies out.
+        let part = v.slice(1..);
+        let cp = part.compact();
+        assert_eq!(&cp[..], &[2, 3]);
+        assert!(bytes_copied_total() > copied0);
+    }
+
+    #[test]
+    fn explicit_recycle_returns_region() {
+        let pool = BufferPool::new(32, 4);
+        let m = pool.acquire();
+        assert_eq!(pool.free_slabs(), 0);
+        m.recycle();
+        assert_eq!(pool.free_slabs(), 1);
+    }
+
+    #[test]
+    fn write_macro_formats_into_bytes_mut() {
+        use std::fmt::Write as _;
+        let mut m = BytesMut::new();
+        write!(m, "VALUE k{:06} {} {}\r\n", 7, 0, 100).unwrap();
+        assert_eq!(&m[..], b"VALUE k000007 0 100\r\n");
     }
 }

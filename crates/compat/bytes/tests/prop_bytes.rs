@@ -1,0 +1,121 @@
+//! Model-checks the buffer fabric against plain `Vec<u8>`s: an arbitrary
+//! op sequence driven through `BytesMut`/`split_to`/`freeze`/pool
+//! recycling must observe exactly the bytes the model predicts (no
+//! aliasing bugs), and every region a pool hands out must come back to
+//! its free list once the last refcounted window drops.
+
+use bytes::{BufferPool, Bytes};
+use proptest::prelude::*;
+
+/// One step applied to both the staging buffer under test and the model.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append a payload.
+    Extend(Vec<u8>),
+    /// Split off a prefix (index scaled into the current length) and keep
+    /// mutating the *tail*; the head must hold exactly the model prefix.
+    SplitTo(u16),
+    /// Reserve extra capacity (must never change contents).
+    Reserve(u16),
+    /// Freeze, take O(1) windows, compare them to model slices, then
+    /// start a fresh staging buffer from the pool.
+    FreezeAndWindow(u16, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Op::Extend),
+        (any::<u16>()).prop_map(Op::SplitTo),
+        (any::<u16>()).prop_map(Op::Reserve),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::FreezeAndWindow(a, b)),
+    ]
+}
+
+proptest! {
+    /// The staging buffer and every window frozen from it agree with the
+    /// `Vec<u8>` model byte-for-byte, across splits, growth and freezes.
+    #[test]
+    fn bytes_mut_matches_vec_model(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let pool = BufferPool::new(64, 4);
+        let mut buf = pool.acquire();
+        let mut model: Vec<u8> = Vec::new();
+        // Frozen windows with their expected contents, held alive so
+        // later ops can't scribble over an aliased region.
+        let mut frozen: Vec<(Bytes, Vec<u8>)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Extend(payload) => {
+                    buf.extend_from_slice(&payload);
+                    model.extend_from_slice(&payload);
+                }
+                Op::SplitTo(raw) => {
+                    let at = if model.is_empty() { 0 } else { raw as usize % (model.len() + 1) };
+                    let head = buf.split_to(at);
+                    let model_head: Vec<u8> = model.drain(..at).collect();
+                    prop_assert_eq!(&head[..], &model_head[..]);
+                }
+                Op::Reserve(extra) => {
+                    buf.reserve(extra as usize % 256);
+                }
+                Op::FreezeAndWindow(a, b) => {
+                    let whole = buf.freeze();
+                    prop_assert_eq!(&whole[..], &model[..]);
+                    if !model.is_empty() {
+                        let lo = a as usize % (model.len() + 1);
+                        let hi = lo + (b as usize % (model.len() - lo + 1));
+                        let window = whole.slice(lo..hi);
+                        prop_assert_eq!(&window[..], &model[lo..hi]);
+                        frozen.push((window, model[lo..hi].to_vec()));
+                    }
+                    frozen.push((whole, model.clone()));
+                    buf = pool.acquire();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(&buf[..], &model[..]);
+        }
+        // Nothing that happened after a freeze may have disturbed the
+        // frozen windows.
+        for (bytes, expect) in &frozen {
+            prop_assert_eq!(&bytes[..], &expect[..]);
+        }
+    }
+
+    /// Refcounts drive recycling: once every window over every carved
+    /// region drops, the regions are back in the pool (up to its cap),
+    /// and further acquires hit the free list instead of carving.
+    #[test]
+    fn refcounts_return_slabs_to_the_pool(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..8),
+        clones in 0usize..4,
+    ) {
+        let pool = BufferPool::new(32, 16);
+        let mut windows: Vec<Bytes> = Vec::new();
+        for payload in &payloads {
+            let mut m = pool.acquire();
+            m.extend_from_slice(payload);
+            let f = m.freeze();
+            for _ in 0..clones {
+                windows.push(f.clone());
+            }
+            let mut tail = f;
+            let head = tail.split_to(payload.len() / 2);
+            windows.push(head);
+            windows.push(tail);
+        }
+        let carved = pool.slabs_carved();
+        prop_assert_eq!(carved, payloads.len() as u64);
+        // Alive windows pin their regions.
+        prop_assert_eq!(pool.free_slabs(), 0);
+        windows.clear();
+        prop_assert_eq!(pool.free_slabs(), payloads.len());
+        prop_assert_eq!(pool.slabs_recycled(), payloads.len() as u64);
+        // Steady state: reuse, don't carve.
+        let again = pool.acquire().freeze();
+        prop_assert_eq!(pool.slabs_carved(), carved);
+        drop(again);
+        prop_assert_eq!(pool.free_slabs(), payloads.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic hashing for runtime-internal tables.
+//!
+//! `std::collections::HashMap`'s default `RandomState` draws a fresh
+//! seed per process. For a map that only grows, the seed is invisible —
+//! but any table that interleaves inserts and removes accumulates
+//! tombstones whose *placement* depends on the seed, and hashbrown's
+//! choice between rehash-in-place and a fresh allocation on the next
+//! growth pressure depends on that placement. The result is a heap
+//! allocation count that varies across processes, which breaks the
+//! byte-identical-rerun contract the bench artifacts are gated on
+//! (`allocs_per_op` is measured by a counting global allocator).
+//!
+//! Tables on the simulated hot path therefore use [`DetHashMap`]: FNV-1a
+//! keyed with a fixed basis, so layout — and thus allocation behavior —
+//! is a pure function of the key sequence. HashDoS resistance is
+//! irrelevant here: the keys are runtime-internal (task ids, endpoints,
+//! host pairs), never attacker-chosen.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit, fixed offset basis — deterministic across processes.
+#[derive(Debug, Default)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            FNV_OFFSET
+        } else {
+            self.0
+        }
+    }
+}
+
+/// A `HashMap` whose layout is a pure function of its key sequence.
+pub type DetHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// A `HashSet` with the same deterministic layout guarantee.
+pub type DetHashSet<K> = HashSet<K, BuildHasherDefault<FnvHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        let h = |bytes: &[u8]| {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        // Known FNV-1a vectors.
+        assert_eq!(h(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(h(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Distinct inputs split.
+        assert_ne!(h(b"ab"), h(b"ba"));
+    }
+
+    #[test]
+    fn det_map_basic() {
+        let mut m: DetHashMap<u64, &str> = DetHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        m.remove(&1);
+        assert_eq!(m.get(&2), Some(&"two"));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -62,6 +62,7 @@ pub mod aio;
 pub mod engine;
 pub mod event;
 pub mod exception;
+pub mod hash;
 pub mod io;
 pub mod local;
 pub mod net;

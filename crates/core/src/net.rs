@@ -112,6 +112,23 @@ pub trait Conn: Send + Sync {
     /// accepted; returns the number of bytes taken.
     fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>>;
 
+    /// Gather-write: sends a prefix of the concatenation of `bufs`,
+    /// blocking until at least one byte is accepted; returns the number
+    /// of bytes taken (counted across buffers, in order). The vectored
+    /// reply path queues each reply as refcounted windows and ships a
+    /// whole pipelined batch through one call — no flattening copy.
+    ///
+    /// The default implementation degrades to [`Conn::send`] on the first
+    /// non-empty buffer (correct, one buffer per wakeup); both bundled
+    /// socket stacks override it to take bytes from every buffer in one
+    /// transport pass. Returns `Ok(0)` only when every buffer is empty.
+    fn sendv(&self, bufs: Vec<Bytes>) -> ThreadM<Result<usize, NetError>> {
+        match bufs.into_iter().find(|b| !b.is_empty()) {
+            Some(first) => self.send(first),
+            None => ThreadM::pure(Ok(0)),
+        }
+    }
+
     /// The send-side event: ready when `send` would accept at least one
     /// byte without blocking (window space, peer close, or error), so a
     /// write can race timers and shutdown broadcasts in one
@@ -501,6 +518,57 @@ pub fn send_all(conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetErro
     })
 }
 
+/// Drops `n` accepted bytes from the front of the segment list: consumed
+/// buffers are removed, a partially consumed head is advanced O(1) (the
+/// windows share their regions; nothing is copied).
+fn advance_bufs(bufs: &mut Vec<Bytes>, mut n: usize) {
+    let mut drop_prefix = 0;
+    for b in bufs.iter_mut() {
+        if n == 0 && !b.is_empty() {
+            break;
+        }
+        let take = n.min(b.len());
+        if take > 0 {
+            *b = b.slice(take..);
+            n -= take;
+        }
+        if b.is_empty() {
+            drop_prefix += 1;
+        } else {
+            break;
+        }
+    }
+    bufs.drain(..drop_prefix);
+}
+
+/// Sends every byte of every buffer, looping over partial
+/// [`Conn::sendv`]s — the vectored [`send_all`]. Buffer windows are
+/// advanced in place; no flattening copy is ever made.
+pub fn send_all_vectored(
+    conn: &Arc<dyn Conn>,
+    mut bufs: Vec<Bytes>,
+) -> ThreadM<Result<(), NetError>> {
+    let conn = Arc::clone(conn);
+    bufs.retain(|b| !b.is_empty());
+    loop_m(bufs, move |mut remaining| {
+        if remaining.is_empty() {
+            return ThreadM::pure(Loop::Break(Ok(())));
+        }
+        let attempt = remaining.clone();
+        conn.sendv(attempt).map(move |r| match r {
+            Ok(n) => {
+                advance_bufs(&mut remaining, n);
+                if remaining.is_empty() {
+                    Loop::Break(Ok(()))
+                } else {
+                    Loop::Continue(remaining)
+                }
+            }
+            Err(e) => Loop::Break(Err(e)),
+        })
+    })
+}
+
 /// What ended a [`send_all_within`] composed write: completion (or a
 /// transport error), the deadline, or the shutdown broadcast.
 #[derive(Debug)]
@@ -583,6 +651,71 @@ pub fn send_all_within(
     })
 }
 
+/// Sends every byte of every buffer like [`send_all_vectored`], but as a
+/// composed event wait — the vectored [`send_all_within`]: each round is
+/// one [`choose`] over write readiness, an overall deadline (`timeout`
+/// nanoseconds from the start; `0` disables it) and a shutdown broadcast.
+/// Branch order matches [`send_all_within`]; transports without a
+/// readiness descriptor fall back to the blocking [`send_all_vectored`].
+pub fn send_all_within_vectored(
+    conn: &Arc<dyn Conn>,
+    mut bufs: Vec<Bytes>,
+    timeout: Nanos,
+    shutdown: &Signal,
+) -> ThreadM<SendInput> {
+    let Some(fd) = conn.readiness_fd() else {
+        return send_all_vectored(conn, bufs).map(SendInput::Done);
+    };
+    enum Wake {
+        Writable,
+        Timeout,
+        Shutdown,
+    }
+    let conn = Arc::clone(conn);
+    let shutdown = shutdown.clone();
+    bufs.retain(|b| !b.is_empty());
+    sys_time().bind(move |t0| {
+        let deadline = (timeout > 0).then(|| t0.saturating_add(timeout));
+        loop_m(bufs, move |mut remaining| {
+            if remaining.is_empty() {
+                return ThreadM::pure(Loop::Break(SendInput::Done(Ok(()))));
+            }
+            let conn = Arc::clone(&conn);
+            let fd = fd.clone();
+            let shutdown = shutdown.clone();
+            sys_time().bind(move |now| {
+                let deadline_evt = match deadline {
+                    Some(d) => timeout_evt(d.saturating_sub(now)),
+                    None => never(),
+                };
+                sync(choose(vec![
+                    readiness_evt(&fd, Interest::Write).wrap(|()| Wake::Writable),
+                    shutdown.wait_evt().wrap(|()| Wake::Shutdown),
+                    deadline_evt.wrap(|()| Wake::Timeout),
+                ]))
+                .bind(move |wake| match wake {
+                    Wake::Timeout => ThreadM::pure(Loop::Break(SendInput::Timeout)),
+                    Wake::Shutdown => ThreadM::pure(Loop::Break(SendInput::Shutdown)),
+                    Wake::Writable => {
+                        let attempt = remaining.clone();
+                        conn.sendv(attempt).map(move |r| match r {
+                            Ok(n) => {
+                                advance_bufs(&mut remaining, n);
+                                if remaining.is_empty() {
+                                    Loop::Break(SendInput::Done(Ok(())))
+                                } else {
+                                    Loop::Continue(remaining)
+                                }
+                            }
+                            Err(e) => Loop::Break(SendInput::Done(Err(e))),
+                        })
+                    }
+                })
+            })
+        })
+    })
+}
+
 /// Receives exactly `n` bytes; fails with [`NetError::Closed`] if the stream
 /// ends early.
 pub fn recv_exact(conn: &Arc<dyn Conn>, n: usize) -> ThreadM<Result<Bytes, NetError>> {
@@ -644,6 +777,24 @@ mod tests {
             NetError::Protocol("bad segment".into()).to_string(),
             "protocol error: bad segment"
         );
+    }
+
+    #[test]
+    fn advance_bufs_drops_consumed_windows() {
+        let mut bufs = vec![
+            Bytes::from_static(b"abc"),
+            Bytes::from_static(b""),
+            Bytes::from_static(b"defgh"),
+            Bytes::from_static(b"ij"),
+        ];
+        advance_bufs(&mut bufs, 5);
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(&bufs[0][..], b"fgh");
+        assert_eq!(&bufs[1][..], b"ij");
+        advance_bufs(&mut bufs, 0);
+        assert_eq!(bufs.len(), 2);
+        advance_bufs(&mut bufs, 5);
+        assert!(bufs.is_empty());
     }
 
     #[test]

@@ -27,6 +27,32 @@ struct MutexInner {
     contentions: AtomicU64,
 }
 
+impl MutexInner {
+    /// One non-blocking acquisition attempt.
+    fn try_acquire(&self) -> bool {
+        let mut st = self.st.lock();
+        if st.locked {
+            false
+        } else {
+            st.locked = true;
+            true
+        }
+    }
+
+    /// Parks `u` on the wait queue — unless the lock was released between
+    /// the failed try and the park, in which case wake immediately and
+    /// re-compete.
+    fn enqueue_waiter(&self, u: Unparker) {
+        let mut st = self.st.lock();
+        if st.locked {
+            st.waiters.push_back(u);
+        } else {
+            drop(st);
+            u.unpark();
+        }
+    }
+}
+
 /// A mutual-exclusion lock whose `lock` blocks the *monadic* thread, never
 /// the OS worker underneath it.
 ///
@@ -93,51 +119,49 @@ impl Mutex {
     /// wait bookkeeping ([`Mutex::contended_ns`]) — which is how the KV
     /// store's shard locks report how much virtual time contention cost.
     pub fn lock(&self) -> ThreadM<()> {
+        // Uncontended fast path: one non-blocking try, no loop machinery.
+        // The emitted trace ([Nbio] on success, [Nbio, GetTime, Park, …]
+        // under contention) matches the original loop-based formulation
+        // node for node, so schedules — and virtual time — are unchanged;
+        // the fast path only skips the allocations of the loop state.
         let inner = Arc::clone(&self.inner);
-        loop_m(None::<Nanos>, move |waited_since| {
-            let try_inner = Arc::clone(&inner);
+        let slow = Arc::clone(&self.inner);
+        sys_nbio(move || inner.try_acquire()).bind(move |acquired| {
+            if acquired {
+                ThreadM::pure(())
+            } else {
+                Mutex::lock_contended(slow)
+            }
+        })
+    }
+
+    /// The parking slow path: stamp the wait start, count the contention,
+    /// park, then retry until acquired, accumulating the measured wait
+    /// into [`Mutex::contended_ns`].
+    fn lock_contended(inner: Arc<MutexInner>) -> ThreadM<()> {
+        sys_time().bind(move |t0| {
+            inner.contentions.fetch_add(1, Ordering::Relaxed);
             let park_inner = Arc::clone(&inner);
-            let done_inner = Arc::clone(&inner);
-            sys_nbio(move || {
-                let mut st = try_inner.st.lock();
-                if st.locked {
-                    false
-                } else {
-                    st.locked = true;
-                    true
-                }
-            })
-            .bind(move |acquired| {
-                if acquired {
-                    match waited_since {
-                        None => ThreadM::pure(Loop::Break(())),
-                        Some(t0) => sys_time().map(move |t1| {
-                            done_inner
-                                .contended_ns
-                                .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
-                            Loop::Break(())
-                        }),
-                    }
-                } else {
-                    let park = sys_park(move |u| {
-                        let mut st = park_inner.st.lock();
-                        if st.locked {
-                            st.waiters.push_back(u);
+            let loop_inner = Arc::clone(&inner);
+            sys_park(move |u| park_inner.enqueue_waiter(u)).bind(move |_| {
+                loop_m(t0, move |t0: Nanos| {
+                    let try_inner = Arc::clone(&loop_inner);
+                    let done_inner = Arc::clone(&loop_inner);
+                    let park_inner = Arc::clone(&loop_inner);
+                    sys_nbio(move || try_inner.try_acquire()).bind(move |acquired| {
+                        if acquired {
+                            sys_time().map(move |t1| {
+                                done_inner
+                                    .contended_ns
+                                    .fetch_add(t1.saturating_sub(t0), Ordering::Relaxed);
+                                Loop::Break(())
+                            })
                         } else {
-                            // Unlocked between the failed try and the park:
-                            // wake immediately and re-compete.
-                            drop(st);
-                            u.unpark();
+                            sys_park(move |u| park_inner.enqueue_waiter(u))
+                                .map(move |_| Loop::Continue(t0))
                         }
-                    });
-                    match waited_since {
-                        Some(t0) => park.map(move |_| Loop::Continue(Some(t0))),
-                        None => sys_time().bind(move |t0| {
-                            done_inner.contentions.fetch_add(1, Ordering::Relaxed);
-                            park.map(move |_| Loop::Continue(Some(t0)))
-                        }),
-                    }
-                }
+                    })
+                })
             })
         })
     }
@@ -165,6 +189,23 @@ impl Mutex {
         let unlock_handle = self.clone();
         self.lock()
             .bind(move |_| sys_finally(body, move || unlock_handle.unlock()))
+    }
+
+    /// Runs an *infallible, non-blocking* closure with the lock held:
+    /// lock → one `sys_nbio` step → unlock. This is [`Mutex::with`] minus
+    /// the exception-unwind scaffolding (`sys_finally` costs a handler
+    /// registration per call), for bodies that cannot throw — the KV
+    /// store's shard critical sections. The closure must not build
+    /// monadic steps of its own; anything that can throw or park belongs
+    /// in [`Mutex::with`].
+    pub fn with_nbio<A, F>(&self, f: F) -> ThreadM<A>
+    where
+        A: Send + 'static,
+        F: FnOnce() -> A + Send + 'static,
+    {
+        let unlock_handle = self.clone();
+        self.lock()
+            .bind(move |_| sys_nbio(f).bind(move |a| unlock_handle.unlock().map(move |_| a)))
     }
 
     /// Number of threads parked on this mutex.
@@ -307,6 +348,37 @@ mod tests {
         ctx.spawn(m3.unlock());
         ctx.run_all(128);
         assert!(m.contended_ns() > 0, "completed wait recorded");
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn with_nbio_runs_body_locked_and_releases() {
+        let rt = Runtime::builder().workers(2).build();
+        let m = Mutex::new();
+        let probe = m.clone();
+        let v = rt.block_on(m.with_nbio(move || {
+            assert!(probe.is_locked(), "body must run with the lock held");
+            41 + 1
+        }));
+        assert_eq!(v, 42);
+        assert!(!m.is_locked(), "with_nbio must release the lock");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn with_nbio_contends_like_lock() {
+        use crate::engine::testing::noop_ctx;
+        let ctx = noop_ctx();
+        let m = Mutex::new();
+        assert!(m.try_lock_now(), "hold the lock externally");
+        let m2 = m.clone();
+        ctx.spawn(m2.with_nbio(|| ()).map(|_| ()));
+        ctx.run_all(128);
+        assert_eq!(m.contentions(), 1);
+        let m3 = m.clone();
+        ctx.spawn(m3.unlock());
+        ctx.run_all(128);
+        assert!(m.contended_ns() > 0);
         assert!(!m.is_locked());
     }
 

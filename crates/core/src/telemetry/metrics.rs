@@ -266,6 +266,9 @@ enum Source {
     /// `TxnStats`, the store's shard-gate wait) without porting the owner
     /// onto registry handles.
     CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// A closure gauge: a point-in-time level owned elsewhere (e.g. the
+    /// buffer pool's free-slab occupancy) polled at exposition time.
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
 }
 
 impl std::fmt::Debug for Source {
@@ -275,6 +278,7 @@ impl std::fmt::Debug for Source {
             Source::Gauge(_) => "gauge",
             Source::Histogram(_) => "histogram",
             Source::CounterFn(_) => "counter(fn)",
+            Source::GaugeFn(_) => "gauge(fn)",
         })
     }
 }
@@ -283,7 +287,7 @@ impl Source {
     fn type_name(&self) -> &'static str {
         match self {
             Source::Counter(_) | Source::CounterFn(_) => "counter",
-            Source::Gauge(_) => "gauge",
+            Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
             Source::Histogram(_) => "histogram",
         }
     }
@@ -389,6 +393,18 @@ impl Registry {
         self.insert(name, labels, Source::CounterFn(Box::new(f)));
     }
 
+    /// Registers a closure-backed gauge: `f` is polled at exposition
+    /// time. The gauge analogue of [`Registry::register_counter_fn`] for
+    /// levels owned by foreign types (pool occupancy, queue depth).
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.insert(name, labels, Source::GaugeFn(Box::new(f)));
+    }
+
     /// Reads the current value of the counter registered under
     /// `name{labels}`, if any (handles and closure counters both answer).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
@@ -397,6 +413,7 @@ impl Registry {
             Source::Counter(c) => Some(c.get()),
             Source::CounterFn(f) => Some(f()),
             Source::Gauge(g) => Some(g.get().max(0) as u64),
+            Source::GaugeFn(f) => Some(f().max(0) as u64),
             Source::Histogram(h) => Some(h.count()),
         }
     }
@@ -420,6 +437,9 @@ impl Registry {
                 }
                 Source::Gauge(g) => {
                     let _ = writeln!(out, "{name}{labels} {}", g.get());
+                }
+                Source::GaugeFn(f) => {
+                    let _ = writeln!(out, "{name}{labels} {}", f());
                 }
                 Source::Histogram(h) => {
                     for (bound, cum) in h.cumulative() {
@@ -506,6 +526,26 @@ mod tests {
         shared.store(9, Ordering::Relaxed);
         assert!(reg.expose().contains("eveth_ext_total 9"));
         assert_eq!(reg.counter_value("eveth_ext_total", &[]), Some(9));
+    }
+
+    #[test]
+    fn closure_gauges_poll_at_expose_time() {
+        let reg = Registry::new();
+        let shared = Arc::new(AtomicU64::new(3));
+        let src = Arc::clone(&shared);
+        reg.register_gauge_fn("eveth_pool_free", &[], move || {
+            src.load(Ordering::Relaxed) as i64 - 5
+        });
+        assert!(reg.expose().contains("# TYPE eveth_pool_free gauge"));
+        assert!(
+            reg.expose().contains("eveth_pool_free -2"),
+            "levels go negative"
+        );
+        shared.store(12, Ordering::Relaxed);
+        assert!(reg.expose().contains("eveth_pool_free 7"));
+        // counter_value clamps a negative level to zero.
+        shared.store(0, Ordering::Relaxed);
+        assert_eq!(reg.counter_value("eveth_pool_free", &[]), Some(0));
     }
 
     #[test]

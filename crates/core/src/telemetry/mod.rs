@@ -205,6 +205,38 @@ impl Telemetry {
         t
     }
 
+    /// Registers the buffer fabric's process-wide counters on this hub's
+    /// registry: copied payload bytes (`eveth_buf_bytes_copied_total`),
+    /// refcounted buffers handed out, slab regions carved
+    /// (`eveth_buf_slabs_total`), and the global pool's current free-list
+    /// occupancy — so a `DebugService` `/metrics` page can answer "is the
+    /// zero-copy path actually zero-copy" in production.
+    ///
+    /// Opt-in rather than automatic: the sources are process-global (the
+    /// slab pool is shared by every runtime in the process), so exposing
+    /// them couples a hub's `/metrics` body — and, in the simulator, the
+    /// virtual time spent transmitting it — to allocator activity outside
+    /// its own run. Deterministic-replay harnesses that diff byte-exact
+    /// artifacts across same-process reruns should leave them off.
+    pub fn register_buffer_pool_metrics(&self) {
+        self.registry.register_counter_fn(
+            "eveth_buf_bytes_copied_total",
+            &[],
+            bytes::bytes_copied_total,
+        );
+        self.registry.register_counter_fn(
+            "eveth_buf_buffers_allocated_total",
+            &[],
+            bytes::buffers_allocated_total,
+        );
+        self.registry
+            .register_counter_fn("eveth_buf_slabs_total", &[], bytes::slabs_carved_total);
+        self.registry
+            .register_gauge_fn("eveth_buf_pool_free_slabs", &[], || {
+                bytes::BufferPool::global().free_slabs() as i64
+            });
+    }
+
     /// The metrics registry (share it with services and the debug
     /// endpoint).
     pub fn registry(&self) -> &Arc<Registry> {

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{BufferPool, Bytes, BytesMut};
 use eveth_core::net::{send_all, Conn, Endpoint, NetStack};
 use eveth_core::syscall::{sys_nbio, sys_time};
 use eveth_core::time::Nanos;
@@ -153,28 +153,37 @@ fn unit_f64(state: &mut u64) -> f64 {
     (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Builds one batch of `depth` pipelined commands; returns the wire bytes
-/// and how many replies to expect (gets answer with `END`, sets with
-/// `STORED`).
-fn build_batch(cfg: &KvLoadConfig, zipf: &Zipf, rng: &mut u64) -> (Vec<u8>, usize) {
-    let mut wire = Vec::new();
+/// Appends one `set` command (header, payload, trailing CRLF) for `rank`
+/// straight into the wire buffer — no intermediate `String`/`Vec` per
+/// command, and the payload is written with [`BytesMut::put_repeat`]
+/// rather than materialising a scratch value.
+fn push_set(wire: &mut BytesMut, cfg: &KvLoadConfig, rank: usize) {
+    use std::fmt::Write as _;
+    let key = key_for(rank);
+    // Infallible: BytesMut's fmt::Write never errors.
+    let _ = write!(wire, "set {key} 0 {} {}\r\n", cfg.ttl_secs, cfg.value_bytes);
+    wire.put_repeat(b'a' + (rank % 26) as u8, cfg.value_bytes);
+    wire.extend_from_slice(b"\r\n");
+}
+
+/// Builds one batch of `depth` pipelined commands in a pooled buffer;
+/// returns the frozen wire bytes and how many replies to expect (gets
+/// answer with `END`, sets with `STORED`).
+fn build_batch(cfg: &KvLoadConfig, zipf: &Zipf, rng: &mut u64) -> (Bytes, usize) {
+    use std::fmt::Write as _;
+    let mut wire = BufferPool::global().acquire();
     let mut expected = 0usize;
     for _ in 0..cfg.pipeline_depth {
         let rank = zipf.sample(unit_f64(rng));
-        let key = key_for(rank);
         if (xorshift(rng) % 100) < cfg.set_percent as u64 {
-            let value = vec![b'a' + (rank % 26) as u8; cfg.value_bytes];
-            wire.extend_from_slice(
-                format!("set {key} 0 {} {}\r\n", cfg.ttl_secs, value.len()).as_bytes(),
-            );
-            wire.extend_from_slice(&value);
-            wire.extend_from_slice(b"\r\n");
+            push_set(&mut wire, cfg, rank);
         } else {
-            wire.extend_from_slice(format!("get {key}\r\n").as_bytes());
+            let key = key_for(rank);
+            let _ = write!(wire, "get {key}\r\n");
         }
         expected += 1;
     }
-    (wire, expected)
+    (wire.freeze(), expected)
 }
 
 /// One load-generator client: connect, ship batches, read replies, close.
@@ -208,7 +217,7 @@ pub fn client_thread(
                     let n_out = wire.len() as u64;
                     do_m! {
                         let t_send <- sys_time();
-                        let sent <- send_all(&conn2, Bytes::from(wire));
+                        let sent <- send_all(&conn2, wire);
                         match sent {
                             Err(_) => {
                                 let stats = Arc::clone(&stats2);
@@ -234,6 +243,75 @@ pub fn client_thread(
                                     }
                                 })
                             }
+                        }
+                    }
+                })
+            }
+        }
+    };
+    body.bind(move |_| sys_nbio(move || done_stats.clients_done.incr()))
+}
+
+/// Deterministically fills the whole key space before a measured run:
+/// one client that `set`s every key rank exactly once (values match what
+/// [`client_thread`]'s sets would store), in pipelined batches of
+/// `depth`. Get-heavy cells preload so every measured `get` hits and the
+/// reply path actually carries value bytes. Increments
+/// `stats.clients_done` when the fill is fully acknowledged.
+pub fn preload_thread(
+    stack: Arc<dyn NetStack>,
+    cfg: Arc<KvLoadConfig>,
+    stats: Arc<KvLoadStats>,
+) -> ThreadM<()> {
+    let done_stats = Arc::clone(&stats);
+    let depth = cfg.pipeline_depth.max(1);
+    let body = do_m! {
+        let connected <- stack.connect(cfg.server);
+        match connected {
+            Err(_) => {
+                let stats = Arc::clone(&stats);
+                sys_nbio(move || stats.transport_errors.incr())
+            }
+            Ok(conn) => {
+                let cfg = Arc::clone(&cfg);
+                let stats = Arc::clone(&stats);
+                loop_m(0usize, move |next_rank| {
+                    if next_rank >= cfg.keys {
+                        return conn.close().map(|_| Loop::Break(()));
+                    }
+                    let batch_end = (next_rank + depth).min(cfg.keys);
+                    let mut wire = BufferPool::global().acquire();
+                    for rank in next_rank..batch_end {
+                        push_set(&mut wire, &cfg, rank);
+                    }
+                    let expected = batch_end - next_rank;
+                    let stats2 = Arc::clone(&stats);
+                    let conn2 = Arc::clone(&conn);
+                    do_m! {
+                        let t_send <- sys_time();
+                        let sent <- send_all(&conn2, wire.freeze());
+                        match sent {
+                            Err(_) => {
+                                let stats = Arc::clone(&stats2);
+                                let conn = Arc::clone(&conn2);
+                                do_m! {
+                                    sys_nbio(move || stats.transport_errors.incr());
+                                    conn.close().map(|_| Loop::Break(()))
+                                }
+                            }
+                            Ok(()) => read_replies(
+                                Arc::clone(&conn2),
+                                Arc::clone(&stats2),
+                                expected,
+                                t_send,
+                            )
+                            .map(move |ok| {
+                                if ok {
+                                    Loop::Continue(batch_end)
+                                } else {
+                                    Loop::Break(())
+                                }
+                            }),
                         }
                     }
                 })
@@ -305,7 +383,7 @@ fn read_replies(
             // socket; these replies came in with the previous chunk.
             let lat = arrived_at.saturating_sub(sent_at);
             loop {
-                match parser.feed(b"") {
+                match parser.try_next() {
                     Err(_) => {
                         stats.errors.incr();
                         return ThreadM::pure(Loop::Break(false));
@@ -328,7 +406,7 @@ fn read_replies(
                 }
                 Ok(chunk) => sys_time().bind(move |now| {
                     stats.bytes_in.add(chunk.len() as u64);
-                    match parser.feed(&chunk) {
+                    match parser.feed_bytes(chunk) {
                         Err(_) => {
                             stats.errors.incr();
                             ThreadM::pure(Loop::Break(false))

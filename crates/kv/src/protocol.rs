@@ -32,8 +32,9 @@
 //! `VALUE` line; `cas` stores only if the stamp is unchanged.
 
 use std::fmt;
+use std::mem;
 
-use bytes::Bytes;
+use bytes::{BufferPool, Bytes, BytesMut};
 
 /// Maximum key length, per the memcached protocol.
 pub const MAX_KEY_LEN: usize = 250;
@@ -250,7 +251,17 @@ impl std::error::Error for ProtoError {}
 /// ```
 #[derive(Debug)]
 pub struct CommandParser {
-    buf: Vec<u8>,
+    /// Refcounted window over the bytes currently being parsed. A chunk
+    /// handed to [`CommandParser::feed_bytes`] when nothing is buffered
+    /// lands here *aliased*, zero-copy; completed commands are split off
+    /// the front O(1) and their keys/values are windows into the same
+    /// region.
+    frozen: Bytes,
+    /// Copy-staged bytes, used only when a command straddles input
+    /// boundaries (or for slice-based [`CommandParser::feed`]). Pooled;
+    /// once it holds a complete command the whole staging buffer is
+    /// frozen into `frozen` and consumed from there.
+    staging: BytesMut,
     limit: usize,
     value_limit: usize,
 }
@@ -273,7 +284,8 @@ impl CommandParser {
     /// immediately instead of ballooning server memory.
     pub fn with_limits(limit: usize, value_limit: usize) -> Self {
         CommandParser {
-            buf: Vec::new(),
+            frozen: Bytes::new(),
+            staging: BytesMut::new(),
             limit,
             value_limit,
         }
@@ -281,51 +293,142 @@ impl CommandParser {
 
     /// Bytes buffered but not yet consumed by a complete command.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.staging.len() + self.frozen.len()
     }
 
     /// Feeds bytes; returns a command once one is complete. Call again
     /// with an empty slice to drain pipelined commands already buffered.
+    ///
+    /// This entry point copies `data` into the staging buffer; the
+    /// zero-copy path is [`CommandParser::feed_bytes`].
     ///
     /// # Errors
     ///
     /// [`ProtoError`] on oversized or malformed input; the connection
     /// should be closed afterwards.
     pub fn feed(&mut self, data: &[u8]) -> Result<Option<Command>, ProtoError> {
-        self.buf.extend_from_slice(data);
-        let Some(line_end) = find_crlf(&self.buf) else {
-            if self.buf.len() > self.limit {
-                return Err(ProtoError::TooLarge);
+        if !data.is_empty() {
+            self.stage(data);
+        }
+        self.try_next()
+    }
+
+    /// Feeds an owned chunk, aliasing it zero-copy when nothing is
+    /// buffered (the common case for a socket's recv loop: each chunk is
+    /// drained of complete commands before the next recv). Only a partial
+    /// command left straddling the boundary forces a copy-merge into the
+    /// staging buffer.
+    pub fn feed_bytes(&mut self, chunk: Bytes) -> Result<Option<Command>, ProtoError> {
+        if !chunk.is_empty() {
+            if self.staging.is_empty() && self.frozen.is_empty() {
+                self.frozen = chunk;
+            } else {
+                self.stage(&chunk);
             }
+        }
+        self.try_next()
+    }
+
+    /// Copies `data` into the staging buffer, first folding in any frozen
+    /// remainder so the buffered bytes stay contiguous.
+    fn stage(&mut self, data: &[u8]) {
+        if self.staging.is_empty() {
+            let mut staging = BufferPool::global().acquire();
+            if !self.frozen.is_empty() {
+                staging.extend_from_slice(&self.frozen);
+                self.frozen = Bytes::new();
+            }
+            self.staging = staging;
+        }
+        self.staging.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete command from the buffered bytes
+    /// without feeding anything — the drain step for pipelined bursts.
+    pub fn try_next(&mut self) -> Result<Option<Command>, ProtoError> {
+        // At most one of staging/frozen is non-empty. Staged bytes are
+        // promoted to a frozen window once they hold a complete command,
+        // so extraction below is always O(1) splitting.
+        if !self.staging.is_empty() {
+            match scan(&self.staging, self.limit, self.value_limit)? {
+                Scan::Incomplete => return Ok(None),
+                Scan::Complete { .. } => {
+                    self.frozen = mem::take(&mut self.staging).freeze();
+                }
+            }
+        }
+        if self.frozen.is_empty() {
             return Ok(None);
-        };
-        if line_end > self.limit {
+        }
+        match scan(&self.frozen, self.limit, self.value_limit)? {
+            Scan::Incomplete => Ok(None),
+            Scan::Complete {
+                head,
+                line_end,
+                total,
+            } => {
+                let command = self.frozen.split_to(total);
+                if self.frozen.is_empty() {
+                    // Drop the (now spent) window so the backing region —
+                    // a recv chunk or recycled slab — is released.
+                    self.frozen = Bytes::new();
+                }
+                head.into_command(command, line_end)
+            }
+        }
+    }
+}
+
+/// Outcome of scanning a buffer for one complete command.
+enum Scan {
+    /// More bytes are needed.
+    Incomplete,
+    /// `buf[..total]` is one complete command (`line_end` = offset of the
+    /// command line's CR).
+    Complete {
+        head: ParsedLine,
+        line_end: usize,
+        total: usize,
+    },
+}
+
+/// Scans `buf` for one complete command without consuming anything,
+/// enforcing the line limit and the *declared* value limit — a client
+/// announcing a huge `set` is rejected before any payload is buffered.
+fn scan(buf: &[u8], limit: usize, value_limit: usize) -> Result<Scan, ProtoError> {
+    let Some(line_end) = find_crlf(buf) else {
+        if buf.len() > limit {
             return Err(ProtoError::TooLarge);
         }
-        // `set` carries a data block: wait until line + payload + CRLF are
-        // all buffered before consuming anything.
-        let head = ParsedLine::parse(&self.buf[..line_end])?;
-        let total = match head.payload_len {
-            Some(n) => {
-                if n > self.value_limit {
-                    return Err(ProtoError::Malformed("value too large"));
-                }
-                let need = line_end + 2 + n + 2;
-                if self.buf.len() < need {
-                    return Ok(None);
-                }
-                if &self.buf[line_end + 2 + n..need] != b"\r\n" {
-                    return Err(ProtoError::Malformed("data block not CRLF-terminated"));
-                }
-                need
-            }
-            None => line_end + 2,
-        };
-        // Freeze exactly the consumed bytes; keys and values are O(1)
-        // slices into this one allocation.
-        let frozen: Bytes = Bytes::from(self.buf.drain(..total).collect::<Vec<u8>>());
-        head.into_command(frozen, line_end)
+        return Ok(Scan::Incomplete);
+    };
+    if line_end > limit {
+        return Err(ProtoError::TooLarge);
     }
+    // `set` carries a data block: wait until line + payload + CRLF are
+    // all buffered before consuming anything.
+    let head = ParsedLine::parse(&buf[..line_end])?;
+    let total = match head.payload_len {
+        Some(n) => {
+            if n > value_limit {
+                return Err(ProtoError::Malformed("value too large"));
+            }
+            let need = line_end + 2 + n + 2;
+            if buf.len() < need {
+                return Ok(Scan::Incomplete);
+            }
+            if &buf[line_end + 2 + n..need] != b"\r\n" {
+                return Err(ProtoError::Malformed("data block not CRLF-terminated"));
+            }
+            need
+        }
+        None => line_end + 2,
+    };
+    Ok(Scan::Complete {
+        head,
+        line_end,
+        total,
+    })
 }
 
 impl Default for CommandParser {
@@ -644,6 +747,33 @@ fn parse_u64(field: &[u8]) -> Option<u64> {
 // Server replies.
 // ---------------------------------------------------------------------------
 
+/// The protocol's fixed reply lines. Centralizing them keeps every encode
+/// path byte-identical and lets single-line replies ship as
+/// `Bytes::from_static` — a true alias of these constants, zero
+/// allocation and zero copy.
+pub mod wire {
+    /// `END\r\n`.
+    pub const END: &[u8] = b"END\r\n";
+    /// `STORED\r\n`.
+    pub const STORED: &[u8] = b"STORED\r\n";
+    /// `NOT_STORED\r\n`.
+    pub const NOT_STORED: &[u8] = b"NOT_STORED\r\n";
+    /// `EXISTS\r\n`.
+    pub const EXISTS: &[u8] = b"EXISTS\r\n";
+    /// `TOUCHED\r\n`.
+    pub const TOUCHED: &[u8] = b"TOUCHED\r\n";
+    /// `DELETED\r\n`.
+    pub const DELETED: &[u8] = b"DELETED\r\n";
+    /// `NOT_FOUND\r\n`.
+    pub const NOT_FOUND: &[u8] = b"NOT_FOUND\r\n";
+    /// `ERROR\r\n`.
+    pub const ERROR: &[u8] = b"ERROR\r\n";
+    /// The line/block terminator.
+    pub const CRLF: &[u8] = b"\r\n";
+    /// The `VALUE ` line prefix.
+    pub const VALUE_PREFIX: &[u8] = b"VALUE ";
+}
+
 /// A server reply, encodable to wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
@@ -699,11 +829,11 @@ impl Reply {
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Reply::Value { key, flags, data } => {
-                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(wire::VALUE_PREFIX);
                 out.extend_from_slice(key);
                 out.extend_from_slice(format!(" {} {}\r\n", flags, data.len()).as_bytes());
                 out.extend_from_slice(data);
-                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(wire::CRLF);
             }
             Reply::ValueCas {
                 key,
@@ -711,27 +841,205 @@ impl Reply {
                 data,
                 cas,
             } => {
-                out.extend_from_slice(b"VALUE ");
+                out.extend_from_slice(wire::VALUE_PREFIX);
                 out.extend_from_slice(key);
                 out.extend_from_slice(format!(" {} {} {}\r\n", flags, data.len(), cas).as_bytes());
                 out.extend_from_slice(data);
-                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(wire::CRLF);
             }
-            Reply::End => out.extend_from_slice(b"END\r\n"),
-            Reply::Stored => out.extend_from_slice(b"STORED\r\n"),
-            Reply::NotStored => out.extend_from_slice(b"NOT_STORED\r\n"),
-            Reply::Exists => out.extend_from_slice(b"EXISTS\r\n"),
-            Reply::Touched => out.extend_from_slice(b"TOUCHED\r\n"),
-            Reply::Deleted => out.extend_from_slice(b"DELETED\r\n"),
-            Reply::NotFound => out.extend_from_slice(b"NOT_FOUND\r\n"),
+            Reply::End => out.extend_from_slice(wire::END),
+            Reply::Stored => out.extend_from_slice(wire::STORED),
+            Reply::NotStored => out.extend_from_slice(wire::NOT_STORED),
+            Reply::Exists => out.extend_from_slice(wire::EXISTS),
+            Reply::Touched => out.extend_from_slice(wire::TOUCHED),
+            Reply::Deleted => out.extend_from_slice(wire::DELETED),
+            Reply::NotFound => out.extend_from_slice(wire::NOT_FOUND),
             Reply::Number(n) => out.extend_from_slice(format!("{n}\r\n").as_bytes()),
             Reply::Stat(k, v) => out.extend_from_slice(format!("STAT {k} {v}\r\n").as_bytes()),
             Reply::Version(v) => out.extend_from_slice(format!("VERSION {v}\r\n").as_bytes()),
-            Reply::Error => out.extend_from_slice(b"ERROR\r\n"),
+            Reply::Error => out.extend_from_slice(wire::ERROR),
             Reply::ClientError(msg) => {
                 out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
             }
         }
+    }
+
+    /// Appends the wire encoding to a gather queue. Byte-identical to
+    /// [`Reply::encode_into`], but `VALUE` payloads are queued as O(1)
+    /// refcounted windows of the stored entry instead of being copied —
+    /// the value bytes flow from the store to the socket untouched. Line
+    /// text (prefixes, headers, status lines) lands in the queue's pooled
+    /// scratch region, formatted in place without intermediate `String`s.
+    pub fn encode_gather(&self, q: &mut ReplyQueue) {
+        match self {
+            Reply::Value { key, flags, data } => {
+                q.put_scratch(wire::VALUE_PREFIX);
+                q.put_scratch(key);
+                q.put_fmt(format_args!(" {} {}\r\n", flags, data.len()));
+                q.push_bytes(data.clone());
+                q.put_scratch(wire::CRLF);
+            }
+            Reply::ValueCas {
+                key,
+                flags,
+                data,
+                cas,
+            } => {
+                q.put_scratch(wire::VALUE_PREFIX);
+                q.put_scratch(key);
+                q.put_fmt(format_args!(" {} {} {}\r\n", flags, data.len(), cas));
+                q.push_bytes(data.clone());
+                q.put_scratch(wire::CRLF);
+            }
+            Reply::End => q.put_scratch(wire::END),
+            Reply::Stored => q.put_scratch(wire::STORED),
+            Reply::NotStored => q.put_scratch(wire::NOT_STORED),
+            Reply::Exists => q.put_scratch(wire::EXISTS),
+            Reply::Touched => q.put_scratch(wire::TOUCHED),
+            Reply::Deleted => q.put_scratch(wire::DELETED),
+            Reply::NotFound => q.put_scratch(wire::NOT_FOUND),
+            Reply::Number(n) => q.put_fmt(format_args!("{n}\r\n")),
+            Reply::Stat(k, v) => q.put_fmt(format_args!("STAT {k} {v}\r\n")),
+            Reply::Version(v) => q.put_fmt(format_args!("VERSION {v}\r\n")),
+            Reply::Error => q.put_scratch(wire::ERROR),
+            Reply::ClientError(msg) => q.put_fmt(format_args!("CLIENT_ERROR {msg}\r\n")),
+        }
+    }
+}
+
+/// One segment of a pending vectored reply.
+#[derive(Debug)]
+enum Seg {
+    /// A `(start, end)` range of the queue's scratch region.
+    Scratch { start: usize, end: usize },
+    /// An owned refcounted window (a stored value, aliased zero-copy).
+    Owned(Bytes),
+}
+
+/// A per-session reply accumulator feeding the gather-write path.
+///
+/// Replies for a whole pipelined batch are encoded into it back to back:
+/// line text goes into one pooled scratch buffer (adjacent text fragments
+/// coalesce into a single segment), while `VALUE` payloads are queued as
+/// refcounted [`Bytes`] windows of the stored entries — never copied.
+/// [`ReplyQueue::finish`] freezes the scratch once and hands back the
+/// segment list for one vectored send ([`Conn::sendv`]).
+///
+/// [`Conn::sendv`]: eveth_core::net::Conn::sendv
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use eveth_kv::protocol::{Reply, ReplyQueue};
+///
+/// let mut q = ReplyQueue::new();
+/// Reply::Value {
+///     key: Bytes::from_static(b"k"),
+///     flags: 0,
+///     data: Bytes::from_static(b"hello"),
+/// }
+/// .encode_gather(&mut q);
+/// Reply::End.encode_gather(&mut q);
+/// let segs = q.finish();
+/// let wire: Vec<u8> = segs.iter().flat_map(|s| s.iter().copied()).collect();
+/// assert_eq!(&wire[..], b"VALUE k 0 5\r\nhello\r\nEND\r\n");
+/// // The payload segment aliases the stored value (segment 1 here).
+/// assert_eq!(&segs[1][..], b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct ReplyQueue {
+    /// Pooled staging region for reply line text; acquired lazily on the
+    /// first write, frozen (and recycled through the pool) per batch.
+    scratch: BytesMut,
+    segs: Vec<Seg>,
+    total: usize,
+}
+
+impl ReplyQueue {
+    /// An empty queue; allocates nothing until a reply is encoded.
+    pub fn new() -> Self {
+        ReplyQueue::default()
+    }
+
+    /// Total queued bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Appends raw text to the scratch region, coalescing with an
+    /// immediately preceding scratch segment.
+    pub fn put_scratch(&mut self, src: &[u8]) {
+        self.ensure_scratch();
+        let start = self.scratch.len();
+        self.scratch.extend_from_slice(src);
+        self.commit_scratch(start);
+    }
+
+    /// Formats directly into the scratch region (no intermediate
+    /// `String`), coalescing like [`ReplyQueue::put_scratch`].
+    pub fn put_fmt(&mut self, args: fmt::Arguments<'_>) {
+        use fmt::Write as _;
+        self.ensure_scratch();
+        let start = self.scratch.len();
+        // Infallible: BytesMut's fmt::Write never errors.
+        let _ = self.scratch.write_fmt(args);
+        self.commit_scratch(start);
+    }
+
+    /// Queues an owned window as its own segment — the zero-copy path for
+    /// value payloads.
+    pub fn push_bytes(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.total += data.len();
+        self.segs.push(Seg::Owned(data));
+    }
+
+    fn ensure_scratch(&mut self) {
+        if self.scratch.capacity() == 0 {
+            self.scratch = BufferPool::global().acquire();
+        }
+    }
+
+    fn commit_scratch(&mut self, start: usize) {
+        let end = self.scratch.len();
+        if end == start {
+            return;
+        }
+        self.total += end - start;
+        if let Some(Seg::Scratch { end: prev_end, .. }) = self.segs.last_mut() {
+            if *prev_end == start {
+                *prev_end = end;
+                return;
+            }
+        }
+        self.segs.push(Seg::Scratch { start, end });
+    }
+
+    /// Drains the queue into one segment list for a vectored send: the
+    /// scratch region is frozen once and text segments become O(1)
+    /// windows of it. The queue is left empty and reusable.
+    pub fn finish(&mut self) -> Vec<Bytes> {
+        let segs = mem::take(&mut self.segs);
+        self.total = 0;
+        if segs.is_empty() {
+            self.scratch.clear();
+            return Vec::new();
+        }
+        let frozen = mem::take(&mut self.scratch).freeze();
+        segs.into_iter()
+            .map(|seg| match seg {
+                Seg::Scratch { start, end } => frozen.slice(start..end),
+                Seg::Owned(b) => b,
+            })
+            .collect()
     }
 }
 
@@ -741,7 +1049,14 @@ impl Reply {
 /// `VALUE` data blocks across chunk boundaries.
 #[derive(Debug, Default)]
 pub struct ReplyParser {
-    buf: Vec<u8>,
+    /// Refcounted window over the bytes being parsed; chunks fed via
+    /// [`ReplyParser::feed_bytes`] land here aliased, and `VALUE`
+    /// keys/payloads come out as O(1) windows of the same region.
+    frozen: Bytes,
+    /// Copy-staged bytes for replies straddling input boundaries (and for
+    /// slice-based [`ReplyParser::feed`]); pooled, promoted to `frozen`
+    /// once a complete reply is buffered.
+    staging: BytesMut,
 }
 
 impl ReplyParser {
@@ -752,95 +1067,196 @@ impl ReplyParser {
 
     /// Bytes buffered but not yet consumed.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.staging.len() + self.frozen.len()
     }
 
     /// Feeds bytes; returns the next reply when complete. Call with an
-    /// empty slice to drain further buffered replies.
+    /// empty slice to drain further buffered replies. This entry point
+    /// copies; [`ReplyParser::feed_bytes`] is the zero-copy path.
     ///
     /// # Errors
     ///
     /// [`ProtoError::Malformed`] on an unrecognized reply line.
     pub fn feed(&mut self, data: &[u8]) -> Result<Option<Reply>, ProtoError> {
-        self.buf.extend_from_slice(data);
-        let Some(line_end) = find_crlf(&self.buf) else {
-            return Ok(None);
-        };
-        let reply = {
-            let line = &self.buf[..line_end];
-            if let Some(rest) = line.strip_prefix(b"VALUE ".as_slice()) {
-                let text = std::str::from_utf8(rest)
-                    .map_err(|_| ProtoError::Malformed("non-UTF-8 VALUE line"))?;
-                let mut parts = text.split(' ');
-                let key = parts.next().ok_or(ProtoError::Malformed("VALUE key"))?;
-                let flags: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ProtoError::Malformed("VALUE flags"))?;
-                let len: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ProtoError::Malformed("VALUE length"))?;
-                // A fourth field is the `cas unique` of a `gets` response.
-                let cas: Option<u64> = match parts.next() {
-                    Some(s) => Some(
-                        s.parse()
-                            .map_err(|_| ProtoError::Malformed("VALUE cas unique"))?,
-                    ),
-                    None => None,
-                };
-                let need = line_end + 2 + len + 2;
-                if self.buf.len() < need {
-                    return Ok(None);
-                }
-                if &self.buf[line_end + 2 + len..need] != b"\r\n" {
-                    return Err(ProtoError::Malformed("VALUE block not CRLF-terminated"));
-                }
-                let key = Bytes::from(key.as_bytes().to_vec());
-                let data = Bytes::from(self.buf[line_end + 2..line_end + 2 + len].to_vec());
-                self.buf.drain(..need);
-                return Ok(Some(match cas {
-                    Some(cas) => Reply::ValueCas {
-                        key,
-                        flags,
-                        data,
-                        cas,
-                    },
-                    None => Reply::Value { key, flags, data },
-                }));
-            }
-            match line {
-                b"END" => Reply::End,
-                b"STORED" => Reply::Stored,
-                b"NOT_STORED" => Reply::NotStored,
-                b"EXISTS" => Reply::Exists,
-                b"TOUCHED" => Reply::Touched,
-                b"DELETED" => Reply::Deleted,
-                b"NOT_FOUND" => Reply::NotFound,
-                b"ERROR" => Reply::Error,
-                _ => {
-                    if let Some(rest) = line.strip_prefix(b"STAT ".as_slice()) {
-                        let text = std::str::from_utf8(rest)
-                            .map_err(|_| ProtoError::Malformed("non-UTF-8 STAT line"))?;
-                        match text.split_once(' ') {
-                            Some((k, v)) => Reply::Stat(k.to_string(), v.to_string()),
-                            None => return Err(ProtoError::Malformed("STAT without value")),
-                        }
-                    } else if line.starts_with(b"VERSION ") {
-                        Reply::Version("")
-                    } else if line.starts_with(b"CLIENT_ERROR ") {
-                        Reply::ClientError("")
-                    } else if let Some(n) = parse_u64(line) {
-                        Reply::Number(n)
-                    } else {
-                        return Err(ProtoError::Malformed("unrecognized reply"));
-                    }
-                }
-            }
-        };
-        self.buf.drain(..line_end + 2);
-        Ok(Some(reply))
+        if !data.is_empty() {
+            self.stage(data);
+        }
+        self.try_next()
     }
+
+    /// Feeds an owned chunk, aliasing it zero-copy when nothing is
+    /// buffered — the mirror of [`CommandParser::feed_bytes`] for the
+    /// client side.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on an unrecognized reply line.
+    pub fn feed_bytes(&mut self, chunk: Bytes) -> Result<Option<Reply>, ProtoError> {
+        if !chunk.is_empty() {
+            if self.staging.is_empty() && self.frozen.is_empty() {
+                self.frozen = chunk;
+            } else {
+                self.stage(&chunk);
+            }
+        }
+        self.try_next()
+    }
+
+    fn stage(&mut self, data: &[u8]) {
+        if self.staging.is_empty() {
+            let mut staging = BufferPool::global().acquire();
+            if !self.frozen.is_empty() {
+                staging.extend_from_slice(&self.frozen);
+                self.frozen = Bytes::new();
+            }
+            self.staging = staging;
+        }
+        self.staging.extend_from_slice(data);
+    }
+
+    /// Extracts the next complete reply from the buffered bytes without
+    /// feeding anything — the drain step for pipelined response bursts.
+    pub fn try_next(&mut self) -> Result<Option<Reply>, ProtoError> {
+        if !self.staging.is_empty() {
+            match scan_reply(&self.staging)? {
+                ReplyScan::Incomplete => return Ok(None),
+                ReplyScan::Complete { .. } => {
+                    self.frozen = mem::take(&mut self.staging).freeze();
+                }
+            }
+        }
+        if self.frozen.is_empty() {
+            return Ok(None);
+        }
+        match scan_reply(&self.frozen)? {
+            ReplyScan::Incomplete => Ok(None),
+            ReplyScan::Complete { head, total } => {
+                let raw = self.frozen.split_to(total);
+                if self.frozen.is_empty() {
+                    self.frozen = Bytes::new();
+                }
+                Ok(Some(match head {
+                    ReplyHead::Plain(reply) => reply,
+                    ReplyHead::Value {
+                        key: (ks, ke),
+                        flags,
+                        len,
+                        cas,
+                        data_start,
+                    } => {
+                        let key = raw.slice(ks..ke);
+                        let data = raw.slice(data_start..data_start + len);
+                        match cas {
+                            Some(cas) => Reply::ValueCas {
+                                key,
+                                flags,
+                                data,
+                                cas,
+                            },
+                            None => Reply::Value { key, flags, data },
+                        }
+                    }
+                }))
+            }
+        }
+    }
+}
+
+/// A scanned reply head; `Value` field windows are resolved against the
+/// frozen buffer only after the whole reply is known complete.
+enum ReplyHead {
+    Plain(Reply),
+    Value {
+        key: (usize, usize),
+        flags: u32,
+        len: usize,
+        cas: Option<u64>,
+        data_start: usize,
+    },
+}
+
+enum ReplyScan {
+    Incomplete,
+    Complete { head: ReplyHead, total: usize },
+}
+
+fn scan_reply(buf: &[u8]) -> Result<ReplyScan, ProtoError> {
+    let Some(line_end) = find_crlf(buf) else {
+        return Ok(ReplyScan::Incomplete);
+    };
+    let line = &buf[..line_end];
+    if let Some(rest) = line.strip_prefix(wire::VALUE_PREFIX) {
+        let text =
+            std::str::from_utf8(rest).map_err(|_| ProtoError::Malformed("non-UTF-8 VALUE line"))?;
+        let mut parts = text.split(' ');
+        let key = parts.next().ok_or(ProtoError::Malformed("VALUE key"))?;
+        let flags: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ProtoError::Malformed("VALUE flags"))?;
+        let len: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ProtoError::Malformed("VALUE length"))?;
+        // A fourth field is the `cas unique` of a `gets` response.
+        let cas: Option<u64> = match parts.next() {
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| ProtoError::Malformed("VALUE cas unique"))?,
+            ),
+            None => None,
+        };
+        let need = line_end + 2 + len + 2;
+        if buf.len() < need {
+            return Ok(ReplyScan::Incomplete);
+        }
+        if &buf[line_end + 2 + len..need] != b"\r\n" {
+            return Err(ProtoError::Malformed("VALUE block not CRLF-terminated"));
+        }
+        let key_start = wire::VALUE_PREFIX.len();
+        return Ok(ReplyScan::Complete {
+            head: ReplyHead::Value {
+                key: (key_start, key_start + key.len()),
+                flags,
+                len,
+                cas,
+                data_start: line_end + 2,
+            },
+            total: need,
+        });
+    }
+    let reply = match line {
+        b"END" => Reply::End,
+        b"STORED" => Reply::Stored,
+        b"NOT_STORED" => Reply::NotStored,
+        b"EXISTS" => Reply::Exists,
+        b"TOUCHED" => Reply::Touched,
+        b"DELETED" => Reply::Deleted,
+        b"NOT_FOUND" => Reply::NotFound,
+        b"ERROR" => Reply::Error,
+        _ => {
+            if let Some(rest) = line.strip_prefix(b"STAT ".as_slice()) {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|_| ProtoError::Malformed("non-UTF-8 STAT line"))?;
+                match text.split_once(' ') {
+                    Some((k, v)) => Reply::Stat(k.to_string(), v.to_string()),
+                    None => return Err(ProtoError::Malformed("STAT without value")),
+                }
+            } else if line.starts_with(b"VERSION ") {
+                Reply::Version("")
+            } else if line.starts_with(b"CLIENT_ERROR ") {
+                Reply::ClientError("")
+            } else if let Some(n) = parse_u64(line) {
+                Reply::Number(n)
+            } else {
+                return Err(ProtoError::Malformed("unrecognized reply"));
+            }
+        }
+    };
+    Ok(ReplyScan::Complete {
+        head: ReplyHead::Plain(reply),
+        total: line_end + 2,
+    })
 }
 
 #[cfg(test)]
@@ -1137,6 +1553,129 @@ mod tests {
         assert!(CommandParser::new().feed(ok.as_bytes()).unwrap().is_some());
         let bad = format!("delete {}\r\n", "k".repeat(MAX_KEY_LEN + 1));
         assert!(CommandParser::new().feed(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn feed_bytes_aliases_chunk_zero_copy() {
+        let chunk = Bytes::from(b"set k 0 0 5\r\nhello\r\nget k\r\n".to_vec());
+        let chunk_ptr = chunk.as_ref().as_ptr();
+        let mut p = CommandParser::new();
+        match p.feed_bytes(chunk).unwrap().unwrap() {
+            Command::Set { value, .. } => {
+                // The value is a window of the original chunk region.
+                assert!(std::ptr::eq(value.as_ref().as_ptr(), unsafe {
+                    chunk_ptr.add(13)
+                }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(p.feed(b"").unwrap().unwrap(), Command::Get { .. }));
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn feed_bytes_merges_straddling_command() {
+        let mut p = CommandParser::new();
+        assert!(p
+            .feed_bytes(Bytes::from(b"set k 0 0 6\r\nabc".to_vec()))
+            .unwrap()
+            .is_none());
+        assert_eq!(p.buffered(), 16);
+        match p
+            .feed_bytes(Bytes::from(b"def\r\nstats\r\n".to_vec()))
+            .unwrap()
+            .unwrap()
+        {
+            Command::Set { value, .. } => assert_eq!(&value[..], b"abcdef"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.feed(b"").unwrap().unwrap(), Command::Stats);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn reply_queue_gathers_byte_identical_to_encode_into() {
+        let replies = vec![
+            Reply::Value {
+                key: Bytes::from_static(b"alpha"),
+                flags: 7,
+                data: Bytes::from_static(b"payload-bytes"),
+            },
+            Reply::Stored,
+            Reply::ValueCas {
+                key: Bytes::from_static(b"beta"),
+                flags: 0,
+                data: Bytes::from_static(b"x"),
+                cas: 99,
+            },
+            Reply::End,
+            Reply::Number(17),
+            Reply::ClientError("bad delta"),
+        ];
+        let mut flat = Vec::new();
+        let mut q = ReplyQueue::new();
+        for r in &replies {
+            r.encode_into(&mut flat);
+            r.encode_gather(&mut q);
+        }
+        assert_eq!(q.len(), flat.len());
+        let segs = q.finish();
+        let gathered: Vec<u8> = segs.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(gathered, flat);
+        assert!(q.is_empty());
+        // Adjacent text coalesces: STORED rides in the same segment as the
+        // preceding CRLF rather than its own.
+        assert!(segs.len() < replies.len() * 2);
+    }
+
+    #[test]
+    fn reply_queue_value_segment_aliases_store_entry() {
+        let value = Bytes::from(b"the stored value".to_vec());
+        let mut q = ReplyQueue::new();
+        Reply::Value {
+            key: Bytes::from_static(b"k"),
+            flags: 0,
+            data: value.clone(),
+        }
+        .encode_gather(&mut q);
+        let segs = q.finish();
+        let payload = segs
+            .iter()
+            .find(|s| &s[..] == b"the stored value")
+            .expect("payload segment");
+        assert!(
+            std::ptr::eq(payload.as_ref().as_ptr(), value.as_ref().as_ptr()),
+            "payload segment must alias the stored value, not copy it"
+        );
+    }
+
+    #[test]
+    fn reply_parser_feed_bytes_yields_windowed_values() {
+        let mut wire = Vec::new();
+        Reply::Value {
+            key: Bytes::from_static(b"k"),
+            flags: 3,
+            data: Bytes::from_static(b"abcde"),
+        }
+        .encode_into(&mut wire);
+        Reply::End.encode_into(&mut wire);
+        let chunk = Bytes::from(wire);
+        let chunk_ptr = chunk.as_ref().as_ptr();
+        let mut p = ReplyParser::new();
+        match p.feed_bytes(chunk).unwrap().unwrap() {
+            Reply::Value { key, flags, data } => {
+                assert_eq!(&key[..], b"k");
+                assert_eq!(flags, 3);
+                assert_eq!(&data[..], b"abcde");
+                // Both key and payload are windows of the chunk region.
+                assert!(std::ptr::eq(key.as_ref().as_ptr(), unsafe {
+                    chunk_ptr.add(6)
+                }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.feed(b"").unwrap().unwrap(), Reply::End);
+        assert_eq!(p.buffered(), 0);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth_core::event::Signal;
-use eveth_core::net::{send_all, send_all_within, Conn, NetError, NetStack, SendInput};
+use eveth_core::net::{
+    send_all_vectored, send_all_within_vectored, Conn, NetError, NetStack, SendInput,
+};
 use eveth_core::service::{
     Server, ServerConfig, ServerStats as FrameworkStats, Service, SessionEnd, Step,
 };
@@ -32,7 +34,7 @@ use eveth_core::time::{Nanos, MILLIS};
 use eveth_core::{do_m, Exception, ThreadM};
 
 use crate::expiry::janitor_until;
-use crate::protocol::{Command, CommandParser, ProtoError, Reply};
+use crate::protocol::{Command, CommandParser, ProtoError, Reply, ReplyQueue};
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::store::{CasOutcome, ConcatOutcome, CounterResult, Entry, ShardedStore, StoreConfig};
 
@@ -100,26 +102,32 @@ impl KvShared {
         StatsSnapshot::gather(self.store.shard_stats())
     }
 
-    /// Sends reply bytes, bounded by [`KvConfig::send_timeout`] when one
-    /// is configured: a transfer that cannot complete in time (a
-    /// zero-window peer) or that straddles shutdown is abandoned and
-    /// surfaced as a transport error — the session closes instead of
-    /// wedging its thread on an unbounded send.
-    fn send_reply(&self, conn: &Arc<dyn Conn>, data: Bytes) -> ThreadM<Result<(), NetError>> {
+    /// Sends a batch's reply segments with one vectored gather-write,
+    /// bounded by [`KvConfig::send_timeout`] when one is configured: a
+    /// transfer that cannot complete in time (a zero-window peer) or that
+    /// straddles shutdown is abandoned and surfaced as a transport
+    /// error — the session closes instead of wedging its thread on an
+    /// unbounded send.
+    fn send_reply_v(
+        &self,
+        conn: &Arc<dyn Conn>,
+        bufs: Vec<Bytes>,
+    ) -> ThreadM<Result<(), NetError>> {
         match self.lifecycle.get() {
             Some(lc) if lc.send_timeout > 0 => {
                 let framework = Arc::clone(&lc.framework);
-                send_all_within(conn, data, lc.send_timeout, &lc.shutdown).map(move |out| match out
-                {
-                    SendInput::Done(r) => r,
-                    SendInput::Timeout => {
-                        framework.send_timeouts.incr();
-                        Err(NetError::Timeout)
-                    }
-                    SendInput::Shutdown => Err(NetError::Closed),
-                })
+                send_all_within_vectored(conn, bufs, lc.send_timeout, &lc.shutdown).map(
+                    move |out| match out {
+                        SendInput::Done(r) => r,
+                        SendInput::Timeout => {
+                            framework.send_timeouts.incr();
+                            Err(NetError::Timeout)
+                        }
+                        SendInput::Shutdown => Err(NetError::Closed),
+                    },
+                )
             }
-            _ => send_all(conn, data),
+            _ => send_all_vectored(conn, bufs),
         }
     }
 }
@@ -161,14 +169,16 @@ impl Service for KvService {
                 Err(flush) => {
                     // Protocol error: flush what we have + the error line,
                     // then end the session (the server closes the conn).
-                    return replier.send_reply(&conn, Bytes::from(flush)).map(|_| Step::Close);
+                    return replier.send_reply_v(&conn, flush).map(|_| Step::Close);
                 }
             };
-            let n = outcome.replies.len() as u64;
-            let sent <- if outcome.replies.is_empty() {
+            let mut outcome = outcome;
+            let n = outcome.queue.len() as u64;
+            let segs = outcome.queue.finish();
+            let sent <- if segs.is_empty() {
                 ThreadM::pure(Ok(()))
             } else {
-                replier.send_reply(&conn, Bytes::from(outcome.replies))
+                replier.send_reply_v(&conn, segs)
             };
             match sent {
                 Err(_) => ThreadM::pure(Step::Close),
@@ -364,42 +374,54 @@ impl fmt::Debug for KvServer {
     }
 }
 
-/// Everything one execution batch produced: coalesced reply bytes and
-/// whether the client asked to quit.
+/// Everything one execution batch produced: the gathered reply segments
+/// (value payloads alias store entries; everything else lives in one
+/// pooled scratch region) and whether the client asked to quit.
 struct BatchOutcome {
-    replies: Vec<u8>,
+    queue: ReplyQueue,
     quit: bool,
 }
 
 /// Feeds `chunk`, executes every command that completes, and coalesces
-/// replies. `Err` carries bytes to flush before closing on a protocol
-/// error.
+/// replies into one gather list for a single vectored send. `Err`
+/// carries segments to flush before closing on a protocol error.
+///
+/// The chunk is handed to the parser by ownership ([`CommandParser::
+/// feed_bytes`]) so commands that arrive whole are parsed in place —
+/// zero copies between the socket recv and the store. One timestamp is
+/// taken for the whole batch: every command in a pipelined burst shares
+/// the instant the bytes were drained, which is both cheaper (no
+/// per-command `sys_time` continuation) and a more honest arrival time.
 fn run_batch(
     srv: Arc<KvShared>,
     mut parser: CommandParser,
     chunk: Bytes,
-) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<u8>>> {
-    // First drain on the fed chunk, then on the remainder, monadically so
-    // each command's store access can block (shard mutex / STM retry)
-    // without holding anything else up.
-    let first = parser.feed(&chunk);
-    step_batch(
-        srv,
-        parser,
-        first,
-        BatchOutcome {
-            replies: Vec::new(),
-            quit: false,
-        },
-    )
+) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<Bytes>>> {
+    sys_time().bind(move |now| {
+        // First drain on the fed chunk, then on the remainder,
+        // monadically so each command's store access can block (shard
+        // mutex / STM retry) without holding anything else up.
+        let first = parser.feed_bytes(chunk);
+        step_batch(
+            srv,
+            parser,
+            now,
+            first,
+            BatchOutcome {
+                queue: ReplyQueue::new(),
+                quit: false,
+            },
+        )
+    })
 }
 
 fn step_batch(
     srv: Arc<KvShared>,
     parser: CommandParser,
+    now: Nanos,
     parsed: Result<Option<Command>, ProtoError>,
     mut acc: BatchOutcome,
-) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<u8>>> {
+) -> ThreadM<Result<(CommandParser, BatchOutcome), Vec<Bytes>>> {
     match parsed {
         Err(e) => {
             srv.stats.protocol_errors.incr();
@@ -408,8 +430,8 @@ fn step_batch(
             } else {
                 Reply::ClientError(e.reason())
             };
-            reply.encode_into(&mut acc.replies);
-            ThreadM::pure(Err(acc.replies))
+            reply.encode_gather(&mut acc.queue);
+            ThreadM::pure(Err(acc.queue.finish()))
         }
         Ok(None) => ThreadM::pure(Ok((parser, acc))),
         Ok(Some(cmd)) => {
@@ -420,73 +442,101 @@ fn step_batch(
             }
             let suppress = cmd.noreply();
             let srv2 = Arc::clone(&srv);
-            execute(Arc::clone(&srv), cmd).bind(move |replies| {
+            execute(Arc::clone(&srv), cmd, now).bind(move |replies| {
                 let mut parser = parser;
                 if !suppress {
                     for r in &replies {
-                        r.encode_into(&mut acc.replies);
+                        r.encode_gather(&mut acc.queue);
                     }
                 }
-                let next = parser.feed(&[]);
-                step_batch(srv2, parser, next, acc)
+                let next = parser.try_next();
+                step_batch(srv2, parser, now, next, acc)
             })
+        }
+    }
+}
+
+/// Builds a `VALUE` reply whose data segment is the store entry's own
+/// refcounted window — no byte of the value is copied between the store
+/// and the socket's gather list.
+fn value_reply(key: Bytes, e: Entry, with_cas: bool) -> Reply {
+    if with_cas {
+        Reply::ValueCas {
+            key,
+            flags: e.flags,
+            data: e.value,
+            cas: e.version,
+        }
+    } else {
+        Reply::Value {
+            key,
+            flags: e.flags,
+            data: e.value,
         }
     }
 }
 
 /// Multi-key lookup shared by `get` (plain `VALUE` lines) and `gets`
 /// (`VALUE` lines carrying the cas-unique version stamp).
-fn lookup_reply(srv: Arc<KvShared>, keys: Vec<Bytes>, with_cas: bool) -> ThreadM<Vec<Reply>> {
+fn lookup_reply(
+    srv: Arc<KvShared>,
+    keys: Vec<Bytes>,
+    with_cas: bool,
+    now: Nanos,
+) -> ThreadM<Vec<Reply>> {
     let store = Arc::clone(&srv.store);
-    let keys = Arc::new(keys);
-    do_m! {
-        let now <- sys_time();
-        eveth_core::map_m(keys.len(), move |i| {
-            let store = Arc::clone(&store);
-            let key = keys[i].clone();
-            let key2 = key.clone();
-            store.get(key, now).map(move |found| {
-                found.map(|e| {
-                    if with_cas {
-                        Reply::ValueCas {
-                            key: key2,
-                            flags: e.flags,
-                            data: e.value,
-                            cas: e.version,
-                        }
-                    } else {
-                        Reply::Value {
-                            key: key2,
-                            flags: e.flags,
-                            data: e.value,
-                        }
-                    }
-                })
-            })
-        })
-        .map(|found: Vec<Option<Reply>>| {
-            let mut replies: Vec<Reply> = found.into_iter().flatten().collect();
+    // Single-key gets dominate real traffic; skip the shared key list
+    // and `map_m`'s per-element continuation plumbing for that shape.
+    if keys.len() == 1 {
+        let key = keys.into_iter().next().expect("one key");
+        let key2 = key.clone();
+        return store.get(key, now).map(move |found| {
+            let mut replies = Vec::with_capacity(2);
+            if let Some(e) = found {
+                replies.push(value_reply(key2, e, with_cas));
+            }
             replies.push(Reply::End);
             replies
-        })
+        });
     }
+    let keys = Arc::new(keys);
+    eveth_core::map_m(keys.len(), move |i| {
+        let store = Arc::clone(&store);
+        let key = keys[i].clone();
+        let key2 = key.clone();
+        store
+            .get(key, now)
+            .map(move |found| found.map(|e| value_reply(key2, e, with_cas)))
+    })
+    .map(|found: Vec<Option<Reply>>| {
+        let mut replies: Vec<Reply> = found.into_iter().flatten().collect();
+        replies.push(Reply::End);
+        replies
+    })
 }
 
 /// Builds the store entry for a storage command's fields at time `now`.
+///
+/// The payload is [`Bytes::compact`]ed on the way in: a value parsed out
+/// of a recv chunk is a window into that chunk, and storing the window
+/// as-is would pin the whole chunk (and its slab region) for the
+/// entry's lifetime. Compaction copies exactly the value bytes once —
+/// the single copy a set fundamentally requires — and releases the
+/// chunk as soon as the batch drains.
 fn proto_entry(now: Nanos, flags: u32, exptime: u64, value: Bytes) -> Entry {
     Entry {
-        value,
+        value: value.compact(),
         flags,
         expires_at: ShardedStore::deadline(now, exptime),
         version: 0, // stamped by the store
     }
 }
 
-/// Executes one command against the store.
-fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
+/// Executes one command against the store at batch timestamp `now`.
+fn execute(srv: Arc<KvShared>, cmd: Command, now: Nanos) -> ThreadM<Vec<Reply>> {
     match cmd {
-        Command::Get { keys } => lookup_reply(srv, keys, false),
-        Command::Gets { keys } => lookup_reply(srv, keys, true),
+        Command::Get { keys } => lookup_reply(srv, keys, false, now),
+        Command::Gets { keys } => lookup_reply(srv, keys, true, now),
         Command::Set {
             key,
             flags,
@@ -498,7 +548,7 @@ fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
                 return ThreadM::pure(vec![Reply::ClientError("value too large")]);
             }
             srv.store
-                .set_from_protocol(key, flags, exptime, value)
+                .set(key, proto_entry(now, flags, exptime, value))
                 .map(|()| vec![Reply::Stored])
         }
         Command::Add {
@@ -507,14 +557,14 @@ fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
             exptime,
             value,
             ..
-        } => guarded_store_reply(srv, key, flags, exptime, value, false),
+        } => guarded_store_reply(srv, key, flags, exptime, value, false, now),
         Command::Replace {
             key,
             flags,
             exptime,
             value,
             ..
-        } => guarded_store_reply(srv, key, flags, exptime, value, true),
+        } => guarded_store_reply(srv, key, flags, exptime, value, true, now),
         Command::Cas {
             key,
             flags,
@@ -526,44 +576,42 @@ fn execute(srv: Arc<KvShared>, cmd: Command) -> ThreadM<Vec<Reply>> {
             if value.len() > srv.store.config().max_value_bytes {
                 return ThreadM::pure(vec![Reply::ClientError("value too large")]);
             }
-            let store = Arc::clone(&srv.store);
-            do_m! {
-                let now <- sys_time();
-                store
-                    .cas(key, proto_entry(now, flags, exptime, value), cas_unique, now)
-                    .map(|outcome| {
-                        vec![match outcome {
-                            CasOutcome::Stored => Reply::Stored,
-                            CasOutcome::Exists => Reply::Exists,
-                            CasOutcome::NotFound => Reply::NotFound,
-                        }]
-                    })
-            }
-        }
-        Command::Append { key, value, .. } => concat_reply(srv, key, value, false),
-        Command::Prepend { key, value, .. } => concat_reply(srv, key, value, true),
-        Command::Touch { key, exptime, .. } => {
-            let store = Arc::clone(&srv.store);
-            do_m! {
-                let now <- sys_time();
-                store
-                    .touch(key, ShardedStore::deadline(now, exptime), now)
-                    .map(|touched| {
-                        vec![if touched { Reply::Touched } else { Reply::NotFound }]
-                    })
-            }
-        }
-        Command::Delete { key, .. } => {
-            let store = Arc::clone(&srv.store);
-            do_m! {
-                let now <- sys_time();
-                store.delete(key, now).map(|removed| {
-                    vec![if removed { Reply::Deleted } else { Reply::NotFound }]
+            srv.store
+                .cas(
+                    key,
+                    proto_entry(now, flags, exptime, value),
+                    cas_unique,
+                    now,
+                )
+                .map(|outcome| {
+                    vec![match outcome {
+                        CasOutcome::Stored => Reply::Stored,
+                        CasOutcome::Exists => Reply::Exists,
+                        CasOutcome::NotFound => Reply::NotFound,
+                    }]
                 })
-            }
         }
-        Command::Incr { key, delta, .. } => counter_reply(srv, key, delta, false),
-        Command::Decr { key, delta, .. } => counter_reply(srv, key, delta, true),
+        Command::Append { key, value, .. } => concat_reply(srv, key, value, false, now),
+        Command::Prepend { key, value, .. } => concat_reply(srv, key, value, true, now),
+        Command::Touch { key, exptime, .. } => srv
+            .store
+            .touch(key, ShardedStore::deadline(now, exptime), now)
+            .map(|touched| {
+                vec![if touched {
+                    Reply::Touched
+                } else {
+                    Reply::NotFound
+                }]
+            }),
+        Command::Delete { key, .. } => srv.store.delete(key, now).map(|removed| {
+            vec![if removed {
+                Reply::Deleted
+            } else {
+                Reply::NotFound
+            }]
+        }),
+        Command::Incr { key, delta, .. } => counter_reply(srv, key, delta, false, now),
+        Command::Decr { key, delta, .. } => counter_reply(srv, key, delta, true, now),
         Command::Stats => {
             let snap = srv.store_snapshot();
             let mut replies = vec![
@@ -642,21 +690,25 @@ fn guarded_store_reply(
     exptime: u64,
     value: Bytes,
     want_occupied: bool,
+    now: Nanos,
 ) -> ThreadM<Vec<Reply>> {
     if value.len() > srv.store.config().max_value_bytes {
         return ThreadM::pure(vec![Reply::ClientError("value too large")]);
     }
     let store = Arc::clone(&srv.store);
-    do_m! {
-        let now <- sys_time();
-        let entry = proto_entry(now, flags, exptime, value);
-        let stored <- if want_occupied {
-            store.replace(key, entry, now)
+    let entry = proto_entry(now, flags, exptime, value);
+    let stored = if want_occupied {
+        store.replace(key, entry, now)
+    } else {
+        store.add(key, entry, now)
+    };
+    stored.map(|stored| {
+        vec![if stored {
+            Reply::Stored
         } else {
-            store.add(key, entry, now)
-        };
-        ThreadM::pure(vec![if stored { Reply::Stored } else { Reply::NotStored }])
-    }
+            Reply::NotStored
+        }]
+    })
 }
 
 /// `append` / `prepend`: concatenation onto an existing live value.
@@ -665,21 +717,18 @@ fn concat_reply(
     key: Bytes,
     value: Bytes,
     prepend: bool,
+    now: Nanos,
 ) -> ThreadM<Vec<Reply>> {
     if value.len() > srv.store.config().max_value_bytes {
         return ThreadM::pure(vec![Reply::ClientError("value too large")]);
     }
-    let store = Arc::clone(&srv.store);
-    do_m! {
-        let now <- sys_time();
-        store.concat(key, value, prepend, now).map(|outcome| {
-            vec![match outcome {
-                ConcatOutcome::Stored => Reply::Stored,
-                ConcatOutcome::Missing => Reply::NotStored,
-                ConcatOutcome::TooLarge => Reply::ClientError("value too large"),
-            }]
-        })
-    }
+    srv.store.concat(key, value, prepend, now).map(|outcome| {
+        vec![match outcome {
+            ConcatOutcome::Stored => Reply::Stored,
+            ConcatOutcome::Missing => Reply::NotStored,
+            ConcatOutcome::TooLarge => Reply::ClientError("value too large"),
+        }]
+    })
 }
 
 fn counter_reply(
@@ -687,18 +736,15 @@ fn counter_reply(
     key: Bytes,
     delta: u64,
     negative: bool,
+    now: Nanos,
 ) -> ThreadM<Vec<Reply>> {
-    let store = Arc::clone(&srv.store);
-    do_m! {
-        let now <- sys_time();
-        store.counter_op(key, delta, negative, now).map(|res| {
-            vec![match res {
-                CounterResult::Ok(v) => Reply::Number(v),
-                CounterResult::NotFound => Reply::NotFound,
-                CounterResult::NotNumeric => {
-                    Reply::ClientError("cannot increment or decrement non-numeric value")
-                }
-            }]
-        })
-    }
+    srv.store.counter_op(key, delta, negative, now).map(|res| {
+        vec![match res {
+            CounterResult::Ok(v) => Reply::Number(v),
+            CounterResult::NotFound => Reply::NotFound,
+            CounterResult::NotNumeric => {
+                Reply::ClientError("cannot increment or decrement non-numeric value")
+            }
+        }]
+    })
 }

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{BufferPool, Bytes};
 use eveth_core::sync::Mutex as MonadicMutex;
 use eveth_core::time::{Nanos, SECS};
 use eveth_core::{do_m, ThreadM};
@@ -280,9 +280,9 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    map.lock().get(key.as_ref()).cloned()
-                }))
+                shard
+                    .gate
+                    .with_nbio(move || map.lock().get(key.as_ref()).cloned())
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -324,9 +324,9 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
+                shard.gate.with_nbio(move || {
                     map.lock().insert(key.to_vec().into_boxed_slice(), entry);
-                }))
+                })
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -350,9 +350,9 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    map.lock().remove(key.as_ref())
-                }))
+                shard
+                    .gate
+                    .with_nbio(move || map.lock().remove(key.as_ref()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -421,9 +421,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    apply(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || apply(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -487,9 +485,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    apply(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || apply(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -555,7 +551,13 @@ impl ShardedStore {
             let outcome = probe(map);
             if outcome == ConcatOutcome::Stored {
                 let e = map.get_mut(key.as_ref()).expect("probed live");
-                let mut joined = Vec::with_capacity(e.value.len() + data.len());
+                // Build the joined value exactly once, in a pooled
+                // region: each input byte is copied a single time and
+                // `freeze` hands the result over without another pass
+                // (the old path built a `Vec` and then copied it whole
+                // into a fresh `Bytes` allocation).
+                let mut joined = BufferPool::global().acquire();
+                joined.reserve(e.value.len() + data.len());
                 if prepend {
                     joined.extend_from_slice(&data);
                     joined.extend_from_slice(&e.value);
@@ -563,7 +565,7 @@ impl ShardedStore {
                     joined.extend_from_slice(&e.value);
                     joined.extend_from_slice(&data);
                 }
-                e.value = Bytes::from(joined);
+                e.value = joined.freeze();
                 e.version = version;
             }
             outcome
@@ -572,9 +574,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    apply(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || apply(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -633,9 +633,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    apply(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || apply(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -702,9 +700,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    apply(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || apply(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();
@@ -757,9 +753,7 @@ impl ShardedStore {
             Shards::Mutex(shards) => {
                 let shard = &shards[idx];
                 let map = Arc::clone(&shard.map);
-                shard.gate.with(eveth_core::syscall::sys_nbio(move || {
-                    purge(&mut map.lock())
-                }))
+                shard.gate.with_nbio(move || purge(&mut map.lock()))
             }
             Shards::Stm(shards) => {
                 let cell = shards[idx].cell.clone();

@@ -40,12 +40,13 @@
 //! byte-identical [`SimReport`] for any `cpus`. With `cpus = 1` the model
 //! reduces exactly to the original single-CPU schedule.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eveth_core::engine::{self, CostKind, RuntimeCtx, WaitKind};
+use eveth_core::hash::DetHashMap;
 use eveth_core::reactor::{EventPort, Unparker};
 use eveth_core::runtime::{Stats, StatsSnapshot};
 use eveth_core::task::{Task, TaskId, TaskShell};
@@ -225,9 +226,9 @@ struct SimInner {
     /// (its unlock may carry an *earlier* virtual timestamp than the
     /// waiter's own frontier) must never send the waiter's time backwards:
     /// its next turn starts at `max(wake time, floor)`.
-    resume_floor: Mutex<HashMap<TaskId, Nanos>>,
+    resume_floor: Mutex<DetHashMap<TaskId, Nanos>>,
     /// Tasks currently blocked → (block time, wait class).
-    park_since: Mutex<HashMap<TaskId, (Nanos, WaitKind)>>,
+    park_since: Mutex<DetHashMap<TaskId, (Nanos, WaitKind)>>,
     io_wait_ns: AtomicU64,
     io_waits: AtomicU64,
     lock_wait_ns: AtomicU64,
@@ -507,8 +508,8 @@ impl SimRuntime {
             clock,
             ready: Mutex::new(ReadyQueue::new()),
             cpus: Mutex::new(CpuState::new(cpus)),
-            resume_floor: Mutex::new(HashMap::new()),
-            park_since: Mutex::new(HashMap::new()),
+            resume_floor: Mutex::new(DetHashMap::default()),
+            park_since: Mutex::new(DetHashMap::default()),
             io_wait_ns: AtomicU64::new(0),
             io_waits: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),

@@ -453,6 +453,65 @@ impl Conn for TcpConn {
         })
     }
 
+    fn sendv(&self, bufs: Vec<Bytes>) -> ThreadM<Result<usize, NetError>> {
+        if bufs.iter().all(|b| b.is_empty()) {
+            return ThreadM::pure(Ok(0));
+        }
+        let tcb = Arc::clone(&self.tcb);
+        let host = Arc::clone(&self.host);
+        let fd = self.fd.clone();
+        let peer = self.key.peer.host;
+        loop_m(bufs, move |bufs| {
+            let try_tcb = Arc::clone(&tcb);
+            let fd = fd.clone();
+            let h = Arc::clone(&host);
+            let attempt = bufs.clone();
+            sys_time()
+                .bind(move |now| {
+                    sys_nbio(move || {
+                        // One locked pass: buffer from every segment into
+                        // the send queue, then a single output flush for
+                        // the whole batch.
+                        let mut t = try_tcb.lock();
+                        let mut total = 0;
+                        for b in &attempt {
+                            if b.is_empty() {
+                                continue;
+                            }
+                            match t.app_write(b) {
+                                Err(e) => {
+                                    if total == 0 {
+                                        return Some(Err(e));
+                                    }
+                                    // Partial progress wins; the error
+                                    // resurfaces on the next send.
+                                    break;
+                                }
+                                Ok(0) => break,
+                                Ok(n) => {
+                                    total += n;
+                                    if n < b.len() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if total == 0 {
+                            return None;
+                        }
+                        let out = t.output(now);
+                        drop(t);
+                        h.send_segs(peer, out);
+                        Some(Ok(total))
+                    })
+                })
+                .bind(move |res| match res {
+                    Some(r) => ThreadM::pure(Loop::Break(r)),
+                    None => sys_epoll_wait(&fd, Interest::Write).map(move |_| Loop::Continue(bufs)),
+                })
+        })
+    }
+
     fn close(&self) -> ThreadM<()> {
         let tcb = Arc::clone(&self.tcb);
         let host = Arc::clone(&self.host);

@@ -45,6 +45,7 @@ fn main() {
         set_percent: 30,
         keys: 64,
         value_bytes: 100,
+        preload: false,
         seed: 11,
     };
     let art = kv_trace_run(&params);

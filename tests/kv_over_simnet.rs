@@ -12,6 +12,7 @@ use eveth::core::syscall::{sys_nbio, sys_sleep};
 use eveth::core::time::MILLIS;
 use eveth::glue;
 use eveth::kv::loadgen::{client_thread, KvLoadConfig, KvLoadStats};
+use eveth::kv::protocol::{Reply, ReplyParser};
 use eveth::kv::server::{KvConfig, KvServer};
 use eveth::kv::store::{Backend, StoreConfig};
 use eveth::simos::net::{LinkParams, SimNet};
@@ -147,6 +148,179 @@ fn stm_backend_behaves_identically_over_simnet() {
     assert_eq!(stats.responses(), CLIENTS * (BATCHES * DEPTH) as u64);
     assert_eq!(stats.errors.get(), 0);
     assert_eq!(snap.sets, stats.stored.get());
+}
+
+/// True when `r` is the reply that completes a command (a `get`'s
+/// `VALUE` lines precede its closing `END`; stat/version lines precede
+/// their own terminators).
+fn reply_closes_command(r: &Reply) -> bool {
+    !matches!(
+        r,
+        Reply::Value { .. } | Reply::ValueCas { .. } | Reply::Stat(..) | Reply::Version(_)
+    )
+}
+
+/// A deterministic 64-command session script mixing every reply shape
+/// the server can gather: sets (scratch-only replies), single- and
+/// multi-key gets and gets (value segments aliasing store entries),
+/// appends, counter ops, and deletes. Each element is one wire blob and
+/// the number of commands it carries.
+fn command_script() -> Vec<(Bytes, usize)> {
+    let mut cmds = vec![Bytes::from_static(b"set ctr 0 0 1\r\n0\r\n")];
+    for i in 0..63usize {
+        let k = i % 8;
+        let cmd = match i % 7 {
+            0 => {
+                let len = (i % 24) + 1;
+                let mut v = format!("set k{k} 0 0 {len}\r\n").into_bytes();
+                v.extend(std::iter::repeat_n(b'a' + (i % 26) as u8, len));
+                v.extend_from_slice(b"\r\n");
+                Bytes::from(v)
+            }
+            1 => Bytes::from(format!("get k{k}\r\n")),
+            2 => Bytes::from(format!("gets k{k}\r\n")),
+            3 => Bytes::from(format!("append k{k} 0 0 2\r\nxy\r\n")),
+            4 => Bytes::from_static(b"incr ctr 7\r\n"),
+            5 => Bytes::from_static(b"get k0 k1 k2 k3\r\n"),
+            _ => Bytes::from(format!("delete k{}\r\n", (i + 1) % 8)),
+        };
+        cmds.push(cmd);
+    }
+    cmds.into_iter().map(|c| (c, 1)).collect()
+}
+
+/// Ships each wire blob in lockstep — waiting until its commands are
+/// fully answered before sending the next — and returns the raw reply
+/// byte stream, including the drain after `quit`.
+fn session_reply_bytes(
+    sim: &SimRuntime,
+    client_stack: Arc<dyn NetStack>,
+    wires: Vec<(Bytes, usize)>,
+) -> Vec<u8> {
+    let wires = Arc::new(wires);
+    sim.block_on(do_m! {
+        let conn <- client_stack.connect(Endpoint::new(HostId(1), 11211));
+        let conn = conn.unwrap();
+        loop_m((0usize, Vec::<u8>::new()), move |(idx, acc)| {
+            if idx == wires.len() {
+                let conn = Arc::clone(&conn);
+                return send_all(&conn, Bytes::from_static(b"quit\r\n")).bind(move |sent| {
+                    sent.unwrap();
+                    recv_to_end(&conn, 64 * 1024).map(move |tail| {
+                        let mut acc = acc;
+                        acc.extend_from_slice(&tail.unwrap());
+                        Loop::Break(acc)
+                    })
+                });
+            }
+            let (wire, expected) = wires[idx].clone();
+            let conn_read = Arc::clone(&conn);
+            send_all(&conn, wire).bind(move |sent| {
+                sent.unwrap();
+                loop_m(
+                    (ReplyParser::new(), acc, 0usize),
+                    move |(mut parser, mut acc, mut closed)| {
+                        let conn = Arc::clone(&conn_read);
+                        conn.recv(64 * 1024).map(move |chunk| {
+                            let chunk = chunk.expect("recv ok");
+                            assert!(!chunk.is_empty(), "server hung up mid-reply");
+                            acc.extend_from_slice(&chunk);
+                            let mut fed = parser.feed_bytes(chunk);
+                            while let Some(r) = fed.expect("well-formed reply stream") {
+                                if reply_closes_command(&r) {
+                                    closed += 1;
+                                }
+                                fed = parser.try_next();
+                            }
+                            if closed >= expected {
+                                Loop::Break(acc)
+                            } else {
+                                Loop::Continue((parser, acc, closed))
+                            }
+                        })
+                    },
+                )
+                .map(move |acc| Loop::Continue((idx + 1, acc)))
+            })
+        })
+    })
+    .expect("session ran")
+}
+
+/// Runs the script against a fresh server over the given stacks and
+/// returns the reply bytes.
+fn run_session(
+    sim: SimRuntime,
+    server_stack: Arc<dyn NetStack>,
+    client_stack: Arc<dyn NetStack>,
+    wires: Vec<(Bytes, usize)>,
+) -> Vec<u8> {
+    let server = KvServer::new(server_stack, KvConfig::default());
+    sim.spawn(server.run());
+    session_reply_bytes(&sim, client_stack, wires)
+}
+
+#[test]
+fn pipelined_batch_replies_are_byte_identical_to_per_command() {
+    // The gather-write path coalesces a whole batch's replies — scratch
+    // header segments plus value segments aliasing store entries — into
+    // one vectored send. The bytes on the wire must be exactly what 64
+    // strict request/response round trips would have produced, on both
+    // socket stacks and through a lossy link.
+    let script = command_script();
+    assert_eq!(script.len(), 64, "a 64-deep pipelined session");
+    let batch = {
+        let mut wire = Vec::new();
+        for (w, _) in &script {
+            wire.extend_from_slice(w);
+        }
+        vec![(Bytes::from(wire), script.len())]
+    };
+
+    let fabric_run = |wires: Vec<(Bytes, usize)>| {
+        let sim = SimRuntime::new_default();
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        run_session(sim, fabric.stack(HostId(1)), fabric.stack(HostId(2)), wires)
+    };
+    let tcp_run = |loss: f64, seed: u64, wires: Vec<(Bytes, usize)>| {
+        let sim = SimRuntime::new_default();
+        let params = if loss > 0.0 {
+            LinkParams::ethernet_100mbps().with_loss(loss)
+        } else {
+            LinkParams::ethernet_100mbps()
+        };
+        let net = SimNet::new(sim.clock(), params, seed);
+        let a = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(1), TcpConfig::default());
+        let b = glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(2), TcpConfig::default());
+        run_session(sim, a, b, wires)
+    };
+
+    let per_fabric = fabric_run(script.clone());
+    assert_eq!(
+        per_fabric,
+        fabric_run(batch.clone()),
+        "kernel sockets: batched replies must match per-command bytes"
+    );
+    let per_tcp = tcp_run(0.0, 41, script.clone());
+    assert_eq!(
+        per_tcp,
+        tcp_run(0.0, 41, batch.clone()),
+        "app-level TCP: batched replies must match per-command bytes"
+    );
+    let per_lossy = tcp_run(0.01, 43, script);
+    assert_eq!(
+        per_lossy,
+        tcp_run(0.01, 43, batch),
+        "lossy link: retransmission must not perturb the gathered bytes"
+    );
+    // The reply stream is a pure function of the commands — identical
+    // across every transport.
+    assert_eq!(per_fabric, per_tcp);
+    assert_eq!(per_fabric, per_lossy);
+    // And it actually carried aliased value payloads.
+    let text = String::from_utf8(per_fabric).unwrap();
+    assert!(text.contains("VALUE k"), "gets hit");
+    assert!(text.contains("STORED"), "sets acknowledged");
 }
 
 #[test]

@@ -91,6 +91,7 @@ fn thundering_herd_concentrates_lock_wait_on_the_hot_shard() {
         set_percent: 10,
         keys: 1,
         value_bytes: 100,
+        preload: false,
         seed: 42,
     });
     assert_eq!(r.responses, 32 * 8 * 8);

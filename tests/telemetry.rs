@@ -145,6 +145,7 @@ fn trace_params(cpus: usize, seed: u64) -> KvRunParams {
         set_percent: 30,
         keys: 32,
         value_bytes: 64,
+        preload: false,
         seed,
     }
 }
@@ -285,6 +286,34 @@ fn chrome_export_is_byte_identical_across_reruns_at_1_and_4_cpus() {
     let a = kv_trace_run(&trace_params(1, 7));
     let b = kv_trace_run(&trace_params(1, 8));
     assert_ne!(a.chrome_json, b.chrome_json);
+}
+
+#[test]
+fn buffer_pool_metrics_expose_on_opt_in() {
+    let tel = Telemetry::new();
+    // Off by default: the sources are process-global, so hubs that diff
+    // byte-exact artifacts across reruns must not inherit them.
+    assert!(
+        !tel.registry().expose().contains("eveth_buf_"),
+        "buffer-pool metrics must be opt-in"
+    );
+    tel.register_buffer_pool_metrics();
+
+    // Drive the fabric so the counters are demonstrably live.
+    let mut b = bytes::BufferPool::global().acquire();
+    b.extend_from_slice(b"counted payload");
+    drop(b.freeze());
+
+    let body = tel.registry().expose();
+    assert!(body.contains("# TYPE eveth_buf_bytes_copied_total counter"));
+    assert!(body.contains("# TYPE eveth_buf_pool_free_slabs gauge"));
+    assert!(body.contains("eveth_buf_slabs_total"));
+    assert!(body.contains("eveth_buf_buffers_allocated_total"));
+    let copied = tel
+        .registry()
+        .counter_value("eveth_buf_bytes_copied_total", &[])
+        .expect("registered");
+    assert!(copied >= 15, "the staged payload was counted, got {copied}");
 }
 
 #[test]
