@@ -1,0 +1,16 @@
+//! Bench-target shim: the cluster suite lives in
+//! `eveth_bench::figcluster` so the `fig_cluster` *binary* regenerates
+//! the identical `BENCH_cluster.json` — byte determinism across both
+//! entrypoints is a CI gate.
+//!
+//! Run: `cargo bench --bench fig_cluster` (EVETH_FULL=1 for the larger
+//! sweep).
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    eveth_bench::figcluster::run();
+}

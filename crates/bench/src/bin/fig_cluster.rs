@@ -1,0 +1,12 @@
+//! Binary form of the cluster suite: `cargo run --release -p eveth-bench
+//! --bin fig_cluster` regenerates `BENCH_cluster.json` exactly as the
+//! bench target does — CI runs both and compares the bytes.
+
+use eveth_bench::allocmeter::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    eveth_bench::figcluster::run();
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod allocmeter;
+pub mod figcluster;
 pub mod figkv;
 pub mod figscale;
 pub mod tables;

@@ -1,0 +1,32 @@
+//! Multi-host KV cluster layer: consistent-hash routing, hot-key
+//! replication and failover, written as monadic threads over the hybrid
+//! runtime.
+//!
+//! The thesis of this crate is that a *cluster router* — the component
+//! that usually earns a hand-rolled epoll state machine — is just
+//! another service on the paper's hybrid runtime:
+//!
+//! - [`ring`] — the deterministic consistent-hash ring ([`HashRing`]):
+//!   virtual nodes, seed-free FNV placement, minimal remapping on
+//!   membership change.
+//! - [`router`] — the [`Router`]: a [`Service`](eveth_core::service::Service)
+//!   implementation that parses client batches, fans commands out to the
+//!   owning backends over pooled connections, fans replies back in with
+//!   one CML `choose` over backend readiness plus a timeout, replicates
+//!   hot-key writes to R ring successors, and fails replicated reads
+//!   over (with read-repair) when a replica crashes or misses.
+//!
+//! Because everything rides the [`NetStack`](eveth_core::net::NetStack)
+//! abstraction, the same router binary-identically serves simulated
+//! kernel sockets and the application-level TCP stack, and the simnet
+//! fault controls (link down, host crash, membership change) drive the
+//! failover scenarios deterministically.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ring;
+pub mod router;
+
+pub use ring::HashRing;
+pub use router::{Router, RouterConfig, RouterService, RouterStats};

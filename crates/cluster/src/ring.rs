@@ -1,0 +1,255 @@
+//! The consistent-hash ring: deterministic key → node placement with
+//! virtual nodes, the classic Karger-style construction.
+//!
+//! Each backend endpoint is hashed onto the ring at `vnodes` points
+//! (labelled `host:port#v`); a key belongs to the first point clockwise
+//! from its own hash. Virtual nodes smooth the per-node share toward
+//! `1/N`, and — the property the cluster's rebalance scenario leans on —
+//! removing one of `N` nodes remaps only the keys that mapped to it,
+//! about `1/N` of the space, instead of reshuffling everything the way
+//! `hash(key) % N` would.
+//!
+//! Hashing is [`FnvHasher`] (seed-free FNV-1a), so placement is
+//! deterministic across processes and runs: the same membership always
+//! yields byte-identical routing, which the cluster bench's
+//! reproducibility gate depends on.
+
+use std::hash::Hasher as _;
+
+use eveth_core::hash::FnvHasher;
+use eveth_core::net::Endpoint;
+
+/// A consistent-hash ring over a set of backend endpoints.
+///
+/// Immutable once built: membership changes construct a new ring (cheap —
+/// `N × vnodes` points) and swap it in, so routing threads snapshot an
+/// `Arc<HashRing>` and never observe a half-updated ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    nodes: Vec<Endpoint>,
+    /// `(point hash, node index)`, sorted by hash; ties broken by node
+    /// index so construction order cannot leak into placement.
+    points: Vec<(u64, u32)>,
+    vnodes: usize,
+}
+
+/// Bit finalizer (splitmix64's) over the FNV output: raw FNV-1a of
+/// short, similar strings clusters badly in the high bits, which is
+/// exactly where ring placement looks. The finalizer is a fixed
+/// bijection, so determinism is untouched.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hashes one key with the ring's seed-free hasher.
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = FnvHasher::default();
+    h.write(key);
+    mix(h.finish())
+}
+
+/// Hashes the `v`-th virtual point of a node.
+fn hash_point(ep: Endpoint, v: usize) -> u64 {
+    let mut h = FnvHasher::default();
+    let label = format!("{}:{}#{v}", ep.host.0, ep.port);
+    h.write(label.as_bytes());
+    mix(h.finish())
+}
+
+impl HashRing {
+    /// Builds a ring over `nodes` with `vnodes` points per node.
+    ///
+    /// # Panics
+    ///
+    /// If `nodes` is empty or `vnodes` is zero — an empty ring has no
+    /// meaningful placement and a router must not be built over one.
+    pub fn new(nodes: Vec<Endpoint>, vnodes: usize) -> HashRing {
+        assert!(!nodes.is_empty(), "a hash ring needs at least one node");
+        assert!(vnodes > 0, "a hash ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (i, &ep) in nodes.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((hash_point(ep, v), i as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            nodes,
+            points,
+            vnodes,
+        }
+    }
+
+    /// The member endpoints, in construction order.
+    pub fn nodes(&self) -> &[Endpoint] {
+        &self.nodes
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Index into [`HashRing::nodes`] of the point owning `hash`.
+    fn owner_at(&self, hash: u64) -> usize {
+        let i = self.points.partition_point(|&(h, _)| h < hash);
+        let (_, node) = self.points[if i == self.points.len() { 0 } else { i }];
+        node as usize
+    }
+
+    /// The primary node for a key: the first ring point clockwise from
+    /// the key's hash.
+    pub fn primary(&self, key: &[u8]) -> Endpoint {
+        self.nodes[self.owner_at(hash_key(key))]
+    }
+
+    /// The first `r` *distinct* nodes clockwise from the key's hash —
+    /// `replicas(key, r)[0]` is the primary, the rest are the successor
+    /// nodes a replicated write fans out to. Returns fewer than `r` when
+    /// the ring has fewer members.
+    pub fn replicas(&self, key: &[u8], r: usize) -> Vec<Endpoint> {
+        let want = r.min(self.nodes.len()).max(1);
+        let mut out = Vec::with_capacity(want);
+        let start = {
+            let h = hash_key(key);
+            let i = self.points.partition_point(|&(p, _)| p < h);
+            if i == self.points.len() {
+                0
+            } else {
+                i
+            }
+        };
+        for step in 0..self.points.len() {
+            let (_, node) = self.points[(start + step) % self.points.len()];
+            let ep = self.nodes[node as usize];
+            if !out.contains(&ep) {
+                out.push(ep);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eveth_core::net::HostId;
+    use proptest::prelude::*;
+
+    fn ep(h: u32) -> Endpoint {
+        Endpoint::new(HostId(h), 11211)
+    }
+
+    fn ring(n: u32) -> HashRing {
+        HashRing::new((1..=n).map(ep).collect(), 64)
+    }
+
+    #[test]
+    fn placement_is_pinned_across_processes() {
+        // Golden placements: FNV-1a is seed-free, so these must never
+        // change on any machine or run. A drift here would silently
+        // re-shard every cluster bench.
+        let r = ring(4);
+        let got: Vec<u32> = ["k000000", "k000001", "k000007", "hot:a", "hot:b"]
+            .iter()
+            .map(|k| r.primary(k.as_bytes()).host.0)
+            .collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 4]);
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_led_by_the_primary() {
+        let r = ring(4);
+        for k in 0..200u32 {
+            let key = format!("key{k}");
+            let reps = r.replicas(key.as_bytes(), 2);
+            assert_eq!(reps.len(), 2);
+            assert_eq!(reps[0], r.primary(key.as_bytes()));
+            assert_ne!(reps[0], reps[1]);
+        }
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let r = ring(1);
+        for k in 0..50u32 {
+            let key = format!("key{k}");
+            assert_eq!(r.primary(key.as_bytes()), ep(1));
+            assert_eq!(r.replicas(key.as_bytes(), 3), vec![ep(1)]);
+        }
+    }
+
+    #[test]
+    fn shares_are_roughly_balanced() {
+        let r = ring(4);
+        let mut counts = [0u32; 5];
+        for k in 0..4000u32 {
+            counts[r.primary(format!("key{k}").as_bytes()).host.0 as usize] += 1;
+        }
+        for (host, &count) in counts.iter().enumerate().skip(1) {
+            let share = count as f64 / 4000.0;
+            assert!(
+                (0.10..0.45).contains(&share),
+                "host{host} owns {share:.3} of the space"
+            );
+        }
+    }
+
+    proptest! {
+        /// Placement is a pure function of (membership, key): two rings
+        /// built independently agree on every key.
+        #[test]
+        fn placement_is_deterministic(keys in proptest::collection::vec("[a-z0-9]{1,16}", 1..50)) {
+            let a = ring(5);
+            let b = ring(5);
+            for k in &keys {
+                prop_assert_eq!(a.primary(k.as_bytes()), b.primary(k.as_bytes()));
+                prop_assert_eq!(a.replicas(k.as_bytes(), 2), b.replicas(k.as_bytes(), 2));
+            }
+        }
+
+        /// Removing one of N nodes remaps only the keys the removed node
+        /// owned (plus nothing else): the consistent-hashing contract.
+        /// With vnode smoothing the moved share stays well under ~2/N.
+        #[test]
+        fn removal_remaps_at_most_a_small_fraction(victim in 0usize..4, seed in 0u64..1000) {
+            let n = 4;
+            let full: Vec<Endpoint> = (1..=n).map(ep).collect();
+            let rest: Vec<Endpoint> = full
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i != victim)
+                .map(|(_, e)| e)
+                .collect();
+            let before = HashRing::new(full.clone(), 64);
+            let after = HashRing::new(rest, 64);
+            let total = 2000u64;
+            let mut moved = 0u64;
+            for k in 0..total {
+                let key = format!("key{}", k.wrapping_mul(seed.wrapping_add(1)));
+                let was = before.primary(key.as_bytes());
+                let now = after.primary(key.as_bytes());
+                if was != now {
+                    // Only keys owned by the victim may move…
+                    prop_assert_eq!(was, full[victim]);
+                    moved += 1;
+                }
+            }
+            // …and the victim's share is about 1/N; allow 2/N of slack
+            // for vnode imbalance on small samples.
+            prop_assert!(
+                (moved as f64 / total as f64) < 2.0 / n as f64,
+                "moved {moved}/{total}"
+            );
+        }
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`server`] — the server itself: a thin `Service` on the generic
 //!   event-native `Server<S>` of `eveth_core::service`, one monadic thread per
 //!   connection, pipelined execution with coalesced replies;
+//! * [`client`] — the reusable wire client (connect, pipelined
+//!   request/response, typed errors) shared by the loadgen and the
+//!   cluster router, plus [`client::ReplyFramer`] for
+//!   byte-exact forwarding;
 //! * [`loadgen`] — monadic client threads issuing pipelined get/set mixes
 //!   over zipfian keys.
 //!
@@ -65,6 +69,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod client;
 pub mod expiry;
 pub mod loadgen;
 pub mod protocol;
@@ -72,6 +77,7 @@ pub mod server;
 pub mod stats;
 pub mod store;
 
+pub use client::{KvClient, KvClientError, ReplyFramer};
 pub use protocol::{Command, CommandParser, ProtoError, Reply, ReplyParser};
 pub use server::{KvConfig, KvServer};
 pub use stats::{ServerStats, StatsSnapshot};

@@ -4,18 +4,22 @@
 //! Each client connects once, then repeatedly ships a *batch* of
 //! `pipeline_depth` commands in one send and reads replies until the
 //! batch is fully answered — the access pattern memcached deployments
-//! actually see, and the knob the `fig_kv` bench sweeps.
+//! actually see, and the knob the `fig_kv` bench sweeps. The wire work
+//! (pipelined read loop, latency attribution) lives in
+//! [`crate::client`]; this module owns workload generation and the
+//! counters.
 
 use std::fmt;
 use std::sync::Arc;
 
 use bytes::{BufferPool, Bytes, BytesMut};
-use eveth_core::net::{send_all, Conn, Endpoint, NetStack};
+use eveth_core::net::{Endpoint, NetStack};
 use eveth_core::syscall::{sys_nbio, sys_time};
 use eveth_core::time::Nanos;
 use eveth_core::{do_m, loop_m, Loop, ThreadM};
 
-use crate::protocol::{Reply, ReplyParser};
+use crate::client::{KvClient, KvClientError, ReadEvent};
+use crate::protocol::Reply;
 use crate::stats::{Counter, LatencyHistogram};
 
 /// Load-generator parameters.
@@ -66,7 +70,8 @@ pub struct KvLoadStats {
     pub misses: Counter,
     /// `STORED` replies.
     pub stored: Counter,
-    /// Error replies (`ERROR`/`CLIENT_ERROR`) observed.
+    /// Error replies (`ERROR`/`CLIENT_ERROR`/`SERVER_ERROR`) or reply
+    /// parse failures observed.
     pub errors: Counter,
     /// Transport failures (connect/send/recv).
     pub transport_errors: Counter,
@@ -203,45 +208,41 @@ pub fn client_thread(
                 sys_nbio(move || stats.transport_errors.incr())
             }
             Ok(conn) => {
+                let client = KvClient::from_conn(conn);
                 let rng0 = (cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
                 let cfg = Arc::clone(&cfg);
                 let stats = Arc::clone(&stats);
                 let zipf = zipf.clone();
                 loop_m((rng0, 0usize), move |(mut rng, batch)| {
                     if batch >= cfg.batches_per_conn {
-                        return conn.close().map(|_| Loop::Break(()));
+                        return client.close().map(|_| Loop::Break(()));
                     }
                     let (wire, expected) = build_batch(&cfg, &zipf, &mut rng);
                     let stats2 = Arc::clone(&stats);
-                    let conn2 = Arc::clone(&conn);
+                    let client2 = client.clone();
                     let n_out = wire.len() as u64;
                     do_m! {
                         let t_send <- sys_time();
-                        let sent <- send_all(&conn2, wire);
+                        let sent <- client2.send(wire);
                         match sent {
                             Err(_) => {
                                 let stats = Arc::clone(&stats2);
-                                let conn = Arc::clone(&conn2);
+                                let client = client2.clone();
                                 do_m! {
                                     sys_nbio(move || stats.transport_errors.incr());
-                                    conn.close().map(|_| Loop::Break(()))
+                                    client.close().map(|_| Loop::Break(()))
                                 }
                             }
                             Ok(()) => {
                                 stats2.bytes_out.add(n_out);
-                                read_replies(
-                                    Arc::clone(&conn2),
-                                    Arc::clone(&stats2),
-                                    expected,
-                                    t_send,
-                                )
-                                .map(move |ok| {
-                                    if ok {
-                                        Loop::Continue((rng, batch + 1))
-                                    } else {
-                                        Loop::Break(())
-                                    }
-                                })
+                                read_replies(&client2, Arc::clone(&stats2), expected, t_send)
+                                    .map(move |res| {
+                                        if res.is_ok() {
+                                            Loop::Continue((rng, batch + 1))
+                                        } else {
+                                            Loop::Break(())
+                                        }
+                                    })
                             }
                         }
                     }
@@ -273,11 +274,12 @@ pub fn preload_thread(
                 sys_nbio(move || stats.transport_errors.incr())
             }
             Ok(conn) => {
+                let client = KvClient::from_conn(conn);
                 let cfg = Arc::clone(&cfg);
                 let stats = Arc::clone(&stats);
                 loop_m(0usize, move |next_rank| {
                     if next_rank >= cfg.keys {
-                        return conn.close().map(|_| Loop::Break(()));
+                        return client.close().map(|_| Loop::Break(()));
                     }
                     let batch_end = (next_rank + depth).min(cfg.keys);
                     let mut wire = BufferPool::global().acquire();
@@ -286,32 +288,27 @@ pub fn preload_thread(
                     }
                     let expected = batch_end - next_rank;
                     let stats2 = Arc::clone(&stats);
-                    let conn2 = Arc::clone(&conn);
+                    let client2 = client.clone();
                     do_m! {
                         let t_send <- sys_time();
-                        let sent <- send_all(&conn2, wire.freeze());
+                        let sent <- client2.send(wire.freeze());
                         match sent {
                             Err(_) => {
                                 let stats = Arc::clone(&stats2);
-                                let conn = Arc::clone(&conn2);
+                                let client = client2.clone();
                                 do_m! {
                                     sys_nbio(move || stats.transport_errors.incr());
-                                    conn.close().map(|_| Loop::Break(()))
+                                    client.close().map(|_| Loop::Break(()))
                                 }
                             }
-                            Ok(()) => read_replies(
-                                Arc::clone(&conn2),
-                                Arc::clone(&stats2),
-                                expected,
-                                t_send,
-                            )
-                            .map(move |ok| {
-                                if ok {
-                                    Loop::Continue(batch_end)
-                                } else {
-                                    Loop::Break(())
-                                }
-                            }),
+                            Ok(()) => read_replies(&client2, Arc::clone(&stats2), expected, t_send)
+                                .map(move |res| {
+                                    if res.is_ok() {
+                                        Loop::Continue(batch_end)
+                                    } else {
+                                        Loop::Break(())
+                                    }
+                                }),
                         }
                     }
                 })
@@ -321,113 +318,51 @@ pub fn preload_thread(
     body.bind(move |_| sys_nbio(move || done_stats.clients_done.incr()))
 }
 
-/// Folds one reply into the batch accounting. An `END` closes a get (its
-/// preceding `VALUE` lines are the hits), `STORED`/`NOT_FOUND`/numbers
-/// close their command. Each closed command records `lat_ns` — the
-/// virtual time between the batch send and the chunk that answered it —
-/// into the latency histogram.
-fn account(
-    reply: Reply,
-    stats: &KvLoadStats,
-    answered: &mut usize,
-    hits_in_get: &mut u64,
-    lat_ns: Nanos,
-) {
-    let before = *answered;
-    match reply {
-        Reply::Value { .. } | Reply::ValueCas { .. } => *hits_in_get += 1,
-        Reply::End => {
-            stats.hits.add(*hits_in_get);
-            if *hits_in_get == 0 {
-                stats.misses.incr();
+/// Folds one [`ReadEvent`] from the shared wire client into the load
+/// counters. An `END` closes a get (its preceding `VALUE` lines are the
+/// hits), `STORED`/`NOT_FOUND`/numbers close their command; each closed
+/// command records its latency — the virtual time between the batch send
+/// and the chunk that answered it — into the histogram.
+fn observe_load(stats: &KvLoadStats, hits_in_get: &mut u64, ev: ReadEvent<'_>) {
+    match ev {
+        ReadEvent::Chunk(n) => stats.bytes_in.add(n as u64),
+        ReadEvent::TransportError => stats.transport_errors.incr(),
+        ReadEvent::ProtocolError => stats.errors.incr(),
+        ReadEvent::Reply { reply, lat, closes } => {
+            match reply {
+                Reply::Value { .. } | Reply::ValueCas { .. } => *hits_in_get += 1,
+                Reply::End => {
+                    stats.hits.add(*hits_in_get);
+                    if *hits_in_get == 0 {
+                        stats.misses.incr();
+                    }
+                    *hits_in_get = 0;
+                }
+                Reply::Stored => stats.stored.incr(),
+                Reply::Error | Reply::ClientError(_) | Reply::ServerError(_) => {
+                    stats.errors.incr();
+                }
+                _ => {}
             }
-            *hits_in_get = 0;
-            *answered += 1;
+            if closes {
+                stats.latency.record(lat);
+            }
         }
-        Reply::Stored => {
-            stats.stored.incr();
-            *answered += 1;
-        }
-        Reply::Deleted
-        | Reply::Touched
-        | Reply::NotFound
-        | Reply::NotStored
-        | Reply::Exists
-        | Reply::Number(_) => *answered += 1,
-        Reply::Error | Reply::ClientError(_) => {
-            stats.errors.incr();
-            *answered += 1;
-        }
-        Reply::Stat(..) | Reply::Version(_) => {}
-    }
-    if *answered > before {
-        stats.latency.record(lat_ns);
     }
 }
 
 /// Reads until `expected` commands are fully answered, attributing each
-/// command a latency of (reply arrival − `sent_at`, virtual time).
-/// Returns false on transport or protocol failure.
+/// command a latency of (reply arrival − `sent_at`, virtual time), via
+/// the shared [`KvClient`] read loop.
 fn read_replies(
-    conn: Arc<dyn Conn>,
+    client: &KvClient,
     stats: Arc<KvLoadStats>,
     expected: usize,
     sent_at: Nanos,
-) -> ThreadM<bool> {
-    loop_m(
-        (ReplyParser::new(), 0usize, 0u64, sent_at),
-        move |(mut parser, mut answered, mut hits_in_get, arrived_at)| {
-            let stats = Arc::clone(&stats);
-            let conn = Arc::clone(&conn);
-            // Drain everything already buffered before touching the
-            // socket; these replies came in with the previous chunk.
-            let lat = arrived_at.saturating_sub(sent_at);
-            loop {
-                match parser.try_next() {
-                    Err(_) => {
-                        stats.errors.incr();
-                        return ThreadM::pure(Loop::Break(false));
-                    }
-                    Ok(None) => break,
-                    Ok(Some(reply)) => account(reply, &stats, &mut answered, &mut hits_in_get, lat),
-                }
-            }
-            if answered >= expected {
-                return ThreadM::pure(Loop::Break(true));
-            }
-            conn.recv(64 * 1024).bind(move |chunk| match chunk {
-                Err(_) => {
-                    stats.transport_errors.incr();
-                    ThreadM::pure(Loop::Break(false))
-                }
-                Ok(chunk) if chunk.is_empty() => {
-                    stats.transport_errors.incr();
-                    ThreadM::pure(Loop::Break(false))
-                }
-                Ok(chunk) => sys_time().bind(move |now| {
-                    stats.bytes_in.add(chunk.len() as u64);
-                    match parser.feed_bytes(chunk) {
-                        Err(_) => {
-                            stats.errors.incr();
-                            ThreadM::pure(Loop::Break(false))
-                        }
-                        Ok(first) => {
-                            if let Some(reply) = first {
-                                account(
-                                    reply,
-                                    &stats,
-                                    &mut answered,
-                                    &mut hits_in_get,
-                                    now.saturating_sub(sent_at),
-                                );
-                            }
-                            ThreadM::pure(Loop::Continue((parser, answered, hits_in_get, now)))
-                        }
-                    }
-                }),
-            })
-        },
-    )
+) -> ThreadM<Result<u64, KvClientError>> {
+    client.read_pipelined(expected, sent_at, 0u64, move |hits_in_get, ev| {
+        observe_load(&stats, hits_in_get, ev)
+    })
 }
 
 #[cfg(test)]

@@ -198,6 +198,172 @@ impl Command {
             _ => false,
         }
     }
+
+    /// The command's routing key: its first (for `get`/`gets`, only
+    /// meaningful when single-key) key. `None` for keyless commands
+    /// (`stats`, `version`, `quit`) — a router must pick a home for those
+    /// by policy, not by hash.
+    pub fn key(&self) -> Option<&Bytes> {
+        match self {
+            Command::Get { keys } | Command::Gets { keys } => keys.first(),
+            Command::Set { key, .. }
+            | Command::Add { key, .. }
+            | Command::Replace { key, .. }
+            | Command::Cas { key, .. }
+            | Command::Append { key, .. }
+            | Command::Prepend { key, .. }
+            | Command::Touch { key, .. }
+            | Command::Delete { key, .. }
+            | Command::Incr { key, .. }
+            | Command::Decr { key, .. } => Some(key),
+            Command::Stats | Command::Version | Command::Quit => None,
+        }
+    }
+
+    /// True for commands that mutate the store — the set a replicating
+    /// router must fan out to every replica of the key.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Command::Set { .. }
+                | Command::Add { .. }
+                | Command::Replace { .. }
+                | Command::Cas { .. }
+                | Command::Append { .. }
+                | Command::Prepend { .. }
+                | Command::Touch { .. }
+                | Command::Delete { .. }
+                | Command::Incr { .. }
+                | Command::Decr { .. }
+        )
+    }
+
+    /// Appends the canonical wire form to `out` — the inverse of
+    /// [`CommandParser`]. Round-tripping may normalize whitespace but
+    /// never changes meaning; a router re-encodes parsed commands with
+    /// this when forwarding to a backend.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        // Infallible: Vec's io::Write never errors.
+        let storage = |out: &mut Vec<u8>,
+                       verb: &str,
+                       key: &Bytes,
+                       flags: u32,
+                       exptime: u64,
+                       cas: Option<u64>,
+                       value: &Bytes,
+                       noreply: bool| {
+            let _ = write!(out, "{verb} ");
+            out.extend_from_slice(key);
+            let _ = write!(out, " {flags} {exptime} {}", value.len());
+            if let Some(cas) = cas {
+                let _ = write!(out, " {cas}");
+            }
+            if noreply {
+                out.extend_from_slice(b" noreply");
+            }
+            out.extend_from_slice(wire::CRLF);
+            out.extend_from_slice(value);
+            out.extend_from_slice(wire::CRLF);
+        };
+        let keyed =
+            |out: &mut Vec<u8>, verb: &str, key: &Bytes, num: Option<u64>, noreply: bool| {
+                let _ = write!(out, "{verb} ");
+                out.extend_from_slice(key);
+                if let Some(num) = num {
+                    let _ = write!(out, " {num}");
+                }
+                if noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(wire::CRLF);
+            };
+        match self {
+            Command::Get { keys } | Command::Gets { keys } => {
+                out.extend_from_slice(if matches!(self, Command::Get { .. }) {
+                    b"get".as_slice()
+                } else {
+                    b"gets".as_slice()
+                });
+                for key in keys {
+                    out.push(b' ');
+                    out.extend_from_slice(key);
+                }
+                out.extend_from_slice(wire::CRLF);
+            }
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => storage(out, "set", key, *flags, *exptime, None, value, *noreply),
+            Command::Add {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => storage(out, "add", key, *flags, *exptime, None, value, *noreply),
+            Command::Replace {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => storage(out, "replace", key, *flags, *exptime, None, value, *noreply),
+            Command::Cas {
+                key,
+                flags,
+                exptime,
+                value,
+                cas_unique,
+                noreply,
+            } => storage(
+                out,
+                "cas",
+                key,
+                *flags,
+                *exptime,
+                Some(*cas_unique),
+                value,
+                *noreply,
+            ),
+            Command::Append {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => storage(out, "append", key, *flags, *exptime, None, value, *noreply),
+            Command::Prepend {
+                key,
+                flags,
+                exptime,
+                value,
+                noreply,
+            } => storage(out, "prepend", key, *flags, *exptime, None, value, *noreply),
+            Command::Touch {
+                key,
+                exptime,
+                noreply,
+            } => keyed(out, "touch", key, Some(*exptime), *noreply),
+            Command::Delete { key, noreply } => keyed(out, "delete", key, None, *noreply),
+            Command::Incr {
+                key,
+                delta,
+                noreply,
+            } => keyed(out, "incr", key, Some(*delta), *noreply),
+            Command::Decr {
+                key,
+                delta,
+                noreply,
+            } => keyed(out, "decr", key, Some(*delta), *noreply),
+            Command::Stats => out.extend_from_slice(b"stats\r\n"),
+            Command::Version => out.extend_from_slice(b"version\r\n"),
+            Command::Quit => out.extend_from_slice(b"quit\r\n"),
+        }
+    }
 }
 
 /// Why parsing failed; the server answers `CLIENT_ERROR` and closes.
@@ -822,6 +988,11 @@ pub enum Reply {
     Error,
     /// `CLIENT_ERROR <msg>`.
     ClientError(&'static str),
+    /// `SERVER_ERROR <msg>` — the server (or a router in front of it)
+    /// could not execute an otherwise valid command, e.g. every replica
+    /// of the key was unreachable. Unlike `CLIENT_ERROR` it does not
+    /// imply the connection must close.
+    ServerError(&'static str),
 }
 
 impl Reply {
@@ -860,6 +1031,9 @@ impl Reply {
             Reply::Error => out.extend_from_slice(wire::ERROR),
             Reply::ClientError(msg) => {
                 out.extend_from_slice(format!("CLIENT_ERROR {msg}\r\n").as_bytes())
+            }
+            Reply::ServerError(msg) => {
+                out.extend_from_slice(format!("SERVER_ERROR {msg}\r\n").as_bytes())
             }
         }
     }
@@ -903,7 +1077,19 @@ impl Reply {
             Reply::Version(v) => q.put_fmt(format_args!("VERSION {v}\r\n")),
             Reply::Error => q.put_scratch(wire::ERROR),
             Reply::ClientError(msg) => q.put_fmt(format_args!("CLIENT_ERROR {msg}\r\n")),
+            Reply::ServerError(msg) => q.put_fmt(format_args!("SERVER_ERROR {msg}\r\n")),
         }
+    }
+
+    /// True when this reply *completes* a command's response: everything
+    /// except the streamed prefixes — `VALUE`/`STAT` lines (closed by a
+    /// later `END`) and `VERSION` (informational). The shared rule the
+    /// client and the router both count pipelined responses by.
+    pub fn closes_command(&self) -> bool {
+        !matches!(
+            self,
+            Reply::Value { .. } | Reply::ValueCas { .. } | Reply::Stat(..) | Reply::Version(_)
+        )
     }
 }
 
@@ -1246,6 +1432,8 @@ fn scan_reply(buf: &[u8]) -> Result<ReplyScan, ProtoError> {
                 Reply::Version("")
             } else if line.starts_with(b"CLIENT_ERROR ") {
                 Reply::ClientError("")
+            } else if line.starts_with(b"SERVER_ERROR ") {
+                Reply::ServerError("")
             } else if let Some(n) = parse_u64(line) {
                 Reply::Number(n)
             } else {
@@ -1491,6 +1679,78 @@ mod tests {
             }
         }
         assert_eq!(got, replies);
+    }
+
+    #[test]
+    fn encode_into_roundtrips_through_the_parser() {
+        let raws: &[&[u8]] = &[
+            b"get alpha\r\n",
+            b"get alpha beta\r\n",
+            b"gets k\r\n",
+            b"set k 7 60 5\r\nhello\r\n",
+            b"set k 0 0 2 noreply\r\nhi\r\n",
+            b"add k 1 2 1\r\nx\r\n",
+            b"replace k 0 0 1\r\ny\r\n",
+            b"cas k 1 0 3 99\r\nxyz\r\n",
+            b"cas k 1 0 1 7 noreply\r\nz\r\n",
+            b"append k 0 0 2\r\nab\r\n",
+            b"prepend k 0 0 2 noreply\r\ncd\r\n",
+            b"touch k 120\r\n",
+            b"touch k 0 noreply\r\n",
+            b"delete k\r\n",
+            b"delete k noreply\r\n",
+            b"incr n 5\r\n",
+            b"decr n 2 noreply\r\n",
+            b"stats\r\n",
+            b"version\r\n",
+            b"quit\r\n",
+        ];
+        for raw in raws {
+            let cmd = parse_one(raw);
+            let mut wire = Vec::new();
+            cmd.encode_into(&mut wire);
+            // Canonical form is byte-identical to canonical input...
+            assert_eq!(
+                wire.as_slice(),
+                *raw,
+                "encode({:?})",
+                String::from_utf8_lossy(raw)
+            );
+            // ...and reparses to the same command.
+            assert_eq!(parse_one(&wire), cmd);
+        }
+    }
+
+    #[test]
+    fn key_and_is_write_classify_commands() {
+        assert_eq!(parse_one(b"get a b\r\n").key().unwrap().as_ref(), b"a");
+        assert_eq!(parse_one(b"incr n 1\r\n").key().unwrap().as_ref(), b"n");
+        assert_eq!(parse_one(b"stats\r\n").key(), None);
+        assert!(!parse_one(b"get a\r\n").is_write());
+        assert!(!parse_one(b"gets a\r\n").is_write());
+        assert!(parse_one(b"set k 0 0 1\r\nx\r\n").is_write());
+        assert!(parse_one(b"delete k\r\n").is_write());
+        assert!(parse_one(b"touch k 0\r\n").is_write());
+        assert!(!parse_one(b"quit\r\n").is_write());
+    }
+
+    #[test]
+    fn server_error_roundtrips_and_closes() {
+        let mut wire = Vec::new();
+        Reply::ServerError("no live replica").encode_into(&mut wire);
+        assert_eq!(&wire[..], b"SERVER_ERROR no live replica\r\n");
+        let got = ReplyParser::new().feed(&wire).unwrap().unwrap();
+        // The parser keeps the shape, not the text (same as CLIENT_ERROR).
+        assert_eq!(got, Reply::ServerError(""));
+        assert!(got.closes_command());
+        assert!(!Reply::Version("").closes_command());
+        assert!(!Reply::Value {
+            key: Bytes::from_static(b"k"),
+            flags: 0,
+            data: Bytes::new(),
+        }
+        .closes_command());
+        assert!(Reply::End.closes_command());
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   per-link FIFO ordering (the substrate under `eveth-tcp`);
 //! * [`sockets`] — a kernel-TCP model implementing
 //!   [`NetStack`](eveth_core::net::NetStack), the "standard socket library"
-//!   side of the paper's one-line switch.
+//!   side of the paper's one-line switch;
+//! * [`hub`] — deterministic fault injection (link down/up, host
+//!   crash/restart) fanned out across the layers above, for the cluster
+//!   failure scenarios.
 //!
 //! The same monadic programs run unchanged on
 //! [`Runtime`](eveth_core::runtime::Runtime) (wall clock) and
@@ -32,6 +35,7 @@ pub mod des;
 pub mod desrt;
 pub mod disk;
 pub mod fs;
+pub mod hub;
 pub mod net;
 pub mod sockets;
 

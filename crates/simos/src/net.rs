@@ -13,6 +13,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
+use eveth_core::hash::DetHashSet;
 use eveth_core::net::HostId;
 use eveth_core::time::{Nanos, SECS};
 use parking_lot::Mutex;
@@ -79,7 +80,7 @@ pub struct NetStats {
     pub sent: AtomicU64,
     /// Packets delivered to a handler.
     pub delivered: AtomicU64,
-    /// Packets dropped by loss.
+    /// Packets dropped by loss, downed links, or crashed hosts.
     pub dropped: AtomicU64,
     /// Packets addressed to unregistered hosts.
     pub unroutable: AtomicU64,
@@ -92,6 +93,15 @@ struct NetState {
     default_link: LinkParams,
     links: HashMap<(HostId, HostId), LinkParams>,
     busy_until: HashMap<(HostId, HostId), Nanos>,
+    /// Directed links administratively down ([`SimNet::set_link_down`]);
+    /// every packet queued on one is dropped with `stats.dropped`
+    /// accounting. Deterministic layout: fault scenarios interleave
+    /// insert/remove, and a `RandomState` set would perturb allocation
+    /// counts across processes.
+    downed: DetHashSet<(HostId, HostId)>,
+    /// Hosts that are crashed ([`SimNet::set_host_down`]); packets to or
+    /// from one are dropped at the sender.
+    crashed: DetHashSet<HostId>,
     rng: u64,
 }
 
@@ -134,6 +144,8 @@ impl SimNet {
                 default_link,
                 links: HashMap::new(),
                 busy_until: HashMap::new(),
+                downed: DetHashSet::default(),
+                crashed: DetHashSet::default(),
                 rng: seed | 1,
             }),
             stats: NetStats::default(),
@@ -152,6 +164,34 @@ impl SimNet {
         self.state.lock().links.insert((src, dst), params);
     }
 
+    /// Takes the directed link `src → dst` down: every packet queued on
+    /// it is dropped (and counted in [`NetStats::dropped`]) until
+    /// [`SimNet::set_link_up`]. Packets already in flight still arrive —
+    /// like pulling a cable, not rewriting history. Down one direction
+    /// for an asymmetric fault; down both for a full partition.
+    pub fn set_link_down(&self, src: HostId, dst: HostId) {
+        self.state.lock().downed.insert((src, dst));
+    }
+
+    /// Restores a downed directed link. A no-op if the link was up.
+    pub fn set_link_up(&self, src: HostId, dst: HostId) {
+        self.state.lock().downed.remove(&(src, dst));
+    }
+
+    /// Marks `host` crashed: packets to *or* from it are dropped at the
+    /// sender (counted in [`NetStats::dropped`]) until
+    /// [`SimNet::set_host_up`]. The handler registration survives, so a
+    /// restart is just `set_host_up`. [`crate::hub::Hub::crash_host`]
+    /// drives this together with the socket-fabric side.
+    pub fn set_host_down(&self, host: HostId) {
+        self.state.lock().crashed.insert(host);
+    }
+
+    /// Clears the crashed mark set by [`SimNet::set_host_down`].
+    pub fn set_host_up(&self, host: HostId) {
+        self.state.lock().crashed.remove(&host);
+    }
+
     /// Delivery counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
@@ -168,6 +208,16 @@ impl SimNet {
 
         let arrive = {
             let mut st = self.state.lock();
+            // Fault checks precede the loss lottery so downed-link drops
+            // never consume RNG draws: downing a link mid-run leaves the
+            // loss sequence seen by every other link untouched.
+            if st.downed.contains(&(src, dst))
+                || st.crashed.contains(&src)
+                || st.crashed.contains(&dst)
+            {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             let params = *st.links.get(&(src, dst)).unwrap_or(&st.default_link);
             // xorshift64 loss lottery.
             st.rng ^= st.rng << 13;
@@ -283,6 +333,69 @@ mod tests {
         net.send(HostId(1), HostId(77), 100, Box::new(0u32));
         while clock.fire_next() {}
         assert_eq!(net.stats().unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn downed_link_drops_everything_and_time_still_advances() {
+        let (clock, net, inbox) = collect_net(LinkParams::ethernet_100mbps(), 5);
+        net.set_link_down(HostId(1), HostId(9));
+        for i in 0..20u32 {
+            net.send(HostId(1), HostId(9), 1500, Box::new(i));
+        }
+        // An unrelated timer: the world keeps turning while the link is down.
+        let fired = Arc::new(Mutex::new(false));
+        let fired2 = fired.clone();
+        clock.schedule_at(1_000_000, move || *fired2.lock() = true);
+        while clock.fire_next() {}
+        assert!(inbox.lock().is_empty(), "downed link must drop everything");
+        assert_eq!(net.stats().dropped.load(Ordering::Relaxed), 20);
+        assert!(*fired.lock(), "virtual time must still advance");
+        assert_eq!(clock.now(), 1_000_000);
+
+        // Back up: traffic flows again, and the drop counter stays put.
+        net.set_link_up(HostId(1), HostId(9));
+        net.send(HostId(1), HostId(9), 1500, Box::new(99u32));
+        while clock.fire_next() {}
+        assert_eq!(*inbox.lock(), vec![99]);
+        assert_eq!(net.stats().dropped.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn crashed_host_drops_both_directions() {
+        let (clock, net, inbox) = collect_net(LinkParams::loopback(), 5);
+        net.set_host_down(HostId(9));
+        net.send(HostId(1), HostId(9), 100, Box::new(1u32));
+        net.send(HostId(9), HostId(1), 100, Box::new(2u32));
+        while clock.fire_next() {}
+        assert!(inbox.lock().is_empty());
+        assert_eq!(net.stats().dropped.load(Ordering::Relaxed), 2);
+        net.set_host_up(HostId(9));
+        net.send(HostId(1), HostId(9), 100, Box::new(3u32));
+        while clock.fire_next() {}
+        assert_eq!(*inbox.lock(), vec![3]);
+    }
+
+    #[test]
+    fn downed_link_does_not_perturb_loss_sequence() {
+        // Survivors on a lossy link a→b must be identical whether or not
+        // an unrelated link was downed and used in between.
+        let run = |down_other: bool| {
+            let (clock, net, inbox) = collect_net(LinkParams::loopback().with_loss(0.5), 77);
+            if down_other {
+                net.set_link_down(HostId(3), HostId(4));
+            }
+            for i in 0..200u32 {
+                net.send(HostId(1), HostId(9), 100, Box::new(i));
+                if down_other {
+                    net.send(HostId(3), HostId(4), 100, Box::new(i));
+                }
+            }
+            while clock.fire_next() {}
+            let got = inbox.lock().clone();
+            drop(net);
+            got
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

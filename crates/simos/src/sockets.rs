@@ -12,9 +12,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
+use eveth_core::hash::DetHashSet;
 use eveth_core::net::{queue_accept_evt, Conn, Endpoint, HostId, Listener, NetError, NetStack};
 use eveth_core::reactor::{AcceptQueue, Fd, Interest, InterestWaiters, Pollable, Waiter};
 use eveth_core::syscall::{sys_epoll_wait, sys_nbio, sys_sleep};
@@ -43,8 +44,24 @@ impl Default for FabricParams {
     }
 }
 
+/// Both directions of one established connection, kept as weak refs so
+/// fault injection ([`SocketFabric::crash_host`]) can find and reset the
+/// streams touching a host without extending their lifetime.
+struct ConnTrack {
+    client: HostId,
+    server: HostId,
+    a2b: Weak<Dir>,
+    b2a: Weak<Dir>,
+}
+
 struct FabricState {
     listeners: HashMap<Endpoint, Arc<ListenerInner>>,
+    /// Every live connection, for crash-time resets. Entries whose
+    /// directions have been dropped are swept on each crash.
+    conns: Vec<ConnTrack>,
+    /// Hosts currently crashed: their listeners are gone, connects to or
+    /// from them are refused, and their established streams were reset.
+    crashed: DetHashSet<HostId>,
 }
 
 /// The shared "internet" connecting every [`SimSocketStack`] built from it.
@@ -63,6 +80,8 @@ impl SocketFabric {
             params,
             state: Mutex::new(FabricState {
                 listeners: HashMap::new(),
+                conns: Vec::new(),
+                crashed: DetHashSet::default(),
             }),
             next_ephemeral: AtomicU32::new(40_000),
         })
@@ -79,6 +98,58 @@ impl SocketFabric {
     fn ephemeral_port(&self) -> u16 {
         let p = self.next_ephemeral.fetch_add(1, Ordering::Relaxed);
         40_000 + (p % 25_000) as u16
+    }
+
+    /// Crashes `host` abruptly: every established stream touching it is
+    /// reset *now* (no FIN flight time — the process is gone), its
+    /// listeners' backlogs are closed and the ports released, and until
+    /// [`SocketFabric::restart_host`] any connect to or from it is
+    /// refused. A server whose listener backlog closes sees an accept
+    /// error and winds down; its sessions die on [`NetError::Reset`].
+    pub fn crash_host(&self, host: HostId) {
+        let (reset_dirs, closed_listeners) = {
+            let mut st = self.state.lock();
+            st.crashed.insert(host);
+            let mut closed = Vec::new();
+            st.listeners.retain(|ep, inner| {
+                if ep.host == host {
+                    closed.push(Arc::clone(inner));
+                    false
+                } else {
+                    true
+                }
+            });
+            let mut reset = Vec::new();
+            st.conns.retain(|track| {
+                let (a2b, b2a) = (track.a2b.upgrade(), track.b2a.upgrade());
+                if a2b.is_none() && b2a.is_none() {
+                    return false; // both sides long gone; sweep
+                }
+                if track.client == host || track.server == host {
+                    reset.extend(a2b);
+                    reset.extend(b2a);
+                    return false;
+                }
+                true
+            });
+            (reset, closed)
+        };
+        // Resets and backlog closes run outside the fabric lock: waking a
+        // parked thread re-enters the reactor, not the fabric, but the
+        // less held across foreign callbacks the better.
+        for dir in reset_dirs {
+            dir.reset();
+        }
+        for inner in closed_listeners {
+            inner.queue.close();
+        }
+    }
+
+    /// Clears the crashed mark: the host may listen and connect again.
+    /// Streams reset by the crash stay dead — reconnection is the
+    /// application's job, exactly as after a real crash.
+    pub fn restart_host(&self, host: HostId) {
+        self.state.lock().crashed.remove(&host);
     }
 }
 
@@ -236,6 +307,16 @@ impl Dir {
             return Ok(TryIo::Done(Bytes::new())); // EOF
         }
         Ok(TryIo::WouldBlock)
+    }
+
+    /// Hard failure, effective immediately: both the reader and any
+    /// parked sender wake into [`NetError::Reset`], and buffered bytes
+    /// are never delivered. This is crash semantics, so unlike
+    /// [`Dir::close`] it takes no flight time.
+    fn reset(self: &Arc<Self>) {
+        let mut st = self.st.lock();
+        st.reset = true;
+        st.waiters.wake_all();
     }
 
     /// Sender closes: EOF surfaces after in-flight data drains plus one
@@ -462,6 +543,9 @@ impl NetStack for SimSocketStack {
         let endpoint = Endpoint::new(self.host, port);
         sys_nbio(move || {
             let mut st = fabric.state.lock();
+            if st.crashed.contains(&endpoint.host) {
+                return Err(NetError::Unreachable);
+            }
             if st.listeners.contains_key(&endpoint) {
                 return Err(NetError::AddrInUse);
             }
@@ -485,6 +569,9 @@ impl NetStack for SimSocketStack {
         sys_sleep(rtt).bind(move |_| {
             sys_nbio(move || {
                 let st = fabric.state.lock();
+                if st.crashed.contains(&host) || st.crashed.contains(&remote.host) {
+                    return Err(NetError::ConnectionRefused);
+                }
                 let Some(listener) = st.listeners.get(&remote).cloned() else {
                     return Err(NetError::ConnectionRefused);
                 };
@@ -493,11 +580,17 @@ impl NetStack for SimSocketStack {
                 let a2b = Dir::new(fabric.clock.clone(), fabric.params);
                 let b2a = Dir::new(fabric.clock.clone(), fabric.params);
                 let client = SimConn::new(local, remote, Arc::clone(&a2b), Arc::clone(&b2a));
-                let server = SimConn::new(remote, local, b2a, a2b);
+                let server = SimConn::new(remote, local, Arc::clone(&b2a), Arc::clone(&a2b));
                 if listener.queue.push(server).is_err() {
                     // Shut down between the lookup and the push.
                     return Err(NetError::ConnectionRefused);
                 }
+                fabric.state.lock().conns.push(ConnTrack {
+                    client: host,
+                    server: remote.host,
+                    a2b: Arc::downgrade(&a2b),
+                    b2a: Arc::downgrade(&b2a),
+                });
                 Ok(client as Arc<dyn Conn>)
             })
         })
@@ -631,6 +724,59 @@ mod tests {
             })
             .unwrap();
         assert_eq!(err, NetError::AddrInUse);
+    }
+
+    #[test]
+    fn crash_resets_streams_and_restart_revives_the_port() {
+        let sim = SimRuntime::new_default();
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        let client = fabric.stack(HostId(1));
+        let server = fabric.stack(HostId(2));
+        let server_prog = eveth_core::do_m! {
+            let lst <- server.listen(12);
+            let conn <- lst.unwrap().accept();
+            let _hold = conn.unwrap();
+            eveth_core::syscall::sys_sleep(3_600 * eveth_core::time::SECS)
+        };
+        sim.spawn(server_prog);
+        let crash_at = Arc::clone(&fabric);
+        sim.clock()
+            .schedule_at(10 * eveth_core::time::MILLIS, move || {
+                crash_at.crash_host(HostId(2));
+            });
+        let client2 = Arc::clone(&client);
+        let err = sim
+            .block_on(eveth_core::do_m! {
+                let conn <- client.connect(Endpoint::new(HostId(2), 12));
+                let conn = conn.unwrap();
+                // Parked in recv when the crash lands: must wake into Reset.
+                let got <- conn.recv(16);
+                let refused <- client2.connect(Endpoint::new(HostId(2), 12));
+                ThreadM::pure((got.err().unwrap(), refused.err().unwrap()))
+            })
+            .unwrap();
+        assert_eq!(err, (NetError::Reset, NetError::ConnectionRefused));
+
+        // Restart: the port is free again and a fresh server accepts.
+        fabric.restart_host(HostId(2));
+        let server2 = fabric.stack(HostId(2));
+        let revived = eveth_core::do_m! {
+            let lst <- server2.listen(12);
+            let conn <- lst.unwrap().accept();
+            let sent <- send_all(&conn.unwrap(), Bytes::from_static(b"ok"));
+            let _ = sent.unwrap();
+            ThreadM::pure(())
+        };
+        sim.spawn(revived);
+        let back = sim
+            .block_on(eveth_core::do_m! {
+                let conn <- client.connect(Endpoint::new(HostId(2), 12));
+                let conn = conn.unwrap();
+                let back <- recv_exact(&conn, 2);
+                ThreadM::pure(back.unwrap())
+            })
+            .unwrap();
+        assert_eq!(&back[..], b"ok");
     }
 
     #[test]

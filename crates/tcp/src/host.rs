@@ -29,7 +29,7 @@ use crate::tcb::{State, Tcb, TcpConfig};
 use crate::transport::SegmentTransport;
 
 /// Demux key: local port + remote endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct ConnKey {
     local_port: u16,
     peer: Endpoint,
@@ -257,12 +257,15 @@ impl TcpHost {
     }
 
     fn process_ticks(&self, now: Nanos) {
-        let conns: Vec<(ConnKey, Arc<Mutex<Tcb>>)> = self
+        let mut conns: Vec<(ConnKey, Arc<Mutex<Tcb>>)> = self
             .conns
             .lock()
             .iter()
             .map(|(k, v)| (*k, Arc::clone(v)))
             .collect();
+        // Hash order varies between processes; when several connections
+        // retransmit on the same tick, segment emission order must not.
+        conns.sort_unstable_by_key(|(k, _)| *k);
         for (key, tcb_arc) in conns {
             let (out, peer_host) = {
                 let mut tcb = tcb_arc.lock();

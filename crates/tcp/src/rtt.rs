@@ -15,12 +15,23 @@ pub struct RttEstimator {
 }
 
 impl RttEstimator {
-    /// Creates an estimator with the given RTO clamp.
+    /// Creates an estimator with the given RTO clamp and the RFC 6298
+    /// conservative pre-sample RTO (200 ms here; the RFC says "about one
+    /// second").
     pub fn new(min_rto: Nanos, max_rto: Nanos) -> Self {
+        Self::with_initial(min_rto, max_rto, 200 * MILLIS)
+    }
+
+    /// Creates an estimator whose pre-sample RTO is `initial_rto`
+    /// (clamped from below by `min_rto`). A conservative initial RTO is
+    /// the right default on an unknown path, but on a known-LAN fabric
+    /// it makes the very first lost SYN cost 200 ms — datacenter stacks
+    /// tune this down.
+    pub fn with_initial(min_rto: Nanos, max_rto: Nanos, initial_rto: Nanos) -> Self {
         RttEstimator {
             srtt: None,
             rttvar: 0,
-            rto: min_rto.max(200 * MILLIS), // conservative initial RTO
+            rto: initial_rto.max(min_rto),
             min_rto,
             max_rto,
             backoff_shift: 0,

@@ -32,6 +32,11 @@ pub struct TcpConfig {
     pub min_rto: Nanos,
     /// Retransmission timeout clamp, upper bound.
     pub max_rto: Nanos,
+    /// RTO before the first RTT sample (RFC 6298's conservative start).
+    /// A fresh connection's first lost segment — a SYN into a partition,
+    /// typically — waits this long before retransmitting, so LAN-class
+    /// deployments tune it far below the WAN-safe default.
+    pub initial_rto: Nanos,
     /// Period of the `worker_tcp_timer` loop.
     pub tick: Nanos,
     /// How long a closed connection lingers in TIME_WAIT.
@@ -50,6 +55,7 @@ impl Default for TcpConfig {
             recv_window: 64 * 1024,
             min_rto: 200 * MILLIS,
             max_rto: 60_000 * MILLIS,
+            initial_rto: 200 * MILLIS,
             tick: 10 * MILLIS,
             time_wait: 1_000 * MILLIS,
             initial_cwnd_mss: 2,
@@ -168,7 +174,7 @@ impl Tcb {
 
     fn new_raw(cfg: TcpConfig, local: Endpoint, peer: Endpoint, iss: u32, state: State) -> Self {
         let cc = Reno::new(cfg.mss as u32, cfg.initial_cwnd_mss);
-        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        let rtt = RttEstimator::with_initial(cfg.min_rto, cfg.max_rto, cfg.initial_rto);
         Tcb {
             cfg,
             local,

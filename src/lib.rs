@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub use eveth_cluster as cluster;
 pub use eveth_core as core;
 pub use eveth_http as http;
 pub use eveth_kv as kv;

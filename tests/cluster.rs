@@ -1,0 +1,499 @@
+//! Integration: the cluster layer — consistent-hash router, hot-key
+//! replication, failover — over both socket stacks and under injected
+//! faults.
+//!
+//! The load-bearing claims:
+//!
+//! * transparency: a 3-node cluster behind the router serves the *same
+//!   reply bytes* as a single node, on the kernel-socket model, the
+//!   app-level TCP stack, and through a 1%-lossy link;
+//! * durability: with R=2 replication, crashing one replica mid-run
+//!   loses zero acknowledged writes;
+//! * elasticity: swapping ring membership mid-run keeps the cluster
+//!   serving (remapped keys miss, nothing errors);
+//! * bounded failure: a partitioned backend turns into `SERVER_ERROR`
+//!   after the backend timeout instead of a hung client, and service
+//!   resumes once the partition heals.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eveth::cluster::{HashRing, Router, RouterConfig};
+use eveth::core::net::{recv_to_end, send_all, Conn, Endpoint, HostId, NetStack};
+use eveth::core::time::MILLIS;
+use eveth::glue;
+use eveth::kv::protocol::ReplyParser;
+use eveth::kv::server::{KvConfig, KvServer};
+use eveth::simos::net::{LinkParams, SimNet};
+use eveth::simos::sockets::{FabricParams, SocketFabric};
+use eveth::simos::SimRuntime;
+use eveth::tcp::tcb::TcpConfig;
+use eveth::{do_m, loop_m, Loop, ThreadM};
+
+const KV_PORT: u16 = 11211;
+const ROUTER_PORT: u16 = 11311;
+
+fn backend(h: u32) -> Endpoint {
+    Endpoint::new(HostId(h), KV_PORT)
+}
+
+/// Spawns one KV node per host on its stack.
+fn spawn_backends(sim: &SimRuntime, stacks: Vec<Arc<dyn NetStack>>) {
+    for stack in stacks {
+        let server = KvServer::new(
+            stack,
+            KvConfig {
+                port: KV_PORT,
+                ..Default::default()
+            },
+        );
+        sim.spawn(server.run());
+    }
+}
+
+/// Sends `wire` and receives until `expected` command-closing replies
+/// have been parsed; appends the raw bytes to `acc`.
+fn pipelined(conn: Arc<dyn Conn>, wire: Bytes, expected: usize, acc: Vec<u8>) -> ThreadM<Vec<u8>> {
+    let conn_read = Arc::clone(&conn);
+    send_all(&conn, wire).bind(move |sent| {
+        sent.unwrap();
+        loop_m(
+            (ReplyParser::new(), acc, 0usize),
+            move |(mut parser, mut acc, mut closed)| {
+                let conn = Arc::clone(&conn_read);
+                conn.recv(64 * 1024).map(move |chunk| {
+                    let chunk = chunk.expect("recv ok");
+                    assert!(!chunk.is_empty(), "peer hung up mid-reply");
+                    acc.extend_from_slice(&chunk);
+                    let mut fed = parser.feed_bytes(chunk);
+                    while let Some(r) = fed.expect("well-formed reply stream") {
+                        if r.closes_command() {
+                            closed += 1;
+                        }
+                        fed = parser.try_next();
+                    }
+                    if closed >= expected {
+                        Loop::Break(acc)
+                    } else {
+                        Loop::Continue((parser, acc, closed))
+                    }
+                })
+            },
+        )
+    })
+}
+
+/// A deterministic 64-command script of *single-key* commands. The
+/// router's transparency contract excludes multi-key gets (a sharded
+/// cluster answers shard-by-shard) and `gets` cas uniques (version
+/// stamps are per-node sequence numbers, so a cluster's differ from a
+/// single node's even for identical data).
+fn cluster_script() -> Vec<(Bytes, usize)> {
+    let mut cmds = vec![Bytes::from_static(b"set ctr 0 0 1\r\n0\r\n")];
+    for i in 0..63usize {
+        let k = i % 8;
+        let cmd = match i % 7 {
+            0 => {
+                let len = (i % 24) + 1;
+                let mut v = format!("set k{k} 0 0 {len}\r\n").into_bytes();
+                v.extend(std::iter::repeat_n(b'a' + (i % 26) as u8, len));
+                v.extend_from_slice(b"\r\n");
+                Bytes::from(v)
+            }
+            1 => Bytes::from(format!("get k{k}\r\n")),
+            2 => Bytes::from(format!("touch k{k} 0\r\n")),
+            3 => Bytes::from(format!("append k{k} 0 0 2\r\nxy\r\n")),
+            4 => Bytes::from_static(b"incr ctr 7\r\n"),
+            5 => Bytes::from(format!("get k{}\r\n", (i + 3) % 8)),
+            _ => Bytes::from(format!("delete k{}\r\n", (i + 1) % 8)),
+        };
+        cmds.push(cmd);
+    }
+    cmds.into_iter().map(|c| (c, 1)).collect()
+}
+
+/// Runs the script in lockstep against `target` and returns the raw
+/// reply byte stream, including the drain after `quit`.
+fn session_reply_bytes(
+    sim: &SimRuntime,
+    client_stack: Arc<dyn NetStack>,
+    target: Endpoint,
+    wires: Vec<(Bytes, usize)>,
+) -> Vec<u8> {
+    let wires = Arc::new(wires);
+    sim.block_on(do_m! {
+        let conn <- client_stack.connect(target);
+        let conn = conn.unwrap();
+        loop_m((0usize, Vec::<u8>::new()), move |(idx, acc)| {
+            if idx == wires.len() {
+                let conn = Arc::clone(&conn);
+                return send_all(&conn, Bytes::from_static(b"quit\r\n")).bind(move |sent| {
+                    sent.unwrap();
+                    recv_to_end(&conn, 64 * 1024).map(move |tail| {
+                        let mut acc = acc;
+                        acc.extend_from_slice(&tail.unwrap());
+                        Loop::Break(acc)
+                    })
+                });
+            }
+            let (wire, expected) = wires[idx].clone();
+            pipelined(Arc::clone(&conn), wire, expected, acc)
+                .map(move |acc| Loop::Continue((idx + 1, acc)))
+        })
+    })
+    .expect("session ran")
+}
+
+/// Script bytes against a single KV node, no router.
+fn single_node_bytes(
+    sim: &SimRuntime,
+    server_stack: Arc<dyn NetStack>,
+    client_stack: Arc<dyn NetStack>,
+    wires: Vec<(Bytes, usize)>,
+) -> Vec<u8> {
+    spawn_backends(sim, vec![server_stack]);
+    session_reply_bytes(sim, client_stack, backend(1), wires)
+}
+
+/// Script bytes against a 3-node cluster behind the router.
+fn routed_bytes(
+    sim: &SimRuntime,
+    backend_stacks: Vec<Arc<dyn NetStack>>,
+    router_stack: Arc<dyn NetStack>,
+    client_stack: Arc<dyn NetStack>,
+    wires: Vec<(Bytes, usize)>,
+) -> Vec<u8> {
+    let n = backend_stacks.len() as u32;
+    spawn_backends(sim, backend_stacks);
+    let router = Router::new(
+        router_stack,
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: (1..=n).map(backend).collect(),
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+    session_reply_bytes(
+        sim,
+        client_stack,
+        Endpoint::new(HostId(10), ROUTER_PORT),
+        wires,
+    )
+}
+
+#[test]
+fn routed_replies_are_byte_identical_to_a_single_node() {
+    let script = cluster_script();
+
+    // Kernel-socket model.
+    let single_fabric = {
+        let sim = SimRuntime::new_default();
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        single_node_bytes(
+            &sim,
+            fabric.stack(HostId(1)),
+            fabric.stack(HostId(20)),
+            script.clone(),
+        )
+    };
+    let routed_fabric = {
+        let sim = SimRuntime::new_default();
+        let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+        routed_bytes(
+            &sim,
+            (1..=3)
+                .map(|h| fabric.stack(HostId(h)) as Arc<dyn NetStack>)
+                .collect(),
+            fabric.stack(HostId(10)),
+            fabric.stack(HostId(20)),
+            script.clone(),
+        )
+    };
+    assert_eq!(
+        single_fabric, routed_fabric,
+        "kernel sockets: routing must be invisible in the reply bytes"
+    );
+
+    // App-level TCP on the simulated packet network, clean and lossy.
+    let tcp_run = |loss: f64, seed: u64, routed: bool| {
+        let sim = SimRuntime::new_default();
+        let params = if loss > 0.0 {
+            LinkParams::ethernet_100mbps().with_loss(loss)
+        } else {
+            LinkParams::ethernet_100mbps()
+        };
+        let net = SimNet::new(sim.clock(), params, seed);
+        let stack = |h: u32| -> Arc<dyn NetStack> {
+            glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(h), TcpConfig::default())
+        };
+        if routed {
+            routed_bytes(
+                &sim,
+                (1..=3).map(stack).collect(),
+                stack(10),
+                stack(20),
+                script.clone(),
+            )
+        } else {
+            single_node_bytes(&sim, stack(1), stack(20), script.clone())
+        }
+    };
+    assert_eq!(
+        tcp_run(0.0, 41, false),
+        tcp_run(0.0, 41, true),
+        "app-level TCP: routing must be invisible in the reply bytes"
+    );
+    assert_eq!(
+        tcp_run(0.01, 43, false),
+        tcp_run(0.01, 43, true),
+        "lossy link: retransmission under the router must not perturb the bytes"
+    );
+    // And the stream is a pure function of the commands across every
+    // transport and topology.
+    assert_eq!(single_fabric, tcp_run(0.0, 41, true));
+    let text = String::from_utf8(single_fabric).unwrap();
+    assert!(text.contains("VALUE k"), "gets hit");
+    assert!(text.contains("STORED"), "sets acknowledged");
+}
+
+#[test]
+fn acked_writes_survive_a_replica_crash() {
+    // R=2 over two nodes: every key lives on both. Ack 40 writes, crash
+    // one node, read every key back through the router — zero lost.
+    const KEYS: usize = 40;
+    let sim = SimRuntime::new_default();
+    let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+    spawn_backends(
+        &sim,
+        (1..=2)
+            .map(|h| fabric.stack(HostId(h)) as Arc<dyn NetStack>)
+            .collect(),
+    );
+    let router = Router::new(
+        fabric.stack(HostId(10)),
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: (1..=2).map(backend).collect(),
+            replication: 2,
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+
+    let client = fabric.stack(HostId(20));
+    let conn = sim
+        .block_on(do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(10), ROUTER_PORT));
+            ThreadM::pure(conn.unwrap())
+        })
+        .unwrap();
+
+    // Phase 1: pipelined acked writes.
+    let mut wire = Vec::new();
+    for k in 0..KEYS {
+        wire.extend_from_slice(format!("set hot:k{k} 0 0 6\r\nv{k:05}\r\n").as_bytes());
+    }
+    let acks = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(wire),
+            KEYS,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(acks).unwrap(),
+        "STORED\r\n".repeat(KEYS),
+        "every write acknowledged by both replicas"
+    );
+    assert!(router.stats().replicated_writes.get() >= KEYS as u64);
+
+    // Mid-run crash: one of the two replicas dies with its sockets.
+    fabric.crash_host(HostId(2));
+
+    // Phase 2: read every acked key back; the router fails over to the
+    // survivor for keys whose primary died.
+    let mut wire = Vec::new();
+    for k in 0..KEYS {
+        wire.extend_from_slice(format!("get hot:k{k}\r\n").as_bytes());
+    }
+    let got = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(wire),
+            KEYS,
+            Vec::new(),
+        ))
+        .unwrap();
+    let text = String::from_utf8(got).unwrap();
+    for k in 0..KEYS {
+        assert!(
+            text.contains(&format!("VALUE hot:k{k} 0 6\r\nv{k:05}\r\n")),
+            "acked write hot:k{k} lost after replica crash"
+        );
+    }
+    assert!(!text.contains("SERVER_ERROR"), "no unavailability: {text}");
+    // The crash actually exercised failover (unless every primary
+    // happened to be the survivor, which vnode spreading rules out).
+    assert!(router.stats().backend_errors.get() >= 1);
+}
+
+#[test]
+fn ring_swap_mid_run_keeps_serving() {
+    // R=1, 4 nodes; write 40 keys, shrink membership to 3 mid-session:
+    // keys owned by the departed node miss, everything else still hits,
+    // nothing errors.
+    const KEYS: usize = 40;
+    let sim = SimRuntime::new_default();
+    let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+    spawn_backends(
+        &sim,
+        (1..=4)
+            .map(|h| fabric.stack(HostId(h)) as Arc<dyn NetStack>)
+            .collect(),
+    );
+    let router = Router::new(
+        fabric.stack(HostId(10)),
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: (1..=4).map(backend).collect(),
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+
+    let client = fabric.stack(HostId(20));
+    let conn = sim
+        .block_on(do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(10), ROUTER_PORT));
+            ThreadM::pure(conn.unwrap())
+        })
+        .unwrap();
+
+    let mut wire = Vec::new();
+    for k in 0..KEYS {
+        wire.extend_from_slice(format!("set k{k} 0 0 3\r\nval\r\n").as_bytes());
+    }
+    sim.block_on(pipelined(
+        Arc::clone(&conn),
+        Bytes::from(wire),
+        KEYS,
+        Vec::new(),
+    ))
+    .unwrap();
+
+    // Rebalance: node 4 leaves the ring (it stays up — this is a
+    // membership change, not a failure).
+    router.set_ring((1..=3).map(backend).collect());
+
+    let mut wire = Vec::new();
+    for k in 0..KEYS {
+        wire.extend_from_slice(format!("get k{k}\r\n").as_bytes());
+    }
+    let got = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(wire),
+            KEYS,
+            Vec::new(),
+        ))
+        .unwrap();
+    let text = String::from_utf8(got).unwrap();
+    let hits = text.matches("VALUE ").count();
+    assert!(!text.contains("SERVER_ERROR"), "rebalance must not error");
+    assert!(hits > 0, "keys still on surviving owners must hit");
+    assert!(
+        hits < KEYS,
+        "keys remapped off node 4 must miss (≈1/4 of them)"
+    );
+    // Consistent hashing: the move fraction is about 1/N, not a reshuffle.
+    let misses = KEYS - hits;
+    assert!(
+        misses <= KEYS / 2,
+        "only the departed node's share may move (got {misses}/{KEYS})"
+    );
+}
+
+#[test]
+fn partitioned_backend_degrades_to_server_error_and_heals() {
+    // App-level TCP over the packet network: partition the router from
+    // one backend. In-flight commands to it time out into SERVER_ERROR
+    // (bounded, not hung); after the partition heals the next batch
+    // reconnects and serves normally.
+    let sim = SimRuntime::new_default();
+    let net = SimNet::new(sim.clock(), LinkParams::ethernet_100mbps(), 7);
+    let stack = |h: u32| -> Arc<dyn NetStack> {
+        glue::tcp_host_over_simnet(sim.ctx(), &net, HostId(h), TcpConfig::default())
+    };
+    spawn_backends(&sim, (1..=3).map(stack).collect());
+    let router = Router::new(
+        stack(10),
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: (1..=3).map(backend).collect(),
+            backend_timeout: 50 * MILLIS,
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+
+    // A key owned by node 2, computed from the same ring the router uses.
+    let ring = HashRing::new((1..=3).map(backend).collect(), 64);
+    let key = (0..)
+        .map(|i| format!("p{i}"))
+        .find(|k| ring.primary(k.as_bytes()).host == HostId(2))
+        .unwrap();
+
+    let client = stack(20);
+    let conn = sim
+        .block_on(do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(10), ROUTER_PORT));
+            ThreadM::pure(conn.unwrap())
+        })
+        .unwrap();
+
+    // Warm path: store and read the key through node 2.
+    let wire = Bytes::from(format!("set {key} 0 0 2\r\nhi\r\nget {key}\r\n"));
+    let ok = sim
+        .block_on(pipelined(Arc::clone(&conn), wire, 2, Vec::new()))
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(ok).unwrap(),
+        format!("STORED\r\nVALUE {key} 0 2\r\nhi\r\nEND\r\n")
+    );
+
+    // Partition router ↔ node 2 both ways.
+    net.set_link_down(HostId(10), HostId(2));
+    net.set_link_down(HostId(2), HostId(10));
+    let degraded = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(format!("get {key}\r\n")),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(degraded).unwrap(),
+        "SERVER_ERROR backend unavailable\r\n",
+        "a partitioned shard is an error, not a hang"
+    );
+
+    // Heal; the router redials and the key is still there.
+    net.set_link_up(HostId(10), HostId(2));
+    net.set_link_up(HostId(2), HostId(10));
+    let healed = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(format!("get {key}\r\n")),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(healed).unwrap(),
+        format!("VALUE {key} 0 2\r\nhi\r\nEND\r\n"),
+        "service resumes after the partition heals"
+    );
+}
