@@ -11,7 +11,10 @@
 //! Per batch of pipelined client commands:
 //!
 //! 1. every complete command is parsed ([`CommandParser`]) and routed by
-//!    key hash on the current [`HashRing`] snapshot;
+//!    key hash on the current [`HashRing`] snapshot; a multi-key
+//!    `get`/`gets` is split per key so each key is answered by its own
+//!    shard, and the parts are stitched back into one response (VALUE
+//!    runs in key order under a single `END`) before the client sees it;
 //! 2. commands are re-encoded ([`Command::encode_into`]) into one wire
 //!    buffer per backend and shipped with one send each (pipelining is
 //!    preserved end-to-end);
@@ -31,7 +34,19 @@
 //! R−1 replicas. A read goes to the primary and fails over (crash,
 //! timeout) or falls back (miss) to the next replica; a hit found on a
 //! fallback replica is written back to the replicas that missed
-//! (read-repair, a `noreply` set) so the hot key converges.
+//! (read-repair, a `noreply` set bounded by
+//! [`RouterConfig::repair_ttl`]) so the hot key converges.
+//!
+//! Only *state-independent* writes fan out: `set`, `delete` and `touch`
+//! mean the same thing on every replica. Conditional writes — `cas`
+//! (version stamps are per-node sequence numbers), `add`/`replace`
+//! (presence), `append`/`prepend` and `incr`/`decr` (current value) —
+//! go to the key's primary only: fanning them out could store on the
+//! primary while a secondary answers `EXISTS`/`NOT_STORED`, silently
+//! diverging the replicas behind an acked reply. The trade-off is that
+//! a conditional write is not crash-durable until a later replicated
+//! `set` or read-repair copies it; replication's zero-loss guarantee
+//! covers the fanned-out commands.
 //!
 //! ## Failure semantics
 //!
@@ -53,13 +68,13 @@ use eveth_core::net::{
 };
 use eveth_core::reactor::Interest;
 use eveth_core::service::{Server, ServerConfig, ServerStats as FrameworkStats, Service, Step};
-use eveth_core::syscall::sys_time;
+use eveth_core::syscall::{sys_fork, sys_time};
 use eveth_core::telemetry::metrics::Counter;
 use eveth_core::telemetry::Telemetry;
 use eveth_core::time::Nanos;
 use eveth_core::{loop_m, map_m, Loop, ThreadM};
 use eveth_kv::client::{Framed, ReplyFramer};
-use eveth_kv::protocol::{Command, CommandParser, ProtoError, Reply};
+use eveth_kv::protocol::{wire, Command, CommandParser, ProtoError, Reply};
 use parking_lot::Mutex;
 
 use crate::ring::HashRing;
@@ -78,6 +93,14 @@ pub struct RouterConfig {
     /// Keys with this prefix are hot (replicated); `None` replicates
     /// every key when `replication > 1`.
     pub hot_prefix: Option<Vec<u8>>,
+    /// Expiry (seconds, memcached `exptime` semantics) stamped on
+    /// read-repair `set`s. The wire `get` that discovered the hit does
+    /// not carry the entry's remaining TTL, so a repaired copy cannot
+    /// inherit it; a fixed TTL keeps the repaired copy of an *expiring*
+    /// hot key from living forever on the replicas — once it lapses, the
+    /// next read falls back to a live replica and re-repairs if the key
+    /// is still hot. `0` makes repaired copies immortal.
+    pub repair_ttl: u64,
     /// Per-round backend inactivity deadline (virtual nanoseconds): a
     /// fan-in wait that stays silent this long declares every pending
     /// backend dead. `0` waits forever (crash faults still fail fast —
@@ -107,6 +130,7 @@ impl Default for RouterConfig {
             vnodes: 64,
             replication: 1,
             hot_prefix: None,
+            repair_ttl: 60,
             backend_timeout: 0,
             backend_cooldown: 0,
             recv_chunk: 16 * 1024,
@@ -279,6 +303,13 @@ enum SlotState {
         /// later replica hits.
         missed_live: Vec<Endpoint>,
     },
+    /// Head of a split multi-key `get`/`gets`: the next `parts` slots
+    /// are its per-key sub-reads, stitched into one response (VALUE runs
+    /// concatenated in key order, one final `END`) at reply time.
+    MultiHead {
+        /// How many sub-read slots follow this one.
+        parts: usize,
+    },
 }
 
 /// Mutable state of one batch while its rounds run.
@@ -343,6 +374,41 @@ fn server_error_bytes() -> Vec<Bytes> {
     vec![Bytes::from(out)]
 }
 
+/// Removes the trailing `END\r\n` from a sub-get's reply run without
+/// copying the payload: the suffix may straddle segment boundaries, so
+/// walk bytes from the back, then pop/trim whole segments. Returns
+/// `None` when the run does not end in END (the sub-get failed).
+fn strip_end(mut segs: Vec<Bytes>) -> Option<Vec<Bytes>> {
+    const END: &[u8] = wire::END;
+    let mut tail = [0u8; 5];
+    let mut got = 0;
+    'fill: for seg in segs.iter().rev() {
+        for &b in seg.iter().rev() {
+            got += 1;
+            tail[END.len() - got] = b;
+            if got == END.len() {
+                break 'fill;
+            }
+        }
+    }
+    if got < END.len() || tail != END {
+        return None;
+    }
+    let mut drop = END.len();
+    while drop > 0 {
+        let last = segs.last_mut().expect("suffix verified");
+        if last.len() <= drop {
+            drop -= last.len();
+            segs.pop();
+        } else {
+            let keep = last.len() - drop;
+            *last = last.slice(..keep);
+            drop = 0;
+        }
+    }
+    Some(segs)
+}
+
 fn closing_is_error(r: &Reply) -> bool {
     matches!(
         r,
@@ -390,7 +456,7 @@ fn write_ack(
 fn read_result(
     slots: &mut [SlotState],
     repairs: &mut Vec<(Endpoint, Command)>,
-    stats: &RouterStats,
+    shared: &RouterShared,
     slot: usize,
     ep: Endpoint,
     framed: Option<Framed>,
@@ -413,13 +479,13 @@ fn read_result(
                     ) = f.first_value
                     {
                         for target in missed_live.drain(..) {
-                            stats.read_repairs.incr();
+                            shared.stats.read_repairs.incr();
                             repairs.push((
                                 target,
                                 Command::Set {
                                     key: key.clone(),
                                     flags,
-                                    exptime: 0,
+                                    exptime: shared.cfg.repair_ttl,
                                     value: data.clone(),
                                     noreply: true,
                                 },
@@ -439,7 +505,7 @@ fn read_result(
             None => {
                 *next += 1;
                 if *next >= tries.len() {
-                    stats.server_errors.incr();
+                    shared.stats.server_errors.incr();
                     slots[slot] = SlotState::Ready(server_error_bytes());
                 }
             }
@@ -448,17 +514,17 @@ fn read_result(
 }
 
 /// Resolves one job with its backend's framed response.
-fn resolve_ok(st: &mut BatchState, stats: &RouterStats, slot: usize, role: Role, f: Framed) {
+fn resolve_ok(st: &mut BatchState, shared: &RouterShared, slot: usize, role: Role, f: Framed) {
     let BatchState { slots, .. } = st;
     match role {
         Role::Deliver => slots[slot] = SlotState::Ready(f.bytes),
         Role::AckPrimary => {
             let errored = closing_is_error(&f.closing);
-            write_ack(slots, stats, slot, Some(f.bytes), errored);
+            write_ack(slots, &shared.stats, slot, Some(f.bytes), errored);
         }
         Role::Ack => {
             let errored = closing_is_error(&f.closing);
-            write_ack(slots, stats, slot, None, errored);
+            write_ack(slots, &shared.stats, slot, None, errored);
         }
         Role::Read => {
             // `ep` only matters for miss bookkeeping; resolve_ok callers
@@ -469,15 +535,15 @@ fn resolve_ok(st: &mut BatchState, stats: &RouterStats, slot: usize, role: Role,
 }
 
 /// Resolves one job whose backend failed.
-fn resolve_fail(st: &mut BatchState, stats: &RouterStats, slot: usize, role: Role, ep: Endpoint) {
+fn resolve_fail(st: &mut BatchState, shared: &RouterShared, slot: usize, role: Role, ep: Endpoint) {
     let BatchState { slots, repairs } = st;
     match role {
         Role::Deliver => {
-            stats.server_errors.incr();
+            shared.stats.server_errors.incr();
             slots[slot] = SlotState::Ready(server_error_bytes());
         }
-        Role::AckPrimary | Role::Ack => write_ack(slots, stats, slot, None, true),
-        Role::Read => read_result(slots, repairs, stats, slot, ep, None),
+        Role::AckPrimary | Role::Ack => write_ack(slots, &shared.stats, slot, None, true),
+        Role::Read => read_result(slots, repairs, shared, slot, ep, None),
     }
 }
 
@@ -486,6 +552,54 @@ struct Plan {
     state: BatchState,
     first: Round,
     quit: bool,
+}
+
+/// Writes safe to fan out to every replica: their outcome does not
+/// depend on per-backend state that legitimately differs across
+/// replicas. Conditional writes — `cas` (stamps are per-node sequence
+/// numbers), `add`/`replace` (presence), `append`/`prepend` and
+/// `incr`/`decr` (current value) — must not fan out: they could store
+/// on the primary while a secondary answers `EXISTS`/`NOT_STORED`,
+/// acking the client over silently diverged replicas. They route to the
+/// primary only instead.
+fn replica_fanout(cmd: &Command) -> bool {
+    matches!(
+        cmd,
+        Command::Set { .. } | Command::Delete { .. } | Command::Touch { .. }
+    )
+}
+
+/// Routes one single-key read (a whole `get`/`gets`, or one key split
+/// out of a multi-key one): a replicated key starts a failover-capable
+/// replica walk, anything else forwards to the key's shard.
+fn route_read(
+    shared: &RouterShared,
+    ring: &HashRing,
+    round: &mut Round,
+    slots: &mut Vec<SlotState>,
+    cmd: &Command,
+) {
+    let key = cmd.key().expect("reads carry a key");
+    if shared.replicated(key) {
+        let tries = ring.replicas(key, shared.cfg.replication);
+        let mut wire = Vec::new();
+        cmd.encode_into(&mut wire);
+        let lane = round.lane(tries[0]);
+        round.wires[lane].extend_from_slice(&wire);
+        round.queues[lane].push_back((slots.len(), Role::Read));
+        slots.push(SlotState::AwaitRead {
+            wire: Bytes::from(wire),
+            tries,
+            next: 0,
+            missed_live: Vec::new(),
+        });
+    } else {
+        let ep = ring.primary(key);
+        let lane = round.lane(ep);
+        cmd.encode_into(&mut round.wires[lane]);
+        round.queues[lane].push_back((slots.len(), Role::Deliver));
+        slots.push(SlotState::AwaitOne);
+    }
 }
 
 /// Routes a batch of commands: one slot per reply the client expects (in
@@ -502,6 +616,27 @@ fn build_plan(shared: &RouterShared, ring: &HashRing, cmds: Vec<Command>) -> Pla
             quit = true;
             break;
         }
+        // A multi-key get/gets is split per key so every key is answered
+        // by the shard that owns it — routing the whole command by its
+        // first key would turn other shards' keys into spurious misses.
+        // The parts are stitched back into one response at reply time.
+        if let Command::Get { keys } | Command::Gets { keys } = &cmd {
+            if keys.len() > 1 {
+                slots.push(SlotState::MultiHead { parts: keys.len() });
+                for key in keys {
+                    let sub = match &cmd {
+                        Command::Get { .. } => Command::Get {
+                            keys: vec![key.clone()],
+                        },
+                        _ => Command::Gets {
+                            keys: vec![key.clone()],
+                        },
+                    };
+                    route_read(shared, ring, &mut round, &mut slots, &sub);
+                }
+                continue;
+            }
+        }
         let noreply = cmd.noreply();
         match cmd.key() {
             None => {
@@ -512,7 +647,7 @@ fn build_plan(shared: &RouterShared, ring: &HashRing, cmds: Vec<Command>) -> Pla
                 round.queues[lane].push_back((slots.len(), Role::Deliver));
                 slots.push(SlotState::AwaitOne);
             }
-            Some(key) if shared.replicated(key) && cmd.is_write() => {
+            Some(key) if shared.replicated(key) && cmd.is_write() && replica_fanout(&cmd) => {
                 let eps = ring.replicas(key, shared.cfg.replication);
                 if eps.len() > 1 {
                     shared.stats.replicated_writes.incr();
@@ -535,21 +670,13 @@ fn build_plan(shared: &RouterShared, ring: &HashRing, cmds: Vec<Command>) -> Pla
                     });
                 }
             }
-            Some(key) if shared.replicated(key) => {
-                let tries = ring.replicas(key, shared.cfg.replication);
-                let mut wire = Vec::new();
-                cmd.encode_into(&mut wire);
-                let lane = round.lane(tries[0]);
-                round.wires[lane].extend_from_slice(&wire);
-                round.queues[lane].push_back((slots.len(), Role::Read));
-                slots.push(SlotState::AwaitRead {
-                    wire: Bytes::from(wire),
-                    tries,
-                    next: 0,
-                    missed_live: Vec::new(),
-                });
+            Some(key) if shared.replicated(key) && !cmd.is_write() => {
+                route_read(shared, ring, &mut round, &mut slots, &cmd);
             }
             Some(key) => {
+                // Non-replicated keys, plus conditional writes on
+                // replicated ones (see `replica_fanout`): the key's
+                // primary — `ring.primary` is `replicas(key, r)[0]`.
                 let ep = ring.primary(key);
                 let lane = round.lane(ep);
                 cmd.encode_into(&mut round.wires[lane]);
@@ -605,6 +732,9 @@ fn ensure_conn(
 /// What woke the fan-in `choose`.
 enum Wake {
     Ready(usize),
+    /// A readiness-less lane 0's pumped receive completed with this
+    /// result (the helper already performed the `recv`).
+    Pumped(Result<Bytes, eveth_core::net::NetError>),
     Timeout,
 }
 
@@ -630,7 +760,7 @@ fn fail_pending(
     pool_remove(pool, p.ep);
     let mut guard = st.lock();
     while let Some((slot, role)) = p.jobs.pop_front() {
-        resolve_fail(&mut guard, &shared.stats, slot, role, p.ep);
+        resolve_fail(&mut guard, shared, slot, role, p.ep);
     }
 }
 
@@ -655,12 +785,38 @@ fn drain_framed(
         match role {
             Role::Read => {
                 let BatchState { slots, repairs } = &mut *guard;
-                read_result(slots, repairs, &shared.stats, slot, p.ep, Some(framed));
+                read_result(slots, repairs, shared, slot, p.ep, Some(framed));
             }
-            other => resolve_ok(&mut guard, &shared.stats, slot, other, framed),
+            other => resolve_ok(&mut guard, shared, slot, other, framed),
         }
     }
     true
+}
+
+/// Folds one lane's receive result into the batch: drains framed
+/// replies on success, writes the backend off on EOF/error/garbage.
+fn settle_lane(
+    shared: Arc<RouterShared>,
+    pool: Arc<Mutex<Pool>>,
+    st: Arc<Mutex<BatchState>>,
+    mut pending: Vec<PendingEp>,
+    i: usize,
+    got: Result<Bytes, eveth_core::net::NetError>,
+    now: Nanos,
+) -> ThreadM<Loop<Vec<PendingEp>, ()>> {
+    let healthy = match got {
+        Ok(chunk) if !chunk.is_empty() => drain_framed(&shared, &st, &mut pending[i], chunk),
+        _ => false,
+    };
+    if healthy {
+        ThreadM::pure(Loop::Continue(pending))
+    } else {
+        fail_pending(&shared, &pool, &st, &mut pending[i], now);
+        let dead = pending.swap_remove(i);
+        // swap_remove perturbs lane order only among still-pending
+        // lanes of one batch — acceptable, and it keeps removal O(1).
+        dead.conn.close().map(move |()| Loop::Continue(pending))
+    }
 }
 
 /// The fan-in wait: one `choose` over every pending backend's readiness
@@ -695,13 +851,46 @@ fn fan_in(
                 }
             }
         }
-        if shared.cfg.backend_timeout > 0 {
-            evts.push(timeout_evt(shared.cfg.backend_timeout).wrap(|()| Wake::Timeout));
-        }
         let wake = if all_fds {
+            if shared.cfg.backend_timeout > 0 {
+                evts.push(timeout_evt(shared.cfg.backend_timeout).wrap(|()| Wake::Timeout));
+            }
             sync(choose(evts))
+        } else if shared.cfg.backend_timeout > 0 {
+            // Readiness-less transport with a deadline: the receive
+            // itself cannot join the choose, so pump lane 0's blocking
+            // recv through a one-shot helper thread and race its
+            // completion signal against the timer (the free-function
+            // pattern of `session_input`). If the timer wins, the
+            // timeout branch below closes the conns, which completes
+            // the stranded recv — the helper then stores into a slot
+            // nobody reads and exits; nothing blocks forever.
+            let slot: Arc<Mutex<Option<Result<Bytes, eveth_core::net::NetError>>>> =
+                Arc::new(Mutex::new(None));
+            let done = Signal::new();
+            let conn = Arc::clone(&pending[0].conn);
+            let chunk_max = shared.cfg.recv_chunk;
+            let tx_slot = Arc::clone(&slot);
+            let tx_done = done.clone();
+            sys_fork(conn.recv(chunk_max).map(move |got| {
+                *tx_slot.lock() = Some(got);
+                tx_done.fire();
+            }))
+            .bind({
+                let timeout = shared.cfg.backend_timeout;
+                move |()| {
+                    sync(choose(vec![
+                        done.wait_evt().wrap(move |()| {
+                            Wake::Pumped(slot.lock().take().expect("pump fired after storing"))
+                        }),
+                        timeout_evt(timeout).wrap(|()| Wake::Timeout),
+                    ]))
+                }
+            })
         } else {
-            // Readiness-less transport: serve lanes in order, no timer.
+            // Readiness-less with no deadline: degrade to serving lane 0
+            // with a plain blocking recv (mirrors `session_input`'s
+            // documented fd-less fallback).
             ThreadM::pure(Wake::Ready(0))
         };
         wake.bind(move |wake| match wake {
@@ -718,25 +907,10 @@ fn fan_in(
             Wake::Ready(i) => {
                 let conn = Arc::clone(&pending[i].conn);
                 let chunk_max = shared.cfg.recv_chunk;
-                conn.recv(chunk_max).bind(move |got| {
-                    let healthy = match got {
-                        Ok(chunk) if !chunk.is_empty() => {
-                            drain_framed(&shared, &st, &mut pending[i], chunk)
-                        }
-                        _ => false,
-                    };
-                    if healthy {
-                        ThreadM::pure(Loop::Continue(pending))
-                    } else {
-                        fail_pending(&shared, &pool, &st, &mut pending[i], now);
-                        let dead = pending.swap_remove(i);
-                        // swap_remove perturbs lane order only among
-                        // still-pending lanes of one batch — acceptable,
-                        // and it keeps removal O(1).
-                        dead.conn.close().map(move |()| Loop::Continue(pending))
-                    }
-                })
+                conn.recv(chunk_max)
+                    .bind(move |got| settle_lane(shared, pool, st, pending, i, got, now))
             }
+            Wake::Pumped(got) => settle_lane(shared, pool, st, pending, 0, got, now),
         })
     })
 }
@@ -779,7 +953,7 @@ fn run_round(
                                      jobs: VecDeque<(usize, Role)>| {
                     let mut guard = st.lock();
                     for (slot, role) in jobs {
-                        resolve_fail(&mut guard, &shared.stats, slot, role, ep);
+                        resolve_fail(&mut guard, &shared, slot, role, ep);
                     }
                 };
                 match conn {
@@ -924,9 +1098,40 @@ impl Service for RouterService {
         let pool2 = Arc::clone(&pool);
         execute_batch(shared, Arc::clone(&pool), st, first).bind(move |()| {
             let mut segs: Vec<Bytes> = Vec::new();
-            for slot in st2.lock().slots.drain(..) {
+            let drained: Vec<SlotState> = st2.lock().slots.drain(..).collect();
+            let mut slots = drained.into_iter();
+            while let Some(slot) = slots.next() {
                 match slot {
                     SlotState::Ready(bytes) => segs.extend(bytes),
+                    // A split multi-key get: the next `parts` slots each
+                    // hold one sub-get's full reply. Stitch them back
+                    // into one response by stripping each part's
+                    // terminating END and emitting a single final END —
+                    // sub-slots were pushed in key order, and a single
+                    // node answers VALUEs in key order too, so the
+                    // stitched bytes match the unsplit reply. Any part
+                    // that did not end in END (e.g. SERVER_ERROR from an
+                    // exhausted shard) fails the whole command: a routed
+                    // miss must never masquerade as a store miss.
+                    SlotState::MultiHead { parts } => {
+                        let mut body: Vec<Bytes> = Vec::new();
+                        let mut dead = false;
+                        for _ in 0..parts {
+                            match slots.next() {
+                                Some(SlotState::Ready(bytes)) => match strip_end(bytes) {
+                                    Some(run) => body.extend(run),
+                                    None => dead = true,
+                                },
+                                _ => dead = true,
+                            }
+                        }
+                        if dead {
+                            segs.extend(server_error_bytes());
+                        } else {
+                            segs.extend(body);
+                            segs.push(Bytes::from_static(wire::END));
+                        }
+                    }
                     // Unresolvable states were finalized by the rounds;
                     // anything else is a routing bug — answer SERVER_ERROR
                     // rather than desynchronize the client.

@@ -405,12 +405,16 @@ mod tests {
         // survive verbatim through the framer.
         let wire = b"VERSION 1.6.0-sim\r\nCLIENT_ERROR bad delta\r\n";
         let mut f = ReplyFramer::new();
-        assert_eq!(f.feed(Bytes::from(wire.to_vec())).unwrap(), 1);
-        // VERSION does not close a command; CLIENT_ERROR does, so both
-        // lines land in one framed response.
-        let framed = f.pop().unwrap();
-        assert_eq!(flat(&framed.bytes), &wire[..]);
-        assert_eq!(framed.closing, Reply::ClientError(""));
+        // Both lines are complete single-line responses, so each closes
+        // its own frame — a `version` forwarded by the router frames
+        // exactly one reply instead of waiting for a terminator.
+        assert_eq!(f.feed(Bytes::from(wire.to_vec())).unwrap(), 2);
+        let version = f.pop().unwrap();
+        assert_eq!(flat(&version.bytes), b"VERSION 1.6.0-sim\r\n");
+        assert_eq!(version.closing, Reply::Version(""));
+        let err = f.pop().unwrap();
+        assert_eq!(flat(&err.bytes), b"CLIENT_ERROR bad delta\r\n");
+        assert_eq!(err.closing, Reply::ClientError(""));
     }
 
     #[test]

@@ -1082,13 +1082,17 @@ impl Reply {
     }
 
     /// True when this reply *completes* a command's response: everything
-    /// except the streamed prefixes — `VALUE`/`STAT` lines (closed by a
-    /// later `END`) and `VERSION` (informational). The shared rule the
-    /// client and the router both count pipelined responses by.
+    /// except the streamed prefixes — `VALUE`/`STAT` lines, which are
+    /// closed by a later `END`. A `VERSION` line closes: it is the whole
+    /// one-line response to `version`, never a prefix of anything. The
+    /// shared rule the client and the router both count pipelined
+    /// responses by — a non-closing classification here would leave a
+    /// forwarding router waiting forever for a terminator that never
+    /// comes.
     pub fn closes_command(&self) -> bool {
         !matches!(
             self,
-            Reply::Value { .. } | Reply::ValueCas { .. } | Reply::Stat(..) | Reply::Version(_)
+            Reply::Value { .. } | Reply::ValueCas { .. } | Reply::Stat(..)
         )
     }
 }
@@ -1743,7 +1747,10 @@ mod tests {
         // The parser keeps the shape, not the text (same as CLIENT_ERROR).
         assert_eq!(got, Reply::ServerError(""));
         assert!(got.closes_command());
-        assert!(!Reply::Version("").closes_command());
+        // VERSION is a complete single-line response, not a streamed
+        // prefix — it must close, or a router framing backend replies
+        // would wait forever for a terminator.
+        assert!(Reply::Version("").closes_command());
         assert!(!Reply::Value {
             key: Bytes::from_static(b"k"),
             flags: 0,

@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use eveth::cluster::{HashRing, Router, RouterConfig};
-use eveth::core::net::{recv_to_end, send_all, Conn, Endpoint, HostId, NetStack};
+use eveth::core::net::{
+    recv_to_end, send_all, Conn, Endpoint, HostId, Listener, NetError, NetStack,
+};
 use eveth::core::time::MILLIS;
 use eveth::glue;
 use eveth::kv::protocol::ReplyParser;
@@ -83,11 +85,12 @@ fn pipelined(conn: Arc<dyn Conn>, wire: Bytes, expected: usize, acc: Vec<u8>) ->
     })
 }
 
-/// A deterministic 64-command script of *single-key* commands. The
-/// router's transparency contract excludes multi-key gets (a sharded
-/// cluster answers shard-by-shard) and `gets` cas uniques (version
-/// stamps are per-node sequence numbers, so a cluster's differ from a
-/// single node's even for identical data).
+/// A deterministic 67-command script: 64 single-key commands plus
+/// `version` and two multi-key gets (the router splits those per
+/// shard and stitches the VALUE runs back in key order, so the bytes
+/// still match a single node). The transparency contract excludes only
+/// `gets` cas uniques: version stamps are per-node sequence numbers,
+/// so a cluster's differ from a single node's even for identical data.
 fn cluster_script() -> Vec<(Bytes, usize)> {
     let mut cmds = vec![Bytes::from_static(b"set ctr 0 0 1\r\n0\r\n")];
     for i in 0..63usize {
@@ -109,6 +112,13 @@ fn cluster_script() -> Vec<(Bytes, usize)> {
         };
         cmds.push(cmd);
     }
+    // Keyless single-line command: must pass through the router without
+    // wedging the frame (VERSION closes its command).
+    cmds.push(Bytes::from_static(b"version\r\n"));
+    // Multi-key gets spanning every shard, including a miss in the
+    // middle: one END closes the whole command on both sides.
+    cmds.push(Bytes::from_static(b"get k0 k1 k2 k3 k4 k5 k6 k7\r\n"));
+    cmds.push(Bytes::from_static(b"get k2 nosuchkey k5\r\n"));
     cmds.into_iter().map(|c| (c, 1)).collect()
 }
 
@@ -495,5 +505,213 @@ fn partitioned_backend_degrades_to_server_error_and_heals() {
         String::from_utf8(healed).unwrap(),
         format!("VALUE {key} 0 2\r\nhi\r\nEND\r\n"),
         "service resumes after the partition heals"
+    );
+}
+
+#[test]
+fn replicated_conditional_writes_stay_on_the_primary() {
+    // R=2 over two nodes: cas stamps are per-node sequence numbers, so
+    // fanning a cas to both replicas would ack the client while the
+    // copies silently diverge (STORED on the primary, EXISTS on the
+    // secondary). The router therefore keeps conditional writes
+    // primary-only; the secondary's copy goes stale until the next
+    // plain set or read-repair refreshes it.
+    let sim = SimRuntime::new_default();
+    let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+    spawn_backends(
+        &sim,
+        (1..=2)
+            .map(|h| fabric.stack(HostId(h)) as Arc<dyn NetStack>)
+            .collect(),
+    );
+    let router = Router::new(
+        fabric.stack(HostId(10)),
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: (1..=2).map(backend).collect(),
+            replication: 2,
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+
+    let client = fabric.stack(HostId(20));
+    let conn = sim
+        .block_on(do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(10), ROUTER_PORT));
+            ThreadM::pure(conn.unwrap())
+        })
+        .unwrap();
+
+    // A plain set fans out to both replicas…
+    let stored = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from_static(b"set hot:c 0 0 2\r\nv1\r\n"),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(String::from_utf8(stored).unwrap(), "STORED\r\n");
+    assert_eq!(router.stats().replicated_writes.get(), 1);
+
+    // …and a routed gets surfaces the primary's cas stamp.
+    let got = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from_static(b"gets hot:c\r\n"),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    let text = String::from_utf8(got).unwrap();
+    let stamp: u64 = text
+        .lines()
+        .next()
+        .expect("VALUE line")
+        .rsplit(' ')
+        .next()
+        .expect("cas stamp")
+        .parse()
+        .expect("numeric stamp");
+
+    // The cas is acked without being counted as a fan-out write.
+    let cased = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from(format!("cas hot:c 0 0 2 {stamp}\r\nv2\r\n")),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(String::from_utf8(cased).unwrap(), "STORED\r\n");
+    assert_eq!(
+        router.stats().replicated_writes.get(),
+        1,
+        "cas must not fan out to replicas"
+    );
+
+    // Routed reads (primary-first failover order) see the new value…
+    let read = sim
+        .block_on(pipelined(
+            Arc::clone(&conn),
+            Bytes::from_static(b"get hot:c\r\n"),
+            1,
+            Vec::new(),
+        ))
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(read).unwrap(),
+        "VALUE hot:c 0 2\r\nv2\r\nEND\r\n"
+    );
+
+    // …while the secondary still holds the pre-cas copy, proving the
+    // conditional write never reached it.
+    let ring = HashRing::new((1..=2).map(backend).collect(), 64);
+    let secondary = ring.replicas(b"hot:c", 2)[1];
+    let direct = sim
+        .block_on(do_m! {
+            let conn <- client.connect(secondary);
+            pipelined(conn.unwrap(), Bytes::from_static(b"get hot:c\r\n"), 1, Vec::new())
+        })
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(direct).unwrap(),
+        "VALUE hot:c 0 2\r\nv1\r\nEND\r\n"
+    );
+}
+
+/// A transport veil that hides readiness descriptors: every call
+/// delegates, but `readiness_fd` stays `None` (the trait default), so
+/// the router's fan-in cannot compose its wait with a timer event and
+/// must fall back to the pumped blocking recv.
+struct FdLessConn(Arc<dyn Conn>);
+
+impl Conn for FdLessConn {
+    fn recv(&self, max: usize) -> ThreadM<Result<Bytes, NetError>> {
+        self.0.recv(max)
+    }
+    fn send(&self, data: Bytes) -> ThreadM<Result<usize, NetError>> {
+        self.0.send(data)
+    }
+    fn sendv(&self, bufs: Vec<Bytes>) -> ThreadM<Result<usize, NetError>> {
+        self.0.sendv(bufs)
+    }
+    fn close(&self) -> ThreadM<()> {
+        self.0.close()
+    }
+    fn peer(&self) -> Endpoint {
+        self.0.peer()
+    }
+    fn local(&self) -> Endpoint {
+        self.0.local()
+    }
+}
+
+struct FdLessStack(Arc<dyn NetStack>);
+
+impl NetStack for FdLessStack {
+    fn listen(&self, port: u16) -> ThreadM<Result<Arc<dyn Listener>, NetError>> {
+        self.0.listen(port)
+    }
+    fn connect(&self, remote: Endpoint) -> ThreadM<Result<Arc<dyn Conn>, NetError>> {
+        self.0
+            .connect(remote)
+            .map(|got| got.map(|c| Arc::new(FdLessConn(c)) as Arc<dyn Conn>))
+    }
+    fn host(&self) -> HostId {
+        self.0.host()
+    }
+}
+
+#[test]
+fn fd_less_transport_still_honors_the_backend_timeout() {
+    // The router dials its backends through a stack whose connections
+    // expose no readiness fd, against a black-hole backend that accepts
+    // and reads but never replies. backend_timeout must still bound the
+    // wait: the client gets SERVER_ERROR instead of a wedged session.
+    let sim = SimRuntime::new_default();
+    let fabric = SocketFabric::new(sim.clock(), FabricParams::default());
+
+    // Black hole on host 1: accept once, discard everything, never write.
+    let hole = fabric.stack(HostId(1));
+    sim.spawn(do_m! {
+        let listener <- hole.listen(KV_PORT);
+        let listener = listener.unwrap();
+        let conn <- listener.accept();
+        let conn = conn.unwrap();
+        loop_m((), move |()| {
+            let conn = Arc::clone(&conn);
+            conn.recv(4096).map(|got| match got {
+                Ok(chunk) if !chunk.is_empty() => Loop::Continue(()),
+                _ => Loop::Break(()),
+            })
+        })
+    });
+
+    let router = Router::new(
+        Arc::new(FdLessStack(fabric.stack(HostId(10)))),
+        RouterConfig {
+            port: ROUTER_PORT,
+            backends: vec![backend(1)],
+            backend_timeout: 50 * MILLIS,
+            ..Default::default()
+        },
+    );
+    sim.spawn(router.run());
+
+    // The client dials the router's *listening* side, which FdLessStack
+    // delegates unwrapped — only the router→backend conns are fd-less.
+    let client = fabric.stack(HostId(20));
+    let got = sim
+        .block_on(do_m! {
+            let conn <- client.connect(Endpoint::new(HostId(10), ROUTER_PORT));
+            pipelined(conn.unwrap(), Bytes::from_static(b"get k\r\n"), 1, Vec::new())
+        })
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(got).unwrap(),
+        "SERVER_ERROR backend unavailable\r\n",
+        "a silent backend on an fd-less transport must time out, not hang"
     );
 }
