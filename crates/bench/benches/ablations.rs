@@ -53,6 +53,7 @@ fn slice_ablation() {
                 cost: CostModel::monadic(),
                 slice,
                 cpus: 1,
+                ..SimConfig::default()
             },
         );
         let finished = Arc::new(AtomicU64::new(0));

@@ -39,7 +39,15 @@ pub fn sim_with_cpus(cost: CostModel, cpus: usize) -> SimRuntime {
 
 /// Builds a `SimRuntime` with explicit cost model, CPU count and slice.
 pub fn sim_with_config(cost: CostModel, cpus: usize, slice: usize) -> SimRuntime {
-    SimRuntime::new(SimClock::new(), SimConfig { cost, slice, cpus })
+    SimRuntime::new(
+        SimClock::new(),
+        SimConfig {
+            cost,
+            slice,
+            cpus,
+            ..SimConfig::default()
+        },
+    )
 }
 
 /// Spawns a sleep-polling waiter that completes when `counter` reaches

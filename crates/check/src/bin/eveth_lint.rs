@@ -1,0 +1,69 @@
+//! Workspace lint driver: walks the given roots (default: `crates`,
+//! `src`, `tests`, `examples`, `benches`), scans every `.rs` file with
+//! [`eveth_check::lint::scan_source`], prints `file:line: [rule] message`
+//! diagnostics, and exits non-zero if anything fired.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use eveth_check::lint::scan_source;
+
+fn collect_rs(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        ["crates", "src", "tests", "examples", "benches"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if root.is_file() {
+            files.push(root.clone());
+        } else {
+            collect_rs(root, &mut files);
+        }
+    }
+
+    let mut findings = 0usize;
+    let mut scanned = 0usize;
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        scanned += 1;
+        for d in scan_source(&file.display().to_string(), &src) {
+            eprintln!("{d}");
+            findings += 1;
+        }
+    }
+    eprintln!("eveth_lint: {scanned} files scanned, {findings} finding(s)");
+    if findings > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,248 @@
+//! Schedule exploration: rerun a closed sim program under many
+//! distinct-but-replayable interleavings.
+//!
+//! Schedule 0 is always [`SchedulePolicy::Fifo`] — the golden schedule
+//! every existing test runs — and schedules `1..n` are PCT-style
+//! random-priority schedules with seeds derived deterministically from
+//! the explorer's base seed. A failure therefore reproduces exactly from
+//! its `(seed, config)`: build the same [`SchedulePolicy`], rerun, and
+//! the schedule fingerprint, violations and `SimReport` are
+//! byte-identical ([`Explorer::run_one`] is the replay recipe).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use eveth_simos::des::SimClock;
+use eveth_simos::desrt::{splitmix64, SchedulePolicy, SimConfig, SimRuntime};
+
+use crate::hb::{CheckReport, HbProbe};
+
+/// Outcome of one explored schedule.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Position in the exploration (0 = the Fifo golden schedule).
+    pub index: usize,
+    /// The policy that produced this schedule — together with the
+    /// explorer's `config`, everything needed to replay it.
+    pub policy: SchedulePolicy,
+    /// The checker's findings for this schedule.
+    pub report: CheckReport,
+    /// Error the program itself reported (e.g. a deadlocked `block_on`),
+    /// if any.
+    pub program_error: Option<String>,
+    /// `Debug` rendering of the final `SimReport` — part of the replay
+    /// digest, so virtual time must reproduce too.
+    pub sim_debug: String,
+}
+
+impl RunRecord {
+    /// True if the checker or the program itself failed on this schedule.
+    pub fn failed(&self) -> bool {
+        !self.report.passed() || self.program_error.is_some()
+    }
+
+    /// Full replay digest: schedule fingerprint + findings + final sim
+    /// state. Two runs of the same `(seed, config)` must match exactly.
+    pub fn digest(&self) -> String {
+        format!(
+            "{} | {:?} | {}",
+            self.report.digest(),
+            self.program_error,
+            self.sim_debug
+        )
+    }
+}
+
+/// The whole exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// One record per schedule, in exploration order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl Exploration {
+    /// Records that failed (checker findings or program error).
+    pub fn failures(&self) -> Vec<&RunRecord> {
+        self.runs.iter().filter(|r| r.failed()).collect()
+    }
+
+    /// Number of distinct schedule fingerprints observed.
+    pub fn distinct_schedules(&self) -> usize {
+        let mut fps: Vec<u64> = self.runs.iter().map(|r| r.report.fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        fps.len()
+    }
+
+    /// True when every schedule was clean.
+    pub fn passed(&self) -> bool {
+        self.runs.iter().all(|r| !r.failed())
+    }
+
+    /// A `(seed, config)` failure artifact as JSON, or `None` if every
+    /// schedule passed. Hand-rolled (no serde in this environment), shape:
+    /// `{"seed":…,"config":{…},"failures":[{"index":…,"policy":{…},…}]}`.
+    pub fn failure_json(&self, seed: u64, config: &SimConfig) -> Option<String> {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seed\":{seed},\"config\":{{\"slice\":{},\"cpus\":{}}},\"failures\":[",
+            config.slice, config.cpus
+        );
+        for (i, r) in failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let policy = match r.policy {
+                SchedulePolicy::Fifo => "{\"kind\":\"fifo\"}".to_string(),
+                SchedulePolicy::Pct {
+                    seed,
+                    change_points,
+                } => format!(
+                    "{{\"kind\":\"pct\",\"seed\":{seed},\"change_points\":{change_points}}}"
+                ),
+            };
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"policy\":{},\"fingerprint\":\"{:016x}\",\"schedule_len\":{},\"violations\":[",
+                r.index, policy, r.report.fingerprint, r.report.schedule_len
+            );
+            for (j, v) in r.report.violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(&v.to_string()));
+            }
+            out.push(']');
+            if let Some(e) = &r.program_error {
+                let _ = write!(out, ",\"program_error\":{}", json_string(e));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Reruns a closed sim program under `schedules` interleavings.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// How many schedules to run (schedule 0 is Fifo).
+    pub schedules: usize,
+    /// Base seed for the PCT seed family.
+    pub seed: u64,
+    /// Priority change points per PCT schedule.
+    pub change_points: u32,
+    /// Base sim configuration; the policy field is overridden per
+    /// schedule. Use a small `slice` (e.g. 1) to maximize interleaving
+    /// opportunities.
+    pub config: SimConfig,
+}
+
+impl Explorer {
+    /// An explorer with `slice = 1` (every step is a scheduling decision)
+    /// and otherwise default config.
+    pub fn new(schedules: usize, seed: u64) -> Self {
+        Explorer {
+            schedules,
+            seed,
+            change_points: 2,
+            config: SimConfig {
+                slice: 1,
+                ..SimConfig::default()
+            },
+        }
+    }
+
+    /// The policy for schedule `index` of this explorer's seed family.
+    pub fn policy_for(&self, index: usize) -> SchedulePolicy {
+        if index == 0 {
+            SchedulePolicy::Fifo
+        } else {
+            let mut state = self.seed ^ (index as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+            SchedulePolicy::Pct {
+                seed: splitmix64(&mut state),
+                change_points: self.change_points,
+            }
+        }
+    }
+
+    /// Runs `program` once under `policy` with a fresh runtime and probe.
+    /// This is the replay entry point: the returned record's
+    /// [`RunRecord::digest`] is a pure function of `(policy, config)`.
+    pub fn run_one<F>(&self, index: usize, policy: SchedulePolicy, program: &F) -> RunRecord
+    where
+        F: Fn(&SimRuntime) -> Result<(), String>,
+    {
+        let config = SimConfig {
+            policy: policy.clone(),
+            ..self.config.clone()
+        };
+        let sim = SimRuntime::new(SimClock::new(), config);
+        let probe = HbProbe::new();
+        sim.set_check_probe(probe.clone() as Arc<dyn eveth_core::check::Probe>);
+        let program_error = program(&sim).err();
+        let sim_report = sim.run();
+        let report = probe.finish(sim.armed_timers());
+        RunRecord {
+            index,
+            policy,
+            report,
+            program_error,
+            sim_debug: format!("{sim_report:?}"),
+        }
+    }
+
+    /// Runs the full exploration: schedule 0 under Fifo, then
+    /// `schedules - 1` PCT schedules from this explorer's seed family.
+    pub fn explore<F>(&self, program: F) -> Exploration
+    where
+        F: Fn(&SimRuntime) -> Result<(), String>,
+    {
+        let runs = (0..self.schedules.max(1))
+            .map(|i| self.run_one(i, self.policy_for(i), &program))
+            .collect();
+        Exploration { runs }
+    }
+}
+
+/// Schedule count for tier-1 runs: `EVETH_CHECK_SCHEDULES` if set, else
+/// `deep` under `EVETH_FULL=1`, else `quick`.
+pub fn schedule_count(quick: usize, deep: usize) -> usize {
+    if let Ok(v) = std::env::var("EVETH_CHECK_SCHEDULES") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("EVETH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        deep
+    } else {
+        quick
+    }
+}

@@ -1,0 +1,750 @@
+//! The happens-before checker: a [`Probe`] that threads vector clocks
+//! through every causality edge the runtime exposes — `sys_fork`,
+//! park/unpark, channel/MVar transfers, mutex release→acquire, STM commit
+//! order — and derives four classes of finding:
+//!
+//! * **unjustified wakeups** — a thread was woken through a resource by a
+//!   waker whose clock had not seen the sleeper's registration;
+//! * **lost wakeups** — at quiescence, a thread is still parked on a
+//!   resource whose availability *grew* after the registration (the wake
+//!   it was owed went somewhere else — e.g. consumed by a cancelled
+//!   `choose` loser that did not pass the baton);
+//! * **deadlocks** — a cycle in the waits-for graph over parked threads
+//!   and mutex holders, reported with thread spans and resource names;
+//! * **data races** — two accesses to a declared shared cell (see
+//!   [`crate::shared::Shared`]) unordered by the happens-before relation.
+//!
+//! The checker is *monitor-based*: every instrumented resource carries a
+//! monitor clock that operations join and publish, so any two operations
+//! on the same resource are ordered — matching the mutual exclusion the
+//! primitives' internal locks actually provide. Registration ops
+//! (`BlockTake`/`BlockPut`) publish **without ticking** the registering
+//! thread's component: all registrations of one multi-way `choose` park
+//! share a single epoch, so a waker that saw *any* of them is justified.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use eveth_core::check::{OpKind, Probe, ResKind};
+use eveth_core::engine::WaitKind;
+use parking_lot::Mutex;
+
+/// A vector clock: monadic thread id → event count.
+pub type VClock = BTreeMap<u64, u64>;
+
+fn join(into: &mut VClock, other: &VClock) {
+    for (&t, &c) in other {
+        let e = into.entry(t).or_insert(0);
+        if c > *e {
+            *e = c;
+        }
+    }
+}
+
+/// One registration a parked thread holds on an instrumented resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitOn {
+    /// Resource id.
+    pub rid: u64,
+    /// Resource kind.
+    pub res: ResKind,
+    /// Which side the thread waits on: `0` = taker, `1` = putter.
+    pub side: usize,
+    /// Availability snapshot the registration observed.
+    pub reg_avail: [u64; 2],
+}
+
+/// A correctness finding. `Debug` output is deterministic for a
+/// deterministic schedule, so replay digests can compare violations
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A wake attributed to `rid` whose waker had not observed the
+    /// target's registration epoch.
+    UnjustifiedWake {
+        /// The woken thread.
+        target: u64,
+        /// Telemetry span of the woken thread, if annotated.
+        target_span: Option<String>,
+        /// The waking thread.
+        waker: u64,
+        /// Telemetry span of the waker, if annotated.
+        waker_span: Option<String>,
+        /// Resource (first-seen index) the wake was attributed to.
+        res: String,
+    },
+    /// A thread still parked at quiescence although the resource it
+    /// registered on became available after its registration.
+    LostWakeup {
+        /// The starved thread.
+        tid: u64,
+        /// Telemetry span of the starved thread, if annotated.
+        span: Option<String>,
+        /// Resource (first-seen index) it is parked on.
+        res: String,
+        /// Side it waits on: `0` = taker, `1` = putter.
+        side: usize,
+        /// Availability its registration saw.
+        reg_avail: u64,
+        /// Availability at quiescence — strictly greater.
+        final_avail: u64,
+    },
+    /// A cycle in the waits-for graph.
+    Deadlock {
+        /// The cycle, in order: each thread waits on the resource named
+        /// in its entry, held by the next thread in the list.
+        cycle: Vec<DeadlockNode>,
+    },
+    /// Two accesses to a declared shared cell unordered by happens-before.
+    Race {
+        /// Cell name as declared.
+        cell: String,
+        /// Earlier access: `(tid, span, was_write)`.
+        first: (u64, Option<String>, bool),
+        /// Later (racing) access: `(tid, span, was_write)`.
+        second: (u64, Option<String>, bool),
+    },
+}
+
+/// One hop of a deadlock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockNode {
+    /// The parked thread.
+    pub tid: u64,
+    /// Its telemetry span, if annotated.
+    pub span: Option<String>,
+    /// The resource (first-seen index) it is parked on.
+    pub res: String,
+    /// The thread holding that resource.
+    pub holder: u64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn who(tid: u64, span: &Option<String>) -> String {
+            match span {
+                Some(s) => format!("t{tid}[{s}]"),
+                None => format!("t{tid}"),
+            }
+        }
+        match self {
+            Violation::UnjustifiedWake {
+                target,
+                target_span,
+                waker,
+                waker_span,
+                res,
+            } => write!(
+                f,
+                "unjustified wakeup: {} woke {} via {} without having observed its registration",
+                who(*waker, waker_span),
+                who(*target, target_span),
+                res
+            ),
+            Violation::LostWakeup {
+                tid,
+                span,
+                res,
+                side,
+                reg_avail,
+                final_avail,
+            } => write!(
+                f,
+                "lost wakeup: {} parked as {} on {} (availability {} at registration, {} at quiescence)",
+                who(*tid, span),
+                if *side == 0 { "taker" } else { "putter" },
+                res,
+                reg_avail,
+                final_avail
+            ),
+            Violation::Deadlock { cycle } => {
+                write!(f, "deadlock:")?;
+                for n in cycle {
+                    write!(f, " {} waits on {} held by t{};", who(n.tid, &n.span), n.res, n.holder)?;
+                }
+                Ok(())
+            }
+            Violation::Race { cell, first, second } => write!(
+                f,
+                "data race on {cell}: {} {} unordered with {} {}",
+                who(first.0, &first.1),
+                if first.2 { "write" } else { "read" },
+                who(second.0, &second.1),
+                if second.2 { "write" } else { "read" },
+            ),
+        }
+    }
+}
+
+/// End-of-run residue audit (the runtime-level version of the ad-hoc
+/// assertions in `tests/scale.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct LeakReport {
+    /// Threads still alive at quiescence: `(tid, span, parked)`.
+    pub live_threads: Vec<(u64, Option<String>, Option<WaitKind>)>,
+    /// Wait-queue registrations still held by parked threads.
+    pub registrations: usize,
+    /// Armed (uncancelled, unfired) virtual timers.
+    pub armed_timers: usize,
+}
+
+impl LeakReport {
+    /// True when nothing outlived the run.
+    pub fn is_clean(&self) -> bool {
+        self.live_threads.is_empty() && self.registrations == 0 && self.armed_timers == 0
+    }
+}
+
+/// Everything one checked run produced.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// All findings, in detection order.
+    pub violations: Vec<Violation>,
+    /// Residue audit at quiescence.
+    pub leak: LeakReport,
+    /// Hash chain over the sequence of scheduled thread ids — two runs
+    /// with equal fingerprints executed the same schedule.
+    pub fingerprint: u64,
+    /// Number of scheduler turns the run took.
+    pub schedule_len: u64,
+}
+
+impl CheckReport {
+    /// True when the run produced no findings.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A stable digest of the run: fingerprint, schedule length and all
+    /// findings. Two replays of the same `(seed, config)` must produce
+    /// byte-identical digests.
+    pub fn digest(&self) -> String {
+        format!(
+            "{:016x}/{} {:?}",
+            self.fingerprint, self.schedule_len, self.violations
+        )
+    }
+}
+
+struct ThreadSt {
+    clock: VClock,
+    span: Option<String>,
+    parked: Option<(WaitKind, Vec<WaitOn>)>,
+    alive: bool,
+}
+
+struct ResSt {
+    kind: ResKind,
+    monitor: VClock,
+    holder: Option<u64>,
+    last_avail: [u64; 2],
+    index: usize,
+}
+
+struct CellAccess {
+    tid: u64,
+    epoch: u64,
+    span: Option<String>,
+    write: bool,
+}
+
+struct CellSt {
+    last_write: Option<CellAccess>,
+    reads: Vec<CellAccess>,
+    reported: bool,
+}
+
+#[derive(Default)]
+struct HbState {
+    threads: BTreeMap<u64, ThreadSt>,
+    res: BTreeMap<u64, ResSt>,
+    cells: BTreeMap<u64, CellSt>,
+    violations: Vec<Violation>,
+    fingerprint: u64,
+    schedule_len: u64,
+}
+
+impl HbState {
+    fn thread(&mut self, tid: u64) -> &mut ThreadSt {
+        self.threads.entry(tid).or_insert_with(|| {
+            let mut clock = VClock::new();
+            clock.insert(tid, 1);
+            ThreadSt {
+                clock,
+                span: None,
+                parked: None,
+                alive: true,
+            }
+        })
+    }
+
+    fn res(&mut self, rid: u64, kind: ResKind) -> &mut ResSt {
+        let index = self.res.len();
+        self.res.entry(rid).or_insert_with(|| ResSt {
+            kind,
+            monitor: VClock::new(),
+            holder: None,
+            last_avail: [0, 0],
+            index,
+        })
+    }
+
+    fn res_name(&self, rid: u64) -> String {
+        match self.res.get(&rid) {
+            Some(r) => format!("{}#{}", r.kind.name(), r.index),
+            None => format!("res#{rid}"),
+        }
+    }
+
+    fn span_of(&self, tid: u64) -> Option<String> {
+        self.threads.get(&tid).and_then(|t| t.span.clone())
+    }
+}
+
+/// The happens-before probe. Attach one per run via
+/// `SimRuntime::set_check_probe`, drive the program, then call
+/// [`HbProbe::finish`].
+pub struct HbProbe {
+    st: Mutex<HbState>,
+}
+
+impl fmt::Debug for HbProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        write!(
+            f,
+            "HbProbe(threads={}, resources={}, violations={})",
+            st.threads.len(),
+            st.res.len(),
+            st.violations.len()
+        )
+    }
+}
+
+impl HbProbe {
+    /// A fresh probe with empty state.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HbProbe {
+            st: Mutex::new(HbState::default()),
+        })
+    }
+
+    /// Closes the run: applies the quiescence-only checks (lost wakeups,
+    /// deadlock cycles) and assembles the report. `armed_timers` comes
+    /// from the runtime (`SimRuntime::armed_timers`).
+    pub fn finish(&self, armed_timers: usize) -> CheckReport {
+        let mut st = self.st.lock();
+
+        // Lost wakeups: a parked registration whose side of the resource
+        // is *more* available now than when it registered was owed a wake
+        // that never arrived.
+        let mut lost = Vec::new();
+        for (&tid, t) in &st.threads {
+            let Some((_, regs)) = &t.parked else { continue };
+            for reg in regs {
+                let Some(r) = st.res.get(&reg.rid) else {
+                    continue;
+                };
+                if r.last_avail[reg.side] > reg.reg_avail[reg.side] {
+                    lost.push(Violation::LostWakeup {
+                        tid,
+                        span: t.span.clone(),
+                        res: format!("{}#{}", r.kind.name(), r.index),
+                        side: reg.side,
+                        reg_avail: reg.reg_avail[reg.side],
+                        final_avail: r.last_avail[reg.side],
+                    });
+                }
+            }
+        }
+        st.violations.extend(lost);
+
+        // Waits-for graph: each parked thread blocked on exactly one
+        // mutex with a known live holder contributes one edge. Every node
+        // has at most one outgoing edge, so cycle detection is pointer
+        // chasing.
+        let mut edges: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // tid -> (holder, rid)
+        for (&tid, t) in &st.threads {
+            let Some((_, regs)) = &t.parked else { continue };
+            let [reg] = regs.as_slice() else { continue };
+            let Some(r) = st.res.get(&reg.rid) else {
+                continue;
+            };
+            if r.kind == ResKind::Mutex {
+                if let Some(h) = r.holder {
+                    if h != tid {
+                        edges.insert(tid, (h, reg.rid));
+                    }
+                }
+            }
+        }
+        let mut in_cycle: Vec<u64> = Vec::new();
+        let mut cycles: Vec<Vec<u64>> = Vec::new();
+        for &start in edges.keys() {
+            if in_cycle.contains(&start) {
+                continue;
+            }
+            let mut path = vec![start];
+            let mut cur = start;
+            while let Some(&(next, _)) = edges.get(&cur) {
+                if let Some(pos) = path.iter().position(|&p| p == next) {
+                    let cycle: Vec<u64> = path[pos..].to_vec();
+                    if !cycles.iter().any(|c| c.contains(&cycle[0])) {
+                        in_cycle.extend(cycle.iter().copied());
+                        cycles.push(cycle);
+                    }
+                    break;
+                }
+                path.push(next);
+                cur = next;
+            }
+        }
+        let deadlocks: Vec<Violation> = cycles
+            .into_iter()
+            .map(|cycle| Violation::Deadlock {
+                cycle: cycle
+                    .iter()
+                    .map(|&tid| {
+                        let (holder, rid) = edges[&tid];
+                        DeadlockNode {
+                            tid,
+                            span: st.span_of(tid),
+                            res: st.res_name(rid),
+                            holder,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        st.violations.extend(deadlocks);
+
+        let live_threads: Vec<(u64, Option<String>, Option<WaitKind>)> = st
+            .threads
+            .iter()
+            .filter(|(_, t)| t.alive)
+            .map(|(&tid, t)| (tid, t.span.clone(), t.parked.as_ref().map(|(k, _)| *k)))
+            .collect();
+        let registrations = st
+            .threads
+            .values()
+            .filter_map(|t| t.parked.as_ref())
+            .map(|(_, regs)| regs.len())
+            .sum();
+
+        CheckReport {
+            violations: st.violations.clone(),
+            leak: LeakReport {
+                live_threads,
+                registrations,
+                armed_timers,
+            },
+            fingerprint: st.fingerprint,
+            schedule_len: st.schedule_len,
+        }
+    }
+}
+
+impl Probe for HbProbe {
+    fn on_scheduled(&self, tid: u64) {
+        let mut st = self.st.lock();
+        // splitmix64-style chain, keyed by turn order and tid.
+        let mut x = st.fingerprint ^ tid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = eveth_simos::desrt::splitmix64(&mut x);
+        st.fingerprint = x;
+        st.schedule_len += 1;
+        st.thread(tid);
+    }
+
+    fn on_spawn(&self, tid: u64, parent: Option<u64>) {
+        let mut st = self.st.lock();
+        let parent_clock = parent.and_then(|p| st.threads.get(&p).map(|t| t.clock.clone()));
+        let child = st.thread(tid);
+        if let Some(pc) = parent_clock {
+            join(&mut child.clock, &pc);
+            *child.clock.entry(tid).or_insert(0) += 1;
+        }
+    }
+
+    fn on_exit(&self, tid: u64) {
+        let mut st = self.st.lock();
+        let t = st.thread(tid);
+        t.alive = false;
+        t.parked = None;
+    }
+
+    fn on_park(&self, tid: u64, kind: WaitKind) {
+        let mut st = self.st.lock();
+        st.thread(tid).parked = Some((kind, Vec::new()));
+    }
+
+    fn on_wake(&self, target: u64, waker: Option<u64>, rid: Option<u64>) {
+        let mut st = self.st.lock();
+        st.thread(target);
+
+        // Justification: a wake attributed to a resource must come from a
+        // waker that has observed the target's registration epoch (the
+        // registration published the target's clock to the resource
+        // monitor; any op the waker did on that resource joined it).
+        if let (Some(w), Some(r)) = (waker, rid) {
+            if w != target {
+                let target_epoch = st
+                    .threads
+                    .get(&target)
+                    .and_then(|t| t.clock.get(&target).copied())
+                    .unwrap_or(0);
+                let waker_knows = st
+                    .threads
+                    .get(&w)
+                    .and_then(|t| t.clock.get(&target).copied())
+                    .unwrap_or(0);
+                if waker_knows < target_epoch {
+                    let v = Violation::UnjustifiedWake {
+                        target,
+                        target_span: st.span_of(target),
+                        waker: w,
+                        waker_span: st.span_of(w),
+                        res: st.res_name(r),
+                    };
+                    st.violations.push(v);
+                }
+            }
+        }
+
+        let waker_clock = waker.and_then(|w| st.threads.get(&w).map(|t| t.clock.clone()));
+        let t = st.thread(target);
+        if let Some(wc) = waker_clock {
+            join(&mut t.clock, &wc);
+        }
+        *t.clock.entry(target).or_insert(0) += 1;
+        t.parked = None;
+    }
+
+    fn on_annotate(&self, tid: u64, name: &str) {
+        let mut st = self.st.lock();
+        st.thread(tid).span = Some(name.to_string());
+    }
+
+    fn on_op(&self, tid: Option<u64>, rid: u64, res: ResKind, op: OpKind, avail: [u64; 2]) {
+        let mut st = self.st.lock();
+        {
+            let r = st.res(rid, res);
+            r.last_avail = avail;
+        }
+        let Some(tid) = tid else {
+            // Op outside any monadic turn (host-thread setup): track
+            // availability and holders, but there is no clock to thread.
+            if op == OpKind::Release {
+                st.res(rid, res).holder = None;
+            }
+            return;
+        };
+        match op {
+            OpKind::Acquire => st.res(rid, res).holder = Some(tid),
+            OpKind::Release => st.res(rid, res).holder = None,
+            _ => {}
+        }
+
+        st.thread(tid);
+        let monitor = st
+            .res
+            .get(&rid)
+            .map(|r| r.monitor.clone())
+            .unwrap_or_default();
+        let registering = matches!(op, OpKind::BlockTake | OpKind::BlockPut);
+        let clock = {
+            let t = st.thread(tid);
+            join(&mut t.clock, &monitor);
+            if !registering {
+                // Registrations share the park's epoch: do not tick, so a
+                // waker that saw *any* registration of this park (through
+                // any of the choose branches' resources) is justified.
+                *t.clock.entry(tid).or_insert(0) += 1;
+            }
+            t.clock.clone()
+        };
+        {
+            let r = st.res(rid, res);
+            join(&mut r.monitor, &clock);
+        }
+        if registering {
+            let side = if op == OpKind::BlockTake { 0 } else { 1 };
+            let t = st.thread(tid);
+            if let Some((_, regs)) = &mut t.parked {
+                regs.push(WaitOn {
+                    rid,
+                    res,
+                    side,
+                    reg_avail: avail,
+                });
+            }
+        }
+    }
+
+    fn on_access(&self, tid: u64, cell: u64, name: &str, write: bool) {
+        let mut st = self.st.lock();
+        st.thread(tid);
+        let clock = st.thread(tid).clock.clone();
+        let span = st.span_of(tid);
+        let epoch = clock.get(&tid).copied().unwrap_or(0);
+        let cell_st = st.cells.entry(cell).or_insert_with(|| CellSt {
+            last_write: None,
+            reads: Vec::new(),
+            reported: false,
+        });
+
+        let mut race: Option<Violation> = None;
+        let mut check_prior = |prior: &CellAccess, reported: &mut bool| {
+            if prior.tid != tid
+                && clock.get(&prior.tid).copied().unwrap_or(0) < prior.epoch
+                && !*reported
+            {
+                *reported = true;
+                race = Some(Violation::Race {
+                    cell: name.to_string(),
+                    first: (prior.tid, prior.span.clone(), prior.write),
+                    second: (tid, span.clone(), write),
+                });
+            }
+        };
+        let mut reported = cell_st.reported;
+        if let Some(w) = &cell_st.last_write {
+            check_prior(w, &mut reported);
+        }
+        if write {
+            for r in &cell_st.reads {
+                check_prior(r, &mut reported);
+            }
+        }
+        cell_st.reported = reported;
+
+        if write {
+            cell_st.last_write = Some(CellAccess {
+                tid,
+                epoch,
+                span: span.clone(),
+                write: true,
+            });
+            cell_st.reads.clear();
+        } else {
+            match cell_st.reads.iter_mut().find(|r| r.tid == tid) {
+                Some(r) => r.epoch = epoch,
+                None => cell_st.reads.push(CellAccess {
+                    tid,
+                    epoch,
+                    span: span.clone(),
+                    write: false,
+                }),
+            }
+        }
+        if let Some(v) = race {
+            st.violations.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_edge_orders_parent_before_child() {
+        let p = HbProbe::new();
+        p.on_scheduled(1);
+        p.on_access(1, 10, "cell", true);
+        p.on_spawn(2, Some(1));
+        p.on_scheduled(2);
+        p.on_access(2, 10, "cell", true);
+        let report = p.finish(0);
+        assert!(report.passed(), "fork edge must order accesses: {report:?}");
+    }
+
+    #[test]
+    fn unordered_writes_race() {
+        let p = HbProbe::new();
+        p.on_spawn(1, None);
+        p.on_spawn(2, None);
+        p.on_scheduled(1);
+        p.on_access(1, 10, "cell", true);
+        p.on_scheduled(2);
+        p.on_access(2, 10, "cell", true);
+        let report = p.finish(0);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(report.violations[0], Violation::Race { .. }));
+    }
+
+    #[test]
+    fn monitor_orders_cross_thread_ops() {
+        // t1 publishes through a channel op; t2 consumes through the same
+        // channel: t2's write is ordered after t1's.
+        let p = HbProbe::new();
+        p.on_scheduled(1);
+        p.on_access(1, 10, "cell", true);
+        p.on_op(Some(1), 77, ResKind::Chan, OpKind::Publish, [1, 0]);
+        p.on_scheduled(2);
+        p.on_op(Some(2), 77, ResKind::Chan, OpKind::Consume, [0, 0]);
+        p.on_access(2, 10, "cell", true);
+        assert!(p.finish(0).passed());
+    }
+
+    #[test]
+    fn abba_cycle_is_detected() {
+        let p = HbProbe::new();
+        // t1 holds mutex A (rid 1), t2 holds mutex B (rid 2); both park on
+        // the other.
+        p.on_scheduled(1);
+        p.on_op(Some(1), 1, ResKind::Mutex, OpKind::Acquire, [0, 0]);
+        p.on_scheduled(2);
+        p.on_op(Some(2), 2, ResKind::Mutex, OpKind::Acquire, [0, 0]);
+        p.on_park(1, WaitKind::Lock);
+        p.on_op(Some(1), 2, ResKind::Mutex, OpKind::BlockTake, [0, 0]);
+        p.on_park(2, WaitKind::Lock);
+        p.on_op(Some(2), 1, ResKind::Mutex, OpKind::BlockTake, [0, 0]);
+        let report = p.finish(0);
+        assert_eq!(report.violations.len(), 1, "{report:?}");
+        assert!(matches!(&report.violations[0], Violation::Deadlock { cycle } if cycle.len() == 2));
+    }
+
+    #[test]
+    fn parked_taker_with_grown_avail_is_lost_wakeup() {
+        let p = HbProbe::new();
+        p.on_scheduled(1);
+        p.on_park(1, WaitKind::Lock);
+        p.on_op(Some(1), 5, ResKind::Chan, OpKind::BlockTake, [0, 0]);
+        p.on_scheduled(2);
+        p.on_op(Some(2), 5, ResKind::Chan, OpKind::Publish, [1, 0]);
+        // Nobody woke t1 although an item arrived.
+        let report = p.finish(0);
+        assert!(matches!(
+            &report.violations[..],
+            [Violation::LostWakeup { tid: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn justified_wake_passes_unjustified_fails() {
+        let p = HbProbe::new();
+        p.on_scheduled(1);
+        p.on_park(1, WaitKind::Lock);
+        p.on_op(Some(1), 5, ResKind::Chan, OpKind::BlockTake, [0, 0]);
+        // t2 publishes (joins the monitor, so it has seen t1's
+        // registration) then wakes t1: justified.
+        p.on_scheduled(2);
+        p.on_op(Some(2), 5, ResKind::Chan, OpKind::Publish, [1, 0]);
+        p.on_wake(1, Some(2), Some(5));
+        assert!(p.finish(0).passed());
+
+        let p = HbProbe::new();
+        p.on_scheduled(1);
+        p.on_park(1, WaitKind::Lock);
+        p.on_op(Some(1), 5, ResKind::Chan, OpKind::BlockTake, [0, 0]);
+        // t3 wakes t1 via the channel without any op on it: unjustified.
+        p.on_scheduled(3);
+        p.on_wake(1, Some(3), Some(5));
+        let report = p.finish(0);
+        assert!(matches!(
+            &report.violations[..],
+            [Violation::UnjustifiedWake { .. }]
+        ));
+    }
+}

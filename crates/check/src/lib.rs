@@ -1,0 +1,36 @@
+//! # eveth-check — correctness tooling over the deterministic sim
+//!
+//! The paper's pitch is that application-level, monadic concurrency makes
+//! scheduling explicit enough to *reason about*. This crate weaponizes
+//! that: the deterministic simulator ([`eveth_simos::desrt`]) already
+//! replays any schedule byte-for-byte, so correctness checking becomes
+//! (1) *explore* many schedules, (2) *check* each one against a
+//! happens-before model, (3) *replay* any failure exactly from its
+//! `(seed, config)`.
+//!
+//! * [`explore::Explorer`] — reruns a closed sim program under `n`
+//!   interleavings: schedule 0 is the golden Fifo schedule, the rest are
+//!   PCT-style random-priority schedules
+//!   ([`eveth_simos::desrt::SchedulePolicy::Pct`]) from a deterministic
+//!   seed family.
+//! * [`hb::HbProbe`] — vector clocks threaded through `sys_fork`,
+//!   park/unpark, channel/MVar transfers, mutex release→acquire and STM
+//!   commit order; reports unjustified wakeups, lost wakeups, waits-for
+//!   deadlock cycles (with telemetry span names) and happens-before races
+//!   on [`shared::Shared`] cells, plus an end-of-run
+//!   [`hb::LeakReport`].
+//! * [`lint`] — a source lint for monadic anti-patterns (blocking calls
+//!   inside `sys_nbio`, lock guards held across `sync` points), run in CI
+//!   via the `eveth_lint` binary.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod explore;
+pub mod hb;
+pub mod lint;
+pub mod shared;
+
+pub use explore::{schedule_count, Exploration, Explorer, RunRecord};
+pub use hb::{CheckReport, DeadlockNode, HbProbe, LeakReport, Violation};
+pub use shared::Shared;

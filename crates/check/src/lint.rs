@@ -1,0 +1,541 @@
+//! A source-level lint for monadic anti-patterns.
+//!
+//! No parser framework is available in this build environment, so the
+//! lint works on a *masked* copy of each source file — comments and
+//! string/char literals blanked out, byte positions and line numbers
+//! preserved — with hand-rolled paren/brace matching. Two rules:
+//!
+//! * **`nbio-blocking`** — a blocking construct (`sync(..)`,
+//!   `block_on(..)`, `sys_park`/`sys_sleep`/`sys_epoll_wait`,
+//!   `atomically(..)`) inside a `sys_nbio(..)` / `with_nbio(..)` closure.
+//!   An nbio step is promised to be non-blocking; building or driving a
+//!   blocking computation inside one either deadlocks the worker or
+//!   silently discards the blocking part.
+//! * **`guard-across-sync`** — a `let g = ….lock();` guard still live
+//!   (not dropped, block not closed) when one of the same blocking
+//!   constructs runs. Parking the monadic thread while holding a host
+//!   lock is a classic lost-wakeup/deadlock source.
+//!
+//! Findings can be waived with an allowlist comment on the same line or
+//! the line above: `// lint: allow(nbio-blocking)` or
+//! `// lint: allow(guard-across-sync)`.
+
+use std::fmt;
+
+/// Which rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Blocking construct inside a `sys_nbio`/`with_nbio` closure.
+    NbioBlocking,
+    /// Lock guard held across a blocking construct.
+    GuardAcrossSync,
+}
+
+impl Rule {
+    /// The rule's allowlist name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NbioBlocking => "nbio-blocking",
+            Rule::GuardAcrossSync => "guard-across-sync",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the finding is in (as passed to [`scan_source`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Calls that park, sleep or otherwise drive the scheduler — never legal
+/// inside an nbio step, dangerous under a held guard.
+const BLOCKING: &[&str] = &[
+    "sync",
+    "block_on",
+    "block_on_result",
+    "sys_park",
+    "sys_sleep",
+    "sys_epoll_wait",
+    "atomically",
+];
+
+/// Replaces comment bodies and string/char literal contents with spaces,
+/// preserving length and newlines, so position-based scanning sees only
+/// code. Returns the masked text.
+fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"…" / r#"…"# (also br…, caught via the b
+                // arm falling through to here is unnecessary: br is rare
+                // in this tree).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    // find closing quote followed by `hashes` hashes
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut h = 0;
+                            while k < b.len() && h < hashes && b[k] == b'#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for &c in &b[start..j.min(b.len())] {
+                        out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = j;
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime ('a, 'static) has
+                // no closing quote within a few chars of ident; detect a
+                // char literal as 'x' or '\x…'.
+                let is_char = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    true
+                } else {
+                    i + 2 < b.len() && b[i + 2] == b'\''
+                };
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("mask preserves ascii structure")
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offset of each line start, for position → line translation.
+fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], pos: usize) -> usize {
+    starts.partition_point(|&s| s <= pos)
+}
+
+/// True if `line` (1-based) or the line above carries
+/// `lint: allow(<rule>)` in the *original* (unmasked) source.
+fn allowed(src_lines: &[&str], rule: Rule, line: usize) -> bool {
+    let needle = format!("lint: allow({})", rule.name());
+    [line.saturating_sub(1), line]
+        .iter()
+        .filter(|&&l| l >= 1 && l <= src_lines.len())
+        .any(|&l| src_lines[l - 1].contains(&needle))
+}
+
+/// Finds whole-word occurrences of `word` in `hay[range]`, returning
+/// byte positions. A match must not be preceded by an identifier char or
+/// `.`, and must be followed by optional whitespace then `(`.
+fn call_sites(hay: &str, from: usize, to: usize, word: &str) -> Vec<usize> {
+    let b = hay.as_bytes();
+    let mut found = Vec::new();
+    let mut i = from;
+    while let Some(off) = hay[i..to.min(hay.len())].find(word) {
+        let pos = i + off;
+        i = pos + word.len();
+        if pos > 0 && (is_ident(b[pos - 1]) || b[pos - 1] == b'.') {
+            continue;
+        }
+        let mut j = pos + word.len();
+        if j < b.len() && is_ident(b[j]) {
+            continue;
+        }
+        while j < b.len() && (b[j] == b' ' || b[j] == b'\n' || b[j] == b'\t') {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'(' {
+            found.push(pos);
+        }
+        if i >= to {
+            break;
+        }
+    }
+    found
+}
+
+/// Position of the `)` / `}` matching the opener at `open` (which must
+/// point at `(` or `{`), or end of text.
+fn matching_close(masked: &str, open: usize) -> usize {
+    let b = masked.as_bytes();
+    let (inc, dec) = match b[open] {
+        b'(' => (b'(', b')'),
+        _ => (b'{', b'}'),
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        // Only track the one bracket family: the masked text guarantees
+        // no bracket chars hide in strings or comments.
+        if b[i] == inc {
+            depth += 1;
+        } else if b[i] == dec {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    masked.len()
+}
+
+/// Scans one source file; `file` is the label used in diagnostics.
+pub fn scan_source(file: &str, src: &str) -> Vec<Diagnostic> {
+    let masked = mask(src);
+    let starts = line_starts(src);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    // Rule 1: blocking constructs inside sys_nbio / with_nbio closures.
+    for entry in ["sys_nbio", "with_nbio"] {
+        for pos in call_sites(&masked, 0, masked.len(), entry) {
+            let Some(open_rel) = masked[pos..].find('(') else {
+                continue;
+            };
+            let open = pos + open_rel;
+            let close = matching_close(&masked, open);
+            for marker in BLOCKING {
+                for hit in call_sites(&masked, open + 1, close, marker) {
+                    let line = line_of(&starts, hit);
+                    if allowed(&src_lines, Rule::NbioBlocking, line)
+                        || allowed(&src_lines, Rule::NbioBlocking, line_of(&starts, pos))
+                    {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line,
+                        rule: Rule::NbioBlocking,
+                        message: format!(
+                            "`{marker}(..)` inside a `{entry}` closure: nbio steps must not block"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 2: lock guard live across a blocking construct. Find
+    // `let [mut] NAME = ….lock();` and scan until `drop(NAME)`, a
+    // rebinding, or the end of the enclosing block.
+    let mb = masked.as_bytes();
+    let mut i = 0;
+    while let Some(off) = masked[i..].find(".lock()") {
+        let lock_pos = i + off;
+        i = lock_pos + 7;
+        // Walk back to the statement start and check it is a `let`.
+        let stmt_start = masked[..lock_pos]
+            .rfind([';', '{', '}'])
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        let stmt = &masked[stmt_start..lock_pos];
+        let trimmed = stmt.trim_start();
+        if !trimmed.starts_with("let ") {
+            continue;
+        }
+        // `.lock()` must end the initializer: `= <expr>.lock();`.
+        let after = lock_pos + 7;
+        if after >= mb.len() || mb[after] != b';' {
+            continue;
+        }
+        let mut name = trimmed[4..].trim_start();
+        if let Some(rest) = name.strip_prefix("mut ") {
+            name = rest;
+        }
+        let name_end = name
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(name.len());
+        let name = &name[..name_end];
+        if name.is_empty() || name == "_" {
+            continue;
+        }
+        // Scope end: the `}` closing the block this statement lives in.
+        let mut depth = 0i64;
+        let mut scope_end = masked.len();
+        let mut k = after;
+        while k < mb.len() {
+            match mb[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        scope_end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        // Early release via drop(NAME).
+        let drop_call = format!("drop({name})");
+        let live_end = masked[after..scope_end]
+            .find(&drop_call)
+            .map(|p| after + p)
+            .unwrap_or(scope_end);
+        let guard_line = line_of(&starts, lock_pos);
+        for marker in BLOCKING {
+            for hit in call_sites(&masked, after, live_end, marker) {
+                let line = line_of(&starts, hit);
+                if allowed(&src_lines, Rule::GuardAcrossSync, line)
+                    || allowed(&src_lines, Rule::GuardAcrossSync, guard_line)
+                {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::GuardAcrossSync,
+                    message: format!(
+                        "`{marker}(..)` while guard `{name}` (taken on line {guard_line}) is still held"
+                    ),
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_sync_inside_nbio() {
+        let src = r#"
+fn bad() {
+    sys_nbio(move || {
+        let v = sync(ch.read_evt());
+        v
+    });
+}
+"#;
+        let d = scan_source("x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::NbioBlocking);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn clean_nbio_passes() {
+        let src = r#"
+fn good() {
+    sys_nbio(move || counter.fetch_add(1, Ordering::SeqCst));
+    sync(ch.read_evt());
+}
+"#;
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_comment_waives() {
+        let src = r#"
+fn waived() {
+    sys_nbio(move || {
+        // lint: allow(nbio-blocking)
+        block_on(program());
+    });
+}
+"#;
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_guard_across_sync() {
+        let src = r#"
+fn bad() {
+    let st = state.lock();
+    let v = sync(ch.read_evt());
+    drop(st);
+}
+"#;
+        let d = scan_source("x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::GuardAcrossSync);
+    }
+
+    #[test]
+    fn dropped_guard_passes() {
+        let src = r#"
+fn good() {
+    let st = state.lock();
+    let n = st.len();
+    drop(st);
+    sync(ch.read_evt());
+}
+"#;
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block() {
+        let src = r#"
+fn good() {
+    {
+        let st = state.lock();
+        st.push(1);
+    }
+    block_on(program());
+}
+"#;
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn markers_in_strings_and_comments_ignored() {
+        let src = r#"
+fn good() {
+    sys_nbio(move || {
+        // calling sync(..) here would be bad
+        let s = "sync(evt)";
+        s.len()
+    });
+}
+"#;
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn path_qualified_sync_is_flagged() {
+        let src = r#"
+fn bad() {
+    sys_nbio(move || event::sync(ch.read_evt()));
+}
+"#;
+        let d = scan_source("x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn sync_module_path_not_flagged() {
+        let src = r#"
+use crate::sync::Mutex;
+fn good() {
+    sys_nbio(move || sync::helper_value());
+}
+"#;
+        // `sync::helper_value()` — `sync` is a module segment here, not a
+        // call (next char after the word is `:`), so nothing fires.
+        assert!(scan_source("x.rs", src).is_empty());
+    }
+}

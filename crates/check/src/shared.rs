@@ -1,0 +1,76 @@
+//! A declared shared cell: a mutable value whose reads and writes are
+//! reported to the attached probe for happens-before race checking.
+//!
+//! The cell itself is internally synchronized (a `parking_lot` lock), so
+//! it is never a *memory* race — what the checker flags is the absence of
+//! a happens-before edge between accesses, i.e. an *ordering* race: two
+//! threads touching shared state without any synchronization protocol
+//! between them, which under a different schedule reorders.
+
+use std::fmt;
+use std::sync::Arc;
+
+use eveth_core::check;
+
+struct SharedInner<T> {
+    cell: parking_lot::Mutex<T>,
+    id: u64,
+    name: String,
+}
+
+/// A probe-tracked shared mutable cell for use inside `sys_nbio` steps.
+pub struct Shared<T> {
+    inner: Arc<SharedInner<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static> Shared<T> {
+    /// A new tracked cell; `name` appears in race reports.
+    pub fn new(name: &str, value: T) -> Self {
+        Shared {
+            inner: Arc::new(SharedInner {
+                cell: parking_lot::Mutex::new(value),
+                id: check::new_cell_id(),
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Replaces the value (a tracked write).
+    pub fn set(&self, value: T) {
+        check::access(self.inner.id, &self.inner.name, true);
+        *self.inner.cell.lock() = value;
+    }
+
+    /// Mutates in place (a tracked write).
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        check::access(self.inner.id, &self.inner.name, true);
+        f(&mut self.inner.cell.lock())
+    }
+
+    /// Observes without mutating (a tracked read).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        check::access(self.inner.id, &self.inner.name, false);
+        f(&self.inner.cell.lock())
+    }
+}
+
+impl<T: Clone + Send + 'static> Shared<T> {
+    /// Clones the value out (a tracked read).
+    pub fn get(&self) -> T {
+        self.with(|v| v.clone())
+    }
+}
+
+impl<T> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared({})", self.inner.name)
+    }
+}

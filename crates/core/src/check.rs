@@ -1,0 +1,304 @@
+//! Concurrency-check instrumentation: the probe interface the correctness
+//! tooling (`eveth-check`) attaches to a runtime, plus the thread-local
+//! plumbing the synchronization primitives use to report their protocol
+//! events.
+//!
+//! The design mirrors [`crate::telemetry`]: a runtime owns an optional
+//! [`Probe`] (first attach wins), every hook is a no-op when nothing is
+//! attached, and **no hook ever charges the cost model** — attaching a
+//! probe must not move virtual time or change a schedule. The primitives
+//! (`Mutex`, `Chan`, `SyncChan`, `MVar`, `Signal`, STM `TVar`s) report
+//! three things through this module:
+//!
+//! * **operations** ([`op`]) — acquire/release, publish/consume,
+//!   waiter registration — each carrying the resource id, kind, and an
+//!   *availability snapshot* taken under the primitive's own lock;
+//! * **wake attribution** ([`wake_scope`]) — an RAII scope wrapping the
+//!   section of an operation that wakes waiters, so the runtime's
+//!   `push_ready` can attribute the resulting wakeups to the resource
+//!   (and to the waking thread);
+//! * **shared-cell accesses** ([`access`]) — reads/writes of cells a test
+//!   has declared interesting, for happens-before race checking.
+//!
+//! Everything here is observational. A probe receives events; it never
+//! influences execution.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::engine::WaitKind;
+
+/// What kind of synchronization resource an [`op`] happened on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResKind {
+    /// A monadic [`crate::sync::Mutex`].
+    Mutex,
+    /// An unbounded [`crate::sync::Chan`].
+    Chan,
+    /// A bounded [`crate::sync::SyncChan`].
+    SyncChan,
+    /// An [`crate::sync::MVar`].
+    MVar,
+    /// A [`crate::event::Signal`] broadcast.
+    Signal,
+    /// An STM transactional variable.
+    Stm,
+}
+
+impl ResKind {
+    /// Human-readable name used in check reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResKind::Mutex => "Mutex",
+            ResKind::Chan => "Chan",
+            ResKind::SyncChan => "SyncChan",
+            ResKind::MVar => "MVar",
+            ResKind::Signal => "Signal",
+            ResKind::Stm => "TVar",
+        }
+    }
+}
+
+/// What a reported [`op`] did to its resource.
+///
+/// The availability snapshot on each op is a two-sided `[u64; 2]`:
+/// side `0` is what *takers* wait for (queued items, an unlocked mutex, a
+/// fired signal, a tvar's commit version), side `1` what *putters* wait
+/// for (free capacity, an empty MVar). A thread parked on side `s` while
+/// the final snapshot exceeds the snapshot its registration saw is a lost
+/// wakeup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Mutex lock taken (the reporting thread is now the holder).
+    Acquire,
+    /// Mutex lock released.
+    Release,
+    /// The resource became (more) available to takers: a send, a put, a
+    /// signal fire, an STM commit.
+    Publish,
+    /// A taker consumed availability: a receive, a take.
+    Consume,
+    /// The reporting thread registered as a parked *taker* (side 0).
+    BlockTake,
+    /// The reporting thread registered as a parked *putter* (side 1).
+    BlockPut,
+    /// A consumed-but-unused wakeup was passed to the next waiter.
+    Baton,
+}
+
+/// Observer interface for a runtime's concurrency events. All methods
+/// default to no-ops so probes implement only what they need; every
+/// method must be cheap and must not call back into the runtime.
+pub trait Probe: Send + Sync {
+    /// A scheduler turn started for `tid` (one event per turn — the
+    /// sequence of these is the schedule fingerprint).
+    fn on_scheduled(&self, _tid: u64) {}
+    /// Thread `tid` was created; `parent` is the forking thread for
+    /// `sys_fork`, `None` for runtime-level spawns.
+    fn on_spawn(&self, _tid: u64, _parent: Option<u64>) {}
+    /// Thread `tid` finished (normally or via an uncaught exception).
+    fn on_exit(&self, _tid: u64) {}
+    /// Thread `tid` blocked (`sys_park` / `sys_epoll_wait` / `sys_sleep`).
+    fn on_park(&self, _tid: u64, _kind: WaitKind) {}
+    /// A parked thread was made runnable. `waker` is the monadic thread
+    /// whose turn performed the wake (`None` for clock/device wakes from
+    /// outside any turn), `rid` the resource the wake is attributed to
+    /// (`None` when the wake did not come from an instrumented
+    /// primitive's wake section).
+    fn on_wake(&self, _target: u64, _waker: Option<u64>, _rid: Option<u64>) {}
+    /// Thread `tid` named its telemetry span.
+    fn on_annotate(&self, _tid: u64, _name: &str) {}
+    /// A synchronization operation on resource `rid`. `tid` is `None`
+    /// when the op happened outside any monadic turn (setup code on a
+    /// host thread).
+    fn on_op(&self, _tid: Option<u64>, _rid: u64, _res: ResKind, _op: OpKind, _avail: [u64; 2]) {}
+    /// A declared shared cell was read (`write == false`) or written.
+    fn on_access(&self, _tid: u64, _cell: u64, _name: &str, _write: bool) {}
+}
+
+// Fast path: stays false until the first turn ever runs with a probe
+// attached, so unprobed runs (every benchmark, all tier-1 suites) pay one
+// relaxed load per instrumented op and nothing else.
+static PROBES_EVER: AtomicBool = AtomicBool::new(false);
+
+static NEXT_RID: AtomicU64 = AtomicU64::new(1);
+static NEXT_CELL: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(u64, Arc<dyn Probe>)>> = const { RefCell::new(None) };
+    static WAKE_RID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Allocates a process-global resource id. Ids are only unique, not
+/// dense — probes should normalize to first-seen order for deterministic
+/// reports.
+pub fn new_rid() -> u64 {
+    NEXT_RID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocates a process-global shared-cell id (same caveat as [`new_rid`]).
+pub fn new_cell_id() -> u64 {
+    NEXT_CELL.fetch_add(1, Ordering::Relaxed)
+}
+
+/// RAII guard marking the current OS thread as executing one scheduler
+/// turn of monadic thread `tid`. Installed by the trace interpreter;
+/// everything [`op`]/[`access`]/[`wake_attribution`] report is relative
+/// to the innermost installed turn.
+#[derive(Debug)]
+pub struct TurnGuard {
+    installed: bool,
+}
+
+impl TurnGuard {
+    /// Enters a turn. With `probe == None` this is a no-op guard.
+    pub fn enter(tid: u64, probe: Option<Arc<dyn Probe>>) -> TurnGuard {
+        match probe {
+            None => TurnGuard { installed: false },
+            Some(p) => {
+                PROBES_EVER.store(true, Ordering::Relaxed);
+                p.on_scheduled(tid);
+                CURRENT.with(|c| *c.borrow_mut() = Some((tid, p)));
+                TurnGuard { installed: true }
+            }
+        }
+    }
+}
+
+impl Drop for TurnGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        }
+    }
+}
+
+/// RAII scope attributing any wakeups performed inside it to `rid`.
+/// Scopes nest; the innermost wins.
+#[derive(Debug)]
+pub struct WakeScope {
+    prev: Option<u64>,
+    active: bool,
+}
+
+/// Opens a [`WakeScope`] for `rid`. Free when no probe has ever attached.
+pub fn wake_scope(rid: u64) -> WakeScope {
+    if !PROBES_EVER.load(Ordering::Relaxed) {
+        return WakeScope {
+            prev: None,
+            active: false,
+        };
+    }
+    let prev = WAKE_RID.with(|w| w.replace(Some(rid)));
+    WakeScope { prev, active: true }
+}
+
+impl Drop for WakeScope {
+    fn drop(&mut self) {
+        if self.active {
+            let prev = self.prev;
+            WAKE_RID.with(|w| w.set(prev));
+        }
+    }
+}
+
+/// The monadic thread whose turn is executing on this OS thread, if any.
+pub fn current_tid() -> Option<u64> {
+    if !PROBES_EVER.load(Ordering::Relaxed) {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().map(|(tid, _)| *tid))
+}
+
+/// `(waker, rid)` attribution for a wake being performed right now: the
+/// current turn's thread and the innermost open wake scope.
+pub fn wake_attribution() -> (Option<u64>, Option<u64>) {
+    if !PROBES_EVER.load(Ordering::Relaxed) {
+        return (None, None);
+    }
+    (current_tid(), WAKE_RID.with(|w| w.get()))
+}
+
+/// Reports a synchronization operation to the current turn's probe (a
+/// no-op without one). Call under the primitive's own lock so the
+/// availability snapshot is exact at the instant of the op.
+pub fn op(rid: u64, res: ResKind, kind: OpKind, avail: [u64; 2]) {
+    if !PROBES_EVER.load(Ordering::Relaxed) {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some((tid, p)) = c.borrow().as_ref() {
+            p.on_op(Some(*tid), rid, res, kind, avail);
+        }
+    });
+}
+
+/// Reports a declared shared-cell access to the current turn's probe.
+pub fn access(cell: u64, name: &str, write: bool) {
+    if !PROBES_EVER.load(Ordering::Relaxed) {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some((tid, p)) = c.borrow().as_ref() {
+            p.on_access(*tid, cell, name, write);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Rec {
+        events: Mutex<Vec<String>>,
+    }
+
+    impl Probe for Rec {
+        fn on_scheduled(&self, tid: u64) {
+            self.events.lock().push(format!("sched {tid}"));
+        }
+        fn on_op(&self, tid: Option<u64>, rid: u64, res: ResKind, op: OpKind, avail: [u64; 2]) {
+            self.events
+                .lock()
+                .push(format!("op {tid:?} {rid} {} {op:?} {avail:?}", res.name()));
+        }
+    }
+
+    #[test]
+    fn ops_are_attributed_to_the_turn() {
+        let rec = Arc::new(Rec::default());
+        let rid = new_rid();
+        {
+            let _turn = TurnGuard::enter(7, Some(rec.clone() as Arc<dyn Probe>));
+            assert_eq!(current_tid(), Some(7));
+            op(rid, ResKind::Chan, OpKind::Publish, [1, 0]);
+            let (waker, scope_rid) = {
+                let _scope = wake_scope(rid);
+                wake_attribution()
+            };
+            assert_eq!((waker, scope_rid), (Some(7), Some(rid)));
+        }
+        assert_eq!(current_tid(), None);
+        assert_eq!(wake_attribution(), (None, None));
+        let ev = rec.events.lock().clone();
+        assert_eq!(ev.len(), 2);
+        assert!(ev[0].starts_with("sched 7"));
+        assert!(ev[1].contains("Publish"));
+    }
+
+    #[test]
+    fn wake_scopes_nest() {
+        let rec = Arc::new(Rec::default());
+        let _turn = TurnGuard::enter(1, Some(rec as Arc<dyn Probe>));
+        let (a, b) = (new_rid(), new_rid());
+        let _outer = wake_scope(a);
+        {
+            let _inner = wake_scope(b);
+            assert_eq!(wake_attribution().1, Some(b));
+        }
+        assert_eq!(wake_attribution().1, Some(a));
+    }
+}

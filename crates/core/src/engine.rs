@@ -164,6 +164,13 @@ pub trait RuntimeCtx: Send + Sync {
     /// so abandoned timeouts do not extend virtual time); a runtime that
     /// skips spent waiters at expiry may return [`TimerHandle::noop`].
     fn timer_wake(&self, dur: Nanos, waiter: Waiter) -> TimerHandle;
+    /// The concurrency-check probe attached to this runtime, if any (see
+    /// [`crate::check`]). [`run_task`] installs it as the current turn's
+    /// observer so the synchronization primitives can report protocol
+    /// events. Default: none — instrumentation stays fully inert.
+    fn check_probe(&self) -> Option<Arc<dyn crate::check::Probe>> {
+        None
+    }
 }
 
 /// Interprets one scheduling turn of `task`: forces trace nodes and performs
@@ -172,6 +179,10 @@ pub trait RuntimeCtx: Send + Sync {
 /// thread "for a large number of steps before switching to another thread to
 /// improve locality", §4.2).
 pub fn run_task(ctx: &Arc<dyn RuntimeCtx>, mut task: Task, slice: usize) {
+    // Observational only: the guard publishes (tid, probe) to the check
+    // instrumentation for the duration of the turn and charges nothing,
+    // so attaching a probe never perturbs schedules or virtual time.
+    let _turn = crate::check::TurnGuard::enter(task.tid().0, ctx.check_probe());
     let mut node = task.force();
     let mut steps: usize = 0;
     loop {

@@ -617,6 +617,7 @@ pub fn sync<A: Send + 'static>(ev: Event<A>) -> ThreadM<A> {
 struct SigState {
     fired: bool,
     waiters: WaitQ,
+    rid: u64,
 }
 
 /// A one-shot broadcast flag with an event view — the "graceful shutdown"
@@ -636,6 +637,7 @@ impl Signal {
             st: Arc::new(PlMutex::new(SigState {
                 fired: false,
                 waiters: WaitQ::new(),
+                rid: crate::check::new_rid(),
             })),
         }
     }
@@ -645,6 +647,13 @@ impl Signal {
     pub fn fire(&self) {
         let mut st = self.st.lock();
         st.fired = true;
+        crate::check::op(
+            st.rid,
+            crate::check::ResKind::Signal,
+            crate::check::OpKind::Publish,
+            [1, 0],
+        );
+        let _scope = crate::check::wake_scope(st.rid);
         st.waiters.wake_all();
     }
 
@@ -666,10 +675,18 @@ impl Signal {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut s = st.lock();
                     if s.fired {
+                        let rid = s.rid;
                         drop(s);
+                        let _scope = crate::check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    crate::check::op(
+                        s.rid,
+                        crate::check::ResKind::Signal,
+                        crate::check::OpKind::BlockTake,
+                        [0, 0],
+                    );
                     let slot = s.waiters.push(waiter);
                     // fire() wakes *all* waiters — no budget to baton.
                     Registration::with_take(move || slot.take().is_some())

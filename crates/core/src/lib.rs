@@ -59,6 +59,7 @@
 #![allow(clippy::let_unit_value)]
 
 pub mod aio;
+pub mod check;
 pub mod engine;
 pub mod event;
 pub mod exception;

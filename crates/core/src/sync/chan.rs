@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::check;
 use crate::engine::WaitKind;
 use crate::event::{branch_waiter, sync, Branch, Event, Registration};
 use crate::reactor::WaitQ;
@@ -26,6 +27,18 @@ use crate::thread::ThreadM;
 struct ChState<T> {
     queue: VecDeque<T>,
     takers: WaitQ,
+    rid: u64,
+}
+
+impl<T> ChState<T> {
+    fn op(&self, kind: check::OpKind) {
+        check::op(
+            self.rid,
+            check::ResKind::Chan,
+            kind,
+            [self.queue.len() as u64, 0],
+        );
+    }
 }
 
 /// An unbounded multi-producer multi-consumer FIFO channel; `read` blocks
@@ -65,6 +78,7 @@ impl<T: Send + 'static> Chan<T> {
             st: Arc::new(parking_lot::Mutex::new(ChState {
                 queue: VecDeque::new(),
                 takers: WaitQ::new(),
+                rid: check::new_rid(),
             })),
         }
     }
@@ -74,12 +88,19 @@ impl<T: Send + 'static> Chan<T> {
     pub fn push_now(&self, v: T) {
         let mut st = self.st.lock();
         st.queue.push_back(v);
+        st.op(check::OpKind::Publish);
+        let _scope = check::wake_scope(st.rid);
         st.takers.wake_one();
     }
 
     /// Dequeues without blocking, if an item is available.
     pub fn try_read_now(&self) -> Option<T> {
-        self.st.lock().queue.pop_front()
+        let mut st = self.st.lock();
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            st.op(check::OpKind::Consume);
+        }
+        v
     }
 
     /// Number of queued items.
@@ -106,15 +127,25 @@ impl<T: Send + 'static> Chan<T> {
         Event::from_fn(move |_t0, out| {
             out.push(Branch::new(
                 WaitKind::Lock,
-                move |_now| poll_st.lock().queue.pop_front(),
+                move |_now| {
+                    let mut st = poll_st.lock();
+                    let v = st.queue.pop_front();
+                    if v.is_some() {
+                        st.op(check::OpKind::Consume);
+                    }
+                    v
+                },
                 move |u| {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_st.lock();
                     if !st.queue.is_empty() {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockTake);
                     let slot = st.takers.push(waiter);
                     drop(st);
                     let baton_st = Arc::clone(&reg_st);
@@ -126,6 +157,8 @@ impl<T: Send + 'static> Chan<T> {
                             // is still there.
                             let mut st = baton_st.lock();
                             if !st.queue.is_empty() {
+                                st.op(check::OpKind::Baton);
+                                let _scope = check::wake_scope(st.rid);
                                 st.takers.wake_one();
                             }
                         },
@@ -185,6 +218,21 @@ struct SyncChState<T> {
     cap: usize,
     takers: WaitQ,
     putters: WaitQ,
+    rid: u64,
+}
+
+impl<T> SyncChState<T> {
+    fn op(&self, kind: check::OpKind) {
+        check::op(
+            self.rid,
+            check::ResKind::SyncChan,
+            kind,
+            [
+                self.queue.len() as u64,
+                (self.cap - self.queue.len()) as u64,
+            ],
+        );
+    }
 }
 
 /// A bounded FIFO channel: `write` parks while full, providing
@@ -215,6 +263,7 @@ impl<T: Send + 'static> SyncChan<T> {
                 cap,
                 takers: WaitQ::new(),
                 putters: WaitQ::new(),
+                rid: check::new_rid(),
             })),
         }
     }
@@ -250,6 +299,8 @@ impl<T: Send + 'static> SyncChan<T> {
                     if st.queue.len() < st.cap {
                         if let Some(v) = slot.take() {
                             st.queue.push_back(v);
+                            st.op(check::OpKind::Publish);
+                            let _scope = check::wake_scope(st.rid);
                             st.takers.wake_one();
                             return Some(());
                         }
@@ -260,10 +311,13 @@ impl<T: Send + 'static> SyncChan<T> {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_st.lock();
                     if st.queue.len() < st.cap {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockPut);
                     let slot_reg = st.putters.push(waiter);
                     drop(st);
                     let baton_st = Arc::clone(&reg_st);
@@ -272,6 +326,8 @@ impl<T: Send + 'static> SyncChan<T> {
                         move || {
                             let mut st = baton_st.lock();
                             if st.queue.len() < st.cap {
+                                st.op(check::OpKind::Baton);
+                                let _scope = check::wake_scope(st.rid);
                                 st.putters.wake_one();
                             }
                         },
@@ -293,6 +349,8 @@ impl<T: Send + 'static> SyncChan<T> {
                     let mut st = poll_st.lock();
                     let v = st.queue.pop_front();
                     if v.is_some() {
+                        st.op(check::OpKind::Consume);
+                        let _scope = check::wake_scope(st.rid);
                         st.putters.wake_one();
                     }
                     v
@@ -301,10 +359,13 @@ impl<T: Send + 'static> SyncChan<T> {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_st.lock();
                     if !st.queue.is_empty() {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockTake);
                     let slot = st.takers.push(waiter);
                     drop(st);
                     let baton_st = Arc::clone(&reg_st);
@@ -313,6 +374,8 @@ impl<T: Send + 'static> SyncChan<T> {
                         move || {
                             let mut st = baton_st.lock();
                             if !st.queue.is_empty() {
+                                st.op(check::OpKind::Baton);
+                                let _scope = check::wake_scope(st.rid);
                                 st.takers.wake_one();
                             }
                         },

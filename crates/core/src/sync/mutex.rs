@@ -8,6 +8,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::check;
 use crate::reactor::Unparker;
 use crate::syscall::{sys_finally, sys_nbio, sys_park, sys_time};
 use crate::thread::{loop_m, Loop, ThreadM};
@@ -20,6 +21,8 @@ struct MxState {
 
 struct MutexInner {
     st: parking_lot::Mutex<MxState>,
+    /// Check-probe resource id ([`crate::check`]).
+    rid: u64,
     /// Nanoseconds (runtime time: wall or virtual) threads spent waiting
     /// for this mutex while it was held elsewhere.
     contended_ns: AtomicU64,
@@ -35,6 +38,12 @@ impl MutexInner {
             false
         } else {
             st.locked = true;
+            check::op(
+                self.rid,
+                check::ResKind::Mutex,
+                check::OpKind::Acquire,
+                [0, 0],
+            );
             true
         }
     }
@@ -45,9 +54,18 @@ impl MutexInner {
     fn enqueue_waiter(&self, u: Unparker) {
         let mut st = self.st.lock();
         if st.locked {
+            check::op(
+                self.rid,
+                check::ResKind::Mutex,
+                check::OpKind::BlockTake,
+                [0, 0],
+            );
             st.waiters.push_back(u);
         } else {
             drop(st);
+            // Raced with an unlock: wake ourselves immediately and
+            // re-compete. Attribute the self-wake to this mutex.
+            let _scope = check::wake_scope(self.rid);
             u.unpark();
         }
     }
@@ -90,6 +108,7 @@ impl Mutex {
                     locked: false,
                     waiters: VecDeque::new(),
                 }),
+                rid: check::new_rid(),
                 contended_ns: AtomicU64::new(0),
                 contentions: AtomicU64::new(0),
             }),
@@ -104,6 +123,12 @@ impl Mutex {
             false
         } else {
             st.locked = true;
+            check::op(
+                self.inner.rid,
+                check::ResKind::Mutex,
+                check::OpKind::Acquire,
+                [0, 0],
+            );
             true
         }
     }
@@ -175,6 +200,13 @@ impl Mutex {
         sys_nbio(move || {
             let mut st = inner.st.lock();
             st.locked = false;
+            check::op(
+                inner.rid,
+                check::ResKind::Mutex,
+                check::OpKind::Release,
+                [1, 0],
+            );
+            let _scope = check::wake_scope(inner.rid);
             while let Some(u) = st.waiters.pop_front() {
                 if u.unpark() {
                     break;

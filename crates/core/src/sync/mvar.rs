@@ -12,6 +12,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::check;
 use crate::engine::WaitKind;
 use crate::event::{branch_waiter, sync, Branch, Event, Registration};
 use crate::reactor::WaitQ;
@@ -21,6 +22,14 @@ struct MvState<T> {
     value: Option<T>,
     takers: WaitQ,
     putters: WaitQ,
+    rid: u64,
+}
+
+impl<T> MvState<T> {
+    fn op(&self, kind: check::OpKind) {
+        let full = self.value.is_some() as u64;
+        check::op(self.rid, check::ResKind::MVar, kind, [full, 1 - full]);
+    }
 }
 
 struct MvInner<T> {
@@ -66,6 +75,7 @@ impl<T: Send + 'static> MVar<T> {
                     value: None,
                     takers: WaitQ::new(),
                     putters: WaitQ::new(),
+                    rid: check::new_rid(),
                 }),
             }),
         }
@@ -83,6 +93,8 @@ impl<T: Send + 'static> MVar<T> {
         let mut st = self.inner.st.lock();
         let v = st.value.take();
         if v.is_some() {
+            st.op(check::OpKind::Consume);
+            let _scope = check::wake_scope(st.rid);
             st.putters.wake_all();
         }
         v
@@ -95,6 +107,8 @@ impl<T: Send + 'static> MVar<T> {
             Err(v)
         } else {
             st.value = Some(v);
+            st.op(check::OpKind::Publish);
+            let _scope = check::wake_scope(st.rid);
             st.takers.wake_all();
             Ok(())
         }
@@ -124,6 +138,8 @@ impl<T: Send + 'static> MVar<T> {
                     let mut st = poll_inner.st.lock();
                     let v = st.value.take();
                     if v.is_some() {
+                        st.op(check::OpKind::Consume);
+                        let _scope = check::wake_scope(st.rid);
                         st.putters.wake_all();
                     }
                     v
@@ -132,10 +148,13 @@ impl<T: Send + 'static> MVar<T> {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_inner.st.lock();
                     if st.value.is_some() {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockTake);
                     let slot = st.takers.push(waiter);
                     // Puts wake *all* takers: a consumed wake costs the
                     // device nothing, so plain withdrawal suffices.
@@ -159,6 +178,8 @@ impl<T: Send + 'static> MVar<T> {
                     if st.value.is_none() {
                         if let Some(v) = slot.take() {
                             st.value = Some(v);
+                            st.op(check::OpKind::Publish);
+                            let _scope = check::wake_scope(st.rid);
                             st.takers.wake_all();
                             return Some(());
                         }
@@ -169,10 +190,13 @@ impl<T: Send + 'static> MVar<T> {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_inner.st.lock();
                     if st.value.is_none() {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockPut);
                     let slot_reg = st.putters.push(waiter);
                     Registration::with_take(move || slot_reg.take().is_some())
                 },
@@ -207,10 +231,13 @@ impl<T: Clone + Send + 'static> MVar<T> {
                     let waiter = branch_waiter(u, WaitKind::Lock);
                     let mut st = reg_inner.st.lock();
                     if st.value.is_some() {
+                        let rid = st.rid;
                         drop(st);
+                        let _scope = check::wake_scope(rid);
                         waiter.wake();
                         return Registration::none();
                     }
+                    st.op(check::OpKind::BlockTake);
                     let slot = st.takers.push(waiter);
                     Registration::with_take(move || slot.take().is_some())
                 },

@@ -58,6 +58,35 @@ use parking_lot::Mutex;
 use crate::cost::CostModel;
 use crate::des::SimClock;
 
+/// How the ready queue chooses the next thread to run — the schedule
+/// exploration axis of `eveth-check`.
+///
+/// Every policy is a pure function of `(policy, workload)`: the same
+/// configuration replays the same schedule byte-for-byte, so any failure
+/// an explored schedule uncovers reproduces exactly from its
+/// `(seed, SimConfig)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The historical earliest-startable FIFO pick. This is the default
+    /// and keeps every golden `SimReport` and `BENCH_*.json` byte-
+    /// identical: the pick path is exactly the pre-policy code.
+    #[default]
+    Fifo,
+    /// PCT-style randomized priorities (Burckhardt et al.): each thread
+    /// gets a random priority on first sight, the highest-priority
+    /// startable thread runs, and at `change_points` pseudo-random
+    /// scheduling decisions (per 1024-decision window, so perturbation
+    /// recurs on long runs) the running thread is demoted below every
+    /// initial priority. Seeded: the same `(seed, change_points)`
+    /// replays the same schedule.
+    Pct {
+        /// Seed for priorities and change-point placement.
+        seed: u64,
+        /// Priority change points per 1024-decision window.
+        change_points: u32,
+    },
+}
+
 /// Configuration of a [`SimRuntime`].
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -70,6 +99,8 @@ pub struct SimConfig {
     /// values let independent turns overlap in virtual time, making
     /// contention (hot locks, too few shards) visible in the clock.
     pub cpus: usize,
+    /// Ready-queue scheduling policy (default [`SchedulePolicy::Fifo`]).
+    pub policy: SchedulePolicy,
 }
 
 impl Default for SimConfig {
@@ -78,8 +109,19 @@ impl Default for SimConfig {
             cost: CostModel::monadic(),
             slice: 256,
             cpus: 1,
+            policy: SchedulePolicy::Fifo,
         }
     }
+}
+
+/// `splitmix64` — the tiny, high-quality seeded generator behind the PCT
+/// policy (and the per-schedule seed derivation in `eveth-check`).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Error returned when a thread cannot be created under the model's limits.
@@ -126,18 +168,95 @@ struct ReadyQueue {
     fifo: BTreeMap<u64, ReadyEntry>,
     by_ready: BTreeSet<(Nanos, u64)>,
     next_seq: u64,
+    /// Randomized-priority state; `None` runs the plain FIFO pick.
+    pct: Option<PctState>,
+}
+
+/// Priorities are `(band, value)` compared lexicographically, higher
+/// wins. Fresh threads draw a random value in band 1; a change-point
+/// demotion moves the running thread into band 0 (below every initial
+/// priority), later demotions lower than earlier ones.
+type Priority = (u8, u64);
+
+/// Mutable state of [`SchedulePolicy::Pct`]. All randomness is consumed
+/// in `push` (first sight of a thread) and `take` (decision counting) —
+/// `pick` stays a pure read, like the FIFO path.
+struct PctState {
+    rng: u64,
+    prio: DetHashMap<u64, Priority>,
+    /// Decision indices (mod [`PCT_WINDOW`]) at which the thread being
+    /// scheduled is demoted.
+    change_at: Vec<u32>,
+    decisions: u64,
+    next_demoted: u64,
+}
+
+/// Change points recur with this period so long runs keep being
+/// perturbed instead of settling into a static priority order.
+const PCT_WINDOW: u64 = 1024;
+
+impl PctState {
+    fn new(seed: u64, change_points: u32) -> Self {
+        let mut rng = seed;
+        // Warm the stream so adjacent seeds diverge immediately.
+        let _ = splitmix64(&mut rng);
+        let mut change_at: Vec<u32> = (0..change_points)
+            .map(|_| (splitmix64(&mut rng) % PCT_WINDOW) as u32)
+            .collect();
+        change_at.sort_unstable();
+        change_at.dedup();
+        PctState {
+            rng,
+            prio: DetHashMap::default(),
+            change_at,
+            decisions: 0,
+            next_demoted: u64::MAX,
+        }
+    }
+
+    fn priority_of(&mut self, tid: u64) -> Priority {
+        if let Some(&p) = self.prio.get(&tid) {
+            return p;
+        }
+        let p = (1u8, splitmix64(&mut self.rng));
+        self.prio.insert(tid, p);
+        p
+    }
+
+    /// One scheduling decision happened for `tid`; demote it if this
+    /// decision index is a change point.
+    fn on_decision(&mut self, tid: u64) {
+        let idx = (self.decisions % PCT_WINDOW) as u32;
+        self.decisions += 1;
+        if self.change_at.binary_search(&idx).is_ok() {
+            self.prio.insert(tid, (0u8, self.next_demoted));
+            self.next_demoted = self.next_demoted.wrapping_sub(1);
+        }
+    }
 }
 
 impl ReadyQueue {
-    fn new() -> Self {
+    fn new(policy: &SchedulePolicy) -> Self {
         ReadyQueue {
             fifo: BTreeMap::new(),
             by_ready: BTreeSet::new(),
             next_seq: 0,
+            pct: match policy {
+                SchedulePolicy::Fifo => None,
+                SchedulePolicy::Pct {
+                    seed,
+                    change_points,
+                } => Some(PctState::new(*seed, *change_points)),
+            },
         }
     }
 
     fn push(&mut self, task: Task, ready_at: Nanos) {
+        if let Some(pct) = &mut self.pct {
+            // Assign (or look up) the thread's priority on first sight so
+            // `pick` can stay a pure read of the queue.
+            let _ = pct.priority_of(task.tid().0);
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.by_ready.insert((ready_at, seq));
@@ -151,15 +270,39 @@ impl ReadyQueue {
         );
     }
 
-    /// The entry a CPU sitting at `frontier` should run next: the oldest
-    /// already-startable entry (FIFO among those), else the one with the
-    /// smallest `(ready_at, seq)`. Returns `(seq, ready_at)` without
-    /// removing — the caller may decide to service a device event first.
+    /// The entry a CPU sitting at `frontier` should run next. Under
+    /// [`SchedulePolicy::Fifo`]: the oldest already-startable entry (FIFO
+    /// among those), else the one with the smallest `(ready_at, seq)` —
+    /// exactly the historical pick, so golden schedules are unchanged.
+    /// Under [`SchedulePolicy::Pct`]: the highest-priority startable
+    /// entry (stable tie-break: lowest seq); the nothing-startable
+    /// fallback is identical to FIFO, so time semantics never change —
+    /// only the order among simultaneously-runnable threads does.
+    /// Returns `(seq, ready_at)` without removing — the caller may decide
+    /// to service a device event first.
     fn pick(&self, frontier: Nanos) -> Option<(u64, Nanos)> {
         let &(min_ready, min_seq) = self.by_ready.first()?;
         if min_ready > frontier {
             // Nothing startable: earliest (ready_at, seq) via the index.
             return Some((min_seq, min_ready));
+        }
+        if let Some(pct) = &self.pct {
+            let mut best: Option<(Priority, u64, Nanos)> = None;
+            for e in self.fifo.values() {
+                if e.ready_at > frontier {
+                    continue;
+                }
+                let p = pct
+                    .prio
+                    .get(&e.task.tid().0)
+                    .copied()
+                    .unwrap_or((1u8, 0u64));
+                // Strict `>` keeps the first (lowest-seq) entry on ties.
+                if best.is_none_or(|(bp, _, _)| p > bp) {
+                    best = Some((p, e.seq, e.ready_at));
+                }
+            }
+            return best.map(|(_, seq, ready_at)| (seq, ready_at));
         }
         self.fifo
             .values()
@@ -170,6 +313,9 @@ impl ReadyQueue {
     fn take(&mut self, seq: u64) -> Option<Task> {
         let e = self.fifo.remove(&seq)?;
         self.by_ready.remove(&(e.ready_at, e.seq));
+        if let Some(pct) = &mut self.pct {
+            pct.on_decision(e.task.tid().0);
+        }
         Some(e.task)
     }
 }
@@ -254,6 +400,11 @@ struct SimInner {
     /// charges the cost model, so attaching telemetry never changes
     /// virtual time.
     telemetry: std::sync::OnceLock<Arc<eveth_core::telemetry::Telemetry>>,
+    /// Attached concurrency-check probe, if any (first attach wins).
+    /// Like telemetry: purely observational, charges nothing, and with
+    /// the default [`SchedulePolicy::Fifo`] attaching it changes no
+    /// schedule — the probe only *watches* the run.
+    probe: std::sync::OnceLock<Arc<dyn eveth_core::check::Probe>>,
 }
 
 impl SimInner {
@@ -264,6 +415,10 @@ impl SimInner {
 
     fn tel(&self) -> Option<&Arc<eveth_core::telemetry::Telemetry>> {
         self.telemetry.get()
+    }
+
+    fn pr(&self) -> Option<&Arc<dyn eveth_core::check::Probe>> {
+        self.probe.get()
     }
 }
 
@@ -309,6 +464,14 @@ impl RuntimeCtx for SimInner {
             if let Some(tel) = self.tel() {
                 tel.on_wake(ready_at, tid.0);
             }
+            if let Some(p) = self.pr() {
+                // Attribute the wake to the monadic thread (and the
+                // instrumented resource) performing it, read from the
+                // check instrumentation's thread-locals: `None` for
+                // clock/device wakes raised outside any turn.
+                let (waker, rid) = eveth_core::check::wake_attribution();
+                p.on_wake(tid.0, waker, rid);
+            }
         }
         self.ready.lock().push(task, ready_at);
     }
@@ -321,12 +484,18 @@ impl RuntimeCtx for SimInner {
         if let Some(tel) = self.tel() {
             tel.on_spawn(self.clock.now(), tid.0, parent.map(|p| p.0));
         }
+        if let Some(p) = self.pr() {
+            p.on_spawn(tid.0, parent.map(|p| p.0));
+        }
     }
     fn task_exited(&self, tid: TaskId) {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.stats.exited.fetch_add(1, Ordering::Relaxed);
         if let Some(tel) = self.tel() {
             tel.on_exit(self.clock.now(), tid.0, false);
+        }
+        if let Some(p) = self.pr() {
+            p.on_exit(tid.0);
         }
     }
     fn uncaught_exception(&self, tid: TaskId, e: Exception) {
@@ -335,6 +504,9 @@ impl RuntimeCtx for SimInner {
         self.uncaught_log.lock().push((tid, e));
         if let Some(tel) = self.tel() {
             tel.on_exit(self.clock.now(), tid.0, true);
+        }
+        if let Some(p) = self.pr() {
+            p.on_exit(tid.0);
         }
     }
     fn now(&self) -> Nanos {
@@ -376,6 +548,9 @@ impl RuntimeCtx for SimInner {
         if let Some(tel) = self.tel() {
             tel.on_park(now, tid.0, kind);
         }
+        if let Some(p) = self.pr() {
+            p.on_park(tid.0, kind);
+        }
     }
     fn task_wait_reclass(&self, tid: TaskId, kind: WaitKind) {
         // The winning branch of a multi-registration park re-attributes
@@ -390,9 +565,15 @@ impl RuntimeCtx for SimInner {
         }
     }
     fn task_annotate(&self, tid: TaskId, name: Arc<str>) {
+        if let Some(p) = self.pr() {
+            p.on_annotate(tid.0, &name);
+        }
         if let Some(tel) = self.tel() {
             tel.on_annotate(self.clock.now(), tid.0, name);
         }
+    }
+    fn check_probe(&self) -> Option<Arc<dyn eveth_core::check::Probe>> {
+        self.probe.get().cloned()
     }
     fn timer_wake(&self, dur: Nanos, waiter: eveth_core::reactor::Waiter) -> engine::TimerHandle {
         // Eager cancellation matters here: a lingering losing timeout
@@ -506,7 +687,7 @@ impl SimRuntime {
         let inner = Arc::new_cyclic(|weak| SimInner {
             self_weak: weak.clone(),
             clock,
-            ready: Mutex::new(ReadyQueue::new()),
+            ready: Mutex::new(ReadyQueue::new(&config.policy)),
             cpus: Mutex::new(CpuState::new(cpus)),
             resume_floor: Mutex::new(DetHashMap::default()),
             park_since: Mutex::new(DetHashMap::default()),
@@ -525,6 +706,7 @@ impl SimRuntime {
             cost: config.cost.clone(),
             uncaught_log: Mutex::new(Vec::new()),
             telemetry: std::sync::OnceLock::new(),
+            probe: std::sync::OnceLock::new(),
         });
         SimRuntime { inner, config }
     }
@@ -568,6 +750,29 @@ impl SimRuntime {
     /// The attached telemetry hub, if any.
     pub fn telemetry(&self) -> Option<Arc<eveth_core::telemetry::Telemetry>> {
         self.inner.telemetry.get().cloned()
+    }
+
+    /// Attaches a concurrency-check probe (see `eveth_core::check`):
+    /// every scheduler event (turn starts, spawns, parks, wakes with
+    /// waker/resource attribution, exits, span names) is forwarded to it,
+    /// and the trace interpreter installs it as the turn observer so the
+    /// synchronization primitives report their protocol ops. Purely
+    /// observational — charges nothing, moves no clock, and under the
+    /// default [`SchedulePolicy::Fifo`] changes no schedule. First attach
+    /// wins; later calls return `false` and change nothing.
+    pub fn set_check_probe(&self, probe: Arc<dyn eveth_core::check::Probe>) -> bool {
+        self.inner.probe.set(probe).is_ok()
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Count of armed (uncancelled, unfired) virtual timers — the
+    /// leak-audit view of the event heap at end of run.
+    pub fn armed_timers(&self) -> usize {
+        self.inner.clock.pending()
     }
 
     /// Spawns, enforcing the cost model's thread cap — how the harnesses
@@ -811,6 +1016,7 @@ mod tests {
                 cost: CostModel::monadic(),
                 slice: 256,
                 cpus,
+                ..SimConfig::default()
             },
         )
     }
@@ -836,6 +1042,7 @@ mod tests {
                 cost: CostModel::free(),
                 slice: 64,
                 cpus: 1,
+                ..SimConfig::default()
             },
         );
         free.block_on(eveth_core::for_each_m(0..100u32, |_| sys_yield()))
@@ -857,6 +1064,7 @@ mod tests {
                     cost,
                     slice: 256,
                     cpus: 1,
+                    ..SimConfig::default()
                 },
             );
             sim.block_on(eveth_core::for_each_m(0..1000u32, |_| sys_yield()))
@@ -881,6 +1089,7 @@ mod tests {
                 cost,
                 slice: 16,
                 cpus: 1,
+                ..SimConfig::default()
             },
         );
         for _ in 0..4 {
@@ -912,6 +1121,7 @@ mod tests {
                 cost: CostModel::nptl(),
                 slice: 64,
                 cpus: 1,
+                ..SimConfig::default()
             },
         );
         for _ in 0..10 {
@@ -1015,7 +1225,7 @@ mod tests {
         fn ready_queue_pick_matches_linear_scan(
             ops in proptest::collection::vec((0u8..3u8, 0u64..400u64), 1..150)
         ) {
-            let mut q = ReadyQueue::new();
+            let mut q = ReadyQueue::new(&SchedulePolicy::Fifo);
             // FIFO-ordered mirror of the queue: (seq, ready_at).
             let mut model: Vec<(u64, Nanos)> = Vec::new();
             let mut next = 0u64;

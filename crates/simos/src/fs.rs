@@ -179,6 +179,7 @@ mod tests {
                 cost: CostModel::monadic(),
                 slice: 256,
                 cpus: 1,
+                ..SimConfig::default()
             },
         );
         let disk = SimDisk::new(

@@ -20,7 +20,15 @@ use parking_lot::Mutex as PlMutex;
 use proptest::prelude::*;
 
 fn sim(cost: CostModel, slice: usize, cpus: usize) -> SimRuntime {
-    SimRuntime::new(SimClock::new(), SimConfig { cost, slice, cpus })
+    SimRuntime::new(
+        SimClock::new(),
+        SimConfig {
+            cost,
+            slice,
+            cpus,
+            ..SimConfig::default()
+        },
+    )
 }
 
 /// A deterministic mixed workload: `threads` tasks doing yields, sleeps,

@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use eveth_core::check;
 use eveth_core::reactor::Unparker;
 use parking_lot::Mutex;
 
@@ -29,6 +30,18 @@ pub(crate) struct TVarInner<T> {
     pub(crate) id: u64,
     pub(crate) slot: Mutex<Slot<T>>,
     pub(crate) waiters: Mutex<Vec<Unparker>>,
+    /// Check-probe resource id (`eveth_core::check`).
+    pub(crate) rid: u64,
+}
+
+impl<T> TVarInner<T> {
+    /// Reports a check op with the committed version as the taker-side
+    /// availability (a monotone counter: parked retries that saw an older
+    /// version than the final one were woken, or the wakeup was lost).
+    fn check_op(&self, kind: check::OpKind) {
+        let version = self.slot.lock().version;
+        check::op(self.rid, check::ResKind::Stm, kind, [version, 0]);
+    }
 }
 
 /// A mutable cell readable and writable only inside STM transactions.
@@ -70,6 +83,7 @@ impl<T: Clone + Send + 'static> TVar<T> {
                     locked: false,
                 }),
                 waiters: Mutex::new(Vec::new()),
+                rid: check::new_rid(),
             }),
         }
     }
@@ -138,9 +152,12 @@ impl<T: Clone + Send + 'static> StmEntry for ReadEntry<T> {
     }
     fn commit_value(&mut self, _wv: u64) {}
     fn add_waiter(&self, u: Unparker) {
+        self.tvar.inner.check_op(check::OpKind::BlockTake);
         self.tvar.inner.waiters.lock().push(u);
     }
     fn wake_waiters(&self) {
+        self.tvar.inner.check_op(check::OpKind::Publish);
+        let _scope = check::wake_scope(self.tvar.inner.rid);
         for u in self.tvar.inner.waiters.lock().drain(..) {
             u.unpark();
         }
@@ -185,9 +202,12 @@ impl<T: Clone + Send + 'static> StmEntry for WriteEntry<T> {
         slot.locked = false;
     }
     fn add_waiter(&self, u: Unparker) {
+        self.tvar.inner.check_op(check::OpKind::BlockTake);
         self.tvar.inner.waiters.lock().push(u);
     }
     fn wake_waiters(&self) {
+        self.tvar.inner.check_op(check::OpKind::Publish);
+        let _scope = check::wake_scope(self.tvar.inner.rid);
         for u in self.tvar.inner.waiters.lock().drain(..) {
             u.unpark();
         }

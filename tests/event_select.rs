@@ -36,6 +36,7 @@ fn sim_with_cpus(cpus: usize) -> SimRuntime {
             cost: CostModel::monadic(),
             slice: 32,
             cpus,
+            ..SimConfig::default()
         },
     )
 }

@@ -511,6 +511,7 @@ fn kv_workload(cpus: usize) -> (u64, u64, String) {
             cost: CostModel::monadic(),
             slice: 32,
             cpus,
+            ..SimConfig::default()
         },
     );
     let fabric = SocketFabric::new(sim.clock(), FabricParams::default());

@@ -22,6 +22,7 @@ fn sim_with_telemetry(tel: &Arc<Telemetry>) -> SimRuntime {
             cost: CostModel::monadic(),
             slice: 256,
             cpus: 1,
+            ..SimConfig::default()
         },
     );
     assert!(sim.set_telemetry(Arc::clone(tel)));

@@ -55,6 +55,7 @@ fn kv_over_lossy_link_splits_io_from_lock_wait() {
             cost: CostModel::monadic(),
             slice: 8,
             cpus: 2,
+            ..SimConfig::default()
         },
     );
     let net = SimNet::new(
@@ -141,6 +142,7 @@ fn pure_mutex_workload_reports_zero_io_wait() {
             cost: CostModel::monadic(),
             slice: 16,
             cpus: 4,
+            ..SimConfig::default()
         },
     );
     let gate = Mutex::new();
